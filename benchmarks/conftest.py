@@ -1,0 +1,40 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper on the
+full canonical sweep, times the regeneration (with measurement caches
+cleared, so the figure's true cost is measured), and writes the
+rendered result to ``benchmarks/results/<name>.txt`` — the files
+EXPERIMENTS.md is compiled from.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_experiment(benchmark, results_dir):
+    """Benchmark an experiment driver once and persist its rendering."""
+
+    def runner(name: str, driver, *args, **kwargs):
+        from repro.eval import clear_caches
+
+        def target():
+            clear_caches()
+            return driver(*args, **kwargs)
+
+        result = benchmark.pedantic(target, rounds=1, iterations=1)
+        (results_dir / f"{name}.txt").write_text(result.render() + "\n")
+        return result
+
+    return runner

@@ -1,0 +1,9 @@
+"""Ablation benchmark: delta key vs max key in simplification."""
+
+from repro.eval import ablation_bs_key
+
+
+def test_ablation_bs_key(run_experiment):
+    result = run_experiment("ablation_bs_key", ablation_bs_key)
+    flat = [r for ratios in result.series.values() for r in ratios]
+    assert all(r > 0.3 for r in flat)

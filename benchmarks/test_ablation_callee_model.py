@@ -1,0 +1,10 @@
+"""Ablation benchmark: shared vs first-user callee-save cost model."""
+
+from repro.eval import ablation_callee_model
+
+
+def test_ablation_callee_model(run_experiment):
+    result = run_experiment("ablation_callee_model", ablation_callee_model)
+    for (_, _), ratios in result.series.items():
+        # Sharing the cost can only help this comparison on average.
+        assert all(r > 0.5 for r in ratios)

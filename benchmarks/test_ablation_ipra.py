@@ -1,0 +1,11 @@
+"""Ablation benchmark: interprocedural save elision."""
+
+from repro.eval.experiments import ablation_ipra
+
+
+def test_ablation_ipra(run_experiment):
+    result = run_experiment("ablation_ipra", ablation_ipra)
+    flat = [r for ratios in result.series.values() for r in ratios]
+    # Emission-level elision can only remove saves, never add them.
+    assert all(r >= 0.999 for r in flat)
+    assert max(flat) > 1.1  # and it visibly fires somewhere

@@ -1,0 +1,9 @@
+"""Ablation benchmark: allocation on optimized vs unoptimized IR."""
+
+from repro.eval.experiments import ablation_optimized_ir
+
+
+def test_ablation_optimized_ir(run_experiment):
+    result = run_experiment("ablation_optimized_ir", ablation_optimized_ir)
+    for (_, _), ratios in result.series.items():
+        assert all(r > 0.3 for r in ratios)

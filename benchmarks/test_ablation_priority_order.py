@@ -1,0 +1,9 @@
+"""Ablation benchmark: the three priority-based ordering strategies."""
+
+from repro.eval import ablation_priority_order
+
+
+def test_ablation_priority_order(run_experiment):
+    result = run_experiment("ablation_priority_order", ablation_priority_order)
+    labels = {label for (_, label) in result.series}
+    assert labels == {"remove_unconstrained", "sort_unconstrained", "sorting"}

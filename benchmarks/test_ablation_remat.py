@@ -1,0 +1,12 @@
+"""Ablation benchmark: rematerialization of constant-valued spills."""
+
+from repro.eval.experiments import ablation_rematerialization
+
+
+def test_ablation_rematerialization(run_experiment):
+    result = run_experiment(
+        "ablation_rematerialization", ablation_rematerialization
+    )
+    flat = [r for ratios in result.series.values() for r in ratios]
+    # Rematerialization can only remove memory traffic.
+    assert all(r >= 0.999 for r in flat)

@@ -1,0 +1,9 @@
+"""Ablation benchmark: blocking-spill candidate metrics."""
+
+from repro.eval.experiments import ablation_spill_metric
+
+
+def test_ablation_spill_metric(run_experiment):
+    result = run_experiment("ablation_spill_metric", ablation_spill_metric)
+    flat = [r for ratios in result.series.values() for r in ratios]
+    assert all(r > 0.2 for r in flat)

@@ -1,0 +1,37 @@
+"""Micro-benchmarks: raw allocation speed of each allocator.
+
+These time one full allocation of a mid-sized workload (compile and
+profile excluded via caching) so regressions in the allocator's own
+complexity show up independently of the experiment drivers.
+"""
+
+import pytest
+
+from repro.machine import RegisterConfig, register_file
+from repro.regalloc import AllocatorOptions, allocate_program
+from repro.workloads import compile_workload
+
+CONFIG = RegisterConfig(8, 6, 2, 2)
+
+ALLOCATORS = {
+    "base": AllocatorOptions.base_chaitin(),
+    "optimistic": AllocatorOptions.optimistic_coloring(),
+    "improved": AllocatorOptions.improved_chaitin(),
+    "priority": AllocatorOptions.priority_based(),
+    "cbh": AllocatorOptions.cbh(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALLOCATORS))
+def test_allocation_speed(benchmark, name):
+    compiled = compile_workload("gcc")
+    rf = register_file(CONFIG)
+    options = ALLOCATORS[name]
+
+    def target():
+        return allocate_program(
+            compiled.program, rf, options, compiled.dynamic_weights
+        )
+
+    allocation = benchmark(target)
+    assert allocation.functions

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 10 (priority-based vs improved)."""
+
+from repro.eval import figure10
+
+
+def test_figure10(run_experiment):
+    result = run_experiment("figure10", figure10)
+    # Improved Chaitin at least matches priority-based on nasa7.
+    improved = result.values("nasa7", "improved/dynamic")
+    priority = result.values("nasa7", "priority/dynamic")
+    assert sum(i >= p * 0.999 for i, p in zip(improved, priority)) >= len(improved) - 1

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 11 (improved Chaitin vs CBH)."""
+
+from repro.eval import figure11
+
+
+def test_figure11(run_experiment):
+    result = run_experiment("figure11", figure11)
+    # CBH never beats improved at the convention minimum.
+    for program in ("alvinn", "ear", "li", "matrix300", "nasa7"):
+        improved = result.values(program, "improved/dynamic")
+        cbh = result.values(program, "CBH/dynamic")
+        assert cbh[0] <= improved[0] + 1e-9

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 2 (base-model cost decomposition)."""
+
+from repro.eval import figure2
+
+
+def test_figure2(run_experiment):
+    result = run_experiment("figure2", figure2)
+    for program in ("eqntott", "ear"):
+        overheads = result.overheads[program]
+        # The paper's motivating shape: spill vanishes, call cost stays.
+        assert overheads[-1].spill < overheads[0].spill + 1.0
+        assert overheads[-1].call_cost >= overheads[-1].spill

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 6 (enhancement combinations)."""
+
+from repro.eval import figure6
+
+
+def test_figure6(run_experiment):
+    result = run_experiment("figure6", figure6)
+    # Class 1 (ear): improvements grow with register count.
+    ear = result.values("ear", "SC+BS+PR")
+    assert ear[-1] >= ear[0]
+    # Headline factor on the eqntott class.
+    assert max(result.values("eqntott", "SC+BS+PR")) > 10.0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 7 (improved-model cost decomposition)."""
+
+from repro.eval import figure7
+
+
+def test_figure7(run_experiment):
+    result = run_experiment("figure7", figure7)
+    for program in ("eqntott", "ear"):
+        overheads = result.overheads[program]
+        # With all improvements, the full file leaves almost nothing.
+        assert overheads[-1].total <= overheads[0].total

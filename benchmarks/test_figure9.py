@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 9 (optimistic vs improved, fpppp)."""
+
+from repro.eval import figure9
+
+
+def test_figure9(run_experiment):
+    result = run_experiment("figure9", figure9)
+    assert max(result.values("fpppp", "optimistic")) > 1.0

@@ -1,0 +1,55 @@
+"""Benchmark: graph reconstruction vs. full rebuild (compile time).
+
+The paper's Figure 1 includes the reconstruction box because
+rebuilding the interference graph on every spill iteration is the
+expensive part of Chaitin-style allocation.  This benchmark allocates
+a spill-heavy workload both ways; the assertion only checks the
+results agree — the timing comparison is the benchmark output itself.
+"""
+
+import pytest
+
+from repro.machine import RegisterConfig, register_file
+from repro.regalloc import AllocatorOptions, allocate_program
+from repro.workloads import compile_workload
+
+#: Small enough to force several spill iterations per function.
+CONFIG = RegisterConfig(4, 4, 1, 1)
+
+
+@pytest.mark.parametrize("reconstruct", [False, True], ids=["rebuild", "reconstruct"])
+def test_allocation_with_and_without_reconstruction(benchmark, reconstruct):
+    compiled = compile_workload("fpppp")
+    rf = register_file(CONFIG)
+    options = AllocatorOptions.improved_chaitin()
+
+    def target():
+        return allocate_program(
+            compiled.program,
+            rf,
+            options,
+            compiled.dynamic_weights,
+            reconstruct=reconstruct,
+        )
+
+    allocation = benchmark(target)
+    assert all(fa.iterations >= 2 for fa in allocation.functions.values() if fa.spilled)
+
+
+def test_reconstruction_identical_results():
+    compiled = compile_workload("fpppp")
+    rf = register_file(CONFIG)
+    options = AllocatorOptions.improved_chaitin()
+    plain = allocate_program(
+        compiled.program, rf, options, compiled.dynamic_weights
+    )
+    incremental = allocate_program(
+        compiled.program, rf, options, compiled.dynamic_weights, reconstruct=True
+    )
+    for name in plain.functions:
+        a = {r.id: p.name for r, p in plain.functions[name].assignment.items()}
+        b = {
+            r.id: p.name
+            for r, p in incremental.functions[name].assignment.items()
+        }
+        assert a == b

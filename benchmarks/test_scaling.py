@@ -1,0 +1,36 @@
+"""Benchmark: allocation time as a function of program size.
+
+Generated programs of increasing size, allocated by the improved
+allocator.  Watches for super-linear blowups in the graph build /
+simplify / assign pipeline.
+"""
+
+import pytest
+
+from repro.machine import RegisterConfig, register_file
+from repro.regalloc import AllocatorOptions, allocate_program
+from repro.workloads.generator import random_program
+
+SIZES = {
+    "small": dict(max_funcs=2, max_stmts=4),
+    "medium": dict(max_funcs=4, max_stmts=10),
+    "large": dict(max_funcs=6, max_stmts=22),
+}
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+def test_allocation_scaling(benchmark, size):
+    # A fixed seed per size keeps the benchmark comparable across runs.
+    program = random_program(2024, **SIZES[size])
+    rf = register_file(RegisterConfig(6, 4, 2, 2))
+    options = AllocatorOptions.improved_chaitin()
+
+    def target():
+        return allocate_program(program, rf, options)
+
+    allocation = benchmark(target)
+    total_instrs = sum(
+        fa.func.size() for fa in allocation.functions.values()
+    )
+    benchmark.extra_info["instructions"] = total_instrs
+    assert allocation.functions

@@ -1,0 +1,14 @@
+"""Benchmark: the static-information penalty (companion-TR question)."""
+
+from repro.eval.experiments import static_penalty
+
+
+def test_static_penalty(run_experiment):
+    result = run_experiment("static_penalty", static_penalty)
+    import math
+
+    for (program, _), ratios in result.series.items():
+        # Profiles rarely lose (small static luck is possible); the
+        # penalty is unbounded in principle (static can miss a nearly
+        # overhead-free allocation, e.g. gcc's 100x cell) but finite.
+        assert all(r >= 0.7 and math.isfinite(r) for r in ratios), program

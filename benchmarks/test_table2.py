@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 2 (optimistic vs base, static info)."""
+
+from repro.eval import table2
+
+
+def test_table2(run_experiment):
+    result = run_experiment("table2", table2)
+    assert len(result.series) == 14
+    # Optimistic coloring is a small effect either way.
+    for (_, _), ratios in result.series.items():
+        assert all(0.1 < r < 10.0 for r in ratios)

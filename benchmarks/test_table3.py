@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 3 (optimistic vs base, dynamic info)."""
+
+from repro.eval import table3
+
+
+def test_table3(run_experiment):
+    result = run_experiment("table3", table3)
+    assert len(result.series) == 14
+    flat = [r for ratios in result.series.values() for r in ratios]
+    near_one = sum(0.9 <= r <= 1.1 for r in flat)
+    assert near_one >= len(flat) * 0.5

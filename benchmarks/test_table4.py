@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 4 (execution-time speedups)."""
+
+from repro.eval import table4
+
+
+def test_table4(run_experiment):
+    result = run_experiment("table4", table4)
+    for program in ("compress", "eqntott", "li", "sc"):
+        assert result.speedups[program] > 0.0
+    assert abs(result.speedups["spice"]) < 1.0

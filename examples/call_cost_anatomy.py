@@ -1,0 +1,67 @@
+"""The paper's motivating observation, reproduced on one workload.
+
+Run with::
+
+    python examples/call_cost_anatomy.py [workload]
+
+Figure 2 of the paper shows that giving the register allocator more
+registers drives the *spill* cost to zero — but the *call* cost
+(caller-save saves/restores around calls plus callee-save
+saves/restores at entry/exit) persists and comes to dominate.  This
+example prints the overhead decomposition of the base Chaitin
+allocator across the register sweep, then shows what the three
+call-cost directed improvements leave of it.
+"""
+
+import sys
+
+from repro.eval import measure
+from repro.eval.render import render_table
+from repro.machine import mips_sweep
+from repro.regalloc import AllocatorOptions
+
+
+def decomposition_rows(workload: str, options, configs):
+    rows = []
+    overheads = [measure(workload, options, c, "dynamic") for c in configs]
+    for component in ("spill", "caller_save", "callee_save", "shuffle", "total"):
+        rows.append(
+            [component]
+            + [f"{getattr(o, component):.0f}" for o in overheads]
+        )
+    return rows
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "eqntott"
+    configs = mips_sweep()[:8]
+    header = ["component"] + [str(c) for c in configs]
+
+    print(
+        render_table(
+            f"{workload}: base Chaitin overhead by component",
+            header,
+            decomposition_rows(workload, AllocatorOptions.base_chaitin(), configs),
+        )
+    )
+    print()
+    print(
+        render_table(
+            f"{workload}: improved Chaitin (SC+BS+PR) overhead by component",
+            header,
+            decomposition_rows(
+                workload, AllocatorOptions.improved_chaitin(), configs
+            ),
+        )
+    )
+    print(
+        "\nReading guide: under the base model the spill row collapses "
+        "as registers grow\nwhile the caller-save row persists — the "
+        "call cost dominates.  The improved\nallocator redirects hot "
+        "call-crossing live ranges into callee-save registers\n(or "
+        "spills them when even that loses), collapsing the call cost too."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Compare every allocator on one SPEC92 stand-in across the sweep.
+
+Run with::
+
+    python examples/compare_allocators.py [workload]
+
+Prints total overhead-operation counts for base Chaitin, optimistic,
+improved Chaitin (SC+BS+PR), priority-based and CBH coloring, at each
+register configuration of the canonical sweep — the cross-allocator
+view the paper's evaluation sections are built from.
+"""
+
+import sys
+
+from repro.eval import measure
+from repro.eval.render import render_table
+from repro.machine import mips_sweep
+from repro.regalloc import AllocatorOptions
+
+ALLOCATORS = [
+    ("base", AllocatorOptions.base_chaitin()),
+    ("optimistic", AllocatorOptions.optimistic_coloring()),
+    ("improved", AllocatorOptions.improved_chaitin()),
+    ("priority", AllocatorOptions.priority_based()),
+    ("CBH", AllocatorOptions.cbh()),
+]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "ear"
+    configs = mips_sweep()[:8]
+
+    rows = []
+    for label, options in ALLOCATORS:
+        row = [label]
+        for config in configs:
+            overhead = measure(workload, options, config, "dynamic")
+            row.append(f"{overhead.total:.0f}")
+        rows.append(row)
+
+    header = ["allocator"] + [str(c) for c in configs]
+    print(
+        render_table(
+            f"total overhead operations for {workload!r} (dynamic info)",
+            header,
+            rows,
+        )
+    )
+    print(
+        "\nNote how the improved allocator pulls ahead once spilling "
+        "stops being the bottleneck,\nand how CBH struggles while "
+        "callee-save registers are scarce."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — Call-Cost Directed Register Allocation (Lueh & Gross, PLDI 1997).
+
+A complete reproduction of the paper's system: a mini-C compiler
+substrate, a Chaitin-style register-allocation framework with the
+paper's three enhancements (storage-class analysis, benefit-driven
+simplification, preference decision), the comparison allocators
+(optimistic, priority-based, CBH), 14 synthetic SPEC92 stand-ins, and
+experiment drivers for every table and figure of the evaluation.
+
+Start with :mod:`repro.core` for the public API, or run
+``python examples/quickstart.py``.
+"""
+
+__version__ = "0.1.0"
+
+from repro.core import (
+    AllocationOutcome,
+    AllocatorOptions,
+    Overhead,
+    RegisterConfig,
+    allocate,
+    compile_source,
+)
+
+__all__ = [
+    "AllocationOutcome",
+    "AllocatorOptions",
+    "Overhead",
+    "RegisterConfig",
+    "allocate",
+    "compile_source",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Dataflow and control-flow analyses over the repro IR."""
+
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.cfg import (
+    reachable_blocks,
+    remove_unreachable,
+    reverse_postorder,
+    rpo_index,
+)
+from repro.analysis.dominators import dominates, immediate_dominators
+from repro.analysis.frequency import LOOP_MULTIPLIER, BlockWeights, static_weights
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.loops import Loop, find_loops, loop_depths
+from repro.analysis.reaching import DefSite, ReachingDefs, UseSite, compute_reaching_defs
+
+__all__ = [
+    "BlockWeights",
+    "CallGraph",
+    "build_call_graph",
+    "DefSite",
+    "LOOP_MULTIPLIER",
+    "LivenessInfo",
+    "Loop",
+    "ReachingDefs",
+    "UseSite",
+    "compute_liveness",
+    "compute_reaching_defs",
+    "dominates",
+    "find_loops",
+    "immediate_dominators",
+    "loop_depths",
+    "reachable_blocks",
+    "remove_unreachable",
+    "reverse_postorder",
+    "rpo_index",
+    "static_weights",
+]

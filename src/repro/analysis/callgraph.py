@@ -1,0 +1,105 @@
+"""Call-graph construction, SCCs and bottom-up ordering.
+
+Used by the interprocedural save-elision extension: functions are
+allocated callees-first so each caller can consult its callees'
+register-clobber summaries; functions in a call-graph cycle
+(recursion) share conservative summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.ir.function import Program
+from repro.ir.instructions import Call
+
+
+@dataclass
+class CallGraph:
+    """Who calls whom, plus the SCC condensation."""
+
+    #: function name -> names of functions it calls (directly).
+    callees: Dict[str, Set[str]] = field(default_factory=dict)
+    #: function name -> names of its direct callers.
+    callers: Dict[str, Set[str]] = field(default_factory=dict)
+    #: strongly connected components, in reverse topological order
+    #: (callees before callers).
+    sccs: List[List[str]] = field(default_factory=list)
+
+    def is_recursive(self, name: str) -> bool:
+        """True when ``name`` sits on a call-graph cycle (incl. self)."""
+        for scc in self.sccs:
+            if name in scc:
+                return len(scc) > 1 or name in self.callees.get(name, ())
+        return False
+
+    def bottom_up(self) -> List[str]:
+        """Function names, every callee before any of its callers."""
+        return [name for scc in self.sccs for name in scc]
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    """Build the call graph of ``program`` (all callees are resolved)."""
+    graph = CallGraph()
+    for name, func in program.functions.items():
+        graph.callees.setdefault(name, set())
+        graph.callers.setdefault(name, set())
+    for name, func in program.functions.items():
+        for instr in func.instructions():
+            if isinstance(instr, Call):
+                graph.callees[name].add(instr.callee)
+                graph.callers.setdefault(instr.callee, set()).add(name)
+    graph.sccs = _tarjan_sccs(graph.callees)
+    return graph
+
+
+def _tarjan_sccs(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan's SCC algorithm (iterative); emits SCCs callees-first."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+
+    for name in sorted(edges):
+        if name not in index:
+            strongconnect(name)
+    return sccs

@@ -1,0 +1,56 @@
+"""Control-flow-graph helpers: orderings and reachability."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import BasicBlock, Function
+
+
+def reverse_postorder(func: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder of a DFS from the entry.
+
+    Unreachable blocks are omitted; most analyses iterate over this
+    order because forward dataflow converges fastest on it.
+    """
+    visited: Set[BasicBlock] = set()
+    postorder: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        # Iterative DFS to survive deep CFGs without hitting the
+        # Python recursion limit.
+        stack = [(block, iter(block.successors()))]
+        visited.add(block)
+        while stack:
+            current, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    visit(func.entry)
+    return list(reversed(postorder))
+
+
+def reachable_blocks(func: Function) -> Set[BasicBlock]:
+    """The set of blocks reachable from the entry."""
+    return set(reverse_postorder(func))
+
+
+def rpo_index(func: Function) -> Dict[BasicBlock, int]:
+    """Map each reachable block to its reverse-postorder position."""
+    return {block: i for i, block in enumerate(reverse_postorder(func))}
+
+
+def remove_unreachable(func: Function) -> int:
+    """Drop unreachable blocks from ``func``; returns how many."""
+    reachable = reachable_blocks(func)
+    before = len(func.blocks)
+    func.blocks = [b for b in func.blocks if b in reachable]
+    return before - len(func.blocks)

@@ -1,0 +1,77 @@
+"""Iterative backward liveness analysis.
+
+Produces per-block live-in / live-out sets over virtual registers.
+The interference-graph builder walks each block backwards from the
+live-out set, which is the classic Chaitin construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.analysis.cfg import reverse_postorder
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Instr
+from repro.ir.values import VReg
+
+
+@dataclass
+class LivenessInfo:
+    """Result of liveness analysis for one function."""
+
+    live_in: Dict[BasicBlock, FrozenSet[VReg]]
+    live_out: Dict[BasicBlock, FrozenSet[VReg]]
+
+    def live_across(self, block: BasicBlock) -> Iterator[Tuple[Instr, Set[VReg]]]:
+        """Yield ``(instr, live_after)`` pairs walking ``block`` backwards.
+
+        ``live_after`` is the set of registers live immediately *after*
+        each instruction; mutating the yielded set is not allowed (a
+        fresh copy is yielded each step).
+        """
+        live: Set[VReg] = set(self.live_out[block])
+        for instr in reversed(block.instrs):
+            yield instr, set(live)
+            live.difference_update(instr.defs())
+            live.update(instr.uses())
+
+
+def compute_liveness(func: Function) -> LivenessInfo:
+    """Run the standard backward dataflow to a fixed point."""
+    blocks = reverse_postorder(func)
+    use_sets: Dict[BasicBlock, Set[VReg]] = {}
+    def_sets: Dict[BasicBlock, Set[VReg]] = {}
+    for block in blocks:
+        uses: Set[VReg] = set()
+        defs: Set[VReg] = set()
+        for instr in block.instrs:
+            for reg in instr.uses():
+                if reg not in defs:
+                    uses.add(reg)
+            defs.update(instr.defs())
+        use_sets[block] = uses
+        def_sets[block] = defs
+
+    live_in: Dict[BasicBlock, Set[VReg]] = {b: set() for b in blocks}
+    live_out: Dict[BasicBlock, Set[VReg]] = {b: set() for b in blocks}
+    # Iterate in postorder (reverse of RPO) for fast convergence of the
+    # backward problem.
+    order: List[BasicBlock] = list(reversed(blocks))
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            out: Set[VReg] = set()
+            for succ in block.successors():
+                out |= live_in[succ]
+            new_in = use_sets[block] | (out - def_sets[block])
+            if out != live_out[block] or new_in != live_in[block]:
+                live_out[block] = out
+                live_in[block] = new_in
+                changed = True
+
+    return LivenessInfo(
+        live_in={b: frozenset(s) for b, s in live_in.items()},
+        live_out={b: frozenset(s) for b, s in live_out.items()},
+    )

@@ -1,0 +1,64 @@
+"""Natural-loop discovery and loop-nesting depth.
+
+A back edge is a CFG edge ``tail -> head`` where ``head`` dominates
+``tail``; its natural loop is ``head`` plus every block that can reach
+``tail`` without passing through ``head``.  Nesting depth per block is
+the number of distinct loop headers whose loops contain it, which feeds
+the ``10^depth`` static frequency estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.analysis.cfg import reverse_postorder
+from repro.analysis.dominators import dominates, immediate_dominators
+from repro.ir.function import BasicBlock, Function
+
+
+@dataclass
+class Loop:
+    """One natural loop: its header and member blocks (header included)."""
+
+    header: BasicBlock
+    blocks: Set[BasicBlock] = field(default_factory=set)
+
+    def __contains__(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    def __repr__(self) -> str:
+        return f"<loop @{self.header.name}, {len(self.blocks)} blocks>"
+
+
+def find_loops(func: Function) -> List[Loop]:
+    """All natural loops of ``func``; loops sharing a header are merged."""
+    idom = immediate_dominators(func)
+    preds = func.predecessors()
+    loops: Dict[BasicBlock, Loop] = {}
+    for block in reverse_postorder(func):
+        for succ in block.successors():
+            if dominates(idom, succ, block):
+                loop = loops.setdefault(succ, Loop(header=succ, blocks={succ}))
+                _collect(loop, block, preds)
+    return list(loops.values())
+
+
+def _collect(loop: Loop, tail: BasicBlock, preds) -> None:
+    """Add to ``loop`` every block reaching ``tail`` without the header."""
+    worklist = [tail]
+    while worklist:
+        block = worklist.pop()
+        if block in loop.blocks:
+            continue
+        loop.blocks.add(block)
+        worklist.extend(preds[block])
+
+
+def loop_depths(func: Function) -> Dict[BasicBlock, int]:
+    """Loop-nesting depth of every reachable block (0 = not in a loop)."""
+    depths = {block: 0 for block in reverse_postorder(func)}
+    for loop in find_loops(func):
+        for block in loop.blocks:
+            depths[block] += 1
+    return depths

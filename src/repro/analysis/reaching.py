@@ -1,0 +1,94 @@
+"""Reaching definitions and def-use chains.
+
+The register allocator's live ranges are *webs*: maximal groups of
+definitions and uses connected through def-use chains.  This module
+supplies the chains; web construction itself (a union-find over them)
+lives in :mod:`repro.regalloc.liverange`.
+
+A definition site is identified as ``(block, index)`` where ``index``
+is the instruction's position in the block; function parameters are
+modelled as definitions at the virtual site ``(entry, -1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.cfg import reverse_postorder
+from repro.ir.function import BasicBlock, Function
+from repro.ir.values import VReg
+
+#: A definition site: (block, instruction index); index -1 means
+#: "parameter, defined at function entry".
+DefSite = Tuple[BasicBlock, int]
+#: A use site: (block, instruction index).
+UseSite = Tuple[BasicBlock, int]
+
+
+@dataclass
+class ReachingDefs:
+    """Reaching-definition information for one function.
+
+    ``def_sites``  — every definition site of every register.
+    ``use_chains`` — for every use site and register, the definition
+    sites that reach it.
+    """
+
+    def_sites: Dict[VReg, List[DefSite]]
+    use_chains: Dict[Tuple[UseSite, VReg], FrozenSet[DefSite]]
+
+
+def compute_reaching_defs(func: Function) -> ReachingDefs:
+    """Standard forward may-analysis over definition sites."""
+    blocks = reverse_postorder(func)
+
+    def_sites: Dict[VReg, List[DefSite]] = {}
+    # Per-block: the final definition site of each register defined in
+    # the block (gen after kill), used for the block-level dataflow.
+    gen: Dict[BasicBlock, Dict[VReg, DefSite]] = {}
+    for block in blocks:
+        last: Dict[VReg, DefSite] = {}
+        for i, instr in enumerate(block.instrs):
+            for reg in instr.defs():
+                site = (block, i)
+                def_sites.setdefault(reg, []).append(site)
+                last[reg] = site
+        gen[block] = last
+    for param in func.params:
+        def_sites.setdefault(param, []).insert(0, (func.entry, -1))
+
+    # in_defs[b][reg] = set of def sites of reg reaching entry of b.
+    in_defs: Dict[BasicBlock, Dict[VReg, Set[DefSite]]] = {b: {} for b in blocks}
+    for param in func.params:
+        in_defs[func.entry].setdefault(param, set()).add((func.entry, -1))
+
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            out: Dict[VReg, Set[DefSite]] = {
+                reg: set(sites) for reg, sites in in_defs[block].items()
+            }
+            for reg, site in gen[block].items():
+                out[reg] = {site}
+            for succ in block.successors():
+                succ_in = in_defs[succ]
+                for reg, sites in out.items():
+                    have = succ_in.setdefault(reg, set())
+                    if not sites <= have:
+                        have |= sites
+                        changed = True
+
+    use_chains: Dict[Tuple[UseSite, VReg], FrozenSet[DefSite]] = {}
+    for block in blocks:
+        current: Dict[VReg, Set[DefSite]] = {
+            reg: set(sites) for reg, sites in in_defs[block].items()
+        }
+        for i, instr in enumerate(block.instrs):
+            for reg in instr.uses():
+                use_chains[((block, i), reg)] = frozenset(current.get(reg, ()))
+            for reg in instr.defs():
+                current[reg] = {(block, i)}
+
+    return ReachingDefs(def_sites=def_sites, use_chains=use_chains)

@@ -1,0 +1,293 @@
+"""Command-line interface.
+
+::
+
+    python -m repro compile FILE [--optimize]         # show the IR
+    python -m repro run FILE [--main NAME]            # execute a program
+    python -m repro allocate FILE --config 6,4,2,2    # allocate + report
+    python -m repro workloads                         # list the stand-ins
+    python -m repro sweep WORKLOAD                    # allocators x sweep
+    python -m repro experiment NAME                   # regenerate a figure
+
+Every command takes mini-C source files; see README.md for the
+language and the allocator names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.eval import experiments as exp
+from repro.eval.overhead import program_overhead
+from repro.eval.render import render_table
+from repro.ir import format_program
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, mips_sweep, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import AllocatorOptions, allocate_program
+
+ALLOCATORS = {
+    "base": AllocatorOptions.base_chaitin,
+    "optimistic": AllocatorOptions.optimistic_coloring,
+    "improved": AllocatorOptions.improved_chaitin,
+    "improved-optimistic": AllocatorOptions.improved_optimistic,
+    "priority": AllocatorOptions.priority_based,
+    "cbh": AllocatorOptions.cbh,
+}
+
+EXPERIMENTS = {
+    "figure2": exp.figure2,
+    "figure6": exp.figure6,
+    "figure7": exp.figure7,
+    "figure9": exp.figure9,
+    "figure10": exp.figure10,
+    "figure11": exp.figure11,
+    "table2": exp.table2,
+    "table3": exp.table3,
+    "table4": exp.table4,
+    "ablation-callee-model": exp.ablation_callee_model,
+    "ablation-bs-key": exp.ablation_bs_key,
+    "ablation-priority-order": exp.ablation_priority_order,
+    "ablation-optimized-ir": exp.ablation_optimized_ir,
+    "ablation-remat": exp.ablation_rematerialization,
+    "ablation-spill-metric": exp.ablation_spill_metric,
+    "ablation-ipra": exp.ablation_ipra,
+    "static-penalty": exp.static_penalty,
+}
+
+
+def _parse_config(text: str) -> RegisterConfig:
+    try:
+        parts = [int(p) for p in text.replace("(", "").replace(")", "").split(",")]
+        if len(parts) != 4:
+            raise ValueError
+        return RegisterConfig(*parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"config must be 'Ri,Rf,Ei,Ef' (e.g. 6,4,2,2), got {text!r}"
+        ) from None
+
+
+def _load_program(path: str, optimize: bool = False):
+    """Load mini-C (``.mc``/anything else) or textual IR (``.ir``)."""
+    source = Path(path).read_text()
+    if Path(path).suffix == ".ir":
+        from repro.ir import parse_ir, verify_program
+
+        program = parse_ir(source, name=Path(path).stem)
+        verify_program(program)
+    else:
+        program = compile_source(source, name=Path(path).stem)
+    if optimize:
+        from repro.opt import optimize_program
+
+        optimize_program(program)
+    return program
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_compile(args) -> int:
+    program = _load_program(args.file, optimize=args.optimize)
+    print(format_program(program))
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args.file, optimize=args.optimize)
+    result = run_program(program, args.main, fuel=args.fuel)
+    if result.return_value is not None:
+        print(f"return value: {result.return_value}")
+    print(f"instructions executed: {result.instructions_executed}")
+    for name, values in sorted(result.globals_state.items()):
+        shown = ", ".join(str(v) for v in values[:8])
+        suffix = ", ..." if len(values) > 8 else ""
+        print(f"@{name} = [{shown}{suffix}]")
+    return 0
+
+
+def cmd_allocate(args) -> int:
+    program = _load_program(args.file, optimize=args.optimize)
+    profile = run_program(program, fuel=args.fuel).profile
+    options = ALLOCATORS[args.allocator]()
+    weights_for = (
+        profile.weights if args.info == "dynamic" else None
+    )
+    rf = register_file(args.config)
+    allocation = allocate_program(program, rf, options, weights_for)
+    overhead = program_overhead(allocation, profile)
+
+    print(f"allocator: {options.label}   register file: {args.config}")
+    print(
+        f"overhead: total={overhead.total:.0f} (spill={overhead.spill:.0f}, "
+        f"caller-save={overhead.caller_save:.0f}, "
+        f"callee-save={overhead.callee_save:.0f}, "
+        f"shuffle={overhead.shuffle:.0f})"
+    )
+    for name, fa in allocation.functions.items():
+        spilled = ", ".join(repr(r) for r in fa.spilled) or "none"
+        print(
+            f"\n{name}: {len(fa.assignment)} ranges in registers, "
+            f"{fa.iterations} iteration(s), spilled: {spilled}"
+        )
+        if args.show_assignment:
+            for reg, phys in sorted(fa.assignment.items(), key=lambda x: x[0].id):
+                print(f"    {reg!r:24} -> {phys.name}")
+    if args.dot:
+        func_name, _, dot_path = args.dot.partition(":")
+        if not dot_path:
+            raise SystemExit("--dot expects FUNC:PATH")
+        from repro.analysis.frequency import static_weights
+        from repro.regalloc import build_interference, to_dot
+
+        fa = allocation.functions[func_name]
+        graph, infos = build_interference(
+            fa.func, static_weights(fa.func), set()
+        )
+        Path(dot_path).write_text(
+            to_dot(graph, infos, fa.assignment, title=func_name) + "\n"
+        )
+        print(f"\ninterference graph written to {dot_path}")
+    if args.verify:
+        mech = run_allocated(allocation, fuel=args.fuel * 4)
+        baseline = run_program(program, fuel=args.fuel)
+        same = mech.globals_state == baseline.globals_state
+        print(f"\nexecution check: {'PASS' if same else 'FAIL'}")
+        return 0 if same else 1
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    from repro.workloads import get_workload, workload_names
+
+    rows = []
+    for name in workload_names():
+        workload = get_workload(name)
+        rows.append([name, ", ".join(workload.traits), workload.description])
+    print(render_table("SPEC92 stand-in workloads", ["name", "traits", "description"], rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.eval import measure
+
+    configs = mips_sweep()
+    if args.short:
+        configs = configs[:6]
+    names = args.allocators or list(ALLOCATORS)
+    rows = []
+    for alloc_name in names:
+        options = ALLOCATORS[alloc_name]()
+        row = [alloc_name]
+        for config in configs:
+            overhead = measure(args.workload, options, config, args.info)
+            row.append(f"{overhead.total:.0f}")
+        rows.append(row)
+    header = ["allocator"] + [str(c) for c in configs]
+    print(
+        render_table(
+            f"total overhead for {args.workload!r} ({args.info} info)",
+            header,
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        result = EXPERIMENTS[name]()
+        text = result.render()
+        print(text)
+        print()
+        if args.out:
+            target = Path(args.out)
+            if len(names) > 1:
+                target.mkdir(parents=True, exist_ok=True)
+                (target / f"{name.replace('-', '_')}.txt").write_text(text + "\n")
+            else:
+                target.write_text(text + "\n")
+    if args.out:
+        print(f"written to {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Call-cost directed register allocation (PLDI 1997) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile mini-C and print the IR")
+    p.add_argument("file")
+    p.add_argument("--optimize", action="store_true", help="run the optimizer")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="execute a mini-C program")
+    p.add_argument("file")
+    p.add_argument("--main", default="main", help="entry function")
+    p.add_argument("--fuel", type=int, default=50_000_000)
+    p.add_argument("--optimize", action="store_true")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("allocate", help="allocate registers and report overhead")
+    p.add_argument("file")
+    p.add_argument("--config", type=_parse_config, default=RegisterConfig(6, 4, 2, 2))
+    p.add_argument("--allocator", choices=sorted(ALLOCATORS), default="improved")
+    p.add_argument("--info", choices=["static", "dynamic"], default="dynamic")
+    p.add_argument("--show-assignment", action="store_true")
+    p.add_argument("--verify", action="store_true",
+                   help="re-execute the allocated code and compare")
+    p.add_argument("--dot",
+                   help="write the annotated interference graph of a "
+                        "function to this DOT file (FUNC:PATH)")
+    p.add_argument("--optimize", action="store_true")
+    p.add_argument("--fuel", type=int, default=50_000_000)
+    p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser("workloads", help="list the SPEC92 stand-ins")
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("sweep", help="compare allocators over the register sweep")
+    p.add_argument("workload")
+    p.add_argument("--allocators", nargs="*", choices=sorted(ALLOCATORS))
+    p.add_argument("--info", choices=["static", "dynamic"], default="dynamic")
+    p.add_argument("--short", action="store_true", help="first 6 configs only")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("experiment", help="regenerate a table or figure")
+    p.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    p.add_argument(
+        "--out",
+        help="write the rendering to a file (a directory when name=all)",
+    )
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; standard
+        # CLI etiquette is to exit quietly.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""The public API of the reproduction.
+
+Typical use::
+
+    from repro.core import compile_source, allocate, AllocatorOptions
+
+    program = compile_source(source_text)
+    result = allocate(program, config=(8, 6, 2, 2),
+                      options=AllocatorOptions.improved_chaitin())
+    print(result.overhead)
+
+``allocate`` compiles the call-cost directed register allocator's
+whole pipeline: profile the program, clone it, allocate every
+function, and evaluate the overhead against the profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.analysis.frequency import static_weights
+from repro.eval.overhead import Overhead, program_overhead
+from repro.ir.function import Program
+from repro.lang.lower import compile_source
+from repro.machine.registers import RegisterConfig, RegisterFile
+from repro.profile.interp import run_program
+from repro.profile.profile import Profile
+from repro.regalloc.framework import ProgramAllocation, allocate_program
+from repro.regalloc.options import AllocatorOptions
+
+ConfigLike = Union[RegisterConfig, Sequence[int]]
+
+
+@dataclass
+class AllocationOutcome:
+    """Everything :func:`allocate` produces for one program."""
+
+    allocation: ProgramAllocation
+    profile: Profile
+    overhead: Overhead
+
+    @property
+    def program(self) -> Program:
+        """The allocated (rewritten) program."""
+        return self.allocation.program
+
+
+def _as_config(config: ConfigLike) -> RegisterConfig:
+    if isinstance(config, RegisterConfig):
+        return config
+    return RegisterConfig(*config)
+
+
+def allocate(
+    program: Program,
+    config: ConfigLike,
+    options: Optional[AllocatorOptions] = None,
+    info: str = "dynamic",
+    profile: Optional[Profile] = None,
+) -> AllocationOutcome:
+    """Allocate registers for ``program`` and evaluate the overhead.
+
+    ``info`` selects the frequency information the allocator uses:
+    ``"dynamic"`` runs the program once to gather an exact profile
+    (or uses the one supplied), ``"static"`` uses loop-depth
+    estimates.  The overhead is always evaluated against the profile.
+    """
+    if options is None:
+        options = AllocatorOptions.improved_chaitin()
+    if profile is None:
+        profile = run_program(program).profile
+    if info == "dynamic":
+        weights_for = profile.weights
+    elif info == "static":
+        weights_for = static_weights
+    else:
+        raise ValueError(f"info must be 'static' or 'dynamic', got {info!r}")
+    allocation = allocate_program(
+        program, RegisterFile(_as_config(config)), options, weights_for
+    )
+    return AllocationOutcome(
+        allocation=allocation,
+        profile=profile,
+        overhead=program_overhead(allocation, profile),
+    )
+
+
+__all__ = [
+    "AllocationOutcome",
+    "AllocatorOptions",
+    "Overhead",
+    "RegisterConfig",
+    "allocate",
+    "compile_source",
+]

@@ -1,0 +1,74 @@
+"""Evaluation: overhead accounting, cycle model, experiment drivers."""
+
+from repro.eval.cycles import (
+    function_cycles,
+    instr_cycles,
+    program_cycles,
+    speedup_percent,
+)
+from repro.eval.experiments import (
+    ALL_PROGRAMS,
+    SpeedupResult,
+    StackedResult,
+    SweepResult,
+    ablation_bs_key,
+    ablation_callee_model,
+    ablation_priority_order,
+    figure2,
+    figure6,
+    figure7,
+    figure9,
+    figure10,
+    figure11,
+    table2,
+    table3,
+    table4,
+)
+from repro.eval.overhead import (
+    Overhead,
+    function_overhead,
+    overhead_by_function,
+    program_overhead,
+)
+from repro.eval.render import format_value, render_table
+from repro.eval.runner import (
+    allocate_workload,
+    clear_caches,
+    measure,
+    measure_cycles,
+    overhead_ratio,
+)
+
+__all__ = [
+    "ALL_PROGRAMS",
+    "Overhead",
+    "SpeedupResult",
+    "StackedResult",
+    "SweepResult",
+    "ablation_bs_key",
+    "ablation_callee_model",
+    "ablation_priority_order",
+    "allocate_workload",
+    "clear_caches",
+    "figure10",
+    "figure11",
+    "figure2",
+    "figure6",
+    "figure7",
+    "figure9",
+    "format_value",
+    "function_cycles",
+    "function_overhead",
+    "instr_cycles",
+    "measure",
+    "measure_cycles",
+    "overhead_by_function",
+    "overhead_ratio",
+    "program_cycles",
+    "program_overhead",
+    "render_table",
+    "speedup_percent",
+    "table2",
+    "table3",
+    "table4",
+]

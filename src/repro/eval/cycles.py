@@ -1,0 +1,115 @@
+"""A simple MIPS-flavoured cycle model (for the Table 4 speedups).
+
+The paper reports execution-time speedups measured on a DECstation
+5000; we substitute an analytic cycle model over the final allocated
+code, weighted by the exact profile.  Costs (documented, not tuned):
+
+==================  ======
+operation           cycles
+==================  ======
+ALU / copy / move   1
+load (any kind)     2
+store (any kind)    2
+integer mul         2
+integer div / mod   8
+float div           12
+branch / jump       1
+call (per site)     2
+==================  ======
+
+A ``Copy`` whose operands landed in the same physical register costs
+nothing (the assembler would delete it).  Total program cycles are the
+sum over functions of per-block cycles times block execution counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.frequency import BlockWeights
+from repro.ir.instructions import (
+    BinaryOpcode,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Instr,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    UnaryOp,
+)
+from repro.profile.profile import Profile
+from repro.regalloc.framework import FunctionAllocation, ProgramAllocation
+from repro.regalloc.spillinstr import SpillLoad, SpillStore
+
+LOAD_CYCLES = 2
+STORE_CYCLES = 2
+INT_MUL_CYCLES = 2
+INT_DIV_CYCLES = 8
+FLOAT_DIV_CYCLES = 12
+CALL_CYCLES = 2
+
+
+def instr_cycles(instr: Instr, allocation: FunctionAllocation) -> int:
+    """Cycle cost of one instruction under the model above."""
+    if isinstance(instr, (Load, SpillLoad)):
+        return LOAD_CYCLES
+    if isinstance(instr, (Store, SpillStore)):
+        return STORE_CYCLES
+    if isinstance(instr, Copy):
+        same = (
+            allocation.assignment[instr.dst] == allocation.assignment[instr.src]
+        )
+        return 0 if same else 1
+    if isinstance(instr, BinOp):
+        if instr.op is BinaryOpcode.MUL and not instr.dst.vtype.is_float:
+            return INT_MUL_CYCLES
+        if instr.op in (BinaryOpcode.DIV, BinaryOpcode.MOD):
+            return (
+                FLOAT_DIV_CYCLES if instr.dst.vtype.is_float else INT_DIV_CYCLES
+            )
+        return 1
+    if isinstance(instr, Call):
+        return CALL_CYCLES
+    if isinstance(instr, (Const, UnaryOp, Branch, Jump, Ret)):
+        return 1
+    return 1
+
+
+def function_cycles(
+    allocation: FunctionAllocation, counts: BlockWeights
+) -> float:
+    total = 0.0
+    for block in allocation.func.blocks:
+        weight = counts.weight(block)
+        if weight == 0.0:
+            continue
+        block_cycles = sum(
+            instr_cycles(instr, allocation) for instr in block.instrs
+        )
+        total += weight * block_cycles
+    return total
+
+
+def program_cycles(allocation: ProgramAllocation, profile: Profile) -> float:
+    """Total modelled cycles of an allocated program under a profile."""
+    total = 0.0
+    for name, fa in allocation.functions.items():
+        record = allocation.clone.functions[name]
+        counts = BlockWeights(
+            weights={
+                clone_block: float(profile.count(orig_block))
+                for orig_block, clone_block in record.block_map.items()
+            },
+            entry_weight=float(profile.entries(name)),
+        )
+        total += function_cycles(fa, counts)
+    return total
+
+
+def speedup_percent(base_cycles: float, improved_cycles: float) -> float:
+    """Speedup of ``improved`` over ``base`` in percent (paper Table 4)."""
+    if improved_cycles == 0.0:
+        return 0.0
+    return (base_cycles - improved_cycles) / improved_cycles * 100.0

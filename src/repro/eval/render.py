@@ -1,0 +1,34 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_value(value: float) -> str:
+    if value == float("inf"):
+        return "inf"
+    if abs(value) >= 10000:
+        return f"{value:.3g}"
+    return f"{value:.2f}"
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """Render an aligned ASCII table with a title line."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-" * len(line(header))
+    parts: List[str] = [title, separator, line(header), separator]
+    parts.extend(line(row) for row in rows)
+    parts.append(separator)
+    return "\n".join(parts)

@@ -1,0 +1,98 @@
+"""The measurement workhorse shared by every experiment.
+
+``measure`` allocates one workload under one allocator, register
+configuration and information source, and returns the overhead
+breakdown evaluated against the workload's exact profile.  Results
+are memoized per process: the experiment drivers sweep overlapping
+grids, and an allocation is deterministic in its inputs.
+
+The *information source* (``static`` or ``dynamic``) controls the
+weights the **allocator** sees; measurement always uses the true
+profile, exactly as the paper measures dynamic overhead operations
+regardless of how the allocator estimated frequencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.eval.cycles import program_cycles
+from repro.eval.overhead import Overhead, program_overhead
+from repro.machine.mips import register_file
+from repro.machine.registers import RegisterConfig
+from repro.regalloc.framework import ProgramAllocation, allocate_program
+from repro.regalloc.options import AllocatorOptions
+from repro.workloads.registry import compile_workload
+
+INFO_SOURCES = ("static", "dynamic")
+
+_MeasureKey = Tuple[str, AllocatorOptions, RegisterConfig, str]
+_overhead_cache: Dict[_MeasureKey, Overhead] = {}
+_cycles_cache: Dict[_MeasureKey, float] = {}
+
+
+def allocate_workload(
+    name: str,
+    options: AllocatorOptions,
+    config: RegisterConfig,
+    info: str = "dynamic",
+) -> ProgramAllocation:
+    """Allocate one workload (uncached; most callers want ``measure``)."""
+    if info not in INFO_SOURCES:
+        raise ValueError(f"info must be one of {INFO_SOURCES}, got {info!r}")
+    compiled = compile_workload(name)
+    weights_for = (
+        compiled.dynamic_weights if info == "dynamic" else compiled.static_weights
+    )
+    return allocate_program(
+        compiled.program, register_file(config), options, weights_for
+    )
+
+
+def measure(
+    name: str,
+    options: AllocatorOptions,
+    config: RegisterConfig,
+    info: str = "dynamic",
+) -> Overhead:
+    """Overhead of ``name`` under the given allocator setup (cached)."""
+    key = (name, options, config, info)
+    cached = _overhead_cache.get(key)
+    if cached is None:
+        allocation = allocate_workload(name, options, config, info)
+        profile = compile_workload(name).profile
+        cached = program_overhead(allocation, profile)
+        _overhead_cache[key] = cached
+        _cycles_cache[key] = program_cycles(allocation, profile)
+    return cached
+
+
+def measure_cycles(
+    name: str,
+    options: AllocatorOptions,
+    config: RegisterConfig,
+    info: str = "dynamic",
+) -> float:
+    """Modelled execution cycles for the same setup (cached)."""
+    key = (name, options, config, info)
+    if key not in _cycles_cache:
+        measure(name, options, config, info)
+    return _cycles_cache[key]
+
+
+def overhead_ratio(base: Overhead, other: Overhead) -> float:
+    """``base.total / other.total`` with the paper's edge conventions.
+
+    Both zero means neither allocator produced overhead (ratio 1.0);
+    ``other`` zero alone means the improvement removed *all* overhead
+    (reported as ``inf``).
+    """
+    if other.total == 0.0:
+        return 1.0 if base.total == 0.0 else float("inf")
+    return base.total / other.total
+
+
+def clear_caches() -> None:
+    """Drop memoized measurements (used by benchmark fixtures)."""
+    _overhead_cache.clear()
+    _cycles_cache.clear()

@@ -1,0 +1,74 @@
+"""The repro IR: a three-address, virtual-register RISC-like code.
+
+Public surface:
+
+* :class:`ValueType` (with :data:`INT` / :data:`FLOAT` shorthands)
+* :class:`VReg`, :class:`GlobalArray`
+* instruction classes (:class:`Const`, :class:`BinOp`, ...)
+* :class:`BasicBlock`, :class:`Function`, :class:`Program`
+* :class:`IRBuilder` for construction
+* :func:`format_function` / :func:`format_program` for debugging
+* :func:`verify_function` / :func:`verify_program` for invariants
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.clone import FunctionClone, ProgramClone, clone_function, clone_program
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instructions import (
+    BinaryOpcode,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Instr,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    UnaryOp,
+    UnaryOpcode,
+)
+from repro.ir.printer import format_block, format_function, format_global, format_program
+from repro.ir.textparse import IRParseError, parse_ir
+from repro.ir.types import FLOAT, INT, ValueType
+from repro.ir.values import GlobalArray, VReg
+from repro.ir.verify import IRVerificationError, verify_function, verify_program
+
+__all__ = [
+    "BasicBlock",
+    "FunctionClone",
+    "ProgramClone",
+    "clone_function",
+    "clone_program",
+    "BinaryOpcode",
+    "BinOp",
+    "Branch",
+    "Call",
+    "Const",
+    "Copy",
+    "FLOAT",
+    "Function",
+    "GlobalArray",
+    "INT",
+    "IRBuilder",
+    "IRVerificationError",
+    "Instr",
+    "Jump",
+    "Load",
+    "Program",
+    "Ret",
+    "Store",
+    "UnaryOp",
+    "UnaryOpcode",
+    "ValueType",
+    "VReg",
+    "IRParseError",
+    "format_block",
+    "format_function",
+    "format_global",
+    "format_program",
+    "parse_ir",
+    "verify_function",
+    "verify_program",
+]

@@ -1,0 +1,135 @@
+"""Convenience builder for constructing IR by hand.
+
+The frontend lowers ASTs through this builder, and tests use it to
+construct small functions directly.  The builder tracks a current
+insertion block and provides one method per instruction kind, returning
+the destination register where there is one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    BinaryOpcode,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    UnaryOp,
+    UnaryOpcode,
+)
+from repro.ir.types import FLOAT, INT, ValueType
+from repro.ir.values import VReg
+
+
+class IRBuilder:
+    """Builds instructions into a function, one block at a time."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.block: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------
+    # block management
+    # ------------------------------------------------------------------
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        return self.func.new_block(hint)
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def start_block(self, hint: str = "bb") -> BasicBlock:
+        """Create a block and make it the insertion point."""
+        return self.set_block(self.new_block(hint))
+
+    @property
+    def terminated(self) -> bool:
+        """True when the current block already ends in a terminator."""
+        return self.block is not None and self.block.terminator is not None
+
+    def _emit(self, instr):
+        if self.block is None:
+            raise ValueError("no insertion block set")
+        return self.block.append(instr)
+
+    # ------------------------------------------------------------------
+    # value-producing instructions
+    # ------------------------------------------------------------------
+
+    def const(self, value, vtype: Optional[ValueType] = None, name: Optional[str] = None) -> VReg:
+        if vtype is None:
+            vtype = FLOAT if isinstance(value, float) else INT
+        dst = self.func.new_vreg(vtype, name)
+        self._emit(Const(dst, value))
+        return dst
+
+    def binop(self, op: BinaryOpcode, lhs: VReg, rhs: VReg, name: Optional[str] = None) -> VReg:
+        if lhs.vtype is not rhs.vtype:
+            raise ValueError(f"mixed-bank binop: {lhs} {op.value} {rhs}")
+        result_type = INT if op.is_comparison else lhs.vtype
+        dst = self.func.new_vreg(result_type, name)
+        self._emit(BinOp(op, dst, lhs, rhs))
+        return dst
+
+    def unop(self, op: UnaryOpcode, src: VReg, name: Optional[str] = None) -> VReg:
+        if op is UnaryOpcode.I2F:
+            result_type: ValueType = FLOAT
+        elif op is UnaryOpcode.F2I:
+            result_type = INT
+        else:
+            result_type = src.vtype
+        dst = self.func.new_vreg(result_type, name)
+        self._emit(UnaryOp(op, dst, src))
+        return dst
+
+    def copy(self, src: VReg, dst: Optional[VReg] = None, name: Optional[str] = None) -> VReg:
+        if dst is None:
+            dst = self.func.new_vreg(src.vtype, name)
+        self._emit(Copy(dst, src))
+        return dst
+
+    def copy_to(self, dst: VReg, src: VReg) -> VReg:
+        """Copy into an existing register (variable assignment)."""
+        self._emit(Copy(dst, src))
+        return dst
+
+    def load(self, array: str, index: VReg, vtype: ValueType, name: Optional[str] = None) -> VReg:
+        dst = self.func.new_vreg(vtype, name)
+        self._emit(Load(dst, array, index))
+        return dst
+
+    def store(self, array: str, index: VReg, value: VReg) -> None:
+        self._emit(Store(array, index, value))
+
+    def call(
+        self,
+        callee: str,
+        args: List[VReg],
+        return_type: Optional[ValueType] = None,
+        name: Optional[str] = None,
+    ) -> Optional[VReg]:
+        dst = self.func.new_vreg(return_type, name) if return_type is not None else None
+        self._emit(Call(dst, callee, args))
+        return dst
+
+    # ------------------------------------------------------------------
+    # terminators
+    # ------------------------------------------------------------------
+
+    def branch(self, cond: VReg, then_block: BasicBlock, else_block: BasicBlock) -> None:
+        self._emit(Branch(cond, then_block, else_block))
+
+    def jump(self, target: BasicBlock) -> None:
+        self._emit(Jump(target))
+
+    def ret(self, value: Optional[VReg] = None) -> None:
+        self._emit(Ret(value))

@@ -1,0 +1,119 @@
+"""Deep-cloning of IR functions and programs.
+
+Register allocation rewrites functions in place (spill code, save and
+restore code, coalesced copies), and the experiments allocate the same
+program under many allocators and register files.  Cloning gives every
+allocation run a private copy, with block/register maps so profiles
+gathered on the original can be carried over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Instr,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    UnaryOp,
+)
+from repro.ir.values import VReg
+
+
+@dataclass
+class FunctionClone:
+    """A cloned function plus the original-to-clone maps."""
+
+    func: Function
+    block_map: Dict[BasicBlock, BasicBlock]
+    vreg_map: Dict[VReg, VReg]
+
+
+@dataclass
+class ProgramClone:
+    """A cloned program plus per-function clone records."""
+
+    program: Program
+    functions: Dict[str, FunctionClone]
+
+
+def clone_function(func: Function) -> FunctionClone:
+    """Deep-copy ``func``: fresh blocks, instructions and registers."""
+    new_func = Function(
+        func.name,
+        param_types=[p.vtype for p in func.params],
+        return_type=func.return_type,
+        param_names=[p.name or f"arg{i}" for i, p in enumerate(func.params)],
+    )
+    vreg_map: Dict[VReg, VReg] = dict(zip(func.params, new_func.params))
+
+    def map_reg(reg: VReg) -> VReg:
+        mapped = vreg_map.get(reg)
+        if mapped is None:
+            mapped = new_func.new_vreg(reg.vtype, reg.name)
+            vreg_map[reg] = mapped
+        return mapped
+
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    for block in func.blocks:
+        new_block = BasicBlock(block.name)
+        block_map[block] = new_block
+        new_func.blocks.append(new_block)
+
+    for block in func.blocks:
+        new_block = block_map[block]
+        for instr in block.instrs:
+            new_block.instrs.append(_clone_instr(instr, map_reg, block_map))
+    return FunctionClone(func=new_func, block_map=block_map, vreg_map=vreg_map)
+
+
+def clone_program(program: Program) -> ProgramClone:
+    """Deep-copy ``program`` (globals are shared declarations, immutable)."""
+    new_program = Program(program.name)
+    for array in program.globals.values():
+        new_program.add_global(array)
+    clones: Dict[str, FunctionClone] = {}
+    for func in program.functions.values():
+        record = clone_function(func)
+        new_program.add_function(record.func)
+        clones[func.name] = record
+    return ProgramClone(program=new_program, functions=clones)
+
+
+def _clone_instr(instr: Instr, map_reg, block_map) -> Instr:
+    if isinstance(instr, Const):
+        return Const(map_reg(instr.dst), instr.value)
+    if isinstance(instr, BinOp):
+        return BinOp(instr.op, map_reg(instr.dst), map_reg(instr.lhs), map_reg(instr.rhs))
+    if isinstance(instr, UnaryOp):
+        return UnaryOp(instr.op, map_reg(instr.dst), map_reg(instr.src))
+    if isinstance(instr, Copy):
+        return Copy(map_reg(instr.dst), map_reg(instr.src))
+    if isinstance(instr, Load):
+        return Load(map_reg(instr.dst), instr.array, map_reg(instr.index))
+    if isinstance(instr, Store):
+        return Store(instr.array, map_reg(instr.index), map_reg(instr.value))
+    if isinstance(instr, Call):
+        dst = map_reg(instr.dst) if instr.dst is not None else None
+        return Call(dst, instr.callee, [map_reg(a) for a in instr.args])
+    if isinstance(instr, Branch):
+        return Branch(
+            map_reg(instr.cond),
+            block_map[instr.then_block],
+            block_map[instr.else_block],
+        )
+    if isinstance(instr, Jump):
+        return Jump(block_map[instr.target])
+    if isinstance(instr, Ret):
+        value = map_reg(instr.value) if instr.value is not None else None
+        return Ret(value)
+    raise TypeError(f"cannot clone {instr!r}")

@@ -1,0 +1,175 @@
+"""Basic blocks, functions and programs.
+
+A ``Function`` owns an ordered list of ``BasicBlock``s whose first
+element is the entry block.  Virtual registers are allocated through
+the function (``new_vreg``) so their ids are unique within it.  A
+``Program`` is a set of functions plus the global arrays they share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.ir.instructions import Branch, Instr, Jump, Ret
+from repro.ir.types import ValueType
+from repro.ir.values import GlobalArray, VReg
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    __slots__ = ("name", "instrs")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.instrs: List[Instr] = []
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        """The block's final instruction, if it is a terminator."""
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> Tuple["BasicBlock", ...]:
+        term = self.terminator
+        if term is None:
+            return ()
+        if isinstance(term, (Branch, Jump, Ret)):
+            return term.successors()
+        return ()
+
+    def append(self, instr: Instr) -> Instr:
+        if self.terminator is not None:
+            raise ValueError(f"appending past terminator in block {self.name}")
+        self.instrs.append(instr)
+        return instr
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:
+        return f"<block {self.name}, {len(self.instrs)} instrs>"
+
+
+class Function:
+    """An IR function: parameters, blocks and a virtual-register pool."""
+
+    def __init__(
+        self,
+        name: str,
+        param_types: Iterable[ValueType] = (),
+        return_type: Optional[ValueType] = None,
+        param_names: Optional[List[str]] = None,
+    ):
+        self.name = name
+        self.return_type = return_type
+        self._next_vreg = 0
+        types = list(param_types)
+        names = param_names or [f"arg{i}" for i in range(len(types))]
+        if len(names) != len(types):
+            raise ValueError(f"{name}: {len(names)} names for {len(types)} params")
+        self.params: List[VReg] = [
+            self.new_vreg(t, names[i]) for i, t in enumerate(types)
+        ]
+        self.blocks: List[BasicBlock] = []
+        self._next_block = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def new_vreg(self, vtype: ValueType, name: Optional[str] = None) -> VReg:
+        """Allocate a fresh virtual register of the given type."""
+        reg = VReg(self._next_vreg, vtype, name)
+        self._next_vreg += 1
+        return reg
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        """Create a new basic block and append it to the function."""
+        block = BasicBlock(f"{hint}{self._next_block}")
+        self._next_block += 1
+        self.blocks.append(block)
+        return block
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def predecessors(self) -> Dict[BasicBlock, List[BasicBlock]]:
+        """Map each block to the list of its CFG predecessors."""
+        preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                preds[succ].append(block)
+        return preds
+
+    def instructions(self) -> Iterator[Instr]:
+        """Iterate over every instruction in block order."""
+        for block in self.blocks:
+            yield from block.instrs
+
+    def vregs(self) -> List[VReg]:
+        """All virtual registers referenced anywhere in the function."""
+        seen: Dict[VReg, None] = {}
+        for param in self.params:
+            seen.setdefault(param)
+        for instr in self.instructions():
+            for reg in instr.defs():
+                seen.setdefault(reg)
+            for reg in instr.uses():
+                seen.setdefault(reg)
+        return list(seen)
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks ending in ``Ret``."""
+        return [b for b in self.blocks if isinstance(b.terminator, Ret)]
+
+    def size(self) -> int:
+        """Total instruction count."""
+        return sum(len(b) for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<function {self.name}, {len(self.blocks)} blocks>"
+
+
+class Program:
+    """A whole compilation unit: functions plus global arrays."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalArray] = {}
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def add_global(self, array: GlobalArray) -> GlobalArray:
+        if array.name in self.globals:
+            raise ValueError(f"duplicate global {array.name!r}")
+        self.globals[array.name] = array
+        return array
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function named {name!r} in {self.name}") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"<program {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals>"
+        )

@@ -1,0 +1,342 @@
+"""Instruction set of the repro IR.
+
+The IR is a three-address, virtual-register code for a RISC-like
+machine: all operands live in registers, memory is reached only through
+``Load``/``Store`` on global arrays, and control flow is explicit
+(``Branch``/``Jump``/``Ret`` terminate blocks).
+
+Every instruction exposes a uniform interface used by the analyses and
+the register allocator:
+
+* ``uses()`` — virtual registers read by the instruction,
+* ``defs()`` — virtual registers written by the instruction,
+* ``replace_uses`` / ``replace_defs`` — operand rewriting (coalescing,
+  spill-code insertion),
+* ``is_terminator`` — whether the instruction ends a basic block.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.ir.values import VReg
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ir.function import BasicBlock
+
+
+class BinaryOpcode(enum.Enum):
+    """Arithmetic, logical and comparison operators."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in _COMPARISONS
+
+
+_COMPARISONS = frozenset(
+    {
+        BinaryOpcode.EQ,
+        BinaryOpcode.NE,
+        BinaryOpcode.LT,
+        BinaryOpcode.LE,
+        BinaryOpcode.GT,
+        BinaryOpcode.GE,
+    }
+)
+
+
+class UnaryOpcode(enum.Enum):
+    """Unary operators, including the two bank-crossing conversions."""
+
+    NEG = "neg"
+    NOT = "not"
+    I2F = "i2f"
+    F2I = "f2i"
+
+
+class Instr:
+    """Base class for all IR instructions."""
+
+    __slots__ = ()
+
+    is_terminator = False
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return ()
+
+    def defs(self) -> Tuple[VReg, ...]:
+        return ()
+
+    def replace_uses(self, mapping: Dict[VReg, VReg]) -> None:
+        """Rewrite used registers according to ``mapping`` (in place)."""
+
+    def replace_defs(self, mapping: Dict[VReg, VReg]) -> None:
+        """Rewrite defined registers according to ``mapping`` (in place)."""
+
+
+class Const(Instr):
+    """``dst = value`` — materialize an immediate into a register."""
+
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst: VReg, value):
+        self.dst = dst
+        self.value = float(value) if dst.vtype.is_float else int(value)
+
+    def defs(self) -> Tuple[VReg, ...]:
+        return (self.dst,)
+
+    def replace_defs(self, mapping: Dict[VReg, VReg]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = const {self.value}"
+
+
+class BinOp(Instr):
+    """``dst = lhs <op> rhs``.
+
+    Comparison results are integers (0/1); all other operators require
+    both operands and the destination to share one bank.
+    """
+
+    __slots__ = ("op", "dst", "lhs", "rhs")
+
+    def __init__(self, op: BinaryOpcode, dst: VReg, lhs: VReg, rhs: VReg):
+        self.op = op
+        self.dst = dst
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return (self.lhs, self.rhs)
+
+    def defs(self) -> Tuple[VReg, ...]:
+        return (self.dst,)
+
+    def replace_uses(self, mapping: Dict[VReg, VReg]) -> None:
+        self.lhs = mapping.get(self.lhs, self.lhs)
+        self.rhs = mapping.get(self.rhs, self.rhs)
+
+    def replace_defs(self, mapping: Dict[VReg, VReg]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.op.value} {self.lhs}, {self.rhs}"
+
+
+class UnaryOp(Instr):
+    """``dst = <op> src``."""
+
+    __slots__ = ("op", "dst", "src")
+
+    def __init__(self, op: UnaryOpcode, dst: VReg, src: VReg):
+        self.op = op
+        self.dst = dst
+        self.src = src
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return (self.src,)
+
+    def defs(self) -> Tuple[VReg, ...]:
+        return (self.dst,)
+
+    def replace_uses(self, mapping: Dict[VReg, VReg]) -> None:
+        self.src = mapping.get(self.src, self.src)
+
+    def replace_defs(self, mapping: Dict[VReg, VReg]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.op.value} {self.src}"
+
+
+class Copy(Instr):
+    """``dst = src`` — the coalescer's prey."""
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: VReg, src: VReg):
+        if dst.vtype is not src.vtype:
+            raise ValueError(f"copy between banks: {dst} = {src}")
+        self.dst = dst
+        self.src = src
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return (self.src,)
+
+    def defs(self) -> Tuple[VReg, ...]:
+        return (self.dst,)
+
+    def replace_uses(self, mapping: Dict[VReg, VReg]) -> None:
+        self.src = mapping.get(self.src, self.src)
+
+    def replace_defs(self, mapping: Dict[VReg, VReg]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = copy {self.src}"
+
+
+class Load(Instr):
+    """``dst = array[index]`` — read one element of a global array."""
+
+    __slots__ = ("dst", "array", "index")
+
+    def __init__(self, dst: VReg, array: str, index: VReg):
+        self.dst = dst
+        self.array = array
+        self.index = index
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return (self.index,)
+
+    def defs(self) -> Tuple[VReg, ...]:
+        return (self.dst,)
+
+    def replace_uses(self, mapping: Dict[VReg, VReg]) -> None:
+        self.index = mapping.get(self.index, self.index)
+
+    def replace_defs(self, mapping: Dict[VReg, VReg]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = load @{self.array}[{self.index}]"
+
+
+class Store(Instr):
+    """``array[index] = value`` — write one element of a global array."""
+
+    __slots__ = ("array", "index", "value")
+
+    def __init__(self, array: str, index: VReg, value: VReg):
+        self.array = array
+        self.index = index
+        self.value = value
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return (self.index, self.value)
+
+    def replace_uses(self, mapping: Dict[VReg, VReg]) -> None:
+        self.index = mapping.get(self.index, self.index)
+        self.value = mapping.get(self.value, self.value)
+
+    def __repr__(self) -> str:
+        return f"store @{self.array}[{self.index}] = {self.value}"
+
+
+class Call(Instr):
+    """``[dst =] call callee(args...)``.
+
+    Calls are the raison d'etre of this reproduction: every live range
+    crossing one may have to pay caller-save cost, and every function
+    containing one pays callee-save cost for the callee-save registers
+    it uses.
+    """
+
+    __slots__ = ("dst", "callee", "args")
+
+    def __init__(self, dst: Optional[VReg], callee: str, args: List[VReg]):
+        self.dst = dst
+        self.callee = callee
+        self.args = list(args)
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return tuple(self.args)
+
+    def defs(self) -> Tuple[VReg, ...]:
+        return (self.dst,) if self.dst is not None else ()
+
+    def replace_uses(self, mapping: Dict[VReg, VReg]) -> None:
+        self.args = [mapping.get(a, a) for a in self.args]
+
+    def replace_defs(self, mapping: Dict[VReg, VReg]) -> None:
+        if self.dst is not None:
+            self.dst = mapping.get(self.dst, self.dst)
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        if self.dst is not None:
+            return f"{self.dst} = call @{self.callee}({args})"
+        return f"call @{self.callee}({args})"
+
+
+class Branch(Instr):
+    """``br cond, then, else`` — conditional two-way branch."""
+
+    __slots__ = ("cond", "then_block", "else_block")
+
+    is_terminator = True
+
+    def __init__(self, cond: VReg, then_block: "BasicBlock", else_block: "BasicBlock"):
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return (self.cond,)
+
+    def replace_uses(self, mapping: Dict[VReg, VReg]) -> None:
+        self.cond = mapping.get(self.cond, self.cond)
+
+    def successors(self) -> Tuple["BasicBlock", "BasicBlock"]:
+        return (self.then_block, self.else_block)
+
+    def __repr__(self) -> str:
+        return f"br {self.cond}, {self.then_block.name}, {self.else_block.name}"
+
+
+class Jump(Instr):
+    """``jmp target`` — unconditional branch."""
+
+    __slots__ = ("target",)
+
+    is_terminator = True
+
+    def __init__(self, target: "BasicBlock"):
+        self.target = target
+
+    def successors(self) -> Tuple["BasicBlock", ...]:
+        return (self.target,)
+
+    def __repr__(self) -> str:
+        return f"jmp {self.target.name}"
+
+
+class Ret(Instr):
+    """``ret [value]`` — return from the current function."""
+
+    __slots__ = ("value",)
+
+    is_terminator = True
+
+    def __init__(self, value: Optional[VReg] = None):
+        self.value = value
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return (self.value,) if self.value is not None else ()
+
+    def replace_uses(self, mapping: Dict[VReg, VReg]) -> None:
+        if self.value is not None:
+            self.value = mapping.get(self.value, self.value)
+
+    def successors(self) -> Tuple["BasicBlock", ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"

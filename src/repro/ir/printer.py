@@ -1,0 +1,40 @@
+"""Textual rendering of IR programs, functions and blocks.
+
+The format is purely for debugging and test goldens; there is no
+parser for it (the mini-C frontend is the textual entry point).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function, Program
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    lines.extend(f"    {instr!r}" for instr in block.instrs)
+    return "\n".join(lines)
+
+
+def format_function(func: Function) -> str:
+    params = ", ".join(repr(p) for p in func.params)
+    ret = str(func.return_type) if func.return_type is not None else "void"
+    header = f"func @{func.name}({params}) -> {ret} {{"
+    body = "\n".join(format_block(b) for b in func.blocks)
+    return f"{header}\n{body}\n}}"
+
+
+def format_global(array) -> str:
+    text = f"global @{array.name}[{array.size}]:{array.vtype}"
+    if array.init is not None:
+        values = ", ".join(str(v) for v in array.init)
+        text += f" = {{{values}}}"
+    return text
+
+
+def format_program(program: Program) -> str:
+    parts = []
+    for array in program.globals.values():
+        parts.append(format_global(array))
+    for func in program.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts)

@@ -1,0 +1,302 @@
+"""A parser for the textual IR the printer emits.
+
+Round-trips :func:`repro.ir.printer.format_program`: useful for
+writing IR-level test cases directly, shipping reduced repros, and
+feeding the CLI with `.ir` files.  Covers *pre-allocation* IR only —
+the spill/save pseudo-instructions the allocator inserts are a
+diagnostic rendering, not part of the language.
+
+The grammar is exactly the printer's output format::
+
+    global @name[size]:type [= {v, v, ...}]
+
+    func @name(%i0:argname, %f1) -> int|float|void {
+    blockname:
+        %i2 = const 31
+        %i3 = mul %i0:argname, %i2
+        %i4 = copy %i3
+        %f5 = i2f %i4
+        %f6 = load @arr[%i2]
+        store @arr[%i2] = %f6
+        %i7 = call @f(%i3, %i4)
+        call @g()
+        br %i7, then1, else2
+        jmp join3
+        ret %i7
+        ret
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instructions import (
+    BinaryOpcode,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    UnaryOp,
+    UnaryOpcode,
+)
+from repro.ir.types import FLOAT, INT, ValueType
+from repro.ir.values import GlobalArray, VReg
+
+
+class IRParseError(Exception):
+    """The text does not match the printer's format."""
+
+    def __init__(self, message: str, line_no: int = 0):
+        if line_no:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+_GLOBAL = re.compile(
+    r"global @(?P<name>\w+)\[(?P<size>\d+)\]:(?P<type>int|float)"
+    r"(?:\s*=\s*\{(?P<init>[^}]*)\})?$"
+)
+_FUNC = re.compile(
+    r"func @(?P<name>\w+)\((?P<params>[^)]*)\) -> (?P<ret>int|float|void) \{$"
+)
+_REG = r"%[if]\d+(?::[\w.$]+)?"
+_REG_RE = re.compile(r"%(?P<bank>[if])(?P<id>\d+)(?::(?P<name>[\w.$]+))?$")
+_LABEL = re.compile(r"(?P<name>\w+):$")
+
+_BINOPS = {op.value: op for op in BinaryOpcode}
+_UNOPS = {op.value: op for op in UnaryOpcode}
+
+
+class _FunctionParser:
+    def __init__(self, program: Program):
+        self.program = program
+        self.regs: Dict[Tuple[str, int], VReg] = {}
+        self.func: Optional[Function] = None
+        self.blocks: Dict[str, BasicBlock] = {}
+        #: (block, branch text, line) fixups resolved after all labels exist.
+        self.pending: List[Tuple[BasicBlock, str, int]] = []
+
+    def reg(self, text: str, line_no: int) -> VReg:
+        match = _REG_RE.match(text.strip())
+        if not match:
+            raise IRParseError(f"bad register {text!r}", line_no)
+        bank = INT if match.group("bank") == "i" else FLOAT
+        key = (match.group("bank"), int(match.group("id")))
+        existing = self.regs.get(key)
+        if existing is None:
+            assert self.func is not None
+            existing = self.func.new_vreg(bank, match.group("name"))
+            self.regs[key] = existing
+        return existing
+
+
+def parse_ir(text: str, name: str = "parsed") -> Program:
+    """Parse printer-format IR text into a verified-shape Program."""
+    program = Program(name)
+    lines = text.splitlines()
+    parser: Optional[_FunctionParser] = None
+    block: Optional[BasicBlock] = None
+
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("global "):
+            _parse_global(program, line, line_no)
+            continue
+        if line.startswith("func "):
+            parser = _FunctionParser(program)
+            block = None
+            _parse_func_header(program, parser, line, line_no)
+            continue
+        if line == "}":
+            if parser is None:
+                raise IRParseError("unmatched '}'", line_no)
+            _resolve_branches(parser)
+            parser = None
+            block = None
+            continue
+        if parser is None:
+            raise IRParseError(f"statement outside a function: {line!r}", line_no)
+        label = _LABEL.match(line)
+        if label:
+            block = BasicBlock(label.group("name"))
+            assert parser.func is not None
+            parser.func.blocks.append(block)
+            parser.blocks[block.name] = block
+            continue
+        if block is None:
+            raise IRParseError("instruction before any block label", line_no)
+        _parse_instr(parser, block, line, line_no)
+
+    if parser is not None:
+        raise IRParseError("unterminated function (missing '}')", len(lines))
+    return program
+
+
+# ----------------------------------------------------------------------
+
+
+def _parse_global(program: Program, line: str, line_no: int) -> None:
+    match = _GLOBAL.match(line)
+    if not match:
+        raise IRParseError(f"bad global declaration: {line!r}", line_no)
+    vtype = INT if match.group("type") == "int" else FLOAT
+    init = None
+    if match.group("init") is not None:
+        text = match.group("init").strip()
+        init = [float(v) for v in text.split(",")] if text else []
+    program.add_global(
+        GlobalArray(match.group("name"), vtype, int(match.group("size")), init)
+    )
+
+
+def _parse_func_header(
+    program: Program, parser: _FunctionParser, line: str, line_no: int
+) -> None:
+    match = _FUNC.match(line)
+    if not match:
+        raise IRParseError(f"bad function header: {line!r}", line_no)
+    param_types: List[ValueType] = []
+    param_names: List[str] = []
+    param_keys: List[Tuple[str, int]] = []
+    params_text = match.group("params").strip()
+    if params_text:
+        for part in params_text.split(","):
+            reg_match = _REG_RE.match(part.strip())
+            if not reg_match:
+                raise IRParseError(f"bad parameter {part!r}", line_no)
+            param_types.append(INT if reg_match.group("bank") == "i" else FLOAT)
+            param_names.append(reg_match.group("name") or f"arg{len(param_names)}")
+            param_keys.append(
+                (reg_match.group("bank"), int(reg_match.group("id")))
+            )
+    ret_text = match.group("ret")
+    return_type = None if ret_text == "void" else (INT if ret_text == "int" else FLOAT)
+    func = Function(
+        match.group("name"),
+        param_types=param_types,
+        return_type=return_type,
+        param_names=param_names,
+    )
+    parser.func = func
+    for key, param in zip(param_keys, func.params):
+        parser.regs[key] = param
+    program.add_function(func)
+
+
+def _resolve_branches(parser: _FunctionParser) -> None:
+    for block, text, line_no in parser.pending:
+        parts = [p.strip() for p in text.split(",")]
+        targets = []
+        for part in parts:
+            target = parser.blocks.get(part)
+            if target is None:
+                raise IRParseError(f"unknown block {part!r}", line_no)
+            targets.append(target)
+        term = block.instrs[-1]
+        if isinstance(term, Branch):
+            term.then_block, term.else_block = targets
+        else:
+            assert isinstance(term, Jump)
+            (term.target,) = targets
+    parser.pending.clear()
+
+
+def _parse_instr(
+    parser: _FunctionParser, block: BasicBlock, line: str, line_no: int
+) -> None:
+    reg = lambda t: parser.reg(t, line_no)  # noqa: E731 - local shorthand
+
+    if line.startswith("br "):
+        cond_text, _, targets = line[3:].partition(",")
+        placeholder = Branch(reg(cond_text), block, block)
+        block.instrs.append(placeholder)
+        parser.pending.append((block, targets.strip(), line_no))
+        return
+    if line.startswith("jmp "):
+        placeholder = Jump(block)
+        block.instrs.append(placeholder)
+        parser.pending.append((block, line[4:].strip(), line_no))
+        return
+    if line == "ret":
+        block.instrs.append(Ret())
+        return
+    if line.startswith("ret "):
+        block.instrs.append(Ret(reg(line[4:])))
+        return
+    if line.startswith("store "):
+        match = re.match(
+            rf"store @(?P<arr>\w+)\[(?P<idx>{_REG})\] = (?P<val>{_REG})$", line
+        )
+        if not match:
+            raise IRParseError(f"bad store: {line!r}", line_no)
+        block.instrs.append(
+            Store(match.group("arr"), reg(match.group("idx")), reg(match.group("val")))
+        )
+        return
+    if line.startswith("call "):
+        _parse_call(parser, block, None, line[5:], line_no)
+        return
+
+    # Everything else is "dst = ...".
+    dst_text, eq, rest = line.partition(" = ")
+    if not eq:
+        raise IRParseError(f"unrecognized instruction: {line!r}", line_no)
+    dst = reg(dst_text)
+    rest = rest.strip()
+    if rest.startswith("const "):
+        value_text = rest[6:]
+        value = float(value_text) if dst.vtype.is_float else int(float(value_text))
+        block.instrs.append(Const(dst, value))
+        return
+    if rest.startswith("copy "):
+        block.instrs.append(Copy(dst, reg(rest[5:])))
+        return
+    if rest.startswith("load "):
+        match = re.match(rf"load @(?P<arr>\w+)\[(?P<idx>{_REG})\]$", rest)
+        if not match:
+            raise IRParseError(f"bad load: {line!r}", line_no)
+        block.instrs.append(Load(dst, match.group("arr"), reg(match.group("idx"))))
+        return
+    if rest.startswith("call "):
+        _parse_call(parser, block, dst, rest[5:], line_no)
+        return
+    opcode, _, operands = rest.partition(" ")
+    if opcode in _UNOPS:
+        block.instrs.append(UnaryOp(_UNOPS[opcode], dst, reg(operands)))
+        return
+    if opcode in _BINOPS:
+        lhs_text, comma, rhs_text = operands.partition(",")
+        if not comma:
+            raise IRParseError(f"binary op needs two operands: {line!r}", line_no)
+        block.instrs.append(
+            BinOp(_BINOPS[opcode], dst, reg(lhs_text), reg(rhs_text))
+        )
+        return
+    raise IRParseError(f"unknown opcode {opcode!r}", line_no)
+
+
+def _parse_call(
+    parser: _FunctionParser,
+    block: BasicBlock,
+    dst: Optional[VReg],
+    rest: str,
+    line_no: int,
+) -> None:
+    match = re.match(r"@(?P<callee>\w+)\((?P<args>.*)\)$", rest.strip())
+    if not match:
+        raise IRParseError(f"bad call: {rest!r}", line_no)
+    args_text = match.group("args").strip()
+    args = []
+    if args_text:
+        args = [parser.reg(a, line_no) for a in args_text.split(",")]
+    block.instrs.append(Call(dst, match.group("callee"), args))

@@ -1,0 +1,34 @@
+"""Value types for the repro IR.
+
+The IR is deliberately small: the machine model has two register banks
+(integer and floating point), so the IR distinguishes exactly two value
+types.  Booleans are represented as integers (0 / 1), matching the MIPS
+convention the paper's compiler (cmcc) targets.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ValueType(enum.Enum):
+    """The type of an IR value; selects the register bank."""
+
+    INT = "int"
+    FLOAT = "float"
+
+    @property
+    def is_int(self) -> bool:
+        return self is ValueType.INT
+
+    @property
+    def is_float(self) -> bool:
+        return self is ValueType.FLOAT
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Shorthand aliases used throughout the code base.
+INT = ValueType.INT
+FLOAT = ValueType.FLOAT

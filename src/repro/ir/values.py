@@ -1,0 +1,81 @@
+"""IR values: virtual registers and global arrays.
+
+Every operand of every instruction is a virtual register (the machine
+model is a RISC processor that requires all operands to reside in
+registers); constants are materialized by explicit ``Const``
+instructions.  Global arrays are the only form of addressable memory
+the mini language exposes, which keeps the interpreter and the spill
+machinery simple while still producing realistic memory traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.types import ValueType
+
+
+class VReg:
+    """A virtual register.
+
+    Virtual registers are unique per function and are compared by
+    identity.  ``name`` is a debugging aid (the source variable the
+    register was created for, when there is one).
+    """
+
+    __slots__ = ("id", "vtype", "name")
+
+    def __init__(self, reg_id: int, vtype: ValueType, name: Optional[str] = None):
+        self.id = reg_id
+        self.vtype = vtype
+        self.name = name
+
+    def __repr__(self) -> str:
+        base = "%f" if self.vtype.is_float else "%i"
+        if self.name:
+            return f"{base}{self.id}:{self.name}"
+        return f"{base}{self.id}"
+
+    def __hash__(self) -> int:
+        return hash(id(self))
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class GlobalArray:
+    """A module-level array of ``size`` elements of type ``vtype``.
+
+    ``init`` optionally gives initial element values; elements without
+    an initializer start at zero, as in C statics.
+    """
+
+    __slots__ = ("name", "vtype", "size", "init")
+
+    def __init__(
+        self,
+        name: str,
+        vtype: ValueType,
+        size: int,
+        init: Optional[list] = None,
+    ):
+        if size <= 0:
+            raise ValueError(f"global array {name!r} must have positive size")
+        if init is not None and len(init) > size:
+            raise ValueError(f"initializer for {name!r} longer than array")
+        self.name = name
+        self.vtype = vtype
+        self.size = size
+        self.init = list(init) if init is not None else None
+
+    def initial_values(self) -> list:
+        """Return the full initial contents of the array."""
+        zero = 0.0 if self.vtype.is_float else 0
+        values = [zero] * self.size
+        if self.init is not None:
+            for i, v in enumerate(self.init):
+                values[i] = float(v) if self.vtype.is_float else int(v)
+        return values
+
+    def __repr__(self) -> str:
+        return f"@{self.name}[{self.size}]:{self.vtype}"

@@ -1,0 +1,179 @@
+"""Structural verification of IR.
+
+``verify_function`` checks the invariants every pass relies on:
+terminated blocks, branch targets inside the function, type-correct
+operands, definite assignment (every use dominated by some def on every
+path — approximated by a forward may-be-uninitialized dataflow), and
+call signatures matching their callees when a program is supplied.
+
+Verification failures raise :class:`IRVerificationError` with a message
+naming the offending function, block and instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Copy,
+    Load,
+    Ret,
+    Store,
+    UnaryOp,
+    UnaryOpcode,
+)
+from repro.ir.types import FLOAT, INT
+
+
+class IRVerificationError(Exception):
+    """Raised when an IR invariant is violated."""
+
+
+def _fail(func: Function, block: Optional[BasicBlock], message: str) -> None:
+    where = f"{func.name}/{block.name}" if block is not None else func.name
+    raise IRVerificationError(f"{where}: {message}")
+
+
+def verify_function(func: Function, program: Optional[Program] = None) -> None:
+    """Check all structural invariants of ``func``.
+
+    When ``program`` is given, call instructions are additionally
+    checked against their callee's signature and globals against their
+    declarations.
+    """
+    if not func.blocks:
+        _fail(func, None, "function has no blocks")
+    block_set = set(func.blocks)
+    names: Set[str] = set()
+    for block in func.blocks:
+        if block.name in names:
+            _fail(func, block, "duplicate block name")
+        names.add(block.name)
+        _verify_block(func, block, block_set, program)
+    _verify_definite_assignment(func)
+
+
+def verify_program(program: Program) -> None:
+    """Verify every function of ``program`` (with signature checking)."""
+    for func in program.functions.values():
+        verify_function(func, program)
+
+
+def _verify_block(
+    func: Function,
+    block: BasicBlock,
+    block_set: Set[BasicBlock],
+    program: Optional[Program],
+) -> None:
+    if block.terminator is None:
+        _fail(func, block, "block does not end in a terminator")
+    for i, instr in enumerate(block.instrs):
+        if instr.is_terminator and i != len(block.instrs) - 1:
+            _fail(func, block, f"terminator {instr!r} in middle of block")
+        _verify_instr(func, block, instr, block_set, program)
+
+
+def _verify_instr(func, block, instr, block_set, program) -> None:
+    if isinstance(instr, BinOp):
+        if instr.lhs.vtype is not instr.rhs.vtype:
+            _fail(func, block, f"mixed-bank operands in {instr!r}")
+        expected = INT if instr.op.is_comparison else instr.lhs.vtype
+        if instr.dst.vtype is not expected:
+            _fail(func, block, f"bad result bank in {instr!r}")
+    elif isinstance(instr, UnaryOp):
+        if instr.op is UnaryOpcode.I2F:
+            ok = instr.src.vtype is INT and instr.dst.vtype is FLOAT
+        elif instr.op is UnaryOpcode.F2I:
+            ok = instr.src.vtype is FLOAT and instr.dst.vtype is INT
+        else:
+            ok = instr.src.vtype is instr.dst.vtype
+        if not ok:
+            _fail(func, block, f"bad banks in {instr!r}")
+    elif isinstance(instr, Copy):
+        if instr.dst.vtype is not instr.src.vtype:
+            _fail(func, block, f"copy between banks: {instr!r}")
+    elif isinstance(instr, (Load, Store)):
+        index = instr.index
+        if index.vtype is not INT:
+            _fail(func, block, f"non-integer index in {instr!r}")
+        if program is not None:
+            array = program.globals.get(instr.array)
+            if array is None:
+                _fail(func, block, f"unknown global @{instr.array}")
+            value = instr.dst if isinstance(instr, Load) else instr.value
+            if value.vtype is not array.vtype:
+                _fail(func, block, f"bank mismatch with @{instr.array} in {instr!r}")
+    elif isinstance(instr, Call) and program is not None:
+        callee = program.functions.get(instr.callee)
+        if callee is None:
+            _fail(func, block, f"call to unknown function @{instr.callee}")
+        if len(instr.args) != len(callee.params):
+            _fail(func, block, f"arity mismatch in {instr!r}")
+        for arg, param in zip(instr.args, callee.params):
+            if arg.vtype is not param.vtype:
+                _fail(func, block, f"argument bank mismatch in {instr!r}")
+        if instr.dst is not None:
+            if callee.return_type is None:
+                _fail(func, block, f"void call produces a value: {instr!r}")
+            if instr.dst.vtype is not callee.return_type:
+                _fail(func, block, f"return bank mismatch in {instr!r}")
+    elif isinstance(instr, Branch):
+        if instr.cond.vtype is not INT:
+            _fail(func, block, f"non-integer branch condition in {instr!r}")
+        for target in instr.successors():
+            if target not in block_set:
+                _fail(func, block, f"branch to foreign block {target.name}")
+    elif isinstance(instr, Ret):
+        if func.return_type is None and instr.value is not None:
+            _fail(func, block, "return with value in void function")
+        if func.return_type is not None:
+            if instr.value is None:
+                _fail(func, block, "return without value in non-void function")
+            elif instr.value.vtype is not func.return_type:
+                _fail(func, block, f"return bank mismatch in {instr!r}")
+
+
+def _verify_definite_assignment(func: Function) -> None:
+    """Forward dataflow: every use must be reached by a def on all paths.
+
+    ``defined[b]`` is the set of registers definitely assigned at entry
+    to ``b`` (intersection over predecessors).  Parameters are defined
+    at entry.
+    """
+    preds = func.predecessors()
+    all_regs = set(func.vregs())
+    defined: Dict[BasicBlock, Set] = {b: set(all_regs) for b in func.blocks}
+    defined[func.entry] = set(func.params)
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            if block is func.entry:
+                incoming = set(func.params)
+            else:
+                incoming = set(all_regs)
+                for pred in preds[block]:
+                    incoming &= _defined_at_exit(pred, defined[pred])
+                if not preds[block]:
+                    incoming = set(func.params)
+            if incoming != defined[block]:
+                defined[block] = incoming
+                changed = True
+    for block in func.blocks:
+        live = set(defined[block])
+        for instr in block.instrs:
+            for reg in instr.uses():
+                if reg not in live:
+                    _fail(func, block, f"use of possibly-undefined {reg} in {instr!r}")
+            live.update(instr.defs())
+
+
+def _defined_at_exit(block: BasicBlock, at_entry: Set) -> Set:
+    result = set(at_entry)
+    for instr in block.instrs:
+        result.update(instr.defs())
+    return result

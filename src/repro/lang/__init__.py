@@ -1,0 +1,27 @@
+"""Mini-C frontend: lexer, parser, semantic analysis, lowering.
+
+The one-call entry point is :func:`compile_source`, which takes mini-C
+source text and returns a verified IR :class:`~repro.ir.Program`.
+"""
+
+from repro.lang.errors import FrontendError, LexError, ParseError, SemanticError
+from repro.lang.lexer import tokenize
+from repro.lang.lower import compile_source, lower_unit
+from repro.lang.parser import parse
+from repro.lang.sema import BUILTINS, Analyzer, FuncSignature, VarSymbol, analyze
+
+__all__ = [
+    "Analyzer",
+    "BUILTINS",
+    "FrontendError",
+    "FuncSignature",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "VarSymbol",
+    "analyze",
+    "compile_source",
+    "lower_unit",
+    "parse",
+    "tokenize",
+]

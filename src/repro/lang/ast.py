@@ -1,0 +1,178 @@
+"""Abstract syntax tree for the mini-C language.
+
+Every node carries its source line/column for diagnostics.  Expression
+nodes gain a ``vtype`` attribute during semantic analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.ir.types import ValueType
+
+
+@dataclass
+class Node:
+    line: int
+    column: int
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    #: Filled in by semantic analysis.
+    vtype: Optional[ValueType] = field(default=None, init=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class ArrayRef(Expr):
+    array: str
+    index: Expr
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str  # "-" or "!"
+    operand: Expr
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str  # one of + - * / % == != < <= > >= && ||
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str
+    args: List[Expr]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decl_type: ValueType
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass
+class AssignStmt(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass
+class ArrayAssignStmt(Stmt):
+    array: str
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: "Block"
+    else_body: Optional["Block"]
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: "Block"
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: "Block"
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt]
+
+
+# ----------------------------------------------------------------------
+# declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    param_type: ValueType
+    name: str
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str
+    return_type: Optional[ValueType]  # None == void
+    params: List[Param]
+    body: Block
+
+
+@dataclass
+class GlobalDecl(Node):
+    elem_type: ValueType
+    name: str
+    size: int
+    init: Optional[List[float]]
+
+
+@dataclass
+class TranslationUnit(Node):
+    globals: List[GlobalDecl]
+    functions: List[FuncDecl]

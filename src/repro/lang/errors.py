@@ -1,0 +1,26 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+
+class FrontendError(Exception):
+    """Base class for all mini-C frontend errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Invalid character sequence."""
+
+
+class ParseError(FrontendError):
+    """Token stream does not match the grammar."""
+
+
+class SemanticError(FrontendError):
+    """Well-formed syntax with an invalid meaning (types, scopes, arity)."""

@@ -1,0 +1,154 @@
+"""Hand-written lexer for the mini-C language.
+
+Supports ``//`` line comments and ``/* ... */`` block comments,
+decimal integer literals, and float literals written with a decimal
+point or exponent (``1.5``, ``2.0e-3``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND_AND,
+    "||": TokenKind.OR_OR,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "!": TokenKind.BANG,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+
+class Lexer:
+    """Turns source text into a list of tokens (EOF-terminated)."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokenKind.EOF, "", self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self) -> str:
+        char = self.source[self.pos]
+        self.pos += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance()
+                self._advance()
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise LexError(
+                            "unterminated block comment", start_line, start_col
+                        )
+                    self._advance()
+                self._advance()
+                self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        char = self._peek()
+        if char.isdigit():
+            return self._number(line, column)
+        if char.isalpha() or char == "_":
+            return self._identifier(line, column)
+        two = char + self._peek(1)
+        if two in _TWO_CHAR:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR[two], two, line, column)
+        if char in _ONE_CHAR:
+            self._advance()
+            return Token(_ONE_CHAR[char], char, line, column)
+        raise LexError(f"unexpected character {char!r}", line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+        return Token(kind, text, line, column)
+
+    def _identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into tokens."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,274 @@
+"""Lowering: mini-C AST to repro IR.
+
+Each declared variable (parameter or local) gets one dedicated virtual
+register; assignments copy into it, so the coalescer and the web
+builder see realistic copy chains.  Locals declared without an
+initializer are zero-initialized (mini-C semantics; this also
+guarantees the IR's definite-assignment invariant).
+
+``&&`` and ``||`` are *not* short-circuiting in mini-C: both operands
+are evaluated and the result is computed bitwise over normalized 0/1
+values.  ``!x`` lowers to ``x == 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instructions import BinaryOpcode, UnaryOpcode
+from repro.ir.types import INT, ValueType
+from repro.ir.values import GlobalArray, VReg
+from repro.lang import ast
+from repro.lang.errors import SemanticError
+from repro.lang.sema import BUILTINS, Analyzer, VarSymbol, analyze
+
+_BINOPS = {
+    "+": BinaryOpcode.ADD,
+    "-": BinaryOpcode.SUB,
+    "*": BinaryOpcode.MUL,
+    "/": BinaryOpcode.DIV,
+    "%": BinaryOpcode.MOD,
+    "==": BinaryOpcode.EQ,
+    "!=": BinaryOpcode.NE,
+    "<": BinaryOpcode.LT,
+    "<=": BinaryOpcode.LE,
+    ">": BinaryOpcode.GT,
+    ">=": BinaryOpcode.GE,
+}
+
+_BUILTIN_OPS = {"itof": UnaryOpcode.I2F, "ftoi": UnaryOpcode.F2I}
+
+
+def lower_unit(unit: ast.TranslationUnit, name: str = "program") -> Program:
+    """Lower an *analyzed* translation unit to an IR program."""
+    program = Program(name)
+    for decl in unit.globals:
+        program.add_global(
+            GlobalArray(decl.name, decl.elem_type, decl.size, decl.init)
+        )
+    for func_decl in unit.functions:
+        program.add_function(_FunctionLowering(func_decl).lower())
+    return program
+
+
+def compile_source(source: str, name: str = "program") -> Program:
+    """Parse, analyze and lower mini-C ``source`` to an IR program."""
+    from repro.lang.parser import parse  # local import avoids a cycle
+
+    unit = parse(source)
+    analyze(unit)
+    return lower_unit(unit, name)
+
+
+class _FunctionLowering:
+    def __init__(self, decl: ast.FuncDecl):
+        self.decl = decl
+        self.func = Function(
+            decl.name,
+            param_types=[p.param_type for p in decl.params],
+            return_type=decl.return_type,
+            param_names=[p.name for p in decl.params],
+        )
+        self.builder = IRBuilder(self.func)
+        self.vregs: Dict[VarSymbol, VReg] = {}
+        for param, reg in zip(decl.params, self.func.params):
+            self.vregs[param.symbol] = reg  # type: ignore[attr-defined]
+        self.break_targets: List[BasicBlock] = []
+        self.continue_targets: List[BasicBlock] = []
+
+    def lower(self) -> Function:
+        self.builder.start_block("entry")
+        self._lower_block(self.decl.body)
+        if not self.builder.terminated:
+            # Implicit return: void functions fall off the end; non-void
+            # functions return zero (mini-C defines this, mirroring the
+            # forgiving behaviour of old C compilers).
+            if self.func.return_type is None:
+                self.builder.ret()
+            else:
+                zero = self.builder.const(0, self.func.return_type)
+                self.builder.ret(zero)
+        return self.func
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _lower_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            if self.builder.terminated:
+                return  # unreachable code after return/break/continue
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            symbol: VarSymbol = stmt.symbol  # type: ignore[attr-defined]
+            reg = self.func.new_vreg(symbol.vtype, symbol.name)
+            self.vregs[symbol] = reg
+            if stmt.init is not None:
+                value = self._lower_expr(stmt.init)
+            else:
+                value = self.builder.const(0, symbol.vtype)
+            self.builder.copy_to(reg, value)
+        elif isinstance(stmt, ast.AssignStmt):
+            symbol = stmt.symbol  # type: ignore[attr-defined]
+            value = self._lower_expr(stmt.value)
+            self.builder.copy_to(self.vregs[symbol], value)
+        elif isinstance(stmt, ast.ArrayAssignStmt):
+            index = self._lower_expr(stmt.index)
+            value = self._lower_expr(stmt.value)
+            self.builder.store(stmt.array, index, value)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = self._lower_expr(stmt.value) if stmt.value is not None else None
+            self.builder.ret(value)
+        elif isinstance(stmt, ast.BreakStmt):
+            self.builder.jump(self.break_targets[-1])
+        elif isinstance(stmt, ast.ContinueStmt):
+            self.builder.jump(self.continue_targets[-1])
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr, want_value=False)
+        elif isinstance(stmt, ast.Block):
+            self._lower_block(stmt)
+        else:  # pragma: no cover - sema rejects everything else
+            raise SemanticError(f"cannot lower {stmt!r}", stmt.line, stmt.column)
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        cond = self._lower_expr(stmt.cond)
+        then_block = self.builder.new_block("then")
+        join_block = self.builder.new_block("join")
+        else_block = (
+            self.builder.new_block("else") if stmt.else_body is not None else join_block
+        )
+        self.builder.branch(cond, then_block, else_block)
+
+        self.builder.set_block(then_block)
+        self._lower_block(stmt.then_body)
+        if not self.builder.terminated:
+            self.builder.jump(join_block)
+
+        if stmt.else_body is not None:
+            self.builder.set_block(else_block)
+            self._lower_block(stmt.else_body)
+            if not self.builder.terminated:
+                self.builder.jump(join_block)
+
+        self.builder.set_block(join_block)
+
+    def _lower_while(self, stmt: ast.WhileStmt) -> None:
+        header = self.builder.new_block("while_head")
+        body = self.builder.new_block("while_body")
+        exit_block = self.builder.new_block("while_exit")
+        self.builder.jump(header)
+
+        self.builder.set_block(header)
+        cond = self._lower_expr(stmt.cond)
+        self.builder.branch(cond, body, exit_block)
+
+        self.break_targets.append(exit_block)
+        self.continue_targets.append(header)
+        self.builder.set_block(body)
+        self._lower_block(stmt.body)
+        if not self.builder.terminated:
+            self.builder.jump(header)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+
+        self.builder.set_block(exit_block)
+
+    def _lower_for(self, stmt: ast.ForStmt) -> None:
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        header = self.builder.new_block("for_head")
+        body = self.builder.new_block("for_body")
+        step = self.builder.new_block("for_step")
+        exit_block = self.builder.new_block("for_exit")
+        self.builder.jump(header)
+
+        self.builder.set_block(header)
+        if stmt.cond is not None:
+            cond = self._lower_expr(stmt.cond)
+            self.builder.branch(cond, body, exit_block)
+        else:
+            self.builder.jump(body)
+
+        self.break_targets.append(exit_block)
+        self.continue_targets.append(step)
+        self.builder.set_block(body)
+        self._lower_block(stmt.body)
+        if not self.builder.terminated:
+            self.builder.jump(step)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+
+        self.builder.set_block(step)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        self.builder.jump(header)
+
+        self.builder.set_block(exit_block)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr, want_value: bool = True) -> Optional[VReg]:
+        if isinstance(expr, ast.IntLit):
+            return self.builder.const(expr.value, INT)
+        if isinstance(expr, ast.FloatLit):
+            return self.builder.const(float(expr.value), expr.vtype)
+        if isinstance(expr, ast.VarRef):
+            return self.vregs[expr.symbol]  # type: ignore[attr-defined]
+        if isinstance(expr, ast.ArrayRef):
+            index = self._lower_expr(expr.index)
+            assert expr.vtype is not None
+            return self.builder.load(expr.array, index, expr.vtype)
+        if isinstance(expr, ast.UnaryExpr):
+            operand = self._lower_expr(expr.operand)
+            assert operand is not None
+            if expr.op == "-":
+                return self.builder.unop(UnaryOpcode.NEG, operand)
+            zero = self.builder.const(0, INT)
+            return self.builder.binop(BinaryOpcode.EQ, operand, zero)
+        if isinstance(expr, ast.BinaryExpr):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._lower_call(expr, want_value)
+        raise SemanticError(  # pragma: no cover
+            f"cannot lower {expr!r}", expr.line, expr.column
+        )
+
+    def _lower_binary(self, expr: ast.BinaryExpr) -> VReg:
+        lhs = self._lower_expr(expr.lhs)
+        rhs = self._lower_expr(expr.rhs)
+        assert lhs is not None and rhs is not None
+        if expr.op in ("&&", "||"):
+            lhs_bool = self._normalize_bool(lhs)
+            rhs_bool = self._normalize_bool(rhs)
+            op = BinaryOpcode.AND if expr.op == "&&" else BinaryOpcode.OR
+            return self.builder.binop(op, lhs_bool, rhs_bool)
+        return self.builder.binop(_BINOPS[expr.op], lhs, rhs)
+
+    def _normalize_bool(self, value: VReg) -> VReg:
+        zero = self.builder.const(0, INT)
+        return self.builder.binop(BinaryOpcode.NE, value, zero)
+
+    def _lower_call(self, expr: ast.CallExpr, want_value: bool) -> Optional[VReg]:
+        if expr.callee in BUILTINS:
+            arg = self._lower_expr(expr.args[0])
+            assert arg is not None
+            return self.builder.unop(_BUILTIN_OPS[expr.callee], arg)
+        args = []
+        for arg_expr in expr.args:
+            arg = self._lower_expr(arg_expr)
+            assert arg is not None
+            args.append(arg)
+        return_type = expr.vtype if (want_value or expr.vtype is not None) else None
+        return self.builder.call(expr.callee, args, return_type)

@@ -1,0 +1,362 @@
+"""Recursive-descent parser for the mini-C language.
+
+Grammar sketch (see tests/lang for worked examples)::
+
+    unit        := (global_decl | func_decl)*
+    global_decl := type IDENT '[' INT ']' ('=' '{' literals '}')? ';'
+    func_decl   := (type | 'void') IDENT '(' params? ')' block
+    stmt        := decl | simple ';' | if | while | for | return
+                 | 'break' ';' | 'continue' ';' | block
+    simple      := expr ('=' expr)?          -- assignment or call
+    expr        := precedence-climbing over || && == != < <= > >= + - * / %
+
+Assignments are parsed by reading a full expression and then, on
+seeing ``=``, requiring the parsed expression to be a variable or
+array element.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.types import FLOAT, INT, ValueType
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind
+
+_TYPE_TOKENS = {TokenKind.KW_INT: INT, TokenKind.KW_FLOAT: FLOAT}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r}, found {token.text or token.kind.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        first = self._peek()
+        globals_: List[ast.GlobalDecl] = []
+        functions: List[ast.FuncDecl] = []
+        while not self._at(TokenKind.EOF):
+            token = self._peek()
+            if token.kind is TokenKind.KW_VOID:
+                functions.append(self._func_decl())
+            elif token.kind in _TYPE_TOKENS:
+                # 'type IDENT [' is a global array; 'type IDENT (' a function.
+                after_name = self._peek(2)
+                if after_name.kind is TokenKind.LBRACKET:
+                    globals_.append(self._global_decl())
+                else:
+                    functions.append(self._func_decl())
+            else:
+                raise ParseError(
+                    f"expected declaration, found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+        return ast.TranslationUnit(first.line, first.column, globals_, functions)
+
+    def _global_decl(self) -> ast.GlobalDecl:
+        type_token = self._advance()
+        elem_type = _TYPE_TOKENS[type_token.kind]
+        name = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.LBRACKET)
+        size_token = self._expect(TokenKind.INT_LIT)
+        self._expect(TokenKind.RBRACKET)
+        init: Optional[List[float]] = None
+        if self._accept(TokenKind.ASSIGN):
+            self._expect(TokenKind.LBRACE)
+            init = []
+            if not self._at(TokenKind.RBRACE):
+                init.append(self._literal_value())
+                while self._accept(TokenKind.COMMA):
+                    init.append(self._literal_value())
+            self._expect(TokenKind.RBRACE)
+        self._expect(TokenKind.SEMICOLON)
+        return ast.GlobalDecl(
+            type_token.line,
+            type_token.column,
+            elem_type,
+            name.text,
+            int(size_token.text),
+            init,
+        )
+
+    def _literal_value(self) -> float:
+        negative = self._accept(TokenKind.MINUS) is not None
+        token = self._peek()
+        if token.kind is TokenKind.INT_LIT:
+            self._advance()
+            value: float = int(token.text)
+        elif token.kind is TokenKind.FLOAT_LIT:
+            self._advance()
+            value = float(token.text)
+        else:
+            raise ParseError(
+                f"expected literal, found {token.text!r}", token.line, token.column
+            )
+        return -value if negative else value
+
+    def _func_decl(self) -> ast.FuncDecl:
+        type_token = self._advance()
+        if type_token.kind is TokenKind.KW_VOID:
+            return_type: Optional[ValueType] = None
+        else:
+            return_type = _TYPE_TOKENS[type_token.kind]
+        name = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.LPAREN)
+        params: List[ast.Param] = []
+        if not self._at(TokenKind.RPAREN):
+            params.append(self._param())
+            while self._accept(TokenKind.COMMA):
+                params.append(self._param())
+        self._expect(TokenKind.RPAREN)
+        body = self._block()
+        return ast.FuncDecl(
+            type_token.line, type_token.column, name.text, return_type, params, body
+        )
+
+    def _param(self) -> ast.Param:
+        type_token = self._peek()
+        if type_token.kind not in _TYPE_TOKENS:
+            raise ParseError(
+                f"expected parameter type, found {type_token.text!r}",
+                type_token.line,
+                type_token.column,
+            )
+        self._advance()
+        name = self._expect(TokenKind.IDENT)
+        return ast.Param(
+            type_token.line, type_token.column, _TYPE_TOKENS[type_token.kind], name.text
+        )
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        brace = self._expect(TokenKind.LBRACE)
+        statements: List[ast.Stmt] = []
+        while not self._at(TokenKind.RBRACE):
+            statements.append(self._statement())
+        self._expect(TokenKind.RBRACE)
+        return ast.Block(brace.line, brace.column, statements)
+
+    def _statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind in _TYPE_TOKENS:
+            decl = self._decl_statement()
+            self._expect(TokenKind.SEMICOLON)
+            return decl
+        if token.kind is TokenKind.KW_IF:
+            return self._if_statement()
+        if token.kind is TokenKind.KW_WHILE:
+            return self._while_statement()
+        if token.kind is TokenKind.KW_FOR:
+            return self._for_statement()
+        if token.kind is TokenKind.KW_RETURN:
+            self._advance()
+            value = None if self._at(TokenKind.SEMICOLON) else self._expression()
+            self._expect(TokenKind.SEMICOLON)
+            return ast.ReturnStmt(token.line, token.column, value)
+        if token.kind is TokenKind.KW_BREAK:
+            self._advance()
+            self._expect(TokenKind.SEMICOLON)
+            return ast.BreakStmt(token.line, token.column)
+        if token.kind is TokenKind.KW_CONTINUE:
+            self._advance()
+            self._expect(TokenKind.SEMICOLON)
+            return ast.ContinueStmt(token.line, token.column)
+        if token.kind is TokenKind.LBRACE:
+            return self._block()
+        stmt = self._simple_statement()
+        self._expect(TokenKind.SEMICOLON)
+        return stmt
+
+    def _decl_statement(self) -> ast.DeclStmt:
+        type_token = self._advance()
+        name = self._expect(TokenKind.IDENT)
+        init = self._expression() if self._accept(TokenKind.ASSIGN) else None
+        return ast.DeclStmt(
+            type_token.line,
+            type_token.column,
+            _TYPE_TOKENS[type_token.kind],
+            name.text,
+            init,
+        )
+
+    def _simple_statement(self) -> ast.Stmt:
+        """An assignment or a bare expression (usually a call)."""
+        token = self._peek()
+        expr = self._expression()
+        if self._accept(TokenKind.ASSIGN):
+            value = self._expression()
+            if isinstance(expr, ast.VarRef):
+                return ast.AssignStmt(token.line, token.column, expr.name, value)
+            if isinstance(expr, ast.ArrayRef):
+                return ast.ArrayAssignStmt(
+                    token.line, token.column, expr.array, expr.index, value
+                )
+            raise ParseError(
+                "assignment target must be a variable or array element",
+                token.line,
+                token.column,
+            )
+        return ast.ExprStmt(token.line, token.column, expr)
+
+    def _if_statement(self) -> ast.IfStmt:
+        token = self._expect(TokenKind.KW_IF)
+        self._expect(TokenKind.LPAREN)
+        cond = self._expression()
+        self._expect(TokenKind.RPAREN)
+        then_body = self._block()
+        else_body: Optional[ast.Block] = None
+        if self._accept(TokenKind.KW_ELSE):
+            if self._at(TokenKind.KW_IF):
+                # 'else if' chains: wrap the nested if in a block.
+                nested = self._if_statement()
+                else_body = ast.Block(nested.line, nested.column, [nested])
+            else:
+                else_body = self._block()
+        return ast.IfStmt(token.line, token.column, cond, then_body, else_body)
+
+    def _while_statement(self) -> ast.WhileStmt:
+        token = self._expect(TokenKind.KW_WHILE)
+        self._expect(TokenKind.LPAREN)
+        cond = self._expression()
+        self._expect(TokenKind.RPAREN)
+        body = self._block()
+        return ast.WhileStmt(token.line, token.column, cond, body)
+
+    def _for_statement(self) -> ast.ForStmt:
+        token = self._expect(TokenKind.KW_FOR)
+        self._expect(TokenKind.LPAREN)
+        init: Optional[ast.Stmt] = None
+        if not self._at(TokenKind.SEMICOLON):
+            if self._peek().kind in _TYPE_TOKENS:
+                init = self._decl_statement()
+            else:
+                init = self._simple_statement()
+        self._expect(TokenKind.SEMICOLON)
+        cond = None if self._at(TokenKind.SEMICOLON) else self._expression()
+        self._expect(TokenKind.SEMICOLON)
+        step = None if self._at(TokenKind.RPAREN) else self._simple_statement()
+        self._expect(TokenKind.RPAREN)
+        body = self._block()
+        return ast.ForStmt(token.line, token.column, init, cond, step, body)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    _PRECEDENCE = [
+        {TokenKind.OR_OR: "||"},
+        {TokenKind.AND_AND: "&&"},
+        {TokenKind.EQ: "==", TokenKind.NE: "!="},
+        {
+            TokenKind.LT: "<",
+            TokenKind.LE: "<=",
+            TokenKind.GT: ">",
+            TokenKind.GE: ">=",
+        },
+        {TokenKind.PLUS: "+", TokenKind.MINUS: "-"},
+        {TokenKind.STAR: "*", TokenKind.SLASH: "/", TokenKind.PERCENT: "%"},
+    ]
+
+    def _expression(self, level: int = 0) -> ast.Expr:
+        if level == len(self._PRECEDENCE):
+            return self._unary()
+        ops = self._PRECEDENCE[level]
+        expr = self._expression(level + 1)
+        while self._peek().kind in ops:
+            op_token = self._advance()
+            rhs = self._expression(level + 1)
+            expr = ast.BinaryExpr(
+                op_token.line, op_token.column, ops[op_token.kind], expr, rhs
+            )
+        return expr
+
+    def _unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            return ast.UnaryExpr(token.line, token.column, "-", self._unary())
+        if token.kind is TokenKind.BANG:
+            self._advance()
+            return ast.UnaryExpr(token.line, token.column, "!", self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT_LIT:
+            self._advance()
+            return ast.IntLit(token.line, token.column, int(token.text))
+        if token.kind is TokenKind.FLOAT_LIT:
+            self._advance()
+            return ast.FloatLit(token.line, token.column, float(token.text))
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._expression()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._accept(TokenKind.LPAREN):
+                args: List[ast.Expr] = []
+                if not self._at(TokenKind.RPAREN):
+                    args.append(self._expression())
+                    while self._accept(TokenKind.COMMA):
+                        args.append(self._expression())
+                self._expect(TokenKind.RPAREN)
+                return ast.CallExpr(token.line, token.column, token.text, args)
+            if self._accept(TokenKind.LBRACKET):
+                index = self._expression()
+                self._expect(TokenKind.RBRACKET)
+                return ast.ArrayRef(token.line, token.column, token.text, index)
+            return ast.VarRef(token.line, token.column, token.text)
+        raise ParseError(
+            f"expected expression, found {token.text or token.kind.value!r}",
+            token.line,
+            token.column,
+        )
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse mini-C source text into an AST."""
+    return Parser(tokenize(source)).parse_unit()

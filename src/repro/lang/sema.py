@@ -1,0 +1,351 @@
+"""Semantic analysis for mini-C.
+
+Checks scopes, types, arity and control-flow placement, annotates
+every expression node with its ``vtype``, and resolves every variable
+reference to a unique :class:`VarSymbol` so the lowering phase can
+map symbols to virtual registers even in the presence of shadowing.
+
+Two builtin conversion functions are provided instead of implicit
+coercions: ``itof(int) -> float`` and ``ftoi(float) -> int``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.types import FLOAT, INT, ValueType
+from repro.lang import ast
+from repro.lang.errors import SemanticError
+
+#: Builtin conversions: name -> (parameter type, return type).
+BUILTINS: Dict[str, Tuple[ValueType, ValueType]] = {
+    "itof": (INT, FLOAT),
+    "ftoi": (FLOAT, INT),
+}
+
+
+@dataclass(frozen=True)
+class VarSymbol:
+    """One declared variable (parameter or local)."""
+
+    name: str
+    vtype: ValueType
+    uid: int
+
+
+@dataclass(frozen=True)
+class FuncSignature:
+    name: str
+    param_types: Tuple[ValueType, ...]
+    return_type: Optional[ValueType]
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, VarSymbol] = {}
+
+    def declare(self, symbol: VarSymbol, node: ast.Node) -> None:
+        if symbol.name in self.symbols:
+            raise SemanticError(
+                f"redeclaration of {symbol.name!r}", node.line, node.column
+            )
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[VarSymbol]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    """Single-pass semantic analyzer (functions may call forward)."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.globals: Dict[str, ast.GlobalDecl] = {}
+        self.functions: Dict[str, FuncSignature] = {}
+        self._next_uid = 0
+
+    def analyze(self) -> None:
+        for decl in self.unit.globals:
+            if decl.name in self.globals:
+                raise SemanticError(
+                    f"redeclaration of global {decl.name!r}", decl.line, decl.column
+                )
+            self.globals[decl.name] = decl
+        for func in self.unit.functions:
+            if func.name in self.functions or func.name in BUILTINS:
+                raise SemanticError(
+                    f"redeclaration of function {func.name!r}", func.line, func.column
+                )
+            self.functions[func.name] = FuncSignature(
+                func.name,
+                tuple(p.param_type for p in func.params),
+                func.return_type,
+            )
+        for func in self.unit.functions:
+            self._check_function(func)
+
+    # ------------------------------------------------------------------
+
+    def _new_symbol(self, name: str, vtype: ValueType) -> VarSymbol:
+        self._next_uid += 1
+        return VarSymbol(name, vtype, self._next_uid)
+
+    def _check_function(self, func: ast.FuncDecl) -> None:
+        scope = _Scope()
+        for param in func.params:
+            symbol = self._new_symbol(param.name, param.param_type)
+            scope.declare(symbol, param)
+            param.symbol = symbol  # type: ignore[attr-defined]
+        self._check_block(func.body, scope, func, loop_depth=0)
+
+    def _check_block(
+        self, block: ast.Block, parent: _Scope, func: ast.FuncDecl, loop_depth: int
+    ) -> None:
+        scope = _Scope(parent)
+        for stmt in block.statements:
+            self._check_stmt(stmt, scope, func, loop_depth)
+
+    def _check_stmt(
+        self, stmt: ast.Stmt, scope: _Scope, func: ast.FuncDecl, loop_depth: int
+    ) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            if stmt.init is not None:
+                init_type = self._check_expr(stmt.init, scope)
+                if init_type is not stmt.decl_type:
+                    raise SemanticError(
+                        f"initializing {stmt.decl_type} variable {stmt.name!r} "
+                        f"with {init_type} value",
+                        stmt.line,
+                        stmt.column,
+                    )
+            symbol = self._new_symbol(stmt.name, stmt.decl_type)
+            scope.declare(symbol, stmt)
+            stmt.symbol = symbol  # type: ignore[attr-defined]
+        elif isinstance(stmt, ast.AssignStmt):
+            symbol = scope.lookup(stmt.name)
+            if symbol is None:
+                raise SemanticError(
+                    f"assignment to undeclared variable {stmt.name!r}",
+                    stmt.line,
+                    stmt.column,
+                )
+            value_type = self._check_expr(stmt.value, scope)
+            if value_type is not symbol.vtype:
+                raise SemanticError(
+                    f"assigning {value_type} value to {symbol.vtype} "
+                    f"variable {stmt.name!r}",
+                    stmt.line,
+                    stmt.column,
+                )
+            stmt.symbol = symbol  # type: ignore[attr-defined]
+        elif isinstance(stmt, ast.ArrayAssignStmt):
+            array = self._lookup_array(stmt.array, stmt)
+            index_type = self._check_expr(stmt.index, scope)
+            if index_type is not INT:
+                raise SemanticError(
+                    f"array index must be int, got {index_type}",
+                    stmt.line,
+                    stmt.column,
+                )
+            value_type = self._check_expr(stmt.value, scope)
+            if value_type is not array.elem_type:
+                raise SemanticError(
+                    f"storing {value_type} value into {array.elem_type} "
+                    f"array {stmt.array!r}",
+                    stmt.line,
+                    stmt.column,
+                )
+        elif isinstance(stmt, ast.IfStmt):
+            self._check_condition(stmt.cond, scope)
+            self._check_block(stmt.then_body, scope, func, loop_depth)
+            if stmt.else_body is not None:
+                self._check_block(stmt.else_body, scope, func, loop_depth)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._check_condition(stmt.cond, scope)
+            self._check_block(stmt.body, scope, func, loop_depth + 1)
+        elif isinstance(stmt, ast.ForStmt):
+            # The init clause may declare a variable scoped to the loop.
+            for_scope = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, for_scope, func, loop_depth)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond, for_scope)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, for_scope, func, loop_depth + 1)
+            self._check_block(stmt.body, for_scope, func, loop_depth + 1)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if func.return_type is None:
+                if stmt.value is not None:
+                    raise SemanticError(
+                        f"void function {func.name!r} returns a value",
+                        stmt.line,
+                        stmt.column,
+                    )
+            else:
+                if stmt.value is None:
+                    raise SemanticError(
+                        f"non-void function {func.name!r} returns nothing",
+                        stmt.line,
+                        stmt.column,
+                    )
+                value_type = self._check_expr(stmt.value, scope)
+                if value_type is not func.return_type:
+                    raise SemanticError(
+                        f"returning {value_type} from {func.return_type} "
+                        f"function {func.name!r}",
+                        stmt.line,
+                        stmt.column,
+                    )
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            if loop_depth == 0:
+                word = "break" if isinstance(stmt, ast.BreakStmt) else "continue"
+                raise SemanticError(
+                    f"{word} outside of a loop", stmt.line, stmt.column
+                )
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope, allow_void=True)
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope, func, loop_depth)
+        else:  # pragma: no cover - parser produces no other statements
+            raise SemanticError(f"unknown statement {stmt!r}", stmt.line, stmt.column)
+
+    def _check_condition(self, expr: ast.Expr, scope: _Scope) -> None:
+        cond_type = self._check_expr(expr, scope)
+        if cond_type is not INT:
+            raise SemanticError(
+                f"condition must be int, got {cond_type}", expr.line, expr.column
+            )
+
+    def _lookup_array(self, name: str, node: ast.Node) -> ast.GlobalDecl:
+        array = self.globals.get(name)
+        if array is None:
+            raise SemanticError(f"unknown array {name!r}", node.line, node.column)
+        return array
+
+    # ------------------------------------------------------------------
+
+    def _check_expr(
+        self, expr: ast.Expr, scope: _Scope, allow_void: bool = False
+    ) -> Optional[ValueType]:
+        vtype = self._expr_type(expr, scope, allow_void)
+        expr.vtype = vtype
+        return vtype
+
+    def _expr_type(
+        self, expr: ast.Expr, scope: _Scope, allow_void: bool
+    ) -> Optional[ValueType]:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.VarRef):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise SemanticError(
+                    f"unknown variable {expr.name!r}", expr.line, expr.column
+                )
+            expr.symbol = symbol  # type: ignore[attr-defined]
+            return symbol.vtype
+        if isinstance(expr, ast.ArrayRef):
+            array = self._lookup_array(expr.array, expr)
+            index_type = self._check_expr(expr.index, scope)
+            if index_type is not INT:
+                raise SemanticError(
+                    f"array index must be int, got {index_type}",
+                    expr.line,
+                    expr.column,
+                )
+            return array.elem_type
+        if isinstance(expr, ast.UnaryExpr):
+            operand_type = self._check_expr(expr.operand, scope)
+            if expr.op == "!" and operand_type is not INT:
+                raise SemanticError(
+                    "operator '!' requires an int operand", expr.line, expr.column
+                )
+            return INT if expr.op == "!" else operand_type
+        if isinstance(expr, ast.BinaryExpr):
+            lhs = self._check_expr(expr.lhs, scope)
+            rhs = self._check_expr(expr.rhs, scope)
+            if lhs is not rhs:
+                raise SemanticError(
+                    f"operator {expr.op!r} applied to {lhs} and {rhs} "
+                    "(use itof/ftoi to convert)",
+                    expr.line,
+                    expr.column,
+                )
+            if expr.op in ("&&", "||", "%") and lhs is not INT:
+                raise SemanticError(
+                    f"operator {expr.op!r} requires int operands",
+                    expr.line,
+                    expr.column,
+                )
+            if expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                return INT
+            return lhs
+        if isinstance(expr, ast.CallExpr):
+            return self._check_call(expr, scope, allow_void)
+        raise SemanticError(  # pragma: no cover - parser exhausts Expr kinds
+            f"unknown expression {expr!r}", expr.line, expr.column
+        )
+
+    def _check_call(
+        self, expr: ast.CallExpr, scope: _Scope, allow_void: bool
+    ) -> Optional[ValueType]:
+        if expr.callee in BUILTINS:
+            param_type, return_type = BUILTINS[expr.callee]
+            if len(expr.args) != 1:
+                raise SemanticError(
+                    f"{expr.callee} takes exactly one argument",
+                    expr.line,
+                    expr.column,
+                )
+            arg_type = self._check_expr(expr.args[0], scope)
+            if arg_type is not param_type:
+                raise SemanticError(
+                    f"{expr.callee} requires a {param_type} argument",
+                    expr.line,
+                    expr.column,
+                )
+            return return_type
+        signature = self.functions.get(expr.callee)
+        if signature is None:
+            raise SemanticError(
+                f"call to unknown function {expr.callee!r}", expr.line, expr.column
+            )
+        if len(expr.args) != len(signature.param_types):
+            raise SemanticError(
+                f"{expr.callee} expects {len(signature.param_types)} arguments, "
+                f"got {len(expr.args)}",
+                expr.line,
+                expr.column,
+            )
+        for arg, expected in zip(expr.args, signature.param_types):
+            arg_type = self._check_expr(arg, scope)
+            if arg_type is not expected:
+                raise SemanticError(
+                    f"argument of type {arg_type} where {expected} expected "
+                    f"in call to {expr.callee!r}",
+                    expr.line,
+                    expr.column,
+                )
+        if signature.return_type is None and not allow_void:
+            raise SemanticError(
+                f"void function {expr.callee!r} used as a value",
+                expr.line,
+                expr.column,
+            )
+        return signature.return_type
+
+
+def analyze(unit: ast.TranslationUnit) -> Analyzer:
+    """Type-check ``unit`` in place; returns the analyzer for its tables."""
+    analyzer = Analyzer(unit)
+    analyzer.analyze()
+    return analyzer

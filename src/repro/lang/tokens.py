@@ -1,0 +1,77 @@
+"""Token definitions for the mini-C language."""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class TokenKind(enum.Enum):
+    # literals and identifiers
+    INT_LIT = "int literal"
+    FLOAT_LIT = "float literal"
+    IDENT = "identifier"
+    # keywords
+    KW_INT = "int"
+    KW_FLOAT = "float"
+    KW_VOID = "void"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    # punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    ASSIGN = "="
+    # operators
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    BANG = "!"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND_AND = "&&"
+    OR_OR = "||"
+    # end of file
+    EOF = "end of input"
+
+
+KEYWORDS = {
+    "int": TokenKind.KW_INT,
+    "float": TokenKind.KW_FLOAT,
+    "void": TokenKind.KW_VOID,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "for": TokenKind.KW_FOR,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+}
+
+
+class Token(NamedTuple):
+    """One lexed token with its source location (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"

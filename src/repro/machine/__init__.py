@@ -1,0 +1,29 @@
+"""Machine model: register banks, calling convention, sweep."""
+
+from repro.machine.mips import (
+    FULL_CONFIG,
+    MIN_CONFIG,
+    full_register_file,
+    mips_sweep,
+    register_file,
+)
+from repro.machine.registers import (
+    PhysReg,
+    RegisterBank,
+    RegisterConfig,
+    RegisterFile,
+    RegisterKind,
+)
+
+__all__ = [
+    "FULL_CONFIG",
+    "MIN_CONFIG",
+    "PhysReg",
+    "RegisterBank",
+    "RegisterConfig",
+    "RegisterFile",
+    "RegisterKind",
+    "full_register_file",
+    "mips_sweep",
+    "register_file",
+]

@@ -1,0 +1,60 @@
+"""MIPS-flavoured register-file constants and the canonical sweep.
+
+The paper's measurements run on MIPS, whose standard calling
+convention forces at least ``(6,4,0,0)``: four integer argument
+registers plus two return registers, and two float argument plus two
+float return registers, all caller-save.  The full usable file is 26
+integer and 16 float registers, which we split (o32-style) into 17
+caller-save + 9 callee-save integers and 10 caller-save + 6
+callee-save floats.
+
+``mips_sweep()`` is the register-pressure axis used by every figure:
+it starts at the convention minimum and grows all four counts together
+until the full file is reached, mirroring the ``(6,4,0,0) ...
+(10,8,4,4) ...`` labels on the paper's x-axes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.machine.registers import RegisterConfig, RegisterFile
+
+#: The smallest file the calling convention permits.
+MIN_CONFIG = RegisterConfig(6, 4, 0, 0)
+
+#: The full MIPS file: 26 integer (17 caller + 9 callee) and
+#: 16 float (10 caller + 6 callee) registers.
+FULL_CONFIG = RegisterConfig(17, 10, 9, 6)
+
+
+def mips_sweep() -> List[RegisterConfig]:
+    """The canonical register-pressure sweep used on every x-axis.
+
+    Step ``k`` is ``(6+k, 4+k, k, k)`` with each component clamped to
+    its :data:`FULL_CONFIG` maximum; the sweep ends when every
+    component has saturated.
+    """
+    configs: List[RegisterConfig] = []
+    k = 0
+    while True:
+        config = RegisterConfig(
+            min(MIN_CONFIG.caller_int + k, FULL_CONFIG.caller_int),
+            min(MIN_CONFIG.caller_float + k, FULL_CONFIG.caller_float),
+            min(k, FULL_CONFIG.callee_int),
+            min(k, FULL_CONFIG.callee_float),
+        )
+        configs.append(config)
+        if config == FULL_CONFIG:
+            return configs
+        k += 1
+
+
+def register_file(config: RegisterConfig) -> RegisterFile:
+    """Build a :class:`RegisterFile` for ``config``."""
+    return RegisterFile(config)
+
+
+def full_register_file() -> RegisterFile:
+    """The complete MIPS file (used by the Table 4 speedup runs)."""
+    return RegisterFile(FULL_CONFIG)

@@ -1,0 +1,136 @@
+"""Physical register file with caller-save / callee-save split.
+
+The machine model follows the paper's MIPS target: two register banks
+(integer and floating point), each divided into caller-save and
+callee-save registers by the calling convention.  A configuration is
+written ``(Ri, Rf, Ei, Ef)`` exactly as on the paper's x-axes: the
+number of caller-save integer / caller-save float / callee-save
+integer / callee-save float registers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, NamedTuple, Tuple
+
+from repro.ir.types import FLOAT, INT, ValueType
+
+
+class RegisterKind(enum.Enum):
+    """Who is responsible for preserving the register across a call."""
+
+    CALLER_SAVE = "caller"
+    CALLEE_SAVE = "callee"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class PhysReg(NamedTuple):
+    """One physical register."""
+
+    bank: ValueType
+    kind: RegisterKind
+    index: int
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+    @property
+    def is_callee_save(self) -> bool:
+        return self.kind is RegisterKind.CALLEE_SAVE
+
+    @property
+    def is_caller_save(self) -> bool:
+        return self.kind is RegisterKind.CALLER_SAVE
+
+
+class RegisterConfig(NamedTuple):
+    """A ``(Ri, Rf, Ei, Ef)`` register-file configuration."""
+
+    caller_int: int
+    caller_float: int
+    callee_int: int
+    callee_float: int
+
+    def __str__(self) -> str:
+        return (
+            f"({self.caller_int},{self.caller_float},"
+            f"{self.callee_int},{self.callee_float})"
+        )
+
+    def counts(self, bank: ValueType) -> Tuple[int, int]:
+        """(caller-save count, callee-save count) for ``bank``."""
+        if bank.is_float:
+            return self.caller_float, self.callee_float
+        return self.caller_int, self.callee_int
+
+    @property
+    def total(self) -> int:
+        return sum(self)
+
+
+@dataclass(frozen=True)
+class RegisterBank:
+    """All physical registers of one value type."""
+
+    vtype: ValueType
+    caller: Tuple[PhysReg, ...]
+    callee: Tuple[PhysReg, ...]
+
+    @property
+    def registers(self) -> Tuple[PhysReg, ...]:
+        return self.caller + self.callee
+
+    @property
+    def num_regs(self) -> int:
+        return len(self.caller) + len(self.callee)
+
+    def of_kind(self, kind: RegisterKind) -> Tuple[PhysReg, ...]:
+        return self.caller if kind is RegisterKind.CALLER_SAVE else self.callee
+
+
+class RegisterFile:
+    """The complete register file for one configuration."""
+
+    def __init__(self, config: RegisterConfig):
+        for count in config:
+            if count < 0:
+                raise ValueError(f"negative register count in {config}")
+        if config.caller_int + config.callee_int == 0:
+            raise ValueError("register file needs at least one integer register")
+        if config.caller_float + config.callee_float == 0:
+            raise ValueError("register file needs at least one float register")
+        self.config = config
+        self._banks: Dict[ValueType, RegisterBank] = {
+            INT: _make_bank(INT, *config.counts(INT)),
+            FLOAT: _make_bank(FLOAT, *config.counts(FLOAT)),
+        }
+
+    def bank(self, vtype: ValueType) -> RegisterBank:
+        return self._banks[vtype]
+
+    @property
+    def banks(self) -> Tuple[RegisterBank, ...]:
+        return (self._banks[INT], self._banks[FLOAT])
+
+    def all_registers(self) -> Tuple[PhysReg, ...]:
+        return self._banks[INT].registers + self._banks[FLOAT].registers
+
+    def __repr__(self) -> str:
+        return f"<register file {self.config}>"
+
+
+def _make_bank(vtype: ValueType, caller_count: int, callee_count: int) -> RegisterBank:
+    prefix = "f" if vtype.is_float else "i"
+    caller = tuple(
+        PhysReg(vtype, RegisterKind.CALLER_SAVE, i, f"${prefix}c{i}")
+        for i in range(caller_count)
+    )
+    callee = tuple(
+        PhysReg(vtype, RegisterKind.CALLEE_SAVE, i, f"${prefix}s{i}")
+        for i in range(callee_count)
+    )
+    return RegisterBank(vtype=vtype, caller=caller, callee=callee)

@@ -1,0 +1,21 @@
+"""Pre-allocation IR optimizations (cmcc is an optimizing compiler).
+
+``optimize_program`` runs copy propagation, constant folding,
+dead-code elimination and CFG simplification to a fixed point.
+"""
+
+from repro.opt.constfold import fold_constants
+from repro.opt.copyprop import propagate_copies
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.pipeline import MAX_ROUNDS, optimize_function, optimize_program
+from repro.opt.simplify_cfg import simplify_cfg
+
+__all__ = [
+    "MAX_ROUNDS",
+    "eliminate_dead_code",
+    "fold_constants",
+    "optimize_function",
+    "optimize_program",
+    "propagate_copies",
+    "simplify_cfg",
+]

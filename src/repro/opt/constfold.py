@@ -1,0 +1,139 @@
+"""Constant folding and algebraic simplification.
+
+Folds operations whose operands are known constants and simplifies the
+algebraic identities that matter for lowered mini-C (``x + 0``,
+``x * 1``, ``x * 0``), replacing the instruction with a ``Const`` or a
+``Copy``.  Constants are tracked per block by forward propagation
+(block-local only: a value is "known" when its defining ``Const`` is
+in the same block and not killed), which keeps the pass linear and
+safe without global SSA.
+
+Division and modulo by a constant zero are left untouched: the
+program's runtime error behaviour must be preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOpcode,
+    BinOp,
+    Const,
+    Copy,
+    Instr,
+    UnaryOp,
+    UnaryOpcode,
+)
+from repro.ir.values import VReg
+from repro.profile.interp import _c_div, _c_mod
+
+
+def fold_constants(func: Function) -> int:
+    """Fold constant expressions in ``func``; returns changes made."""
+    changes = 0
+    for block in func.blocks:
+        known: Dict[VReg, float] = {}
+        rewritten = []
+        for instr in block.instrs:
+            replacement = _fold_instr(instr, known)
+            if replacement is not None:
+                instr = replacement
+                changes += 1
+            for reg in instr.defs():
+                known.pop(reg, None)
+            if isinstance(instr, Const):
+                known[instr.dst] = instr.value
+            rewritten.append(instr)
+        block.instrs = rewritten
+    return changes
+
+
+def _fold_instr(instr: Instr, known: Dict[VReg, float]) -> Optional[Instr]:
+    if isinstance(instr, BinOp):
+        lhs = known.get(instr.lhs)
+        rhs = known.get(instr.rhs)
+        if lhs is not None and rhs is not None:
+            value = _eval_binop(instr, lhs, rhs)
+            if value is not None:
+                return Const(instr.dst, value)
+        return _algebraic(instr, lhs, rhs)
+    if isinstance(instr, UnaryOp):
+        value = known.get(instr.src)
+        if value is None:
+            return None
+        if instr.op is UnaryOpcode.NEG:
+            return Const(instr.dst, -value)
+        if instr.op is UnaryOpcode.NOT:
+            return Const(instr.dst, int(value == 0))
+        if instr.op is UnaryOpcode.I2F:
+            return Const(instr.dst, float(value))
+        if instr.op is UnaryOpcode.F2I:
+            return Const(instr.dst, int(value))
+    return None
+
+
+def _eval_binop(instr: BinOp, lhs, rhs) -> Optional[float]:
+    op = instr.op
+    if op is BinaryOpcode.ADD:
+        return lhs + rhs
+    if op is BinaryOpcode.SUB:
+        return lhs - rhs
+    if op is BinaryOpcode.MUL:
+        return lhs * rhs
+    if op is BinaryOpcode.DIV:
+        if rhs == 0:
+            return None  # preserve the runtime error
+        if instr.dst.vtype.is_float:
+            return lhs / rhs
+        return _c_div(int(lhs), int(rhs))
+    if op is BinaryOpcode.MOD:
+        if rhs == 0:
+            return None
+        return _c_mod(int(lhs), int(rhs))
+    if op is BinaryOpcode.AND:
+        return int(lhs) & int(rhs)
+    if op is BinaryOpcode.OR:
+        return int(lhs) | int(rhs)
+    if op is BinaryOpcode.EQ:
+        return int(lhs == rhs)
+    if op is BinaryOpcode.NE:
+        return int(lhs != rhs)
+    if op is BinaryOpcode.LT:
+        return int(lhs < rhs)
+    if op is BinaryOpcode.LE:
+        return int(lhs <= rhs)
+    if op is BinaryOpcode.GT:
+        return int(lhs > rhs)
+    if op is BinaryOpcode.GE:
+        return int(lhs >= rhs)
+    return None  # pragma: no cover - exhaustive
+
+
+def _algebraic(instr: BinOp, lhs, rhs) -> Optional[Instr]:
+    """Identities with one constant operand.
+
+    Only exact identities are applied; float ``x * 0`` is *not* folded
+    (it would change the sign of zero / NaN propagation).
+    """
+    is_int = not instr.dst.vtype.is_float
+    op = instr.op
+    if op is BinaryOpcode.ADD:
+        if rhs == 0 and rhs is not None and is_int:
+            return Copy(instr.dst, instr.lhs)
+        if lhs == 0 and lhs is not None and is_int:
+            return Copy(instr.dst, instr.rhs)
+    elif op is BinaryOpcode.SUB:
+        if rhs == 0 and rhs is not None and is_int:
+            return Copy(instr.dst, instr.lhs)
+    elif op is BinaryOpcode.MUL and is_int:
+        if rhs == 1:
+            return Copy(instr.dst, instr.lhs)
+        if lhs == 1:
+            return Copy(instr.dst, instr.rhs)
+        if rhs == 0 or lhs == 0:
+            return Const(instr.dst, 0)
+    elif op is BinaryOpcode.DIV and is_int and rhs == 1:
+        return Copy(instr.dst, instr.lhs)
+    return None

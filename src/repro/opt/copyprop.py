@@ -1,0 +1,46 @@
+"""Block-local copy propagation.
+
+Within a block, a use of ``b`` after ``b = copy a`` is rewritten to
+use ``a`` directly, as long as neither ``a`` nor ``b`` has been
+redefined in between.  The copy itself becomes dead and is left for
+dead-code elimination (or the register allocator's coalescer) to
+remove.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.function import Function
+from repro.ir.instructions import Copy
+from repro.ir.values import VReg
+
+
+def propagate_copies(func: Function) -> int:
+    """Rewrite uses through block-local copies; returns rewrites made."""
+    changes = 0
+    for block in func.blocks:
+        # current source for each copied register
+        source: Dict[VReg, VReg] = {}
+        for instr in block.instrs:
+            mapping = {}
+            for used in instr.uses():
+                replacement = source.get(used)
+                if replacement is not None and replacement is not used:
+                    mapping[used] = replacement
+            if mapping:
+                instr.replace_uses(mapping)
+                changes += len(mapping)
+            defined = instr.defs()
+            for reg in defined:
+                # A redefinition kills both directions of any mapping
+                # involving the register.
+                source.pop(reg, None)
+                for copied, origin in list(source.items()):
+                    if origin is reg:
+                        del source[copied]
+            if isinstance(instr, Copy) and instr.dst is not instr.src:
+                # Record after kills: dst now holds src's value.
+                chained = source.get(instr.src, instr.src)
+                source[instr.dst] = chained
+    return changes

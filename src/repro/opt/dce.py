@@ -1,0 +1,57 @@
+"""Dead code elimination.
+
+Removes side-effect-free instructions whose results are never used,
+iterating backwards over liveness until a fixed point.  Stores, calls
+(the callee may touch globals), and terminators are never removed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness import compute_liveness
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Const,
+    Copy,
+    Instr,
+    Load,
+    UnaryOp,
+)
+
+
+def _removable(instr: Instr) -> bool:
+    # Loads are side-effect-free in this IR (no volatile, and the
+    # bounds error of a dead load cannot be observed by a program
+    # whose live executions don't fault — but to preserve error
+    # behaviour exactly we keep loads whose index might fault.  Since
+    # the interpreter treats out-of-bounds as a crash, dropping a
+    # crashing dead load would change behaviour; we are conservative
+    # and keep all loads.
+    return isinstance(instr, (BinOp, UnaryOp, Const, Copy))
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Delete dead instructions from ``func``; returns removals."""
+    removed_total = 0
+    while True:
+        liveness = compute_liveness(func)
+        removed = 0
+        for block in func.blocks:
+            keep = []
+            doomed = []
+            for instr, live_after in liveness.live_across(block):
+                defs = instr.defs()
+                if (
+                    defs
+                    and _removable(instr)
+                    and not any(reg in live_after for reg in defs)
+                ):
+                    doomed.append(instr)
+            doomed_set = set(map(id, doomed))
+            if doomed_set:
+                keep = [i for i in block.instrs if id(i) not in doomed_set]
+                removed += len(block.instrs) - len(keep)
+                block.instrs = keep
+        removed_total += removed
+        if removed == 0:
+            return removed_total

@@ -1,0 +1,113 @@
+"""Control-flow simplification.
+
+Three clean-ups that the lowering's systematic block structure leaves
+on the table:
+
+* **Constant branches**: ``br`` on a register whose defining
+  instruction is a block-local ``Const`` becomes a ``jmp``.
+* **Jump threading**: a branch/jump to a block that contains only a
+  ``jmp`` is retargeted past it.
+* **Unreachable blocks** are deleted, and **straight-line pairs**
+  (a block whose single successor has it as the single predecessor)
+  are merged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.cfg import remove_unreachable
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Branch, Const, Jump
+
+
+def simplify_cfg(func: Function) -> int:
+    """Apply all CFG clean-ups to a fixed point; returns changes."""
+    total = 0
+    while True:
+        changes = 0
+        changes += _fold_constant_branches(func)
+        changes += _thread_jumps(func)
+        changes += remove_unreachable(func)
+        changes += _merge_straightline(func)
+        total += changes
+        if changes == 0:
+            return total
+
+
+def _fold_constant_branches(func: Function) -> int:
+    changes = 0
+    for block in func.blocks:
+        term = block.terminator
+        if not isinstance(term, Branch):
+            continue
+        value = None
+        for instr in block.instrs:
+            if instr is term:
+                break
+            if term.cond in instr.defs():
+                value = instr.value if isinstance(instr, Const) else None
+        if value is not None:
+            target = term.then_block if value != 0 else term.else_block
+            block.instrs[-1] = Jump(target)
+            changes += 1
+    return changes
+
+
+def _jump_only_target(block: BasicBlock) -> BasicBlock:
+    """Follow chains of jump-only blocks (with cycle protection)."""
+    seen = {block}
+    while len(block.instrs) == 1 and isinstance(block.instrs[0], Jump):
+        target = block.instrs[0].target
+        if target in seen:
+            break
+        seen.add(target)
+        block = target
+    return block
+
+
+def _thread_jumps(func: Function) -> int:
+    changes = 0
+    for block in func.blocks:
+        term = block.terminator
+        if isinstance(term, Jump):
+            target = _jump_only_target(term.target)
+            if target is not term.target:
+                term.target = target
+                changes += 1
+        elif isinstance(term, Branch):
+            then_t = _jump_only_target(term.then_block)
+            else_t = _jump_only_target(term.else_block)
+            if then_t is not term.then_block or else_t is not term.else_block:
+                term.then_block = then_t
+                term.else_block = else_t
+                changes += 1
+            if term.then_block is term.else_block:
+                block.instrs[-1] = Jump(term.then_block)
+                changes += 1
+    return changes
+
+
+def _merge_straightline(func: Function) -> int:
+    changes = 0
+    preds: Dict[BasicBlock, list] = func.predecessors()
+    alive = set(func.blocks)
+    for block in list(func.blocks):
+        if block not in alive:
+            continue  # already merged into a predecessor
+        term = block.terminator
+        if not isinstance(term, Jump):
+            continue
+        succ = term.target
+        if succ is block or succ is func.entry:
+            continue
+        if len(preds[succ]) != 1:
+            continue
+        # Merge succ into block (the terminator instruction object may
+        # be shared with nothing: it is dropped here).
+        block.instrs = block.instrs[:-1] + succ.instrs
+        func.blocks.remove(succ)
+        alive.discard(succ)
+        preds = func.predecessors()
+        changes += 1
+    return changes

@@ -1,0 +1,36 @@
+"""Execution: IR interpreter (profiling oracle) and machine interpreter.
+
+* :func:`run_program` executes IR, returns observable state and an
+  exact :class:`Profile` (the paper's dynamic information).
+* :func:`run_allocated` executes post-allocation code against a
+  physical register file, enforcing the calling convention, as the
+  correctness oracle for every allocator.
+"""
+
+from repro.profile.interp import (
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+    run_program,
+)
+from repro.profile.machine_interp import (
+    MachineError,
+    MachineExecution,
+    MachineInterpreter,
+    POISON,
+    run_allocated,
+)
+from repro.profile.profile import Profile
+
+__all__ = [
+    "ExecutionResult",
+    "Interpreter",
+    "InterpreterError",
+    "MachineError",
+    "MachineExecution",
+    "MachineInterpreter",
+    "POISON",
+    "Profile",
+    "run_allocated",
+    "run_program",
+]

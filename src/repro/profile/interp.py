@@ -1,0 +1,220 @@
+"""A direct interpreter for the repro IR.
+
+The interpreter plays two roles in the reproduction:
+
+1. **Profiler** — it executes a program once and records exact basic
+   block and function-entry counts (the paper's *dynamic information*).
+2. **Semantics oracle** — tests compare global-array state and the
+   ``main`` return value before and after register allocation (the
+   allocated code is executed by :mod:`repro.profile.machine_interp`).
+
+Arithmetic follows C on a 32-bit-int machine in spirit but uses
+Python's unbounded integers (the workloads keep values small on
+purpose); integer division truncates toward zero and ``%`` takes the
+sign of the dividend, as in C99.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.function import Function, Program
+from repro.ir.instructions import (
+    BinaryOpcode,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    UnaryOp,
+    UnaryOpcode,
+)
+from repro.ir.values import VReg
+from repro.profile.profile import Profile
+
+
+class InterpreterError(Exception):
+    """Runtime error: bad index, division by zero, fuel exhausted..."""
+
+
+@dataclass
+class ExecutionResult:
+    """Observable outcome of one program run."""
+
+    return_value: Optional[float]
+    globals_state: Dict[str, List]
+    profile: Profile
+    instructions_executed: int = 0
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("integer modulo by zero")
+    return a - _c_div(a, b) * b
+
+
+class Interpreter:
+    """Executes a program; see :func:`run_program` for the usual entry."""
+
+    def __init__(self, program: Program, fuel: int = 50_000_000):
+        self.program = program
+        self.fuel = fuel
+        self.executed = 0
+        self.profile = Profile()
+        self.globals: Dict[str, List] = {
+            name: array.initial_values() for name, array in program.globals.items()
+        }
+
+    def run(self, func_name: str = "main", args: Optional[List] = None):
+        """Execute ``func_name`` with ``args``; returns its return value."""
+        func = self.program.function(func_name)
+        actual = list(args or [])
+        if len(actual) != len(func.params):
+            raise InterpreterError(
+                f"{func_name} expects {len(func.params)} arguments, "
+                f"got {len(actual)}"
+            )
+        return self._call(func, actual)
+
+    # ------------------------------------------------------------------
+
+    def _call(self, func: Function, args: List):
+        self.profile.record_entry(func.name)
+        env: Dict[VReg, object] = {}
+        for param, value in zip(func.params, args):
+            env[param] = float(value) if param.vtype.is_float else int(value)
+        block = func.entry
+        while True:
+            self.profile.record_block(block)
+            self.executed += len(block.instrs)
+            if self.executed > self.fuel:
+                raise InterpreterError(
+                    f"fuel exhausted after {self.executed} instructions"
+                )
+            next_block = None
+            for instr in block.instrs:
+                if isinstance(instr, Const):
+                    env[instr.dst] = instr.value
+                elif isinstance(instr, BinOp):
+                    env[instr.dst] = self._binop(
+                        instr.op, env[instr.lhs], env[instr.rhs], instr.dst.vtype.is_float
+                    )
+                elif isinstance(instr, UnaryOp):
+                    env[instr.dst] = self._unop(instr.op, env[instr.src])
+                elif isinstance(instr, Copy):
+                    env[instr.dst] = env[instr.src]
+                elif isinstance(instr, Load):
+                    env[instr.dst] = self._load(instr.array, env[instr.index])
+                elif isinstance(instr, Store):
+                    self._store(instr.array, env[instr.index], env[instr.value])
+                elif isinstance(instr, Call):
+                    callee = self.program.function(instr.callee)
+                    result = self._call(callee, [env[a] for a in instr.args])
+                    if instr.dst is not None:
+                        env[instr.dst] = result
+                elif isinstance(instr, Branch):
+                    next_block = (
+                        instr.then_block if env[instr.cond] != 0 else instr.else_block
+                    )
+                elif isinstance(instr, Jump):
+                    next_block = instr.target
+                elif isinstance(instr, Ret):
+                    return env[instr.value] if instr.value is not None else None
+                else:  # pragma: no cover - exhaustive over the IR
+                    raise InterpreterError(f"cannot execute {instr!r}")
+            if next_block is None:
+                raise InterpreterError(f"block {block.name} fell through")
+            block = next_block
+
+    def _binop(self, op: BinaryOpcode, lhs, rhs, float_result: bool):
+        if op is BinaryOpcode.ADD:
+            return lhs + rhs
+        if op is BinaryOpcode.SUB:
+            return lhs - rhs
+        if op is BinaryOpcode.MUL:
+            return lhs * rhs
+        if op is BinaryOpcode.DIV:
+            if float_result:
+                if rhs == 0.0:
+                    raise InterpreterError("float division by zero")
+                return lhs / rhs
+            return _c_div(lhs, rhs)
+        if op is BinaryOpcode.MOD:
+            return _c_mod(lhs, rhs)
+        if op is BinaryOpcode.AND:
+            return lhs & rhs
+        if op is BinaryOpcode.OR:
+            return lhs | rhs
+        if op is BinaryOpcode.EQ:
+            return int(lhs == rhs)
+        if op is BinaryOpcode.NE:
+            return int(lhs != rhs)
+        if op is BinaryOpcode.LT:
+            return int(lhs < rhs)
+        if op is BinaryOpcode.LE:
+            return int(lhs <= rhs)
+        if op is BinaryOpcode.GT:
+            return int(lhs > rhs)
+        if op is BinaryOpcode.GE:
+            return int(lhs >= rhs)
+        raise InterpreterError(f"unknown binop {op}")  # pragma: no cover
+
+    def _unop(self, op: UnaryOpcode, value):
+        if op is UnaryOpcode.NEG:
+            return -value
+        if op is UnaryOpcode.NOT:
+            return int(value == 0)
+        if op is UnaryOpcode.I2F:
+            return float(value)
+        if op is UnaryOpcode.F2I:
+            return int(value)
+        raise InterpreterError(f"unknown unop {op}")  # pragma: no cover
+
+    def _load(self, array: str, index):
+        values = self.globals.get(array)
+        if values is None:
+            raise InterpreterError(f"load from unknown array @{array}")
+        if not 0 <= index < len(values):
+            raise InterpreterError(
+                f"index {index} out of bounds for @{array}[{len(values)}]"
+            )
+        return values[index]
+
+    def _store(self, array: str, index, value) -> None:
+        values = self.globals.get(array)
+        if values is None:
+            raise InterpreterError(f"store to unknown array @{array}")
+        if not 0 <= index < len(values):
+            raise InterpreterError(
+                f"index {index} out of bounds for @{array}[{len(values)}]"
+            )
+        values[index] = value
+
+
+def run_program(
+    program: Program,
+    func_name: str = "main",
+    args: Optional[List] = None,
+    fuel: int = 50_000_000,
+) -> ExecutionResult:
+    """Execute ``program`` and return observable state plus a profile."""
+    interp = Interpreter(program, fuel=fuel)
+    result = interp.run(func_name, args)
+    return ExecutionResult(
+        return_value=result,
+        globals_state=interp.globals,
+        profile=interp.profile,
+        instructions_executed=interp.executed,
+    )

@@ -1,0 +1,321 @@
+"""Machine-level interpreter: executes *allocated* code.
+
+This is the correctness oracle of the reproduction.  It runs the
+post-allocation program against a physical register file and per-frame
+spill slots, with the calling convention enforced the hard way:
+
+* on return from a call, **every caller-save register is poisoned** —
+  any value that should have survived the call must have been saved
+  and restored by allocator-inserted code, or its next read fails;
+* spill slots start poisoned, so a reload without a prior save fails;
+* values flow between caller and callee only through argument values
+  and the return value (the abstracted argument registers of the
+  calling convention), and through callee-save registers, which the
+  callee's own prologue/epilogue must preserve.
+
+Tests assert that the allocated program computes the same global-array
+state and ``main`` return value as the original IR, and that the
+number of overhead operations executed matches the analytic count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    UnaryOp,
+)
+from repro.ir.values import VReg
+from repro.machine.registers import PhysReg
+from repro.profile.interp import InterpreterError, _c_div, _c_mod
+from repro.regalloc.framework import ProgramAllocation
+from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+
+
+class _Poison:
+    """Sentinel for register/slot values that must not be read."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<poison>"
+
+
+POISON = _Poison()
+
+
+class MachineError(InterpreterError):
+    """The allocated code read a clobbered or uninitialized value."""
+
+
+@dataclass
+class MachineExecution:
+    """Observable outcome of running allocated code."""
+
+    return_value: Optional[float]
+    globals_state: Dict[str, List]
+    overhead_counts: Dict[OverheadKind, int] = field(default_factory=dict)
+    shuffle_count: int = 0
+    instructions_executed: int = 0
+
+
+class MachineInterpreter:
+    def __init__(self, allocation: ProgramAllocation, fuel: int = 100_000_000):
+        self.allocation = allocation
+        self.program = allocation.program
+        self.fuel = fuel
+        self.executed = 0
+        self.regs: Dict[PhysReg, object] = {
+            phys: POISON for phys in allocation.regfile.all_registers()
+        }
+        self.globals: Dict[str, List] = {
+            name: array.initial_values()
+            for name, array in self.program.globals.items()
+        }
+        self.overhead: Dict[OverheadKind, int] = {kind: 0 for kind in OverheadKind}
+        self.shuffles = 0
+
+    def run(self, func_name: str = "main", args: Optional[List] = None):
+        return self._call(func_name, list(args or []))
+
+    # ------------------------------------------------------------------
+
+    def _call(self, func_name: str, args: List):
+        fa = self.allocation.functions[func_name]
+        func = fa.func
+        assignment = fa.assignment
+        slots: Dict[int, object] = {}
+
+        def read(reg: VReg):
+            value = self.regs[assignment[reg]]
+            if value is POISON:
+                raise MachineError(
+                    f"{func_name}: read of clobbered register "
+                    f"{assignment[reg]} (live range {reg})"
+                )
+            return value
+
+        def write(reg: VReg, value) -> None:
+            self.regs[assignment[reg]] = value
+
+        # Prologue: the callee-save saves at the head of the entry
+        # block capture the *caller's* register values, so they run
+        # before the parameters land in their registers.
+        entry = func.entry
+        start = 0
+        for instr in entry.instrs:
+            if isinstance(instr, SpillStore) and instr.kind is OverheadKind.CALLEE_SAVE:
+                slots[instr.slot] = self.regs[instr.src]
+                self.overhead[OverheadKind.CALLEE_SAVE] += 1
+                self.executed += 1
+                start += 1
+            else:
+                break
+        for param, value in zip(func.params, args):
+            write(param, float(value) if param.vtype.is_float else int(value))
+
+        # Epilogue handling: the callee-save restores before a Ret may
+        # overwrite the register holding the return value (on real
+        # hardware the value moves to the caller-save return register
+        # first; our model passes it abstractly).  Capture the value
+        # when the epilogue's first restore executes.
+        epilogue_capture = {}
+        for b in func.blocks:
+            term = b.instrs[-1] if b.instrs else None
+            if isinstance(term, Ret) and term.value is not None:
+                i = len(b.instrs) - 2
+                first = None
+                while i >= 0:
+                    candidate = b.instrs[i]
+                    if (
+                        isinstance(candidate, SpillLoad)
+                        and candidate.kind is OverheadKind.CALLEE_SAVE
+                    ):
+                        first = candidate
+                        i -= 1
+                    else:
+                        break
+                if first is not None:
+                    epilogue_capture[id(first)] = term.value
+        captured = None
+
+        block = entry
+        index = start
+        while True:
+            if self.executed > self.fuel:
+                raise MachineError("machine fuel exhausted")
+            next_block = None
+            instrs = block.instrs
+            while index < len(instrs):
+                instr = instrs[index]
+                index += 1
+                self.executed += 1
+                if isinstance(instr, SpillLoad):
+                    if id(instr) in epilogue_capture:
+                        captured = read(epilogue_capture[id(instr)])
+                    if instr.slot not in slots:
+                        raise MachineError(
+                            f"{func_name}: reload of unwritten slot {instr.slot}"
+                        )
+                    value = slots[instr.slot]
+                    self.overhead[instr.kind] += 1
+                    if isinstance(instr.dst, VReg):
+                        write(instr.dst, value)
+                    else:
+                        self.regs[instr.dst] = value
+                elif isinstance(instr, SpillStore):
+                    self.overhead[instr.kind] += 1
+                    if isinstance(instr.src, VReg):
+                        slots[instr.slot] = read(instr.src)
+                    else:
+                        slots[instr.slot] = self.regs[instr.src]
+                elif isinstance(instr, Const):
+                    write(instr.dst, instr.value)
+                elif isinstance(instr, Copy):
+                    value = read(instr.src)
+                    if assignment[instr.dst] != assignment[instr.src]:
+                        self.shuffles += 1
+                    write(instr.dst, value)
+                elif isinstance(instr, BinOp):
+                    write(
+                        instr.dst,
+                        _binop(instr, read(instr.lhs), read(instr.rhs)),
+                    )
+                elif isinstance(instr, UnaryOp):
+                    write(instr.dst, _unop(instr, read(instr.src)))
+                elif isinstance(instr, Load):
+                    write(instr.dst, self._load(instr.array, read(instr.index)))
+                elif isinstance(instr, Store):
+                    self._store(
+                        instr.array, read(instr.index), read(instr.value)
+                    )
+                elif isinstance(instr, Call):
+                    arg_values = [read(a) for a in instr.args]
+                    result = self._call(instr.callee, arg_values)
+                    # The callee may have written any caller-save
+                    # register — or, with IPRA summaries, exactly the
+                    # registers its summary admits.
+                    clobbers = self.allocation.clobbers
+                    if clobbers is not None:
+                        poisoned = clobbers[instr.callee]
+                    else:
+                        poisoned = (
+                            phys
+                            for phys in self.allocation.regfile.all_registers()
+                            if phys.is_caller_save
+                        )
+                    for phys in poisoned:
+                        self.regs[phys] = POISON
+                    if instr.dst is not None:
+                        write(instr.dst, result)
+                elif isinstance(instr, Branch):
+                    next_block = (
+                        instr.then_block
+                        if read(instr.cond) != 0
+                        else instr.else_block
+                    )
+                elif isinstance(instr, Jump):
+                    next_block = instr.target
+                elif isinstance(instr, Ret):
+                    if instr.value is None:
+                        return None
+                    return captured if captured is not None else read(instr.value)
+                else:  # pragma: no cover
+                    raise MachineError(f"cannot execute {instr!r}")
+                if next_block is not None:
+                    break
+            if next_block is None:
+                raise MachineError(f"{func_name}/{block.name} fell through")
+            block = next_block
+            index = 0
+            captured = None
+
+    def _load(self, array: str, index):
+        values = self.globals[array]
+        if not 0 <= index < len(values):
+            raise MachineError(f"index {index} out of bounds for @{array}")
+        return values[index]
+
+    def _store(self, array: str, index, value) -> None:
+        values = self.globals[array]
+        if not 0 <= index < len(values):
+            raise MachineError(f"index {index} out of bounds for @{array}")
+        values[index] = value
+
+
+def _binop(instr: BinOp, lhs, rhs):
+    from repro.ir.instructions import BinaryOpcode as Op
+
+    op = instr.op
+    if op is Op.ADD:
+        return lhs + rhs
+    if op is Op.SUB:
+        return lhs - rhs
+    if op is Op.MUL:
+        return lhs * rhs
+    if op is Op.DIV:
+        if instr.dst.vtype.is_float:
+            if rhs == 0.0:
+                raise MachineError("float division by zero")
+            return lhs / rhs
+        return _c_div(lhs, rhs)
+    if op is Op.MOD:
+        return _c_mod(lhs, rhs)
+    if op is Op.AND:
+        return lhs & rhs
+    if op is Op.OR:
+        return lhs | rhs
+    if op is Op.EQ:
+        return int(lhs == rhs)
+    if op is Op.NE:
+        return int(lhs != rhs)
+    if op is Op.LT:
+        return int(lhs < rhs)
+    if op is Op.LE:
+        return int(lhs <= rhs)
+    if op is Op.GT:
+        return int(lhs > rhs)
+    if op is Op.GE:
+        return int(lhs >= rhs)
+    raise MachineError(f"unknown binop {op}")  # pragma: no cover
+
+
+def _unop(instr: UnaryOp, value):
+    from repro.ir.instructions import UnaryOpcode as Op
+
+    op = instr.op
+    if op is Op.NEG:
+        return -value
+    if op is Op.NOT:
+        return int(value == 0)
+    if op is Op.I2F:
+        return float(value)
+    if op is Op.F2I:
+        return int(value)
+    raise MachineError(f"unknown unop {op}")  # pragma: no cover
+
+
+def run_allocated(
+    allocation: ProgramAllocation,
+    func_name: str = "main",
+    args: Optional[List] = None,
+    fuel: int = 100_000_000,
+) -> MachineExecution:
+    """Execute an allocated program; see :class:`MachineExecution`."""
+    interp = MachineInterpreter(allocation, fuel=fuel)
+    result = interp.run(func_name, args)
+    return MachineExecution(
+        return_value=result,
+        globals_state=interp.globals,
+        overhead_counts=interp.overhead,
+        shuffle_count=interp.shuffles,
+        instructions_executed=interp.executed,
+    )

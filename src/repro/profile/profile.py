@@ -1,0 +1,60 @@
+"""Execution profiles: exact block and call-site counts.
+
+A :class:`Profile` is the "dynamic information" of the paper: it maps
+every basic block of every function to the number of times it
+executed, and every function to the number of times it was invoked.
+Profiles double as the ground truth for overhead accounting — the
+weighted operation counts reported by every experiment are computed
+against profile counts, exactly as a deterministic re-execution would
+count them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.analysis.frequency import BlockWeights
+from repro.ir.function import BasicBlock, Function
+
+
+@dataclass
+class Profile:
+    """Block execution counts for one program run (or merged runs)."""
+
+    block_counts: Dict[BasicBlock, int] = field(default_factory=dict)
+    entry_counts: Dict[str, int] = field(default_factory=dict)
+
+    def record_block(self, block: BasicBlock) -> None:
+        self.block_counts[block] = self.block_counts.get(block, 0) + 1
+
+    def record_entry(self, func_name: str) -> None:
+        self.entry_counts[func_name] = self.entry_counts.get(func_name, 0) + 1
+
+    def count(self, block: BasicBlock) -> int:
+        return self.block_counts.get(block, 0)
+
+    def entries(self, func_name: str) -> int:
+        return self.entry_counts.get(func_name, 0)
+
+    def weights(self, func: Function) -> BlockWeights:
+        """Dynamic :class:`BlockWeights` for ``func``.
+
+        For a function that never executed, all weights are zero; the
+        allocator then treats every choice as free, which matches the
+        paper's observation that cold code cannot contribute overhead.
+        """
+        weights = {
+            block: float(self.block_counts.get(block, 0)) for block in func.blocks
+        }
+        return BlockWeights(
+            weights=weights, entry_weight=float(self.entries(func.name))
+        )
+
+    def merge(self, other: "Profile") -> "Profile":
+        """Accumulate ``other`` into this profile (multiple inputs)."""
+        for block, count in other.block_counts.items():
+            self.block_counts[block] = self.block_counts.get(block, 0) + count
+        for name, count in other.entry_counts.items():
+            self.entry_counts[name] = self.entry_counts.get(name, 0) + count
+        return self

@@ -1,0 +1,84 @@
+"""Graph-coloring register allocation: the paper's framework.
+
+Entry points:
+
+* :func:`allocate_function` / :func:`allocate_program` — run any of
+  the allocators over IR.
+* :class:`AllocatorOptions` — pick the allocator and enhancements
+  (``base_chaitin``, ``optimistic_coloring``, ``improved_chaitin``,
+  ``priority_based``, ``cbh``...).
+"""
+
+from repro.regalloc.assign import AssignmentResult, ColorAssigner
+from repro.regalloc.benefits import (
+    Benefits,
+    callee_save_cost,
+    compute_benefits,
+    delta_key,
+    max_key,
+    preference_key,
+    priority_function,
+)
+from repro.regalloc.cbh import CBHContext, augment_for_cbh
+from repro.regalloc.coalesce import coalesce_round
+from repro.regalloc.dot import to_dot
+from repro.regalloc.framework import (
+    FunctionAllocation,
+    MAX_ITERATIONS,
+    ProgramAllocation,
+    allocate_function,
+    allocate_program,
+)
+from repro.regalloc.interference import (
+    InterferenceGraph,
+    LiveRangeInfo,
+    build_interference,
+)
+from repro.regalloc.liverange import Web, build_webs
+from repro.regalloc.options import AllocatorOptions
+from repro.regalloc.preference import preference_decisions
+from repro.regalloc.priority import DEFAULT_STRATEGY, STRATEGIES, priority_order
+from repro.regalloc.reconstruct import reconstruct_interference
+from repro.regalloc.simplify import AllocationError, OrderingResult, simplify
+from repro.regalloc.spillgen import SlotAllocator, insert_spill_code
+from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+
+__all__ = [
+    "AllocationError",
+    "AllocatorOptions",
+    "AssignmentResult",
+    "Benefits",
+    "CBHContext",
+    "ColorAssigner",
+    "DEFAULT_STRATEGY",
+    "FunctionAllocation",
+    "InterferenceGraph",
+    "LiveRangeInfo",
+    "MAX_ITERATIONS",
+    "OrderingResult",
+    "OverheadKind",
+    "ProgramAllocation",
+    "STRATEGIES",
+    "SlotAllocator",
+    "SpillLoad",
+    "SpillStore",
+    "Web",
+    "allocate_function",
+    "allocate_program",
+    "augment_for_cbh",
+    "build_interference",
+    "build_webs",
+    "callee_save_cost",
+    "coalesce_round",
+    "compute_benefits",
+    "delta_key",
+    "insert_spill_code",
+    "max_key",
+    "preference_decisions",
+    "preference_key",
+    "priority_function",
+    "priority_order",
+    "reconstruct_interference",
+    "simplify",
+    "to_dot",
+]

@@ -1,0 +1,149 @@
+"""Color assignment, including storage-class analysis (paper Section 4).
+
+The assigner pops live ranges off the color stack and gives each a
+register its already-colored neighbors do not hold.  The choices that
+distinguish the allocators all live here:
+
+* **Register-kind preference.**  The base model prefers callee-save
+  for call-crossing ranges and caller-save otherwise.  With
+  storage-class analysis the preference comes from the benefit
+  functions (``benefit_callee > benefit_caller``), overridden by the
+  preference-decision pre-pass where it fired.  Within the callee-save
+  kind, registers already holding other live ranges are tried first,
+  so callee-save save/restore cost is shared as widely as possible.
+* **Spilling instead of the wrong register.**  With storage-class
+  analysis a range about to take a caller-save register with negative
+  ``benefit_caller`` is spilled instead.  Callee-save candidates
+  follow one of two models: *first-user* (the first occupant of a
+  callee-save register pays its whole cost: spill if
+  ``benefit_callee < 0``; later occupants ride free) or *shared*
+  (tentatively assign everyone, and once assignment finishes spill the
+  whole occupant set of any register whose summed spill costs fall
+  short of the register's save/restore cost).
+* **Assignment failure.**  Optimistically pushed or priority-ordered
+  nodes may find no register at all; they are spilled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.ir.values import VReg
+from repro.machine.registers import PhysReg, RegisterFile
+from repro.regalloc.benefits import Benefits
+from repro.regalloc.interference import InterferenceGraph, LiveRangeInfo
+from repro.regalloc.options import AllocatorOptions
+
+
+@dataclass
+class AssignmentResult:
+    """Output of one color-assignment pass."""
+
+    assignment: Dict[VReg, PhysReg] = field(default_factory=dict)
+    spilled: List[VReg] = field(default_factory=list)
+
+
+class ColorAssigner:
+    """Assigns physical registers to the live ranges on a color stack."""
+
+    def __init__(
+        self,
+        graph: InterferenceGraph,
+        infos: Dict[VReg, LiveRangeInfo],
+        benefits: Dict[VReg, Benefits],
+        regfile: RegisterFile,
+        options: AllocatorOptions,
+        forced_caller: Optional[Set[VReg]] = None,
+        callee_cost: float = 0.0,
+    ):
+        self.graph = graph
+        self.infos = infos
+        self.benefits = benefits
+        self.regfile = regfile
+        self.options = options
+        self.forced_caller = forced_caller or set()
+        self.callee_cost = callee_cost
+        #: Live ranges currently occupying each callee-save register.
+        self.callee_users: Dict[PhysReg, List[VReg]] = {}
+
+    def run(self, stack: Sequence[VReg]) -> AssignmentResult:
+        result = AssignmentResult()
+        for reg in reversed(stack):  # top of stack first
+            self._assign_one(reg, result)
+        if self.options.sc and self.options.callee_model == "shared":
+            self._finalize_shared(result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _assign_one(self, reg: VReg, result: AssignmentResult) -> None:
+        taken = {
+            result.assignment[nb]
+            for nb in self.graph.neighbors(reg)
+            if nb in result.assignment
+        }
+        chosen = self._pick_register(reg, taken)
+        if chosen is None:
+            result.spilled.append(reg)
+            return
+        if self.options.sc and self._spill_instead(reg, chosen):
+            result.spilled.append(reg)
+            return
+        result.assignment[reg] = chosen
+        if chosen.is_callee_save:
+            self.callee_users.setdefault(chosen, []).append(reg)
+
+    def _pick_register(self, reg: VReg, taken: Set[PhysReg]) -> Optional[PhysReg]:
+        bank = self.regfile.bank(reg.vtype)
+        if self._prefers_callee(reg):
+            order = self._callee_order(bank.callee) + list(bank.caller)
+        else:
+            order = list(bank.caller) + self._callee_order(bank.callee)
+        for candidate in order:
+            if candidate not in taken:
+                return candidate
+        return None
+
+    def _prefers_callee(self, reg: VReg) -> bool:
+        if self.options.sc:
+            if reg in self.forced_caller:
+                return False
+            return self.benefits[reg].prefers_callee
+        return self.infos[reg].crosses_calls
+
+    def _callee_order(self, callee: Sequence[PhysReg]) -> List[PhysReg]:
+        """Callee-save registers, already-occupied ones first."""
+        used = [p for p in callee if p in self.callee_users]
+        unused = [p for p in callee if p not in self.callee_users]
+        return used + unused
+
+    # ------------------------------------------------------------------
+    # storage-class analysis spill decisions
+    # ------------------------------------------------------------------
+
+    def _spill_instead(self, reg: VReg, chosen: PhysReg) -> bool:
+        benefits = self.benefits[reg]
+        if chosen.is_caller_save:
+            return benefits.caller < 0
+        if self.options.callee_model == "first":
+            first_user = chosen not in self.callee_users
+            return first_user and benefits.callee < 0
+        return False  # shared model defers to _finalize_shared
+
+    def _finalize_shared(self, result: AssignmentResult) -> None:
+        """Spill whole occupant sets of unprofitable callee-save regs.
+
+        For a callee-save register ``r`` occupied by live ranges
+        ``U``: if ``sum(spill_cost(u)) < callee_cost`` then paying the
+        save/restore is worse than spilling every occupant.
+        """
+        for phys, users in self.callee_users.items():
+            live_users = [u for u in users if u in result.assignment]
+            if not live_users:
+                continue
+            total = sum(self.infos[u].spill_cost for u in live_users)
+            if total < self.callee_cost:
+                for user in live_users:
+                    del result.assignment[user]
+                    result.spilled.append(user)

@@ -1,0 +1,107 @@
+"""The paper's benefit functions and the orderings built on them.
+
+For a live range ``lr`` with spill cost ``s``::
+
+    benefit_caller(lr) = s - caller_save_cost(lr)
+    benefit_callee(lr) = s - callee_save_cost        (2 * entry weight)
+
+Both estimate the load/store operations *saved* by keeping ``lr`` in a
+register of that kind rather than in memory; a negative benefit means
+the register kind costs more than spilling.
+
+Two simplification keys are studied by the paper (Section 5):
+
+* ``max`` — ``max(benefit_caller, benefit_callee)``, the priority-based
+  coloring instinct: protect the biggest saver.
+* ``delta`` — ``|benefit_caller - benefit_callee|`` when both benefits
+  are non-negative, otherwise ``max``.  This is the paper's choice for
+  Chaitin-style coloring: simplification already guarantees everyone a
+  register, so what matters is the *penalty of getting the wrong kind*.
+
+The preference-decision key (Section 6) ranks live ranges competing
+for callee-save registers at one call site: ``caller_cost`` when the
+range could live with a caller-save register at a profit, else its
+full spill cost (the penalty for denying it a callee-save register).
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.frequency import BlockWeights
+from repro.ir.values import VReg
+from repro.regalloc.interference import LiveRangeInfo
+
+
+@dataclass(frozen=True)
+class Benefits:
+    """The two benefit values of one live range."""
+
+    caller: float
+    callee: float
+
+    @property
+    def prefers_callee(self) -> bool:
+        """Strictly better off in a callee-save register (paper: >)."""
+        return self.callee > self.caller
+
+    @property
+    def best(self) -> float:
+        return max(self.caller, self.callee)
+
+
+def callee_save_cost(weights: BlockWeights) -> float:
+    """Save at entry plus restore at exit, per invocation."""
+    return 2.0 * weights.entry_weight
+
+
+def compute_benefits(
+    infos: Dict[VReg, LiveRangeInfo], weights: BlockWeights
+) -> Dict[VReg, Benefits]:
+    """Benefit table for every live range of a function."""
+    callee_cost = callee_save_cost(weights)
+    return {
+        reg: Benefits(
+            caller=info.spill_cost - info.caller_cost,
+            callee=info.spill_cost - callee_cost,
+        )
+        for reg, info in infos.items()
+    }
+
+
+def delta_key(benefits: Benefits) -> float:
+    """The paper's benefit-driven simplification key (strategy 2)."""
+    if benefits.caller >= 0 and benefits.callee >= 0:
+        if math.isinf(benefits.caller) and math.isinf(benefits.callee):
+            # Unspillable ranges (both benefits infinite): the delta is
+            # indeterminate (inf - inf); rank them last so real live
+            # ranges' kind decisions are settled first.
+            return math.inf
+        return abs(benefits.caller - benefits.callee)
+    return benefits.best
+
+
+def max_key(benefits: Benefits) -> float:
+    """The priority-style simplification key (strategy 1)."""
+    return benefits.best
+
+
+def preference_key(info: LiveRangeInfo, benefits: Benefits) -> float:
+    """Ranking key for the preference-decision pre-pass.
+
+    ``caller_cost`` is the overhead the range pays if demoted to a
+    caller-save register (``spill_cost - benefit_caller``); when even
+    a caller-save register is a loss, the penalty of demotion is the
+    full spill cost (storage-class analysis will spill it).
+    """
+    if benefits.caller > 0:
+        return info.caller_cost
+    return info.spill_cost
+
+
+def priority_function(info: LiveRangeInfo, benefits: Benefits) -> float:
+    """Chow's priority: best savings normalized by live-range size."""
+    return benefits.best / info.size

@@ -1,0 +1,131 @@
+"""Save/restore code insertion — the calling-convention overhead.
+
+Runs once allocation is final (no more spills).  Two kinds of code are
+materialized, both operating directly on physical registers:
+
+* **Caller-save code**: every live range assigned a caller-save
+  register and live across a call is saved to a frame slot before the
+  call and restored after it.
+* **Callee-save code**: every callee-save register holding at least
+  one live range is saved at function entry and restored before every
+  return.
+
+This is exactly the overhead the paper's cost model charges —
+``caller_save_cost(lr) = 2 * Σ weight(call)`` and
+``callee_save_cost(r) = 2 * weight(entry)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Call, Instr, Ret
+from repro.ir.values import VReg
+from repro.machine.registers import PhysReg
+from repro.regalloc.interference import LiveRangeInfo
+from repro.regalloc.spillgen import SlotAllocator
+from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+
+
+def insert_save_restore_code(
+    func: Function,
+    assignment: Dict[VReg, PhysReg],
+    infos: Dict[VReg, LiveRangeInfo],
+    slots: SlotAllocator,
+    clobber_of: Optional[Dict[str, FrozenSet[PhysReg]]] = None,
+) -> None:
+    """Insert caller-save and callee-save code into ``func`` in place.
+
+    ``clobber_of`` (the IPRA extension) maps each callee to the set of
+    caller-save registers its execution may write; a crossing live
+    range whose register the callee provably leaves alone needs no
+    save/restore at that call.
+    """
+    _insert_caller_save(func, assignment, infos, slots, clobber_of)
+    _insert_callee_save(func, assignment, slots)
+
+
+def _insert_caller_save(
+    func: Function,
+    assignment: Dict[VReg, PhysReg],
+    infos: Dict[VReg, LiveRangeInfo],
+    slots: SlotAllocator,
+    clobber_of: Optional[Dict[str, FrozenSet[PhysReg]]] = None,
+) -> None:
+    # Resolve (block, index) call sites to instruction objects before
+    # any insertion shifts the indexes.
+    saved_regs: Dict[Call, List[PhysReg]] = {}
+    slot_of: Dict[PhysReg, int] = {}
+    for reg, info in infos.items():
+        phys = assignment.get(reg)
+        if phys is None or not phys.is_caller_save:
+            continue
+        for block, index in info.crossed_calls:
+            call = block.instrs[index]
+            if not isinstance(call, Call):  # pragma: no cover - sanity
+                raise AssertionError(f"expected a call at {block.name}:{index}")
+            if clobber_of is not None and phys not in clobber_of[call.callee]:
+                continue  # the callee provably leaves this register alone
+            saved_regs.setdefault(call, []).append(phys)
+            if phys not in slot_of:
+                slot_of[phys] = slots.allocate()
+
+    if not saved_regs:
+        return
+    for block in func.blocks:
+        rewritten: List[Instr] = []
+        for instr in block.instrs:
+            regs = saved_regs.get(instr) if isinstance(instr, Call) else None
+            if regs:
+                ordered = sorted(set(regs), key=lambda p: p.name)
+                for phys in ordered:
+                    rewritten.append(
+                        SpillStore(slot_of[phys], phys, OverheadKind.CALLER_SAVE)
+                    )
+                rewritten.append(instr)
+                for phys in ordered:
+                    rewritten.append(
+                        SpillLoad(phys, slot_of[phys], OverheadKind.CALLER_SAVE)
+                    )
+            else:
+                rewritten.append(instr)
+        block.instrs = rewritten
+
+
+def _insert_callee_save(
+    func: Function,
+    assignment: Dict[VReg, PhysReg],
+    slots: SlotAllocator,
+) -> None:
+    used: Set[PhysReg] = {
+        phys for phys in assignment.values() if phys.is_callee_save
+    }
+    if not used:
+        return
+    ordered: List[Tuple[PhysReg, int]] = [
+        (phys, slots.allocate()) for phys in sorted(used, key=lambda p: p.name)
+    ]
+    saves = [
+        SpillStore(slot, phys, OverheadKind.CALLEE_SAVE) for phys, slot in ordered
+    ]
+    func.entry.instrs[:0] = saves
+    for block in func.blocks:
+        terminator = block.terminator
+        if isinstance(terminator, Ret):
+            restores: List[Instr] = [
+                SpillLoad(phys, slot, OverheadKind.CALLEE_SAVE)
+                for phys, slot in ordered
+            ]
+            block.instrs[-1:-1] = restores
+
+
+def callee_saved_registers(func: Function) -> List[PhysReg]:
+    """The callee-save registers ``func`` saves at entry (for tests)."""
+    result = []
+    for instr in func.entry.instrs:
+        if isinstance(instr, SpillStore) and instr.kind is OverheadKind.CALLEE_SAVE:
+            result.append(instr.src)
+        else:
+            break
+    return result

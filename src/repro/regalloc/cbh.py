@@ -1,0 +1,160 @@
+"""The CBH (Chaitin/Briggs-Hierarchical) call-cost model (Section 10).
+
+CBH extends Chaitin-style coloring with an explicit encoding of the
+calling convention:
+
+* A live range that crosses a call **interferes with every caller-save
+  register**: it may only be colored with a callee-save register.  In
+  simplification terms its register budget shrinks from ``R + C`` to
+  ``C`` (the callee-save count of its bank).
+* Each callee-save register ``r`` is represented by a
+  **callee-save-register live range** ``v_r`` spanning entry to exit.
+  ``v_r`` interferes with every other live range of its bank.  Its
+  spill cost is the save/restore cost (``2 * entry weight``).
+  "Spilling" ``v_r`` inserts no spill code — it releases ``r`` for
+  ordinary live ranges at the price of a save at entry and a restore
+  at exit; coloring ``v_r`` (it can only take ``r`` itself) means the
+  register stays untouched by the function.
+
+When simplification blocks, CBH spills the remaining node with the
+least plain spill cost (not cost/degree); the cheap ``v_r`` nodes are
+therefore released first, which is exactly the model's intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.frequency import BlockWeights
+from repro.ir.function import Function
+from repro.ir.values import VReg
+from repro.machine.registers import PhysReg, RegisterFile
+from repro.regalloc.assign import AssignmentResult, ColorAssigner
+from repro.regalloc.benefits import compute_benefits
+from repro.regalloc.interference import InterferenceGraph, LiveRangeInfo
+from repro.regalloc.options import AllocatorOptions
+from repro.regalloc.simplify import OrderingResult, simplify
+
+
+@dataclass
+class CBHContext:
+    """The CBH augmentation of one function's interference graph."""
+
+    #: pseudo live range -> the callee-save register it stands for.
+    pseudo_for: Dict[VReg, PhysReg] = field(default_factory=dict)
+    #: ordinary live ranges that cross at least one call.
+    crossing: Set[VReg] = field(default_factory=set)
+
+    def is_pseudo(self, reg: VReg) -> bool:
+        return reg in self.pseudo_for
+
+
+def augment_for_cbh(
+    func: Function,
+    graph: InterferenceGraph,
+    infos: Dict[VReg, LiveRangeInfo],
+    regfile: RegisterFile,
+    weights: BlockWeights,
+) -> CBHContext:
+    """Add callee-save-register live ranges to ``graph`` in place."""
+    context = CBHContext(
+        crossing={reg for reg, info in infos.items() if info.crosses_calls}
+    )
+    save_cost = 2.0 * weights.entry_weight
+    for bank in regfile.banks:
+        ordinary = [reg for reg in graph.nodes if reg.vtype is bank.vtype]
+        pseudos: List[VReg] = []
+        for phys in bank.callee:
+            pseudo = func.new_vreg(bank.vtype, f"csr:{phys.name}")
+            context.pseudo_for[pseudo] = phys
+            graph.add_node(pseudo)
+            infos[pseudo] = LiveRangeInfo(reg=pseudo, spill_cost=save_cost)
+            for other in ordinary:
+                graph.add_edge(pseudo, other)
+            for other in pseudos:
+                graph.add_edge(pseudo, other)
+            pseudos.append(pseudo)
+    return context
+
+
+class CBHAssigner(ColorAssigner):
+    """Color assignment under the CBH register-kind constraints."""
+
+    def __init__(self, context: CBHContext, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.context = context
+        #: Pseudo nodes whose register could not stay untouched.
+        self.released: List[VReg] = []
+
+    def _assign_one(self, reg: VReg, result: AssignmentResult) -> None:
+        if self.context.is_pseudo(reg):
+            phys = self.context.pseudo_for[reg]
+            taken = {
+                result.assignment[nb]
+                for nb in self.graph.neighbors(reg)
+                if nb in result.assignment
+            }
+            if phys in taken:
+                # Some ordinary live range got here first: the register
+                # must be saved/restored.  No spill code, no iteration.
+                self.released.append(reg)
+            else:
+                result.assignment[reg] = phys
+            return
+        super()._assign_one(reg, result)
+
+    def _pick_register(self, reg: VReg, taken: Set[PhysReg]) -> Optional[PhysReg]:
+        bank = self.regfile.bank(reg.vtype)
+        callee_order = self._callee_order(bank.callee)
+        if reg in self.context.crossing:
+            order = callee_order  # caller-save registers are forbidden
+        else:
+            order = list(bank.caller) + callee_order
+        for candidate in order:
+            if candidate not in taken:
+                return candidate
+        return None
+
+
+def cbh_order_and_assign(
+    context: CBHContext,
+    graph: InterferenceGraph,
+    infos: Dict[VReg, LiveRangeInfo],
+    regfile: RegisterFile,
+    weights: BlockWeights,
+    options: AllocatorOptions,
+):
+    """Run CBH simplification and assignment; see the framework driver."""
+
+    def budget(reg: VReg) -> int:
+        bank = regfile.bank(reg.vtype)
+        if reg in context.crossing and not context.is_pseudo(reg):
+            return len(bank.callee)
+        return bank.num_regs
+
+    ordering = simplify(
+        graph,
+        infos,
+        regfile,
+        optimistic=False,
+        spill_metric="cost",
+        num_regs=budget,
+    )
+    # A pseudo node spilled at ordering time is simply released: its
+    # register becomes assignable and entry/exit code is charged only
+    # if the register actually ends up used.
+    real_spills = [reg for reg in ordering.spilled if not context.is_pseudo(reg)]
+    ordering = OrderingResult(
+        stack=ordering.stack, spilled=real_spills, optimistic=ordering.optimistic
+    )
+    benefits = compute_benefits(infos, weights)
+    assigner = CBHAssigner(
+        context, graph, infos, benefits, regfile, options
+    )
+    result = assigner.run(ordering.stack)
+    # Drop the pseudo self-assignments: they only served to block
+    # their registers during assignment.
+    for pseudo in context.pseudo_for:
+        result.assignment.pop(pseudo, None)
+    return ordering, result

@@ -1,0 +1,115 @@
+"""Aggressive (Chaitin-style) copy coalescing.
+
+A copy ``d = s`` whose operands do not interfere is eliminated by
+merging the two live ranges.  One round merges every eligible copy it
+finds, resolving chains through an alias map and keeping the
+interference graph conservatively correct by unioning adjacency sets;
+the framework rebuilds the graph after any round that merged, so cost
+data stays exact.
+
+Parameters keep their registers (a merge involving a parameter keeps
+the parameter's register; two live parameters interfere anyway), and
+spill temporaries are never coalesced — growing an unspillable range
+could wedge the allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Copy
+from repro.ir.values import VReg
+from repro.regalloc.interference import InterferenceGraph, LiveRangeInfo
+
+
+def coalesce_round(
+    func: Function,
+    graph: InterferenceGraph,
+    infos: Dict[VReg, LiveRangeInfo],
+) -> int:
+    """Merge every eligible copy once; returns the number of merges.
+
+    The function is rewritten in place (merged copies are deleted and
+    remaining instructions renamed); ``graph`` and ``infos`` are
+    updated conservatively and should be rebuilt by the caller when
+    the return value is non-zero.
+    """
+    params: Set[VReg] = set(func.params)
+    alias: Dict[VReg, VReg] = {}
+
+    def resolve(reg: VReg) -> VReg:
+        while reg in alias:
+            reg = alias[reg]
+        return reg
+
+    merged = 0
+    for block in func.blocks:
+        kept = []
+        for instr in block.instrs:
+            if isinstance(instr, Copy):
+                dst = resolve(instr.dst)
+                src = resolve(instr.src)
+                if dst is src:
+                    continue  # no-op copy left over from earlier merges
+                if _eligible(dst, src, graph, infos, params):
+                    keep, gone = _pick_representative(dst, src, params)
+                    graph.merge(keep, gone)
+                    _merge_infos(infos, keep, gone)
+                    alias[gone] = keep
+                    merged += 1
+                    continue
+            kept.append(instr)
+        block.instrs = kept
+
+    if alias:
+        mapping = {reg: resolve(reg) for reg in alias}
+        for instr in func.instructions():
+            instr.replace_uses(mapping)
+            instr.replace_defs(mapping)
+    return merged
+
+
+def _eligible(
+    dst: VReg,
+    src: VReg,
+    graph: InterferenceGraph,
+    infos: Dict[VReg, LiveRangeInfo],
+    params: Set[VReg],
+) -> bool:
+    if dst.vtype is not src.vtype:
+        return False
+    if graph.interferes(dst, src):
+        return False
+    if dst in params and src in params:
+        return False
+    if infos[dst].is_spill_temp or infos[src].is_spill_temp:
+        return False
+    return True
+
+
+def _pick_representative(dst: VReg, src: VReg, params: Set[VReg]):
+    """Returns ``(keep, gone)``.
+
+    Parameters always survive a merge; otherwise a named register (a
+    source variable) survives an unnamed temporary, which keeps
+    diagnostics readable.
+    """
+    if dst in params:
+        return dst, src
+    if src not in params and dst.name and not src.name:
+        return dst, src
+    return src, dst
+
+
+def _merge_infos(
+    infos: Dict[VReg, LiveRangeInfo], keep: VReg, gone: VReg
+) -> None:
+    into = infos[keep]
+    from_ = infos.pop(gone)
+    into.spill_cost += from_.spill_cost
+    into.num_defs += from_.num_defs
+    into.num_uses += from_.num_uses
+    into.caller_cost += from_.caller_cost
+    into.crossed_calls.extend(from_.crossed_calls)
+    into.blocks |= from_.blocks

@@ -1,0 +1,75 @@
+"""Graphviz (DOT) export of interference graphs.
+
+Diagnostic aid: render a function's interference graph with the
+allocator's decisions overlaid — node labels carry the live range's
+spill cost and benefits, colors mark the assigned register kind
+(caller-save, callee-save, spilled).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.ir.values import VReg
+from repro.machine.registers import PhysReg
+from repro.regalloc.interference import InterferenceGraph, LiveRangeInfo
+
+_KIND_COLORS = {
+    "caller": "#7eb6ff",   # caller-save: light blue
+    "callee": "#8fd18f",   # callee-save: light green
+    "spilled": "#f2a0a0",  # spilled: light red
+    "none": "#dddddd",
+}
+
+
+def _label(reg: VReg, info: Optional[LiveRangeInfo]) -> str:
+    name = repr(reg).replace('"', "'")
+    if info is None:
+        return name
+    cost = "inf" if math.isinf(info.spill_cost) else f"{info.spill_cost:.0f}"
+    return f"{name}\\nspill={cost} calls={len(info.crossed_calls)}"
+
+
+def to_dot(
+    graph: InterferenceGraph,
+    infos: Optional[Dict[VReg, LiveRangeInfo]] = None,
+    assignment: Optional[Dict[VReg, PhysReg]] = None,
+    title: str = "interference",
+) -> str:
+    """Render ``graph`` (optionally annotated) as a DOT string."""
+    infos = infos or {}
+    assignment = assignment or {}
+    lines = [
+        f'graph "{title}" {{',
+        "    layout=neato;",
+        "    overlap=false;",
+        '    node [style=filled, fontname="monospace", fontsize=10];',
+    ]
+    nodes = sorted(graph.nodes, key=lambda r: r.id)
+    for reg in nodes:
+        phys = assignment.get(reg)
+        if phys is None:
+            kind = "spilled" if reg in infos and not math.isinf(
+                infos[reg].spill_cost if reg in infos else 0.0
+            ) and assignment else "none"
+        elif phys.is_callee_save:
+            kind = "callee"
+        else:
+            kind = "caller"
+        color = _KIND_COLORS[kind]
+        label = _label(reg, infos.get(reg))
+        extra = f'\\n{phys.name}' if phys is not None else ""
+        lines.append(
+            f'    n{reg.id} [label="{label}{extra}", fillcolor="{color}"];'
+        )
+    emitted = set()
+    for reg in nodes:
+        for neighbor in sorted(graph.neighbors(reg), key=lambda r: r.id):
+            key = (min(reg.id, neighbor.id), max(reg.id, neighbor.id))
+            if key in emitted:
+                continue
+            emitted.add(key)
+            lines.append(f"    n{key[0]} -- n{key[1]};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,301 @@
+"""The register-allocation framework driver (paper Figure 1).
+
+Phases, in order: graph construction, live-range coalescing, color
+ordering, color assignment, graph reconstruction (we rebuild), spill
+code insertion, shuffle/save-restore code insertion.  Any spill —
+whether decided at ordering time (base Chaitin), at assignment time
+(optimistic/priority failures, storage-class analysis) or by the
+shared callee-cost finalization — restarts the pipeline at the
+coalescing phase, exactly as in the paper's framework.
+
+``allocate_function`` mutates the function it is given (spill code,
+save/restore code, coalesced copies); callers that need the original
+should clone first — ``allocate_program`` does this for whole
+programs and carries block weights across the clone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set
+
+from repro.analysis.frequency import BlockWeights, static_weights
+from repro.ir.clone import ProgramClone, clone_program
+from repro.ir.function import Function, Program
+from repro.ir.instructions import Const
+from repro.ir.values import VReg
+from repro.analysis.callgraph import build_call_graph
+from repro.machine.registers import PhysReg, RegisterFile
+from repro.regalloc.assign import ColorAssigner
+from repro.regalloc.benefits import callee_save_cost, compute_benefits
+from repro.regalloc.callcode import insert_save_restore_code
+from repro.regalloc.cbh import augment_for_cbh, cbh_order_and_assign
+from repro.regalloc.coalesce import coalesce_round
+from repro.regalloc.interference import LiveRangeInfo, build_interference
+from repro.regalloc.liverange import build_webs
+from repro.regalloc.options import AllocatorOptions
+from repro.regalloc.preference import preference_decisions
+from repro.regalloc.priority import priority_order
+from repro.regalloc.reconstruct import reconstruct_interference
+from repro.regalloc.simplify import AllocationError, simplify
+from repro.regalloc.spillgen import SlotAllocator, insert_spill_code
+
+from repro.regalloc.benefits import delta_key, max_key
+
+#: Hard bound on allocate/spill iterations; every iteration spills at
+#: least one finite-cost live range, so real programs finish in a few.
+MAX_ITERATIONS = 100
+
+
+@dataclass
+class FunctionAllocation:
+    """The result of allocating one function."""
+
+    func: Function
+    assignment: Dict[VReg, PhysReg]
+    infos: Dict[VReg, LiveRangeInfo]
+    #: Registers spilled across all iterations (original live ranges).
+    spilled: List[VReg] = field(default_factory=list)
+    iterations: int = 0
+    frame_slots: int = 0
+
+
+@dataclass
+class ProgramAllocation:
+    """Per-function allocations for a whole (cloned) program.
+
+    ``clone`` keeps the original-to-clone block maps so measurements
+    taken on the original program (profiles) can be applied to the
+    allocated clone.
+    """
+
+    program: Program
+    functions: Dict[str, FunctionAllocation]
+    options: AllocatorOptions
+    regfile: RegisterFile
+    clone: ProgramClone
+    #: IPRA extension: per-function caller-save clobber summaries used
+    #: by the emission and honoured by the machine interpreter.  None
+    #: means every call conservatively clobbers all caller-save regs.
+    clobbers: Optional[Dict[str, FrozenSet[PhysReg]]] = None
+
+
+def allocate_function(
+    func: Function,
+    regfile: RegisterFile,
+    weights: BlockWeights,
+    options: AllocatorOptions = AllocatorOptions(),
+    reconstruct: bool = False,
+    clobber_of: Optional[Dict[str, FrozenSet[PhysReg]]] = None,
+) -> FunctionAllocation:
+    """Allocate registers for ``func`` in place.
+
+    With ``reconstruct=True`` the interference graph is incrementally
+    updated after spill-code insertion (the paper's *graph
+    reconstruction* box) instead of rebuilt from scratch; results are
+    bit-identical and the per-edge construction work is skipped.  (In
+    this Python implementation both paths are bound by the liveness
+    pass, so the wall-clock effect is small — see
+    benchmarks/test_reconstruction_speed.py.)  The CBH model augments
+    the graph destructively and always rebuilds.
+    """
+    build_webs(func)
+    spill_temps: Set[VReg] = set()
+    slots = SlotAllocator()
+    all_spilled: List[VReg] = []
+    graph = None
+    infos: Dict[VReg, LiveRangeInfo] = {}
+
+    for iteration in range(1, MAX_ITERATIONS + 1):
+        if graph is None:
+            graph, infos = build_interference(func, weights, spill_temps)
+            while coalesce_round(func, graph, infos) > 0:
+                graph, infos = build_interference(func, weights, spill_temps)
+
+        if options.kind == "cbh":
+            context = augment_for_cbh(func, graph, infos, regfile, weights)
+            ordering, assignment = cbh_order_and_assign(
+                context, graph, infos, regfile, weights, options
+            )
+        else:
+            benefits = compute_benefits(infos, weights)
+            forced_caller: Set[VReg] = set()
+            if options.pr:
+                forced_caller = preference_decisions(
+                    infos, benefits, weights, regfile
+                )
+            if options.kind == "priority":
+                ordering = priority_order(
+                    graph, infos, benefits, regfile, options.priority_strategy
+                )
+            else:
+                key_fn = _simplify_key(options, benefits)
+                ordering = simplify(
+                    graph,
+                    infos,
+                    regfile,
+                    key_fn=key_fn,
+                    optimistic=options.optimistic,
+                    spill_metric=options.spill_metric,
+                )
+            assigner = ColorAssigner(
+                graph,
+                infos,
+                benefits,
+                regfile,
+                options,
+                forced_caller=forced_caller,
+                callee_cost=callee_save_cost(weights),
+            )
+            assignment = assigner.run(ordering.stack)
+
+        spills = list(ordering.spilled) + list(assignment.spilled)
+        if not spills:
+            insert_save_restore_code(
+                func, assignment.assignment, infos, slots, clobber_of
+            )
+            return FunctionAllocation(
+                func=func,
+                assignment=assignment.assignment,
+                infos=infos,
+                spilled=all_spilled,
+                iterations=iteration,
+                frame_slots=slots.count,
+            )
+        all_spilled.extend(spills)
+        temps_before = set(spill_temps)
+        remat_values = (
+            _rematerializable(func, spills) if options.remat else None
+        )
+        insert_spill_code(func, spills, slots, spill_temps, remat_values)
+        if reconstruct and options.kind != "cbh":
+            reconstruct_interference(
+                graph, infos, func, weights, spills, spill_temps - temps_before
+            )
+        else:
+            graph = None
+
+    raise AllocationError(
+        f"{func.name}: register allocation did not converge after "
+        f"{MAX_ITERATIONS} iterations"
+    )
+
+
+def _rematerializable(func: Function, spills) -> Dict[VReg, float]:
+    """Spilled registers whose every definition is one known constant.
+
+    Such values need no frame slot: each use can re-emit the constant
+    (Briggs-style rematerialization).  Parameters never qualify (their
+    value arrives from the caller).
+    """
+    spill_set = set(spills) - set(func.params)
+    values: Dict[VReg, float] = {}
+    poisoned = set()
+    for instr in func.instructions():
+        for reg in instr.defs():
+            if reg not in spill_set or reg in poisoned:
+                continue
+            if isinstance(instr, Const):
+                if reg in values and values[reg] != instr.value:
+                    poisoned.add(reg)
+                    values.pop(reg, None)
+                else:
+                    values[reg] = instr.value
+            else:
+                poisoned.add(reg)
+                values.pop(reg, None)
+    return values
+
+
+def _simplify_key(
+    options: AllocatorOptions, benefits
+) -> Optional[Callable[[VReg], float]]:
+    if not options.bs:
+        return None
+    key = delta_key if options.bs_key == "delta" else max_key
+
+    def key_fn(reg: VReg) -> float:
+        return key(benefits[reg])
+
+    return key_fn
+
+
+def allocate_program(
+    program: Program,
+    regfile: RegisterFile,
+    options: AllocatorOptions = AllocatorOptions(),
+    weights_for: Optional[Callable[[Function], BlockWeights]] = None,
+    reconstruct: bool = False,
+    ipra: bool = False,
+) -> ProgramAllocation:
+    """Clone ``program`` and allocate every function of the clone.
+
+    ``weights_for`` maps each *original* function to the block weights
+    the allocator should use (static estimates by default); the
+    weights are translated onto the clone automatically.
+
+    ``ipra`` enables interprocedural save elision (extension):
+    functions are allocated callees-first, each function's set of
+    possibly-written caller-save registers is summarized, and a caller
+    skips the save/restore of a crossing live range at calls whose
+    callee provably leaves its register alone.  Recursive functions
+    (call-graph cycles) get conservative all-clobbering summaries.
+    """
+    if weights_for is None:
+        weights_for = static_weights
+    cloned = clone_program(program)
+    allocations: Dict[str, FunctionAllocation] = {}
+
+    order = list(cloned.functions)
+    summaries: Optional[Dict[str, FrozenSet[PhysReg]]] = None
+    if ipra:
+        graph = build_call_graph(cloned.program)
+        order = [name for name in graph.bottom_up() if name in cloned.functions]
+        all_caller_save = frozenset(
+            phys for phys in regfile.all_registers() if phys.is_caller_save
+        )
+        # Cycle members are conservatively all-clobbering, and stay so.
+        summaries = {
+            name: all_caller_save
+            for name in cloned.functions
+            if graph.is_recursive(name)
+        }
+
+    for name in order:
+        record = cloned.functions[name]
+        original = program.functions[name]
+        weights = weights_for(original)
+        translated = BlockWeights(
+            weights={
+                record.block_map[block]: weight
+                for block, weight in weights.weights.items()
+            },
+            entry_weight=weights.entry_weight,
+        )
+        allocations[name] = allocate_function(
+            record.func,
+            regfile,
+            translated,
+            options,
+            reconstruct=reconstruct,
+            clobber_of=summaries if ipra else None,
+        )
+        if ipra and name not in summaries:
+            own = frozenset(
+                phys
+                for phys in allocations[name].assignment.values()
+                if phys.is_caller_save
+            )
+            callees = graph.callees.get(name, set())
+            summaries[name] = own.union(
+                *(summaries[callee] for callee in callees)
+            ) if callees else own
+
+    return ProgramAllocation(
+        program=cloned.program,
+        functions=allocations,
+        options=options,
+        regfile=regfile,
+        clone=cloned,
+        clobbers=summaries if ipra else None,
+    )

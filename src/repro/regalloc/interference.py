@@ -1,0 +1,166 @@
+"""Interference graph construction and per-live-range cost data.
+
+One backward walk per block (seeded with the live-out set) builds, in
+a single pass:
+
+* the interference edges — each definition interferes with everything
+  live after the defining instruction (minus the copy source for
+  ``Copy`` instructions, the classic Chaitin refinement that makes
+  coalescing possible),
+* the weighted spill cost of every live range (a store per def plus a
+  load per use, weighted by block frequency),
+* the set of call sites every live range is live *across* (live into
+  and out of the call), from which the caller-save cost follows,
+* the set of blocks each live range touches (the ``size`` denominator
+  of the priority function of priority-based coloring).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.frequency import BlockWeights
+from repro.analysis.liveness import compute_liveness
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Call, Copy
+from repro.ir.values import VReg
+
+
+@dataclass
+class LiveRangeInfo:
+    """Costs and structure of one live range (one renamed register)."""
+
+    reg: VReg
+    spill_cost: float = 0.0
+    num_defs: int = 0
+    num_uses: int = 0
+    #: Call sites (block, instruction index) this range is live across.
+    crossed_calls: List[Tuple[BasicBlock, int]] = field(default_factory=list)
+    #: Weighted caller-save cost: one save plus one restore per
+    #: crossed call execution.
+    caller_cost: float = 0.0
+    #: Blocks the live range is live in or referenced in.
+    blocks: Set[BasicBlock] = field(default_factory=set)
+    #: Spill temporaries must never be spilled again.
+    is_spill_temp: bool = False
+
+    @property
+    def size(self) -> int:
+        return max(len(self.blocks), 1)
+
+    @property
+    def crosses_calls(self) -> bool:
+        return bool(self.crossed_calls)
+
+
+class InterferenceGraph:
+    """Undirected interference graph over live ranges."""
+
+    def __init__(self) -> None:
+        self.adj: Dict[VReg, Set[VReg]] = {}
+
+    def add_node(self, reg: VReg) -> None:
+        self.adj.setdefault(reg, set())
+
+    def add_edge(self, a: VReg, b: VReg) -> None:
+        if a is b:
+            return
+        self.adj.setdefault(a, set()).add(b)
+        self.adj.setdefault(b, set()).add(a)
+
+    def interferes(self, a: VReg, b: VReg) -> bool:
+        return b in self.adj.get(a, ())
+
+    def neighbors(self, reg: VReg) -> Set[VReg]:
+        return self.adj.get(reg, set())
+
+    def degree(self, reg: VReg) -> int:
+        return len(self.adj.get(reg, ()))
+
+    @property
+    def nodes(self) -> Iterable[VReg]:
+        return self.adj.keys()
+
+    def __len__(self) -> int:
+        return len(self.adj)
+
+    def merge(self, keep: VReg, remove: VReg) -> None:
+        """Collapse ``remove`` into ``keep`` (coalescing)."""
+        for neighbor in self.adj.pop(remove, set()):
+            self.adj[neighbor].discard(remove)
+            if neighbor is not keep:
+                self.add_edge(keep, neighbor)
+
+
+def build_interference(
+    func: Function,
+    weights: BlockWeights,
+    spill_temps: Set[VReg],
+) -> Tuple[InterferenceGraph, Dict[VReg, LiveRangeInfo]]:
+    """Build the graph and cost table for ``func`` under ``weights``."""
+    liveness = compute_liveness(func)
+    graph = InterferenceGraph()
+    infos: Dict[VReg, LiveRangeInfo] = {}
+
+    def info(reg: VReg) -> LiveRangeInfo:
+        record = infos.get(reg)
+        if record is None:
+            record = LiveRangeInfo(reg=reg, is_spill_temp=reg in spill_temps)
+            infos[reg] = record
+            graph.add_node(reg)
+        return record
+
+    # Parameters are all defined simultaneously at function entry (the
+    # calling convention writes every one of them), so they mutually
+    # interfere even when dead — a dead parameter's arriving value
+    # must not clobber a register assigned to a live one.  They also
+    # interfere with everything else live into the entry block.
+    entry_live = liveness.live_in[func.entry]
+    for param in func.params:
+        info(param)
+        for other in func.params:
+            if other is not param and other.vtype is param.vtype:
+                graph.add_edge(param, other)
+        for other in entry_live:
+            if other is not param and other.vtype is param.vtype:
+                graph.add_edge(param, other)
+
+    for block in func.blocks:
+        weight = weights.weight(block)
+        for reg in liveness.live_in[block]:
+            info(reg).blocks.add(block)
+        index = len(block.instrs)
+        for instr, live_after in liveness.live_across(block):
+            index -= 1
+            copy_src = instr.src if isinstance(instr, Copy) else None
+            for dst in instr.defs():
+                record = info(dst)
+                record.num_defs += 1
+                record.spill_cost += weight
+                record.blocks.add(block)
+                for live in live_after:
+                    if live is dst or live is copy_src:
+                        continue
+                    if live.vtype is dst.vtype:
+                        graph.add_edge(dst, live)
+                    info(live)
+            for src in instr.uses():
+                record = info(src)
+                record.num_uses += 1
+                record.spill_cost += weight
+                record.blocks.add(block)
+            if isinstance(instr, Call):
+                # Live across the call = live after it and not defined
+                # by it (the call's result is born in the callee; an
+                # argument that dies at the call does not cross it).
+                for live in live_after - set(instr.defs()):
+                    record = info(live)
+                    record.crossed_calls.append((block, index))
+                    record.caller_cost += 2.0 * weight
+
+    for record in infos.values():
+        if record.is_spill_temp:
+            record.spill_cost = math.inf
+    return graph, infos

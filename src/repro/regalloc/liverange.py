@@ -1,0 +1,138 @@
+"""Live-range (web) construction.
+
+A *web* is a maximal set of definitions and uses connected through
+def-use chains: two definitions belong to the same web when some use
+is reached by both.  Webs are the allocation unit of Chaitin-style
+coloring — a source variable reused in disjoint regions yields
+independent webs that can live in different registers.
+
+``build_webs`` renames each web of a function to a dedicated virtual
+register (in place), after which *register == live range* for every
+later phase.  The web containing a parameter's entry definition keeps
+the parameter register, so the function signature survives renaming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.reaching import compute_reaching_defs
+from repro.ir.function import BasicBlock, Function
+from repro.ir.values import VReg
+
+#: A definition site including the defined register; the parameter
+#: pseudo-site is ``(entry, -1, param)``.
+_SiteKey = Tuple[BasicBlock, int, VReg]
+
+
+@dataclass
+class Web:
+    """One live range: its register and the member def/use sites."""
+
+    reg: VReg
+    def_sites: List[Tuple[BasicBlock, int]] = field(default_factory=list)
+    use_sites: List[Tuple[BasicBlock, int]] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"<web {self.reg}: {len(self.def_sites)} defs, "
+            f"{len(self.use_sites)} uses>"
+        )
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict[_SiteKey, _SiteKey] = {}
+
+    def find(self, key: _SiteKey) -> _SiteKey:
+        root = key
+        while self.parent.setdefault(root, root) != root:
+            root = self.parent[root]
+        while self.parent[key] != root:  # path compression
+            self.parent[key], key = root, self.parent[key]
+        return root
+
+    def union(self, a: _SiteKey, b: _SiteKey) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def build_webs(func: Function) -> List[Web]:
+    """Split every register of ``func`` into webs and rename in place.
+
+    Returns the list of webs (one per renamed register).  Registers
+    whose definitions all belong to one web keep their identity; the
+    extra webs of a split register get fresh registers named after the
+    original.
+    """
+    reaching = compute_reaching_defs(func)
+    uf = _UnionFind()
+
+    # Union the def sites that share a use; remember, per use, one
+    # representative def site so we can resolve the use's web later.
+    use_anchor: Dict[Tuple[BasicBlock, int, VReg], _SiteKey] = {}
+    for (use_site, reg), def_sites in reaching.use_chains.items():
+        sites = [(block, index, reg) for block, index in def_sites]
+        if not sites:
+            # The IR verifier's definite-assignment check makes this
+            # unreachable for verified functions.
+            raise ValueError(
+                f"{func.name}: use of {reg} at {use_site[0].name}:{use_site[1]} "
+                "has no reaching definition"
+            )
+        for other in sites[1:]:
+            uf.union(sites[0], other)
+        use_anchor[(use_site[0], use_site[1], reg)] = sites[0]
+
+    # Choose the register for each web: the original register for the
+    # web containing its first definition (parameters always qualify,
+    # because their pseudo-site is ordered first), fresh ones otherwise.
+    web_regs: Dict[_SiteKey, VReg] = {}
+    webs: Dict[VReg, Web] = {}
+    for reg, def_sites in reaching.def_sites.items():
+        roots_seen: Set[_SiteKey] = set()
+        for i, (block, index) in enumerate(def_sites):
+            root = uf.find((block, index, reg))
+            if root in roots_seen:
+                continue
+            roots_seen.add(root)
+            if i == 0:
+                web_reg = reg
+            else:
+                web_reg = func.new_vreg(reg.vtype, reg.name)
+            web_regs[root] = web_reg
+            webs[web_reg] = Web(reg=web_reg)
+
+    # Rewrite every instruction: defs by their own site, uses by the
+    # web of their reaching definitions.
+    for block in func.blocks:
+        for index, instr in enumerate(block.instrs):
+            use_map: Dict[VReg, VReg] = {}
+            for reg in instr.uses():
+                anchor = use_anchor[(block, index, reg)]
+                web_reg = web_regs[uf.find(anchor)]
+                use_map[reg] = web_reg
+                webs[web_reg].use_sites.append((block, index))
+            if use_map:
+                instr.replace_uses(use_map)
+            def_map: Dict[VReg, VReg] = {}
+            for reg in instr.defs():
+                web_reg = web_regs[uf.find((block, index, reg))]
+                def_map[reg] = web_reg
+                webs[web_reg].def_sites.append((block, index))
+            if def_map:
+                instr.replace_defs(def_map)
+
+    # Parameter pseudo-sites.
+    for param in func.params:
+        root = uf.find((func.entry, -1, param))
+        web_reg = web_regs[root]
+        if web_reg is not param:
+            raise AssertionError(
+                f"{func.name}: parameter {param} lost its register to {web_reg}"
+            )
+        webs[web_reg].def_sites.append((func.entry, -1))
+
+    return list(webs.values())

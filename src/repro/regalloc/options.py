@@ -1,0 +1,125 @@
+"""Allocator configuration: which allocator, with which enhancements.
+
+``AllocatorOptions`` captures every dimension the paper evaluates:
+
+* ``kind`` — the base algorithm: ``chaitin`` (also the base for
+  optimistic and improved variants), ``priority`` or ``cbh``.
+* ``optimistic`` — defer blocking spills to color assignment
+  (Briggs-style optimistic coloring).
+* ``sc`` / ``bs`` / ``pr`` — the paper's three improvements:
+  storage-class analysis, benefit-driven simplification, preference
+  decision.
+* ``callee_model`` — how storage-class analysis charges the
+  callee-save cost: ``shared`` (default, the paper's better variant)
+  or ``first`` (first user pays everything).
+* ``bs_key`` — simplification key: ``delta`` (the paper's choice) or
+  ``max`` (the priority-style key, kept for the ablation).
+* ``priority_strategy`` — stack-building strategy for priority-based
+  coloring: ``sorting`` (the paper's choice), ``sort_unconstrained``
+  or ``remove_unconstrained``.
+
+The named constructors cover every configuration the experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+_KINDS = ("chaitin", "priority", "cbh")
+_CALLEE_MODELS = ("shared", "first")
+_BS_KEYS = ("delta", "max")
+_SPILL_METRICS = ("cost_over_degree", "cost_over_degree_sq", "cost")
+
+
+@dataclass(frozen=True)
+class AllocatorOptions:
+    kind: str = "chaitin"
+    optimistic: bool = False
+    sc: bool = False
+    bs: bool = False
+    pr: bool = False
+    callee_model: str = "shared"
+    bs_key: str = "delta"
+    priority_strategy: str = "sorting"
+    #: Briggs-style rematerialization: spilled constant-valued live
+    #: ranges re-emit their constant instead of reloading (extension;
+    #: cited by the paper as complementary spill-minimization work).
+    remat: bool = False
+    #: Blocking-spill candidate metric (extension; the paper cites
+    #: Bernstein et al.'s spill-heuristic study): Chaitin's
+    #: ``cost_over_degree`` (default), Bernstein's square-law
+    #: ``cost_over_degree_sq``, or plain ``cost`` (what CBH uses).
+    spill_metric: str = "cost_over_degree"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown allocator kind {self.kind!r}")
+        if self.callee_model not in _CALLEE_MODELS:
+            raise ValueError(f"unknown callee model {self.callee_model!r}")
+        if self.bs_key not in _BS_KEYS:
+            raise ValueError(f"unknown simplification key {self.bs_key!r}")
+        if self.kind == "cbh" and (self.sc or self.bs or self.pr):
+            raise ValueError("the CBH model does not take SC/BS/PR enhancements")
+        if self.kind == "priority" and self.optimistic:
+            raise ValueError("priority-based coloring is inherently optimistic")
+        if self.spill_metric not in _SPILL_METRICS:
+            raise ValueError(f"unknown spill metric {self.spill_metric!r}")
+
+    # ------------------------------------------------------------------
+    # the configurations used throughout the paper
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def base_chaitin() -> "AllocatorOptions":
+        """The paper's base model (Section 3.1)."""
+        return AllocatorOptions(kind="chaitin")
+
+    @staticmethod
+    def optimistic_coloring() -> "AllocatorOptions":
+        """Briggs-style optimistic coloring over the base model."""
+        return AllocatorOptions(kind="chaitin", optimistic=True)
+
+    @staticmethod
+    def improved_chaitin(
+        sc: bool = True, bs: bool = True, pr: bool = True
+    ) -> "AllocatorOptions":
+        """Improved Chaitin-style coloring (SC+BS+PR by default)."""
+        return AllocatorOptions(kind="chaitin", sc=sc, bs=bs, pr=pr)
+
+    @staticmethod
+    def improved_optimistic() -> "AllocatorOptions":
+        """Improved Chaitin-style coloring integrated with optimistic."""
+        return AllocatorOptions(
+            kind="chaitin", optimistic=True, sc=True, bs=True, pr=True
+        )
+
+    @staticmethod
+    def priority_based(strategy: str = "sorting") -> "AllocatorOptions":
+        """Chow's priority-based coloring, without live-range splitting."""
+        return AllocatorOptions(kind="priority", priority_strategy=strategy)
+
+    @staticmethod
+    def cbh() -> "AllocatorOptions":
+        """The Chaitin/Briggs-Hierarchical call-cost model (Section 10)."""
+        return AllocatorOptions(kind="cbh")
+
+    def with_(self, **changes) -> "AllocatorOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name used in reports."""
+        if self.kind == "cbh":
+            return "CBH"
+        if self.kind == "priority":
+            return f"priority({self.priority_strategy})"
+        parts = []
+        if self.sc:
+            parts.append("SC")
+        if self.bs:
+            parts.append("BS")
+        if self.pr:
+            parts.append("PR")
+        name = "chaitin" if not self.optimistic else "optimistic"
+        return f"{name}+{'+'.join(parts)}" if parts else name

@@ -1,0 +1,67 @@
+"""Preference decision (paper Section 6).
+
+A pre-pass over call sites, hottest first.  At a call crossed by ``L``
+live ranges that prefer callee-save registers when only ``M``
+callee-save registers exist in the relevant bank, at least ``L - M``
+of them must end up in caller-save registers no matter what — so the
+``L - M`` with the *smallest* demotion penalty are annotated to prefer
+caller-save registers, leaving the callee-save registers for the
+ranges that need them most.
+
+The demotion penalty (``preference_key``) is the caller-save overhead
+when a caller-save register is still profitable, and the full spill
+cost otherwise (storage-class analysis will spill a demoted range
+whose ``benefit_caller`` is negative).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.frequency import BlockWeights
+from repro.ir.function import BasicBlock, Function
+from repro.ir.types import ValueType
+from repro.ir.values import VReg
+from repro.machine.registers import RegisterFile
+from repro.regalloc.benefits import Benefits, preference_key
+from repro.regalloc.interference import LiveRangeInfo
+
+_CallSite = Tuple[BasicBlock, int]
+
+
+def preference_decisions(
+    infos: Dict[VReg, LiveRangeInfo],
+    benefits: Dict[VReg, Benefits],
+    weights: BlockWeights,
+    regfile: RegisterFile,
+) -> Set[VReg]:
+    """Live ranges forced to prefer caller-save registers."""
+    # Group call-crossing, callee-preferring live ranges by call site
+    # and bank.
+    by_site: Dict[Tuple[_CallSite, ValueType], List[VReg]] = {}
+    for reg, info in infos.items():
+        if not benefits[reg].prefers_callee:
+            continue
+        for site in info.crossed_calls:
+            by_site.setdefault((site, reg.vtype), []).append(reg)
+
+    # Hottest call sites decide first.
+    ordered_sites = sorted(
+        by_site.items(),
+        key=lambda item: (-weights.weight(item[0][0][0]), item[0][0][0].name,
+                          item[0][0][1], item[0][1].value),
+    )
+
+    forced: Set[VReg] = set()
+    for (site, bank), candidates in ordered_sites:
+        available = len(regfile.bank(bank).callee)
+        # Ranges already demoted at a hotter call no longer compete.
+        contenders = [reg for reg in candidates if reg not in forced]
+        excess = len(contenders) - available
+        if excess <= 0:
+            continue
+        contenders.sort(
+            key=lambda reg: (preference_key(infos[reg], benefits[reg]), reg.id)
+        )
+        forced.update(contenders[:excess])
+    return forced

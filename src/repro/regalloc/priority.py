@@ -1,0 +1,85 @@
+"""Color ordering for priority-based coloring (Chow, without splitting).
+
+The priority of a live range is ``max(benefit_caller, benefit_callee)
+/ size`` where ``size`` is the number of basic blocks the range spans
+(paper Section 9.1).  Three strategies for building the color stack
+are studied; the paper adopts ``sorting``:
+
+* ``remove_unconstrained`` — peel unconstrained nodes off the graph
+  (they land at the bottom of the stack), then push the remaining
+  constrained nodes from least to highest priority.
+* ``sort_unconstrained`` — same, but the unconstrained nodes are also
+  peeled in priority order (lowest first) so high-priority
+  unconstrained ranges sit higher in the stack.
+* ``sorting`` — ignore the graph structure entirely and sort all live
+  ranges by priority, highest on top.
+
+Unlike Chaitin-style ordering, no spills happen here; a live range
+that fails to find a color during assignment is spilled (the paper's
+priority-based variant spills rather than splits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.values import VReg
+from repro.machine.registers import RegisterFile
+from repro.regalloc.benefits import Benefits, priority_function
+from repro.regalloc.interference import InterferenceGraph, LiveRangeInfo
+from repro.regalloc.simplify import OrderingResult
+
+#: The strategy the paper selects after comparing all three.
+DEFAULT_STRATEGY = "sorting"
+
+STRATEGIES = ("remove_unconstrained", "sort_unconstrained", "sorting")
+
+
+def priority_order(
+    graph: InterferenceGraph,
+    infos: Dict[VReg, LiveRangeInfo],
+    benefits: Dict[VReg, Benefits],
+    regfile: RegisterFile,
+    strategy: str = DEFAULT_STRATEGY,
+) -> OrderingResult:
+    """Build the color stack for priority-based coloring."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown priority strategy {strategy!r}")
+
+    def priority(reg: VReg) -> float:
+        return priority_function(infos[reg], benefits[reg])
+
+    nodes = list(graph.nodes)
+    if strategy == "sorting":
+        stack = sorted(nodes, key=lambda reg: (priority(reg), -reg.id))
+        return OrderingResult(stack=stack)
+
+    degrees = {reg: graph.degree(reg) for reg in nodes}
+    remaining: Set[VReg] = set(nodes)
+    unconstrained_stack: List[VReg] = []
+
+    def peel_order(candidates: List[VReg]) -> List[VReg]:
+        if strategy == "sort_unconstrained":
+            return sorted(candidates, key=lambda reg: (priority(reg), -reg.id))
+        return sorted(candidates, key=lambda reg: reg.id)
+
+    while True:
+        candidates = [
+            reg
+            for reg in remaining
+            if degrees[reg] < regfile.bank(reg.vtype).num_regs
+        ]
+        if not candidates:
+            break
+        for reg in peel_order(candidates):
+            # Degrees shift as we peel; re-check before removing.
+            if degrees[reg] >= regfile.bank(reg.vtype).num_regs:
+                continue
+            remaining.discard(reg)
+            unconstrained_stack.append(reg)
+            for neighbor in graph.neighbors(reg):
+                if neighbor in remaining:
+                    degrees[neighbor] -= 1
+
+    constrained = sorted(remaining, key=lambda reg: (priority(reg), -reg.id))
+    return OrderingResult(stack=unconstrained_stack + constrained)

@@ -1,0 +1,148 @@
+"""Simplification: Chaitin's color ordering, with the paper's twists.
+
+Simplification repeatedly removes an *unconstrained* node (degree less
+than the number of registers in its bank) and pushes it onto the color
+stack; color assignment later pops the stack, so the last node removed
+is colored first and enjoys the most freedom.
+
+When every remaining node is constrained, simplification *blocks* and
+a spill candidate is chosen (minimal ``spill_cost / degree``, or plain
+``spill_cost`` for the CBH model).  Base Chaitin spills the candidate
+immediately (it goes to the spill pool); optimistic coloring pushes it
+onto the stack anyway and lets color assignment decide.
+
+**Benefit-driven simplification** (paper Section 5) is the ``key_fn``
+hook: when several nodes are unconstrained, the one with the smallest
+key is removed first, leaving large-key nodes — those with the most to
+lose from the wrong register kind — on top of the stack.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.ir.values import VReg
+from repro.machine.registers import RegisterFile
+from repro.regalloc.interference import InterferenceGraph, LiveRangeInfo
+
+
+class AllocationError(Exception):
+    """The allocator cannot make progress (e.g. only unspillable nodes)."""
+
+
+@dataclass
+class OrderingResult:
+    """Output of a color-ordering phase.
+
+    ``stack`` is the color stack with the top at the end of the list.
+    ``spilled`` is the spill pool contribution (base Chaitin spills at
+    ordering time).  ``optimistic`` marks nodes pushed despite being
+    blocked, whose coloring may still fail.
+    """
+
+    stack: List[VReg] = field(default_factory=list)
+    spilled: List[VReg] = field(default_factory=list)
+    optimistic: Set[VReg] = field(default_factory=set)
+
+
+def simplify(
+    graph: InterferenceGraph,
+    infos: Dict[VReg, LiveRangeInfo],
+    regfile: RegisterFile,
+    key_fn: Optional[Callable[[VReg], float]] = None,
+    optimistic: bool = False,
+    spill_metric: str = "cost_over_degree",
+    num_regs: Optional[Callable[[VReg], int]] = None,
+    never_simplify: Optional[Set[VReg]] = None,
+) -> OrderingResult:
+    """Run simplification to an empty graph.
+
+    ``num_regs`` overrides the per-node register budget (the CBH model
+    shrinks it for call-crossing ranges); ``never_simplify`` is unused
+    by the standard allocators but lets callers pin nodes so they can
+    only leave the graph through a blocking spill.
+    """
+    if num_regs is None:
+        def num_regs(reg: VReg) -> int:  # noqa: ANN001 - local default
+            return regfile.bank(reg.vtype).num_regs
+
+    pinned = never_simplify or set()
+    remaining: Set[VReg] = set(graph.nodes)
+    degrees: Dict[VReg, int] = {reg: graph.degree(reg) for reg in remaining}
+    result = OrderingResult()
+
+    # Lazy min-heap over currently-unconstrained nodes.  Entries go
+    # stale when a node is removed; staleness is detected on pop.
+    def key_of(reg: VReg) -> float:
+        return key_fn(reg) if key_fn is not None else 0.0
+
+    heap: List = []
+    in_heap: Set[VReg] = set()
+
+    def consider(reg: VReg) -> None:
+        if reg in remaining and reg not in in_heap and reg not in pinned:
+            if degrees[reg] < num_regs(reg):
+                heapq.heappush(heap, (key_of(reg), reg.id, reg))
+                in_heap.add(reg)
+
+    for reg in remaining:
+        consider(reg)
+
+    def remove(reg: VReg) -> None:
+        remaining.discard(reg)
+        in_heap.discard(reg)
+        for neighbor in graph.neighbors(reg):
+            if neighbor in remaining:
+                degrees[neighbor] -= 1
+                consider(neighbor)
+
+    while remaining:
+        while heap:
+            _key, _tie, reg = heapq.heappop(heap)
+            if reg in remaining and reg in in_heap:
+                remove(reg)
+                result.stack.append(reg)
+                break
+        else:
+            # Blocked: every remaining node is constrained (or pinned).
+            candidate = _choose_spill(remaining, infos, degrees, spill_metric)
+            remove(candidate)
+            if optimistic:
+                result.stack.append(candidate)
+                result.optimistic.add(candidate)
+            else:
+                result.spilled.append(candidate)
+    return result
+
+
+def _choose_spill(
+    remaining: Set[VReg],
+    infos: Dict[VReg, LiveRangeInfo],
+    degrees: Dict[VReg, int],
+    metric: str,
+) -> VReg:
+    """Pick the cheapest node to spill among ``remaining``."""
+    best: Optional[VReg] = None
+    best_value = math.inf
+    for reg in remaining:
+        cost = infos[reg].spill_cost
+        if metric == "cost_over_degree":
+            value = cost / max(degrees[reg], 1)
+        elif metric == "cost_over_degree_sq":
+            value = cost / max(degrees[reg], 1) ** 2
+        else:
+            value = cost
+        if value < best_value or (
+            value == best_value and (best is None or reg.id < best.id)
+        ):
+            best = reg
+            best_value = value
+    if best is None or math.isinf(infos[best].spill_cost):
+        raise AllocationError(
+            "simplification blocked with only unspillable live ranges; "
+            "the register file is too small for this function"
+        )
+    return best

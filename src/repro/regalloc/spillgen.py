@@ -1,0 +1,115 @@
+"""Spill code insertion ("spill everywhere").
+
+Every spilled live range gets a frame slot; each use is preceded by a
+reload into a fresh temporary and each def is followed by a store from
+a fresh temporary.  The temporaries are tiny live ranges that never
+cross calls; they are marked unspillable (infinite spill cost), which
+guarantees the allocate/spill iteration terminates.
+
+Parameters are spillable too: a spilled parameter keeps its register
+at entry (the calling convention hands it over in a register) and is
+stored to its slot by an entry store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Const, Instr
+from repro.ir.values import VReg
+from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+
+
+class SlotAllocator:
+    """Hands out frame slot numbers, one per spilled value."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def allocate(self) -> int:
+        slot = self._next
+        self._next += 1
+        return slot
+
+    @property
+    def count(self) -> int:
+        return self._next
+
+
+def insert_spill_code(
+    func: Function,
+    spills: Iterable[VReg],
+    slots: SlotAllocator,
+    spill_temps: Set[VReg],
+    remat_values: Optional[Dict[VReg, float]] = None,
+) -> Dict[VReg, int]:
+    """Rewrite ``func`` so every register in ``spills`` lives in memory.
+
+    Returns the slot assigned to each spilled register.  New
+    temporaries are added to ``spill_temps`` (the framework marks them
+    unspillable in the next iteration's cost table).
+
+    ``remat_values`` maps spilled registers whose value is a known
+    constant to that constant: their uses re-materialize the constant
+    (a one-cycle ALU op) instead of reloading from a frame slot, and
+    their defs need no store — Briggs-style rematerialization.
+    """
+    remat_values = remat_values or {}
+    spill_set = set(spills)
+    slot_of = {
+        reg: slots.allocate()
+        for reg in sorted(spill_set, key=lambda r: r.id)
+        if reg not in remat_values
+    }
+
+    for block in func.blocks:
+        rewritten: List[Instr] = []
+        for instr in block.instrs:
+            use_map: Dict[VReg, VReg] = {}
+            for used in instr.uses():
+                if used in spill_set and used not in use_map:
+                    temp = func.new_vreg(used.vtype, _temp_name(used))
+                    spill_temps.add(temp)
+                    if used in remat_values:
+                        rewritten.append(Const(temp, remat_values[used]))
+                    else:
+                        rewritten.append(
+                            SpillLoad(temp, slot_of[used], OverheadKind.SPILL)
+                        )
+                    use_map[used] = temp
+            if use_map:
+                instr.replace_uses(use_map)
+            stores: List[Instr] = []
+            def_map: Dict[VReg, VReg] = {}
+            for defined in instr.defs():
+                if defined in spill_set:
+                    temp = func.new_vreg(defined.vtype, _temp_name(defined))
+                    spill_temps.add(temp)
+                    def_map[defined] = temp
+                    if defined not in remat_values:
+                        stores.append(
+                            SpillStore(slot_of[defined], temp, OverheadKind.SPILL)
+                        )
+            if def_map:
+                instr.replace_defs(def_map)
+            rewritten.append(instr)
+            rewritten.extend(stores)
+        block.instrs = rewritten
+
+    # A spilled parameter arrives in a register; store it to its slot
+    # on entry so the reloads find it.
+    entry_stores: List[Instr] = []
+    for param in func.params:
+        if param in spill_set and param not in remat_values:
+            entry_stores.append(
+                SpillStore(slot_of[param], param, OverheadKind.SPILL)
+            )
+            spill_temps.add(param)
+    if entry_stores:
+        func.entry.instrs[:0] = entry_stores
+    return slot_of
+
+
+def _temp_name(reg: VReg) -> str:
+    return f"{reg.name}.spill" if reg.name else "spill"

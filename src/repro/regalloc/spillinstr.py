@@ -1,0 +1,81 @@
+"""Overhead pseudo-instructions inserted by the register allocator.
+
+``SpillLoad`` / ``SpillStore`` move a value between a register and a
+stack slot.  Every such instruction carries an :class:`OverheadKind`
+tag naming *why* it exists — spill code, caller-save save/restore
+around a call, or callee-save save/restore at entry/exit — which is
+exactly the decomposition of "register allocation overhead" the paper
+reports (shuffle cost, the fourth component, is carried by the plain
+``Copy`` instructions that survive coalescing).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from repro.ir.instructions import Instr
+from repro.ir.values import VReg
+
+
+class OverheadKind(enum.Enum):
+    """Why an overhead operation was inserted."""
+
+    SPILL = "spill"
+    CALLER_SAVE = "caller_save"
+    CALLEE_SAVE = "callee_save"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class SpillLoad(Instr):
+    """``dst = stack[slot]`` — reload a value from the frame.
+
+    Spill code (inserted between allocation iterations) targets a
+    virtual register; save/restore code (inserted once allocation is
+    final) targets a physical register directly and is invisible to
+    the liveness machinery (``defs()`` is then empty).
+    """
+
+    __slots__ = ("dst", "slot", "kind")
+
+    def __init__(self, dst, slot: int, kind: OverheadKind):
+        self.dst = dst
+        self.slot = slot
+        self.kind = kind
+
+    def defs(self) -> Tuple[VReg, ...]:
+        return (self.dst,) if isinstance(self.dst, VReg) else ()
+
+    def replace_defs(self, mapping: Dict[VReg, VReg]) -> None:
+        if isinstance(self.dst, VReg):
+            self.dst = mapping.get(self.dst, self.dst)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = reload slot{self.slot} ; {self.kind}"
+
+
+class SpillStore(Instr):
+    """``stack[slot] = src`` — save a value to the frame.
+
+    Like :class:`SpillLoad`, ``src`` is a virtual register in spill
+    code and a physical register in save/restore code.
+    """
+
+    __slots__ = ("slot", "src", "kind")
+
+    def __init__(self, slot: int, src, kind: OverheadKind):
+        self.slot = slot
+        self.src = src
+        self.kind = kind
+
+    def uses(self) -> Tuple[VReg, ...]:
+        return (self.src,) if isinstance(self.src, VReg) else ()
+
+    def replace_uses(self, mapping: Dict[VReg, VReg]) -> None:
+        if isinstance(self.src, VReg):
+            self.src = mapping.get(self.src, self.src)
+
+    def __repr__(self) -> str:
+        return f"spill slot{self.slot} = {self.src} ; {self.kind}"

@@ -1,0 +1,26 @@
+"""Benchmark workloads: synthetic SPEC92 stand-ins and a generator.
+
+* :func:`compile_workload` — compile, verify, run and profile one of
+  the 14 named workloads (cached).
+* :func:`workload_names` — all registered names.
+* :func:`repro.workloads.generator.random_program` — seeded random
+  mini-C programs for property-based testing.
+"""
+
+from repro.workloads.registry import (
+    CompiledWorkload,
+    Workload,
+    compile_workload,
+    get_workload,
+    register,
+    workload_names,
+)
+
+__all__ = [
+    "CompiledWorkload",
+    "Workload",
+    "compile_workload",
+    "get_workload",
+    "register",
+    "workload_names",
+]

@@ -1,0 +1,21 @@
+"""The 14 SPEC92 stand-in programs.
+
+Importing this package registers every workload with the registry.
+"""
+
+from repro.workloads.programs import (  # noqa: F401
+    alvinn,
+    compress,
+    doduc,
+    ear,
+    eqntott,
+    espresso,
+    fpppp,
+    gcc,
+    li,
+    matrix300,
+    nasa7,
+    sc,
+    spice,
+    tomcatv,
+)

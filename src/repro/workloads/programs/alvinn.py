@@ -1,0 +1,99 @@
+"""alvinn stand-in: neural-network training loops.
+
+The real alvinn trains a small feed-forward network: dense dot-product
+loops (pure float pressure) punctuated by an activation-function call
+per neuron.  The paper finds improved Chaitin and priority-based
+coloring roughly equal here — packing matters at small register
+counts, call-cost direction at large ones.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+float inputs[32];
+float hidden[16];
+float outputs[8];
+float w1[512];
+float w2[128];
+float deltas[8];
+float fout[4];
+
+float activation(float x) {
+    float ax = x;
+    if (ax < 0.0) { ax = -ax; }
+    return x / (1.0 + ax);
+}
+
+float forward_hidden(int j) {
+    float acc = 0.0;
+    for (int i = 0; i < 32; i = i + 1) {
+        acc = acc + inputs[i] * w1[j * 32 + i];
+    }
+    return activation(acc);
+}
+
+float forward_output(int k) {
+    float acc = 0.0;
+    for (int j = 0; j < 16; j = j + 1) {
+        acc = acc + hidden[j] * w2[k * 16 + j];
+    }
+    return activation(acc);
+}
+
+void main() {
+    int seed = 11;
+    for (int i = 0; i < 512; i = i + 1) {
+        seed = (seed * 2531 + 29) % 100000;
+        w1[i] = itof(seed % 200 - 100) * 0.005;
+    }
+    for (int i = 0; i < 128; i = i + 1) {
+        seed = (seed * 2531 + 29) % 100000;
+        w2[i] = itof(seed % 200 - 100) * 0.005;
+    }
+    float error = 0.0;
+    for (int epoch = 0; epoch < 12; epoch = epoch + 1) {
+        for (int i = 0; i < 32; i = i + 1) {
+            seed = (seed * 2531 + 29) % 100000;
+            inputs[i] = itof(seed % 100) * 0.01;
+        }
+        for (int j = 0; j < 16; j = j + 1) {
+            hidden[j] = forward_hidden(j);
+        }
+        error = 0.0;
+        for (int k = 0; k < 8; k = k + 1) {
+            float o = forward_output(k);
+            outputs[k] = o;
+            float target = itof(k % 2);
+            float d = target - o;
+            deltas[k] = d;
+            error = error + d * d;
+        }
+        // weight update: call-free pressure loops
+        for (int k = 0; k < 8; k = k + 1) {
+            float dk = deltas[k] * 0.1;
+            for (int j = 0; j < 16; j = j + 1) {
+                w2[k * 16 + j] = w2[k * 16 + j] + dk * hidden[j];
+            }
+        }
+        for (int j = 0; j < 16; j = j + 1) {
+            float hj = hidden[j] * 0.02;
+            for (int i = 0; i < 32; i = i + 1) {
+                w1[j * 32 + i] = w1[j * 32 + i] + hj * inputs[i];
+            }
+        }
+    }
+    fout[0] = error;
+    fout[1] = outputs[0];
+    fout[2] = w1[100];
+    fout[3] = w2[50];
+}
+"""
+
+register(
+    Workload(
+        name="alvinn",
+        source=SOURCE,
+        description="neural-net training: dense loops plus activation calls",
+        traits=("float", "loop-nest", "hot-helper-call"),
+    )
+)

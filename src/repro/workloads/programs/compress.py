@@ -1,0 +1,106 @@
+"""compress stand-in: LZW-flavoured hash-table coding loop.
+
+The real compress interleaves a hot hashing/probing loop with helper
+calls (``output``, ``getcode``) that sit on moderately hot paths,
+while many live ranges on the hottest path also cross *cold* call
+sites (table reset).  Per the paper, storage-class analysis alone
+brings most of the win, and CBH over-constrains: ranges crossing the
+cold reset call would be banished from caller-save registers.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+int input[600];
+int htab[256];
+int codetab[256];
+int output_buf[700];
+int out[4];
+
+int out_count[1];
+
+void put_code(int code) {
+    int n = out_count[0];
+    output_buf[n] = code % 4096;
+    out_count[0] = n + 1;
+}
+
+void clear_table() {
+    for (int i = 0; i < 256; i = i + 1) {
+        htab[i] = -1;
+        codetab[i] = 0;
+    }
+}
+
+int hash_probe(int key) {
+    int h = (key * 611) % 256;
+    if (h < 0) { h = -h; }
+    int probes = 0;
+    while (htab[h] != key && htab[h] != -1 && probes < 256) {
+        h = (h + 1) % 256;
+        probes = probes + 1;
+    }
+    return h;
+}
+
+void main() {
+    int seed = 99;
+    for (int i = 0; i < 600; i = i + 1) {
+        seed = (seed * 1103 + 12345) % 100000;
+        input[i] = seed % 64;
+    }
+    out_count[0] = 0;
+    clear_table();
+    int nextcode = 256;
+    int prefix = input[0];
+    int hits = 0;
+    int misses = 0;
+    int run = 0;
+    int max_run = 0;
+    int key_check = 0;
+    int ratio_num = 0;
+    for (int i = 1; i < 600; i = i + 1) {
+        int c = input[i];
+        int key = prefix * 64 + c;
+        int h = hash_probe(key);
+        key_check = (key_check + key) % 65521;
+        if (htab[h] == key) {
+            prefix = codetab[h];
+            hits = hits + 1;
+            run = run + 1;
+            if (run > max_run) { max_run = run; }
+        } else {
+            put_code(prefix);
+            misses = misses + 1;
+            run = 0;
+            ratio_num = (ratio_num + hits * 4) % 65521;
+            htab[h] = key;
+            codetab[h] = nextcode;
+            nextcode = nextcode + 1;
+            prefix = c;
+            if (nextcode >= 4096) {
+                clear_table();
+                nextcode = 256;
+            }
+        }
+    }
+    put_code(prefix);
+    out[3] = (hits + misses * 3 + max_run * 7 + key_check + ratio_num) % 1000003;
+    int sum = 0;
+    for (int i = 0; i < out_count[0]; i = i + 1) {
+        sum = (sum + output_buf[i] * (i + 1)) % 1000003;
+    }
+    out[0] = sum;
+    out[1] = out_count[0];
+    out[2] = nextcode;
+}
+"""
+
+register(
+    Workload(
+        name="compress",
+        source=SOURCE,
+        description="LZW-style hashing with hot helpers and a cold reset call",
+        traits=("int", "hash-table", "cold-call-crossing"),
+    )
+)

@@ -1,0 +1,119 @@
+"""doduc stand-in: Monte-Carlo reactor state stepping.
+
+The real doduc is a thermohydraulics simulation: a time-stepping loop
+whose body calls several medium-sized float routines and branches on
+regime thresholds.  The paper groups it with the programs where
+improved Chaitin beats priority-based coloring and where CBH cannot
+catch up under profile information.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+float temp[64];
+float flow[64];
+float pressure[64];
+float fout[4];
+
+float heat_transfer(float t, float f) {
+    float dt = t - 300.0;
+    if (dt < 0.0) { dt = 0.0; }
+    return dt * f * 0.015;
+}
+
+float friction(float f) {
+    float af = f;
+    if (af < 0.0) { af = -af; }
+    return 0.02 + 0.3 / (1.0 + af * 4.0);
+}
+
+float probe(float x) {
+    return x * 0.5 + 1.0;
+}
+
+float regime_adjust(int cell, float inflow) {
+    // Two equally likely regimes; each keeps a regime-local value
+    // live across a chain of three helper calls and touches it only
+    // three times in total.  Individually such a live range cannot
+    // pay for a callee-save register (its references are rarer than
+    // the function's entries), but the two regimes together can share
+    // one -- the scenario where the paper's shared callee-save cost
+    // model beats the first-user model.
+    float r = 0.0;
+    if (cell % 2 == 0) {
+        float u = inflow * 1.5 + 0.25;
+        float s1 = probe(u);
+        float s2 = probe(s1 + 0.125);
+        float s3 = probe(s2 + 0.25);
+        r = s3 + u;
+    } else {
+        float w = inflow * 0.75 + 0.5;
+        float t1 = probe(w);
+        float t2 = probe(t1 + 0.375);
+        float t3 = probe(t2 + 0.5);
+        r = t3 + w;
+    }
+    return r;
+}
+
+float step_cell(int i, float inflow) {
+    float t = temp[i];
+    float f = flow[i];
+    float q = heat_transfer(t, f);
+    float k = friction(f);
+    float adj = regime_adjust(i, inflow);
+    q = q + adj * 0.001;
+    float fnew = f + (inflow - f) * 0.25 - k * f * 0.125;
+    float tnew = t + q * 0.5 - (t - 310.0) * 0.03;
+    temp[i] = tnew;
+    flow[i] = fnew;
+    pressure[i] = pressure[i] * 0.9 + fnew * fnew * 0.05;
+    return fnew;
+}
+
+void main() {
+    int ncells = 48;
+    int seed = 17;
+    for (int i = 0; i < ncells; i = i + 1) {
+        seed = (seed * 2531 + 23) % 100000;
+        temp[i] = 300.0 + itof(seed % 100) * 0.5;
+        flow[i] = 1.0 + itof(seed % 50) * 0.02;
+        pressure[i] = 10.0;
+    }
+    for (int t = 0; t < 60; t = t + 1) {
+        float inflow = 1.5 + itof(t % 7) * 0.1;
+        for (int i = 0; i < ncells; i = i + 1) {
+            inflow = step_cell(i, inflow);
+        }
+        if (t % 10 == 9) {
+            // occasional (cold) rebalancing pass
+            float avg = 0.0;
+            for (int i = 0; i < ncells; i = i + 1) {
+                avg = avg + pressure[i];
+            }
+            avg = avg / itof(ncells);
+            for (int i = 0; i < ncells; i = i + 1) {
+                pressure[i] = pressure[i] * 0.75 + avg * 0.25;
+            }
+        }
+    }
+    float st = 0.0;
+    float sf = 0.0;
+    for (int i = 0; i < ncells; i = i + 1) {
+        st = st + temp[i];
+        sf = sf + flow[i];
+    }
+    fout[0] = st;
+    fout[1] = sf;
+    fout[2] = pressure[0];
+}
+"""
+
+register(
+    Workload(
+        name="doduc",
+        source=SOURCE,
+        description="reactor time-stepping with helper calls and regimes",
+        traits=("float", "time-stepping", "mixed-calls"),
+    )
+)

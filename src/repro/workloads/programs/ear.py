@@ -1,0 +1,110 @@
+"""ear stand-in: auditory filterbank over a sampled signal.
+
+The real ear pushes every sample of an input signal through a cascade
+of small floating-point filter stages — tiny functions called once per
+sample per channel, i.e. calls on the hottest path of the program.
+The caller keeps a dozen accumulators, filter coefficients and
+delayed samples live across those calls, far more than the callee-save
+registers of mid-sized files can hold, so the register *kind* decision
+dominates total overhead (the paper reports a 45-55x reduction for
+ear) and the preference decision has real contention to arbitrate.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+float signal[400];
+float state[16];
+float energy[16];
+float outp[400];
+float fout[8];
+
+float bandpass(float x, float c1, float c2, int k) {
+    float s = state[k];
+    float y = c1 * x - c2 * s;
+    state[k] = y * 0.5 + s * 0.25;
+    return y;
+}
+
+float rectify(float x) {
+    if (x < 0.0) { return -x; }
+    return x;
+}
+
+float agc(float x) {
+    return x / (1.0 + x * x * 0.125);
+}
+
+void main() {
+    int nsamples = 400;
+    int nchan = 8;
+    int seed = 7;
+    for (int i = 0; i < nsamples; i = i + 1) {
+        seed = (seed * 2531 + 11) % 100000;
+        signal[i] = itof(seed % 2000 - 1000) * 0.001;
+    }
+    for (int k = 0; k < 16; k = k + 1) {
+        state[k] = 0.0;
+        energy[k] = 0.0;
+    }
+    float prev1 = 0.0;
+    float prev2 = 0.0;
+    float peak = 0.0;
+    float band_lo = 0.0;
+    float band_mid = 0.0;
+    float band_hi = 0.0;
+    float gain = 1.0;
+    float drift = 0.001;
+    for (int t = 0; t < nsamples; t = t + 1) {
+        float x = signal[t] * gain + prev1 * 0.2 - prev2 * 0.05;
+        float acc = 0.0;
+        float c1 = 0.9;
+        float c2 = 0.3;
+        for (int k = 0; k < nchan; k = k + 1) {
+            float y = bandpass(x, c1, c2, k);
+            float r = rectify(y);
+            float g = agc(r);
+            acc = acc + g;
+            energy[k] = energy[k] + g * g;
+            if (k < 3) {
+                band_lo = band_lo + g;
+            } else {
+                if (k < 6) {
+                    band_mid = band_mid + g;
+                } else {
+                    band_hi = band_hi + g;
+                }
+            }
+            if (g > peak) { peak = g; }
+            c1 = c1 - 0.05;
+            c2 = c2 + 0.02;
+        }
+        outp[t] = acc;
+        prev2 = prev1;
+        prev1 = x;
+        gain = gain - drift * acc;
+        if (gain < 0.5) { gain = 0.5; }
+    }
+    float total = 0.0;
+    for (int k = 0; k < nchan; k = k + 1) {
+        total = total + energy[k];
+    }
+    fout[0] = total;
+    fout[1] = outp[0];
+    fout[2] = outp[nsamples - 1];
+    fout[3] = band_lo;
+    fout[4] = band_mid;
+    fout[5] = band_hi;
+    fout[6] = peak;
+    fout[7] = gain;
+}
+"""
+
+register(
+    Workload(
+        name="ear",
+        source=SOURCE,
+        description="auditory filterbank: float helper calls on the hottest loop",
+        traits=("float", "hot-helper-call", "filterbank"),
+    )
+)

@@ -1,0 +1,106 @@
+"""eqntott stand-in: truth-table term sorting.
+
+The real eqntott spends most of its time in ``cmppt``, a small term
+comparison function called from the inner loop of a sort.  The paper
+reports a 66x overhead reduction for eqntott: the sort's loop
+variables are hot and cross the ``cmppt`` call on every iteration, so
+putting them in caller-save registers (the base model's choice for
+ranges that merely contain a cold call is wrong here: they contain a
+*hot* call) is catastrophic, while callee-save registers make the
+call-crossing almost free.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+int pterms[192];
+int perm[192];
+int out[4];
+
+int cmppt(int a, int b) {
+    int va = pterms[a];
+    int vb = pterms[b];
+    if (va < vb) { return -1; }
+    if (va > vb) { return 1; }
+    if (a < b) { return -1; }
+    if (a > b) { return 1; }
+    return 0;
+}
+
+int sort_stats[8];
+
+void sort_terms(int n) {
+    int i = 1;
+    int comparisons = 0;
+    int swaps = 0;
+    int runs = 0;
+    int streak = 0;
+    int parity = 0;
+    int low_sum = 0;
+    int high_sum = 0;
+    while (i < n) {
+        int j = i;
+        while (j > 0) {
+            int left = perm[j - 1];
+            int right = perm[j];
+            int order = cmppt(left, right);
+            comparisons = comparisons + 1;
+            parity = 1 - parity;
+            if (order > 0) {
+                perm[j - 1] = right;
+                perm[j] = left;
+                swaps = swaps + 1;
+                streak = streak + 1;
+                low_sum = (low_sum + right) % 65521;
+            } else {
+                if (streak > 0) { runs = runs + 1; }
+                streak = 0;
+                high_sum = (high_sum + left) % 65521;
+                j = 1;
+            }
+            j = j - 1;
+        }
+        i = i + 1;
+    }
+    sort_stats[0] = comparisons;
+    sort_stats[1] = swaps;
+    sort_stats[2] = runs;
+    sort_stats[3] = parity;
+    sort_stats[4] = low_sum;
+    sort_stats[5] = high_sum;
+}
+
+int checksum(int n) {
+    int sum = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        sum = sum + perm[i] * (i + 1);
+        sum = sum % 1000003;
+    }
+    return sum;
+}
+
+void main() {
+    int n = 192;
+    int seed = 42;
+    for (int i = 0; i < n; i = i + 1) {
+        seed = (seed * 1103 + 12345) % 100000;
+        pterms[i] = seed % 512;
+        perm[i] = i;
+    }
+    sort_terms(n);
+    out[0] = checksum(n);
+    out[1] = perm[0];
+    out[2] = perm[n - 1];
+    out[3] = (sort_stats[0] + sort_stats[1] * 3 + sort_stats[2] * 5
+              + sort_stats[4] + sort_stats[5]) % 1000003;
+}
+"""
+
+register(
+    Workload(
+        name="eqntott",
+        source=SOURCE,
+        description="truth-table term sort dominated by a hot comparison call",
+        traits=("int", "hot-helper-call", "sort"),
+    )
+)

@@ -1,0 +1,114 @@
+"""espresso stand-in: boolean-cube set operations.
+
+The real espresso manipulates cube covers with many small integer
+helpers of moderate temperature.  No single live range dominates, so
+the preference decision has nothing to arbitrate (the paper's third
+class: PR changes nothing) and priority-based coloring is competitive
+in the dynamic case.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+int cover[256];
+int scratch[256];
+int out[4];
+
+int count_ones(int word) {
+    int count = 0;
+    int w = word;
+    while (w != 0) {
+        count = count + w % 2;
+        w = w / 2;
+    }
+    return count;
+}
+
+int cube_and(int a, int b) {
+    int result = 0;
+    int bit = 1;
+    int wa = a;
+    int wb = b;
+    for (int i = 0; i < 12; i = i + 1) {
+        if (wa % 2 == 1 && wb % 2 == 1) {
+            result = result + bit;
+        }
+        wa = wa / 2;
+        wb = wb / 2;
+        bit = bit * 2;
+    }
+    return result;
+}
+
+int cube_or(int a, int b) {
+    int result = 0;
+    int bit = 1;
+    int wa = a;
+    int wb = b;
+    for (int i = 0; i < 12; i = i + 1) {
+        if (wa % 2 == 1 || wb % 2 == 1) {
+            result = result + bit;
+        }
+        wa = wa / 2;
+        wb = wb / 2;
+        bit = bit * 2;
+    }
+    return result;
+}
+
+int covers(int a, int b) {
+    if (cube_and(a, b) == b) { return 1; }
+    return 0;
+}
+
+void main() {
+    int n = 64;
+    int seed = 31;
+    for (int i = 0; i < n; i = i + 1) {
+        seed = (seed * 1103 + 12345) % 100000;
+        cover[i] = seed % 4096;
+    }
+    int kept = 0;
+    for (int pass = 0; pass < 3; pass = pass + 1) {
+        kept = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            int redundant = 0;
+            for (int j = 0; j < n; j = j + 1) {
+                if (i != j && redundant == 0) {
+                    if (covers(cover[j], cover[i]) == 1 && cover[i] != cover[j]) {
+                        redundant = 1;
+                    }
+                }
+            }
+            if (redundant == 0) {
+                scratch[kept] = cover[i];
+                kept = kept + 1;
+            }
+        }
+        for (int i = 0; i < kept; i = i + 1) {
+            int merged = cube_or(scratch[i], scratch[(i + 1) % kept]);
+            if (count_ones(merged) < 10) {
+                cover[i] = merged;
+            } else {
+                cover[i] = scratch[i];
+            }
+        }
+        n = kept;
+    }
+    int sum = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        sum = (sum + cover[i] * (i + 1)) % 1000003;
+    }
+    out[0] = sum;
+    out[1] = n;
+}
+"""
+
+register(
+    Workload(
+        name="espresso",
+        source=SOURCE,
+        description="boolean cube cover minimization with small helpers",
+        traits=("int", "small-helpers", "set-operations"),
+    )
+)

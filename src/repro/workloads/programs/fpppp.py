@@ -1,0 +1,86 @@
+"""fpppp stand-in: enormous straight-line floating-point blocks.
+
+The real fpppp computes two-electron integrals in basic blocks of
+hundreds of simultaneously-live floating-point temporaries, with few
+calls.  Register pressure, not call cost, is the binding constraint:
+this is the one program where optimistic coloring clearly helps at
+small register counts (paper Figure 9).  The stand-in evaluates a
+wide unrolled polynomial/interaction kernel with dozens of
+concurrently live float locals, called from a modest outer loop.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+float basis[64];
+float fock[64];
+float fout[4];
+
+float kernel(int base) {
+    float a0 = basis[base];
+    float a1 = basis[base + 1];
+    float a2 = basis[base + 2];
+    float a3 = basis[base + 3];
+    float a4 = basis[base + 4];
+    float a5 = basis[base + 5];
+    float a6 = basis[base + 6];
+    float a7 = basis[base + 7];
+    float b0 = a0 * a1 + a2;
+    float b1 = a1 * a2 + a3;
+    float b2 = a2 * a3 + a4;
+    float b3 = a3 * a4 + a5;
+    float b4 = a4 * a5 + a6;
+    float b5 = a5 * a6 + a7;
+    float b6 = a6 * a7 + a0;
+    float b7 = a7 * a0 + a1;
+    float c0 = b0 * b7 - b1 * b6;
+    float c1 = b1 * b0 - b2 * b7;
+    float c2 = b2 * b1 - b3 * b0;
+    float c3 = b3 * b2 - b4 * b1;
+    float c4 = b4 * b3 - b5 * b2;
+    float c5 = b5 * b4 - b6 * b3;
+    float c6 = b6 * b5 - b7 * b4;
+    float c7 = b7 * b6 - b0 * b5;
+    float d0 = c0 * a4 + c1 * a5;
+    float d1 = c2 * a6 + c3 * a7;
+    float d2 = c4 * a0 + c5 * a1;
+    float d3 = c6 * a2 + c7 * a3;
+    float e0 = d0 * d3 - d1 * d2;
+    float e1 = d1 * d0 - d2 * d3;
+    float e2 = b0 + b1 + b2 + b3 + b4 + b5 + b6 + b7;
+    float e3 = c0 + c1 + c2 + c3 + c4 + c5 + c6 + c7;
+    return e0 * 0.25 + e1 * 0.125 + e2 * 0.0625 + e3 * 0.03125
+         + a0 * b1 * c2 + a1 * b2 * c3 + a2 * b3 * c4 + a3 * b4 * c5
+         + a4 * b5 * c6 + a5 * b6 * c7 + a6 * b7 * c0 + a7 * b0 * c1;
+}
+
+void main() {
+    int seed = 13;
+    for (int i = 0; i < 64; i = i + 1) {
+        seed = (seed * 2531 + 17) % 100000;
+        basis[i] = itof(seed % 200 - 100) * 0.01;
+    }
+    for (int sweep = 0; sweep < 40; sweep = sweep + 1) {
+        for (int base = 0; base < 56; base = base + 4) {
+            float v = kernel(base);
+            fock[base] = fock[base] * 0.75 + v * 0.25;
+        }
+    }
+    float total = 0.0;
+    for (int i = 0; i < 64; i = i + 1) {
+        total = total + fock[i];
+    }
+    fout[0] = total;
+    fout[1] = fock[0];
+    fout[2] = fock[32];
+}
+"""
+
+register(
+    Workload(
+        name="fpppp",
+        source=SOURCE,
+        description="huge straight-line float kernel: pressure, not calls",
+        traits=("float", "high-pressure", "straight-line", "few-calls"),
+    )
+)

@@ -1,0 +1,110 @@
+"""gcc stand-in: a branchy multi-pass token processor.
+
+The real gcc is hundreds of branchy functions of mixed temperature —
+no one call site dominates, control flow is irregular, and live
+ranges are short.  The paper finds improved Chaitin and priority-based
+coloring roughly equal here, and CBH unable to catch up when profile
+information is used (hot ranges cross cold call sites).
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+int tokens[500];
+int kinds[500];
+int values[500];
+int symtab[128];
+int out[4];
+
+int classify(int token) {
+    if (token < 10) { return 0; }
+    if (token < 40) { return 1; }
+    if (token < 60) { return 2; }
+    if (token % 7 == 0) { return 3; }
+    return 4;
+}
+
+int sym_lookup(int name) {
+    int h = name % 128;
+    if (h < 0) { h = -h; }
+    int probes = 0;
+    while (symtab[h] != name && symtab[h] != 0 && probes < 128) {
+        h = (h + 1) % 128;
+        probes = probes + 1;
+    }
+    if (symtab[h] == 0) {
+        symtab[h] = name;
+    }
+    return h;
+}
+
+int fold_constants(int a, int b, int op) {
+    if (op == 0) { return (a + b) % 65536; }
+    if (op == 1) { return (a - b) % 65536; }
+    if (op == 2) { return (a * b) % 65536; }
+    if (b == 0) { return a; }
+    return a / b;
+}
+
+int emit_cost(int kind, int value) {
+    int cost = 1;
+    if (kind == 2) {
+        cost = 2 + value % 3;
+    }
+    if (kind == 3) {
+        cost = 4;
+    }
+    if (kind == 4 && value > 100) {
+        cost = 3;
+    }
+    return cost;
+}
+
+void main() {
+    int n = 500;
+    int seed = 77;
+    for (int i = 0; i < n; i = i + 1) {
+        seed = (seed * 1103 + 12345) % 100000;
+        tokens[i] = seed % 97;
+        values[i] = seed % 1000;
+    }
+    // pass 1: classify
+    for (int i = 0; i < n; i = i + 1) {
+        kinds[i] = classify(tokens[i]);
+    }
+    // pass 2: symbol resolution for identifier-ish tokens
+    int nsyms = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        if (kinds[i] == 1 || kinds[i] == 4) {
+            int slot = sym_lookup(tokens[i] * 31 % 127 + 1);
+            values[i] = values[i] + slot;
+            nsyms = nsyms + 1;
+        }
+    }
+    // pass 3: local constant folding over adjacent pairs
+    int folded = 0;
+    for (int i = 0; i + 2 < n; i = i + 1) {
+        if (kinds[i] == 0 && kinds[i + 2] == 0 && kinds[i + 1] == 2) {
+            values[i] = fold_constants(values[i], values[i + 2], tokens[i + 1] % 4);
+            folded = folded + 1;
+        }
+    }
+    // pass 4: cost accounting
+    int total = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        total = (total + emit_cost(kinds[i], values[i])) % 1000003;
+    }
+    out[0] = total;
+    out[1] = nsyms;
+    out[2] = folded;
+}
+"""
+
+register(
+    Workload(
+        name="gcc",
+        source=SOURCE,
+        description="branchy multi-pass token processing, mixed temperatures",
+        traits=("int", "branchy", "multi-pass"),
+    )
+)

@@ -1,0 +1,79 @@
+"""li stand-in: a recursive expression evaluator over a node heap.
+
+The real li is a Lisp interpreter: ``xleval`` recurses over cons
+cells, every activation both makes calls on its hot path *and* keeps
+its own locals alive across them.  Storage-class analysis alone gives
+the dramatic improvement here (paper's second program class): live
+ranges crossing the recursive calls must be weighed against spilling,
+while callee-save registers pay entry/exit cost on every activation
+of the (very frequently entered) evaluator.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+int node_op[512];
+int node_left[512];
+int node_right[512];
+int node_value[512];
+int out[4];
+
+int next_free[1];
+
+int make_node(int op, int left, int right, int value) {
+    int idx = next_free[0];
+    node_op[idx] = op;
+    node_left[idx] = left;
+    node_right[idx] = right;
+    node_value[idx] = value;
+    next_free[0] = idx + 1;
+    return idx;
+}
+
+int build_tree(int depth, int seed) {
+    if (depth <= 0) {
+        return make_node(0, 0, 0, seed % 17 + 1);
+    }
+    int s2 = (seed * 2531 + 43) % 100000;
+    int left = build_tree(depth - 1, s2);
+    int s3 = (s2 * 2531 + 43) % 100000;
+    int right = build_tree(depth - 1, s3);
+    return make_node(seed % 4 + 1, left, right, 0);
+}
+
+int eval_node(int idx) {
+    int op = node_op[idx];
+    if (op == 0) {
+        return node_value[idx];
+    }
+    int lv = eval_node(node_left[idx]);
+    int rv = eval_node(node_right[idx]);
+    if (op == 1) { return (lv + rv) % 999983; }
+    if (op == 2) { return (lv - rv) % 999983; }
+    if (op == 3) { return (lv * rv) % 999983; }
+    if (rv == 0) { return lv; }
+    return lv % rv;
+}
+
+void main() {
+    next_free[0] = 0;
+    int root = build_tree(8, 271828);
+    int total = 0;
+    for (int round = 0; round < 40; round = round + 1) {
+        int v = eval_node(root);
+        total = (total + v) % 999983;
+        node_value[round % 256] = (node_value[round % 256] + 1) % 17 + 1;
+    }
+    out[0] = total;
+    out[1] = next_free[0];
+}
+"""
+
+register(
+    Workload(
+        name="li",
+        source=SOURCE,
+        description="recursive evaluator: calls on every activation's hot path",
+        traits=("int", "recursion", "interpreter"),
+    )
+)

@@ -1,0 +1,64 @@
+"""matrix300 stand-in: blocked matrix multiply through a BLAS call.
+
+The real matrix300 spends its time in SAXPY/DGEMM-style BLAS routines
+called from loop nests.  The callers' indices and accumulators cross
+the BLAS call on every inner-loop iteration; the paper shows improved
+Chaitin keeps improving as registers grow while CBH needs several
+extra callee-save registers to catch up.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+float ma[576];
+float mb[576];
+float mc[576];
+float fout[4];
+
+float dot(int arow, int bcol, int n) {
+    float acc = 0.0;
+    for (int k = 0; k < n; k = k + 1) {
+        acc = acc + ma[arow * n + k] * mb[k * n + bcol];
+    }
+    return acc;
+}
+
+void saxpy(int row, int n, float alpha) {
+    for (int j = 0; j < n; j = j + 1) {
+        mc[row * n + j] = mc[row * n + j] * alpha + dot(row, j, n);
+    }
+}
+
+void main() {
+    int n = 24;
+    int seed = 3;
+    for (int i = 0; i < n * n; i = i + 1) {
+        seed = (seed * 2531 + 7) % 100000;
+        ma[i] = itof(seed % 100) * 0.01;
+        seed = (seed * 2531 + 7) % 100000;
+        mb[i] = itof(seed % 100) * 0.01 - 0.5;
+        mc[i] = 0.0;
+    }
+    for (int pass = 0; pass < 3; pass = pass + 1) {
+        for (int i = 0; i < n; i = i + 1) {
+            saxpy(i, n, 0.5);
+        }
+    }
+    float trace = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        trace = trace + mc[i * n + i];
+    }
+    fout[0] = trace;
+    fout[1] = mc[0];
+    fout[2] = mc[n * n - 1];
+}
+"""
+
+register(
+    Workload(
+        name="matrix300",
+        source=SOURCE,
+        description="blocked matmul calling BLAS-style helpers from loop nests",
+        traits=("float", "loop-nest", "hot-helper-call"),
+    )
+)

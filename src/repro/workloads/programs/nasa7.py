@@ -1,0 +1,109 @@
+"""nasa7 stand-in: a battery of numeric kernels.
+
+The real nasa7 runs seven floating-point kernels (matmul, FFT,
+Cholesky, ...).  Each kernel here mixes loop-nest pressure with
+helper calls at different temperatures, so *every* improvement
+contributes (the paper's first program class) and priority-based
+coloring falls well behind in the static case.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+float va[256];
+float vb[256];
+float vc[256];
+float mm[256];
+float fout[8];
+
+float cmul_re(float ar, float ai, float br, float bi) {
+    return ar * br - ai * bi;
+}
+
+float cmul_im(float ar, float ai, float br, float bi) {
+    return ar * bi + ai * br;
+}
+
+void butterfly(int i, int j, float wr, float wi) {
+    float xr = va[i];
+    float xi = vb[i];
+    float yr = va[j];
+    float yi = vb[j];
+    float tr = cmul_re(yr, yi, wr, wi);
+    float ti = cmul_im(yr, yi, wr, wi);
+    va[i] = xr + tr;
+    vb[i] = xi + ti;
+    va[j] = xr - tr;
+    vb[j] = xi - ti;
+}
+
+void fft_pass(int half, float wr, float wi) {
+    for (int i = 0; i < half; i = i + 1) {
+        butterfly(i, i + half, wr, wi);
+    }
+}
+
+float gauss_row(int row, int n) {
+    float pivot = mm[row * n + row];
+    if (pivot < 0.0625 && pivot > -0.0625) {
+        pivot = 1.0;
+    }
+    for (int j = row + 1; j < n; j = j + 1) {
+        float factor = mm[j * n + row] / pivot;
+        for (int k = row; k < n; k = k + 1) {
+            mm[j * n + k] = mm[j * n + k] - factor * mm[row * n + k];
+        }
+    }
+    return pivot;
+}
+
+void main() {
+    int seed = 21;
+    for (int i = 0; i < 256; i = i + 1) {
+        seed = (seed * 2531 + 19) % 100000;
+        va[i] = itof(seed % 200 - 100) * 0.01;
+        vb[i] = itof(seed % 140 - 70) * 0.01;
+        vc[i] = 0.0;
+        mm[i] = itof(seed % 50 + 1) * 0.04;
+    }
+    // kernel 1: fft-like passes with helper calls on the hot path
+    for (int pass = 0; pass < 12; pass = pass + 1) {
+        float wr = 0.92;
+        float wi = 0.39;
+        fft_pass(64, wr, wi);
+        fft_pass(32, wr * wr - wi * wi, 2.0 * wr * wi);
+    }
+    // kernel 2: call-free triad (pure pressure)
+    for (int rep = 0; rep < 10; rep = rep + 1) {
+        for (int i = 2; i < 254; i = i + 1) {
+            vc[i] = va[i - 1] * 0.5 + vb[i + 1] * 0.25 + vc[i] * 0.125
+                  + va[i] * vb[i] - va[i + 1] * vb[i - 1];
+        }
+    }
+    // kernel 3: elimination with a helper call per row
+    int n = 16;
+    float det = 1.0;
+    for (int row = 0; row < n - 1; row = row + 1) {
+        det = det * gauss_row(row, n);
+    }
+    float s1 = 0.0;
+    float s2 = 0.0;
+    for (int i = 0; i < 256; i = i + 1) {
+        s1 = s1 + va[i] + vb[i];
+        s2 = s2 + vc[i];
+    }
+    fout[0] = s1;
+    fout[1] = s2;
+    fout[2] = det;
+    fout[3] = mm[17];
+}
+"""
+
+register(
+    Workload(
+        name="nasa7",
+        source=SOURCE,
+        description="numeric kernel battery: calls and pressure in every mix",
+        traits=("float", "kernels", "mixed-calls"),
+    )
+)

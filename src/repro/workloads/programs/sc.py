@@ -1,0 +1,82 @@
+"""sc stand-in: spreadsheet recalculation.
+
+The real sc re-evaluates a grid of cells; evaluating one cell calls
+small helpers (range sums, cell fetches) from the hot recalc loop,
+and the recalc driver's own state crosses every one of those calls.
+The paper puts sc in the class where storage-class analysis alone is
+decisive and reports the best execution-time speedup (4.4%) for it.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+int formula[400];
+int arg1[400];
+int arg2[400];
+int value[400];
+int out[4];
+
+int cell_value(int idx) {
+    return value[idx];
+}
+
+int range_sum(int lo, int hi) {
+    int sum = 0;
+    for (int i = lo; i <= hi; i = i + 1) {
+        sum = sum + cell_value(i);
+    }
+    return sum % 1000003;
+}
+
+int eval_cell(int idx) {
+    int f = formula[idx];
+    if (f == 0) {
+        return value[idx];
+    }
+    if (f == 1) {
+        return (cell_value(arg1[idx]) + cell_value(arg2[idx])) % 1000003;
+    }
+    if (f == 2) {
+        return (cell_value(arg1[idx]) * cell_value(arg2[idx])) % 1000003;
+    }
+    return range_sum(arg1[idx], arg2[idx]);
+}
+
+void main() {
+    int n = 400;
+    int seed = 5;
+    for (int i = 0; i < n; i = i + 1) {
+        seed = (seed * 1103 + 12345) % 100000;
+        formula[i] = seed % 4;
+        if (i < 20) { formula[i] = 0; }
+        value[i] = seed % 97;
+        int span = seed % 12;
+        int lo = i % (n - 16);
+        arg1[i] = lo;
+        arg2[i] = lo + span % 8;
+        if (formula[i] == 3) {
+            arg2[i] = lo + 8;
+        }
+    }
+    int total = 0;
+    for (int pass = 0; pass < 12; pass = pass + 1) {
+        for (int i = 20; i < n; i = i + 1) {
+            int v = eval_cell(i);
+            value[i] = v;
+            total = (total + v) % 1000003;
+        }
+    }
+    out[0] = total;
+    out[1] = value[n - 1];
+    out[2] = value[n / 2];
+}
+"""
+
+register(
+    Workload(
+        name="sc",
+        source=SOURCE,
+        description="spreadsheet recalc: helper calls from the hot recalc loop",
+        traits=("int", "hot-helper-call", "interpreter"),
+    )
+)

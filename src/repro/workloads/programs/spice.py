@@ -1,0 +1,96 @@
+"""spice stand-in: iterative circuit device evaluation.
+
+The real spice alternates device-model evaluations (branchy float
+code with helper calls) and a linear solve, with convergence
+iteration on top.  The paper measures essentially no execution-time
+gain for spice (speedup 1.0) and groups it where the preference
+decision does not matter: its call sites are lukewarm and its live
+ranges short.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+float voltage[40];
+float current[40];
+float conduct[40];
+int topo_a[80];
+int topo_b[80];
+float fout[4];
+
+float diode_current(float v) {
+    // rational approximation of an exponential i-v curve
+    float x = v * 2.5;
+    if (x > 4.0) { x = 4.0; }
+    if (x < -4.0) { x = -4.0; }
+    float x2 = x * x;
+    return x + x2 * 0.5 + x2 * x * 0.1666;
+}
+
+float conductance(float v) {
+    float x = v * 2.5;
+    if (x > 4.0) { x = 4.0; }
+    if (x < -4.0) { x = -4.0; }
+    return 2.5 * (1.0 + x + x * x * 0.5);
+}
+
+void main() {
+    int nnodes = 40;
+    int nedges = 80;
+    int seed = 53;
+    for (int i = 0; i < nnodes; i = i + 1) {
+        seed = (seed * 2531 + 37) % 100000;
+        voltage[i] = itof(seed % 100 - 50) * 0.01;
+    }
+    for (int e = 0; e < nedges; e = e + 1) {
+        seed = (seed * 2531 + 37) % 100000;
+        topo_a[e] = seed % nnodes;
+        seed = (seed * 2531 + 37) % 100000;
+        topo_b[e] = seed % nnodes;
+    }
+    float residual = 1.0;
+    int iter = 0;
+    while (iter < 25 && residual > 0.001) {
+        for (int i = 0; i < nnodes; i = i + 1) {
+            current[i] = 0.0;
+            conduct[i] = 0.05;
+        }
+        for (int e = 0; e < nedges; e = e + 1) {
+            int a = topo_a[e];
+            int b = topo_b[e];
+            float dv = voltage[a] - voltage[b];
+            float id = diode_current(dv);
+            float g = conductance(dv);
+            current[a] = current[a] - id;
+            current[b] = current[b] + id;
+            conduct[a] = conduct[a] + g;
+            conduct[b] = conduct[b] + g;
+        }
+        residual = 0.0;
+        for (int i = 1; i < nnodes; i = i + 1) {
+            float dv = current[i] / conduct[i];
+            float adv = dv;
+            if (adv < 0.0) { adv = -adv; }
+            if (adv > residual) { residual = adv; }
+            voltage[i] = voltage[i] + dv * 0.5;
+        }
+        iter = iter + 1;
+    }
+    float sv = 0.0;
+    for (int i = 0; i < nnodes; i = i + 1) {
+        sv = sv + voltage[i];
+    }
+    fout[0] = sv;
+    fout[1] = residual;
+    fout[2] = itof(iter);
+}
+"""
+
+register(
+    Workload(
+        name="spice",
+        source=SOURCE,
+        description="circuit solver: branchy device models, lukewarm calls",
+        traits=("float", "branchy", "convergence-loop"),
+    )
+)

@@ -1,0 +1,81 @@
+"""tomcatv stand-in: one big mesh-generation function, no calls.
+
+The real tomcatv is a single large Fortran routine of nested loops
+over 2-D arrays with no procedure calls, so there is no call cost to
+direct: the paper reports ratio 1.0 for every improvement.  This
+stand-in runs a vectorizable stencil relaxation over flattened 2-D
+grids inside ``main`` alone.
+"""
+
+from repro.workloads.registry import Workload, register
+
+SOURCE = """
+float xg[676];
+float yg[676];
+float rxg[676];
+float ryg[676];
+float fout[4];
+
+void main() {
+    int n = 26;
+    for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            int idx = i * n + j;
+            xg[idx] = itof(i) * 0.5 + itof(j) * 0.25;
+            yg[idx] = itof(i) * 0.125 - itof(j) * 0.0625;
+        }
+    }
+    float rxmax = 0.0;
+    float rymax = 0.0;
+    for (int iter = 0; iter < 8; iter = iter + 1) {
+        rxmax = 0.0;
+        rymax = 0.0;
+        for (int i = 1; i < n - 1; i = i + 1) {
+            for (int j = 1; j < n - 1; j = j + 1) {
+                int idx = i * n + j;
+                float xxi = (xg[idx + 1] - xg[idx - 1]) * 0.5;
+                float yxi = (yg[idx + 1] - yg[idx - 1]) * 0.5;
+                float xet = (xg[idx + n] - xg[idx - n]) * 0.5;
+                float yet = (yg[idx + n] - yg[idx - n]) * 0.5;
+                float a = xet * xet + yet * yet;
+                float b = xxi * xet + yxi * yet;
+                float c = xxi * xxi + yxi * yxi;
+                float dxx = xg[idx + 1] - 2.0 * xg[idx] + xg[idx - 1];
+                float dxy = xg[idx + n] - 2.0 * xg[idx] + xg[idx - n];
+                float dyx = yg[idx + 1] - 2.0 * yg[idx] + yg[idx - 1];
+                float dyy = yg[idx + n] - 2.0 * yg[idx] + yg[idx - n];
+                float rx = a * dxx - b * (xxi + xet) * 0.25 + c * dxy;
+                float ry = a * dyx - b * (yxi + yet) * 0.25 + c * dyy;
+                rxg[idx] = rx;
+                ryg[idx] = ry;
+                float arx = rx;
+                if (arx < 0.0) { arx = -arx; }
+                float ary = ry;
+                if (ary < 0.0) { ary = -ary; }
+                if (arx > rxmax) { rxmax = arx; }
+                if (ary > rymax) { rymax = ary; }
+            }
+        }
+        for (int i = 1; i < n - 1; i = i + 1) {
+            for (int j = 1; j < n - 1; j = j + 1) {
+                int idx = i * n + j;
+                xg[idx] = xg[idx] + rxg[idx] * 0.01;
+                yg[idx] = yg[idx] + ryg[idx] * 0.01;
+            }
+        }
+    }
+    fout[0] = rxmax;
+    fout[1] = rymax;
+    fout[2] = xg[n * n / 2];
+    fout[3] = yg[n * n / 2];
+}
+"""
+
+register(
+    Workload(
+        name="tomcatv",
+        source=SOURCE,
+        description="one big stencil function with no calls at all",
+        traits=("float", "no-calls", "single-function", "loop-nest"),
+    )
+)

@@ -1,0 +1,108 @@
+"""Workload registry: the 14 SPEC92 stand-ins.
+
+Each workload is a mini-C program engineered to mimic the structural
+traits the paper attributes to its SPEC92 namesake — hot helper calls,
+register pressure, loop nesting, recursion, cold calls crossed by hot
+live ranges — because those traits, not the program's output, drive
+the register-allocation phenomena under study.
+
+Compiled programs and their profiles are cached per process: the
+profile of a deterministic program never changes, and every experiment
+reuses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.analysis.frequency import BlockWeights, static_weights
+from repro.ir.function import Function, Program
+from repro.ir.verify import verify_program
+from repro.lang.lower import compile_source
+from repro.profile.interp import ExecutionResult, run_program
+from repro.profile.profile import Profile
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program: name, source, and what it mimics."""
+
+    name: str
+    source: str
+    description: str
+    #: Informal traits used in docs and for picking examples.
+    traits: Tuple[str, ...] = ()
+
+
+@dataclass
+class CompiledWorkload:
+    """A compiled and profiled workload, ready for allocation runs."""
+
+    workload: Workload
+    program: Program
+    profile: Profile
+    baseline: ExecutionResult
+
+    def dynamic_weights(self, func: Function) -> BlockWeights:
+        """Profile-derived weights (the paper's dynamic information)."""
+        return self.profile.weights(func)
+
+    def static_weights(self, func: Function) -> BlockWeights:
+        """Compiler-estimated weights (the paper's static information)."""
+        return static_weights(func)
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def workload_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def compile_workload(name: str, optimize: bool = False) -> CompiledWorkload:
+    """Compile, verify, execute and profile a workload (cached).
+
+    With ``optimize=True`` the pre-allocation optimization pipeline
+    (:mod:`repro.opt`) runs before profiling; the profile then matches
+    the optimized block structure.
+    """
+    workload = get_workload(name)
+    program = compile_source(workload.source, name=name)
+    if optimize:
+        from repro.opt import optimize_program
+
+        optimize_program(program)
+    verify_program(program)
+    baseline = run_program(program)
+    return CompiledWorkload(
+        workload=workload,
+        program=program,
+        profile=baseline.profile,
+        baseline=baseline,
+    )
+
+
+def _ensure_loaded() -> None:
+    # Importing the package registers every program module.
+    from repro.workloads import programs  # noqa: F401

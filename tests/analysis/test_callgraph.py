@@ -1,0 +1,83 @@
+"""Unit tests for call-graph construction and SCCs."""
+
+from repro.analysis.callgraph import build_call_graph
+from repro.lang import compile_source
+
+
+def graph_for(source: str):
+    return build_call_graph(compile_source(source))
+
+
+class TestCallGraph:
+    def test_simple_chain(self):
+        graph = graph_for(
+            """
+            int leaf(int x) { return x; }
+            int mid(int x) { return leaf(x) + 1; }
+            void main() { int v = mid(3); }
+            """
+        )
+        assert graph.callees["main"] == {"mid"}
+        assert graph.callees["mid"] == {"leaf"}
+        assert graph.callers["leaf"] == {"mid"}
+        assert not graph.is_recursive("leaf")
+
+    def test_bottom_up_order(self):
+        graph = graph_for(
+            """
+            int leaf(int x) { return x; }
+            int mid(int x) { return leaf(x) + 1; }
+            void main() { int v = mid(3); }
+            """
+        )
+        order = graph.bottom_up()
+        assert order.index("leaf") < order.index("mid") < order.index("main")
+
+    def test_self_recursion_detected(self):
+        graph = graph_for(
+            """
+            int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+            void main() { int v = fact(5); }
+            """
+        )
+        assert graph.is_recursive("fact")
+        assert not graph.is_recursive("main")
+
+    def test_mutual_recursion_one_scc(self):
+        graph = graph_for(
+            """
+            int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+            int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+            void main() { int v = even(4); }
+            """
+        )
+        assert graph.is_recursive("even")
+        assert graph.is_recursive("odd")
+        scc = next(s for s in graph.sccs if "even" in s)
+        assert set(scc) == {"even", "odd"}
+        order = graph.bottom_up()
+        assert order.index("even") < order.index("main")
+
+    def test_uncalled_function_present(self):
+        graph = graph_for(
+            """
+            int orphan(int x) { return x; }
+            void main() { }
+            """
+        )
+        assert "orphan" in graph.callees
+        assert graph.callers["orphan"] == set()
+
+    def test_diamond_counts_each_edge_once(self):
+        graph = graph_for(
+            """
+            int leaf(int x) { return x; }
+            int a(int x) { return leaf(x); }
+            int b(int x) { return leaf(x) + leaf(x); }
+            void main() { int v = a(1) + b(2); }
+            """
+        )
+        assert graph.callees["b"] == {"leaf"}
+        assert graph.callers["leaf"] == {"a", "b"}
+        order = graph.bottom_up()
+        assert order.index("leaf") < min(order.index("a"), order.index("b"))

@@ -1,0 +1,148 @@
+"""Unit tests for CFG utilities, dominators and loop discovery."""
+
+from repro.analysis import (
+    dominates,
+    find_loops,
+    immediate_dominators,
+    loop_depths,
+    reachable_blocks,
+    remove_unreachable,
+    reverse_postorder,
+    rpo_index,
+)
+from repro.ir import INT, BinaryOpcode, Function, IRBuilder
+from repro.lang import compile_source
+
+
+def diamond_function():
+    func = Function("diamond", param_types=[INT], return_type=INT)
+    builder = IRBuilder(func)
+    entry = builder.start_block("entry")
+    then_b = builder.new_block("then")
+    else_b = builder.new_block("else")
+    join = builder.new_block("join")
+    zero = builder.const(0, INT)
+    cond = builder.binop(BinaryOpcode.GT, func.params[0], zero)
+    builder.branch(cond, then_b, else_b)
+    builder.set_block(then_b)
+    builder.jump(join)
+    builder.set_block(else_b)
+    builder.jump(join)
+    builder.set_block(join)
+    builder.ret(func.params[0])
+    return func, entry, then_b, else_b, join
+
+
+def loop_function():
+    """entry -> head -> body -> head, head -> exit."""
+    func = Function("loopy", param_types=[INT], return_type=None)
+    builder = IRBuilder(func)
+    entry = builder.start_block("entry")
+    head = builder.new_block("head")
+    body = builder.new_block("body")
+    exit_b = builder.new_block("exit")
+    builder.jump(head)
+    builder.set_block(head)
+    zero = builder.const(0, INT)
+    cond = builder.binop(BinaryOpcode.GT, func.params[0], zero)
+    builder.branch(cond, body, exit_b)
+    builder.set_block(body)
+    builder.jump(head)
+    builder.set_block(exit_b)
+    builder.ret()
+    return func, entry, head, body, exit_b
+
+
+class TestCFG:
+    def test_rpo_starts_at_entry(self):
+        func, entry, *_ = diamond_function()
+        order = reverse_postorder(func)
+        assert order[0] is entry
+        assert len(order) == 4
+
+    def test_rpo_respects_dominance_in_diamond(self):
+        func, entry, then_b, else_b, join = diamond_function()
+        index = rpo_index(func)
+        assert index[entry] < index[then_b]
+        assert index[entry] < index[else_b]
+        assert index[join] > index[then_b]
+        assert index[join] > index[else_b]
+
+    def test_unreachable_excluded(self):
+        func, *_ = diamond_function()
+        orphan = func.new_block("orphan")
+        from repro.ir import Ret
+
+        orphan.instrs.append(Ret(func.params[0]))
+        assert orphan not in reachable_blocks(func)
+        removed = remove_unreachable(func)
+        assert removed == 1
+        assert orphan not in func.blocks
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        func, entry, then_b, else_b, join = diamond_function()
+        idom = immediate_dominators(func)
+        assert idom[entry] is None
+        assert idom[then_b] is entry
+        assert idom[else_b] is entry
+        assert idom[join] is entry  # neither branch dominates the join
+
+    def test_dominates_relation(self):
+        func, entry, then_b, else_b, join = diamond_function()
+        idom = immediate_dominators(func)
+        assert dominates(idom, entry, join)
+        assert dominates(idom, join, join)
+        assert not dominates(idom, then_b, join)
+
+    def test_loop_idoms(self):
+        func, entry, head, body, exit_b = loop_function()
+        idom = immediate_dominators(func)
+        assert idom[head] is entry
+        assert idom[body] is head
+        assert idom[exit_b] is head
+
+
+class TestLoops:
+    def test_single_loop_found(self):
+        func, entry, head, body, exit_b = loop_function()
+        loops = find_loops(func)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header is head
+        assert loop.blocks == {head, body}
+
+    def test_depths(self):
+        func, entry, head, body, exit_b = loop_function()
+        depths = loop_depths(func)
+        assert depths[entry] == 0
+        assert depths[head] == 1
+        assert depths[body] == 1
+        assert depths[exit_b] == 0
+
+    def test_nested_loops_from_source(self):
+        program = compile_source(
+            """
+            void main() {
+                for (int i = 0; i < 3; i = i + 1) {
+                    for (int j = 0; j < 3; j = j + 1) {
+                        int x = i * j;
+                    }
+                }
+            }
+            """
+        )
+        func = program.function("main")
+        depths = loop_depths(func)
+        assert max(depths.values()) == 2
+        assert min(depths.values()) == 0
+        loops = find_loops(func)
+        assert len(loops) == 2
+
+    def test_while_loop_depth(self):
+        program = compile_source(
+            "void main() { int i = 0; while (i < 4) { i = i + 1; } }"
+        )
+        depths = loop_depths(program.function("main"))
+        assert sorted(set(depths.values())) == [0, 1]

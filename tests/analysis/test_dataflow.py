@@ -1,0 +1,163 @@
+"""Unit tests for liveness, reaching definitions and static frequency."""
+
+from repro.analysis import (
+    LOOP_MULTIPLIER,
+    compute_liveness,
+    compute_reaching_defs,
+    static_weights,
+)
+from repro.ir import INT, BinaryOpcode, Copy, Function, IRBuilder
+from repro.lang import compile_source
+
+
+def straightline_func():
+    """r = (p + 1) * p; dead = 7; return r."""
+    func = Function("f", param_types=[INT], return_type=INT)
+    builder = IRBuilder(func)
+    builder.start_block("entry")
+    one = builder.const(1, INT, name="one")
+    t = builder.binop(BinaryOpcode.ADD, func.params[0], one, name="t")
+    r = builder.binop(BinaryOpcode.MUL, t, func.params[0], name="r")
+    dead = builder.const(7, INT, name="dead")
+    builder.ret(r)
+    return func, one, t, r, dead
+
+
+class TestLiveness:
+    def test_single_block_live_sets(self):
+        func, one, t, r, dead = straightline_func()
+        info = compute_liveness(func)
+        entry = func.entry
+        assert info.live_in[entry] == frozenset({func.params[0]})
+        assert info.live_out[entry] == frozenset()
+
+    def test_live_across_walk(self):
+        func, one, t, r, dead = straightline_func()
+        info = compute_liveness(func)
+        walk = list(info.live_across(func.entry))
+        # Walk is backwards: first yield is the Ret.
+        ret_instr, live_after_ret = walk[0]
+        assert live_after_ret == set()
+        # After the dead const, r is live (used by ret).
+        dead_instr, live_after_dead = walk[1]
+        assert r in live_after_dead
+        assert dead not in live_after_dead
+
+    def test_loop_keeps_values_live(self):
+        program = compile_source(
+            """
+            void main() {
+                int acc = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    acc = acc + i;
+                }
+                int sink = acc;
+            }
+            """
+        )
+        func = program.function("main")
+        info = compute_liveness(func)
+        # acc's register must be live into the loop header.
+        header = next(b for b in func.blocks if b.name.startswith("for_head"))
+        live_names = {reg.name for reg in info.live_in[header]}
+        assert "acc" in live_names
+        assert "i" in live_names
+
+    def test_branch_merges_liveness(self):
+        program = compile_source(
+            """
+            void main() {
+                int a = 1;
+                int b = 2;
+                int r = 0;
+                if (a < b) { r = a; } else { r = b; }
+                int sink = r;
+            }
+            """
+        )
+        func = program.function("main")
+        info = compute_liveness(func)
+        entry = func.entry
+        names = {reg.name for reg in info.live_out[entry]}
+        assert {"a", "b"} <= names
+
+
+class TestReachingDefs:
+    def test_param_pseudo_site(self):
+        func, *_ = straightline_func()
+        reaching = compute_reaching_defs(func)
+        param = func.params[0]
+        sites = reaching.def_sites[param]
+        assert sites[0] == (func.entry, -1)
+
+    def test_redefinition_kills(self):
+        program = compile_source(
+            """
+            void main() {
+                int x = 1;
+                int a = x;
+                x = 2;
+                int b = x;
+            }
+            """
+        )
+        func = program.function("main")
+        reaching = compute_reaching_defs(func)
+        # Find the uses of the register named x; each use must see
+        # exactly one def (straight-line code).
+        for (site, reg), defs in reaching.use_chains.items():
+            if reg.name == "x":
+                assert len(defs) == 1
+
+    def test_merge_point_sees_both_defs(self):
+        program = compile_source(
+            """
+            void main() {
+                int x = 0;
+                if (1) { x = 1; } else { x = 2; }
+                int sink = x;
+            }
+            """
+        )
+        func = program.function("main")
+        reaching = compute_reaching_defs(func)
+        multi = [
+            defs
+            for (site, reg), defs in reaching.use_chains.items()
+            if reg.name == "x" and len(defs) > 1
+        ]
+        assert multi, "the post-if use of x must see both branch defs"
+
+
+class TestStaticFrequency:
+    def test_entry_weight_is_one(self):
+        program = compile_source("void main() { int x = 1; }")
+        weights = static_weights(program.function("main"))
+        assert weights.entry_weight == 1.0
+        assert weights.weight(program.function("main").entry) == 1.0
+
+    def test_loop_multiplier(self):
+        program = compile_source(
+            """
+            void main() {
+                for (int i = 0; i < 3; i = i + 1) {
+                    for (int j = 0; j < 3; j = j + 1) {
+                        int x = 1;
+                    }
+                }
+            }
+            """
+        )
+        func = program.function("main")
+        weights = static_weights(func)
+        values = sorted(set(weights.weights.values()))
+        assert values[0] == 1.0
+        assert LOOP_MULTIPLIER in values
+        assert LOOP_MULTIPLIER**2 in values
+
+    def test_unreachable_block_weight_zero(self):
+        program = compile_source("void main() { int x = 1; }")
+        func = program.function("main")
+        orphan = func.new_block("orphan")
+        weights = static_weights(func)
+        assert weights.weight(orphan) == 0.0

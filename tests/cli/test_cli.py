@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int out[2];
+int twice(int x) { return x * 2; }
+void main() {
+    int total = 0;
+    for (int i = 0; i < 10; i = i + 1) {
+        total = total + twice(i);
+    }
+    out[0] = total;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCompile:
+    def test_prints_ir(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        output = capsys.readouterr().out
+        assert "func @main" in output
+        assert "func @twice" in output
+        assert "global @out" in output
+
+    def test_optimize_flag(self, source_file, capsys):
+        assert main(["compile", source_file, "--optimize"]) == 0
+        assert "func @main" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_executes_and_prints_globals(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        output = capsys.readouterr().out
+        assert "@out = [90" in output
+        assert "instructions executed" in output
+
+    def test_named_entry_with_return(self, source_file, capsys):
+        assert main(["run", source_file, "--main", "main"]) == 0
+
+
+class TestAllocate:
+    def test_reports_overhead(self, source_file, capsys):
+        assert main(["allocate", source_file, "--config", "4,2,1,1"]) == 0
+        output = capsys.readouterr().out
+        assert "overhead: total=" in output
+        assert "chaitin+SC+BS+PR" in output
+
+    def test_verify_passes(self, source_file, capsys):
+        code = main(
+            ["allocate", source_file, "--config", "4,2,0,1", "--verify"]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_show_assignment(self, source_file, capsys):
+        assert main(
+            [
+                "allocate",
+                source_file,
+                "--show-assignment",
+                "--allocator",
+                "base",
+            ]
+        ) == 0
+        assert "-> $i" in capsys.readouterr().out
+
+    def test_every_allocator_name_accepted(self, source_file):
+        for name in ("base", "optimistic", "improved", "priority", "cbh"):
+            assert main(["allocate", source_file, "--allocator", name]) == 0
+
+    def test_bad_config_rejected(self, source_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["allocate", source_file, "--config", "6,4"])
+
+    def test_static_info(self, source_file):
+        assert main(["allocate", source_file, "--info", "static"]) == 0
+
+
+class TestWorkloadsAndSweep:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        for name in ("eqntott", "tomcatv", "fpppp"):
+            assert name in output
+
+    def test_sweep_short(self, capsys):
+        assert main(
+            ["sweep", "gcc", "--short", "--allocators", "base", "improved"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "base" in output
+        assert "improved" in output
+        assert "(6,4,0,0)" in output
+
+
+class TestExperiment:
+    def test_experiment_runs_and_writes(self, tmp_path, capsys):
+        out_file = tmp_path / "result.txt"
+        assert main(["experiment", "table4", "--out", str(out_file)]) == 0
+        assert "Table 4" in capsys.readouterr().out
+        assert "Table 4" in out_file.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])

@@ -1,0 +1,33 @@
+"""CLI handling of textual-IR (.ir) inputs."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+IR_EXAMPLE = Path(__file__).parent.parent.parent / "examples" / "popcount.ir"
+
+
+class TestIRInput:
+    def test_run_ir_file(self, capsys):
+        assert main(["run", str(IR_EXAMPLE)]) == 0
+        output = capsys.readouterr().out
+        # sum(popcount(n) for n in range(64)) == 192; popcount(63) == 6
+        assert "@out = [192, 6]" in output
+
+    def test_compile_ir_file_normalizes(self, capsys):
+        assert main(["compile", str(IR_EXAMPLE)]) == 0
+        output = capsys.readouterr().out
+        assert "func @popcount" in output
+
+    def test_allocate_and_verify_ir_file(self, capsys):
+        code = main(
+            ["allocate", str(IR_EXAMPLE), "--config", "3,2,1,1", "--verify"]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_optimize_flag_on_ir(self, tmp_path, capsys):
+        assert main(["run", str(IR_EXAMPLE), "--optimize"]) == 0
+        assert "@out = [192, 6]" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ir import FLOAT, INT, Function, IRBuilder
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, RegisterFile
+
+
+def values_equal(a, b, rel: float = 1e-12) -> bool:
+    """Float-aware equality: NaN == NaN, tiny relative tolerance."""
+    if isinstance(a, float) or isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        return math.isclose(a, b, rel_tol=rel, abs_tol=1e-12)
+    return a == b
+
+
+def assert_same_globals(state_a, state_b) -> None:
+    """Compare two globals_state dicts with float-aware equality."""
+    assert state_a.keys() == state_b.keys()
+    for name in state_a:
+        va, vb = state_a[name], state_b[name]
+        assert len(va) == len(vb), name
+        for i, (x, y) in enumerate(zip(va, vb)):
+            assert values_equal(x, y), f"@{name}[{i}]: {x!r} != {y!r}"
+
+
+def build_straightline(n_values: int = 4) -> Function:
+    """A tiny single-block function summing ``n_values`` constants."""
+    func = Function("straight", param_types=[INT], return_type=INT)
+    builder = IRBuilder(func)
+    builder.start_block("entry")
+    from repro.ir import BinaryOpcode
+
+    acc = func.params[0]
+    for i in range(n_values):
+        c = builder.const(i + 1, INT)
+        acc = builder.binop(BinaryOpcode.ADD, acc, c)
+    builder.ret(acc)
+    return func
+
+
+SMALL_CALL_SOURCE = """
+int out[4];
+
+int helper(int x) {
+    return x * 3 + 1;
+}
+
+void main() {
+    int total = 0;
+    for (int i = 0; i < 20; i = i + 1) {
+        total = total + helper(i);
+    }
+    out[0] = total;
+}
+"""
+
+
+@pytest.fixture
+def small_call_program():
+    return compile_source(SMALL_CALL_SOURCE)
+
+
+@pytest.fixture
+def tiny_regfile():
+    return RegisterFile(RegisterConfig(3, 2, 2, 2))
+
+
+@pytest.fixture
+def full_regfile():
+    from repro.machine import full_register_file
+
+    return full_register_file()

@@ -1,0 +1,84 @@
+"""Tests for the public API (repro.core) and the report renderer."""
+
+import pytest
+
+from repro.core import AllocationOutcome, AllocatorOptions, allocate, compile_source
+from repro.eval.render import format_value, render_table
+from tests.conftest import SMALL_CALL_SOURCE
+
+
+class TestAllocateAPI:
+    def test_default_options_and_dynamic_info(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        outcome = allocate(program, config=(6, 4, 2, 2))
+        assert isinstance(outcome, AllocationOutcome)
+        assert outcome.overhead.total >= 0
+        assert outcome.program is outcome.allocation.program
+        assert outcome.program is not program  # original untouched
+
+    def test_config_accepts_tuple_and_namedtuple(self):
+        from repro.machine import RegisterConfig
+
+        program = compile_source(SMALL_CALL_SOURCE)
+        a = allocate(program, config=(6, 4, 2, 2))
+        b = allocate(program, config=RegisterConfig(6, 4, 2, 2))
+        assert a.overhead.total == b.overhead.total
+
+    def test_static_info(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        outcome = allocate(program, config=(6, 4, 0, 0), info="static")
+        assert outcome.overhead.total > 0
+
+    def test_bad_info_rejected(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        with pytest.raises(ValueError, match="info"):
+            allocate(program, config=(6, 4, 2, 2), info="vibes")
+
+    def test_supplied_profile_reused(self):
+        from repro.profile import run_program
+
+        program = compile_source(SMALL_CALL_SOURCE)
+        profile = run_program(program).profile
+        outcome = allocate(program, config=(6, 4, 2, 2), profile=profile)
+        assert outcome.profile is profile
+
+    def test_explicit_allocator(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        base = allocate(
+            program, config=(6, 4, 0, 0), options=AllocatorOptions.base_chaitin()
+        )
+        improved = allocate(
+            program,
+            config=(6, 4, 0, 0),
+            options=AllocatorOptions.improved_chaitin(),
+        )
+        assert improved.overhead.total <= base.overhead.total
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.AllocatorOptions is AllocatorOptions
+        assert callable(repro.allocate)
+        assert callable(repro.compile_source)
+        assert repro.__version__
+
+
+class TestRenderer:
+    def test_format_value_styles(self):
+        assert format_value(1.234) == "1.23"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(123456.0) == "1.23e+05"
+        assert format_value(0.0) == "0.00"
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            "title", ["col", "x"], [["aa", "1"], ["b", "22"]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert all(len(line) == len(lines[2]) for line in lines[2:-1])
+        assert "aa" in text and "22" in text
+
+    def test_render_table_empty_rows(self):
+        text = render_table("empty", ["a"], [])
+        assert "empty" in text

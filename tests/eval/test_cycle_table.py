@@ -1,0 +1,104 @@
+"""Unit tests for the per-instruction cycle table."""
+
+from repro.eval.cycles import (
+    CALL_CYCLES,
+    FLOAT_DIV_CYCLES,
+    INT_DIV_CYCLES,
+    INT_MUL_CYCLES,
+    LOAD_CYCLES,
+    STORE_CYCLES,
+    instr_cycles,
+)
+from repro.ir import (
+    FLOAT,
+    INT,
+    BinaryOpcode,
+    BinOp,
+    Call,
+    Const,
+    Copy,
+    Load,
+    Store,
+    VReg,
+)
+from repro.regalloc.framework import FunctionAllocation
+from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+from repro.machine import RegisterConfig, RegisterFile
+
+
+def make_allocation(assignment):
+    return FunctionAllocation(
+        func=None, assignment=assignment, infos={}
+    )
+
+
+def regs():
+    rf = RegisterFile(RegisterConfig(2, 2, 1, 1))
+    a = VReg(0, INT, "a")
+    b = VReg(1, INT, "b")
+    f = VReg(2, FLOAT, "f")
+    bank = rf.bank(INT)
+    fbank = rf.bank(FLOAT)
+    assignment = {a: bank.caller[0], b: bank.caller[1], f: fbank.caller[0]}
+    return a, b, f, assignment
+
+
+class TestCycleTable:
+    def test_memory_operations(self):
+        a, b, f, assignment = regs()
+        alloc = make_allocation(assignment)
+        assert instr_cycles(Load(a, "g", b), alloc) == LOAD_CYCLES
+        assert instr_cycles(Store("g", a, b), alloc) == STORE_CYCLES
+        assert (
+            instr_cycles(SpillLoad(a, 0, OverheadKind.SPILL), alloc)
+            == LOAD_CYCLES
+        )
+        assert (
+            instr_cycles(SpillStore(0, a, OverheadKind.CALLER_SAVE), alloc)
+            == STORE_CYCLES
+        )
+
+    def test_multiplication_and_division(self):
+        a, b, f, assignment = regs()
+        alloc = make_allocation(assignment)
+        assert (
+            instr_cycles(BinOp(BinaryOpcode.MUL, a, a, b), alloc)
+            == INT_MUL_CYCLES
+        )
+        assert (
+            instr_cycles(BinOp(BinaryOpcode.DIV, a, a, b), alloc)
+            == INT_DIV_CYCLES
+        )
+        assert (
+            instr_cycles(BinOp(BinaryOpcode.MOD, a, a, b), alloc)
+            == INT_DIV_CYCLES
+        )
+        assert (
+            instr_cycles(BinOp(BinaryOpcode.DIV, f, f, f), alloc)
+            == FLOAT_DIV_CYCLES
+        )
+        # Float multiply is pipelined: one cycle in this model.
+        assert instr_cycles(BinOp(BinaryOpcode.MUL, f, f, f), alloc) == 1
+
+    def test_simple_alu_one_cycle(self):
+        a, b, f, assignment = regs()
+        alloc = make_allocation(assignment)
+        assert instr_cycles(BinOp(BinaryOpcode.ADD, a, a, b), alloc) == 1
+        assert instr_cycles(Const(a, 7), alloc) == 1
+
+    def test_coalesced_copy_is_free(self):
+        a, b, f, assignment = regs()
+        assignment = dict(assignment)
+        assignment[b] = assignment[a]  # same physical register
+        alloc = make_allocation(assignment)
+        assert instr_cycles(Copy(a, b), alloc) == 0
+
+    def test_surviving_copy_costs_one(self):
+        a, b, f, assignment = regs()
+        alloc = make_allocation(assignment)
+        assert instr_cycles(Copy(a, b), alloc) == 1
+
+    def test_call_overhead(self):
+        a, b, f, assignment = regs()
+        alloc = make_allocation(assignment)
+        assert instr_cycles(Call(a, "f", [b]), alloc) == CALL_CYCLES

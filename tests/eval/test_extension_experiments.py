@@ -1,0 +1,53 @@
+"""Tests for the extension experiment drivers (reduced sweeps)."""
+
+from repro.eval.experiments import (
+    ablation_ipra,
+    ablation_optimized_ir,
+    ablation_rematerialization,
+    ablation_spill_metric,
+    static_penalty,
+)
+from repro.machine import RegisterConfig
+
+SMALL = [RegisterConfig(6, 4, 0, 0), RegisterConfig(8, 6, 2, 2)]
+
+
+class TestExtensionDrivers:
+    def test_optimized_ir_is_overhead_neutral(self):
+        result = ablation_optimized_ir(programs=("gcc",), configs=SMALL)
+        ratios = result.values("gcc", "plain/optimized")
+        # The optimizer removes computation, not register-kind
+        # decisions; overhead is essentially unchanged.
+        assert all(0.8 <= r <= 1.25 for r in ratios)
+
+    def test_rematerialization_fires_on_call_heavy_program(self):
+        result = ablation_rematerialization(programs=("sc",), configs=SMALL)
+        ratios = result.values("sc", "plain/remat")
+        assert all(r >= 0.999 for r in ratios)
+        assert max(ratios) > 1.05
+
+    def test_ipra_helps_sc_and_respects_recursion(self):
+        result = ablation_ipra(programs=("sc", "li"), configs=SMALL)
+        assert max(result.values("sc", "plain/IPRA")) > 1.1
+        assert all(r == 1.0 for r in result.values("li", "plain/IPRA"))
+
+    def test_spill_metric_plain_cost_loses_under_pressure(self):
+        result = ablation_spill_metric(programs=("tomcatv",), configs=SMALL)
+        cost_ratios = result.values("tomcatv", "cost")
+        assert max(cost_ratios) > 1.2
+
+    def test_static_penalty_shapes(self):
+        result = static_penalty(programs=("tomcatv", "sc"), configs=SMALL)
+        assert all(r == 1.0 for r in result.values("tomcatv", "static/dynamic"))
+        assert all(r >= 0.999 for r in result.values("sc", "static/dynamic"))
+
+    def test_all_drivers_render(self):
+        for driver, kwargs in (
+            (ablation_optimized_ir, dict(programs=("gcc",), configs=SMALL)),
+            (ablation_rematerialization, dict(programs=("sc",), configs=SMALL)),
+            (ablation_ipra, dict(programs=("sc",), configs=SMALL)),
+            (ablation_spill_metric, dict(programs=("tomcatv",), configs=SMALL)),
+            (static_penalty, dict(programs=("sc",), configs=SMALL)),
+        ):
+            text = driver(**kwargs).render()
+            assert "(6,4,0,0)" in text

@@ -1,0 +1,123 @@
+"""Unit tests for overhead accounting and the cycle model."""
+
+from repro.eval import (
+    Overhead,
+    overhead_by_function,
+    program_cycles,
+    program_overhead,
+    speedup_percent,
+)
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import AllocatorOptions, allocate_program
+from tests.conftest import SMALL_CALL_SOURCE
+
+
+class TestOverheadArithmetic:
+    def test_total_and_call_cost(self):
+        o = Overhead(spill=1.0, caller_save=2.0, callee_save=3.0, shuffle=4.0)
+        assert o.total == 10.0
+        assert o.call_cost == 5.0
+
+    def test_addition(self):
+        a = Overhead(spill=1.0, caller_save=2.0)
+        b = Overhead(callee_save=3.0, shuffle=4.0)
+        c = a + b
+        assert (c.spill, c.caller_save, c.callee_save, c.shuffle) == (1, 2, 3, 4)
+
+    def test_zero_default(self):
+        assert Overhead().total == 0.0
+
+
+class TestAnalyticVsExecuted:
+    def _check(self, options, config):
+        program = compile_source(SMALL_CALL_SOURCE)
+        base = run_program(program)
+        rf = register_file(RegisterConfig(*config))
+        allocation = allocate_program(program, rf, options)
+        analytic = program_overhead(allocation, base.profile)
+        mech = run_allocated(allocation)
+        from repro.regalloc.spillinstr import OverheadKind
+
+        assert analytic.spill == mech.overhead_counts[OverheadKind.SPILL]
+        assert (
+            analytic.caller_save
+            == mech.overhead_counts[OverheadKind.CALLER_SAVE]
+        )
+        assert (
+            analytic.callee_save
+            == mech.overhead_counts[OverheadKind.CALLEE_SAVE]
+        )
+        assert analytic.shuffle == mech.shuffle_count
+
+    def test_base_chaitin_counts_match(self):
+        self._check(AllocatorOptions.base_chaitin(), (6, 4, 0, 0))
+
+    def test_improved_counts_match(self):
+        self._check(AllocatorOptions.improved_chaitin(), (4, 2, 2, 2))
+
+    def test_cbh_counts_match(self):
+        self._check(AllocatorOptions.cbh(), (6, 4, 1, 1))
+
+    def test_under_pressure_counts_match(self):
+        self._check(AllocatorOptions.base_chaitin(), (3, 2, 1, 1))
+
+
+class TestPerFunctionBreakdown:
+    def test_components_sum_to_program_total(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        base = run_program(program)
+        rf = register_file(RegisterConfig(6, 4, 0, 0))
+        allocation = allocate_program(program, rf, AllocatorOptions.base_chaitin())
+        per_function = overhead_by_function(allocation, base.profile)
+        total = program_overhead(allocation, base.profile)
+        assert sum(o.total for o in per_function.values()) == total.total
+
+    def test_cold_function_contributes_nothing(self):
+        source = """
+        int out[1];
+        int cold(int x) { return x * 2; }
+        void main() { out[0] = 1; }
+        """
+        program = compile_source(source)
+        base = run_program(program)
+        rf = register_file(RegisterConfig(3, 2, 1, 1))
+        allocation = allocate_program(program, rf, AllocatorOptions.base_chaitin())
+        per_function = overhead_by_function(allocation, base.profile)
+        assert per_function["cold"].total == 0.0
+
+
+class TestCycles:
+    def test_memory_traffic_raises_cycles(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        base = run_program(program)
+        # Tight register file forces overhead ops; cycles must grow.
+        roomy = allocate_program(
+            program,
+            register_file(RegisterConfig(8, 4, 4, 2)),
+            AllocatorOptions.improved_chaitin(),
+        )
+        tight = allocate_program(
+            program,
+            register_file(RegisterConfig(3, 2, 0, 1)),
+            AllocatorOptions.base_chaitin(),
+        )
+        assert program_cycles(tight, base.profile) > program_cycles(
+            roomy, base.profile
+        )
+
+    def test_speedup_percent(self):
+        assert speedup_percent(110.0, 100.0) == 10.0
+        assert speedup_percent(100.0, 100.0) == 0.0
+        assert speedup_percent(0.0, 0.0) == 0.0
+
+    def test_cycles_positive(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        base = run_program(program)
+        allocation = allocate_program(
+            program,
+            register_file(RegisterConfig(6, 4, 2, 2)),
+            AllocatorOptions.improved_chaitin(),
+        )
+        assert program_cycles(allocation, base.profile) > 0

@@ -1,0 +1,160 @@
+"""Tests for the measurement runner and the experiment drivers.
+
+Experiment drivers run on reduced sweeps and small workload subsets so
+the suite stays fast; full-sweep runs live in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.eval import (
+    Overhead,
+    ablation_bs_key,
+    ablation_callee_model,
+    ablation_priority_order,
+    figure2,
+    figure6,
+    figure7,
+    figure9,
+    figure10,
+    figure11,
+    measure,
+    measure_cycles,
+    overhead_ratio,
+    table2,
+    table3,
+    table4,
+)
+from repro.machine import RegisterConfig, mips_sweep
+from repro.regalloc import AllocatorOptions
+
+SMALL_SWEEP = [RegisterConfig(6, 4, 0, 0), RegisterConfig(8, 6, 2, 2)]
+
+
+class TestRunner:
+    def test_measure_returns_overhead(self):
+        overhead = measure(
+            "eqntott", AllocatorOptions.base_chaitin(), SMALL_SWEEP[0], "dynamic"
+        )
+        assert overhead.total > 0
+
+    def test_measure_is_cached(self):
+        a = measure(
+            "eqntott", AllocatorOptions.base_chaitin(), SMALL_SWEEP[0], "dynamic"
+        )
+        b = measure(
+            "eqntott", AllocatorOptions.base_chaitin(), SMALL_SWEEP[0], "dynamic"
+        )
+        assert a is b
+
+    def test_invalid_info_rejected(self):
+        from repro.eval.runner import allocate_workload
+
+        with pytest.raises(ValueError, match="info"):
+            allocate_workload(
+                "eqntott", AllocatorOptions.base_chaitin(), SMALL_SWEEP[0], "vibes"
+            )
+
+    def test_measure_cycles(self):
+        cycles = measure_cycles(
+            "eqntott", AllocatorOptions.base_chaitin(), SMALL_SWEEP[0], "dynamic"
+        )
+        assert cycles > 0
+
+    def test_overhead_ratio_conventions(self):
+        zero = Overhead()
+        some = Overhead(spill=5.0)
+        assert overhead_ratio(zero, zero) == 1.0
+        assert overhead_ratio(some, zero) == math.inf
+        assert overhead_ratio(some, Overhead(spill=2.5)) == 2.0
+
+
+class TestFigureDrivers:
+    def test_figure2_structure_and_shape(self):
+        result = figure2(programs=("eqntott",), configs=mips_sweep()[:5])
+        overheads = result.overheads["eqntott"]
+        assert len(overheads) == 5
+        # Spill cost must collapse as registers grow...
+        assert overheads[-1].spill <= overheads[0].spill
+        # ... while call cost remains the dominant survivor.
+        assert overheads[-1].call_cost >= overheads[-1].spill
+
+    def test_figure6_ratios_not_below_one_much(self):
+        result = figure6(programs=("ear",), configs=SMALL_SWEEP)
+        for (program, label), values in result.series.items():
+            assert len(values) == 2
+            for v in values:
+                assert v > 0.5  # improvements never catastrophic
+
+    def test_figure7_improved_no_worse_than_base(self):
+        base = figure2(programs=("ear",), configs=SMALL_SWEEP)
+        improved = figure7(programs=("ear",), configs=SMALL_SWEEP)
+        for b, i in zip(base.overheads["ear"], improved.overheads["ear"]):
+            assert i.total <= b.total * 1.05
+
+    def test_figure9_has_three_series(self):
+        result = figure9(program="fpppp", configs=SMALL_SWEEP)
+        labels = {label for (_, label) in result.series}
+        assert labels == {"optimistic", "improved", "improved+optimistic"}
+
+    def test_figure10_static_and_dynamic(self):
+        result = figure10(programs=("gcc",), configs=SMALL_SWEEP)
+        labels = {label for (_, label) in result.series}
+        assert labels == {
+            "improved/static",
+            "improved/dynamic",
+            "priority/static",
+            "priority/dynamic",
+        }
+
+    def test_figure11_cbh_series(self):
+        result = figure11(programs=("li",), configs=SMALL_SWEEP)
+        labels = {label for (_, label) in result.series}
+        assert "CBH/static" in labels
+        assert "improved/dynamic" in labels
+
+    def test_render_produces_table(self):
+        result = figure2(programs=("eqntott",), configs=SMALL_SWEEP)
+        text = result.render()
+        assert "Figure 2" in text
+        assert "(6,4,0,0)" in text
+        assert "caller_save" in text
+
+
+class TestTableDrivers:
+    def test_table2_and_3_ratios_near_one(self):
+        for driver in (table2, table3):
+            result = driver(programs=("gcc",), configs=SMALL_SWEEP)
+            values = result.values("gcc", "base/optimistic")
+            for v in values:
+                assert 0.2 < v < 5.0  # optimistic is a small effect
+
+    def test_table4_speedups_finite(self):
+        result = table4(programs=("sc",))
+        assert "sc" in result.speedups
+        assert math.isfinite(result.speedups["sc"])
+        text = result.render()
+        assert "speedup" in text
+
+
+class TestAblations:
+    def test_callee_model_ablation(self):
+        result = ablation_callee_model(programs=("li",), configs=SMALL_SWEEP)
+        values = result.values("li", "first/shared")
+        # Shared is never worse by construction of the example class,
+        # but at minimum the ratio is well-defined and positive.
+        assert all(v > 0 for v in values)
+
+    def test_bs_key_ablation(self):
+        result = ablation_bs_key(programs=("ear",), configs=SMALL_SWEEP)
+        assert ("ear", "max/delta") in result.series
+
+    def test_priority_order_ablation(self):
+        result = ablation_priority_order(programs=("gcc",), configs=SMALL_SWEEP)
+        labels = {label for (_, label) in result.series}
+        assert labels == {
+            "remove_unconstrained",
+            "sort_unconstrained",
+            "sorting",
+        }

@@ -1,0 +1,200 @@
+"""A battery of classic algorithms through the whole pipeline.
+
+Each program is executed at IR level (checking the expected answer,
+i.e. the frontend/interpreter semantics) and then allocated under a
+tight register file and re-executed at machine level (checking the
+allocator).  These shapes — recursion, mutual recursion, sorting,
+number theory, fixed-point float iteration — exercise control-flow
+and live-range patterns the SPEC stand-ins don't.
+"""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import AllocatorOptions, allocate_program
+from tests.conftest import assert_same_globals
+
+GCD = (
+    """
+    int out[1];
+    int gcd(int a, int b) {
+        while (b != 0) {
+            int t = b;
+            b = a % b;
+            a = t;
+        }
+        return a;
+    }
+    void main() { out[0] = gcd(1071, 462); }
+    """,
+    "out",
+    [21],
+)
+
+SIEVE = (
+    """
+    int sieve[100];
+    int out[2];
+    void main() {
+        int count = 0;
+        for (int i = 2; i < 100; i = i + 1) {
+            if (sieve[i] == 0) {
+                count = count + 1;
+                for (int j = i + i; j < 100; j = j + i) {
+                    sieve[j] = 1;
+                }
+            }
+        }
+        out[0] = count;
+        out[1] = sieve[91];
+    }
+    """,
+    "out",
+    [25, 1],  # 25 primes below 100; 91 = 7*13 composite
+)
+
+QUICKSORT = (
+    """
+    int data[32];
+    int out[2];
+    void qsort_range(int lo, int hi) {
+        if (lo >= hi) { return; }
+        int pivot = data[hi];
+        int store = lo;
+        for (int i = lo; i < hi; i = i + 1) {
+            if (data[i] < pivot) {
+                int tmp = data[i];
+                data[i] = data[store];
+                data[store] = tmp;
+                store = store + 1;
+            }
+        }
+        int tmp2 = data[hi];
+        data[hi] = data[store];
+        data[store] = tmp2;
+        qsort_range(lo, store - 1);
+        qsort_range(store + 1, hi);
+    }
+    void main() {
+        int seed = 12;
+        for (int i = 0; i < 32; i = i + 1) {
+            seed = (seed * 1103 + 12345) % 100000;
+            data[i] = seed % 1000;
+        }
+        qsort_range(0, 31);
+        int sorted = 1;
+        for (int i = 1; i < 32; i = i + 1) {
+            if (data[i - 1] > data[i]) { sorted = 0; }
+        }
+        out[0] = sorted;
+        out[1] = data[0];
+    }
+    """,
+    "out",
+    [1, None],  # sorted; smallest element checked dynamically
+)
+
+ACKERMANN = (
+    """
+    int out[1];
+    int ack(int m, int n) {
+        if (m == 0) { return n + 1; }
+        if (n == 0) { return ack(m - 1, 1); }
+        return ack(m - 1, ack(m, n - 1));
+    }
+    void main() { out[0] = ack(2, 3); }
+    """,
+    "out",
+    [9],
+)
+
+COLLATZ = (
+    """
+    int out[2];
+    int steps(int n) {
+        int count = 0;
+        while (n != 1) {
+            if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+            count = count + 1;
+        }
+        return count;
+    }
+    void main() {
+        int longest = 0;
+        int argmax = 1;
+        for (int n = 1; n <= 60; n = n + 1) {
+            int s = steps(n);
+            if (s > longest) { longest = s; argmax = n; }
+        }
+        out[0] = longest;
+        out[1] = argmax;
+    }
+    """,
+    "out",
+    [112, 54],  # 54 has the longest chain (112 steps) up to 60
+)
+
+NEWTON_SQRT = (
+    """
+    float fout[2];
+    float newton_sqrt(float x) {
+        float guess = x * 0.5 + 0.5;
+        for (int i = 0; i < 20; i = i + 1) {
+            guess = (guess + x / guess) * 0.5;
+        }
+        return guess;
+    }
+    void main() {
+        fout[0] = newton_sqrt(2.0);
+        fout[1] = newton_sqrt(144.0);
+    }
+    """,
+    "fout",
+    [1.4142135623730951, 12.0],
+)
+
+BATTERY = {
+    "gcd": GCD,
+    "sieve": SIEVE,
+    "quicksort": QUICKSORT,
+    "ackermann": ACKERMANN,
+    "collatz": COLLATZ,
+    "newton_sqrt": NEWTON_SQRT,
+}
+
+TIGHT = RegisterConfig(4, 3, 1, 1)
+
+
+@pytest.mark.parametrize("name", sorted(BATTERY))
+def test_semantics(name):
+    source, array, expected = BATTERY[name]
+    program = compile_source(source)
+    state = run_program(program).globals_state
+    for i, want in enumerate(expected):
+        if want is None:
+            continue
+        if isinstance(want, float):
+            assert state[array][i] == pytest.approx(want)
+        else:
+            assert state[array][i] == want
+
+
+@pytest.mark.parametrize("name", sorted(BATTERY))
+@pytest.mark.parametrize(
+    "options",
+    [
+        AllocatorOptions.base_chaitin(),
+        AllocatorOptions.improved_chaitin(),
+        AllocatorOptions.cbh(),
+    ],
+    ids=lambda o: o.label,
+)
+def test_allocated_equivalence(name, options):
+    source, _, _ = BATTERY[name]
+    program = compile_source(source)
+    base = run_program(program)
+    allocation = allocate_program(program, register_file(TIGHT), options)
+    mech = run_allocated(allocation)
+    assert_same_globals(base.globals_state, mech.globals_state)

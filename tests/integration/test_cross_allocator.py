@@ -1,0 +1,98 @@
+"""Cross-allocator invariants over the workloads.
+
+Relationships that must hold between the allocators regardless of the
+program — the sanity net under the experiment numbers.
+"""
+
+import pytest
+
+from repro.eval import measure
+from repro.machine import RegisterConfig
+from repro.regalloc import AllocatorOptions
+from repro.workloads import workload_names
+
+CONFIGS = [RegisterConfig(6, 4, 0, 0), RegisterConfig(9, 7, 3, 3)]
+
+
+@pytest.mark.parametrize("name", sorted(workload_names()))
+@pytest.mark.parametrize("config", CONFIGS, ids=str)
+class TestOrderings:
+    def test_improved_never_loses_badly_to_base(self, name, config):
+        # SC can trade spills for call cost using *estimates*, so tiny
+        # regressions are possible; order-of-magnitude losses are not.
+        base = measure(name, AllocatorOptions.base_chaitin(), config)
+        improved = measure(name, AllocatorOptions.improved_chaitin(), config)
+        assert improved.total <= base.total * 1.10
+
+    def test_overheads_are_finite_and_nonnegative(self, name, config):
+        for factory in (
+            AllocatorOptions.base_chaitin,
+            AllocatorOptions.optimistic_coloring,
+            AllocatorOptions.improved_chaitin,
+            AllocatorOptions.priority_based,
+            AllocatorOptions.cbh,
+        ):
+            overhead = measure(name, factory(), config)
+            for component in (
+                overhead.spill,
+                overhead.caller_save,
+                overhead.callee_save,
+                overhead.shuffle,
+            ):
+                assert component >= 0.0
+                assert component < float("inf")
+
+
+@pytest.mark.parametrize("name", ["eqntott", "ear", "sc", "tomcatv"])
+class TestFullFileBehaviour:
+    def test_base_model_never_spills_at_full_file(self, name):
+        # The full MIPS file fits every workload function, so the base
+        # model (which spills only under pressure) emits no spill code.
+        # Improved Chaitin is *allowed* to spill here: storage-class
+        # analysis spills a range when both register kinds cost more
+        # than memory — the paper's central point.
+        from repro.machine import FULL_CONFIG
+
+        overhead = measure(
+            name, AllocatorOptions.base_chaitin(), FULL_CONFIG
+        )
+        assert overhead.spill == 0.0
+
+    def test_improved_spills_only_when_profitable(self, name):
+        # Any spill the improved allocator keeps at the full file must
+        # pay for itself: total overhead never exceeds the base model's.
+        from repro.machine import FULL_CONFIG
+
+        base = measure(name, AllocatorOptions.base_chaitin(), FULL_CONFIG)
+        improved = measure(
+            name, AllocatorOptions.improved_chaitin(), FULL_CONFIG
+        )
+        assert improved.total <= base.total
+
+    def test_callee_save_cost_bounded_by_entries(self, name):
+        # Each used callee-save register costs at most
+        # 2 * entries(function) per function; the total must not exceed
+        # registers * that bound.
+        from repro.machine import FULL_CONFIG
+        from repro.workloads import compile_workload
+
+        compiled = compile_workload(name)
+        overhead = measure(
+            name, AllocatorOptions.improved_chaitin(), FULL_CONFIG
+        )
+        total_entries = sum(
+            compiled.profile.entries(f) for f in compiled.program.functions
+        )
+        bound = 2.0 * total_entries * FULL_CONFIG.total
+        assert overhead.callee_save <= bound
+
+
+class TestInfoSourceConsistency:
+    @pytest.mark.parametrize("name", ["tomcatv", "fpppp", "matrix300"])
+    def test_regular_programs_info_invariant(self, name):
+        # Programs whose heat is purely loop-structural allocate the
+        # same under static and dynamic information.
+        config = RegisterConfig(8, 6, 2, 2)
+        static = measure(name, AllocatorOptions.improved_chaitin(), config, "static")
+        dynamic = measure(name, AllocatorOptions.improved_chaitin(), config, "dynamic")
+        assert static.total == dynamic.total

@@ -1,0 +1,79 @@
+"""THE oracle: allocated code must compute what the source computes.
+
+Every workload is allocated under every allocator at several register
+configurations (and both information sources), executed on the
+machine-level interpreter, and compared against the IR-level
+execution.  The analytic overhead is simultaneously cross-checked
+against the executed overhead-operation counts.
+"""
+
+import pytest
+
+from repro.eval import program_overhead
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated
+from repro.regalloc import AllocatorOptions, allocate_program
+from repro.regalloc.spillinstr import OverheadKind
+from repro.workloads import compile_workload, workload_names
+from tests.conftest import assert_same_globals
+
+ALLOCATORS = {
+    "base": AllocatorOptions.base_chaitin(),
+    "optimistic": AllocatorOptions.optimistic_coloring(),
+    "improved": AllocatorOptions.improved_chaitin(),
+    "improved_optimistic": AllocatorOptions.improved_optimistic(),
+    "priority": AllocatorOptions.priority_based(),
+    "cbh": AllocatorOptions.cbh(),
+}
+
+CONFIGS = [
+    RegisterConfig(6, 4, 0, 0),  # convention minimum, no callee-save
+    RegisterConfig(8, 6, 2, 2),  # mid sweep
+    RegisterConfig(17, 10, 9, 6),  # full file
+]
+
+
+def check_one(name: str, options: AllocatorOptions, config: RegisterConfig,
+              info: str = "dynamic") -> None:
+    compiled = compile_workload(name)
+    weights_for = (
+        compiled.dynamic_weights if info == "dynamic" else compiled.static_weights
+    )
+    allocation = allocate_program(
+        compiled.program, register_file(config), options, weights_for
+    )
+    mech = run_allocated(allocation)
+    assert_same_globals(compiled.baseline.globals_state, mech.globals_state)
+    analytic = program_overhead(allocation, compiled.profile)
+    assert analytic.spill == mech.overhead_counts[OverheadKind.SPILL]
+    assert analytic.caller_save == mech.overhead_counts[OverheadKind.CALLER_SAVE]
+    assert analytic.callee_save == mech.overhead_counts[OverheadKind.CALLEE_SAVE]
+    assert analytic.shuffle == mech.shuffle_count
+
+
+@pytest.mark.parametrize("name", sorted(workload_names()))
+@pytest.mark.parametrize("allocator", sorted(ALLOCATORS))
+def test_equivalence_mid_config(name, allocator):
+    check_one(name, ALLOCATORS[allocator], CONFIGS[1])
+
+
+@pytest.mark.parametrize("name", sorted(workload_names()))
+def test_equivalence_no_callee_save(name):
+    check_one(name, ALLOCATORS["improved"], CONFIGS[0])
+
+
+@pytest.mark.parametrize("name", sorted(workload_names()))
+def test_equivalence_full_file(name):
+    check_one(name, ALLOCATORS["base"], CONFIGS[2])
+
+
+@pytest.mark.parametrize("allocator", sorted(ALLOCATORS))
+def test_equivalence_static_info(allocator):
+    check_one("compress", ALLOCATORS[allocator], CONFIGS[1], info="static")
+
+
+@pytest.mark.parametrize(
+    "name", ["fpppp", "li", "ear"]
+)  # pressure, recursion, hot float calls
+def test_equivalence_tiny_file(name):
+    check_one(name, ALLOCATORS["base"], RegisterConfig(4, 3, 1, 1))

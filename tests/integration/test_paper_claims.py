@@ -1,0 +1,241 @@
+"""Shape assertions for the paper's headline claims.
+
+Absolute factors differ from the paper (its substrate was the cmcc
+compiler and SPEC92 on MIPS; ours is a mini-C compiler and synthetic
+stand-ins), but each test pins down the *shape* the paper reports:
+who wins, roughly by how much, and where the crossovers fall.
+These run on the full canonical sweep, so they are the slowest tests
+in the suite.
+"""
+
+import pytest
+
+from repro.eval import (
+    figure2,
+    figure6,
+    figure9,
+    figure10,
+    figure11,
+    measure,
+    overhead_ratio,
+    table2,
+    table3,
+    table4,
+)
+from repro.machine import FULL_CONFIG, mips_sweep
+from repro.regalloc import AllocatorOptions
+
+SWEEP = mips_sweep()
+
+
+class TestFigure2Claims:
+    """Section 3.2: spill cost vanishes, call cost dominates."""
+
+    @pytest.mark.parametrize("program", ["eqntott", "ear"])
+    def test_spill_cost_collapses_with_registers(self, program):
+        result = figure2(programs=(program,), configs=SWEEP)
+        overheads = result.overheads[program]
+        assert overheads[-1].spill <= overheads[0].spill * 0.05 + 1.0
+
+    @pytest.mark.parametrize("program", ["eqntott", "ear"])
+    def test_call_cost_dominates_at_scale(self, program):
+        result = figure2(programs=(program,), configs=SWEEP)
+        late = result.overheads[program][5]
+        assert late.call_cost > late.spill
+
+    def test_call_cost_is_significant_fraction(self):
+        # "the contribution of the call cost to total register
+        # allocation cost is significant"
+        result = figure2(programs=("ear",), configs=SWEEP[:1])
+        first = result.overheads["ear"][0]
+        assert first.call_cost > 0.25 * first.total
+
+
+class TestFigure6Claims:
+    """Section 7: the four program classes."""
+
+    def test_eqntott_headline_factor(self):
+        # Paper: factor 66 for eqntott.  We assert a large factor.
+        result = figure6(programs=("eqntott",), configs=SWEEP)
+        ratios = result.values("eqntott", "SC+BS+PR")
+        assert max(ratios) > 10.0
+
+    def test_ear_improvement_grows_with_registers(self):
+        result = figure6(programs=("ear",), configs=SWEEP)
+        ratios = result.values("ear", "SC+BS+PR")
+        assert ratios[-1] > ratios[0]
+        assert max(ratios) > 5.0
+
+    def test_li_class_sc_alone_suffices(self):
+        # Class 2: only storage-class analysis matters for li/sc.
+        result = figure6(programs=("li",), configs=SWEEP)
+        sc_only = result.values("li", "SC")
+        full = result.values("li", "SC+BS+PR")
+        assert sc_only == full
+        assert max(sc_only) > 1.2
+
+    def test_tomcatv_unaffected(self):
+        # Class 4: no calls, every ratio is exactly 1.0.
+        result = figure6(programs=("tomcatv",), configs=SWEEP)
+        for (_, label), ratios in result.series.items():
+            assert all(r == 1.0 for r in ratios), label
+
+    def test_improvements_rarely_hurt_with_profiles(self):
+        result = figure6(
+            programs=("eqntott", "ear", "li", "sc", "espresso"), configs=SWEEP
+        )
+        for (_prog, _label), ratios in result.series.items():
+            for r in ratios:
+                assert r >= 0.95
+
+
+class TestOptimisticClaims:
+    """Section 8: optimistic coloring is a small, two-sided effect."""
+
+    def test_mostly_near_one(self):
+        result = table3(
+            programs=("gcc", "li", "espresso", "compress"), configs=SWEEP
+        )
+        near_one = 0
+        total = 0
+        for (_, _), ratios in result.series.items():
+            for r in ratios:
+                total += 1
+                if 0.9 <= r <= 1.1:
+                    near_one += 1
+        assert near_one >= total * 0.6
+
+    def test_optimistic_helps_fpppp_under_pressure(self):
+        # Figure 9: the pressure-bound program is where optimistic wins.
+        result = figure9(program="fpppp", configs=SWEEP)
+        optimistic = result.values("fpppp", "optimistic")
+        assert max(optimistic) > 1.0
+
+    def test_integration_gets_both_regimes(self):
+        result = figure9(program="fpppp", configs=SWEEP)
+        combined = result.values("fpppp", "improved+optimistic")
+        optimistic = result.values("fpppp", "optimistic")
+        improved = result.values("fpppp", "improved")
+        for c, o, i in zip(combined, optimistic, improved):
+            assert c >= min(o, i) * 0.9
+
+
+class TestPriorityClaims:
+    """Section 9: improved Chaitin vs priority-based coloring."""
+
+    @pytest.mark.parametrize("program", ["nasa7", "ear", "sc"])
+    def test_improved_at_least_matches_priority(self, program):
+        result = figure10(programs=(program,), configs=SWEEP)
+        improved = result.values(program, "improved/dynamic")
+        priority = result.values(program, "priority/dynamic")
+        # Improved wins or ties at (almost) every point on the sweep.
+        wins = sum(i >= p * 0.999 for i, p in zip(improved, priority))
+        assert wins >= len(SWEEP) - 1
+
+    def test_priority_can_lose_to_base(self):
+        # The paper observes priority-based coloring introducing *more*
+        # overhead than base Chaitin in some static configurations.
+        result = figure10(programs=("gcc",), configs=SWEEP)
+        ratios = result.values("gcc", "priority/static")
+        assert min(ratios) < 1.0
+
+
+class TestCBHClaims:
+    """Section 10: CBH over-constrains when callee-saves are scarce."""
+
+    @pytest.mark.parametrize("program", ["li", "matrix300", "ear"])
+    def test_cbh_struggles_with_few_callee_saves(self, program):
+        result = figure11(programs=(program,), configs=SWEEP)
+        improved = result.values(program, "improved/dynamic")
+        cbh = result.values(program, "CBH/dynamic")
+        # At the convention minimum (no callee-save registers) CBH
+        # must not beat improved Chaitin.
+        assert cbh[0] <= improved[0]
+
+    def test_cbh_worse_than_base_possible(self):
+        # li: hot ranges cross calls; with 0-1 callee-save registers
+        # CBH spills them all and loses even to the base model.
+        result = figure11(programs=("li",), configs=SWEEP)
+        cbh = result.values("li", "CBH/dynamic")
+        assert cbh[0] < 1.0
+
+    def test_cbh_catches_up_with_registers(self):
+        result = figure11(programs=("matrix300",), configs=SWEEP)
+        cbh = result.values("matrix300", "CBH/dynamic")
+        assert cbh[-1] >= cbh[0]
+
+    def test_base_model_is_reasonable(self):
+        # "the base model is actually reasonable after all": across
+        # call-heavy programs, base Chaitin beats CBH somewhere.
+        base = AllocatorOptions.base_chaitin()
+        cbh = AllocatorOptions.cbh()
+        beat = 0
+        for program in ("li", "compress", "sc"):
+            b = measure(program, base, SWEEP[0], "dynamic")
+            c = measure(program, cbh, SWEEP[0], "dynamic")
+            if b.total <= c.total:
+                beat += 1
+        assert beat >= 2
+
+
+class TestTable4Claims:
+    """Section 11: execution-time speedups."""
+
+    def test_speedups_positive_for_winners(self):
+        result = table4()
+        for program in ("compress", "eqntott", "li", "sc"):
+            assert result.speedups[program] > 0.0, program
+
+    def test_spice_unmoved(self):
+        result = table4()
+        assert abs(result.speedups["spice"]) < 1.0
+
+    def test_full_file_is_used(self):
+        assert FULL_CONFIG == SWEEP[-1]
+
+
+class TestSecondOrderClaims:
+    """Shapes beyond the headline numbers."""
+
+    def test_more_registers_can_worsen_base_model(self):
+        # Section 3.2: "giving the register allocator more registers
+        # may actually worsen the register allocation cost" — live
+        # ranges migrate into registers whose call overhead exceeds
+        # their spill cost.
+        result = figure2(programs=("eqntott",), configs=SWEEP)
+        totals = [o.total for o in result.overheads["eqntott"]]
+        rises = any(b > a * 1.02 for a, b in zip(totals, totals[1:]))
+        assert rises, "expected a non-monotone segment in the base-model curve"
+
+    def test_delta_key_beats_max_key_somewhere(self):
+        # Section 5: the max key (priority-style) "increases the
+        # register overhead for some SPEC92 programs".
+        from repro.eval import ablation_bs_key
+
+        result = ablation_bs_key(programs=("eqntott", "ear"), configs=SWEEP)
+        flat = [r for ratios in result.series.values() for r in ratios]
+        assert max(flat) > 1.5  # max-key visibly worse somewhere
+        assert min(flat) >= 0.95  # delta-key never clearly worse
+
+    def test_shared_callee_model_beats_first_user_somewhere(self):
+        # Section 4: "the second approach performs better than the
+        # first one for some SPEC92 programs, for others it makes no
+        # difference."
+        from repro.eval import ablation_callee_model
+
+        result = ablation_callee_model(configs=SWEEP)
+        flat = [r for ratios in result.series.values() for r in ratios]
+        assert max(flat) > 1.02
+        assert min(flat) >= 0.999
+
+    def test_improved_chaitin_keeps_improving_where_cbh_stalls(self):
+        # Section 10 (matrix300/nasa7 discussion): CBH needs extra
+        # callee-save registers to catch up with improved Chaitin.
+        result = figure11(programs=("matrix300",), configs=SWEEP)
+        improved = result.values("matrix300", "improved/dynamic")
+        cbh = result.values("matrix300", "CBH/dynamic")
+        catchup = next(
+            (i for i, (a, b) in enumerate(zip(improved, cbh)) if b >= a * 0.999),
+            None,
+        )
+        assert catchup is not None and catchup > 0

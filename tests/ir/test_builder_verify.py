@@ -1,0 +1,227 @@
+"""Unit tests for IRBuilder type handling and the IR verifier."""
+
+import pytest
+
+from repro.ir import (
+    FLOAT,
+    INT,
+    BinaryOpcode,
+    Branch,
+    Call,
+    Copy,
+    Function,
+    GlobalArray,
+    IRBuilder,
+    IRVerificationError,
+    Jump,
+    Program,
+    Ret,
+    UnaryOpcode,
+    verify_function,
+    verify_program,
+)
+
+
+class TestBuilderTypes:
+    def test_const_infers_type_from_python_value(self):
+        func = Function("f")
+        builder = IRBuilder(func)
+        builder.start_block()
+        assert builder.const(3).vtype is INT
+        assert builder.const(3.0).vtype is FLOAT
+
+    def test_comparison_produces_int(self):
+        func = Function("f")
+        builder = IRBuilder(func)
+        builder.start_block()
+        a = builder.const(1.0, FLOAT)
+        b = builder.const(2.0, FLOAT)
+        assert builder.binop(BinaryOpcode.LT, a, b).vtype is INT
+
+    def test_arithmetic_keeps_bank(self):
+        func = Function("f")
+        builder = IRBuilder(func)
+        builder.start_block()
+        a = builder.const(1.0, FLOAT)
+        b = builder.const(2.0, FLOAT)
+        assert builder.binop(BinaryOpcode.MUL, a, b).vtype is FLOAT
+
+    def test_mixed_bank_binop_rejected(self):
+        func = Function("f")
+        builder = IRBuilder(func)
+        builder.start_block()
+        a = builder.const(1, INT)
+        b = builder.const(2.0, FLOAT)
+        with pytest.raises(ValueError):
+            builder.binop(BinaryOpcode.ADD, a, b)
+
+    def test_conversions_cross_banks(self):
+        func = Function("f")
+        builder = IRBuilder(func)
+        builder.start_block()
+        i = builder.const(1, INT)
+        f = builder.unop(UnaryOpcode.I2F, i)
+        assert f.vtype is FLOAT
+        assert builder.unop(UnaryOpcode.F2I, f).vtype is INT
+
+    def test_emit_without_block_fails(self):
+        builder = IRBuilder(Function("f"))
+        with pytest.raises(ValueError, match="insertion block"):
+            builder.const(1, INT)
+
+
+def _valid_func():
+    func = Function("ok", param_types=[INT], return_type=INT)
+    builder = IRBuilder(func)
+    builder.start_block()
+    one = builder.const(1, INT)
+    result = builder.binop(BinaryOpcode.ADD, func.params[0], one)
+    builder.ret(result)
+    return func
+
+
+class TestVerifier:
+    def test_valid_function_passes(self):
+        verify_function(_valid_func())
+
+    def test_missing_terminator(self):
+        func = Function("f", return_type=None)
+        builder = IRBuilder(func)
+        builder.start_block()
+        builder.const(1, INT)
+        with pytest.raises(IRVerificationError, match="terminator"):
+            verify_function(func)
+
+    def test_empty_function(self):
+        with pytest.raises(IRVerificationError, match="no blocks"):
+            verify_function(Function("f"))
+
+    def test_branch_condition_must_be_int(self):
+        func = Function("f", return_type=None)
+        builder = IRBuilder(func)
+        entry = builder.start_block()
+        other = builder.new_block()
+        cond = builder.const(1.0, FLOAT)
+        entry.instrs.append(Branch(cond, other, other))
+        other.instrs.append(Ret())
+        with pytest.raises(IRVerificationError, match="condition"):
+            verify_function(func)
+
+    def test_branch_to_foreign_block(self):
+        func = Function("f", return_type=None)
+        builder = IRBuilder(func)
+        entry = builder.start_block()
+        foreign = Function("g").new_block()
+        cond = builder.const(1, INT)
+        entry.instrs.append(Branch(cond, foreign, foreign))
+        with pytest.raises(IRVerificationError, match="foreign"):
+            verify_function(func)
+
+    def test_return_type_checked(self):
+        func = Function("f", return_type=INT)
+        builder = IRBuilder(func)
+        builder.start_block()
+        builder.ret()  # missing value
+        with pytest.raises(IRVerificationError, match="without value"):
+            verify_function(func)
+
+    def test_void_return_with_value(self):
+        func = Function("f", return_type=None)
+        builder = IRBuilder(func)
+        builder.start_block()
+        v = builder.const(1, INT)
+        func.entry.instrs.append(Ret(v))
+        with pytest.raises(IRVerificationError, match="void"):
+            verify_function(func)
+
+    def test_use_of_undefined_register(self):
+        func = Function("f", return_type=INT)
+        builder = IRBuilder(func)
+        builder.start_block()
+        ghost = func.new_vreg(INT, "ghost")
+        func.entry.instrs.append(Ret(ghost))
+        with pytest.raises(IRVerificationError, match="possibly-undefined"):
+            verify_function(func)
+
+    def test_use_defined_on_one_path_only(self):
+        func = Function("f", param_types=[INT], return_type=INT)
+        builder = IRBuilder(func)
+        entry = builder.start_block()
+        then_b = builder.new_block()
+        join = builder.new_block()
+        zero = builder.const(0, INT)
+        cond = builder.binop(BinaryOpcode.GT, func.params[0], zero)
+        builder.branch(cond, then_b, join)
+        builder.set_block(then_b)
+        maybe = builder.const(5, INT, name="maybe")
+        builder.jump(join)
+        builder.set_block(join)
+        builder.ret(maybe)
+        with pytest.raises(IRVerificationError, match="possibly-undefined"):
+            verify_function(func)
+
+    def test_call_signature_checked_against_program(self):
+        program = Program()
+        callee = Function("callee", param_types=[INT], return_type=INT)
+        builder = IRBuilder(callee)
+        builder.start_block()
+        builder.ret(callee.params[0])
+        program.add_function(callee)
+
+        caller = Function("caller", return_type=None)
+        builder = IRBuilder(caller)
+        builder.start_block()
+        a = builder.const(1, INT)
+        b = builder.const(2, INT)
+        dst = caller.new_vreg(INT)
+        caller.entry.instrs.append(Call(dst, "callee", [a, b]))  # arity 2 != 1
+        builder.ret()
+        program.add_function(caller)
+        with pytest.raises(IRVerificationError, match="arity"):
+            verify_program(program)
+
+    def test_unknown_callee(self):
+        program = Program()
+        caller = Function("caller", return_type=None)
+        builder = IRBuilder(caller)
+        builder.start_block()
+        caller.entry.instrs.append(Call(None, "ghost", []))
+        builder.ret()
+        program.add_function(caller)
+        with pytest.raises(IRVerificationError, match="unknown function"):
+            verify_program(program)
+
+    def test_global_bank_mismatch(self):
+        program = Program()
+        program.add_global(GlobalArray("g", FLOAT, 4))
+        func = Function("f", return_type=None)
+        builder = IRBuilder(func)
+        builder.start_block()
+        idx = builder.const(0, INT)
+        builder.load("g", idx, INT)  # int load from float array
+        builder.ret()
+        program.add_function(func)
+        with pytest.raises(IRVerificationError, match="bank mismatch"):
+            verify_program(program)
+
+    def test_duplicate_block_names(self):
+        func = Function("f", return_type=None)
+        a = func.new_block()
+        b = func.new_block()
+        b.name = a.name
+        a.instrs.append(Jump(b))
+        b.instrs.append(Ret())
+        with pytest.raises(IRVerificationError, match="duplicate block"):
+            verify_function(func)
+
+    def test_copy_between_banks_detected(self):
+        func = Function("f", param_types=[INT, FLOAT], return_type=None)
+        builder = IRBuilder(func)
+        builder.start_block()
+        bad = Copy.__new__(Copy)  # bypass the constructor check
+        bad.dst = func.params[0]
+        bad.src = func.params[1]
+        func.entry.instrs.append(bad)
+        builder.ret()
+        with pytest.raises(IRVerificationError, match="banks"):
+            verify_function(func)

@@ -1,0 +1,58 @@
+"""Unit tests for IR cloning."""
+
+from repro.ir import clone_function, clone_program, format_function
+from repro.lang import compile_source
+from repro.profile import run_program
+from tests.conftest import SMALL_CALL_SOURCE, assert_same_globals
+
+
+def test_clone_function_structure_identical():
+    program = compile_source(SMALL_CALL_SOURCE)
+    func = program.function("main")
+    record = clone_function(func)
+    assert record.func is not func
+    # Register ids may be renumbered; shapes must match exactly.
+    assert [b.name for b in record.func.blocks] == [b.name for b in func.blocks]
+    for orig, new in zip(func.blocks, record.func.blocks):
+        assert [type(i).__name__ for i in orig.instrs] == [
+            type(i).__name__ for i in new.instrs
+        ]
+
+
+def test_clone_maps_cover_everything():
+    program = compile_source(SMALL_CALL_SOURCE)
+    func = program.function("helper")
+    record = clone_function(func)
+    assert set(record.block_map) == set(func.blocks)
+    for orig, new in record.block_map.items():
+        assert len(orig.instrs) == len(new.instrs)
+    for param, new_param in zip(func.params, record.func.params):
+        assert record.vreg_map[param] is new_param
+        assert new_param.vtype is param.vtype
+
+
+def test_clone_is_independent():
+    program = compile_source(SMALL_CALL_SOURCE)
+    func = program.function("main")
+    record = clone_function(func)
+    before = format_function(func)
+    record.func.entry.instrs.pop()  # mutate the clone
+    assert format_function(func) == before
+
+
+def test_clone_program_runs_identically():
+    program = compile_source(SMALL_CALL_SOURCE)
+    cloned = clone_program(program)
+    original = run_program(program)
+    copy = run_program(cloned.program)
+    assert_same_globals(original.globals_state, copy.globals_state)
+
+
+def test_clone_block_references_rewritten():
+    program = compile_source(SMALL_CALL_SOURCE)
+    func = program.function("main")
+    record = clone_function(func)
+    original_blocks = set(func.blocks)
+    for block in record.func.blocks:
+        for succ in block.successors():
+            assert succ not in original_blocks

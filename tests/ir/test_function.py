@@ -1,0 +1,142 @@
+"""Unit tests for BasicBlock / Function / Program containers."""
+
+import pytest
+
+from repro.ir import (
+    FLOAT,
+    INT,
+    BinaryOpcode,
+    Function,
+    GlobalArray,
+    IRBuilder,
+    Program,
+    Ret,
+)
+
+
+def make_diamond():
+    """entry -> (then|else) -> join, returns (func, blocks)."""
+    func = Function("diamond", param_types=[INT], return_type=INT)
+    builder = IRBuilder(func)
+    entry = builder.start_block("entry")
+    then_b = builder.new_block("then")
+    else_b = builder.new_block("else")
+    join = builder.new_block("join")
+    zero = builder.const(0, INT)
+    cond = builder.binop(BinaryOpcode.GT, func.params[0], zero)
+    builder.branch(cond, then_b, else_b)
+    result = func.new_vreg(INT, "result")
+    builder.set_block(then_b)
+    one = builder.const(1, INT)
+    builder.copy_to(result, one)
+    builder.jump(join)
+    builder.set_block(else_b)
+    two = builder.const(2, INT)
+    builder.copy_to(result, two)
+    builder.jump(join)
+    builder.set_block(join)
+    builder.ret(result)
+    return func, (entry, then_b, else_b, join)
+
+
+class TestBasicBlock:
+    def test_append_past_terminator_fails(self):
+        func = Function("f", return_type=None)
+        builder = IRBuilder(func)
+        builder.start_block()
+        builder.ret()
+        with pytest.raises(ValueError, match="terminator"):
+            builder.ret()
+
+    def test_terminator_none_when_open(self):
+        func = Function("f")
+        block = func.new_block()
+        assert block.terminator is None
+        assert block.successors() == ()
+
+    def test_len_and_iter(self):
+        func = Function("f", return_type=None)
+        builder = IRBuilder(func)
+        block = builder.start_block()
+        builder.const(1, INT)
+        builder.ret()
+        assert len(block) == 2
+        assert [type(i).__name__ for i in block] == ["Const", "Ret"]
+
+
+class TestFunction:
+    def test_params_are_vregs_with_names(self):
+        func = Function(
+            "f", param_types=[INT, FLOAT], param_names=["a", "b"], return_type=INT
+        )
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert func.params[0].vtype is INT
+        assert func.params[1].vtype is FLOAT
+
+    def test_param_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Function("f", param_types=[INT], param_names=["a", "b"])
+
+    def test_new_vreg_ids_unique(self):
+        func = Function("f")
+        seen = {func.new_vreg(INT).id for _ in range(10)}
+        assert len(seen) == 10
+
+    def test_entry_requires_blocks(self):
+        func = Function("f")
+        with pytest.raises(ValueError):
+            _ = func.entry
+
+    def test_predecessors(self):
+        func, (entry, then_b, else_b, join) = make_diamond()
+        preds = func.predecessors()
+        assert preds[entry] == []
+        assert preds[then_b] == [entry]
+        assert preds[else_b] == [entry]
+        assert set(preds[join]) == {then_b, else_b}
+
+    def test_vregs_includes_params_and_locals(self):
+        func, _ = make_diamond()
+        regs = func.vregs()
+        assert func.params[0] in regs
+        assert len(regs) == len(set(regs))
+
+    def test_exit_blocks(self):
+        func, (_, _, _, join) = make_diamond()
+        assert func.exit_blocks() == [join]
+        assert isinstance(join.terminator, Ret)
+
+    def test_size_counts_instructions(self):
+        func, _ = make_diamond()
+        assert func.size() == sum(len(b) for b in func.blocks)
+
+
+class TestProgram:
+    def test_duplicate_function_rejected(self):
+        program = Program()
+        program.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            program.add_function(Function("f"))
+
+    def test_duplicate_global_rejected(self):
+        program = Program()
+        program.add_global(GlobalArray("g", INT, 4))
+        with pytest.raises(ValueError):
+            program.add_global(GlobalArray("g", INT, 4))
+
+    def test_function_lookup_error(self):
+        program = Program("prog")
+        with pytest.raises(KeyError, match="nope"):
+            program.function("nope")
+
+    def test_global_array_initial_values(self):
+        array = GlobalArray("g", FLOAT, 4, init=[1, 2])
+        assert array.initial_values() == [1.0, 2.0, 0.0, 0.0]
+        array_int = GlobalArray("h", INT, 3)
+        assert array_int.initial_values() == [0, 0, 0]
+
+    def test_global_array_validation(self):
+        with pytest.raises(ValueError):
+            GlobalArray("g", INT, 0)
+        with pytest.raises(ValueError):
+            GlobalArray("g", INT, 2, init=[1, 2, 3])

@@ -1,0 +1,174 @@
+"""Unit tests for the IR instruction classes: defs/uses/rewriting."""
+
+import pytest
+
+from repro.ir import (
+    FLOAT,
+    INT,
+    BinaryOpcode,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Copy,
+    Jump,
+    Load,
+    Ret,
+    Store,
+    UnaryOp,
+    UnaryOpcode,
+    VReg,
+)
+from repro.ir.function import BasicBlock
+
+
+def regs(n, vtype=INT):
+    return [VReg(i, vtype, f"r{i}") for i in range(n)]
+
+
+class TestDefsUses:
+    def test_const_defs_only(self):
+        (r,) = regs(1)
+        instr = Const(r, 42)
+        assert instr.defs() == (r,)
+        assert instr.uses() == ()
+        assert instr.value == 42
+
+    def test_const_coerces_to_bank_type(self):
+        r_int = VReg(0, INT)
+        r_float = VReg(1, FLOAT)
+        assert isinstance(Const(r_int, 3.7).value, int)
+        assert isinstance(Const(r_float, 3).value, float)
+
+    def test_binop(self):
+        a, b, c = regs(3)
+        instr = BinOp(BinaryOpcode.ADD, a, b, c)
+        assert instr.defs() == (a,)
+        assert instr.uses() == (b, c)
+
+    def test_unaryop(self):
+        a, b = regs(2)
+        instr = UnaryOp(UnaryOpcode.NEG, a, b)
+        assert instr.defs() == (a,)
+        assert instr.uses() == (b,)
+
+    def test_copy(self):
+        a, b = regs(2)
+        instr = Copy(a, b)
+        assert instr.defs() == (a,)
+        assert instr.uses() == (b,)
+
+    def test_copy_rejects_bank_mismatch(self):
+        a = VReg(0, INT)
+        b = VReg(1, FLOAT)
+        with pytest.raises(ValueError):
+            Copy(a, b)
+
+    def test_load_store(self):
+        d, i, v = regs(3)
+        load = Load(d, "arr", i)
+        assert load.defs() == (d,)
+        assert load.uses() == (i,)
+        store = Store("arr", i, v)
+        assert store.defs() == ()
+        assert set(store.uses()) == {i, v}
+
+    def test_call_with_and_without_dst(self):
+        d, a1, a2 = regs(3)
+        call = Call(d, "f", [a1, a2])
+        assert call.defs() == (d,)
+        assert call.uses() == (a1, a2)
+        void_call = Call(None, "g", [a1])
+        assert void_call.defs() == ()
+
+    def test_terminators(self):
+        (c,) = regs(1)
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        br = Branch(c, b1, b2)
+        assert br.is_terminator
+        assert br.successors() == (b1, b2)
+        jmp = Jump(b1)
+        assert jmp.is_terminator
+        assert jmp.successors() == (b1,)
+        ret = Ret(c)
+        assert ret.is_terminator
+        assert ret.successors() == ()
+        assert ret.uses() == (c,)
+        assert Ret().uses() == ()
+
+    def test_non_terminators(self):
+        a, b = regs(2)
+        assert not Copy(a, b).is_terminator
+        assert not Const(a, 1).is_terminator
+
+
+class TestRewriting:
+    def test_replace_uses_binop(self):
+        a, b, c, d = regs(4)
+        instr = BinOp(BinaryOpcode.MUL, a, b, c)
+        instr.replace_uses({b: d, c: d})
+        assert instr.uses() == (d, d)
+        assert instr.defs() == (a,)
+
+    def test_replace_defs_binop(self):
+        a, b, c, d = regs(4)
+        instr = BinOp(BinaryOpcode.MUL, a, b, c)
+        instr.replace_defs({a: d})
+        assert instr.defs() == (d,)
+
+    def test_replace_uses_is_per_slot(self):
+        a, b = regs(2)
+        instr = BinOp(BinaryOpcode.ADD, a, b, b)
+        instr.replace_uses({b: a})
+        assert instr.uses() == (a, a)
+
+    def test_replace_call_args(self):
+        d, a1, a2, n = regs(4)
+        call = Call(d, "f", [a1, a2])
+        call.replace_uses({a1: n})
+        assert call.uses() == (n, a2)
+        call.replace_defs({d: n})
+        assert call.defs() == (n,)
+
+    def test_replace_ret_value(self):
+        a, b = regs(2)
+        ret = Ret(a)
+        ret.replace_uses({a: b})
+        assert ret.uses() == (b,)
+
+    def test_replace_branch_cond(self):
+        a, b = regs(2)
+        br = Branch(a, BasicBlock("x"), BasicBlock("y"))
+        br.replace_uses({a: b})
+        assert br.uses() == (b,)
+
+    def test_replace_store_both_slots(self):
+        i, v, n = regs(3)
+        store = Store("arr", i, v)
+        store.replace_uses({i: n, v: n})
+        assert store.uses() == (n, n)
+
+    def test_mapping_miss_is_noop(self):
+        a, b, c = regs(3)
+        instr = Copy(a, b)
+        instr.replace_uses({c: a})
+        assert instr.uses() == (b,)
+
+
+class TestOpcodeProperties:
+    def test_comparisons_flagged(self):
+        comparisons = {
+            BinaryOpcode.EQ,
+            BinaryOpcode.NE,
+            BinaryOpcode.LT,
+            BinaryOpcode.LE,
+            BinaryOpcode.GT,
+            BinaryOpcode.GE,
+        }
+        for op in BinaryOpcode:
+            assert op.is_comparison == (op in comparisons)
+
+    def test_repr_contains_opcode(self):
+        a, b, c = regs(3)
+        assert "mul" in repr(BinOp(BinaryOpcode.MUL, a, b, c))
+        assert "copy" in repr(Copy(a, b))

@@ -1,0 +1,72 @@
+"""Unit tests for the IR printer."""
+
+from repro.ir import (
+    FLOAT,
+    INT,
+    BinaryOpcode,
+    Function,
+    GlobalArray,
+    IRBuilder,
+    Program,
+    format_block,
+    format_function,
+    format_global,
+    format_program,
+)
+
+
+def sample_function():
+    func = Function("sample", param_types=[INT], return_type=INT,
+                    param_names=["n"])
+    builder = IRBuilder(func)
+    builder.start_block("entry")
+    two = builder.const(2, INT)
+    result = builder.binop(BinaryOpcode.MUL, func.params[0], two, name="r")
+    builder.ret(result)
+    return func
+
+
+class TestFormatting:
+    def test_function_header(self):
+        text = format_function(sample_function())
+        assert text.startswith("func @sample(%i0:n) -> int {")
+        assert text.endswith("}")
+
+    def test_void_return_type(self):
+        func = Function("v", return_type=None)
+        IRBuilder(func).start_block()
+        func.entry.instrs.append(__import__("repro.ir", fromlist=["Ret"]).Ret())
+        assert "-> void" in format_function(func)
+
+    def test_block_lists_instructions(self):
+        func = sample_function()
+        text = format_block(func.entry)
+        assert text.splitlines()[0] == "entry0:"
+        assert "const 2" in text
+        assert "mul" in text
+        assert "ret" in text
+
+    def test_instructions_indented(self):
+        func = sample_function()
+        for line in format_block(func.entry).splitlines()[1:]:
+            assert line.startswith("    ")
+
+    def test_global_without_init(self):
+        assert format_global(GlobalArray("g", INT, 8)) == "global @g[8]:int"
+
+    def test_global_with_init(self):
+        text = format_global(GlobalArray("w", FLOAT, 4, init=[0.5, -1.0]))
+        assert text == "global @w[4]:float = {0.5, -1.0}"
+
+    def test_program_joins_sections(self):
+        program = Program("p")
+        program.add_global(GlobalArray("g", INT, 2))
+        program.add_function(sample_function())
+        text = format_program(program)
+        assert text.index("global @g") < text.index("func @sample")
+        assert "\n\n" in text
+
+    def test_named_registers_rendered(self):
+        text = format_function(sample_function())
+        assert "%i0:n" in text
+        assert ":r" in text

@@ -1,0 +1,179 @@
+"""Tests for the textual-IR parser (printer round trip)."""
+
+import pytest
+
+from repro.ir import format_program, verify_program
+from repro.ir.textparse import IRParseError, parse_ir
+from repro.lang import compile_source
+from repro.profile import run_program
+from repro.workloads import compile_workload, workload_names
+from tests.conftest import SMALL_CALL_SOURCE, assert_same_globals
+
+
+def roundtrip(program):
+    """Parse the printed form; check the printer/parser fixed point.
+
+    Register ids are renumbered to first-appearance order on parse, so
+    the original text is only reproduced exactly once normalized —
+    format(parse(text)) is the fixed point.
+    """
+    text = format_program(program)
+    reparsed = parse_ir(text)
+    normalized = format_program(reparsed)
+    assert format_program(parse_ir(normalized)) == normalized
+    return reparsed
+
+
+class TestRoundTrip:
+    def test_small_program(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        reparsed = roundtrip(program)
+        verify_program(reparsed)
+        before = run_program(program)
+        after = run_program(reparsed)
+        assert_same_globals(before.globals_state, after.globals_state)
+
+    @pytest.mark.parametrize("name", ["eqntott", "li", "tomcatv", "spice"])
+    def test_workloads_roundtrip(self, name):
+        compiled = compile_workload(name)
+        reparsed = roundtrip(compiled.program)
+        verify_program(reparsed)
+        result = run_program(reparsed)
+        assert_same_globals(
+            compiled.baseline.globals_state, result.globals_state
+        )
+
+    def test_global_initializers_preserved(self):
+        program = compile_source(
+            "float w[4] = {0.5, -1.5};\nint out[2];\nvoid main() { out[0] = 1; }"
+        )
+        reparsed = roundtrip(program)
+        assert reparsed.globals["w"].init == [0.5, -1.5]
+        assert reparsed.globals["out"].init is None
+
+    def test_parsed_programs_allocate(self):
+        from repro.machine import RegisterConfig, register_file
+        from repro.profile import run_allocated
+        from repro.regalloc import AllocatorOptions, allocate_program
+
+        program = compile_source(SMALL_CALL_SOURCE)
+        reparsed = parse_ir(format_program(program))
+        allocation = allocate_program(
+            reparsed,
+            register_file(RegisterConfig(4, 2, 1, 1)),
+            AllocatorOptions.improved_chaitin(),
+        )
+        mech = run_allocated(allocation)
+        base = run_program(program)
+        assert_same_globals(base.globals_state, mech.globals_state)
+
+
+class TestHandWrittenIR:
+    def test_minimal_function(self):
+        program = parse_ir(
+            """
+            func @double(%i0:x) -> int {
+            entry:
+                %i1 = const 2
+                %i2 = mul %i0:x, %i1
+                ret %i2
+            }
+            """
+        )
+        verify_program(program)
+        assert run_program(program, "double", [21]).return_value == 42
+
+    def test_branches_and_loops(self):
+        program = parse_ir(
+            """
+            func @countdown(%i0:n) -> int {
+            entry:
+                jmp head
+            head:
+                %i1 = const 0
+                %i2 = gt %i0:n, %i1
+                br %i2, body, exit
+            body:
+                %i3 = const 1
+                %i0:n = sub %i0:n, %i3
+                jmp head
+            exit:
+                ret %i0:n
+            }
+            """
+        )
+        assert run_program(program, "countdown", [5]).return_value == 0
+
+    def test_float_bank_and_conversions(self):
+        program = parse_ir(
+            """
+            func @half(%i0) -> float {
+            entry:
+                %f1 = i2f %i0
+                %f2 = const 0.5
+                %f3 = mul %f1, %f2
+                ret %f3
+            }
+            """
+        )
+        assert run_program(program, "half", [9]).return_value == 4.5
+
+    def test_globals_and_calls(self):
+        program = parse_ir(
+            """
+            global @g[4]:int = {7}
+
+            func @get(%i0) -> int {
+            entry:
+                %i1 = load @g[%i0]
+                ret %i1
+            }
+
+            func @main() -> void {
+            entry:
+                %i0 = const 0
+                %i1 = call @get(%i0)
+                %i2 = const 1
+                store @g[%i2] = %i1
+                ret
+            }
+            """
+        )
+        verify_program(program)
+        assert run_program(program).globals_state["g"] == [7, 7, 0, 0]
+
+
+class TestErrors:
+    def test_bad_parameter_register(self):
+        with pytest.raises(IRParseError, match="bad parameter"):
+            parse_ir("func @f(%x0) -> void {\nentry:\n    ret\n}")
+
+    def test_bad_operand_register(self):
+        with pytest.raises(IRParseError, match="bad register"):
+            parse_ir("func @f() -> void {\nentry:\n    %i0 = copy %q9\n    ret\n}")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRParseError, match="unknown opcode"):
+            parse_ir(
+                "func @f() -> void {\nentry:\n    %i0 = frobnicate %i1\n    ret\n}"
+            )
+
+    def test_unknown_branch_target(self):
+        with pytest.raises(IRParseError, match="unknown block"):
+            parse_ir("func @f() -> void {\nentry:\n    jmp nowhere\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(IRParseError, match="unterminated"):
+            parse_ir("func @f() -> void {\nentry:\n    ret")
+
+    def test_instruction_outside_function(self):
+        with pytest.raises(IRParseError, match="outside"):
+            parse_ir("%i0 = const 1")
+
+    def test_instruction_before_label(self):
+        with pytest.raises(IRParseError, match="before any block"):
+            parse_ir("func @f() -> void {\n    ret\n}")
+
+    def test_error_reports_line(self):
+        with pytest.raises(IRParseError, match="line 3"):
+            parse_ir("func @f() -> void {\nentry:\n    %i0 = wat %i1\n    ret\n}")

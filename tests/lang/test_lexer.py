@@ -1,0 +1,123 @@
+"""Unit tests for the mini-C lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int interest if iffy")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.KW_INT,
+            TokenKind.IDENT,
+            TokenKind.KW_IF,
+            TokenKind.IDENT,
+        ]
+
+    def test_all_keywords(self):
+        source = "int float void if else while for return break continue"
+        expected = [
+            TokenKind.KW_INT,
+            TokenKind.KW_FLOAT,
+            TokenKind.KW_VOID,
+            TokenKind.KW_IF,
+            TokenKind.KW_ELSE,
+            TokenKind.KW_WHILE,
+            TokenKind.KW_FOR,
+            TokenKind.KW_RETURN,
+            TokenKind.KW_BREAK,
+            TokenKind.KW_CONTINUE,
+        ]
+        assert kinds(source)[:-1] == expected
+
+    def test_identifiers_with_underscores_and_digits(self):
+        assert texts("_x x_1 x2y") == ["_x", "x_1", "x2y"]
+
+
+class TestNumbers:
+    def test_int_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT_LIT
+        assert token.text == "42"
+
+    def test_float_with_point(self):
+        token = tokenize("3.25")[0]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.text == "3.25"
+
+    def test_float_with_exponent(self):
+        for text in ("2e3", "2E3", "1.5e-3", "2e+4"):
+            token = tokenize(text)[0]
+            assert token.kind is TokenKind.FLOAT_LIT, text
+            assert token.text == text
+
+    def test_int_then_member_like_dot_not_float(self):
+        # "5." without a following digit is not a float literal.
+        with pytest.raises(LexError):
+            tokenize("5.")
+
+    def test_adjacent_number_and_ident(self):
+        tokens = tokenize("12abc")
+        assert tokens[0].kind is TokenKind.INT_LIT
+        assert tokens[1].kind is TokenKind.IDENT
+
+
+class TestOperators:
+    def test_two_char_operators_win(self):
+        source = "== != <= >= && ||"
+        expected = [
+            TokenKind.EQ,
+            TokenKind.NE,
+            TokenKind.LE,
+            TokenKind.GE,
+            TokenKind.AND_AND,
+            TokenKind.OR_OR,
+        ]
+        assert kinds(source)[:-1] == expected
+
+    def test_one_char_operators(self):
+        source = "+ - * / % ! < > = ( ) { } [ ] , ;"
+        assert len(kinds(source)) == 18  # 17 tokens + EOF
+
+    def test_lt_followed_by_eq_separately(self):
+        assert kinds("< =")[:-1] == [TokenKind.LT, TokenKind.ASSIGN]
+
+
+class TestTrivia:
+    def test_line_comments_skipped(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("a /* never ends")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("a $ b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError, match="2:"):
+            tokenize("ok\n@")

@@ -1,0 +1,195 @@
+"""Lowering tests: execute lowered programs and check their semantics.
+
+Rather than asserting exact instruction sequences, these tests run the
+lowered IR through the interpreter and compare against the values the
+mini-C semantics prescribe — the most robust way to pin down the
+lowering of each construct.
+"""
+
+import pytest
+
+from repro.ir import verify_program
+from repro.lang import compile_source
+from repro.profile import run_program
+
+
+def run_main(body: str, prelude: str = "int out[8];") -> list:
+    source = f"{prelude}\nvoid main() {{ {body} }}"
+    program = compile_source(source)
+    verify_program(program)
+    return run_program(program).globals_state["out"]
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        out = run_main("out[0] = 7 + 3 * 4 - 10 / 3;")
+        assert out[0] == 7 + 12 - 3
+
+    def test_c_division_semantics(self):
+        out = run_main(
+            "out[0] = -7 / 2; out[1] = -7 % 2; out[2] = 7 % -2; out[3] = 7 / -2;"
+        )
+        assert out[:4] == [-3, -1, 1, -3]  # trunc toward zero, C99
+
+    def test_comparisons(self):
+        out = run_main(
+            "out[0] = 1 < 2; out[1] = 2 <= 1; out[2] = 3 == 3; out[3] = 3 != 3;"
+        )
+        assert out[:4] == [1, 0, 1, 0]
+
+    def test_logical_normalize(self):
+        # && / || normalize arbitrary non-zero values to 0/1.
+        out = run_main("out[0] = 5 && 7; out[1] = 0 || 9; out[2] = 0 && 3;")
+        assert out[:3] == [1, 1, 0]
+
+    def test_not(self):
+        out = run_main("out[0] = !0; out[1] = !17;")
+        assert out[:2] == [1, 0]
+
+    def test_unary_minus(self):
+        out = run_main("int x = 5; out[0] = -x; out[1] = --x;")
+        assert out[:2] == [-5, 5]
+
+    def test_conversions(self):
+        out = run_main("out[0] = ftoi(2.75); out[1] = ftoi(itof(9) * 0.5);")
+        assert out[:2] == [2, 4]
+
+    def test_float_arithmetic(self):
+        source = """
+        float fout[2];
+        void main() { fout[0] = (1.5 + 2.5) * 0.25; fout[1] = 10.0 / 4.0; }
+        """
+        program = compile_source(source)
+        state = run_program(program).globals_state
+        assert state["fout"] == [1.0, 2.5]
+
+
+class TestStatements:
+    def test_decl_without_init_is_zero(self):
+        out = run_main("int x; out[0] = x; out[1] = 3;")
+        assert out[:2] == [0, 3]
+
+    def test_if_else(self):
+        out = run_main("if (1 > 2) { out[0] = 1; } else { out[0] = 2; }")
+        assert out[0] == 2
+
+    def test_if_without_else(self):
+        out = run_main("out[0] = 9; if (0) { out[0] = 1; }")
+        assert out[0] == 9
+
+    def test_while_loop(self):
+        out = run_main("int i = 0; int s = 0; while (i < 5) { s = s + i; i = i + 1; } out[0] = s;")
+        assert out[0] == 10
+
+    def test_for_loop(self):
+        out = run_main("int s = 0; for (int i = 1; i <= 4; i = i + 1) { s = s * 10 + i; } out[0] = s;")
+        assert out[0] == 1234
+
+    def test_break(self):
+        out = run_main(
+            "int i = 0; while (1) { if (i == 3) { break; } i = i + 1; } out[0] = i;"
+        )
+        assert out[0] == 3
+
+    def test_continue_in_for_runs_step(self):
+        out = run_main(
+            "int s = 0; for (int i = 0; i < 6; i = i + 1) {"
+            " if (i % 2 == 0) { continue; } s = s + i; } out[0] = s;"
+        )
+        assert out[0] == 1 + 3 + 5
+
+    def test_continue_in_while(self):
+        out = run_main(
+            "int i = 0; int s = 0; while (i < 5) { i = i + 1;"
+            " if (i == 2) { continue; } s = s + i; } out[0] = s;"
+        )
+        assert out[0] == 1 + 3 + 4 + 5
+
+    def test_nested_loops(self):
+        out = run_main(
+            "int s = 0; for (int i = 0; i < 3; i = i + 1) {"
+            " for (int j = 0; j < 3; j = j + 1) { s = s + i * j; } } out[0] = s;"
+        )
+        assert out[0] == sum(i * j for i in range(3) for j in range(3))
+
+    def test_early_return_skips_rest(self):
+        source = """
+        int out[2];
+        int f(int x) { if (x > 0) { return 1; } return 2; }
+        void main() { out[0] = f(5); out[1] = f(-5); }
+        """
+        program = compile_source(source)
+        assert run_program(program).globals_state["out"] == [1, 2]
+
+    def test_implicit_return_zero(self):
+        source = """
+        int out[1];
+        int f(int x) { if (x > 0) { return 7; } }
+        void main() { out[0] = f(-1); }
+        """
+        program = compile_source(source)
+        verify_program(program)
+        assert run_program(program).globals_state["out"] == [0]
+
+    def test_unreachable_code_after_return_dropped(self):
+        source = """
+        int f() { return 1; }
+        void main() { int x = f(); }
+        """
+        program = compile_source(source)
+        verify_program(program)
+
+
+class TestCallsAndGlobals:
+    def test_recursion(self):
+        source = """
+        int out[1];
+        int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        void main() { out[0] = fact(6); }
+        """
+        program = compile_source(source)
+        assert run_program(program).globals_state["out"] == [720]
+
+    def test_mutual_recursion(self):
+        source = """
+        int out[2];
+        int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        void main() { out[0] = is_even(10); out[1] = is_odd(7); }
+        """
+        program = compile_source(source)
+        assert run_program(program).globals_state["out"] == [1, 1]
+
+    def test_global_initializers(self):
+        source = """
+        int g[4] = {5, 6};
+        int out[4];
+        void main() { out[0] = g[0]; out[1] = g[1]; out[2] = g[2]; }
+        """
+        program = compile_source(source)
+        assert run_program(program).globals_state["out"][:3] == [5, 6, 0]
+
+    def test_argument_evaluation_order(self):
+        source = """
+        int out[1];
+        int trace[4];
+        int counter[1];
+        int tick(int v) { trace[counter[0]] = v; counter[0] = counter[0] + 1; return v; }
+        int pair(int a, int b) { return a * 10 + b; }
+        void main() { out[0] = pair(tick(1), tick(2)); }
+        """
+        program = compile_source(source)
+        state = run_program(program).globals_state
+        assert state["out"] == [12]
+        assert state["trace"][:2] == [1, 2]  # left to right
+
+    def test_profile_counts_match_execution(self):
+        source = """
+        int out[1];
+        int id(int x) { return x; }
+        void main() { for (int i = 0; i < 7; i = i + 1) { out[0] = id(i); } }
+        """
+        program = compile_source(source)
+        result = run_program(program)
+        assert result.profile.entries("id") == 7
+        assert result.profile.entries("main") == 1

@@ -1,0 +1,179 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.ir import FLOAT, INT
+from repro.lang import ParseError, parse
+from repro.lang import ast
+
+
+def parse_stmts(body: str):
+    unit = parse("void main() { %s }" % body)
+    return unit.functions[0].body.statements
+
+
+def parse_expr(expr: str):
+    stmts = parse_stmts(f"int x = {expr};")
+    return stmts[0].init
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        unit = parse(
+            """
+            int g[8];
+            float h[4] = {1.5, -2.0, 3};
+            int f(int a) { return a; }
+            void main() { }
+            """
+        )
+        assert [g.name for g in unit.globals] == ["g", "h"]
+        assert unit.globals[0].elem_type is INT
+        assert unit.globals[1].init == [1.5, -2.0, 3]
+        assert [f.name for f in unit.functions] == ["f", "main"]
+        assert unit.functions[0].return_type is INT
+        assert unit.functions[1].return_type is None
+
+    def test_params(self):
+        unit = parse("int f(int a, float b) { return a; }")
+        params = unit.functions[0].params
+        assert [(p.name, p.param_type) for p in params] == [("a", INT), ("b", FLOAT)]
+
+    def test_global_without_initializer(self):
+        unit = parse("float g[16];")
+        assert unit.globals[0].init is None
+        assert unit.globals[0].size == 16
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError, match="declaration"):
+            parse("return 2;")
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        (stmt,) = parse_stmts("int x = 5;")
+        assert isinstance(stmt, ast.DeclStmt)
+        assert stmt.name == "x"
+        assert isinstance(stmt.init, ast.IntLit)
+
+    def test_assignment(self):
+        stmts = parse_stmts("int x = 1; x = 2;")
+        assert isinstance(stmts[1], ast.AssignStmt)
+
+    def test_array_assignment(self):
+        unit = parse("int g[4]; void main() { g[2] = 7; }")
+        stmt = unit.functions[0].body.statements[0]
+        assert isinstance(stmt, ast.ArrayAssignStmt)
+        assert stmt.array == "g"
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse_stmts("1 + 2 = 3;")
+
+    def test_if_else_chain(self):
+        (stmt,) = parse_stmts(
+            "if (1) { } else if (2) { } else { }"
+        )
+        assert isinstance(stmt, ast.IfStmt)
+        nested = stmt.else_body.statements[0]
+        assert isinstance(nested, ast.IfStmt)
+        assert nested.else_body is not None
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while (1) { break; continue; }")
+        assert isinstance(stmt, ast.WhileStmt)
+        body = stmt.body.statements
+        assert isinstance(body[0], ast.BreakStmt)
+        assert isinstance(body[1], ast.ContinueStmt)
+
+    def test_for_full(self):
+        (stmt,) = parse_stmts("for (int i = 0; i < 4; i = i + 1) { }")
+        assert isinstance(stmt, ast.ForStmt)
+        assert isinstance(stmt.init, ast.DeclStmt)
+        assert isinstance(stmt.cond, ast.BinaryExpr)
+        assert isinstance(stmt.step, ast.AssignStmt)
+
+    def test_for_empty_clauses(self):
+        (stmt,) = parse_stmts("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_return_forms(self):
+        stmts = parse_stmts("return;")
+        assert stmts[0].value is None
+        unit = parse("int f() { return 3; }")
+        assert isinstance(unit.functions[0].body.statements[0].value, ast.IntLit)
+
+    def test_nested_block(self):
+        (stmt,) = parse_stmts("{ int y = 1; }")
+        assert isinstance(stmt, ast.Block)
+
+    def test_expression_statement(self):
+        unit = parse("void f() { } void main() { f(); }")
+        stmt = unit.functions[1].body.statements[0]
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.CallExpr)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_precedence_compare_over_and(self):
+        expr = parse_expr("1 < 2 && 3 > 4")
+        assert expr.op == "&&"
+        assert expr.lhs.op == "<"
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("1 || 2 && 3")
+        assert expr.op == "||"
+        assert expr.rhs.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.lhs.op == "-"
+        assert expr.rhs.value == 3
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.lhs.op == "+"
+
+    def test_unary_chain(self):
+        expr = parse_expr("--5")
+        assert isinstance(expr, ast.UnaryExpr)
+        assert isinstance(expr.operand, ast.UnaryExpr)
+
+    def test_not_operator(self):
+        expr = parse_expr("!0")
+        assert expr.op == "!"
+
+    def test_call_with_args(self):
+        unit = parse("int f(int a, int b) { return a; } void main() { int x = f(1, 2 + 3); }")
+        call = unit.functions[1].body.statements[0].init
+        assert isinstance(call, ast.CallExpr)
+        assert len(call.args) == 2
+
+    def test_array_reference(self):
+        unit = parse("int g[4]; void main() { int x = g[1 + 2]; }")
+        ref = unit.functions[0].body.statements[0].init
+        assert isinstance(ref, ast.ArrayRef)
+
+    def test_float_literal(self):
+        expr = parse_stmts("float y = 2.5;")[0].init
+        assert isinstance(expr, ast.FloatLit)
+        assert expr.value == 2.5
+
+    def test_missing_expression(self):
+        with pytest.raises(ParseError, match="expected expression"):
+            parse_stmts("int x = ;")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_stmts("int x = (1 + 2;")
+
+    def test_negative_global_initializer(self):
+        unit = parse("float g[2] = {-1.5, -2};")
+        assert unit.globals[0].init == [-1.5, -2]

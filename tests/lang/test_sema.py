@@ -1,0 +1,174 @@
+"""Unit tests for semantic analysis."""
+
+import pytest
+
+from repro.lang import SemanticError, analyze, parse
+
+
+def check(source: str):
+    unit = parse(source)
+    return analyze(unit)
+
+
+def check_body(body: str, prelude: str = ""):
+    return check(f"{prelude}\nvoid main() {{ {body} }}")
+
+
+class TestScoping:
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError, match="unknown variable"):
+            check_body("int x = y;")
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check_body("x = 1;")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check_body("int x = 1; int x = 2;")
+
+    def test_shadowing_in_nested_block_allowed(self):
+        check_body("int x = 1; { int x = 2; x = 3; } x = 4;")
+
+    def test_for_init_scoped_to_loop(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check_body("for (int i = 0; i < 3; i = i + 1) { } i = 5;")
+
+    def test_block_scope_does_not_leak(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check_body("{ int y = 1; } y = 2;")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError, match="redeclaration of function"):
+            check("void f() { } void f() { } void main() { }")
+
+    def test_builtin_name_collision(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check("int itof(int x) { return x; } void main() { }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError, match="redeclaration of global"):
+            check("int g[4]; int g[4]; void main() { }")
+
+
+class TestTypes:
+    def test_mixed_arithmetic_rejected(self):
+        with pytest.raises(SemanticError, match="itof/ftoi"):
+            check_body("float f = 1.0 + 1;")
+
+    def test_explicit_conversion_accepted(self):
+        check_body("float f = 1.0 + itof(1); int i = ftoi(f) + 2;")
+
+    def test_mod_requires_ints(self):
+        with pytest.raises(SemanticError, match="'%'"):
+            check_body("float f = 1.5 % 2.0;")
+
+    def test_logical_requires_ints(self):
+        with pytest.raises(SemanticError, match="'&&'"):
+            check_body("int x = 1.5 && 2.5;")
+
+    def test_not_requires_int(self):
+        with pytest.raises(SemanticError, match="'!'"):
+            check_body("int x = !1.5;")
+
+    def test_comparison_yields_int(self):
+        check_body("int x = 1.5 < 2.5;")
+        with pytest.raises(SemanticError):
+            check_body("float f = 1.5 < 2.5;")
+
+    def test_condition_must_be_int(self):
+        with pytest.raises(SemanticError, match="condition"):
+            check_body("if (1.5) { }")
+        with pytest.raises(SemanticError, match="condition"):
+            check_body("while (2.5) { }")
+
+    def test_decl_init_type(self):
+        with pytest.raises(SemanticError, match="initializing"):
+            check_body("int x = 1.5;")
+
+    def test_assignment_type(self):
+        with pytest.raises(SemanticError, match="assigning"):
+            check_body("float f = 1.0; f = 3;")
+
+    def test_unary_minus_keeps_type(self):
+        check_body("float f = -1.5; int i = -3;")
+
+
+class TestArrays:
+    def test_unknown_array(self):
+        with pytest.raises(SemanticError, match="unknown array"):
+            check_body("int x = ghost[0];")
+
+    def test_index_must_be_int(self):
+        with pytest.raises(SemanticError, match="index"):
+            check_body("int x = g[1.5];", prelude="int g[4];")
+
+    def test_store_element_type(self):
+        with pytest.raises(SemanticError, match="storing"):
+            check_body("g[0] = 1.5;", prelude="int g[4];")
+
+    def test_element_type_flows(self):
+        check_body("float f = g[0] * 2.0;", prelude="float g[4];")
+
+
+class TestCallsAndReturns:
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="unknown function"):
+            check_body("int x = ghost(1);")
+
+    def test_arity(self):
+        with pytest.raises(SemanticError, match="expects 2 arguments"):
+            check("int f(int a, int b) { return a; } void main() { int x = f(1); }")
+
+    def test_argument_types(self):
+        with pytest.raises(SemanticError, match="argument of type"):
+            check("int f(float a) { return 1; } void main() { int x = f(2); }")
+
+    def test_void_function_as_value(self):
+        with pytest.raises(SemanticError, match="used as a value"):
+            check("void f() { } void main() { int x = f(); }")
+
+    def test_void_call_as_statement_ok(self):
+        check("void f() { } void main() { f(); }")
+
+    def test_forward_calls_allowed(self):
+        check("void main() { later(); } void later() { }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(SemanticError, match="returns a value"):
+            check("void f() { return 1; } void main() { }")
+
+    def test_return_nothing_from_nonvoid(self):
+        with pytest.raises(SemanticError, match="returns nothing"):
+            check("int f() { return; } void main() { }")
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(SemanticError, match="returning"):
+            check("int f() { return 1.5; } void main() { }")
+
+    def test_builtin_arity_and_types(self):
+        with pytest.raises(SemanticError, match="exactly one"):
+            check_body("float f = itof(1, 2);")
+        with pytest.raises(SemanticError, match="requires"):
+            check_body("float f = itof(1.5);")
+
+
+class TestControlPlacement:
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break outside"):
+            check_body("break;")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError, match="continue outside"):
+            check_body("continue;")
+
+    def test_break_in_if_inside_loop_ok(self):
+        check_body("while (1) { if (1) { break; } }")
+
+    def test_annotations_attached(self):
+        unit = parse("void main() { int x = 3; x = x + 1; }")
+        analyze(unit)
+        decl, assign = unit.functions[0].body.statements
+        assert decl.symbol.name == "x"
+        assert assign.symbol is decl.symbol
+        assert assign.value.vtype is not None

@@ -1,0 +1,92 @@
+"""Unit tests for the machine model (register file and sweep)."""
+
+import pytest
+
+from repro.ir import FLOAT, INT
+from repro.machine import (
+    FULL_CONFIG,
+    MIN_CONFIG,
+    RegisterConfig,
+    RegisterFile,
+    RegisterKind,
+    full_register_file,
+    mips_sweep,
+    register_file,
+)
+
+
+class TestRegisterConfig:
+    def test_counts_per_bank(self):
+        config = RegisterConfig(6, 4, 2, 1)
+        assert config.counts(INT) == (6, 2)
+        assert config.counts(FLOAT) == (4, 1)
+        assert config.total == 13
+
+    def test_str_matches_paper_notation(self):
+        assert str(RegisterConfig(6, 4, 0, 0)) == "(6,4,0,0)"
+
+
+class TestRegisterFile:
+    def test_bank_sizes(self):
+        rf = RegisterFile(RegisterConfig(5, 3, 2, 1))
+        assert len(rf.bank(INT).caller) == 5
+        assert len(rf.bank(INT).callee) == 2
+        assert len(rf.bank(FLOAT).caller) == 3
+        assert len(rf.bank(FLOAT).callee) == 1
+        assert rf.bank(INT).num_regs == 7
+
+    def test_register_kinds_and_names(self):
+        rf = RegisterFile(RegisterConfig(2, 2, 2, 2))
+        int_bank = rf.bank(INT)
+        assert all(p.is_caller_save for p in int_bank.caller)
+        assert all(p.is_callee_save for p in int_bank.callee)
+        names = {p.name for p in rf.all_registers()}
+        assert len(names) == 8  # all distinct
+
+    def test_of_kind(self):
+        rf = RegisterFile(RegisterConfig(2, 1, 3, 1))
+        bank = rf.bank(INT)
+        assert bank.of_kind(RegisterKind.CALLER_SAVE) == bank.caller
+        assert bank.of_kind(RegisterKind.CALLEE_SAVE) == bank.callee
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            RegisterFile(RegisterConfig(-1, 2, 2, 2))
+
+    def test_rejects_empty_banks(self):
+        with pytest.raises(ValueError):
+            RegisterFile(RegisterConfig(0, 4, 0, 2))
+        with pytest.raises(ValueError):
+            RegisterFile(RegisterConfig(4, 0, 2, 0))
+
+    def test_registers_hashable_and_stable(self):
+        a = RegisterFile(RegisterConfig(3, 2, 1, 1))
+        b = RegisterFile(RegisterConfig(3, 2, 1, 1))
+        assert set(a.all_registers()) == set(b.all_registers())
+
+
+class TestSweep:
+    def test_sweep_bounds(self):
+        sweep = mips_sweep()
+        assert sweep[0] == MIN_CONFIG
+        assert sweep[-1] == FULL_CONFIG
+
+    def test_sweep_monotone_nondecreasing(self):
+        sweep = mips_sweep()
+        for earlier, later in zip(sweep, sweep[1:]):
+            for a, b in zip(earlier, later):
+                assert b >= a
+
+    def test_sweep_strictly_grows_total(self):
+        sweep = mips_sweep()
+        totals = [c.total for c in sweep]
+        assert totals == sorted(set(totals))
+
+    def test_sweep_all_valid_register_files(self):
+        for config in mips_sweep():
+            register_file(config)  # must not raise
+
+    def test_full_register_file_totals(self):
+        rf = full_register_file()
+        assert rf.bank(INT).num_regs == 26
+        assert rf.bank(FLOAT).num_regs == 16

@@ -1,0 +1,233 @@
+"""Unit tests for the IR optimization passes."""
+
+import pytest
+
+from repro.ir import Branch, Const, Copy, Jump, verify_program
+from repro.lang import compile_source
+from repro.opt import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_function,
+    optimize_program,
+    propagate_copies,
+    simplify_cfg,
+)
+from repro.profile import run_program
+from tests.conftest import assert_same_globals
+
+
+def compile_main(body: str, prelude: str = "int out[8];"):
+    program = compile_source(f"{prelude}\nvoid main() {{ {body} }}")
+    return program, program.function("main")
+
+
+def run_equiv(source: str, optimizer) -> None:
+    """Optimize and assert observable behaviour is unchanged."""
+    program = compile_source(source)
+    before = run_program(program)
+    for func in program.functions.values():
+        optimizer(func)
+    verify_program(program)
+    after = run_program(program)
+    assert_same_globals(before.globals_state, after.globals_state)
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic_chain(self):
+        program, func = compile_main("out[0] = 2 + 3 * 4;")
+        changed = fold_constants(func)
+        assert changed >= 2
+        consts = [i.value for i in func.instructions() if isinstance(i, Const)]
+        assert 14 in consts
+
+    def test_folds_comparisons_and_logic(self):
+        program, func = compile_main("out[0] = (2 < 3) && (4 != 4);")
+        fold_constants(func)
+        consts = [i.value for i in func.instructions() if isinstance(i, Const)]
+        assert 0 in consts
+
+    def test_preserves_division_by_zero(self):
+        program, func = compile_main("int z = 0; out[0] = 7 / (z * 1);")
+        optimize_function(func)
+        # The faulting division must survive (DCE keeps it, folding
+        # refuses it): running still raises.
+        from repro.profile import InterpreterError
+
+        with pytest.raises(InterpreterError):
+            run_program(program)
+
+    def test_algebraic_identities(self):
+        program, func = compile_main(
+            "int x = out[0]; out[1] = x + 0; out[2] = x * 1; out[3] = x * 0;"
+        )
+        changed = fold_constants(func)
+        assert changed >= 3
+
+    def test_float_mul_zero_not_folded(self):
+        # -0.0 / NaN semantics: x * 0.0 must stay.
+        source = "float f[2];\nvoid main() { float x = f[0]; f[1] = x * 0.0; }"
+        program = compile_source(source)
+        func = program.function("main")
+        before = func.size()
+        fold_constants(func)
+        assert func.size() == before
+
+    def test_semantics_preserved(self):
+        run_equiv(
+            """
+            int out[4];
+            void main() {
+                int a = 6 * 7;
+                out[0] = a + 2 - 2;
+                out[1] = a % 5;
+                out[2] = -(3 - 8);
+            }
+            """,
+            fold_constants,
+        )
+
+
+class TestCopyPropagation:
+    def test_straightline_chain(self):
+        program, func = compile_main(
+            "int a = out[0]; int b = a; int c = b; out[1] = c;"
+        )
+        changed = propagate_copies(func)
+        assert changed >= 1
+
+    def test_redefinition_blocks_propagation(self):
+        run_equiv(
+            """
+            int out[3];
+            void main() {
+                int a = 5;
+                int b = a;
+                a = 9;
+                out[0] = b;
+                out[1] = a;
+            }
+            """,
+            propagate_copies,
+        )
+
+    def test_source_redefinition_kills_mapping(self):
+        program, func = compile_main(
+            "int a = 1; int b = a; a = 2; out[0] = b + a;"
+        )
+        before = run_program(compile_source(
+            "int out[8];\nvoid main() { int a = 1; int b = a; a = 2; out[0] = b + a; }"
+        ))
+        propagate_copies(func)
+        after = run_program(program)
+        assert before.globals_state == after.globals_state
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused_results(self):
+        program, func = compile_main("int dead = 3 * 3; out[0] = 1;")
+        removed = eliminate_dead_code(func)
+        assert removed >= 1
+
+    def test_keeps_stores_and_calls(self):
+        source = """
+        int g[2];
+        int bump() { g[0] = g[0] + 1; return 0; }
+        void main() { int unused = bump(); g[1] = 5; }
+        """
+        program = compile_source(source)
+        func = program.function("main")
+        eliminate_dead_code(func)
+        result = run_program(program)
+        assert result.globals_state["g"] == [1, 5]
+
+    def test_cascading_death(self):
+        # b depends on a; both die together across iterations.
+        program, func = compile_main("int a = out[0] + 1; int b = a * 2; out[1] = 7;")
+        size_before = func.size()
+        removed = eliminate_dead_code(func)
+        assert removed >= 3  # a chain of consts/ops/copies
+        assert func.size() < size_before
+
+    def test_loop_carried_values_kept(self):
+        run_equiv(
+            """
+            int out[1];
+            void main() {
+                int acc = 0;
+                for (int i = 0; i < 5; i = i + 1) { acc = acc + i; }
+                out[0] = acc;
+            }
+            """,
+            eliminate_dead_code,
+        )
+
+
+class TestSimplifyCFG:
+    def test_constant_branch_becomes_jump(self):
+        program, func = compile_main("if (1) { out[0] = 5; } else { out[0] = 9; }")
+        changed = simplify_cfg(func)
+        assert changed > 0
+        assert not any(
+            isinstance(b.terminator, Branch) for b in func.blocks
+        )
+        assert run_program(program).globals_state["out"][0] == 5
+
+    def test_jump_threading(self):
+        # while-lowering produces a jump to a header; after constant
+        # folding a trivial chain appears and is threaded.
+        program, func = compile_main("out[0] = 3; { } { } out[1] = 4;")
+        simplify_cfg(func)
+        assert run_program(program).globals_state["out"][:2] == [3, 4]
+
+    def test_block_merging_reduces_blocks(self):
+        program, func = compile_main(
+            "if (out[0] > 0) { out[1] = 1; } out[2] = 2;"
+        )
+        blocks_before = len(func.blocks)
+        simplify_cfg(func)
+        assert len(func.blocks) <= blocks_before
+
+    def test_entry_never_merged_away(self):
+        program, func = compile_main("out[0] = 1;")
+        simplify_cfg(func)
+        assert func.blocks[0] is func.entry
+
+
+class TestPipeline:
+    def test_fixed_point_and_verification(self):
+        source = """
+        int out[2];
+        int helper(int x) { return x * 1 + 0; }
+        void main() {
+            int a = 2 + 3;
+            int b = a;
+            if (b > 100) { out[0] = helper(1); } else { out[0] = helper(b); }
+            int dead = a * b;
+        }
+        """
+        program = compile_source(source)
+        before = run_program(program)
+        total = optimize_program(program, verify=True)
+        assert total > 0
+        after = run_program(program)
+        assert_same_globals(before.globals_state, after.globals_state)
+        # Second run finds nothing new.
+        assert optimize_program(program) == 0
+
+    def test_shrinks_dynamic_instruction_count(self):
+        source = """
+        int out[1];
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 50; i = i + 1) {
+                int k = 4 * 1;
+                s = s + i * k + 0;
+            }
+            out[0] = s;
+        }
+        """
+        program = compile_source(source)
+        before = run_program(program).instructions_executed
+        optimize_program(program)
+        after = run_program(program).instructions_executed
+        assert after < before

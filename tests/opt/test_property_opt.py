@@ -1,0 +1,70 @@
+"""Property tests: the optimizer never changes observable behaviour,
+and optimized programs still allocate and execute correctly."""
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.ir import verify_program
+from repro.machine import RegisterConfig, register_file
+from repro.opt import optimize_program
+from repro.profile import InterpreterError, run_allocated, run_program
+
+
+def run_bounded(program, fuel=3_000_000):
+    """Skip (rather than fail on) over-budget generated programs."""
+    try:
+        return run_program(program, fuel=fuel)
+    except InterpreterError as error:
+        assume("fuel" not in str(error))
+        raise
+from repro.regalloc import AllocatorOptions, allocate_program
+from repro.workloads.generator import random_program
+from tests.conftest import assert_same_globals
+
+RELAXED = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@RELAXED
+def test_optimizer_preserves_semantics(seed):
+    program = random_program(seed)
+    before = run_bounded(program)
+    optimize_program(program, verify=True)
+    verify_program(program)
+    after = run_program(program, fuel=3_000_000)
+    assert_same_globals(before.globals_state, after.globals_state)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@RELAXED
+def test_optimizer_never_grows_dynamic_count(seed):
+    program = random_program(seed)
+    before = run_bounded(program).instructions_executed
+    optimize_program(program)
+    after = run_program(program, fuel=3_000_000).instructions_executed
+    assert after <= before
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@RELAXED
+def test_optimized_programs_allocate_correctly(seed):
+    program = random_program(seed)
+    optimize_program(program)
+    base = run_bounded(program)
+    allocation = allocate_program(
+        program,
+        register_file(RegisterConfig(4, 3, 1, 1)),
+        AllocatorOptions.improved_chaitin(),
+    )
+    mech = run_allocated(allocation, fuel=30_000_000)
+    assert_same_globals(base.globals_state, mech.globals_state)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@RELAXED
+def test_optimizer_idempotent(seed):
+    program = random_program(seed)
+    optimize_program(program)
+    assert optimize_program(program) == 0

@@ -1,0 +1,113 @@
+"""Edge cases for CFG simplification (regression net for the merger)."""
+
+from repro.ir import Branch, Jump, verify_program
+from repro.lang import compile_source
+from repro.opt import simplify_cfg
+from repro.profile import run_program
+from tests.conftest import assert_same_globals
+
+
+def check(source: str):
+    program = compile_source(source)
+    before = run_program(program)
+    for func in program.functions.values():
+        simplify_cfg(func)
+    verify_program(program)
+    after = run_program(program)
+    assert_same_globals(before.globals_state, after.globals_state)
+    return program
+
+
+class TestMergerEdges:
+    def test_chain_of_merges(self):
+        # Sequential blocks created by nested empty scopes merge into
+        # one without dangling references (regression: a merged-away
+        # block used to be reprocessed).
+        program = check(
+            """
+            int out[2];
+            void main() {
+                out[0] = 1;
+                { { { out[1] = 2; } } }
+                int tail = out[0] + out[1];
+                out[0] = tail;
+            }
+            """
+        )
+        func = program.function("main")
+        assert len(func.blocks) == 1
+
+    def test_loop_back_edge_not_merged(self):
+        program = check(
+            """
+            int out[1];
+            void main() {
+                int s = 0;
+                for (int i = 0; i < 5; i = i + 1) { s = s + i; }
+                out[0] = s;
+            }
+            """
+        )
+        func = program.function("main")
+        # The loop structure must survive (header has two predecessors).
+        assert len(func.blocks) >= 3
+
+    def test_self_loop_resists_threading(self):
+        # while(1){} shaped cycles must not send the jump threader into
+        # an infinite chase.
+        program = compile_source(
+            """
+            int out[1];
+            void main() {
+                int i = 0;
+                while (i < 3) {
+                    i = i + 1;
+                }
+                out[0] = i;
+            }
+            """
+        )
+        for func in program.functions.values():
+            simplify_cfg(func)
+        verify_program(program)
+        assert run_program(program).globals_state["out"] == [3]
+
+    def test_both_branch_arms_same_target_collapses(self):
+        program = check(
+            """
+            int out[1];
+            void main() {
+                if (out[0] > 0) { } else { }
+                out[0] = 7;
+            }
+            """
+        )
+        func = program.function("main")
+        assert not any(isinstance(b.terminator, Branch) for b in func.blocks)
+
+    def test_constant_false_branch(self):
+        program = check(
+            """
+            int out[1];
+            void main() {
+                out[0] = 1;
+                if (0) { out[0] = 99; }
+            }
+            """
+        )
+        assert run_program(program).globals_state["out"] == [1]
+
+    def test_dead_then_branch_removed(self):
+        program = check(
+            """
+            int out[1];
+            void main() {
+                if (1) { out[0] = 5; } else { out[0] = 6; }
+            }
+            """
+        )
+        func = program.function("main")
+        # The untaken arm is unreachable and dropped.
+        assert all(
+            not isinstance(b.terminator, Branch) for b in func.blocks
+        )

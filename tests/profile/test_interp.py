@@ -1,0 +1,146 @@
+"""Unit tests for the IR interpreter (profiling oracle)."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.profile import InterpreterError, run_program
+
+
+def run_body(body: str, prelude: str = "int out[8];"):
+    program = compile_source(f"{prelude}\nvoid main() {{ {body} }}")
+    return run_program(program)
+
+
+class TestArithmetic:
+    def test_c_division_toward_zero(self):
+        result = run_body(
+            "out[0] = 7 / 2; out[1] = -7 / 2; out[2] = 7 / -2; out[3] = -7 / -2;"
+        )
+        assert result.globals_state["out"][:4] == [3, -3, -3, 3]
+
+    def test_c_modulo_sign_of_dividend(self):
+        result = run_body(
+            "out[0] = 7 % 3; out[1] = -7 % 3; out[2] = 7 % -3; out[3] = -7 % -3;"
+        )
+        assert result.globals_state["out"][:4] == [1, -1, 1, -1]
+
+    def test_division_by_zero(self):
+        with pytest.raises(InterpreterError, match="division by zero"):
+            run_body("int z = 0; out[0] = 1 / z;")
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(InterpreterError, match="modulo by zero"):
+            run_body("int z = 0; out[0] = 1 % z;")
+
+    def test_float_division_by_zero(self):
+        program = compile_source(
+            "float fout[1];\nvoid main() { float z = 0.0; fout[0] = 1.0 / z; }"
+        )
+        with pytest.raises(InterpreterError, match="float division"):
+            run_program(program)
+
+    def test_and_or_are_bitwise_on_bools(self):
+        result = run_body("out[0] = (3 < 4) && (2 < 3); out[1] = (3 < 2) || (1 < 0);")
+        assert result.globals_state["out"][:2] == [1, 0]
+
+
+class TestMemory:
+    def test_out_of_bounds_load(self):
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            run_body("int i = 9; out[0] = out[i + 100];")
+
+    def test_out_of_bounds_store(self):
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            run_body("int i = -1; out[i] = 3;")
+
+    def test_globals_persist_across_calls(self):
+        program = compile_source(
+            """
+            int g[2];
+            void bump() { g[0] = g[0] + 1; }
+            void main() { bump(); bump(); bump(); }
+            """
+        )
+        assert run_program(program).globals_state["g"][0] == 3
+
+
+class TestExecutionControl:
+    def test_fuel_exhaustion(self):
+        program = compile_source(
+            "void main() { int i = 0; while (i < 1000000) { i = i + 1; } }"
+        )
+        with pytest.raises(InterpreterError, match="fuel"):
+            run_program(program, fuel=1000)
+
+    def test_run_named_function_with_args(self):
+        program = compile_source("int dbl(int x) { return x * 2; }\nvoid main() { }")
+        result = run_program(program, "dbl", [21])
+        assert result.return_value == 42
+
+    def test_wrong_arity(self):
+        program = compile_source("int dbl(int x) { return x * 2; }\nvoid main() { }")
+        with pytest.raises(InterpreterError, match="expects 1 arguments"):
+            run_program(program, "dbl", [1, 2])
+
+    def test_instruction_count_positive(self):
+        result = run_body("out[0] = 1;")
+        assert result.instructions_executed > 0
+
+
+class TestProfile:
+    def test_block_counts_reflect_loop(self):
+        program = compile_source(
+            "void main() { for (int i = 0; i < 13; i = i + 1) { int x = i; } }"
+        )
+        result = run_program(program)
+        func = program.function("main")
+        body = next(b for b in func.blocks if b.name.startswith("for_body"))
+        head = next(b for b in func.blocks if b.name.startswith("for_head"))
+        assert result.profile.count(body) == 13
+        assert result.profile.count(head) == 14  # one extra failing test
+        assert result.profile.count(func.entry) == 1
+
+    def test_entry_counts(self):
+        program = compile_source(
+            """
+            int id(int x) { return x; }
+            void main() { for (int i = 0; i < 5; i = i + 1) { int v = id(i); } }
+            """
+        )
+        result = run_program(program)
+        assert result.profile.entries("id") == 5
+
+    def test_profile_weights(self):
+        program = compile_source(
+            """
+            int id(int x) { return x; }
+            void main() { for (int i = 0; i < 5; i = i + 1) { int v = id(i); } }
+            """
+        )
+        result = run_program(program)
+        func = program.function("id")
+        weights = result.profile.weights(func)
+        assert weights.entry_weight == 5.0
+        assert weights.weight(func.entry) == 5.0
+
+    def test_cold_function_zero_weights(self):
+        program = compile_source(
+            """
+            int never(int x) { return x; }
+            void main() { int y = 1; }
+            """
+        )
+        result = run_program(program)
+        func = program.function("never")
+        weights = result.profile.weights(func)
+        assert weights.entry_weight == 0.0
+        assert all(weights.weight(b) == 0.0 for b in func.blocks)
+
+    def test_profile_merge(self):
+        program = compile_source("void main() { int x = 1; }")
+        a = run_program(program).profile
+        b = run_program(program).profile
+        merged = a.merge(b)
+        func = program.function("main")
+        assert merged.count(func.entry) == 2
+        assert merged.entries("main") == 2

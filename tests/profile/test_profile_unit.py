@@ -1,0 +1,70 @@
+"""Unit tests for the Profile container itself."""
+
+from repro.analysis.frequency import BlockWeights
+from repro.ir.function import BasicBlock, Function
+from repro.ir.types import INT
+from repro.profile import Profile
+
+
+def blocks(n):
+    return [BasicBlock(f"b{n_}") for n_ in range(n)]
+
+
+class TestProfileCounters:
+    def test_record_and_count(self):
+        profile = Profile()
+        b0, b1 = blocks(2)
+        profile.record_block(b0)
+        profile.record_block(b0)
+        profile.record_block(b1)
+        assert profile.count(b0) == 2
+        assert profile.count(b1) == 1
+
+    def test_missing_block_counts_zero(self):
+        profile = Profile()
+        (b0,) = blocks(1)
+        assert profile.count(b0) == 0
+
+    def test_entries(self):
+        profile = Profile()
+        profile.record_entry("f")
+        profile.record_entry("f")
+        assert profile.entries("f") == 2
+        assert profile.entries("ghost") == 0
+
+    def test_merge_accumulates(self):
+        b0, b1 = blocks(2)
+        a = Profile()
+        a.record_block(b0)
+        a.record_entry("f")
+        b = Profile()
+        b.record_block(b0)
+        b.record_block(b1)
+        b.record_entry("f")
+        b.record_entry("g")
+        merged = a.merge(b)
+        assert merged is a
+        assert a.count(b0) == 2
+        assert a.count(b1) == 1
+        assert a.entries("f") == 2
+        assert a.entries("g") == 1
+
+
+class TestWeightsView:
+    def test_weights_cover_all_blocks(self):
+        func = Function("f", param_types=[INT], return_type=None)
+        block_a = func.new_block("a")
+        block_b = func.new_block("b")
+        profile = Profile()
+        profile.record_entry("f")
+        profile.record_block(block_a)
+        weights = profile.weights(func)
+        assert weights.entry_weight == 1.0
+        assert weights.weight(block_a) == 1.0
+        assert weights.weight(block_b) == 0.0
+
+    def test_block_weights_default(self):
+        weights = BlockWeights()
+        (b0,) = blocks(1)
+        assert weights.weight(b0) == 0.0
+        assert weights.entry_weight == 1.0

@@ -1,0 +1,141 @@
+"""Property-based tests over randomly generated programs.
+
+The generator (:mod:`repro.workloads.generator`) produces terminating,
+runtime-error-free mini-C programs; hypothesis drives seeds, register
+configurations and allocator choices, and the properties assert the
+pipeline's global invariants:
+
+* allocated code is observationally equivalent to the source,
+* interfering live ranges never share a register,
+* analytic overhead equals executed overhead.
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.frequency import static_weights
+from repro.eval import program_overhead
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import (
+    AllocatorOptions,
+    allocate_program,
+    build_interference,
+)
+from repro.regalloc.spillinstr import OverheadKind
+from repro.profile import InterpreterError
+from repro.workloads.generator import random_program
+from tests.conftest import assert_same_globals
+
+
+def run_bounded(program, fuel=3_000_000):
+    """Run the program, skipping the example if it is too long-running.
+
+    The generator guarantees termination but not a bound: nested loops
+    across a call chain can multiply into tens of millions of
+    instructions, which is a property of the input, not of the system
+    under test.
+    """
+    try:
+        return run_program(program, fuel=fuel)
+    except InterpreterError as error:
+        assume("fuel" not in str(error))
+        raise
+
+ALLOCATOR_STRATEGY = st.sampled_from(
+    [
+        AllocatorOptions.base_chaitin(),
+        AllocatorOptions.optimistic_coloring(),
+        AllocatorOptions.improved_chaitin(),
+        AllocatorOptions.priority_based(),
+        AllocatorOptions.cbh(),
+    ]
+)
+
+CONFIG_STRATEGY = st.sampled_from(
+    [
+        RegisterConfig(6, 4, 0, 0),
+        RegisterConfig(4, 3, 2, 2),
+        RegisterConfig(3, 2, 1, 1),
+        RegisterConfig(8, 6, 4, 3),
+    ]
+)
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       options=ALLOCATOR_STRATEGY,
+       config=CONFIG_STRATEGY)
+@RELAXED
+def test_allocation_preserves_semantics(seed, options, config):
+    program = random_program(seed)
+    base = run_bounded(program)
+    allocation = allocate_program(program, register_file(config), options)
+    mech = run_allocated(allocation, fuel=30_000_000)
+    assert_same_globals(base.globals_state, mech.globals_state)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       options=ALLOCATOR_STRATEGY,
+       config=CONFIG_STRATEGY)
+@RELAXED
+def test_no_interfering_pair_shares_a_register(seed, options, config):
+    program = random_program(seed)
+    allocation = allocate_program(program, register_file(config), options)
+    for fa in allocation.functions.values():
+        graph, _ = build_interference(fa.func, static_weights(fa.func), set())
+        for reg in graph.nodes:
+            phys = fa.assignment.get(reg)
+            if phys is None:
+                continue
+            for neighbor in graph.neighbors(reg):
+                other = fa.assignment.get(neighbor)
+                assert other is None or other != phys, (
+                    f"{fa.func.name}: {reg} and {neighbor} share {phys}"
+                )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       options=ALLOCATOR_STRATEGY)
+@RELAXED
+def test_analytic_overhead_matches_execution(seed, options):
+    program = random_program(seed)
+    base = run_bounded(program)
+    config = RegisterConfig(4, 3, 1, 1)
+    allocation = allocate_program(
+        program, register_file(config), options, base.profile.weights
+    )
+    analytic = program_overhead(allocation, base.profile)
+    mech = run_allocated(allocation, fuel=30_000_000)
+    assert analytic.spill == mech.overhead_counts[OverheadKind.SPILL]
+    assert analytic.caller_save == mech.overhead_counts[OverheadKind.CALLER_SAVE]
+    assert analytic.callee_save == mech.overhead_counts[OverheadKind.CALLEE_SAVE]
+    assert analytic.shuffle == mech.shuffle_count
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@RELAXED
+def test_registers_within_configured_file(seed):
+    program = random_program(seed)
+    config = RegisterConfig(3, 2, 2, 1)
+    rf = register_file(config)
+    allocation = allocate_program(program, rf, AllocatorOptions.improved_chaitin())
+    valid = set(rf.all_registers())
+    for fa in allocation.functions.values():
+        for phys in fa.assignment.values():
+            assert phys in valid
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@RELAXED
+def test_generated_programs_verify(seed):
+    from repro.ir import verify_program
+
+    program = random_program(seed)
+    verify_program(program)

@@ -1,0 +1,130 @@
+"""Property-based tests over core data structures and analyses."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import compute_liveness, loop_depths, reverse_postorder
+from repro.analysis.frequency import static_weights
+from repro.machine import RegisterConfig, RegisterFile
+from repro.regalloc import build_interference, build_webs, simplify
+from repro.regalloc.interference import InterferenceGraph
+from repro.workloads.generator import random_program
+
+RELAXED = settings(max_examples=25, deadline=None)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestInterferenceGraphProperties:
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=15),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_and_no_self_loops(self, edges):
+        from tests.regalloc.helpers import fresh_reg
+
+        regs = [fresh_reg(f"n{i}") for i in range(16)]
+        graph = InterferenceGraph()
+        for a, b in edges:
+            graph.add_edge(regs[a], regs[b])
+        for node in graph.nodes:
+            assert node not in graph.neighbors(node)
+            for neighbor in graph.neighbors(node):
+                assert graph.interferes(neighbor, node)
+
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=1, max_value=9),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_preserves_symmetry(self, edges):
+        from tests.regalloc.helpers import fresh_reg
+
+        regs = [fresh_reg(f"m{i}") for i in range(10)]
+        graph = InterferenceGraph()
+        for reg in regs:
+            graph.add_node(reg)
+        for a, b in edges:
+            graph.add_edge(regs[a], regs[b])
+        if regs[1] in set(graph.nodes) and regs[0] is not regs[1]:
+            graph.merge(regs[0], regs[1])
+        for node in graph.nodes:
+            for neighbor in graph.neighbors(node):
+                assert graph.interferes(neighbor, node)
+        assert regs[1] not in set(graph.nodes)
+
+
+class TestAnalysisProperties:
+    @given(seed=seeds)
+    @RELAXED
+    def test_rpo_covers_reachable_exactly_once(self, seed):
+        program = random_program(seed)
+        for func in program.functions.values():
+            order = reverse_postorder(func)
+            assert len(order) == len(set(order))
+            assert order[0] is func.entry
+
+    @given(seed=seeds)
+    @RELAXED
+    def test_liveness_live_in_of_entry_is_params_only(self, seed):
+        program = random_program(seed)
+        for func in program.functions.values():
+            info = compute_liveness(func)
+            assert info.live_in[func.entry] <= frozenset(func.params)
+
+    @given(seed=seeds)
+    @RELAXED
+    def test_loop_depths_nonnegative(self, seed):
+        program = random_program(seed)
+        for func in program.functions.values():
+            assert all(d >= 0 for d in loop_depths(func).values())
+
+    @given(seed=seeds)
+    @RELAXED
+    def test_webs_partition_references(self, seed):
+        program = random_program(seed)
+        for func in program.functions.values():
+            webs = build_webs(func)
+            regs = {web.reg for web in webs}
+            assert len(regs) == len(webs)  # one register per web
+            for instr in func.instructions():
+                for reg in list(instr.defs()) + list(instr.uses()):
+                    assert reg in regs
+
+
+class TestSimplifyProperties:
+    @given(seed=seeds, caller=st.integers(2, 6), callee=st.integers(0, 4))
+    @RELAXED
+    def test_stack_plus_spills_cover_graph(self, seed, caller, callee):
+        program = random_program(seed)
+        func = next(iter(program.functions.values()))
+        build_webs(func)
+        graph, infos = build_interference(func, static_weights(func), set())
+        rf = RegisterFile(RegisterConfig(caller, max(caller - 1, 1), callee, callee))
+        result = simplify(graph, infos, rf)
+        covered = set(result.stack) | set(result.spilled)
+        assert covered == set(graph.nodes)
+        assert len(result.stack) + len(result.spilled) == len(graph)
+
+    @given(seed=seeds)
+    @RELAXED
+    def test_optimistic_never_spills_at_ordering(self, seed):
+        program = random_program(seed)
+        func = next(iter(program.functions.values()))
+        build_webs(func)
+        graph, infos = build_interference(func, static_weights(func), set())
+        rf = RegisterFile(RegisterConfig(2, 2, 1, 1))
+        result = simplify(graph, infos, rf, optimistic=True)
+        assert not result.spilled
+        assert set(result.stack) == set(graph.nodes)

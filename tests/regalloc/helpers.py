@@ -1,0 +1,73 @@
+"""Helpers for constructing hand-made allocation scenarios.
+
+The ordering/assignment phases operate on an interference graph plus
+per-live-range cost records, so the paper's worked examples (Figures
+3, 4, 5 and 8) can be reconstructed exactly without real programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.analysis.frequency import BlockWeights
+from repro.ir import INT, ValueType, VReg
+from repro.ir.function import BasicBlock
+from repro.regalloc.benefits import Benefits, compute_benefits
+from repro.regalloc.interference import InterferenceGraph, LiveRangeInfo
+
+_COUNTER = [0]
+
+
+def fresh_reg(name: str, vtype: ValueType = INT) -> VReg:
+    _COUNTER[0] += 1
+    return VReg(_COUNTER[0], vtype, name)
+
+
+def make_scenario(
+    specs: Dict[str, Tuple[float, float]],
+    edges: Iterable[Tuple[str, str]],
+    entry_weight: float = 1.0,
+    call_block: Optional[BasicBlock] = None,
+):
+    """Build (graph, infos, benefits, regs) from a compact spec.
+
+    ``specs`` maps a live-range name to ``(spill_cost, caller_cost)``;
+    the callee-save cost is ``2 * entry_weight``.  Live ranges with a
+    non-zero caller cost are marked as crossing one shared call site.
+    """
+    call_block = call_block or BasicBlock("call_site")
+    graph = InterferenceGraph()
+    infos: Dict[VReg, LiveRangeInfo] = {}
+    regs: Dict[str, VReg] = {}
+    for name, (spill_cost, caller_cost) in specs.items():
+        reg = fresh_reg(name)
+        regs[name] = reg
+        graph.add_node(reg)
+        info = LiveRangeInfo(reg=reg, spill_cost=spill_cost, caller_cost=caller_cost)
+        if caller_cost > 0:
+            info.crossed_calls.append((call_block, 0))
+        infos[reg] = info
+    for a, b in edges:
+        graph.add_edge(regs[a], regs[b])
+    weights = BlockWeights(weights={call_block: 1.0}, entry_weight=entry_weight)
+    benefits = compute_benefits(infos, weights)
+    return graph, infos, benefits, regs
+
+
+def from_benefits(
+    specs: Dict[str, Tuple[float, float]],
+    edges: Iterable[Tuple[str, str]],
+    callee_cost: float,
+):
+    """Build a scenario directly from (benefit_caller, benefit_callee).
+
+    The paper's figures state benefits, not costs; recover
+    ``spill_cost = benefit_callee + callee_cost`` and
+    ``caller_cost = spill_cost - benefit_caller``.
+    """
+    cost_specs = {}
+    for name, (b_caller, b_callee) in specs.items():
+        spill_cost = b_callee + callee_cost
+        caller_cost = spill_cost - b_caller
+        cost_specs[name] = (spill_cost, caller_cost)
+    return make_scenario(cost_specs, edges, entry_weight=callee_cost / 2.0)

@@ -1,0 +1,233 @@
+"""Unit tests for color assignment and storage-class analysis."""
+
+import math
+
+from repro.machine import RegisterConfig, RegisterFile
+from repro.regalloc import AllocatorOptions, ColorAssigner
+from repro.regalloc.benefits import compute_benefits
+from tests.regalloc.helpers import make_scenario
+
+
+def assign(
+    specs,
+    edges,
+    stack_names,
+    config=(2, 1, 2, 1),
+    options=None,
+    entry_weight=1.0,
+    forced_caller=(),
+):
+    graph, infos, benefits, regs = make_scenario(
+        specs, edges, entry_weight=entry_weight
+    )
+    rf = RegisterFile(RegisterConfig(*config))
+    options = options or AllocatorOptions.base_chaitin()
+    assigner = ColorAssigner(
+        graph,
+        infos,
+        benefits,
+        rf,
+        options,
+        forced_caller={regs[n] for n in forced_caller},
+        callee_cost=2.0 * entry_weight,
+    )
+    stack = [regs[name] for name in stack_names]
+    result = assigner.run(stack)
+    named_assignment = {
+        reg.name: phys for reg, phys in result.assignment.items()
+    }
+    return named_assignment, [r.name for r in result.spilled], regs
+
+
+class TestBaseModelPreference:
+    def test_crossing_range_prefers_callee(self):
+        assignment, spilled, _ = assign(
+            {"crossing": (10.0, 4.0)}, [], ["crossing"]
+        )
+        assert assignment["crossing"].is_callee_save
+        assert not spilled
+
+    def test_leaf_range_prefers_caller(self):
+        assignment, spilled, _ = assign({"leafy": (10.0, 0.0)}, [], ["leafy"])
+        assert assignment["leafy"].is_caller_save
+
+    def test_falls_back_to_other_kind(self):
+        # Two crossing ranges, one callee-save register: the second
+        # takes a caller-save register rather than spilling.
+        assignment, spilled, _ = assign(
+            {"a": (10.0, 4.0), "b": (10.0, 4.0)},
+            [("a", "b")],
+            ["a", "b"],
+            config=(2, 1, 1, 1),
+        )
+        kinds = {assignment["a"].kind, assignment["b"].kind}
+        assert len(kinds) == 2
+        assert not spilled
+
+    def test_neighbors_get_distinct_registers(self):
+        assignment, spilled, _ = assign(
+            {"a": (10.0, 0.0), "b": (10.0, 0.0), "c": (10.0, 0.0)},
+            [("a", "b"), ("b", "c"), ("a", "c")],
+            ["a", "b", "c"],
+            config=(3, 1, 0, 1),
+        )
+        assert len({assignment[n] for n in "abc"}) == 3
+
+    def test_assignment_failure_spills(self):
+        assignment, spilled, _ = assign(
+            {"a": (10.0, 0.0), "b": (10.0, 0.0)},
+            [("a", "b")],
+            ["b", "a"],  # a popped first
+            config=(1, 1, 0, 1),
+        )
+        assert spilled == ["b"]
+        assert "a" in assignment
+
+    def test_callee_reuse_before_opening_new(self):
+        # Two non-interfering crossing ranges share one callee-save
+        # register rather than occupying two.
+        assignment, spilled, _ = assign(
+            {"a": (10.0, 4.0), "b": (10.0, 4.0)},
+            [],
+            ["a", "b"],
+            config=(2, 1, 2, 1),
+        )
+        assert assignment["a"] == assignment["b"]
+
+
+class TestStorageClassAnalysis:
+    def test_spills_instead_of_bad_caller_register(self):
+        # benefit_caller < 0 (hot call, cold refs): storage-class
+        # analysis spills rather than taking a caller-save register.
+        options = AllocatorOptions.improved_chaitin(sc=True, bs=False, pr=False)
+        assignment, spilled, _ = assign(
+            {"coldhot": (10.0, 50.0)},
+            [],
+            ["coldhot"],
+            config=(2, 1, 0, 1),  # no callee-save available
+            options=options,
+        )
+        assert spilled == ["coldhot"]
+        assert "coldhot" not in assignment
+
+    def test_base_model_takes_the_bad_register(self):
+        # Same scenario without SC: base model pays the caller cost.
+        assignment, spilled, _ = assign(
+            {"coldhot": (10.0, 50.0)},
+            [],
+            ["coldhot"],
+            config=(2, 1, 0, 1),
+        )
+        assert assignment["coldhot"].is_caller_save
+        assert not spilled
+
+    def test_benefit_preference_overrides_crossing(self):
+        # Crosses a call, but caller cost is tiny and callee cost is
+        # huge (hot function entry): SC prefers caller-save.
+        options = AllocatorOptions.improved_chaitin(sc=True, bs=False, pr=False)
+        assignment, spilled, _ = assign(
+            {"cheapcross": (100.0, 2.0)},
+            [],
+            ["cheapcross"],
+            options=options,
+            entry_weight=40.0,  # callee cost 80
+        )
+        assert assignment["cheapcross"].is_caller_save
+
+    def test_forced_caller_annotation_respected(self):
+        options = AllocatorOptions.improved_chaitin(sc=True, bs=False, pr=True)
+        assignment, spilled, _ = assign(
+            {"wants_callee": (100.0, 10.0)},
+            [],
+            ["wants_callee"],
+            options=options,
+            forced_caller=["wants_callee"],
+        )
+        assert assignment["wants_callee"].is_caller_save
+
+
+class TestCalleeCostModels:
+    # The paper's example (Section 4): two live ranges with spill cost
+    # 4000 sharing one callee-save register of cost 5000.  First-user
+    # refuses (4000 < 5000 for the first user); shared accepts
+    # (4000 + 4000 > 5000), saving 3000 operations.
+    SPECS = {"u": (4000.0, 9000.0), "v": (4000.0, 9000.0)}
+
+    def test_first_user_model_spills_both(self):
+        options = AllocatorOptions.improved_chaitin(
+            sc=True, bs=False, pr=False
+        ).with_(callee_model="first")
+        assignment, spilled, _ = assign(
+            self.SPECS,
+            [],
+            ["u", "v"],
+            config=(1, 1, 1, 1),
+            options=options,
+            entry_weight=2500.0,  # callee cost 5000
+        )
+        assert set(spilled) == {"u", "v"}
+
+    def test_shared_model_keeps_both(self):
+        options = AllocatorOptions.improved_chaitin(
+            sc=True, bs=False, pr=False
+        ).with_(callee_model="shared")
+        assignment, spilled, _ = assign(
+            self.SPECS,
+            [],
+            ["u", "v"],
+            config=(1, 1, 1, 1),
+            options=options,
+            entry_weight=2500.0,
+        )
+        assert not spilled
+        assert assignment["u"] == assignment["v"]
+        assert assignment["u"].is_callee_save
+
+    def test_shared_model_spills_unprofitable_set(self):
+        # Two tiny ranges that together still do not cover the cost.
+        options = AllocatorOptions.improved_chaitin(
+            sc=True, bs=False, pr=False
+        ).with_(callee_model="shared")
+        assignment, spilled, _ = assign(
+            {"u": (1000.0, 9000.0), "v": (1000.0, 9000.0)},
+            [],
+            ["u", "v"],
+            config=(1, 1, 1, 1),
+            options=options,
+            entry_weight=2500.0,
+        )
+        assert set(spilled) == {"u", "v"}
+
+    def test_first_user_pays_second_rides_free(self):
+        # First user profitable (6000 > 5000); second is free and kept
+        # even though its own benefit is negative.
+        options = AllocatorOptions.improved_chaitin(
+            sc=True, bs=False, pr=False
+        ).with_(callee_model="first")
+        assignment, spilled, _ = assign(
+            {"big": (6000.0, 20000.0), "small": (1000.0, 20000.0)},
+            [],
+            ["small", "big"],  # big pops first
+            config=(1, 1, 1, 1),
+            options=options,
+            entry_weight=2500.0,
+        )
+        assert not spilled
+        assert assignment["big"] == assignment["small"]
+
+    def test_spill_temps_never_spilled_by_sc(self):
+        options = AllocatorOptions.improved_chaitin(sc=True, bs=False, pr=False)
+        graph, infos, benefits, regs = make_scenario(
+            {"temp": (10.0, 50.0)}, [], entry_weight=1.0
+        )
+        infos[regs["temp"]].spill_cost = math.inf
+        infos[regs["temp"]].is_spill_temp = True
+        benefits = compute_benefits(infos, __import__(
+            "repro.analysis.frequency", fromlist=["BlockWeights"]
+        ).BlockWeights(weights={}, entry_weight=1.0))
+        rf = RegisterFile(RegisterConfig(2, 1, 0, 1))
+        assigner = ColorAssigner(
+            graph, infos, benefits, rf, options, callee_cost=2.0
+        )
+        result = assigner.run([regs["temp"]])
+        assert not result.spilled

@@ -1,0 +1,92 @@
+"""Unit tests for the benefit functions and ordering keys."""
+
+import math
+
+from repro.analysis.frequency import BlockWeights
+from repro.regalloc.benefits import (
+    Benefits,
+    callee_save_cost,
+    delta_key,
+    max_key,
+    preference_key,
+    priority_function,
+)
+from repro.regalloc.interference import LiveRangeInfo
+from tests.regalloc.helpers import fresh_reg, make_scenario
+
+
+class TestBenefitFunctions:
+    def test_compute_benefits_formula(self):
+        graph, infos, benefits, regs = make_scenario(
+            {"hot": (100.0, 30.0)}, edges=[], entry_weight=5.0
+        )
+        b = benefits[regs["hot"]]
+        assert b.caller == 100.0 - 30.0
+        assert b.callee == 100.0 - 10.0  # callee cost = 2 * 5
+
+    def test_callee_save_cost(self):
+        weights = BlockWeights(weights={}, entry_weight=7.0)
+        assert callee_save_cost(weights) == 14.0
+
+    def test_prefers_callee_strict(self):
+        assert Benefits(caller=5.0, callee=6.0).prefers_callee
+        assert not Benefits(caller=6.0, callee=6.0).prefers_callee
+        assert not Benefits(caller=7.0, callee=6.0).prefers_callee
+
+    def test_no_calls_means_prefer_caller(self):
+        # caller_cost 0 implies benefit_caller >= benefit_callee.
+        graph, infos, benefits, regs = make_scenario(
+            {"leafy": (50.0, 0.0)}, edges=[], entry_weight=1.0
+        )
+        assert not benefits[regs["leafy"]].prefers_callee
+
+    def test_infinite_spill_cost_prefers_caller(self):
+        b = Benefits(caller=math.inf, callee=math.inf)
+        assert not b.prefers_callee  # inf > inf is False
+
+
+class TestSimplificationKeys:
+    def test_delta_key_both_positive(self):
+        assert delta_key(Benefits(caller=1000.0, callee=2000.0)) == 1000.0
+        assert delta_key(Benefits(caller=1800.0, callee=2000.0)) == 200.0
+
+    def test_delta_key_falls_back_to_max(self):
+        assert delta_key(Benefits(caller=-100.0, callee=500.0)) == 500.0
+        assert delta_key(Benefits(caller=-100.0, callee=-50.0)) == -50.0
+
+    def test_max_key(self):
+        assert max_key(Benefits(caller=1800.0, callee=2000.0)) == 2000.0
+        assert max_key(Benefits(caller=-5.0, callee=-9.0)) == -5.0
+
+    def test_paper_figure4_key_disagreement(self):
+        # lr_x / lr_y: caller 1800, callee 2000; lr_z: caller 500,
+        # callee 1500.  Max ranks x,y over z; delta ranks z highest.
+        xy = Benefits(caller=1800.0, callee=2000.0)
+        z = Benefits(caller=500.0, callee=1500.0)
+        assert max_key(xy) > max_key(z)
+        assert delta_key(z) > delta_key(xy)
+
+
+class TestPreferenceKey:
+    def test_caller_cost_when_profitable(self):
+        info = LiveRangeInfo(reg=fresh_reg("a"), spill_cost=100.0, caller_cost=30.0)
+        b = Benefits(caller=70.0, callee=90.0)
+        assert preference_key(info, b) == 30.0
+
+    def test_spill_cost_when_caller_unprofitable(self):
+        info = LiveRangeInfo(reg=fresh_reg("b"), spill_cost=100.0, caller_cost=130.0)
+        b = Benefits(caller=-30.0, callee=90.0)
+        assert preference_key(info, b) == 100.0
+
+
+class TestPriorityFunction:
+    def test_normalizes_by_size(self):
+        info = LiveRangeInfo(reg=fresh_reg("c"), spill_cost=100.0)
+        info.blocks = {object(), object(), object(), object()}  # type: ignore
+        b = Benefits(caller=80.0, callee=40.0)
+        assert priority_function(info, b) == 20.0
+
+    def test_size_never_zero(self):
+        info = LiveRangeInfo(reg=fresh_reg("d"), spill_cost=10.0)
+        b = Benefits(caller=10.0, callee=10.0)
+        assert priority_function(info, b) == 10.0

@@ -1,0 +1,121 @@
+"""Unit tests for the CBH call-cost model."""
+
+from repro.analysis.frequency import static_weights
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import (
+    AllocatorOptions,
+    allocate_program,
+    augment_for_cbh,
+    build_interference,
+    build_webs,
+)
+from tests.conftest import assert_same_globals
+
+CALL_SOURCE = """
+int out[1];
+int id(int x) { return x; }
+void main() {
+    int across = 3;
+    int r = id(7);
+    out[0] = across + r;
+}
+"""
+
+
+class TestAugmentation:
+    def _augmented(self, config):
+        program = compile_source(CALL_SOURCE)
+        func = program.function("main")
+        build_webs(func)
+        weights = static_weights(func)
+        graph, infos = build_interference(func, weights, set())
+        rf = register_file(RegisterConfig(*config))
+        context = augment_for_cbh(func, graph, infos, rf, weights)
+        return graph, infos, context, rf
+
+    def test_one_pseudo_per_callee_register(self):
+        graph, infos, context, rf = self._augmented((4, 2, 3, 2))
+        assert len(context.pseudo_for) == 5  # 3 int + 2 float
+
+    def test_pseudo_interferes_with_same_bank_only(self):
+        graph, infos, context, rf = self._augmented((4, 2, 2, 2))
+        for pseudo, phys in context.pseudo_for.items():
+            for neighbor in graph.neighbors(pseudo):
+                assert neighbor.vtype is pseudo.vtype
+
+    def test_pseudo_spill_cost_is_save_restore(self):
+        graph, infos, context, rf = self._augmented((4, 2, 1, 1))
+        for pseudo in context.pseudo_for:
+            assert infos[pseudo].spill_cost == 2.0  # 2 * entry weight 1
+
+    def test_crossing_ranges_identified(self):
+        graph, infos, context, rf = self._augmented((4, 2, 1, 1))
+        names = {reg.name for reg in context.crossing}
+        assert "across" in names
+        assert "r" not in names
+
+
+class TestCBHBehaviour:
+    def test_zero_callee_registers_forces_spill_of_crossing(self):
+        program = compile_source(CALL_SOURCE)
+        rf = register_file(RegisterConfig(6, 4, 0, 0))
+        allocation = allocate_program(program, rf, AllocatorOptions.cbh())
+        fa = allocation.functions["main"]
+        spilled_names = {r.name for r in fa.spilled}
+        assert "across" in spilled_names
+
+    def test_callee_register_available_keeps_crossing(self):
+        program = compile_source(CALL_SOURCE)
+        rf = register_file(RegisterConfig(6, 4, 2, 2))
+        allocation = allocate_program(program, rf, AllocatorOptions.cbh())
+        fa = allocation.functions["main"]
+        across = next(r for r in fa.assignment if r.name == "across")
+        assert fa.assignment[across].is_callee_save
+
+    def test_crossing_never_gets_caller_save(self):
+        program = compile_source(CALL_SOURCE)
+        for config in [(6, 4, 1, 1), (4, 2, 3, 2)]:
+            rf = register_file(RegisterConfig(*config))
+            allocation = allocate_program(program, rf, AllocatorOptions.cbh())
+            fa = allocation.functions["main"]
+            for reg, phys in fa.assignment.items():
+                if reg.name == "across":
+                    assert phys.is_callee_save
+
+    def test_non_crossing_prefers_caller_save(self):
+        program = compile_source(CALL_SOURCE)
+        rf = register_file(RegisterConfig(6, 4, 2, 2))
+        allocation = allocate_program(program, rf, AllocatorOptions.cbh())
+        fa = allocation.functions["main"]
+        # The call result does not cross a call; coalescing may have
+        # renamed it, so find it as the Call destination in final code.
+        from repro.ir import Call
+
+        call = next(
+            i for i in fa.func.instructions() if isinstance(i, Call)
+        )
+        assert fa.assignment[call.dst].is_caller_save
+
+    def test_execution_equivalence_across_configs(self):
+        program = compile_source(CALL_SOURCE)
+        base = run_program(program)
+        for config in [(6, 4, 0, 0), (6, 4, 1, 1), (4, 2, 4, 3)]:
+            rf = register_file(RegisterConfig(*config))
+            allocation = allocate_program(program, rf, AllocatorOptions.cbh())
+            mech = run_allocated(allocation)
+            assert_same_globals(base.globals_state, mech.globals_state)
+
+    def test_untouched_callee_register_costs_nothing(self):
+        # A leaf function under no pressure should not save/restore
+        # any callee-save register under CBH.
+        source = """
+        int out[1];
+        void main() { out[0] = 1 + 2; }
+        """
+        program = compile_source(source)
+        rf = register_file(RegisterConfig(4, 2, 4, 2))
+        allocation = allocate_program(program, rf, AllocatorOptions.cbh())
+        fa = allocation.functions["main"]
+        assert not any(p.is_callee_save for p in fa.assignment.values())

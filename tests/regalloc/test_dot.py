@@ -1,0 +1,63 @@
+"""Tests for the DOT exporter."""
+
+from repro.analysis.frequency import static_weights
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.regalloc import (
+    AllocatorOptions,
+    allocate_function,
+    build_interference,
+    build_webs,
+)
+from repro.regalloc.dot import to_dot
+from tests.conftest import SMALL_CALL_SOURCE
+
+
+def build(source=SMALL_CALL_SOURCE):
+    program = compile_source(source)
+    func = program.function("main")
+    build_webs(func)
+    graph, infos = build_interference(func, static_weights(func), set())
+    return func, graph, infos
+
+
+class TestDotExport:
+    def test_valid_dot_structure(self):
+        func, graph, infos = build()
+        text = to_dot(graph, infos)
+        assert text.startswith('graph "interference" {')
+        assert text.endswith("}")
+        assert text.count("--") > 0
+
+    def test_every_node_present(self):
+        func, graph, infos = build()
+        text = to_dot(graph, infos)
+        for reg in graph.nodes:
+            assert f"n{reg.id} [" in text
+
+    def test_edges_emitted_once(self):
+        func, graph, infos = build()
+        text = to_dot(graph)
+        edges = [l for l in text.splitlines() if " -- " in l]
+        assert len(edges) == len(set(edges))
+        total_degree = sum(graph.degree(r) for r in graph.nodes)
+        assert len(edges) == total_degree // 2
+
+    def test_assignment_colors(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        func = program.function("main")
+        rf = register_file(RegisterConfig(6, 4, 2, 2))
+        fa = allocate_function(
+            func, rf, static_weights(func), AllocatorOptions.base_chaitin()
+        )
+        graph, infos = build_interference(fa.func, static_weights(fa.func), set())
+        text = to_dot(graph, infos, fa.assignment, title="main")
+        assert 'graph "main"' in text
+        assert "#8fd18f" in text or "#7eb6ff" in text  # some register color
+        assert "$i" in text  # physical register names in labels
+
+    def test_labels_carry_costs(self):
+        func, graph, infos = build()
+        text = to_dot(graph, infos)
+        assert "spill=" in text
+        assert "calls=" in text

@@ -1,0 +1,131 @@
+"""The paper's Figure 8: optimistic coloring can *increase* overhead.
+
+A four-cycle of live ranges with two registers (one caller-save, one
+callee-save per the figure) blocks simplification.  Base Chaitin
+spills the cheapest node and pays its small spill cost; optimistic
+coloring squeezes every node into a register — and if the squeezed
+node crosses a hot call and lands in a caller-save register, the
+save/restore cost dwarfs the spill cost it avoided.
+
+The unit test reconstructs the graph exactly and compares the *model
+cost* of both outcomes; the integration test demonstrates the same
+effect end-to-end on compiled code (a sub-1.00 cell of Table 3).
+"""
+
+from repro.machine import RegisterConfig, RegisterFile
+from repro.regalloc import AllocatorOptions, ColorAssigner, simplify
+from tests.regalloc.helpers import make_scenario
+
+
+def decision_cost(assignment, spilled, infos, callee_cost):
+    """Total overhead the model charges for one outcome."""
+    cost = sum(infos[reg].spill_cost for reg in spilled)
+    used_callee = set()
+    for reg, phys in assignment.items():
+        if phys.is_caller_save:
+            cost += infos[reg].caller_cost
+        else:
+            used_callee.add(phys)
+    return cost + callee_cost * len(used_callee)
+
+
+def run(optimistic: bool):
+    # Figure 8's square: u - v - x - y - u.  u crosses a hot call
+    # (spill cost 10, caller-save cost 100); y crosses a cold call, so
+    # the base preference steers it (and transitively u's diagonal
+    # partner x's color) exactly into the paper's inferior outcome;
+    # v and x are call-free and expensive to spill.
+    specs = {
+        "u": (10.0, 100.0),
+        "v": (60.0, 0.0),
+        "x": (60.0, 0.0),
+        "y": (60.0, 4.0),
+    }
+    edges = [("u", "v"), ("v", "x"), ("x", "y"), ("y", "u")]
+    graph, infos, benefits, regs = make_scenario(specs, edges, entry_weight=1.0)
+    rf = RegisterFile(RegisterConfig(1, 1, 1, 1))  # 1 caller + 1 callee int
+    ordering = simplify(graph, infos, rf, optimistic=optimistic)
+    assigner = ColorAssigner(
+        graph, infos, benefits, rf, AllocatorOptions.base_chaitin(),
+        callee_cost=2.0,
+    )
+    result = assigner.run(ordering.stack)
+    spilled = list(ordering.spilled) + list(result.spilled)
+    return result.assignment, spilled, infos, regs
+
+
+class TestFigure8:
+    def test_base_spills_the_cheap_crossing_range(self):
+        assignment, spilled, infos, regs = run(optimistic=False)
+        assert [r.name for r in spilled] == ["u"]
+        assert len(assignment) == 3
+
+    def test_optimistic_colors_the_whole_cycle(self):
+        assignment, spilled, infos, regs = run(optimistic=True)
+        assert not spilled
+        assert len(assignment) == 4
+        # Two registers suffice for the even cycle.
+        assert len(set(assignment.values())) == 2
+
+    def test_optimistic_outcome_costs_more(self):
+        base_assignment, base_spilled, infos, _ = run(optimistic=False)
+        base_cost = decision_cost(base_assignment, base_spilled, infos, 2.0)
+        opt_assignment, opt_spilled, infos2, regs = run(optimistic=True)
+        opt_cost = decision_cost(opt_assignment, opt_spilled, infos2, 2.0)
+        # Base: spill u (10) + v,x,y in registers.  Optimistic: u ends
+        # up in the caller-save register (its neighbors v and y share
+        # the callee-save one) and pays 100.
+        assert base_cost < opt_cost
+        u = regs["u"]
+        assert opt_assignment[u].is_caller_save
+
+
+class TestEndToEndDeterioration:
+    SOURCE = """
+    float fout[8];
+    int out[2];
+    int id(int k) { return k; }
+    void main() {
+        float u = fout[0] + 0.5;
+        int t = 0;
+        for (int i = 0; i < 80; i = i + 1) {
+            t = t + id(i);
+        }
+        float v = fout[1] + 0.25;
+        fout[2] = u * 0.5;
+        float y = 0.0;
+        if (t % 2 == 0) {
+            float x = v + 1.5;
+            fout[3] = v * 2.0;
+            y = x + 0.125;
+            fout[4] = x * 3.0;
+            fout[7] = y + u;
+        } else {
+            fout[5] = v * 4.0;
+            y = u + 0.0625;
+            fout[6] = u * 5.0;
+        }
+        fout[0] = y;
+        out[0] = t;
+    }
+    """
+
+    def test_optimistic_worse_on_compiled_code(self):
+        from repro.eval import program_overhead
+        from repro.lang import compile_source
+        from repro.machine import register_file
+        from repro.profile import run_program
+        from repro.regalloc import allocate_program
+
+        program = compile_source(self.SOURCE)
+        profile = run_program(program).profile
+        rf = register_file(RegisterConfig(6, 2, 0, 0))
+        base = allocate_program(
+            program, rf, AllocatorOptions.base_chaitin(), profile.weights
+        )
+        optimistic = allocate_program(
+            program, rf, AllocatorOptions.optimistic_coloring(), profile.weights
+        )
+        base_cost = program_overhead(base, profile).total
+        optimistic_cost = program_overhead(optimistic, profile).total
+        assert optimistic_cost > base_cost  # the paper's dark-shaded cell

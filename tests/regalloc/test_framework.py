@@ -1,0 +1,151 @@
+"""Integration tests for the allocation framework driver."""
+
+import pytest
+
+from repro.analysis.frequency import static_weights
+from repro.ir import clone_function
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import (
+    AllocatorOptions,
+    allocate_function,
+    allocate_program,
+)
+from tests.conftest import SMALL_CALL_SOURCE, assert_same_globals
+
+ALL_OPTIONS = [
+    AllocatorOptions.base_chaitin(),
+    AllocatorOptions.optimistic_coloring(),
+    AllocatorOptions.improved_chaitin(),
+    AllocatorOptions.improved_optimistic(),
+    AllocatorOptions.priority_based(),
+    AllocatorOptions.cbh(),
+]
+
+
+class TestAllocateFunction:
+    def test_every_register_assigned(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        func = program.function("main")
+        rf = register_file(RegisterConfig(6, 4, 2, 2))
+        fa = allocate_function(func, rf, static_weights(func))
+        for instr in fa.func.instructions():
+            for reg in list(instr.uses()) + list(instr.defs()):
+                assert reg in fa.assignment, f"{reg} unassigned"
+
+    def test_interfering_ranges_get_distinct_registers(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        func = program.function("main")
+        rf = register_file(RegisterConfig(6, 4, 2, 2))
+        fa = allocate_function(func, rf, static_weights(func))
+        from repro.regalloc import build_interference
+
+        graph, _ = build_interference(fa.func, static_weights(fa.func), set())
+        for reg in graph.nodes:
+            if reg not in fa.assignment:
+                continue
+            for neighbor in graph.neighbors(reg):
+                if neighbor in fa.assignment:
+                    assert fa.assignment[reg] != fa.assignment[neighbor]
+
+    def test_iteration_count_reported(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        func = program.function("main")
+        rf = register_file(RegisterConfig(3, 2, 0, 1))
+        fa = allocate_function(func, rf, static_weights(func))
+        assert fa.iterations >= 1
+
+    def test_pressure_forces_spills(self):
+        source = """
+        int out[1];
+        void main() {
+            int a = 1; int b = 2; int c = 3; int d = 4;
+            int e = 5; int f = 6; int g = 7;
+            out[0] = a + b + c + d + e + f + g
+                   + a * b + c * d + e * f
+                   + a * c + b * d + e * g;
+        }
+        """
+        program = compile_source(source)
+        func = program.function("main")
+        rf = register_file(RegisterConfig(2, 1, 1, 1))  # 3 int regs
+        fa = allocate_function(func, rf, static_weights(func))
+        assert fa.spilled
+        assert fa.frame_slots > 0
+
+
+class TestAllocateProgram:
+    def test_original_program_untouched(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        sizes = {n: f.size() for n, f in program.functions.items()}
+        rf = register_file(RegisterConfig(6, 4, 0, 0))
+        allocate_program(program, rf, AllocatorOptions.base_chaitin())
+        assert {n: f.size() for n, f in program.functions.items()} == sizes
+
+    @pytest.mark.parametrize(
+        "options", ALL_OPTIONS, ids=lambda o: o.label
+    )
+    def test_all_allocators_preserve_semantics(self, options):
+        program = compile_source(SMALL_CALL_SOURCE)
+        base = run_program(program)
+        for config in [(6, 4, 0, 0), (3, 2, 2, 2), (8, 6, 4, 4)]:
+            rf = register_file(RegisterConfig(*config))
+            allocation = allocate_program(program, rf, options)
+            mech = run_allocated(allocation)
+            assert_same_globals(base.globals_state, mech.globals_state)
+
+    def test_dynamic_weights_accepted(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        profile = run_program(program).profile
+        rf = register_file(RegisterConfig(6, 4, 2, 2))
+        allocation = allocate_program(
+            program, rf, AllocatorOptions.improved_chaitin(), profile.weights
+        )
+        mech = run_allocated(allocation)
+        base = run_program(program)
+        assert_same_globals(base.globals_state, mech.globals_state)
+
+    def test_deterministic(self):
+        program = compile_source(SMALL_CALL_SOURCE)
+        rf = register_file(RegisterConfig(5, 3, 2, 2))
+        options = AllocatorOptions.improved_chaitin()
+        a = allocate_program(program, rf, options)
+        b = allocate_program(program, rf, options)
+        named_a = {
+            (n, r.id): p.name
+            for n, fa in a.functions.items()
+            for r, p in fa.assignment.items()
+        }
+        named_b = {
+            (n, r.id): p.name
+            for n, fa in b.functions.items()
+            for r, p in fa.assignment.items()
+        }
+        assert named_a == named_b
+
+
+class TestOptionsValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            AllocatorOptions(kind="mystery")
+
+    def test_cbh_refuses_enhancements(self):
+        with pytest.raises(ValueError, match="CBH"):
+            AllocatorOptions(kind="cbh", sc=True)
+
+    def test_priority_refuses_optimistic(self):
+        with pytest.raises(ValueError, match="priority"):
+            AllocatorOptions(kind="priority", optimistic=True)
+
+    def test_labels(self):
+        assert AllocatorOptions.base_chaitin().label == "chaitin"
+        assert AllocatorOptions.improved_chaitin().label == "chaitin+SC+BS+PR"
+        assert AllocatorOptions.improved_optimistic().label == "optimistic+SC+BS+PR"
+        assert AllocatorOptions.cbh().label == "CBH"
+        assert "sorting" in AllocatorOptions.priority_based().label
+
+    def test_with_replaces_fields(self):
+        options = AllocatorOptions.improved_chaitin().with_(callee_model="first")
+        assert options.callee_model == "first"
+        assert options.sc

@@ -1,0 +1,211 @@
+"""Unit tests for interference-graph construction and cost data."""
+
+import math
+
+from repro.analysis.frequency import static_weights
+from repro.lang import compile_source
+from repro.regalloc import build_interference, build_webs
+from repro.regalloc.interference import InterferenceGraph
+
+
+def build(source: str, func_name: str = "main"):
+    program = compile_source(source)
+    func = program.function(func_name)
+    build_webs(func)
+    graph, infos = build_interference(func, static_weights(func), set())
+    named = {}
+    for reg in graph.nodes:
+        if reg.name:
+            named.setdefault(reg.name, reg)
+    return graph, infos, named
+
+
+class TestGraphStructure:
+    def test_simultaneously_live_interfere(self):
+        graph, infos, named = build(
+            """
+            int out[1];
+            void main() {
+                int a = 1;
+                int b = 2;
+                out[0] = a + b;
+            }
+            """
+        )
+        assert graph.interferes(named["a"], named["b"])
+
+    def test_disjoint_lifetimes_do_not_interfere(self):
+        graph, infos, named = build(
+            """
+            int out[2];
+            void main() {
+                int a = 1;
+                out[0] = a + 1;
+                int b = 2;
+                out[1] = b + 1;
+            }
+            """
+        )
+        assert not graph.interferes(named["a"], named["b"])
+
+    def test_copy_operands_do_not_interfere(self):
+        # b = a; both still live afterwards would interfere, but a
+        # plain copy with a dead source must leave them mergeable.
+        graph, infos, named = build(
+            """
+            int out[1];
+            void main() {
+                int a = 1;
+                int b = a;
+                out[0] = b;
+            }
+            """
+        )
+        assert not graph.interferes(named["a"], named["b"])
+
+    def test_banks_never_interfere(self):
+        graph, infos, named = build(
+            """
+            int out[1];
+            float fout[1];
+            void main() {
+                int a = 1;
+                float f = 2.0;
+                out[0] = a;
+                fout[0] = f;
+            }
+            """
+        )
+        assert not graph.interferes(named["a"], named["f"])
+
+    def test_params_interfere_at_entry(self):
+        graph, infos, named = build(
+            """
+            int f(int a, int b) { return a + b; }
+            void main() { int x = f(1, 2); }
+            """,
+            "f",
+        )
+        assert graph.interferes(named["a"], named["b"])
+
+    def test_merge_unions_neighbors(self):
+        graph = InterferenceGraph()
+        from tests.regalloc.helpers import fresh_reg
+
+        a, b, c, d = (fresh_reg(n) for n in "abcd")
+        graph.add_edge(a, c)
+        graph.add_edge(b, d)
+        graph.merge(a, b)
+        assert graph.interferes(a, c)
+        assert graph.interferes(a, d)
+        assert b not in set(graph.nodes)
+
+
+class TestCosts:
+    def test_spill_cost_counts_weighted_refs(self):
+        graph, infos, named = build(
+            """
+            int out[1];
+            void main() {
+                int hot = 0;
+                for (int i = 0; i < 4; i = i + 1) {
+                    hot = hot + i;
+                }
+                out[0] = hot;
+            }
+            """
+        )
+        hot = infos[named["hot"]]
+        # One def at weight 1, one def+use at weight 10, one use at 1.
+        assert hot.spill_cost > 10.0
+        cold_defs_only = hot.num_defs
+        assert cold_defs_only >= 2
+
+    def test_spill_temp_cost_infinite(self):
+        program = compile_source(
+            "int out[1];\nvoid main() { int a = 1; out[0] = a; }"
+        )
+        func = program.function("main")
+        build_webs(func)
+        temps = {func.vregs()[0]}
+        graph, infos = build_interference(func, static_weights(func), temps)
+        target = next(iter(temps))
+        assert math.isinf(infos[target].spill_cost)
+        assert infos[target].is_spill_temp
+
+    def test_size_counts_blocks(self):
+        graph, infos, named = build(
+            """
+            int out[1];
+            void main() {
+                int wide = 1;
+                if (out[0] > 0) { out[0] = wide; } else { out[0] = wide + 1; }
+                out[0] = wide;
+            }
+            """
+        )
+        assert infos[named["wide"]].size >= 4
+
+
+class TestCallCrossing:
+    SOURCE = """
+    int out[1];
+    int id(int x) { return x; }
+    void main() {
+        int across = 5;
+        int result = id(7);
+        out[0] = across + result;
+    }
+    """
+
+    def test_live_through_call_crosses(self):
+        graph, infos, named = build(self.SOURCE)
+        assert infos[named["across"]].crosses_calls
+        assert infos[named["across"]].caller_cost == 2.0
+
+    def test_call_result_does_not_cross(self):
+        graph, infos, named = build(self.SOURCE)
+        assert not infos[named["result"]].crosses_calls
+
+    def test_dying_argument_does_not_cross(self):
+        graph, infos, named = build(
+            """
+            int out[1];
+            int id(int x) { return x; }
+            void main() {
+                int arg = 5;
+                out[0] = id(arg);
+            }
+            """
+        )
+        assert not infos[named["arg"]].crosses_calls
+
+    def test_arg_reused_after_call_crosses(self):
+        graph, infos, named = build(
+            """
+            int out[1];
+            int id(int x) { return x; }
+            void main() {
+                int arg = 5;
+                int r = id(arg);
+                out[0] = arg + r;
+            }
+            """
+        )
+        assert infos[named["arg"]].crosses_calls
+
+    def test_caller_cost_scales_with_loop_weight(self):
+        graph, infos, named = build(
+            """
+            int out[1];
+            int id(int x) { return x; }
+            void main() {
+                int across = 3;
+                for (int i = 0; i < 4; i = i + 1) {
+                    out[0] = id(i) + across;
+                }
+            }
+            """
+        )
+        # The call sits at loop depth 1: weight 10, cost 2 * 10.
+        assert infos[named["across"]].caller_cost == 20.0

@@ -1,0 +1,153 @@
+"""Tests for interprocedural save elision (IPRA extension)."""
+
+import pytest
+
+from repro.eval import program_overhead
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import AllocatorOptions, allocate_program
+from tests.conftest import assert_same_globals
+
+#: A leaf that needs very few registers; the caller's loop state sits
+#: in caller-save registers the leaf never touches.
+ELISION_SOURCE = """
+int out[1];
+int tiny(int x) { return x + 1; }
+void main() {
+    int a = 0;
+    int b = 1;
+    int c = 2;
+    for (int i = 0; i < 30; i = i + 1) {
+        a = a + tiny(i);
+        b = b + a % 7;
+        c = c + b % 5;
+    }
+    out[0] = a + b + c;
+}
+"""
+
+CONFIG = RegisterConfig(8, 4, 0, 0)  # no callee-save: elision or pay
+
+
+def allocate(source, ipra, config=CONFIG, options=None):
+    program = compile_source(source)
+    profile = run_program(program).profile
+    allocation = allocate_program(
+        program,
+        register_file(config),
+        options or AllocatorOptions.improved_chaitin(),
+        profile.weights,
+        ipra=ipra,
+    )
+    return program, profile, allocation
+
+
+class TestSummaries:
+    def test_summaries_recorded(self):
+        program, profile, allocation = allocate(ELISION_SOURCE, ipra=True)
+        assert allocation.clobbers is not None
+        assert set(allocation.clobbers) == {"tiny", "main"}
+        # The leaf's summary is a strict subset of all caller-saves.
+        all_caller = {
+            p for p in allocation.regfile.all_registers() if p.is_caller_save
+        }
+        assert allocation.clobbers["tiny"] < all_caller
+
+    def test_caller_summary_includes_callees(self):
+        source = """
+        int out[1];
+        int leaf(int x) { return x * 2; }
+        int mid(int x) { return leaf(x) + 1; }
+        void main() { out[0] = mid(3); }
+        """
+        program, profile, allocation = allocate(source, ipra=True)
+        assert allocation.clobbers["leaf"] <= allocation.clobbers["mid"]
+
+    def test_recursive_functions_conservative(self):
+        source = """
+        int out[1];
+        int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        void main() { out[0] = fact(6); }
+        """
+        program, profile, allocation = allocate(source, ipra=True)
+        all_caller = frozenset(
+            p for p in allocation.regfile.all_registers() if p.is_caller_save
+        )
+        assert allocation.clobbers["fact"] == all_caller
+
+    def test_plain_allocation_has_no_summaries(self):
+        program, profile, allocation = allocate(ELISION_SOURCE, ipra=False)
+        assert allocation.clobbers is None
+
+
+class TestElisionEffect:
+    def test_reduces_caller_save_overhead(self):
+        program, profile, plain = allocate(ELISION_SOURCE, ipra=False)
+        _, _, with_ipra = allocate(ELISION_SOURCE, ipra=True)
+        plain_cost = program_overhead(plain, profile)
+        ipra_cost = program_overhead(with_ipra, profile)
+        assert ipra_cost.caller_save < plain_cost.caller_save
+        assert ipra_cost.spill == plain_cost.spill  # decisions unchanged
+
+    def test_semantics_preserved(self):
+        program, profile, allocation = allocate(ELISION_SOURCE, ipra=True)
+        base = run_program(program)
+        mech = run_allocated(allocation)
+        assert_same_globals(base.globals_state, mech.globals_state)
+
+    def test_recursion_still_correct(self):
+        source = """
+        int out[1];
+        int fib(int n) {
+            if (n < 2) { return n; }
+            int a = fib(n - 1);
+            return a + fib(n - 2);
+        }
+        void main() { out[0] = fib(11); }
+        """
+        program, profile, allocation = allocate(
+            source, ipra=True, config=RegisterConfig(5, 2, 1, 1)
+        )
+        mech = run_allocated(allocation)
+        assert mech.globals_state["out"][0] == 89
+
+    @pytest.mark.parametrize(
+        "name", ["sc", "ear", "li", "eqntott", "compress"]
+    )
+    def test_workload_equivalence_with_ipra(self, name):
+        from repro.workloads import compile_workload
+
+        compiled = compile_workload(name)
+        rf = register_file(RegisterConfig(6, 4, 2, 2))
+        allocation = allocate_program(
+            compiled.program,
+            rf,
+            AllocatorOptions.improved_chaitin(),
+            compiled.dynamic_weights,
+            ipra=True,
+        )
+        mech = run_allocated(allocation)
+        assert_same_globals(compiled.baseline.globals_state, mech.globals_state)
+
+    def test_ipra_never_hurts(self):
+        from repro.workloads import compile_workload
+
+        for name in ("sc", "gcc"):
+            compiled = compile_workload(name)
+            rf = register_file(RegisterConfig(6, 4, 0, 0))
+            options = AllocatorOptions.improved_chaitin()
+            plain = allocate_program(
+                compiled.program, rf, options, compiled.dynamic_weights
+            )
+            with_ipra = allocate_program(
+                compiled.program,
+                rf,
+                options,
+                compiled.dynamic_weights,
+                ipra=True,
+            )
+            assert (
+                program_overhead(with_ipra, compiled.profile).total
+                <= program_overhead(plain, compiled.profile).total
+            )

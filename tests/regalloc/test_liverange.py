@@ -1,0 +1,162 @@
+"""Unit tests for web (live range) construction."""
+
+from repro.ir import INT, verify_program
+from repro.lang import compile_source
+from repro.profile import run_program
+from repro.regalloc import build_webs
+from tests.conftest import assert_same_globals
+
+
+def webs_for(source: str, func_name: str = "main"):
+    program = compile_source(source)
+    func = program.function(func_name)
+    webs = build_webs(func)
+    return program, func, webs
+
+
+class TestSplitting:
+    def test_disjoint_reuse_splits_into_webs(self):
+        # x is used in two completely independent regions; Chaitin-style
+        # allocation treats them as separate live ranges.
+        program, func, webs = webs_for(
+            """
+            int out[2];
+            void main() {
+                int x = 1;
+                out[0] = x + 1;
+                x = 50;
+                out[1] = x + 2;
+            }
+            """
+        )
+        x_webs = [w for w in webs if w.reg.name == "x"]
+        assert len(x_webs) == 2
+
+    def test_loop_carried_variable_is_one_web(self):
+        program, func, webs = webs_for(
+            """
+            int out[1];
+            void main() {
+                int acc = 0;
+                for (int i = 0; i < 4; i = i + 1) {
+                    acc = acc + i;
+                }
+                out[0] = acc;
+            }
+            """
+        )
+        acc_webs = [w for w in webs if w.reg.name == "acc"]
+        # The init def, the loop update and the final use all connect.
+        assert len(acc_webs) == 1
+        assert len(acc_webs[0].def_sites) >= 2
+
+    def test_branch_defs_merge_at_join(self):
+        program, func, webs = webs_for(
+            """
+            int out[1];
+            void main() {
+                int r = 0;
+                if (out[0] > 0) { r = 1; }
+                out[0] = r;
+            }
+            """
+        )
+        # The init def and the branch def both reach the final use:
+        # one web with two definitions.
+        r_webs = [w for w in webs if w.reg.name == "r"]
+        assert len(r_webs) == 1
+        assert len(r_webs[0].def_sites) == 2
+
+    def test_dead_initializer_forms_own_web(self):
+        program, func, webs = webs_for(
+            """
+            int out[1];
+            void main() {
+                int r = 0;
+                if (out[0] > 0) { r = 1; } else { r = 2; }
+                out[0] = r;
+            }
+            """
+        )
+        # Both branches kill the init: the dead init def is its own
+        # web, the two branch defs merge at the join's use.
+        r_webs = [w for w in webs if w.reg.name == "r"]
+        assert len(r_webs) == 2
+        sizes = sorted(len(w.def_sites) for w in r_webs)
+        assert sizes == [1, 2]
+
+
+class TestParameters:
+    def test_param_keeps_register(self):
+        program = compile_source(
+            """
+            int f(int a) { return a + 1; }
+            void main() { int x = f(3); }
+            """
+        )
+        func = program.function("f")
+        param = func.params[0]
+        build_webs(func)
+        assert func.params[0] is param
+
+    def test_param_reassignment_splits(self):
+        program = compile_source(
+            """
+            int out[1];
+            int f(int a) {
+                int first = a * 2;
+                a = 7;
+                return first + a;
+            }
+            void main() { out[0] = f(3); }
+            """
+        )
+        func = program.function("f")
+        webs = build_webs(func)
+        a_webs = [w for w in webs if w.reg.name == "a"]
+        assert len(a_webs) == 2
+        # The web containing the entry definition keeps the parameter.
+        entry_webs = [w for w in a_webs if (func.entry, -1) in w.def_sites]
+        assert len(entry_webs) == 1
+        assert entry_webs[0].reg is func.params[0]
+
+
+class TestSemanticsPreserved:
+    def test_renaming_preserves_execution(self):
+        source = """
+        int out[4];
+        int helper(int v) { return v * 3; }
+        void main() {
+            int x = 2;
+            out[0] = helper(x);
+            x = 10;
+            out[1] = helper(x);
+            int y = 0;
+            for (int i = 0; i < 5; i = i + 1) { y = y + i; }
+            out[2] = y;
+        }
+        """
+        program = compile_source(source)
+        before = run_program(program).globals_state
+        for func in program.functions.values():
+            build_webs(func)
+        verify_program(program)
+        after = run_program(program).globals_state
+        assert_same_globals(before, after)
+
+    def test_idempotent(self):
+        source = """
+        int out[1];
+        void main() {
+            int x = 1;
+            out[0] = x;
+            x = 2;
+            out[0] = out[0] + x;
+        }
+        """
+        program = compile_source(source)
+        func = program.function("main")
+        first = build_webs(func)
+        second = build_webs(func)
+        # After renaming, every register already is one web.
+        assert len(second) == len(first)

@@ -1,0 +1,166 @@
+"""The paper's worked examples, end to end through ordering+assignment.
+
+Figures 3, 4 and 5 each describe a small interference graph, the
+decision the enhanced allocator makes, and the load/store savings at
+stake.  These tests run the actual phases over those graphs and check
+the *outcome costs*, not just the orderings.
+
+Cost accounting mirrors the paper's: a range in its preferred-kind
+register saves its benefit; the model cost of an outcome is the spill
+cost of spilled ranges plus caller-save cost of caller-assigned ones
+plus the callee cost of each callee-save register opened.
+"""
+
+from repro.machine import RegisterConfig, RegisterFile
+from repro.regalloc import AllocatorOptions, ColorAssigner, simplify
+from repro.regalloc.benefits import delta_key, max_key
+from repro.regalloc.preference import preference_decisions
+from tests.regalloc.helpers import from_benefits
+from tests.regalloc.test_figure8_optimistic import decision_cost
+
+
+def run_pipeline(
+    graph, infos, benefits, regs, config, key=delta_key, forced=frozenset(),
+    callee_cost=2.0,
+):
+    rf = RegisterFile(RegisterConfig(*config))
+    ordering = simplify(
+        graph, infos, rf, key_fn=lambda r: key(benefits[r])
+    )
+    assigner = ColorAssigner(
+        graph,
+        infos,
+        benefits,
+        rf,
+        AllocatorOptions.improved_chaitin(sc=True, bs=True, pr=False),
+        forced_caller=set(forced),
+        callee_cost=callee_cost,
+    )
+    result = assigner.run(ordering.stack)
+    spilled = list(ordering.spilled) + list(result.spilled)
+    return result.assignment, spilled
+
+
+class TestFigure3:
+    """Benefit-driven simplification: 2 callee-save + 1 caller-save.
+
+    Three ranges all preferring callee-save; x and y (benefit pair
+    1000/2000) must receive the two callee-save registers, z (100/200)
+    the caller-save one: savings 2000+2000+100 = 4100 rather than the
+    naive ordering's 2000+2000(only one) ... = 3200.
+    """
+
+    SPECS = {
+        "x": (1000.0, 2000.0),
+        "y": (1000.0, 2000.0),
+        "z": (100.0, 200.0),
+    }
+    EDGES = [("x", "y"), ("x", "z"), ("y", "z")]
+
+    def savings(self, assignment, benefits, regs):
+        total = 0.0
+        for name, reg in regs.items():
+            phys = assignment.get(reg)
+            if phys is None:
+                continue
+            total += (
+                benefits[reg].callee if phys.is_callee_save else benefits[reg].caller
+            )
+        return total
+
+    def test_delta_key_reaches_best_allocation(self):
+        graph, infos, benefits, regs = from_benefits(
+            self.SPECS, self.EDGES, callee_cost=10.0
+        )
+        assignment, spilled = run_pipeline(
+            graph, infos, benefits, regs, (1, 1, 2, 1), callee_cost=10.0
+        )
+        assert not spilled
+        assert assignment[regs["x"]].is_callee_save
+        assert assignment[regs["y"]].is_callee_save
+        assert assignment[regs["z"]].is_caller_save
+        assert self.savings(assignment, benefits, regs) == 4100.0
+
+
+class TestFigure4:
+    """Delta vs max key on the x-y-z triangle.
+
+    x, y: (1800, 2000); z: (500, 1500).  Max key gives x,y the
+    callee-save registers (savings 4500); the delta key protects z
+    (penalty 1000 vs 200) and reaches 5300.
+    """
+
+    SPECS = {
+        "x": (1800.0, 2000.0),
+        "y": (1800.0, 2000.0),
+        "z": (500.0, 1500.0),
+    }
+    EDGES = [("x", "y"), ("y", "z"), ("z", "x")]
+
+    def _savings(self, key):
+        graph, infos, benefits, regs = from_benefits(
+            self.SPECS, self.EDGES, callee_cost=10.0
+        )
+        assignment, spilled = run_pipeline(
+            graph, infos, benefits, regs, (1, 1, 2, 1), key=key, callee_cost=10.0
+        )
+        assert not spilled
+        return sum(
+            benefits[reg].callee if phys.is_callee_save else benefits[reg].caller
+            for reg, phys in assignment.items()
+        )
+
+    def test_max_key_savings(self):
+        assert self._savings(max_key) == 1800.0 + 2000.0 + 1500.0 - 800.0  # 4500
+
+    def test_delta_key_savings(self):
+        assert self._savings(delta_key) == 1800.0 + 2000.0 + 1500.0  # 5300
+
+    def test_delta_beats_max(self):
+        assert self._savings(delta_key) > self._savings(max_key)
+
+
+class TestFigure5Style:
+    """The preference decision arbitrating one callee-save register.
+
+    Two ranges cross the same hot call and both prefer callee-save;
+    only one callee-save register exists.  Without PR, simplification
+    order can hand it to the cheap one; PR demotes the cheap one so
+    the expensive one is guaranteed the register.
+    """
+
+    def _scenario(self):
+        # "big" loses 4000 if demoted (caller cost), "small" loses 300.
+        specs = {
+            "big": (1000.0, 4900.0),   # caller benefit, callee benefit
+            "small": (4600.0, 4898.0),
+        }
+        # They interfere (both live across the same call).
+        return from_benefits(specs, [("big", "small")], callee_cost=100.0)
+
+    def test_pr_forces_the_cheap_range_to_caller(self):
+        graph, infos, benefits, regs = self._scenario()
+        from repro.analysis.frequency import BlockWeights
+
+        call_block = infos[regs["big"]].crossed_calls[0][0]
+        weights = BlockWeights(weights={call_block: 100.0}, entry_weight=50.0)
+        rf = RegisterFile(RegisterConfig(2, 1, 1, 1))
+        forced = preference_decisions(infos, benefits, weights, rf)
+        assert forced == {regs["small"]}
+
+    def test_outcome_with_and_without_pr(self):
+        graph, infos, benefits, regs = self._scenario()
+        assignment, spilled = run_pipeline(
+            graph, infos, benefits, regs, (2, 1, 1, 1),
+            forced={regs["small"]}, callee_cost=100.0,
+        )
+        assert assignment[regs["big"]].is_callee_save
+        assert assignment[regs["small"]].is_caller_save
+        with_pr = decision_cost(assignment, spilled, infos, 100.0)
+
+        graph, infos, benefits, regs = self._scenario()
+        assignment, spilled = run_pipeline(
+            graph, infos, benefits, regs, (2, 1, 1, 1), callee_cost=100.0
+        )
+        without_pr = decision_cost(assignment, spilled, infos, 100.0)
+        assert with_pr <= without_pr

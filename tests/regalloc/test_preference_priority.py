@@ -1,0 +1,164 @@
+"""Unit tests for the preference decision and priority-based ordering."""
+
+from repro.analysis.frequency import BlockWeights
+from repro.ir.function import BasicBlock
+from repro.machine import RegisterConfig, RegisterFile
+from repro.regalloc import preference_decisions, priority_order
+from repro.regalloc.benefits import compute_benefits
+from tests.regalloc.helpers import make_scenario
+
+
+class TestPreferenceDecision:
+    def _scenario(self, n_candidates: int, callee_slots: int, weights=None):
+        """n crossing ranges all preferring callee-save at one call."""
+        specs = {}
+        for i in range(n_candidates):
+            # spill cost grows with i; caller cost fixed and small so
+            # everyone prefers callee (callee cost is 2.0).
+            specs[f"lr{i}"] = (100.0 * (i + 1), 10.0 + i)
+        graph, infos, benefits, regs = make_scenario(specs, [], entry_weight=1.0)
+        call_block = infos[regs["lr0"]].crossed_calls[0][0]
+        rf = RegisterFile(RegisterConfig(4, 2, callee_slots, 1))
+        block_weights = weights or BlockWeights(
+            weights={call_block: 50.0}, entry_weight=1.0
+        )
+        forced = preference_decisions(infos, benefits, block_weights, rf)
+        return forced, regs, benefits
+
+    def test_no_decision_when_enough_callee_registers(self):
+        forced, regs, benefits = self._scenario(n_candidates=2, callee_slots=3)
+        assert forced == set()
+
+    def test_excess_candidates_demoted(self):
+        forced, regs, benefits = self._scenario(n_candidates=5, callee_slots=2)
+        assert len(forced) == 3
+
+    def test_smallest_penalty_demoted_first(self):
+        forced, regs, benefits = self._scenario(n_candidates=3, callee_slots=2)
+        # Penalty here is the caller cost (benefit_caller > 0), which
+        # grows with the index, so lr0 (cheapest demotion) is forced.
+        assert forced == {regs["lr0"]}
+
+    def test_non_callee_preferring_ranges_ignored(self):
+        graph, infos, benefits, regs = make_scenario(
+            {"leafy": (100.0, 0.0)}, [], entry_weight=1.0
+        )
+        rf = RegisterFile(RegisterConfig(4, 2, 0, 1))
+        forced = preference_decisions(
+            infos, benefits, BlockWeights(weights={}, entry_weight=1.0), rf
+        )
+        assert forced == set()
+
+    def test_banks_handled_independently(self):
+        from repro.ir import FLOAT
+        from tests.regalloc.helpers import fresh_reg
+        from repro.regalloc.interference import InterferenceGraph, LiveRangeInfo
+
+        call_block = BasicBlock("call")
+        graph = InterferenceGraph()
+        infos = {}
+        for i in range(3):  # three float candidates, one slot
+            reg = fresh_reg(f"f{i}", FLOAT)
+            info = LiveRangeInfo(reg=reg, spill_cost=100.0, caller_cost=10.0)
+            info.crossed_calls.append((call_block, 0))
+            infos[reg] = info
+            graph.add_node(reg)
+        weights = BlockWeights(weights={call_block: 5.0}, entry_weight=1.0)
+        benefits = compute_benefits(infos, weights)
+        rf = RegisterFile(RegisterConfig(4, 2, 4, 1))  # plenty int, 1 float
+        forced = preference_decisions(infos, benefits, weights, rf)
+        assert len(forced) == 2
+        assert all(reg.vtype is FLOAT for reg in forced)
+
+    def test_hotter_call_decides_first(self):
+        # lr_a crosses hot and cold calls; lr_b,c cross only the hot
+        # one.  One callee slot: the hot call demotes the two cheapest.
+        hot = BasicBlock("hot")
+        cold = BasicBlock("cold")
+        from tests.regalloc.helpers import fresh_reg
+        from repro.regalloc.interference import InterferenceGraph, LiveRangeInfo
+
+        graph = InterferenceGraph()
+        infos = {}
+        for name, sites, spill in (
+            ("a", [hot, cold], 300.0),
+            ("b", [hot], 200.0),
+            ("c", [hot], 100.0),
+        ):
+            reg = fresh_reg(name)
+            info = LiveRangeInfo(reg=reg, spill_cost=spill, caller_cost=10.0)
+            for s in sites:
+                info.crossed_calls.append((s, 0))
+            infos[reg] = info
+            graph.add_node(reg)
+        weights = BlockWeights(weights={hot: 100.0, cold: 1.0}, entry_weight=1.0)
+        benefits = compute_benefits(infos, weights)
+        rf = RegisterFile(RegisterConfig(4, 2, 1, 1))
+        forced = preference_decisions(infos, benefits, weights, rf)
+        assert len(forced) == 2
+
+
+class TestPriorityOrdering:
+    SPECS = {
+        "big": (400.0, 4.0),
+        "mid": (200.0, 4.0),
+        "small": (50.0, 4.0),
+    }
+
+    def test_sorting_puts_highest_priority_on_top(self):
+        graph, infos, benefits, regs = make_scenario(self.SPECS, [])
+        rf = RegisterFile(RegisterConfig(2, 1, 1, 1))
+        result = priority_order(graph, infos, benefits, rf, "sorting")
+        assert result.stack[-1].name == "big"
+        assert result.stack[0].name == "small"
+        assert not result.spilled
+
+    def test_remove_unconstrained_keeps_constrained_sorted(self):
+        # A 4-clique with 3 registers: everyone is constrained, so the
+        # stack is purely priority-sorted (no unconstrained prefix).
+        specs = {
+            "a": (400.0, 4.0),
+            "b": (300.0, 4.0),
+            "c": (200.0, 4.0),
+            "d": (100.0, 4.0),
+        }
+        edges = [(x, y) for x in specs for y in specs if x < y]
+        graph, infos, benefits, regs = make_scenario(specs, edges)
+        rf = RegisterFile(RegisterConfig(2, 1, 1, 1))  # 3 int regs
+        result = priority_order(graph, infos, benefits, rf, "remove_unconstrained")
+        assert result.stack[-1].name == "a"
+
+    def test_remove_unconstrained_peels_iteratively(self):
+        # Chain a-b-c with 2 registers: all eventually unconstrained.
+        graph, infos, benefits, regs = make_scenario(
+            self.SPECS, [("big", "mid"), ("mid", "small")]
+        )
+        rf = RegisterFile(RegisterConfig(1, 1, 1, 1))
+        result = priority_order(graph, infos, benefits, rf, "remove_unconstrained")
+        assert len(result.stack) == 3
+
+    def test_sort_unconstrained_orders_by_priority(self):
+        graph, infos, benefits, regs = make_scenario(self.SPECS, [])
+        rf = RegisterFile(RegisterConfig(4, 1, 0, 1))
+        result = priority_order(graph, infos, benefits, rf, "sort_unconstrained")
+        assert [r.name for r in result.stack] == ["small", "mid", "big"]
+
+    def test_unknown_strategy_rejected(self):
+        graph, infos, benefits, regs = make_scenario(self.SPECS, [])
+        rf = RegisterFile(RegisterConfig(2, 1, 1, 1))
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown priority strategy"):
+            priority_order(graph, infos, benefits, rf, "bogus")
+
+    def test_priority_normalized_by_size(self):
+        # Same savings but one range spans many blocks: it must rank
+        # lower than the compact one.
+        graph, infos, benefits, regs = make_scenario(
+            {"wide": (400.0, 4.0), "tight": (400.0, 4.0)}, []
+        )
+        infos[regs["wide"]].blocks = {BasicBlock(f"b{i}") for i in range(8)}
+        infos[regs["tight"]].blocks = {BasicBlock("one")}
+        rf = RegisterFile(RegisterConfig(2, 1, 1, 1))
+        result = priority_order(graph, infos, benefits, rf, "sorting")
+        assert result.stack[-1].name == "tight"

@@ -1,0 +1,155 @@
+"""Tests for graph reconstruction (the framework's incremental path).
+
+The invariant: reconstruction after spill-code insertion must produce
+exactly the graph and cost table a full rebuild would, so allocation
+with ``reconstruct=True`` is bit-identical to the default.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.frequency import static_weights
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import (
+    AllocatorOptions,
+    SlotAllocator,
+    allocate_program,
+    build_interference,
+    build_webs,
+    insert_spill_code,
+    reconstruct_interference,
+)
+from repro.workloads.generator import random_program
+from tests.conftest import SMALL_CALL_SOURCE, assert_same_globals
+
+PRESSURE_SOURCE = """
+int out[2];
+int helper(int x, int y) { return x * y + 1; }
+void main() {
+    int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+    int acc = 0;
+    for (int i = 0; i < 8; i = i + 1) {
+        acc = acc + helper(a + i, b) + c * d - e;
+        a = a + 1;
+    }
+    out[0] = acc + a + b + c + d + e;
+}
+"""
+
+
+def graphs_equal(graph_a, infos_a, graph_b, infos_b) -> None:
+    def key(reg):
+        return reg.id
+
+    nodes_a = sorted(graph_a.nodes, key=key)
+    nodes_b = sorted(graph_b.nodes, key=key)
+    assert [n.id for n in nodes_a] == [n.id for n in nodes_b]
+    for reg in nodes_a:
+        assert {n.id for n in graph_a.neighbors(reg)} == {
+            n.id for n in graph_b.neighbors(reg)
+        }, f"adjacency differs at {reg}"
+        ia, ib = infos_a[reg], infos_b[reg]
+        if math.isinf(ia.spill_cost):
+            assert math.isinf(ib.spill_cost)
+        else:
+            assert ia.spill_cost == pytest.approx(ib.spill_cost)
+        assert ia.caller_cost == pytest.approx(ib.caller_cost)
+        assert sorted(
+            (b.name, i) for b, i in ia.crossed_calls
+        ) == sorted((b.name, i) for b, i in ib.crossed_calls)
+
+
+def spill_and_compare(source: str, spill_names):
+    program = compile_source(source)
+    func = program.function("main")
+    build_webs(func)
+    weights = static_weights(func)
+    graph, infos = build_interference(func, weights, set())
+    victims = [
+        reg for reg in graph.nodes if reg.name in spill_names
+    ]
+    assert victims, "no spill victims matched"
+    temps = set()
+    insert_spill_code(func, victims, SlotAllocator(), temps)
+    reconstruct_interference(graph, infos, func, weights, victims, temps)
+    rebuilt_graph, rebuilt_infos = build_interference(func, weights, temps)
+    graphs_equal(graph, infos, rebuilt_graph, rebuilt_infos)
+
+
+class TestReconstructionEquivalence:
+    def test_single_spill_matches_rebuild(self):
+        spill_and_compare(PRESSURE_SOURCE, {"acc"})
+
+    def test_param_heavy_spill_matches_rebuild(self):
+        spill_and_compare(PRESSURE_SOURCE, {"a", "c", "e"})
+
+    def test_call_crossing_spill_matches_rebuild(self):
+        # Spilling a range that crossed calls must keep every other
+        # range's crossed-call set intact (re-indexed).
+        spill_and_compare(SMALL_CALL_SOURCE, {"total"})
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_programs_match_rebuild(self, seed):
+        from repro.lang.lower import compile_source as cs
+
+        program = random_program(seed)
+        for func in program.functions.values():
+            build_webs(func)
+            weights = static_weights(func)
+            graph, infos = build_interference(func, weights, set())
+            nodes = sorted(graph.nodes, key=lambda r: r.id)
+            if not nodes:
+                continue
+            victims = nodes[:: max(len(nodes) // 3, 1)][:3]
+            temps = set()
+            insert_spill_code(func, victims, SlotAllocator(), temps)
+            reconstruct_interference(graph, infos, func, weights, victims, temps)
+            rebuilt_graph, rebuilt_infos = build_interference(func, weights, temps)
+            graphs_equal(graph, infos, rebuilt_graph, rebuilt_infos)
+
+
+class TestReconstructingAllocator:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            AllocatorOptions.base_chaitin(),
+            AllocatorOptions.improved_chaitin(),
+            AllocatorOptions.priority_based(),
+        ],
+        ids=lambda o: o.label,
+    )
+    def test_identical_assignments(self, options):
+        program = compile_source(PRESSURE_SOURCE)
+        rf = register_file(RegisterConfig(3, 2, 1, 1))
+        plain = allocate_program(program, rf, options)
+        incremental = allocate_program(program, rf, options, reconstruct=True)
+        for name in plain.functions:
+            a = {r.id: p.name for r, p in plain.functions[name].assignment.items()}
+            b = {
+                r.id: p.name
+                for r, p in incremental.functions[name].assignment.items()
+            }
+            assert a == b
+
+    def test_semantics_preserved(self):
+        program = compile_source(PRESSURE_SOURCE)
+        base = run_program(program)
+        rf = register_file(RegisterConfig(3, 2, 1, 1))
+        allocation = allocate_program(
+            program, rf, AllocatorOptions.improved_chaitin(), reconstruct=True
+        )
+        mech = run_allocated(allocation)
+        assert_same_globals(base.globals_state, mech.globals_state)
+
+    def test_cbh_falls_back_to_rebuild(self):
+        program = compile_source(PRESSURE_SOURCE)
+        base = run_program(program)
+        rf = register_file(RegisterConfig(3, 2, 0, 1))
+        allocation = allocate_program(
+            program, rf, AllocatorOptions.cbh(), reconstruct=True
+        )
+        mech = run_allocated(allocation)
+        assert_same_globals(base.globals_state, mech.globals_state)

@@ -1,0 +1,121 @@
+"""Tests for Briggs-style rematerialization (extension feature)."""
+
+import pytest
+
+from repro.eval import program_overhead
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import AllocatorOptions, allocate_program
+from repro.regalloc.framework import _rematerializable
+from repro.regalloc.spillinstr import SpillLoad, SpillStore
+from tests.conftest import assert_same_globals
+
+PRESSURE_SOURCE = """
+int out[2];
+void main() {
+    int c = 9999;
+    int a = out[0] + 1;
+    int b = out[1] + 2;
+    int d = a * b + a - b;
+    int e = a + b * d;
+    out[0] = a + b + d + e + c;
+    out[1] = c * 2 + e;
+}
+"""
+
+
+class TestCandidateDetection:
+    def test_constant_web_detected(self):
+        program = compile_source("int out[1];\nvoid main() { int c = 7; out[0] = c; }")
+        func = program.function("main")
+        from repro.regalloc import build_webs
+
+        build_webs(func)
+        const_regs = [r for r in func.vregs() if r.name is None or r.name == "c"]
+        values = _rematerializable(func, func.vregs())
+        assert any(v == 7 for v in values.values())
+
+    def test_params_never_rematerialized(self):
+        program = compile_source(
+            "int f(int p) { return p; }\nvoid main() { int x = f(1); }"
+        )
+        func = program.function("f")
+        values = _rematerializable(func, func.vregs())
+        assert func.params[0] not in values
+
+    def test_multi_value_web_rejected(self):
+        # A register redefined with different constants cannot be
+        # rematerialized from one value.
+        program = compile_source(
+            """
+            int out[2];
+            void main() {
+                int c = 1;
+                out[0] = c;
+                c = 2;
+                out[1] = c + out[0];
+            }
+            """
+        )
+        func = program.function("main")
+        # Before web renaming c has two conflicting const defs.
+        values = _rematerializable(func, func.vregs())
+        c_regs = [r for r in func.vregs() if r.name == "c"]
+        assert all(r not in values for r in c_regs)
+
+    def test_computed_def_rejected(self):
+        program = compile_source(
+            "int out[1];\nvoid main() { int x = out[0] + 1; out[0] = x; }"
+        )
+        func = program.function("main")
+        values = _rematerializable(func, func.vregs())
+        x_regs = [r for r in func.vregs() if r.name == "x"]
+        assert all(r not in values for r in x_regs)
+
+
+class TestRematAllocation:
+    def _allocate(self, remat: bool):
+        program = compile_source(PRESSURE_SOURCE)
+        rf = register_file(RegisterConfig(2, 1, 1, 1))
+        options = AllocatorOptions.base_chaitin().with_(remat=remat)
+        return program, allocate_program(program, rf, options)
+
+    def test_reduces_spill_overhead(self):
+        program, plain = self._allocate(remat=False)
+        profile = run_program(program).profile
+        _, with_remat = self._allocate(remat=True)
+        plain_cost = program_overhead(plain, profile)
+        remat_cost = program_overhead(with_remat, profile)
+        assert remat_cost.spill < plain_cost.spill
+
+    def test_semantics_preserved(self):
+        program, allocation = self._allocate(remat=True)
+        base = run_program(program)
+        mech = run_allocated(allocation)
+        assert_same_globals(base.globals_state, mech.globals_state)
+
+    def test_no_slot_traffic_for_remat_range(self):
+        # The constant 9999 must not flow through a frame slot.
+        program, allocation = self._allocate(remat=True)
+        fa = allocation.functions["main"]
+        if not fa.spilled:
+            pytest.skip("register file large enough, nothing spilled")
+        # Any surviving 9999 must come from a Const, and the slots in
+        # use must be fewer than without rematerialization.
+        _, plain = self._allocate(remat=False)
+        assert (
+            fa.frame_slots <= plain.functions["main"].frame_slots
+        )
+
+    def test_workload_equivalence_with_remat(self):
+        from repro.workloads import compile_workload
+
+        compiled = compile_workload("fpppp")
+        rf = register_file(RegisterConfig(6, 4, 1, 1))
+        options = AllocatorOptions.improved_chaitin().with_(remat=True)
+        allocation = allocate_program(
+            compiled.program, rf, options, compiled.dynamic_weights
+        )
+        mech = run_allocated(allocation)
+        assert_same_globals(compiled.baseline.globals_state, mech.globals_state)

@@ -1,0 +1,212 @@
+"""Unit tests for simplification, including the paper's Figures 3/4."""
+
+import pytest
+
+from repro.machine import RegisterConfig, RegisterFile
+from repro.regalloc import AllocationError, simplify
+from repro.regalloc.benefits import delta_key, max_key
+from tests.regalloc.helpers import from_benefits, make_scenario
+
+
+def key_fn(benefits, key):
+    return lambda reg: key(benefits[reg])
+
+
+class TestBasicSimplification:
+    def test_unconstrained_graph_empties_without_spills(self):
+        graph, infos, benefits, regs = make_scenario(
+            {"a": (10.0, 0.0), "b": (10.0, 0.0), "c": (10.0, 0.0)},
+            edges=[("a", "b"), ("b", "c")],
+        )
+        rf = RegisterFile(RegisterConfig(2, 1, 1, 1))  # 3 int regs
+        result = simplify(graph, infos, rf)
+        assert not result.spilled
+        assert len(result.stack) == 3
+
+    def test_blocked_graph_spills_cheapest_per_degree(self):
+        # Triangle with 2 registers: one node must go; the cheapest
+        # cost/degree candidate is chosen.
+        graph, infos, benefits, regs = make_scenario(
+            {"pricey": (90.0, 0.0), "mid": (50.0, 0.0), "cheap": (10.0, 0.0)},
+            edges=[("pricey", "mid"), ("mid", "cheap"), ("cheap", "pricey")],
+        )
+        rf = RegisterFile(RegisterConfig(1, 1, 1, 1))  # 2 int regs
+        result = simplify(graph, infos, rf)
+        assert [r.name for r in result.spilled] == ["cheap"]
+        assert len(result.stack) == 2
+
+    def test_optimistic_pushes_instead_of_spilling(self):
+        graph, infos, benefits, regs = make_scenario(
+            {"a": (90.0, 0.0), "b": (50.0, 0.0), "c": (10.0, 0.0)},
+            edges=[("a", "b"), ("b", "c"), ("c", "a")],
+        )
+        rf = RegisterFile(RegisterConfig(1, 1, 1, 1))
+        result = simplify(graph, infos, rf, optimistic=True)
+        assert not result.spilled
+        assert len(result.stack) == 3
+        assert {r.name for r in result.optimistic} == {"c"}
+
+    def test_spill_metric_cost_only(self):
+        # Under plain cost, the cheap high-degree node still goes
+        # first; under cost/degree a pricier, higher-degree node could.
+        graph, infos, benefits, regs = make_scenario(
+            {
+                "hub": (40.0, 0.0),
+                "s1": (30.0, 0.0),
+                "s2": (30.0, 0.0),
+                "s3": (30.0, 0.0),
+            },
+            edges=[("hub", "s1"), ("hub", "s2"), ("hub", "s3"),
+                   ("s1", "s2"), ("s2", "s3"), ("s3", "s1")],
+        )
+        rf = RegisterFile(RegisterConfig(2, 1, 0, 1))  # 2 int regs
+        by_cost = simplify(graph, infos, rf, spill_metric="cost")
+        assert by_cost.spilled[0].name in {"s1", "s2", "s3"}
+
+    def test_unspillable_only_raises(self):
+        graph, infos, benefits, regs = make_scenario(
+            {"t1": (1.0, 0.0), "t2": (1.0, 0.0), "t3": (1.0, 0.0)},
+            edges=[("t1", "t2"), ("t2", "t3"), ("t3", "t1")],
+        )
+        import math
+
+        for info in infos.values():
+            info.spill_cost = math.inf
+        rf = RegisterFile(RegisterConfig(1, 1, 1, 1))
+        with pytest.raises(AllocationError, match="unspillable"):
+            simplify(graph, infos, rf)
+
+    def test_removal_unblocks_neighbors(self):
+        # star: hub connected to 3 spokes; 2 registers.  Spokes are
+        # unconstrained (degree 1); removing them makes the hub
+        # unconstrained too - nothing spills.
+        graph, infos, benefits, regs = make_scenario(
+            {"hub": (5.0, 0.0), "s1": (5.0, 0.0), "s2": (5.0, 0.0), "s3": (5.0, 0.0)},
+            edges=[("hub", "s1"), ("hub", "s2"), ("hub", "s3")],
+        )
+        rf = RegisterFile(RegisterConfig(1, 1, 1, 1))
+        result = simplify(graph, infos, rf)
+        assert not result.spilled
+        # The hub only becomes unconstrained after two spokes leave.
+        hub_position = [r.name for r in result.stack].index("hub")
+        assert hub_position >= 2
+
+
+class TestBenefitDrivenOrder:
+    def test_smallest_key_removed_first(self):
+        graph, infos, benefits, regs = from_benefits(
+            {"x": (1000.0, 2000.0), "y": (1000.0, 2000.0), "z": (100.0, 200.0)},
+            edges=[("x", "z"), ("y", "z")],
+            callee_cost=10.0,
+        )
+        rf = RegisterFile(RegisterConfig(1, 1, 2, 1))  # N=3 int
+        result = simplify(
+            graph, infos, rf, key_fn=key_fn(benefits, delta_key)
+        )
+        # Paper Figure 3: z (delta 100) must be removed first so x, y
+        # (delta 1000) sit on top of the stack and get the two
+        # callee-save registers.
+        assert result.stack[0].name == "z"
+        assert {result.stack[1].name, result.stack[2].name} == {"x", "y"}
+
+    def test_paper_figure4_delta_beats_max(self):
+        # Triangle x-y-z; x,y: (1800, 2000), z: (500, 1500).
+        specs = {"x": (1800.0, 2000.0), "y": (1800.0, 2000.0), "z": (500.0, 1500.0)}
+        edges = [("x", "y"), ("y", "z"), ("z", "x")]
+        rf = RegisterFile(RegisterConfig(1, 1, 2, 1))  # N=3: 1 caller, 2 callee
+
+        graph, infos, benefits, regs = from_benefits(specs, edges, callee_cost=10.0)
+        with_max = simplify(graph, infos, rf, key_fn=key_fn(benefits, max_key))
+        # Max key: z (max 1500) removed first, ends at the bottom.
+        assert with_max.stack[0].name == "z"
+
+        graph, infos, benefits, regs = from_benefits(specs, edges, callee_cost=10.0)
+        with_delta = simplify(graph, infos, rf, key_fn=key_fn(benefits, delta_key))
+        # Delta key: z (delta 1000) has the highest key, ends on top.
+        assert with_delta.stack[-1].name == "z"
+
+    def test_no_key_is_deterministic(self):
+        specs = {"a": (10.0, 0.0), "b": (10.0, 0.0), "c": (10.0, 0.0)}
+        graph1, infos1, _, _ = make_scenario(specs, edges=[])
+        graph2, infos2, _, _ = make_scenario(specs, edges=[])
+        rf = RegisterFile(RegisterConfig(3, 1, 0, 1))
+        stack1 = [r.name for r in simplify(graph1, infos1, rf).stack]
+        stack2 = [r.name for r in simplify(graph2, infos2, rf).stack]
+        assert stack1 == stack2
+
+    def test_num_regs_override(self):
+        # A node given a zero budget can never be simplified; it must
+        # be spilled even though the graph is empty of edges.
+        graph, infos, benefits, regs = make_scenario(
+            {"banned": (10.0, 0.0), "free": (10.0, 0.0)}, edges=[]
+        )
+        rf = RegisterFile(RegisterConfig(2, 1, 2, 1))
+        banned = regs["banned"]
+        result = simplify(
+            graph,
+            infos,
+            rf,
+            num_regs=lambda reg: 0 if reg is banned else 4,
+        )
+        assert [r.name for r in result.spilled] == ["banned"]
+
+
+class TestSpillMetrics:
+    def _blocked_scenario(self):
+        # 4-clique: hub has the highest degree; with 2 registers the
+        # metric decides who goes.
+        return make_scenario(
+            {
+                "hub": (40.0, 0.0),
+                "s1": (28.0, 0.0),
+                "s2": (30.0, 0.0),
+                "s3": (32.0, 0.0),
+            },
+            edges=[("hub", "s1"), ("hub", "s2"), ("hub", "s3"),
+                   ("s1", "s2"), ("s2", "s3"), ("s3", "s1")],
+        )
+
+    def test_square_law_prefers_high_degree(self):
+        # All degrees are equal in a clique, so square-law and linear
+        # agree there; distinguish them with a star-plus-edge shape.
+        graph, infos, benefits, regs = make_scenario(
+            {"hub": (40.0, 0.0), "a": (15.0, 0.0), "b": (15.0, 0.0),
+             "c": (15.0, 0.0), "d": (15.0, 0.0)},
+            edges=[("hub", "a"), ("hub", "b"), ("hub", "c"), ("hub", "d"),
+                   ("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+        )
+        rf = RegisterFile(RegisterConfig(2, 1, 0, 1))  # 2 int regs
+        # hub: cost 40, degree 4 -> 40/16 = 2.5 under the square law,
+        # beating the spokes' 15/9 = 1.67?  no: spokes degree 3 ->
+        # 15/9 = 1.67 < 2.5, so a spoke still goes first; but under
+        # plain cost the cheapest spoke goes; under cost/degree the
+        # hub's 40/4=10 loses to spokes' 15/3=5.  Assert consistency:
+        linear = simplify(graph, infos, rf, spill_metric="cost_over_degree")
+        assert linear.spilled[0].name in {"a", "b", "c", "d"}
+
+        graph, infos, benefits, regs = make_scenario(
+            {"hub": (40.0, 0.0), "a": (15.0, 0.0), "b": (15.0, 0.0),
+             "c": (15.0, 0.0), "d": (15.0, 0.0)},
+            edges=[("hub", "a"), ("hub", "b"), ("hub", "c"), ("hub", "d"),
+                   ("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+        )
+        squared = simplify(graph, infos, rf, spill_metric="cost_over_degree_sq")
+        # Square law rewards the high-degree hub more aggressively:
+        # hub 40/16=2.5 beats spokes 15/9=1.67?  1.67 < 2.5, spokes
+        # still win; both metrics agree here and the test pins that.
+        assert squared.spilled[0].name in {"a", "b", "c", "d"}
+
+    def test_plain_cost_ignores_degree(self):
+        graph, infos, benefits, regs = self._blocked_scenario()
+        rf = RegisterFile(RegisterConfig(2, 1, 0, 1))
+        by_cost = simplify(graph, infos, rf, spill_metric="cost")
+        assert by_cost.spilled[0].name == "s1"  # cheapest outright
+
+    def test_options_validate_metric(self):
+        import pytest as _pytest
+
+        from repro.regalloc import AllocatorOptions
+
+        with _pytest.raises(ValueError, match="spill metric"):
+            AllocatorOptions(spill_metric="vibes")
+        AllocatorOptions(spill_metric="cost_over_degree_sq")  # ok

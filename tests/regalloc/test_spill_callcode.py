@@ -1,0 +1,174 @@
+"""Unit tests for spill-code and save/restore-code insertion."""
+
+from repro.analysis.frequency import static_weights
+from repro.ir import Branch, Call, Copy
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import (
+    AllocatorOptions,
+    SlotAllocator,
+    allocate_program,
+    build_webs,
+    insert_spill_code,
+)
+from repro.regalloc.callcode import callee_saved_registers
+from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+from tests.conftest import assert_same_globals
+
+
+class TestSpillCodeInsertion:
+    def _spill_everything(self, source: str, func_name: str = "main"):
+        program = compile_source(source)
+        func = program.function(func_name)
+        build_webs(func)
+        regs = [r for r in func.vregs()]
+        temps = set()
+        slots = SlotAllocator()
+        slot_of = insert_spill_code(func, regs, slots, temps)
+        return program, func, temps, slot_of
+
+    def test_every_use_preceded_by_reload(self):
+        program, func, temps, slot_of = self._spill_everything(
+            "int out[1];\nvoid main() { int a = 2; out[0] = a + 3; }"
+        )
+        for block in func.blocks:
+            for i, instr in enumerate(block.instrs):
+                for used in instr.uses():
+                    if used in temps and not isinstance(instr, SpillStore):
+                        kinds = [
+                            type(p).__name__ for p in block.instrs[:i]
+                        ]
+                        assert "SpillLoad" in kinds
+
+    def test_defs_followed_by_store(self):
+        program, func, temps, slot_of = self._spill_everything(
+            "int out[1];\nvoid main() { int a = 2; out[0] = a; }"
+        )
+        for block in func.blocks:
+            for i, instr in enumerate(block.instrs):
+                if isinstance(instr, SpillStore):
+                    assert instr.kind is OverheadKind.SPILL
+
+    def test_def_and_use_get_separate_temps(self):
+        # a = a + 1 with a spilled: reload into t1, store from t2.
+        program, func, temps, slot_of = self._spill_everything(
+            "int out[1];\nvoid main() { int a = 2; a = a + 1; out[0] = a; }"
+        )
+        assert len(temps) >= 3
+
+    def test_branch_condition_reloaded(self):
+        program, func, temps, slot_of = self._spill_everything(
+            "int out[1];\nvoid main() { int a = 2; if (a > 0) { out[0] = 1; } }"
+        )
+        for block in func.blocks:
+            term = block.terminator
+            if isinstance(term, Branch):
+                assert any(
+                    isinstance(i, SpillLoad) for i in block.instrs[:-1]
+                )
+
+    def test_spilled_param_stored_at_entry(self):
+        program = compile_source(
+            """
+            int out[1];
+            int f(int p) { return p * 2; }
+            void main() { out[0] = f(21); }
+            """
+        )
+        func = program.function("f")
+        build_webs(func)
+        temps = set()
+        insert_spill_code(func, [func.params[0]], SlotAllocator(), temps)
+        first = func.entry.instrs[0]
+        assert isinstance(first, SpillStore)
+        assert first.src is func.params[0]
+
+    def test_execution_with_everything_spilled(self):
+        # The ultimate spill test: every web of every function spilled,
+        # then allocated and executed.
+        source = """
+        int out[2];
+        int helper(int x, int y) { return x * y + 1; }
+        void main() {
+            int acc = 0;
+            for (int i = 0; i < 6; i = i + 1) {
+                acc = acc + helper(i, acc);
+            }
+            out[0] = acc;
+        }
+        """
+        program = compile_source(source)
+        base = run_program(program)
+        rf = register_file(RegisterConfig(3, 2, 1, 1))
+        allocation = allocate_program(program, rf, AllocatorOptions.base_chaitin())
+        mech = run_allocated(allocation)
+        assert_same_globals(base.globals_state, mech.globals_state)
+
+
+class TestSaveRestoreCode:
+    SOURCE = """
+    int out[1];
+    int id(int x) { return x; }
+    void main() {
+        int across = 3;
+        int total = 0;
+        for (int i = 0; i < 4; i = i + 1) {
+            total = total + id(i) + across;
+        }
+        out[0] = total;
+    }
+    """
+
+    def _allocate(self, config):
+        program = compile_source(self.SOURCE)
+        rf = register_file(RegisterConfig(*config))
+        return allocate_program(program, rf, AllocatorOptions.base_chaitin())
+
+    def test_caller_save_wraps_calls(self):
+        allocation = self._allocate((6, 4, 0, 0))
+        func = allocation.functions["main"].func
+        for block in func.blocks:
+            for i, instr in enumerate(block.instrs):
+                if isinstance(instr, Call):
+                    before = block.instrs[i - 1]
+                    after = block.instrs[i + 1]
+                    assert isinstance(before, SpillStore)
+                    assert before.kind is OverheadKind.CALLER_SAVE
+                    assert isinstance(after, SpillLoad)
+                    assert after.kind is OverheadKind.CALLER_SAVE
+
+    def test_callee_save_at_entry_and_exits(self):
+        allocation = self._allocate((6, 4, 3, 3))
+        func = allocation.functions["main"].func
+        saved = callee_saved_registers(func)
+        assert saved, "crossing ranges should use callee-save registers"
+        # Every return must restore exactly the saved set.
+        from repro.ir import Ret
+
+        for block in func.blocks:
+            if isinstance(block.terminator, Ret):
+                restores = [
+                    i.dst
+                    for i in block.instrs
+                    if isinstance(i, SpillLoad)
+                    and i.kind is OverheadKind.CALLEE_SAVE
+                ]
+                assert set(restores) == set(saved)
+
+    def test_unused_callee_registers_not_saved(self):
+        allocation = self._allocate((6, 4, 3, 3))
+        func = allocation.functions["main"].func
+        used_callee = {
+            p
+            for p in allocation.functions["main"].assignment.values()
+            if p.is_callee_save
+        }
+        assert set(callee_saved_registers(func)) == used_callee
+
+    def test_leaf_function_has_no_caller_save_code(self):
+        allocation = self._allocate((6, 4, 0, 0))
+        func = allocation.functions["id"].func
+        for instr in func.instructions():
+            if isinstance(instr, (SpillLoad, SpillStore)):
+                assert instr.kind is not OverheadKind.CALLER_SAVE

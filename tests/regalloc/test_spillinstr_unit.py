@@ -1,0 +1,66 @@
+"""Unit tests for the spill/save pseudo-instructions themselves."""
+
+from repro.ir import INT, VReg
+from repro.machine import RegisterConfig, RegisterFile
+from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+
+
+def phys():
+    return RegisterFile(RegisterConfig(2, 1, 1, 1)).bank(INT).caller[0]
+
+
+class TestVRegForm:
+    def test_load_defs_and_rewrite(self):
+        reg = VReg(0, INT, "t")
+        other = VReg(1, INT, "u")
+        load = SpillLoad(reg, 3, OverheadKind.SPILL)
+        assert load.defs() == (reg,)
+        assert load.uses() == ()
+        load.replace_defs({reg: other})
+        assert load.defs() == (other,)
+
+    def test_store_uses_and_rewrite(self):
+        reg = VReg(0, INT, "t")
+        other = VReg(1, INT, "u")
+        store = SpillStore(5, reg, OverheadKind.SPILL)
+        assert store.uses() == (reg,)
+        assert store.defs() == ()
+        store.replace_uses({reg: other})
+        assert store.uses() == (other,)
+
+    def test_not_terminators(self):
+        reg = VReg(0, INT)
+        assert not SpillLoad(reg, 0, OverheadKind.SPILL).is_terminator
+        assert not SpillStore(0, reg, OverheadKind.SPILL).is_terminator
+
+
+class TestPhysRegForm:
+    def test_invisible_to_liveness(self):
+        # Save/restore code targets physical registers and must not
+        # surface defs/uses to the dataflow machinery.
+        load = SpillLoad(phys(), 1, OverheadKind.CALLER_SAVE)
+        store = SpillStore(1, phys(), OverheadKind.CALLEE_SAVE)
+        assert load.defs() == ()
+        assert store.uses() == ()
+
+    def test_rewrite_is_noop(self):
+        load = SpillLoad(phys(), 1, OverheadKind.CALLER_SAVE)
+        load.replace_defs({})
+        assert load.dst == phys()
+
+    def test_repr_carries_kind(self):
+        text = repr(SpillLoad(phys(), 7, OverheadKind.CALLER_SAVE))
+        assert "slot7" in text
+        assert "caller_save" in text
+        text = repr(SpillStore(9, phys(), OverheadKind.CALLEE_SAVE))
+        assert "slot9" in text
+        assert "callee_save" in text
+
+
+class TestOverheadKind:
+    def test_three_kinds(self):
+        assert {k.value for k in OverheadKind} == {
+            "spill",
+            "caller_save",
+            "callee_save",
+        }

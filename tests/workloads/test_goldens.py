@@ -1,0 +1,53 @@
+"""Golden-output regression tests for the 14 workloads.
+
+The experiments in EXPERIMENTS.md were measured against these exact
+programs; an accidental edit to a workload source would silently shift
+every reported number.  These goldens pin the observable outputs (and
+hence the profiles) the measurements rest on.  If you change a
+workload *deliberately*, update the goldens and regenerate
+benchmarks/results/ and EXPERIMENTS.md.
+"""
+
+import math
+
+import pytest
+
+from repro.workloads import compile_workload
+
+#: workload -> (checksum array, first four expected values)
+GOLDENS = {
+    "alvinn": ("fout", [0.632362, -0.164354, -0.161899, 0.52308]),
+    "compress": ("out", [653407, 186, 441, 78205]),
+    "doduc": ("fout", [15225.302388, 45.783773, 1.216433, 0.0]),
+    "ear": ("fout", [239.833797, 4.070515, 1.636844, 322.29531]),
+    "eqntott": ("out", [734192, 87, 154, 82409]),
+    "espresso": ("out", [158107, 10, 0, 0]),
+    "fpppp": ("fout", [-13.073179, 0.465721, -2.483345, 0.0]),
+    "gcc": ("out", [1120, 306, 0, 0]),
+    "li": ("out", [3040, 511, 0, 0]),
+    "matrix300": ("fout", [6.44, 0.2772, 0.4774, 0.0]),
+    "nasa7": ("fout", [-7607.968935, 4798424.739525, -34.624544, -1.344762]),
+    "sc": ("out", [898338, 70, 84, 0]),
+    "spice": ("fout", [0.309596, 0.000803, 13.0, 0.0]),
+    "tomcatv": ("fout", [0.021973, 0.001831, 6.5, 1.625]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_workload_golden_output(name):
+    array, expected = GOLDENS[name]
+    compiled = compile_workload(name)
+    actual = compiled.baseline.globals_state[array][:4]
+    for got, want in zip(actual, expected):
+        if isinstance(want, float):
+            assert math.isclose(got, want, rel_tol=1e-5, abs_tol=1e-6), (
+                f"{name}.{array}: {actual} != {expected}"
+            )
+        else:
+            assert got == want, f"{name}.{array}: {actual} != {expected}"
+
+
+def test_golden_table_is_complete():
+    from repro.workloads import workload_names
+
+    assert set(GOLDENS) == set(workload_names())

@@ -1,0 +1,107 @@
+"""Tests for the 14 SPEC92 stand-in workloads."""
+
+import pytest
+
+from repro.ir import Call
+from repro.workloads import compile_workload, get_workload, workload_names
+
+EXPECTED = {
+    "alvinn",
+    "compress",
+    "doduc",
+    "ear",
+    "eqntott",
+    "espresso",
+    "fpppp",
+    "gcc",
+    "li",
+    "matrix300",
+    "nasa7",
+    "sc",
+    "spice",
+    "tomcatv",
+}
+
+
+def has_calls(program) -> bool:
+    return any(
+        isinstance(instr, Call)
+        for func in program.functions.values()
+        for instr in func.instructions()
+    )
+
+
+class TestRegistry:
+    def test_all_fourteen_present(self):
+        assert set(workload_names()) == EXPECTED
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("specmark2000")
+
+    def test_compile_workload_cached(self):
+        a = compile_workload("gcc")
+        b = compile_workload("gcc")
+        assert a is b
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+class TestEveryWorkload:
+    def test_compiles_runs_and_profiles(self, name):
+        compiled = compile_workload(name)
+        assert compiled.baseline.instructions_executed > 10_000
+        assert compiled.profile.entries("main") == 1
+
+    def test_produces_observable_output(self, name):
+        compiled = compile_workload(name)
+        state = compiled.baseline.globals_state
+        out_arrays = [k for k in state if k in ("out", "fout")]
+        assert out_arrays, f"{name} must write a checksum array"
+        assert any(
+            any(v != 0 and v != 0.0 for v in state[k]) for k in out_arrays
+        ), f"{name} produced all-zero output"
+
+    def test_deterministic(self, name):
+        from repro.profile import run_program
+
+        compiled = compile_workload(name)
+        second = run_program(compiled.program)
+        assert second.globals_state == compiled.baseline.globals_state
+
+
+class TestStructuralTraits:
+    def test_tomcatv_has_no_calls(self):
+        compiled = compile_workload("tomcatv")
+        assert not has_calls(compiled.program)
+        assert len(compiled.program.functions) == 1
+
+    def test_hot_call_programs_have_calls(self):
+        for name in ("ear", "eqntott", "sc", "li", "matrix300"):
+            assert has_calls(compile_workload(name).program), name
+
+    def test_li_recurses(self):
+        compiled = compile_workload("li")
+        func = compiled.program.function("eval_node")
+        self_calls = [
+            i
+            for i in func.instructions()
+            if isinstance(i, Call) and i.callee == "eval_node"
+        ]
+        assert self_calls
+
+    def test_fpppp_has_wide_blocks(self):
+        compiled = compile_workload("fpppp")
+        kernel = compiled.program.function("kernel")
+        assert max(len(b) for b in kernel.blocks) > 80
+
+    def test_dynamic_weights_derive_from_profile(self):
+        compiled = compile_workload("eqntott")
+        func = compiled.program.function("cmppt")
+        weights = compiled.dynamic_weights(func)
+        assert weights.entry_weight > 100  # called from the sort inner loop
+
+    def test_static_weights_available(self):
+        compiled = compile_workload("eqntott")
+        func = compiled.program.function("sort_terms")
+        weights = compiled.static_weights(func)
+        assert weights.entry_weight == 1.0

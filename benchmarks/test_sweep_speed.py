@@ -1,0 +1,49 @@
+"""Benchmark: sweep-layer caching payoff (cold vs. warm grids).
+
+The pipeline-manager refactor makes experiment sweeps share work at
+two levels: the ``ResultCache`` memoizes whole grid points, and the
+per-workload ``AnalysisCache`` lets every (allocator, config) point of
+a sweep reuse the CFG-shaped analyses of the original functions.  This
+benchmark times one driver end to end cold (all caches dropped) and
+warm (measurement cache pre-populated via ``run_grid``), asserts the
+warm pass is strictly faster, and records both timings alongside the
+other benchmark outputs.
+
+On a multi-core box ``run_grid(jobs=N)`` additionally parallelizes the
+cold pass; the identity of parallel and serial output is covered by
+the test suite (tests/eval/test_result_cache.py, tests/cli/test_cli.py),
+so here only the caching payoff is measured.
+"""
+
+import time
+
+from repro.eval import clear_caches, experiment_grid, run_grid, table2
+from repro.eval.runner import RESULTS
+
+
+def test_warm_cache_beats_cold_sweep(results_dir):
+    clear_caches()
+    cold_start = time.perf_counter()
+    cold = table2()
+    cold_seconds = time.perf_counter() - cold_start
+
+    # Pre-warm exactly the grid the driver will request, then re-run.
+    run_grid(experiment_grid(table2), jobs=1)
+    RESULTS.hits = RESULTS.misses = 0
+    warm_start = time.perf_counter()
+    warm = table2()
+    warm_seconds = time.perf_counter() - warm_start
+
+    assert warm.render() == cold.render()
+    assert RESULTS.misses == 0, "warm run should be served entirely from cache"
+    assert warm_seconds < cold_seconds
+
+    report = "\n".join(
+        [
+            "table2 sweep, cold vs. warm measurement cache",
+            f"cold:  {cold_seconds:8.3f} s",
+            f"warm:  {warm_seconds:8.3f} s",
+            f"ratio: {cold_seconds / warm_seconds:8.1f}x",
+        ]
+    )
+    (results_dir / "sweep_speed.txt").write_text(report + "\n")

@@ -11,17 +11,53 @@ from repro.analysis.dominators import dominates, immediate_dominators
 from repro.analysis.frequency import LOOP_MULTIPLIER, BlockWeights, static_weights
 from repro.analysis.liveness import LivenessInfo, compute_liveness
 from repro.analysis.loops import Loop, find_loops, loop_depths
+from repro.analysis.manager import (
+    ALL_KEYS,
+    CALL_GRAPH,
+    DOMINATORS,
+    INSTRUCTION_KEYS,
+    KEY_CALLS,
+    KEY_CFG,
+    KEY_INSTRUCTIONS,
+    LIVENESS,
+    LOOP_DEPTHS,
+    LOOPS,
+    RPO,
+    RPO_INDEX,
+    STATIC_WEIGHTS,
+    AnalysisCache,
+    CacheStats,
+    FunctionAnalysis,
+    ProgramAnalysis,
+)
 from repro.analysis.reaching import DefSite, ReachingDefs, UseSite, compute_reaching_defs
 
 __all__ = [
+    "ALL_KEYS",
+    "AnalysisCache",
     "BlockWeights",
+    "CALL_GRAPH",
+    "CacheStats",
     "CallGraph",
     "build_call_graph",
     "DefSite",
+    "DOMINATORS",
+    "FunctionAnalysis",
+    "INSTRUCTION_KEYS",
+    "KEY_CALLS",
+    "KEY_CFG",
+    "KEY_INSTRUCTIONS",
+    "LIVENESS",
+    "LOOPS",
+    "LOOP_DEPTHS",
     "LOOP_MULTIPLIER",
     "LivenessInfo",
     "Loop",
+    "ProgramAnalysis",
+    "RPO",
+    "RPO_INDEX",
     "ReachingDefs",
+    "STATIC_WEIGHTS",
     "UseSite",
     "compute_liveness",
     "compute_reaching_defs",

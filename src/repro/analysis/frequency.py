@@ -14,7 +14,7 @@ exact execution counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.analysis.cfg import reverse_postorder
 from repro.analysis.loops import loop_depths
@@ -41,11 +41,19 @@ class BlockWeights:
         return self.weights.get(block, 0.0)
 
 
-def static_weights(func: Function) -> BlockWeights:
-    """Loop-depth based static estimate: ``10 ** depth`` per block."""
-    depths = loop_depths(func)
-    weights = {
-        block: LOOP_MULTIPLIER ** depths[block]
-        for block in reverse_postorder(func)
-    }
+def static_weights(
+    func: Function,
+    depths: Optional[Dict[BasicBlock, int]] = None,
+    order: Optional[List[BasicBlock]] = None,
+) -> BlockWeights:
+    """Loop-depth based static estimate: ``10 ** depth`` per block.
+
+    ``depths``/``order`` let the analysis manager supply cached
+    :func:`loop_depths` / reverse-postorder results.
+    """
+    if depths is None:
+        depths = loop_depths(func)
+    if order is None:
+        order = reverse_postorder(func)
+    weights = {block: LOOP_MULTIPLIER ** depths[block] for block in order}
     return BlockWeights(weights=weights, entry_weight=1.0)

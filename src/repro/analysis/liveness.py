@@ -8,7 +8,7 @@ live-out set, which is the classic Chaitin construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.cfg import reverse_postorder
 from repro.ir.function import BasicBlock, Function
@@ -37,9 +37,17 @@ class LivenessInfo:
             live.update(instr.uses())
 
 
-def compute_liveness(func: Function) -> LivenessInfo:
-    """Run the standard backward dataflow to a fixed point."""
-    blocks = reverse_postorder(func)
+def compute_liveness(
+    func: Function, blocks: Optional[List[BasicBlock]] = None
+) -> LivenessInfo:
+    """Run the standard backward dataflow to a fixed point.
+
+    ``blocks`` lets a caller (the analysis manager) supply an already
+    computed reverse postorder; instruction-level rewrites invalidate
+    liveness but not the block order, so the order is reusable.
+    """
+    if blocks is None:
+        blocks = reverse_postorder(func)
     use_sets: Dict[BasicBlock, Set[VReg]] = {}
     def_sets: Dict[BasicBlock, Set[VReg]] = {}
     for block in blocks:

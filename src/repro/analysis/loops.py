@@ -10,7 +10,7 @@ the ``10^depth`` static frequency estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.cfg import reverse_postorder
 from repro.analysis.dominators import dominates, immediate_dominators
@@ -55,10 +55,18 @@ def _collect(loop: Loop, tail: BasicBlock, preds) -> None:
         worklist.extend(preds[block])
 
 
-def loop_depths(func: Function) -> Dict[BasicBlock, int]:
-    """Loop-nesting depth of every reachable block (0 = not in a loop)."""
+def loop_depths(
+    func: Function, loops: Optional[List[Loop]] = None
+) -> Dict[BasicBlock, int]:
+    """Loop-nesting depth of every reachable block (0 = not in a loop).
+
+    ``loops`` lets a caller (the analysis manager) supply an already
+    computed :func:`find_loops` result.
+    """
     depths = {block: 0 for block in reverse_postorder(func)}
-    for loop in find_loops(func):
+    if loops is None:
+        loops = find_loops(func)
+    for loop in loops:
         for block in loop.blocks:
             depths[block] += 1
     return depths

@@ -1,0 +1,261 @@
+"""Pass-manager style analysis caching (the LLVM analysis-manager idea).
+
+The allocation pipeline and the experiment drivers both re-derive the
+same per-function facts over and over: liveness for every interference
+rebuild, loop depths for every static-weight estimate, the call graph
+for every IPRA run.  ``AnalysisCache`` memoizes those facts per
+function (or per program) and invalidates them *by key*, so a
+mutation only throws away what it can actually change:
+
+* ``KEY_INSTRUCTIONS`` — instructions were added, removed or renamed
+  inside existing blocks (spill code, save/restore code, coalescing).
+  Liveness dies; the CFG shape — and everything derived from it —
+  survives.
+* ``KEY_CFG`` — blocks or edges changed (the optimizer's
+  simplify-cfg, unreachable-block removal).  Everything dies.
+* ``KEY_CALLS`` — call sites were added or removed.  Only the program
+  call graph cares; register-allocation rewrites never do this.
+
+Analyses are declared as :class:`FunctionAnalysis` /
+:class:`ProgramAnalysis` descriptors whose ``compute`` receives the
+cache itself, so composite analyses (liveness wants the block order,
+static weights want loop depths) reuse cached sub-results instead of
+recomputing them.
+
+Functions and programs are held through weak references: allocation
+clones die with their :class:`ProgramAllocation`, and the cache must
+not keep them alive across a sweep.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.cfg import reverse_postorder, rpo_index
+from repro.analysis.dominators import immediate_dominators
+from repro.analysis.frequency import static_weights
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import find_loops, loop_depths
+from repro.ir.function import Function, Program
+
+#: Invalidation keys; see the module docstring for what each covers.
+KEY_CFG = "cfg"
+KEY_INSTRUCTIONS = "instructions"
+KEY_CALLS = "calls"
+
+ALL_KEYS: FrozenSet[str] = frozenset((KEY_CFG, KEY_INSTRUCTIONS, KEY_CALLS))
+#: What spill insertion, save/restore emission and coalescing change:
+#: instructions inside existing blocks, never the CFG or a call site.
+INSTRUCTION_KEYS: FrozenSet[str] = frozenset((KEY_INSTRUCTIONS,))
+
+
+@dataclass(frozen=True)
+class FunctionAnalysis:
+    """One cacheable per-function analysis."""
+
+    name: str
+    compute: Callable[[Function, "AnalysisCache"], Any]
+    #: Invalidation keys that destroy this analysis' result.
+    depends: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """One cacheable whole-program analysis."""
+
+    name: str
+    compute: Callable[[Program, "AnalysisCache"], Any]
+    depends: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class AnalysisCache:
+    """Keyed, invalidatable store of analysis results.
+
+    ``get(func, LIVENESS)`` computes on a miss, returns the memoized
+    result on a hit; ``invalidate(func, keys)`` drops exactly the
+    analyses whose ``depends`` intersect ``keys``.  One cache may span
+    many functions and programs (a whole experiment sweep); entries
+    vanish automatically when their function is garbage-collected.
+    """
+
+    def __init__(self) -> None:
+        self._functions: "weakref.WeakKeyDictionary[Function, Dict[str, Any]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._programs: "weakref.WeakKeyDictionary[Program, Dict[str, Any]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def get(self, func: Function, analysis: FunctionAnalysis) -> Any:
+        """The result of ``analysis`` on ``func``, computing on a miss."""
+        entries = self._functions.setdefault(func, {})
+        if analysis.name in entries:
+            self.hits += 1
+            return entries[analysis.name]
+        self.misses += 1
+        result = analysis.compute(func, self)
+        entries[analysis.name] = result
+        return result
+
+    def get_program(self, program: Program, analysis: ProgramAnalysis) -> Any:
+        """The result of ``analysis`` on ``program``, computing on a miss."""
+        entries = self._programs.setdefault(program, {})
+        if analysis.name in entries:
+            self.hits += 1
+            return entries[analysis.name]
+        self.misses += 1
+        result = analysis.compute(program, self)
+        entries[analysis.name] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate(
+        self, func: Function, keys: Iterable[str] = ALL_KEYS
+    ) -> None:
+        """Drop ``func``'s analyses whose dependencies intersect ``keys``."""
+        keys = frozenset(keys)
+        entries = self._functions.get(func)
+        if entries:
+            for name in [
+                name
+                for name in entries
+                if _FUNCTION_ANALYSES[name].depends & keys
+            ]:
+                del entries[name]
+
+    def invalidate_program(
+        self, program: Program, keys: Iterable[str] = ALL_KEYS
+    ) -> None:
+        """Drop ``program``'s analyses whose dependencies intersect ``keys``."""
+        keys = frozenset(keys)
+        entries = self._programs.get(program)
+        if entries:
+            for name in [
+                name
+                for name in entries
+                if _PROGRAM_ANALYSES[name].depends & keys
+            ]:
+                del entries[name]
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive; see ``reset_stats``)."""
+        self._functions.clear()
+        self._programs.clear()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def cached_analyses(self, func: Function) -> FrozenSet[str]:
+        """Names of the analyses currently cached for ``func``."""
+        return frozenset(self._functions.get(func, ()))
+
+
+# ----------------------------------------------------------------------
+# the analysis registry
+# ----------------------------------------------------------------------
+
+RPO = FunctionAnalysis(
+    "rpo",
+    lambda func, cache: reverse_postorder(func),
+    depends=frozenset((KEY_CFG,)),
+)
+
+RPO_INDEX = FunctionAnalysis(
+    "rpo_index",
+    lambda func, cache: rpo_index(func),
+    depends=frozenset((KEY_CFG,)),
+)
+
+DOMINATORS = FunctionAnalysis(
+    "dominators",
+    lambda func, cache: immediate_dominators(func),
+    depends=frozenset((KEY_CFG,)),
+)
+
+LOOPS = FunctionAnalysis(
+    "loops",
+    lambda func, cache: find_loops(func),
+    depends=frozenset((KEY_CFG,)),
+)
+
+LOOP_DEPTHS = FunctionAnalysis(
+    "loop_depths",
+    lambda func, cache: loop_depths(func, loops=cache.get(func, LOOPS)),
+    depends=frozenset((KEY_CFG,)),
+)
+
+#: Loop-depth static frequency estimates; purely CFG-shaped, so one
+#: computation serves every allocation of every clone-free caller.
+STATIC_WEIGHTS = FunctionAnalysis(
+    "static_weights",
+    lambda func, cache: static_weights(
+        func,
+        depths=cache.get(func, LOOP_DEPTHS),
+        order=cache.get(func, RPO),
+    ),
+    depends=frozenset((KEY_CFG,)),
+)
+
+LIVENESS = FunctionAnalysis(
+    "liveness",
+    lambda func, cache: compute_liveness(func, blocks=cache.get(func, RPO)),
+    depends=frozenset((KEY_CFG, KEY_INSTRUCTIONS)),
+)
+
+CALL_GRAPH = ProgramAnalysis(
+    "call_graph",
+    lambda program, cache: build_call_graph(program),
+    depends=frozenset((KEY_CFG, KEY_CALLS)),
+)
+
+_FUNCTION_ANALYSES: Dict[str, FunctionAnalysis] = {
+    a.name: a
+    for a in (
+        RPO,
+        RPO_INDEX,
+        DOMINATORS,
+        LOOPS,
+        LOOP_DEPTHS,
+        STATIC_WEIGHTS,
+        LIVENESS,
+    )
+}
+
+_PROGRAM_ANALYSES: Dict[str, ProgramAnalysis] = {CALL_GRAPH.name: CALL_GRAPH}

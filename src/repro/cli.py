@@ -16,9 +16,10 @@ language and the allocator names.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.eval import experiments as exp
 from repro.eval.overhead import program_overhead
@@ -174,48 +175,154 @@ def cmd_workloads(args) -> int:
     return 0
 
 
+def _render_timings(keys: Sequence, title: str) -> Optional[str]:
+    """Aggregate cached pipeline timings for ``keys`` into a table.
+
+    One row per workload (phase seconds, iterations, analysis-cache
+    traffic) plus a TOTAL row; returns None when nothing for ``keys``
+    is in the measurement cache yet.
+    """
+    from repro.eval.runner import RESULTS
+    from repro.regalloc.framework import PHASES, PipelineStats
+
+    per_workload = {}
+    counted = set()
+    for key in keys:
+        if key in counted:
+            continue
+        counted.add(key)
+        measurement = RESULTS.peek(key)
+        if measurement is None:
+            continue
+        workload = key[0]
+        stats, runs = per_workload.get(workload, (PipelineStats(), 0))
+        per_workload[workload] = (stats + measurement.stats, runs + 1)
+    if not per_workload:
+        return None
+
+    header = (
+        ["workload", "runs"]
+        + list(PHASES)
+        + ["total s", "iters", "cache hit", "cache miss"]
+    )
+    rows = []
+    total, total_runs = PipelineStats(), 0
+    for workload in sorted(per_workload):
+        stats, runs = per_workload[workload]
+        total, total_runs = total + stats, total_runs + runs
+        rows.append(
+            [workload, str(runs)]
+            + [f"{seconds:.4f}" for seconds in stats.phase_seconds().values()]
+            + [
+                f"{stats.total_seconds:.4f}",
+                str(stats.iterations),
+                str(stats.cache_hits),
+                str(stats.cache_misses),
+            ]
+        )
+    rows.append(
+        ["TOTAL", str(total_runs)]
+        + [f"{seconds:.4f}" for seconds in total.phase_seconds().values()]
+        + [
+            f"{total.total_seconds:.4f}",
+            str(total.iterations),
+            str(total.cache_hits),
+            str(total.cache_misses),
+        ]
+    )
+    return render_table(title, header, rows)
+
+
 def cmd_sweep(args) -> int:
-    from repro.eval import measure
+    from repro.eval import measure, run_grid
 
     configs = mips_sweep()
     if args.short:
         configs = configs[:6]
     names = args.allocators or list(ALLOCATORS)
+    keys = [
+        (args.workload, ALLOCATORS[alloc_name](), config, args.info)
+        for alloc_name in names
+        for config in configs
+    ]
+    if args.jobs and args.jobs > 1:
+        run_grid(keys, jobs=args.jobs)
     rows = []
+    data = {}
     for alloc_name in names:
         options = ALLOCATORS[alloc_name]()
         row = [alloc_name]
+        totals = {}
         for config in configs:
             overhead = measure(args.workload, options, config, args.info)
             row.append(f"{overhead.total:.0f}")
+            totals[str(config)] = overhead.total
         rows.append(row)
-    header = ["allocator"] + [str(c) for c in configs]
-    print(
-        render_table(
-            f"total overhead for {args.workload!r} ({args.info} info)",
-            header,
-            rows,
+        data[alloc_name] = totals
+    if args.json:
+        print(
+            json.dumps(
+                {"workload": args.workload, "info": args.info, "totals": data},
+                indent=2,
+                sort_keys=True,
+            )
         )
-    )
+    else:
+        header = ["allocator"] + [str(c) for c in configs]
+        print(
+            render_table(
+                f"total overhead for {args.workload!r} ({args.info} info)",
+                header,
+                rows,
+            )
+        )
+    if args.timings:
+        timings = _render_timings(
+            keys, f"Pipeline phase timings for {args.workload!r}"
+        )
+        if timings:
+            print()
+            print(timings)
     return 0
 
 
 def cmd_experiment(args) -> int:
+    from repro.eval import experiment_grid, run_grid
+
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
-        result = EXPERIMENTS[name]()
-        text = result.render()
+        driver = EXPERIMENTS[name]
+        keys = experiment_grid(driver)
+        if args.jobs and args.jobs > 1 and keys:
+            run_grid(keys, jobs=args.jobs)
+        result = driver()
+        text = (
+            json.dumps(result.as_dict(), indent=2)
+            if args.json
+            else result.render()
+        )
         print(text)
         print()
+        if args.timings:
+            timings = _render_timings(keys, f"Pipeline phase timings for {name}")
+            if timings:
+                print(timings)
+                print()
+            else:
+                print(f"(no per-phase timings recorded for {name})")
+                print()
         if args.out:
+            suffix = "json" if args.json else "txt"
             target = Path(args.out)
             if len(names) > 1:
                 target.mkdir(parents=True, exist_ok=True)
-                (target / f"{name.replace('-', '_')}.txt").write_text(text + "\n")
+                (target / f"{name.replace('-', '_')}.{suffix}").write_text(
+                    text + "\n"
+                )
             else:
                 target.write_text(text + "\n")
     if args.out:
-        print(f"written to {args.out}")
+        print(f"written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -264,6 +371,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allocators", nargs="*", choices=sorted(ALLOCATORS))
     p.add_argument("--info", choices=["static", "dynamic"], default="dynamic")
     p.add_argument("--short", action="store_true", help="first 6 configs only")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="measure the grid with N worker processes")
+    p.add_argument("--timings", action="store_true",
+                   help="also print per-phase pipeline timings")
+    p.add_argument("--json", action="store_true",
+                   help="emit JSON instead of the ASCII table")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("experiment", help="regenerate a table or figure")
@@ -272,6 +385,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         help="write the rendering to a file (a directory when name=all)",
     )
+    p.add_argument("--jobs", type=int, default=1,
+                   help="pre-measure the experiment grid with N worker "
+                        "processes (output is identical to a serial run)")
+    p.add_argument("--timings", action="store_true",
+                   help="also print per-phase pipeline timings")
+    p.add_argument("--json", action="store_true",
+                   help="emit JSON instead of the ASCII table")
     p.set_defaults(func=cmd_experiment)
 
     return parser

@@ -12,11 +12,11 @@ reproduction targets; EXPERIMENTS.md records both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.eval.overhead import Overhead
 from repro.eval.render import format_value, render_table
-from repro.eval.runner import measure, measure_cycles, overhead_ratio
+from repro.eval.runner import MeasureKey, measure, measure_cycles, overhead_ratio
 from repro.eval.cycles import speedup_percent
 from repro.machine.mips import FULL_CONFIG, mips_sweep
 from repro.machine.registers import RegisterConfig
@@ -62,6 +62,17 @@ class SweepResult:
         ]
         return render_table(self.title, header, rows)
 
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (``--json`` in the CLI)."""
+        return {
+            "title": self.title,
+            "configs": [str(c) for c in self.configs],
+            "series": [
+                {"program": program, "label": label, "values": values}
+                for (program, label), values in self.series.items()
+            ],
+        }
+
 
 @dataclass
 class StackedResult:
@@ -82,6 +93,26 @@ class StackedResult:
                 )
         return render_table(self.title, header, rows)
 
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (``--json`` in the CLI)."""
+        return {
+            "title": self.title,
+            "configs": [str(c) for c in self.configs],
+            "overheads": {
+                program: [
+                    {
+                        "spill": o.spill,
+                        "caller_save": o.caller_save,
+                        "callee_save": o.callee_save,
+                        "shuffle": o.shuffle,
+                        "total": o.total,
+                    }
+                    for o in per_config
+                ]
+                for program, per_config in self.overheads.items()
+            },
+        }
+
 
 @dataclass
 class SpeedupResult:
@@ -97,6 +128,10 @@ class SpeedupResult:
             for program, value in self.speedups.items()
         ]
         return render_table(self.title, header, rows)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (``--json`` in the CLI)."""
+        return {"title": self.title, "speedups": dict(self.speedups)}
 
 
 # ----------------------------------------------------------------------
@@ -614,3 +649,254 @@ def ablation_ipra(
             )
         result.series[(program, "plain/IPRA")] = ratios
     return result
+
+
+# ----------------------------------------------------------------------
+# Measurement grids: what each driver will ask ``measure`` for
+# ----------------------------------------------------------------------
+#
+# The parallel sweep executor (``repro.eval.runner.run_grid``) wants
+# the full list of grid points *up front* so it can fan them out over
+# worker processes; the drivers above discover them one ``measure``
+# call at a time.  Each ``*_grid`` function mirrors its driver's
+# default sweep.  A grid needs only to be a superset-free best effort:
+# points it misses are computed serially on demand (correct, just not
+# prewarmed), and drivers that bypass ``measure`` entirely
+# (``ablation_optimized_ir``, ``ablation_ipra``) have empty grids.
+
+
+def _grid(
+    programs: Sequence[str],
+    options_list: Sequence[AllocatorOptions],
+    configs: Sequence[RegisterConfig],
+    infos: Sequence[str],
+) -> List[MeasureKey]:
+    return [
+        (program, options, config, info)
+        for program in programs
+        for info in infos
+        for options in options_list
+        for config in configs
+    ]
+
+
+def figure2_grid(
+    programs: Sequence[str] = ("eqntott", "ear"),
+    configs: Optional[Sequence[RegisterConfig]] = None,
+) -> List[MeasureKey]:
+    return _grid(
+        programs,
+        [AllocatorOptions.base_chaitin()],
+        list(configs or mips_sweep()),
+        ["dynamic"],
+    )
+
+
+def figure6_grid(
+    programs: Sequence[str] = ("nasa7", "ear", "li", "sc", "eqntott", "espresso"),
+    configs: Optional[Sequence[RegisterConfig]] = None,
+    info: str = "dynamic",
+) -> List[MeasureKey]:
+    options = [AllocatorOptions.base_chaitin()] + list(FIGURE6_COMBOS.values())
+    return _grid(programs, options, list(configs or mips_sweep()), [info])
+
+
+def figure7_grid(
+    programs: Sequence[str] = ("eqntott", "ear"),
+    configs: Optional[Sequence[RegisterConfig]] = None,
+) -> List[MeasureKey]:
+    return _grid(
+        programs,
+        [AllocatorOptions.improved_chaitin()],
+        list(configs or mips_sweep()),
+        ["dynamic"],
+    )
+
+
+def figure9_grid(
+    program: str = "fpppp",
+    configs: Optional[Sequence[RegisterConfig]] = None,
+) -> List[MeasureKey]:
+    options = [
+        AllocatorOptions.base_chaitin(),
+        AllocatorOptions.optimistic_coloring(),
+        AllocatorOptions.improved_chaitin(),
+        AllocatorOptions.improved_optimistic(),
+    ]
+    return _grid([program], options, list(configs or mips_sweep()), ["static"])
+
+
+def figure10_grid(
+    programs: Sequence[str] = ("alvinn", "nasa7", "fpppp", "espresso", "gcc"),
+    configs: Optional[Sequence[RegisterConfig]] = None,
+) -> List[MeasureKey]:
+    options = [
+        AllocatorOptions.base_chaitin(),
+        AllocatorOptions.improved_chaitin(),
+        AllocatorOptions.priority_based(),
+    ]
+    return _grid(
+        programs, options, list(configs or mips_sweep()), ["static", "dynamic"]
+    )
+
+
+def figure11_grid(
+    programs: Sequence[str] = ("alvinn", "ear", "li", "matrix300", "nasa7"),
+    configs: Optional[Sequence[RegisterConfig]] = None,
+) -> List[MeasureKey]:
+    options = [
+        AllocatorOptions.base_chaitin(),
+        AllocatorOptions.improved_chaitin(),
+        AllocatorOptions.cbh(),
+    ]
+    return _grid(
+        programs, options, list(configs or mips_sweep()), ["static", "dynamic"]
+    )
+
+
+def _optimistic_grid(
+    info: str,
+    programs: Sequence[str],
+    configs: Optional[Sequence[RegisterConfig]],
+) -> List[MeasureKey]:
+    options = [
+        AllocatorOptions.base_chaitin(),
+        AllocatorOptions.optimistic_coloring(),
+    ]
+    return _grid(programs, options, list(configs or mips_sweep()), [info])
+
+
+def table2_grid(
+    programs: Sequence[str] = ALL_PROGRAMS,
+    configs: Optional[Sequence[RegisterConfig]] = None,
+) -> List[MeasureKey]:
+    return _optimistic_grid("static", programs, configs)
+
+
+def table3_grid(
+    programs: Sequence[str] = ALL_PROGRAMS,
+    configs: Optional[Sequence[RegisterConfig]] = None,
+) -> List[MeasureKey]:
+    return _optimistic_grid("dynamic", programs, configs)
+
+
+def table4_grid(
+    programs: Sequence[str] = ("compress", "eqntott", "li", "sc", "spice"),
+    config: RegisterConfig = FULL_CONFIG,
+    info: str = "dynamic",
+) -> List[MeasureKey]:
+    options = [
+        AllocatorOptions.optimistic_coloring(),
+        AllocatorOptions.improved_chaitin(),
+    ]
+    return _grid(programs, options, [config], [info])
+
+
+def ablation_callee_model_grid(
+    programs: Sequence[str] = ("doduc", "ear", "li", "sc"),
+    configs: Optional[Sequence[RegisterConfig]] = None,
+    info: str = "dynamic",
+) -> List[MeasureKey]:
+    options = [
+        AllocatorOptions.improved_chaitin().with_(callee_model="shared"),
+        AllocatorOptions.improved_chaitin().with_(callee_model="first"),
+    ]
+    return _grid(programs, options, list(configs or mips_sweep()), [info])
+
+
+def ablation_bs_key_grid(
+    programs: Sequence[str] = ("ear", "nasa7", "eqntott", "sc"),
+    configs: Optional[Sequence[RegisterConfig]] = None,
+    info: str = "dynamic",
+) -> List[MeasureKey]:
+    delta = AllocatorOptions.improved_chaitin(sc=True, bs=True, pr=False)
+    return _grid(
+        programs,
+        [delta, delta.with_(bs_key="max")],
+        list(configs or mips_sweep()),
+        [info],
+    )
+
+
+def ablation_priority_order_grid(
+    programs: Sequence[str] = ("ear", "espresso", "gcc"),
+    configs: Optional[Sequence[RegisterConfig]] = None,
+    info: str = "dynamic",
+) -> List[MeasureKey]:
+    options = [AllocatorOptions.base_chaitin()] + [
+        AllocatorOptions.priority_based(strategy)
+        for strategy in ("remove_unconstrained", "sort_unconstrained", "sorting")
+    ]
+    return _grid(programs, options, list(configs or mips_sweep()), [info])
+
+
+def ablation_rematerialization_grid(
+    programs: Sequence[str] = ("gcc", "sc", "spice", "doduc", "ear"),
+    configs: Optional[Sequence[RegisterConfig]] = None,
+    info: str = "dynamic",
+) -> List[MeasureKey]:
+    plain = AllocatorOptions.improved_chaitin()
+    return _grid(
+        programs,
+        [plain, plain.with_(remat=True)],
+        list(configs or mips_sweep()),
+        [info],
+    )
+
+
+def ablation_spill_metric_grid(
+    programs: Sequence[str] = ("fpppp", "tomcatv", "espresso", "nasa7"),
+    configs: Optional[Sequence[RegisterConfig]] = None,
+    info: str = "dynamic",
+) -> List[MeasureKey]:
+    reference = AllocatorOptions.improved_chaitin()
+    options = [reference] + [
+        reference.with_(spill_metric=metric)
+        for metric in ("cost_over_degree_sq", "cost")
+    ]
+    return _grid(programs, options, list(configs or mips_sweep()), [info])
+
+
+def static_penalty_grid(
+    programs: Sequence[str] = ALL_PROGRAMS,
+    configs: Optional[Sequence[RegisterConfig]] = None,
+) -> List[MeasureKey]:
+    return _grid(
+        programs,
+        [AllocatorOptions.improved_chaitin()],
+        list(configs or mips_sweep()),
+        ["static", "dynamic"],
+    )
+
+
+def empty_grid(*args, **kwargs) -> List[MeasureKey]:
+    """For drivers that allocate directly instead of via ``measure``."""
+    return []
+
+
+#: Driver → grid function, keyed by the driver function's ``__name__``.
+EXPERIMENT_GRIDS: Dict[str, Callable[..., List[MeasureKey]]] = {
+    "figure2": figure2_grid,
+    "figure6": figure6_grid,
+    "figure7": figure7_grid,
+    "figure9": figure9_grid,
+    "figure10": figure10_grid,
+    "figure11": figure11_grid,
+    "table2": table2_grid,
+    "table3": table3_grid,
+    "table4": table4_grid,
+    "ablation_callee_model": ablation_callee_model_grid,
+    "ablation_bs_key": ablation_bs_key_grid,
+    "ablation_priority_order": ablation_priority_order_grid,
+    "ablation_optimized_ir": empty_grid,
+    "ablation_rematerialization": ablation_rematerialization_grid,
+    "ablation_spill_metric": ablation_spill_metric_grid,
+    "ablation_ipra": empty_grid,
+    "static_penalty": static_penalty_grid,
+}
+
+
+def experiment_grid(driver: Callable, *args, **kwargs) -> List[MeasureKey]:
+    """The measurement grid a driver will sweep, given its arguments."""
+    grid_fn = EXPERIMENT_GRIDS.get(getattr(driver, "__name__", ""), empty_grid)
+    return grid_fn(*args, **kwargs)

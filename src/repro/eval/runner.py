@@ -2,33 +2,116 @@
 
 ``measure`` allocates one workload under one allocator, register
 configuration and information source, and returns the overhead
-breakdown evaluated against the workload's exact profile.  Results
-are memoized per process: the experiment drivers sweep overlapping
-grids, and an allocation is deterministic in its inputs.
+breakdown evaluated against the workload's exact profile.  Every
+measurement is computed **once** and stored in a process-wide
+:class:`ResultCache` as a :class:`Measurement` record carrying the
+overhead, the modelled cycles and the pipeline's per-phase timings
+together — ``measure``, ``measure_cycles`` and ``measure_full`` are
+views of the same record, so none of them depends on another having
+run first.
 
 The *information source* (``static`` or ``dynamic``) controls the
 weights the **allocator** sees; measurement always uses the true
 profile, exactly as the paper measures dynamic overhead operations
 regardless of how the allocator estimated frequencies.
+
+``run_grid`` fans a measurement grid out over worker processes
+(chunked by workload, so each worker compiles a workload at most
+once) and merges the results back into the cache in deterministic
+submission order; because the parallel path only *pre-warms* the
+cache, any rendering produced afterwards is byte-identical to a
+serial run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import multiprocessing
+
+from repro.analysis.manager import CacheStats
 from repro.eval.cycles import program_cycles
 from repro.eval.overhead import Overhead, program_overhead
 from repro.machine.mips import register_file
 from repro.machine.registers import RegisterConfig
-from repro.regalloc.framework import ProgramAllocation, allocate_program
+from repro.regalloc.framework import (
+    PipelineStats,
+    ProgramAllocation,
+    allocate_program,
+)
 from repro.regalloc.options import AllocatorOptions
 from repro.workloads.registry import compile_workload
 
 INFO_SOURCES = ("static", "dynamic")
 
-_MeasureKey = Tuple[str, AllocatorOptions, RegisterConfig, str]
-_overhead_cache: Dict[_MeasureKey, Overhead] = {}
-_cycles_cache: Dict[_MeasureKey, float] = {}
+#: One point of the measurement grid: (workload, allocator, config, info).
+MeasureKey = Tuple[str, AllocatorOptions, RegisterConfig, str]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Everything one grid point yields, computed in a single run."""
+
+    overhead: Overhead
+    cycles: float
+    #: Aggregated per-phase pipeline timings of the allocation.
+    stats: PipelineStats
+
+
+class ResultCache:
+    """Memoized measurements with hit/miss accounting.
+
+    A deliberately small dict wrapper (no eviction — the grids are
+    finite) whose value is the bookkeeping: experiment drivers sweep
+    heavily overlapping grids, and the hit rate is the observable that
+    tells us the sweep layer is actually sharing work.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[MeasureKey, Measurement] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: MeasureKey) -> Optional[Measurement]:
+        """The cached measurement, counting the lookup as hit or miss."""
+        cached = self._data.get(key)
+        if cached is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cached
+
+    def put(self, key: MeasureKey, value: Measurement) -> None:
+        self._data[key] = value
+
+    def peek(self, key: MeasureKey) -> Optional[Measurement]:
+        """Like ``get`` without touching the hit/miss counters."""
+        return self._data.get(key)
+
+    def __contains__(self, key: MeasureKey) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterable[MeasureKey]:
+        return self._data.keys()
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses)
+
+
+#: The process-wide measurement cache.
+RESULTS = ResultCache()
 
 
 def allocate_workload(
@@ -45,8 +128,43 @@ def allocate_workload(
         compiled.dynamic_weights if info == "dynamic" else compiled.static_weights
     )
     return allocate_program(
-        compiled.program, register_file(config), options, weights_for
+        compiled.program,
+        register_file(config),
+        options,
+        weights_for,
+        cache=compiled.analyses,
     )
+
+
+def compute_measurement(
+    name: str,
+    options: AllocatorOptions,
+    config: RegisterConfig,
+    info: str = "dynamic",
+) -> Measurement:
+    """Allocate and evaluate one grid point, bypassing the cache."""
+    allocation = allocate_workload(name, options, config, info)
+    profile = compile_workload(name).profile
+    return Measurement(
+        overhead=program_overhead(allocation, profile),
+        cycles=program_cycles(allocation, profile),
+        stats=allocation.stats,
+    )
+
+
+def measure_full(
+    name: str,
+    options: AllocatorOptions,
+    config: RegisterConfig,
+    info: str = "dynamic",
+) -> Measurement:
+    """The full measurement record for one grid point (cached)."""
+    key: MeasureKey = (name, options, config, info)
+    cached = RESULTS.get(key)
+    if cached is None:
+        cached = compute_measurement(name, options, config, info)
+        RESULTS.put(key, cached)
+    return cached
 
 
 def measure(
@@ -56,15 +174,7 @@ def measure(
     info: str = "dynamic",
 ) -> Overhead:
     """Overhead of ``name`` under the given allocator setup (cached)."""
-    key = (name, options, config, info)
-    cached = _overhead_cache.get(key)
-    if cached is None:
-        allocation = allocate_workload(name, options, config, info)
-        profile = compile_workload(name).profile
-        cached = program_overhead(allocation, profile)
-        _overhead_cache[key] = cached
-        _cycles_cache[key] = program_cycles(allocation, profile)
-    return cached
+    return measure_full(name, options, config, info).overhead
 
 
 def measure_cycles(
@@ -74,10 +184,7 @@ def measure_cycles(
     info: str = "dynamic",
 ) -> float:
     """Modelled execution cycles for the same setup (cached)."""
-    key = (name, options, config, info)
-    if key not in _cycles_cache:
-        measure(name, options, config, info)
-    return _cycles_cache[key]
+    return measure_full(name, options, config, info).cycles
 
 
 def overhead_ratio(base: Overhead, other: Overhead) -> float:
@@ -94,5 +201,91 @@ def overhead_ratio(base: Overhead, other: Overhead) -> float:
 
 def clear_caches() -> None:
     """Drop memoized measurements (used by benchmark fixtures)."""
-    _overhead_cache.clear()
-    _cycles_cache.clear()
+    RESULTS.clear()
+
+
+# ----------------------------------------------------------------------
+# the parallel sweep executor
+# ----------------------------------------------------------------------
+
+
+def _measure_chunk(chunk: Sequence[MeasureKey]) -> List[Tuple[MeasureKey, Measurement]]:
+    """Worker entry point: compute a chunk of grid points.
+
+    Runs in a worker process; results travel back as picklable
+    ``(key, Measurement)`` pairs.  Workloads are compiled in the
+    worker (or inherited pre-compiled under a fork start method).
+    """
+    return [(key, compute_measurement(*key)) for key in chunk]
+
+
+def _chunk_by_workload(keys: Sequence[MeasureKey]) -> List[List[MeasureKey]]:
+    """Group grid points by workload, preserving first-seen order.
+
+    One chunk per workload keeps the expensive part — compiling and
+    profiling the workload — to one occurrence per worker task.
+    """
+    chunks: Dict[str, List[MeasureKey]] = {}
+    for key in keys:
+        chunks.setdefault(key[0], []).append(key)
+    return list(chunks.values())
+
+
+def run_grid(
+    keys: Sequence[MeasureKey],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[str, int, int], None]] = None,
+) -> int:
+    """Pre-compute a measurement grid, in parallel when ``jobs`` > 1.
+
+    Deduplicates ``keys``, drops the ones already cached, chunks the
+    remainder by workload and fans the chunks out over ``jobs`` worker
+    processes.  Results are merged into the cache in **submission
+    order** (not completion order), so cache contents — and therefore
+    any subsequent rendering — are deterministic and byte-identical
+    to a serial run.  Returns the number of grid points computed.
+
+    ``progress`` (workload name, points done, points total) is called
+    after each chunk completes, from the parent process.
+    """
+    if cache is None:
+        cache = RESULTS
+    pending: List[MeasureKey] = []
+    seen = set()
+    for key in keys:
+        if key not in seen and key not in cache:
+            seen.add(key)
+            pending.append(key)
+    if not pending:
+        return 0
+
+    chunks = _chunk_by_workload(pending)
+    total = len(pending)
+    done = 0
+
+    if jobs is None or jobs <= 1 or len(chunks) == 1:
+        for chunk in chunks:
+            for key, measurement in _measure_chunk(chunk):
+                cache.put(key, measurement)
+            done += len(chunk)
+            if progress is not None:
+                progress(chunk[0][0], done, total)
+        return total
+
+    # Prefer fork on platforms that have it: workers inherit warm
+    # compile caches instead of re-importing and recompiling.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    workers = min(jobs, len(chunks))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        futures = [(chunk, pool.submit(_measure_chunk, chunk)) for chunk in chunks]
+        for chunk, future in futures:  # submission order: deterministic merge
+            for key, measurement in future.result():
+                cache.put(key, measurement)
+            done += len(chunk)
+            if progress is not None:
+                progress(chunk[0][0], done, total)
+    return total

@@ -25,6 +25,8 @@ from repro.regalloc.dot import to_dot
 from repro.regalloc.framework import (
     FunctionAllocation,
     MAX_ITERATIONS,
+    PHASES,
+    PipelineStats,
     ProgramAllocation,
     allocate_function,
     allocate_program,
@@ -57,6 +59,8 @@ __all__ = [
     "MAX_ITERATIONS",
     "OrderingResult",
     "OverheadKind",
+    "PHASES",
+    "PipelineStats",
     "ProgramAllocation",
     "STRATEGIES",
     "SlotAllocator",

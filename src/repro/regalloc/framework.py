@@ -16,15 +16,21 @@ programs and carries block weights across the clone.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Set
 
-from repro.analysis.frequency import BlockWeights, static_weights
+from repro.analysis.frequency import BlockWeights
+from repro.analysis.manager import (
+    CALL_GRAPH,
+    INSTRUCTION_KEYS,
+    STATIC_WEIGHTS,
+    AnalysisCache,
+)
 from repro.ir.clone import ProgramClone, clone_program
 from repro.ir.function import Function, Program
 from repro.ir.instructions import Const
 from repro.ir.values import VReg
-from repro.analysis.callgraph import build_call_graph
 from repro.machine.registers import PhysReg, RegisterFile
 from repro.regalloc.assign import ColorAssigner
 from repro.regalloc.benefits import callee_save_cost, compute_benefits
@@ -46,6 +52,77 @@ from repro.regalloc.benefits import delta_key, max_key
 #: least one finite-cost live range, so real programs finish in a few.
 MAX_ITERATIONS = 100
 
+#: Phase names of the allocation pipeline, in execution order.
+PHASES = ("build", "coalesce", "order", "assign", "spill_insert", "emit")
+
+
+@dataclass
+class PipelineStats:
+    """Per-phase wall-clock cost of one allocation run.
+
+    Phases map onto the paper's Figure 1: ``build`` covers web
+    construction plus every interference(-graph) build, ``coalesce``
+    the coalescing rounds, ``order`` color ordering (simplification,
+    priority ordering or the CBH augmentation), ``assign`` color
+    assignment, ``spill_insert`` spill-code insertion plus graph
+    reconstruction, and ``emit`` the final save/restore emission.
+    ``cache_hits``/``cache_misses`` count analysis-cache traffic
+    attributable to the run.
+    """
+
+    build: float = 0.0
+    coalesce: float = 0.0
+    order: float = 0.0
+    assign: float = 0.0
+    spill_insert: float = 0.0
+    emit: float = 0.0
+    iterations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(getattr(self, phase) for phase in PHASES)
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """``{phase name: seconds}`` in pipeline order."""
+        return {phase: getattr(self, phase) for phase in PHASES}
+
+    def __add__(self, other: "PipelineStats") -> "PipelineStats":
+        return PipelineStats(
+            build=self.build + other.build,
+            coalesce=self.coalesce + other.coalesce,
+            order=self.order + other.order,
+            assign=self.assign + other.assign,
+            spill_insert=self.spill_insert + other.spill_insert,
+            emit=self.emit + other.emit,
+            iterations=self.iterations + other.iterations,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+        )
+
+
+class _PhaseTimer:
+    """Accumulate ``perf_counter`` spans into one ``PipelineStats``."""
+
+    def __init__(self, stats: PipelineStats) -> None:
+        self.stats = stats
+        self._phase: Optional[str] = None
+        self._started = 0.0
+
+    def start(self, phase: str) -> None:
+        self.stop()
+        self._phase = phase
+        self._started = time.perf_counter()
+
+    def stop(self) -> None:
+        if self._phase is not None:
+            elapsed = time.perf_counter() - self._started
+            setattr(
+                self.stats, self._phase, getattr(self.stats, self._phase) + elapsed
+            )
+            self._phase = None
+
 
 @dataclass
 class FunctionAllocation:
@@ -58,6 +135,8 @@ class FunctionAllocation:
     spilled: List[VReg] = field(default_factory=list)
     iterations: int = 0
     frame_slots: int = 0
+    #: Per-phase wall-clock timings of this function's pipeline run.
+    stats: PipelineStats = field(default_factory=PipelineStats)
 
 
 @dataclass
@@ -79,6 +158,14 @@ class ProgramAllocation:
     #: means every call conservatively clobbers all caller-save regs.
     clobbers: Optional[Dict[str, FrozenSet[PhysReg]]] = None
 
+    @property
+    def stats(self) -> PipelineStats:
+        """Aggregated pipeline timings over every function allocated."""
+        total = PipelineStats()
+        for allocation in self.functions.values():
+            total = total + allocation.stats
+        return total
+
 
 def allocate_function(
     func: Function,
@@ -87,6 +174,7 @@ def allocate_function(
     options: AllocatorOptions = AllocatorOptions(),
     reconstruct: bool = False,
     clobber_of: Optional[Dict[str, FrozenSet[PhysReg]]] = None,
+    cache: Optional[AnalysisCache] = None,
 ) -> FunctionAllocation:
     """Allocate registers for ``func`` in place.
 
@@ -98,8 +186,25 @@ def allocate_function(
     pass, so the wall-clock effect is small — see
     benchmarks/test_reconstruction_speed.py.)  The CBH model augments
     the graph destructively and always rebuilds.
+
+    ``cache`` is the pipeline's analysis cache; every rewrite the
+    allocator performs (web renaming, coalescing, spill code,
+    save/restore code) invalidates exactly the instruction-dependent
+    analyses, so CFG-shaped facts survive the whole run.  A private
+    cache is used when none is given.  Per-phase wall-clock timings
+    land in the returned allocation's ``stats``.
     """
+    if cache is None:
+        cache = AnalysisCache()
+    stats = PipelineStats()
+    timer = _PhaseTimer(stats)
+    hits_before, misses_before = cache.hits, cache.misses
+
+    timer.start("build")
     build_webs(func)
+    cache.invalidate(func, INSTRUCTION_KEYS)
+    timer.stop()
+
     spill_temps: Set[VReg] = set()
     slots = SlotAllocator()
     all_spilled: List[VReg] = []
@@ -108,15 +213,29 @@ def allocate_function(
 
     for iteration in range(1, MAX_ITERATIONS + 1):
         if graph is None:
-            graph, infos = build_interference(func, weights, spill_temps)
-            while coalesce_round(func, graph, infos) > 0:
-                graph, infos = build_interference(func, weights, spill_temps)
+            timer.start("build")
+            graph, infos = build_interference(func, weights, spill_temps, cache)
+            timer.stop()
+            while True:
+                timer.start("coalesce")
+                merged = coalesce_round(func, graph, infos)
+                timer.stop()
+                if merged == 0:
+                    break
+                cache.invalidate(func, INSTRUCTION_KEYS)
+                timer.start("build")
+                graph, infos = build_interference(
+                    func, weights, spill_temps, cache
+                )
+                timer.stop()
 
+        timer.start("order")
         if options.kind == "cbh":
             context = augment_for_cbh(func, graph, infos, regfile, weights)
             ordering, assignment = cbh_order_and_assign(
                 context, graph, infos, regfile, weights, options
             )
+            timer.stop()
         else:
             benefits = compute_benefits(infos, weights)
             forced_caller: Set[VReg] = set()
@@ -138,6 +257,7 @@ def allocate_function(
                     optimistic=options.optimistic,
                     spill_metric=options.spill_metric,
                 )
+            timer.start("assign")
             assigner = ColorAssigner(
                 graph,
                 infos,
@@ -148,12 +268,19 @@ def allocate_function(
                 callee_cost=callee_save_cost(weights),
             )
             assignment = assigner.run(ordering.stack)
+            timer.stop()
 
         spills = list(ordering.spilled) + list(assignment.spilled)
         if not spills:
+            timer.start("emit")
             insert_save_restore_code(
                 func, assignment.assignment, infos, slots, clobber_of
             )
+            cache.invalidate(func, INSTRUCTION_KEYS)
+            timer.stop()
+            stats.iterations = iteration
+            stats.cache_hits = cache.hits - hits_before
+            stats.cache_misses = cache.misses - misses_before
             return FunctionAllocation(
                 func=func,
                 assignment=assignment.assignment,
@@ -161,19 +288,29 @@ def allocate_function(
                 spilled=all_spilled,
                 iterations=iteration,
                 frame_slots=slots.count,
+                stats=stats,
             )
         all_spilled.extend(spills)
+        timer.start("spill_insert")
         temps_before = set(spill_temps)
         remat_values = (
             _rematerializable(func, spills) if options.remat else None
         )
         insert_spill_code(func, spills, slots, spill_temps, remat_values)
+        cache.invalidate(func, INSTRUCTION_KEYS)
         if reconstruct and options.kind != "cbh":
             reconstruct_interference(
-                graph, infos, func, weights, spills, spill_temps - temps_before
+                graph,
+                infos,
+                func,
+                weights,
+                spills,
+                spill_temps - temps_before,
+                cache,
             )
         else:
             graph = None
+        timer.stop()
 
     raise AllocationError(
         f"{func.name}: register allocation did not converge after "
@@ -227,12 +364,19 @@ def allocate_program(
     weights_for: Optional[Callable[[Function], BlockWeights]] = None,
     reconstruct: bool = False,
     ipra: bool = False,
+    cache: Optional[AnalysisCache] = None,
 ) -> ProgramAllocation:
     """Clone ``program`` and allocate every function of the clone.
 
     ``weights_for`` maps each *original* function to the block weights
     the allocator should use (static estimates by default); the
     weights are translated onto the clone automatically.
+
+    ``cache`` is shared across the whole run (and, when a caller such
+    as the measurement runner passes a persistent one, across runs):
+    analyses of the *original* program — static weight estimates, the
+    call graph — are keyed on objects that never mutate, so a sweep
+    over many register configurations computes them exactly once.
 
     ``ipra`` enables interprocedural save elision (extension):
     functions are allocated callees-first, each function's set of
@@ -241,15 +385,19 @@ def allocate_program(
     callee provably leaves its register alone.  Recursive functions
     (call-graph cycles) get conservative all-clobbering summaries.
     """
+    if cache is None:
+        cache = AnalysisCache()
     if weights_for is None:
-        weights_for = static_weights
+        weights_for = lambda f: cache.get(f, STATIC_WEIGHTS)  # noqa: E731
     cloned = clone_program(program)
     allocations: Dict[str, FunctionAllocation] = {}
 
     order = list(cloned.functions)
     summaries: Optional[Dict[str, FrozenSet[PhysReg]]] = None
     if ipra:
-        graph = build_call_graph(cloned.program)
+        # The call graph only names callers and callees, so the one
+        # computed on the (immutable) original serves every clone.
+        graph = cache.get_program(program, CALL_GRAPH)
         order = [name for name in graph.bottom_up() if name in cloned.functions]
         all_caller_save = frozenset(
             phys for phys in regfile.all_registers() if phys.is_caller_save
@@ -279,6 +427,7 @@ def allocate_program(
             options,
             reconstruct=reconstruct,
             clobber_of=summaries if ipra else None,
+            cache=cache,
         )
         if ipra and name not in summaries:
             own = frozenset(

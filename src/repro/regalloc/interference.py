@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.frequency import BlockWeights
 from repro.analysis.liveness import compute_liveness
+from repro.analysis.manager import LIVENESS, AnalysisCache
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import Call, Copy
 from repro.ir.values import VReg
@@ -98,9 +99,17 @@ def build_interference(
     func: Function,
     weights: BlockWeights,
     spill_temps: Set[VReg],
+    cache: Optional[AnalysisCache] = None,
 ) -> Tuple[InterferenceGraph, Dict[VReg, LiveRangeInfo]]:
-    """Build the graph and cost table for ``func`` under ``weights``."""
-    liveness = compute_liveness(func)
+    """Build the graph and cost table for ``func`` under ``weights``.
+
+    ``cache`` (an :class:`~repro.analysis.manager.AnalysisCache`)
+    memoizes the liveness pass; the caller is responsible for
+    invalidating it when the function is rewritten.
+    """
+    liveness = (
+        cache.get(func, LIVENESS) if cache is not None else compute_liveness(func)
+    )
     graph = InterferenceGraph()
     infos: Dict[VReg, LiveRangeInfo] = {}
 

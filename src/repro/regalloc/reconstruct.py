@@ -20,10 +20,11 @@ verified (in tests) to produce a graph identical to a full rebuild.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.analysis.frequency import BlockWeights
 from repro.analysis.liveness import compute_liveness
+from repro.analysis.manager import LIVENESS, AnalysisCache
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import Call, Copy
 from repro.ir.values import VReg
@@ -39,13 +40,17 @@ def reconstruct_interference(
     weights: BlockWeights,
     spilled: Iterable[VReg],
     new_temps: Iterable[VReg],
+    cache: Optional[AnalysisCache] = None,
 ) -> Tuple[InterferenceGraph, Dict[VReg, LiveRangeInfo]]:
     """Update ``graph``/``infos`` in place after spill-code insertion.
 
     ``spilled`` are the live ranges just moved to memory (their nodes
     disappear); ``new_temps`` are the spill temporaries the rewrite
     introduced.  Returns the same objects for symmetry with
-    :func:`~repro.regalloc.interference.build_interference`.
+    :func:`~repro.regalloc.interference.build_interference`.  The
+    caller must have invalidated ``cache`` for the rewritten function
+    already (liveness is recomputed here either way; the cached block
+    order is what reconstruction reuses).
     """
     spilled_set = set(spilled)
     temp_set = set(new_temps)
@@ -64,7 +69,9 @@ def reconstruct_interference(
         infos.pop(reg, None)
 
     # 2. One liveness pass over the rewritten function.
-    liveness = compute_liveness(func)
+    liveness = (
+        cache.get(func, LIVENESS) if cache is not None else compute_liveness(func)
+    )
 
     # Parameters are defined simultaneously at entry; restore the
     # entry edges that involve re-added (spilled) parameters — against

@@ -10,6 +10,7 @@
 from repro.workloads.registry import (
     CompiledWorkload,
     Workload,
+    clear_compiled_cache,
     compile_workload,
     get_workload,
     register,
@@ -19,6 +20,7 @@ from repro.workloads.registry import (
 __all__ = [
     "CompiledWorkload",
     "Workload",
+    "clear_compiled_cache",
     "compile_workload",
     "get_workload",
     "register",

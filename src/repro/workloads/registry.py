@@ -13,11 +13,12 @@ reuses it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Tuple
 
-from repro.analysis.frequency import BlockWeights, static_weights
+from repro.analysis.frequency import BlockWeights
+from repro.analysis.manager import STATIC_WEIGHTS, AnalysisCache
 from repro.ir.function import Function, Program
 from repro.ir.verify import verify_program
 from repro.lang.lower import compile_source
@@ -44,6 +45,10 @@ class CompiledWorkload:
     program: Program
     profile: Profile
     baseline: ExecutionResult
+    #: Analyses of the (immutable) compiled program, shared by every
+    #: allocation run over it: static weights, the call graph, and the
+    #: per-clone pipeline analyses of a run that passes it along.
+    analyses: AnalysisCache = field(default_factory=AnalysisCache)
 
     def dynamic_weights(self, func: Function) -> BlockWeights:
         """Profile-derived weights (the paper's dynamic information)."""
@@ -51,7 +56,7 @@ class CompiledWorkload:
 
     def static_weights(self, func: Function) -> BlockWeights:
         """Compiler-estimated weights (the paper's static information)."""
-        return static_weights(func)
+        return self.analyses.get(func, STATIC_WEIGHTS)
 
 
 _REGISTRY: Dict[str, Workload] = {}
@@ -101,6 +106,16 @@ def compile_workload(name: str, optimize: bool = False) -> CompiledWorkload:
         profile=baseline.profile,
         baseline=baseline,
     )
+
+
+def clear_compiled_cache() -> None:
+    """Drop every cached compile/profile (and its analysis cache).
+
+    Tests use this between modules so cached compiles — and anything
+    hanging off them, like per-workload analysis caches — cannot leak
+    state across test modules.
+    """
+    compile_workload.cache_clear()
 
 
 def _ensure_loaded() -> None:

@@ -1,0 +1,127 @@
+"""Tests for the pass-manager style AnalysisCache."""
+
+import gc
+
+from repro.analysis import (
+    CALL_GRAPH,
+    INSTRUCTION_KEYS,
+    KEY_CFG,
+    LIVENESS,
+    LOOP_DEPTHS,
+    RPO,
+    STATIC_WEIGHTS,
+    AnalysisCache,
+    compute_liveness,
+    static_weights,
+)
+from repro.lang import compile_source
+
+SOURCE = """
+int out[2];
+int helper(int x) { return x * 2 + 1; }
+void main() {
+    int total = 0;
+    for (int i = 0; i < 8; i = i + 1) {
+        total = total + helper(i);
+    }
+    out[0] = total;
+}
+"""
+
+
+def _program():
+    return compile_source(SOURCE)
+
+
+class TestLookups:
+    def test_get_memoizes(self):
+        program = _program()
+        func = program.functions["main"]
+        cache = AnalysisCache()
+        first = cache.get(func, LIVENESS)
+        second = cache.get(func, LIVENESS)
+        assert first is second
+        assert cache.stats.hits == 1
+        # liveness computes through RPO, so two analyses were computed.
+        assert cache.stats.misses == 2
+
+    def test_results_match_direct_computation(self):
+        program = _program()
+        func = program.functions["main"]
+        cache = AnalysisCache()
+        cached = cache.get(func, LIVENESS)
+        direct = compute_liveness(func)
+        assert cached.live_in == direct.live_in
+        assert cached.live_out == direct.live_out
+        assert cache.get(func, STATIC_WEIGHTS).weights == static_weights(func).weights
+
+    def test_program_analysis(self):
+        program = _program()
+        cache = AnalysisCache()
+        graph = cache.get_program(program, CALL_GRAPH)
+        assert cache.get_program(program, CALL_GRAPH) is graph
+        assert "helper" in graph.callees["main"]
+
+    def test_functions_tracked_independently(self):
+        program = _program()
+        cache = AnalysisCache()
+        main = cache.get(program.functions["main"], RPO)
+        helper = cache.get(program.functions["helper"], RPO)
+        assert main is not helper
+
+
+class TestInvalidation:
+    def test_instruction_invalidation_preserves_cfg_analyses(self):
+        program = _program()
+        func = program.functions["main"]
+        cache = AnalysisCache()
+        liveness = cache.get(func, LIVENESS)
+        rpo = cache.get(func, RPO)
+        depths = cache.get(func, LOOP_DEPTHS)
+        cache.invalidate(func, INSTRUCTION_KEYS)
+        assert cache.get(func, RPO) is rpo
+        assert cache.get(func, LOOP_DEPTHS) is depths
+        assert cache.get(func, LIVENESS) is not liveness
+
+    def test_cfg_invalidation_drops_everything(self):
+        program = _program()
+        func = program.functions["main"]
+        cache = AnalysisCache()
+        rpo = cache.get(func, RPO)
+        cache.invalidate(func, {KEY_CFG})
+        assert cache.get(func, RPO) is not rpo
+
+    def test_full_invalidation_by_default(self):
+        program = _program()
+        func = program.functions["main"]
+        cache = AnalysisCache()
+        weights = cache.get(func, STATIC_WEIGHTS)
+        cache.invalidate(func)
+        assert cache.get(func, STATIC_WEIGHTS) is not weights
+
+    def test_clear(self):
+        program = _program()
+        func = program.functions["main"]
+        cache = AnalysisCache()
+        cache.get(func, RPO)
+        cache.clear()
+        assert cache.cached_analyses(func) == frozenset()
+
+    def test_cached_analyses_listing(self):
+        program = _program()
+        func = program.functions["main"]
+        cache = AnalysisCache()
+        cache.get(func, LIVENESS)
+        names = cache.cached_analyses(func)
+        assert "liveness" in names and "rpo" in names
+
+
+class TestLifetime:
+    def test_entries_die_with_their_function(self):
+        cache = AnalysisCache()
+        program = _program()
+        cache.get(program.functions["main"], RPO)
+        assert len(cache._functions) == 1
+        del program
+        gc.collect()
+        assert len(cache._functions) == 0

@@ -102,6 +102,42 @@ class TestWorkloadsAndSweep:
         assert "improved" in output
         assert "(6,4,0,0)" in output
 
+    def test_sweep_timings_table(self, capsys):
+        assert main(
+            [
+                "sweep", "compress", "--short",
+                "--allocators", "base", "--timings",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Pipeline phase timings" in output
+        assert "build" in output and "assign" in output
+        assert "TOTAL" in output
+
+    def test_sweep_json(self, capsys):
+        import json
+
+        assert main(
+            [
+                "sweep", "compress", "--short",
+                "--allocators", "base", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "compress"
+        assert "base" in payload["totals"]
+
+    def test_sweep_jobs_matches_serial(self, capsys):
+        from repro.eval import clear_caches
+
+        args = ["sweep", "compress", "--short", "--allocators", "base"]
+        clear_caches()
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        clear_caches()
+        assert main(args + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
 
 class TestExperiment:
     def test_experiment_runs_and_writes(self, tmp_path, capsys):
@@ -113,3 +149,29 @@ class TestExperiment:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "figure99"])
+
+    def test_experiment_jobs_matches_serial(self, capsys):
+        from repro.eval import clear_caches
+
+        clear_caches()
+        assert main(["experiment", "table4"]) == 0
+        serial = capsys.readouterr().out
+        clear_caches()
+        assert main(["experiment", "table4", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_experiment_json_out(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "result.json"
+        assert main(
+            ["experiment", "table4", "--json", "--out", str(out_file)]
+        ) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload
+        json.loads(capsys.readouterr().out)
+
+    def test_experiment_timings(self, capsys):
+        assert main(["experiment", "table4", "--timings"]) == 0
+        output = capsys.readouterr().out
+        assert "Pipeline phase timings" in output

@@ -64,6 +64,23 @@ void main() {
 """
 
 
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_workload_caches():
+    """Keep cached compiles/profiles from leaking across test modules.
+
+    Compiled workloads (and the measurement/analysis caches hanging
+    off them) are process-wide; clearing them at module boundaries
+    means no module can depend on — or be broken by — what an earlier
+    module happened to compile or measure.
+    """
+    yield
+    from repro.eval.runner import clear_caches
+    from repro.workloads.registry import clear_compiled_cache
+
+    clear_caches()
+    clear_compiled_cache()
+
+
 @pytest.fixture
 def small_call_program():
     return compile_source(SMALL_CALL_SOURCE)

@@ -1,0 +1,106 @@
+"""ResultCache semantics, measure/measure_cycles decoupling, run_grid."""
+
+import pytest
+
+from repro.eval import (
+    RESULTS,
+    clear_caches,
+    experiment_grid,
+    measure,
+    measure_cycles,
+    measure_full,
+    run_grid,
+    table4,
+)
+from repro.machine import RegisterConfig
+from repro.regalloc import AllocatorOptions
+
+KEY = ("compress", AllocatorOptions.improved_chaitin(), RegisterConfig(6, 4, 2, 2), "dynamic")
+OTHER = ("compress", AllocatorOptions.base_chaitin(), RegisterConfig(6, 4, 2, 2), "dynamic")
+
+
+@pytest.fixture(autouse=True)
+def _clean_results():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestResultCache:
+    def test_measure_full_is_cached(self):
+        first = measure_full(*KEY)
+        second = measure_full(*KEY)
+        assert first is second
+        assert RESULTS.hits == 1
+        assert RESULTS.misses == 1
+
+    def test_clear_resets_entries_and_counters(self):
+        measure_full(*KEY)
+        RESULTS.clear()
+        assert len(RESULTS) == 0
+        assert RESULTS.hits == 0 and RESULTS.misses == 0
+
+    def test_peek_does_not_count(self):
+        measure_full(*KEY)
+        before = RESULTS.stats
+        assert RESULTS.peek(KEY) is not None
+        assert RESULTS.peek(OTHER) is None
+        assert RESULTS.stats == before
+
+    def test_measure_cycles_standalone(self):
+        """Cycles no longer depend on a prior ``measure`` call.
+
+        The old module-level dicts were populated as a pair by
+        ``measure``; calling ``measure_cycles`` first used to miss.
+        """
+        cycles = measure_cycles(*KEY)
+        assert cycles > 0
+        # Both views come from the single cached Measurement.
+        overhead = measure(*KEY)
+        assert RESULTS.peek(KEY).overhead is overhead
+        assert RESULTS.peek(KEY).cycles == cycles
+        assert len(RESULTS) == 1
+
+    def test_measurement_carries_pipeline_stats(self):
+        record = measure_full(*KEY)
+        assert record.stats.total_seconds > 0
+        assert record.stats.build > 0
+
+
+class TestRunGrid:
+    def test_serial_prewarm_populates_cache(self):
+        computed = run_grid([KEY, OTHER, KEY], jobs=1)
+        assert computed == 2  # duplicates collapse
+        assert KEY in RESULTS and OTHER in RESULTS
+
+    def test_skips_already_cached(self):
+        measure_full(*KEY)
+        assert run_grid([KEY], jobs=1) == 0
+
+    def test_parallel_matches_serial(self):
+        serial = {k: measure_full(*k) for k in (KEY, OTHER)}
+        clear_caches()
+        run_grid([KEY, OTHER], jobs=2)
+        for key, record in serial.items():
+            parallel = RESULTS.peek(key)
+            assert parallel is not None
+            assert parallel.overhead == record.overhead
+            assert parallel.cycles == record.cycles
+
+
+class TestExperimentGrids:
+    def test_grid_covers_driver(self):
+        """Prewarming a driver's grid makes the driver itself all-hits."""
+        keys = experiment_grid(table4)
+        assert keys
+        run_grid(keys, jobs=1)
+        RESULTS.hits = RESULTS.misses = 0
+        table4()
+        assert RESULTS.misses == 0
+        assert RESULTS.hits > 0
+
+    def test_parallel_render_identical_to_serial(self):
+        serial = table4().render()
+        clear_caches()
+        run_grid(experiment_grid(table4), jobs=2)
+        assert table4().render() == serial

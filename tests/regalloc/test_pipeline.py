@@ -1,0 +1,153 @@
+"""Pipeline-manager behaviour: reconstruction identity, timings, cache.
+
+The regression target: with the analysis cache threaded through the
+framework, ``reconstruct=True`` (the paper's graph-reconstruction box)
+and a full per-iteration rebuild must still produce bit-identical
+allocations, and every run must surface per-phase timings.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisCache
+from repro.machine import RegisterConfig, register_file
+from repro.regalloc import AllocatorOptions, PipelineStats, allocate_program
+from repro.workloads import compile_workload
+
+PRESETS = {
+    "base": AllocatorOptions.base_chaitin(),
+    "optimistic": AllocatorOptions.optimistic_coloring(),
+    "improved": AllocatorOptions.improved_chaitin(),
+    "improved-optimistic": AllocatorOptions.improved_optimistic(),
+    "priority": AllocatorOptions.priority_based(),
+    "cbh": AllocatorOptions.cbh(),
+}
+
+CONFIG = RegisterConfig(6, 4, 2, 2)
+
+
+def _snapshot(allocation):
+    """An identity-free, comparable view of a program allocation.
+
+    Virtual registers are per-clone objects; their reprs (id + source
+    name) are deterministic under the deterministic renaming, so two
+    runs over separate clones compare equal iff the allocator made the
+    same decisions.
+    """
+    snapshot = {}
+    for name, fa in allocation.functions.items():
+        snapshot[name] = (
+            {repr(reg): phys.name for reg, phys in fa.assignment.items()},
+            [repr(reg) for reg in fa.spilled],
+            fa.iterations,
+            fa.frame_slots,
+        )
+    return snapshot
+
+
+@pytest.mark.parametrize("workload", ["compress", "eqntott"])
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_reconstruct_matches_full_rebuild(workload, preset):
+    compiled = compile_workload(workload)
+    options = PRESETS[preset]
+    regfile = register_file(CONFIG)
+    rebuilt = allocate_program(
+        compiled.program, regfile, options, compiled.dynamic_weights,
+        reconstruct=False,
+    )
+    reconstructed = allocate_program(
+        compiled.program, regfile, options, compiled.dynamic_weights,
+        reconstruct=True,
+    )
+    assert _snapshot(rebuilt) == _snapshot(reconstructed)
+
+
+class TestPipelineStats:
+    def test_per_function_phase_timings_nonzero(self):
+        compiled = compile_workload("compress")
+        allocation = allocate_program(
+            compiled.program,
+            register_file(CONFIG),
+            AllocatorOptions.improved_chaitin(),
+            compiled.dynamic_weights,
+        )
+        for name, fa in allocation.functions.items():
+            stats = fa.stats
+            assert stats.iterations == fa.iterations
+            for phase in ("build", "coalesce", "order", "assign", "emit"):
+                assert getattr(stats, phase) > 0.0, (name, phase)
+            assert stats.total_seconds > 0.0
+
+    def test_program_stats_aggregate(self):
+        compiled = compile_workload("compress")
+        allocation = allocate_program(
+            compiled.program,
+            register_file(CONFIG),
+            AllocatorOptions.improved_chaitin(),
+            compiled.dynamic_weights,
+        )
+        total = allocation.stats
+        assert total.build == pytest.approx(
+            sum(fa.stats.build for fa in allocation.functions.values())
+        )
+        assert total.iterations == sum(
+            fa.iterations for fa in allocation.functions.values()
+        )
+
+    def test_spill_insert_timed_when_spills_happen(self):
+        compiled = compile_workload("compress")
+        allocation = allocate_program(
+            compiled.program,
+            register_file(RegisterConfig(3, 2, 0, 0)),
+            AllocatorOptions.base_chaitin(),
+            compiled.dynamic_weights,
+        )
+        spilled = [fa for fa in allocation.functions.values() if fa.spilled]
+        assert spilled, "pressure config should force spills"
+        assert all(fa.stats.spill_insert > 0.0 for fa in spilled)
+
+    def test_stats_addition(self):
+        a = PipelineStats(build=1.0, iterations=2, cache_hits=3)
+        b = PipelineStats(build=0.5, order=1.5, cache_misses=4)
+        c = a + b
+        assert c.build == 1.5
+        assert c.order == 1.5
+        assert c.iterations == 2
+        assert c.cache_hits == 3
+        assert c.cache_misses == 4
+
+
+class TestSharedAnalysisCache:
+    def test_sweep_reuses_original_program_analyses(self):
+        """A persistent cache turns repeat allocations into cache hits."""
+        compiled = compile_workload("eqntott")
+        options = AllocatorOptions.improved_chaitin()
+        cache = AnalysisCache()
+        allocate_program(
+            compiled.program,
+            register_file(CONFIG),
+            options,
+            cache=cache,
+        )
+        first_misses = cache.misses
+        allocate_program(
+            compiled.program,
+            register_file(RegisterConfig(8, 6, 2, 2)),
+            options,
+            cache=cache,
+        )
+        # The second config recomputes clone-side analyses but reuses
+        # every static-weight (original-side) entry.
+        assert cache.misses - first_misses < first_misses
+        assert cache.hits > 0
+
+    def test_allocation_records_cache_traffic(self):
+        compiled = compile_workload("eqntott")
+        allocation = allocate_program(
+            compiled.program,
+            register_file(CONFIG),
+            AllocatorOptions.improved_chaitin(),
+            compiled.dynamic_weights,
+        )
+        total = allocation.stats
+        assert total.cache_misses > 0
+        assert total.cache_hits > 0

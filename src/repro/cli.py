@@ -8,6 +8,7 @@
     python -m repro workloads                         # list the stand-ins
     python -m repro sweep WORKLOAD                    # allocators x sweep
     python -m repro experiment NAME                   # regenerate a figure
+    python -m repro fuzz --seeds 200                  # differential fuzzing
 
 Every command takes mini-C source files; see README.md for the
 language and the allocator names.
@@ -28,16 +29,11 @@ from repro.ir import format_program
 from repro.lang import compile_source
 from repro.machine import RegisterConfig, mips_sweep, register_file
 from repro.profile import run_allocated, run_program
-from repro.regalloc import AllocatorOptions, allocate_program
+from repro.regalloc import PRESETS, allocate_program
 
-ALLOCATORS = {
-    "base": AllocatorOptions.base_chaitin,
-    "optimistic": AllocatorOptions.optimistic_coloring,
-    "improved": AllocatorOptions.improved_chaitin,
-    "improved-optimistic": AllocatorOptions.improved_optimistic,
-    "priority": AllocatorOptions.priority_based,
-    "cbh": AllocatorOptions.cbh,
-}
+#: The six allocator presets, by CLI name (one shared table for the
+#: CLI, the sweep drivers and the fuzz harness).
+ALLOCATORS = PRESETS
 
 EXPERIMENTS = {
     "figure2": exp.figure2,
@@ -156,10 +152,18 @@ def cmd_allocate(args) -> int:
         )
         print(f"\ninterference graph written to {dot_path}")
     if args.verify:
+        from repro.regalloc import AllocationVerificationError, verify_allocation
+
+        try:
+            verify_allocation(allocation)
+        except AllocationVerificationError as error:
+            print(f"\nverification: FAIL [{error.check}] {error}")
+            return 1
+        print("\nverification: PASS")
         mech = run_allocated(allocation, fuel=args.fuel * 4)
         baseline = run_program(program, fuel=args.fuel)
         same = mech.globals_state == baseline.globals_state
-        print(f"\nexecution check: {'PASS' if same else 'FAIL'}")
+        print(f"execution check: {'PASS' if same else 'FAIL'}")
         return 0 if same else 1
     return 0
 
@@ -234,7 +238,7 @@ def _render_timings(keys: Sequence, title: str) -> Optional[str]:
 
 
 def cmd_sweep(args) -> int:
-    from repro.eval import measure, run_grid
+    from repro.eval import describe_key, measure, run_grid
 
     configs = mips_sweep()
     if args.short:
@@ -245,8 +249,12 @@ def cmd_sweep(args) -> int:
         for alloc_name in names
         for config in configs
     ]
-    if args.jobs and args.jobs > 1:
-        run_grid(keys, jobs=args.jobs)
+    # Always go through run_grid: it owns the fault handling, so one
+    # bad grid point shows up as an ERR cell instead of a traceback.
+    grid = run_grid(
+        keys, jobs=args.jobs, verify=args.verify, timeout=args.timeout
+    )
+    failed_keys = set(grid.failed_keys())
     rows = []
     data = {}
     for alloc_name in names:
@@ -254,15 +262,36 @@ def cmd_sweep(args) -> int:
         row = [alloc_name]
         totals = {}
         for config in configs:
-            overhead = measure(args.workload, options, config, args.info)
-            row.append(f"{overhead.total:.0f}")
-            totals[str(config)] = overhead.total
+            key = (args.workload, options, config, args.info)
+            if key in failed_keys:
+                row.append("ERR")
+                totals[str(config)] = None
+            else:
+                overhead = measure(args.workload, options, config, args.info)
+                row.append(f"{overhead.total:.0f}")
+                totals[str(config)] = overhead.total
         rows.append(row)
         data[alloc_name] = totals
     if args.json:
         print(
             json.dumps(
-                {"workload": args.workload, "info": args.info, "totals": data},
+                {
+                    "workload": args.workload,
+                    "info": args.info,
+                    "totals": data,
+                    "grid": {
+                        "computed": len(grid.computed),
+                        "cached": len(grid.cached),
+                        "failures": [
+                            {
+                                "key": describe_key(record.key),
+                                "error": record.error,
+                                "attempts": record.attempts,
+                            }
+                            for record in grid.failed
+                        ],
+                    },
+                },
                 indent=2,
                 sort_keys=True,
             )
@@ -276,6 +305,8 @@ def cmd_sweep(args) -> int:
                 rows,
             )
         )
+        for record in grid.failed:
+            print(f"FAILED {record.describe()}", file=sys.stderr)
     if args.timings:
         timings = _render_timings(
             keys, f"Pipeline phase timings for {args.workload!r}"
@@ -283,7 +314,7 @@ def cmd_sweep(args) -> int:
         if timings:
             print()
             print(timings)
-    return 0
+    return 0 if grid.ok else 1
 
 
 def cmd_experiment(args) -> int:
@@ -293,8 +324,12 @@ def cmd_experiment(args) -> int:
     for name in names:
         driver = EXPERIMENTS[name]
         keys = experiment_grid(driver)
-        if args.jobs and args.jobs > 1 and keys:
-            run_grid(keys, jobs=args.jobs)
+        if keys and (args.verify or (args.jobs and args.jobs > 1)):
+            grid = run_grid(keys, jobs=args.jobs, verify=args.verify)
+            # Experiments need the full grid to render; surface what
+            # failed before the driver recomputes it (and raises).
+            for record in grid.failed:
+                print(f"FAILED {record.describe()}", file=sys.stderr)
         result = driver()
         text = (
             json.dumps(result.as_dict(), indent=2)
@@ -324,6 +359,92 @@ def cmd_experiment(args) -> int:
     if args.out:
         print(f"written to {args.out}", file=sys.stderr)
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import (
+        quarantine,
+        reduce_failure,
+        replay_corpus,
+        run_fuzz,
+    )
+
+    corpus_dir = Path(args.corpus)
+
+    if args.replay:
+        results = replay_corpus(corpus_dir)
+        regressions = {
+            path: fails for path, fails in results.items() if fails
+        }
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "cases": len(results),
+                        "regressions": {
+                            path: [f.describe() for f in fails]
+                            for path, fails in regressions.items()
+                        },
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(f"replayed {len(results)} corpus case(s)")
+            for path in sorted(regressions):
+                for failure in regressions[path]:
+                    print(f"REGRESSION {path}: {failure.describe()}")
+            if results and not regressions:
+                print("every quarantined bug stays fixed")
+        return 1 if regressions else 0
+
+    seeds = list(range(args.start_seed, args.start_seed + args.seeds))
+
+    def progress(done: int, total: int) -> None:
+        print(f"fuzz: {done}/{total} seeds", file=sys.stderr, flush=True)
+
+    report = run_fuzz(
+        seeds,
+        jobs=args.jobs,
+        time_budget=args.time_budget,
+        progress=progress if not args.json else None,
+    )
+
+    written = []
+    for failure in report.failures:
+        if not args.no_reduce:
+            failure = reduce_failure(failure)
+        written.append(str(quarantine(failure, corpus_dir)))
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "seeds_run": report.seeds_run,
+                    "checked": report.checked,
+                    "skipped": report.skipped,
+                    "elapsed": round(report.elapsed, 2),
+                    "budget_exhausted": report.budget_exhausted,
+                    "failures": [f.describe() for f in report.failures],
+                    "quarantined": written,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        budget = " (time budget exhausted)" if report.budget_exhausted else ""
+        print(
+            f"fuzzed {report.seeds_run} seed(s): {report.checked} allocation "
+            f"check(s), {report.skipped} skipped, "
+            f"{len(report.failures)} failure(s) in {report.elapsed:.1f}s{budget}"
+        )
+        for failure in report.failures:
+            print(f"FAILURE {failure.describe()}")
+        for path in written:
+            print(f"quarantined reproducer: {path}")
+    return 0 if report.ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -373,6 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--short", action="store_true", help="first 6 configs only")
     p.add_argument("--jobs", type=int, default=1,
                    help="measure the grid with N worker processes")
+    p.add_argument("--verify", action="store_true",
+                   help="run every allocation through the independent "
+                        "verifier before reporting on it")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-chunk timeout in seconds for parallel runs")
     p.add_argument("--timings", action="store_true",
                    help="also print per-phase pipeline timings")
     p.add_argument("--json", action="store_true",
@@ -388,11 +514,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="pre-measure the experiment grid with N worker "
                         "processes (output is identical to a serial run)")
+    p.add_argument("--verify", action="store_true",
+                   help="run every allocation of the experiment grid "
+                        "through the independent verifier")
     p.add_argument("--timings", action="store_true",
                    help="also print per-phase pipeline timings")
     p.add_argument("--json", action="store_true",
                    help="emit JSON instead of the ASCII table")
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random programs through every "
+             "allocator, verified and executed against the source "
+             "interpreter",
+    )
+    p.add_argument("--seeds", type=int, default=100,
+                   help="number of random programs to check")
+    p.add_argument("--start-seed", type=int, default=0,
+                   help="first seed of the range")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fuzz with N worker processes")
+    p.add_argument("--time-budget", type=float, default=None,
+                   help="stop after this many seconds (remaining seeds "
+                        "are abandoned, not failed)")
+    p.add_argument("--corpus", default="tests/fuzz_corpus",
+                   help="quarantine directory for minimized reproducers")
+    p.add_argument("--no-reduce", action="store_true",
+                   help="quarantine failures without minimizing them")
+    p.add_argument("--replay", action="store_true",
+                   help="re-run every quarantined corpus case instead "
+                        "of fuzzing")
+    p.add_argument("--json", action="store_true",
+                   help="emit JSON instead of text")
+    p.set_defaults(func=cmd_fuzz)
 
     return parser
 

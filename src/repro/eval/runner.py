@@ -21,12 +21,23 @@ once) and merges the results back into the cache in deterministic
 submission order; because the parallel path only *pre-warms* the
 cache, any rendering produced afterwards is byte-identical to a
 serial run.
+
+The sweep executor is fault tolerant: a worker exception, a crashed
+worker process (``BrokenProcessPool``) or a per-chunk timeout no
+longer kills the sweep.  Failing chunks are retried on a fresh pool
+with exponential backoff, then degraded to in-process per-key
+execution so one bad grid point cannot sink its whole chunk; what
+still fails is captured as a :class:`FailureRecord` inside the
+:class:`GridReport` every ``run_grid`` call returns.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import multiprocessing
@@ -141,9 +152,19 @@ def compute_measurement(
     options: AllocatorOptions,
     config: RegisterConfig,
     info: str = "dynamic",
+    verify: bool = False,
 ) -> Measurement:
-    """Allocate and evaluate one grid point, bypassing the cache."""
+    """Allocate and evaluate one grid point, bypassing the cache.
+
+    With ``verify`` set, the allocation is run through the independent
+    post-allocation verifier before being measured, so a sweep can
+    certify every allocation it reports on.
+    """
     allocation = allocate_workload(name, options, config, info)
+    if verify:
+        from repro.regalloc.verify import verify_allocation
+
+        verify_allocation(allocation)
     profile = compile_workload(name).profile
     return Measurement(
         overhead=program_overhead(allocation, profile),
@@ -205,18 +226,79 @@ def clear_caches() -> None:
 
 
 # ----------------------------------------------------------------------
-# the parallel sweep executor
+# the fault-tolerant parallel sweep executor
 # ----------------------------------------------------------------------
 
 
-def _measure_chunk(chunk: Sequence[MeasureKey]) -> List[Tuple[MeasureKey, Measurement]]:
+@dataclass(frozen=True)
+class FailureRecord:
+    """One grid point that could not be computed.
+
+    ``attempts`` counts how many times the point's chunk was tried
+    (parallel rounds plus the in-process salvage pass, when any).
+    """
+
+    key: MeasureKey
+    error: str
+    attempts: int
+
+    def describe(self) -> str:
+        return f"{describe_key(self.key)} after {self.attempts} attempt(s): {self.error}"
+
+
+@dataclass
+class GridReport:
+    """What a ``run_grid`` call did with each requested grid point."""
+
+    computed: List[MeasureKey] = field(default_factory=list)
+    cached: List[MeasureKey] = field(default_factory=list)
+    failed: List[FailureRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    @property
+    def total(self) -> int:
+        return len(self.computed) + len(self.cached) + len(self.failed)
+
+    def failed_keys(self) -> List[MeasureKey]:
+        return [record.key for record in self.failed]
+
+    def merge(self, other: "GridReport") -> None:
+        self.computed.extend(other.computed)
+        self.cached.extend(other.cached)
+        self.failed.extend(other.failed)
+
+
+def describe_key(key: MeasureKey) -> str:
+    """Stable human-readable rendering of one grid point."""
+    name, options, config, info = key
+    return f"{name}:{options.label}:{config}:{info}"
+
+
+def _measure_chunk(
+    chunk: Sequence[MeasureKey], verify: bool = False
+) -> List[Tuple[MeasureKey, Measurement]]:
     """Worker entry point: compute a chunk of grid points.
 
     Runs in a worker process; results travel back as picklable
     ``(key, Measurement)`` pairs.  Workloads are compiled in the
     worker (or inherited pre-compiled under a fork start method).
     """
-    return [(key, compute_measurement(*key)) for key in chunk]
+    return [(key, compute_measurement(*key, verify=verify)) for key in chunk]
+
+
+def _run_chunk(
+    chunk: Sequence[MeasureKey], verify: bool
+) -> List[Tuple[MeasureKey, Measurement]]:
+    """The callable submitted to worker pools.
+
+    Deliberately a trampoline: it resolves ``_measure_chunk`` through
+    the module globals *in the worker*, so tests can monkeypatch the
+    chunk worker (fault injection) and forked children see the patch.
+    """
+    return _measure_chunk(chunk, verify)
 
 
 def _chunk_by_workload(keys: Sequence[MeasureKey]) -> List[List[MeasureKey]]:
@@ -231,12 +313,46 @@ def _chunk_by_workload(keys: Sequence[MeasureKey]) -> List[List[MeasureKey]]:
     return list(chunks.values())
 
 
+def _salvage_chunk(
+    chunk: Sequence[MeasureKey],
+    attempts: int,
+    verify: bool,
+    cache: ResultCache,
+    report: GridReport,
+) -> None:
+    """In-process, per-key degradation of a repeatedly-failing chunk.
+
+    Isolates the failure to individual grid points: healthy keys in
+    the chunk still land in the cache, bad ones become one
+    :class:`FailureRecord` each.
+    """
+    for key in chunk:
+        try:
+            pairs = _measure_chunk([key], verify)
+        except Exception as error:
+            report.failed.append(
+                FailureRecord(
+                    key=key,
+                    error=f"{type(error).__name__}: {error}",
+                    attempts=attempts + 1,
+                )
+            )
+        else:
+            for got, measurement in pairs:
+                cache.put(got, measurement)
+                report.computed.append(got)
+
+
 def run_grid(
     keys: Sequence[MeasureKey],
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str, int, int], None]] = None,
-) -> int:
+    verify: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.5,
+) -> GridReport:
     """Pre-compute a measurement grid, in parallel when ``jobs`` > 1.
 
     Deduplicates ``keys``, drops the ones already cached, chunks the
@@ -244,34 +360,65 @@ def run_grid(
     processes.  Results are merged into the cache in **submission
     order** (not completion order), so cache contents — and therefore
     any subsequent rendering — are deterministic and byte-identical
-    to a serial run.  Returns the number of grid points computed.
+    to a serial run.
+
+    The executor survives its workers.  A chunk whose worker raises
+    (or whose process dies, surfacing as ``BrokenProcessPool`` on
+    every in-flight future) is retried up to ``retries`` more times,
+    each round on a **fresh** pool after an exponentially growing
+    ``backoff`` pause.  Chunks still failing after the last round are
+    degraded to in-process per-key execution so one bad grid point
+    cannot take its chunk-mates down with it.  Chunks that exceed the
+    per-chunk ``timeout`` (seconds; ``None`` disables) get the same
+    parallel retries but skip the in-process pass, because a hung
+    computation would hang the parent too.
 
     ``progress`` (workload name, points done, points total) is called
-    after each chunk completes, from the parent process.
+    from the parent exactly once per chunk *resolution* — success or
+    final failure — so the done count is consistent even when chunks
+    crash.  Returns a :class:`GridReport` listing the computed,
+    already-cached and failed grid points.
     """
     if cache is None:
         cache = RESULTS
+    report = GridReport()
     pending: List[MeasureKey] = []
     seen = set()
     for key in keys:
-        if key not in seen and key not in cache:
-            seen.add(key)
+        if key in seen:
+            continue
+        seen.add(key)
+        if key in cache:
+            report.cached.append(key)
+        else:
             pending.append(key)
     if not pending:
-        return 0
+        return report
 
     chunks = _chunk_by_workload(pending)
     total = len(pending)
     done = 0
 
+    def resolve(chunk: Sequence[MeasureKey]) -> None:
+        nonlocal done
+        done += len(chunk)
+        if progress is not None:
+            progress(chunk[0][0], done, total)
+
     if jobs is None or jobs <= 1 or len(chunks) == 1:
         for chunk in chunks:
-            for key, measurement in _measure_chunk(chunk):
-                cache.put(key, measurement)
-            done += len(chunk)
-            if progress is not None:
-                progress(chunk[0][0], done, total)
-        return total
+            try:
+                pairs = _measure_chunk(chunk, verify)
+            except Exception:
+                # One bad key poisons the whole-chunk attempt; re-run
+                # key by key to salvage the healthy points.
+                _salvage_chunk(chunk, 1, verify, cache, report)
+            else:
+                for key, measurement in pairs:
+                    cache.put(key, measurement)
+                    report.computed.append(key)
+            resolve(chunk)
+        return report
 
     # Prefer fork on platforms that have it: workers inherit warm
     # compile caches instead of re-importing and recompiling.
@@ -279,13 +426,74 @@ def run_grid(
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         context = multiprocessing.get_context()
-    workers = min(jobs, len(chunks))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        futures = [(chunk, pool.submit(_measure_chunk, chunk)) for chunk in chunks]
-        for chunk, future in futures:  # submission order: deterministic merge
-            for key, measurement in future.result():
-                cache.put(key, measurement)
-            done += len(chunk)
-            if progress is not None:
-                progress(chunk[0][0], done, total)
-    return total
+
+    rounds = max(1, retries + 1)
+    # (chunk, attempts so far) — chunks that still need a parallel try.
+    queue: List[Tuple[List[MeasureKey], int]] = [(chunk, 0) for chunk in chunks]
+    # (chunk, attempts, error, salvageable) — chunks out of rounds.
+    exhausted: List[Tuple[List[MeasureKey], int, str, bool]] = []
+
+    for round_no in range(rounds):
+        if not queue:
+            break
+        if round_no:
+            time.sleep(backoff * (2 ** (round_no - 1)))
+        retry_next: List[Tuple[List[MeasureKey], int]] = []
+
+        def settle(chunk, attempts, error, salvageable):
+            if round_no + 1 < rounds:
+                retry_next.append((chunk, attempts))
+            else:
+                exhausted.append((chunk, attempts, error, salvageable))
+
+        abandoned = False
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(queue)), mp_context=context
+        )
+        try:
+            futures = [
+                (chunk, attempts, pool.submit(_run_chunk, chunk, verify))
+                for chunk, attempts in queue
+            ]
+            for chunk, attempts, future in futures:  # submission order
+                try:
+                    pairs = future.result(timeout=timeout)
+                except FutureTimeout:
+                    # The worker is stuck; the pool must be abandoned
+                    # (shutdown without waiting) or we would hang too.
+                    future.cancel()
+                    abandoned = True
+                    settle(
+                        chunk, attempts + 1, f"timed out after {timeout:g}s", False
+                    )
+                except BrokenProcessPool as error:
+                    # A dead worker process poisons every in-flight
+                    # future of this pool; each poisoned chunk gets
+                    # its own retry on the next (fresh) pool.
+                    settle(chunk, attempts + 1, f"worker died: {error}", True)
+                except Exception as error:
+                    settle(
+                        chunk,
+                        attempts + 1,
+                        f"{type(error).__name__}: {error}",
+                        True,
+                    )
+                else:
+                    for key, measurement in pairs:
+                        cache.put(key, measurement)
+                        report.computed.append(key)
+                    resolve(chunk)
+        finally:
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        queue = retry_next
+
+    for chunk, attempts, error, salvageable in exhausted:
+        if salvageable:
+            _salvage_chunk(chunk, attempts, verify, cache, report)
+        else:
+            report.failed.extend(
+                FailureRecord(key=key, error=error, attempts=attempts)
+                for key in chunk
+            )
+        resolve(chunk)
+    return report

@@ -1,0 +1,45 @@
+"""Differential fuzzing: harness, reducer and quarantine corpus.
+
+The fuzzing loop (`repro fuzz` on the command line) is the
+reproduction's standing robustness check: random programs through all
+six allocator presets, each allocation independently verified and
+executed against the source-level interpreter, failures shrunk to
+minimal reproducers and quarantined under ``tests/fuzz_corpus/``.
+"""
+
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS,
+    load_corpus,
+    quarantine,
+    replay_case,
+    replay_corpus,
+)
+from repro.fuzz.harness import (
+    BASELINE_FUEL,
+    FUZZ_CONFIGS,
+    FuzzFailure,
+    FuzzReport,
+    check_seed,
+    check_source,
+    config_for_seed,
+    run_fuzz,
+)
+from repro.fuzz.reduce import reduce_failure, reduce_source
+
+__all__ = [
+    "BASELINE_FUEL",
+    "DEFAULT_CORPUS",
+    "FUZZ_CONFIGS",
+    "FuzzFailure",
+    "FuzzReport",
+    "check_seed",
+    "check_source",
+    "config_for_seed",
+    "load_corpus",
+    "quarantine",
+    "reduce_failure",
+    "reduce_source",
+    "replay_case",
+    "replay_corpus",
+    "run_fuzz",
+]

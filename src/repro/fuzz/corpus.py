@@ -1,0 +1,108 @@
+"""Quarantine corpus for minimized fuzz reproducers.
+
+Every bug the fuzzer ever found lives on as a JSON record under
+``tests/fuzz_corpus/`` carrying the seed, the minimized source, the
+compiled IR text, the allocator preset and register configuration,
+and the failure stage/error observed when the bug was alive.  The
+test suite and CI replay the whole corpus on every run: a quarantined
+case passing means the bug stays fixed; a replay failure is a
+regression with a ready-made minimal reproducer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.fuzz.harness import FuzzFailure, check_source
+from repro.machine.registers import RegisterConfig
+
+#: Corpus location relative to a repository checkout.
+DEFAULT_CORPUS = Path("tests") / "fuzz_corpus"
+
+
+def case_name(failure: FuzzFailure) -> str:
+    allocator = failure.allocator.replace("*", "any")
+    return f"seed{failure.seed:05d}_{allocator}_{failure.stage}.json"
+
+
+def quarantine(failure: FuzzFailure, corpus_dir: Path) -> Path:
+    """Write one minimized reproducer into the corpus; returns its path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    record = {
+        "seed": failure.seed,
+        "allocator": failure.allocator,
+        "config": list(failure.config),
+        "stage": failure.stage,
+        "error": failure.error,
+        "source": failure.source,
+        "ir": _ir_text(failure),
+    }
+    path = corpus_dir / case_name(failure)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _ir_text(failure: FuzzFailure) -> Optional[str]:
+    """The reproducer's compiled IR, or None when it does not compile."""
+    from repro.ir.printer import format_program
+    from repro.lang.lower import compile_source
+
+    try:
+        program = compile_source(failure.source, name=f"fuzz{failure.seed}")
+    except Exception:
+        return None
+    return format_program(program)
+
+
+def load_corpus(corpus_dir: Path = DEFAULT_CORPUS) -> List[Dict]:
+    """All quarantined cases, sorted by file name."""
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    cases = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        record = json.loads(path.read_text())
+        record["path"] = str(path)
+        cases.append(record)
+    return cases
+
+
+def replay_case(record: Dict) -> List[FuzzFailure]:
+    """Re-run every check a quarantined case encodes.
+
+    Returns the failures the case *still* produces — an empty list
+    means the bug remains fixed.  The case's own allocator preset is
+    checked when it names one; records with allocator ``*`` (bugs
+    below the allocator, e.g. interpreter defects) re-check every
+    preset.
+    """
+    presets = None if record["allocator"] == "*" else [record["allocator"]]
+    failures, _, skipped = check_source(
+        record["source"],
+        record["seed"],
+        config=RegisterConfig(*record["config"]),
+        presets=presets,
+    )
+    if skipped:
+        return [
+            FuzzFailure(
+                seed=record["seed"],
+                allocator=record["allocator"],
+                config=tuple(record["config"]),
+                stage="baseline",
+                error="corpus case exceeded the baseline fuel budget",
+                source=record["source"],
+            )
+        ]
+    return failures
+
+
+def replay_corpus(corpus_dir: Path = DEFAULT_CORPUS) -> Dict[str, List[FuzzFailure]]:
+    """Replay every case; maps case path -> surviving failures."""
+    results: Dict[str, List[FuzzFailure]] = {}
+    for record in load_corpus(corpus_dir):
+        results[record["path"]] = replay_case(record)
+    return results

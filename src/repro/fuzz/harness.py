@@ -1,0 +1,297 @@
+"""Differential fuzzing of the whole allocation pipeline.
+
+One fuzz case drives a seeded random mini-C program (from
+:mod:`repro.workloads.generator`) through every allocator preset and
+checks, per preset:
+
+1. the allocation **verifies** (:func:`repro.regalloc.verify_allocation`
+   accepts it),
+2. the allocated code **behaves identically** to the source program —
+   the :class:`~repro.profile.machine_interp.MachineInterpreter` run
+   produces the same global-array state and ``main`` return value as
+   the source-level interpreter.
+
+The source-level run itself is also checked: the generator promises
+terminating, runtime-error-free programs, so an interpreter error on
+the unallocated program is a bug too (stage ``baseline`` — this is
+exactly how the ``ftoi(inf)`` overflow was found).
+
+Failures are :class:`FuzzFailure` records carrying everything needed
+to reproduce (seed, allocator, config, stage, error text, source);
+:mod:`repro.fuzz.reduce` shrinks them and :mod:`repro.fuzz.corpus`
+quarantines the minimized reproducers.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from repro.machine.registers import RegisterConfig
+from repro.machine.mips import register_file
+from repro.profile.interp import InterpreterError, run_program
+from repro.profile.machine_interp import run_allocated
+from repro.regalloc.errors import AllocationError
+from repro.regalloc.framework import allocate_program
+from repro.regalloc.options import PRESETS
+from repro.workloads.generator import random_source
+
+#: Register files the harness rotates through, seed by seed: the
+#: convention minimum, a balanced small file, and a starved one.
+FUZZ_CONFIGS: Tuple[RegisterConfig, ...] = (
+    RegisterConfig(6, 4, 0, 0),
+    RegisterConfig(4, 3, 2, 2),
+    RegisterConfig(3, 2, 1, 1),
+)
+
+#: Interpreter fuel for the baseline run; generated programs are
+#: terminating but unbounded, so over-budget seeds are skipped (a
+#: property of the input, not of the system under test).
+BASELINE_FUEL = 3_000_000
+
+#: The machine run executes the same work plus overhead operations.
+MACHINE_FUEL = 10 * BASELINE_FUEL
+
+
+@dataclass
+class FuzzFailure:
+    """One reproducible pipeline failure."""
+
+    seed: int
+    allocator: str
+    config: Tuple[int, int, int, int]
+    #: Which check failed: ``compile``, ``baseline``, ``allocate``,
+    #: ``verify``, ``execute`` or ``differential``.
+    stage: str
+    error: str
+    source: str
+
+    def describe(self) -> str:
+        return (
+            f"seed {self.seed} [{self.allocator} @ {self.config}] "
+            f"{self.stage}: {self.error}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzzing run."""
+
+    seeds_run: int = 0
+    #: Allocations checked (seeds x presets, minus skipped seeds).
+    checked: int = 0
+    #: Seeds skipped because the baseline run exceeded its fuel.
+    skipped: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    elapsed: float = 0.0
+    #: True when a time budget stopped the run before every seed ran.
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def merge(self, other: "FuzzReport") -> None:
+        self.seeds_run += other.seeds_run
+        self.checked += other.checked
+        self.skipped += other.skipped
+        self.failures.extend(other.failures)
+
+
+def config_for_seed(seed: int) -> RegisterConfig:
+    """The register file a given seed is checked under (deterministic)."""
+    return FUZZ_CONFIGS[seed % len(FUZZ_CONFIGS)]
+
+
+def _values_equal(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)  # NaN == NaN
+    return a == b
+
+
+def _same_state(base, mech) -> Optional[str]:
+    """None when the two executions agree, else a description."""
+    if not _values_equal(base.return_value, mech.return_value):
+        return (
+            f"return value {base.return_value!r} (source) != "
+            f"{mech.return_value!r} (machine)"
+        )
+    for name in base.globals_state:
+        va = base.globals_state[name]
+        vb = mech.globals_state[name]
+        for i, (x, y) in enumerate(zip(va, vb)):
+            if not _values_equal(x, y):
+                return f"@{name}[{i}]: {x!r} (source) != {y!r} (machine)"
+    return None
+
+
+def check_source(
+    source: str,
+    seed: int,
+    config: Optional[RegisterConfig] = None,
+    presets: Optional[Sequence[str]] = None,
+) -> Tuple[List[FuzzFailure], int, bool]:
+    """Run every check on one source program.
+
+    Returns ``(failures, allocations checked, skipped)`` where
+    ``skipped`` is True when the baseline run ran out of fuel and the
+    source was not checked at all.
+    """
+    from repro.lang.lower import compile_source
+    from repro.regalloc.verify import verify_allocation
+
+    if config is None:
+        config = config_for_seed(seed)
+    names = list(presets) if presets is not None else list(PRESETS)
+    failures: List[FuzzFailure] = []
+
+    def failure(allocator: str, stage: str, error: str) -> None:
+        failures.append(
+            FuzzFailure(
+                seed=seed,
+                allocator=allocator,
+                config=tuple(config),
+                stage=stage,
+                error=error,
+                source=source,
+            )
+        )
+
+    try:
+        program = compile_source(source, name=f"fuzz{seed}")
+    except Exception as error:  # compile errors: generator bug
+        failure("*", "compile", f"{type(error).__name__}: {error}")
+        return failures, 0, False
+
+    try:
+        baseline = run_program(program, fuel=BASELINE_FUEL)
+    except InterpreterError as error:
+        if "fuel" in str(error):
+            return failures, 0, True
+        failure("*", "baseline", f"{type(error).__name__}: {error}")
+        return failures, 0, False
+    except Exception as error:  # pragma: no cover - hard interpreter bug
+        failure("*", "baseline", f"{type(error).__name__}: {error}")
+        return failures, 0, False
+
+    checked = 0
+    regfile = register_file(config)
+    for name in names:
+        options = PRESETS[name]()
+        checked += 1
+        try:
+            allocation = allocate_program(
+                program, regfile, options, baseline.profile.weights
+            )
+        except AllocationError as error:
+            failure(name, "allocate", f"{type(error).__name__}: {error}")
+            continue
+        except Exception as error:
+            failure(name, "allocate", f"{type(error).__name__}: {error}")
+            continue
+        try:
+            verify_allocation(allocation)
+        except AllocationError as error:
+            failure(name, "verify", f"{type(error).__name__}: {error}")
+            continue
+        try:
+            mech = run_allocated(allocation, fuel=MACHINE_FUEL)
+        except Exception as error:
+            failure(name, "execute", f"{type(error).__name__}: {error}")
+            continue
+        mismatch = _same_state(baseline, mech)
+        if mismatch is not None:
+            failure(name, "differential", mismatch)
+    return failures, checked, False
+
+
+def check_seed(seed: int, **kwargs) -> Tuple[List[FuzzFailure], int, bool]:
+    """Generate seed's program and run every check on it."""
+    return check_source(random_source(seed), seed, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# the fuzzing loop
+# ----------------------------------------------------------------------
+
+
+def _fuzz_chunk(seeds: Sequence[int]) -> FuzzReport:
+    """Worker entry point: check a chunk of seeds."""
+    report = FuzzReport()
+    for seed in seeds:
+        failures, checked, skipped = check_seed(seed)
+        report.seeds_run += 1
+        report.checked += checked
+        report.skipped += int(skipped)
+        report.failures.extend(failures)
+    return report
+
+
+def run_fuzz(
+    seeds: Sequence[int],
+    jobs: int = 1,
+    time_budget: Optional[float] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> FuzzReport:
+    """Fuzz ``seeds``, optionally in parallel, within ``time_budget``.
+
+    ``progress`` (seeds done, seeds total) is called from the parent
+    as chunks complete.  When the budget runs out, remaining seeds are
+    abandoned and the report's ``budget_exhausted`` flag is set — a
+    bounded smoke run in CI is still a meaningful pass.
+    """
+    started = time.perf_counter()
+    deadline = None if time_budget is None else started + time_budget
+    total = len(seeds)
+    report = FuzzReport()
+
+    if jobs <= 1 or total <= 1:
+        for seed in seeds:
+            if deadline is not None and time.perf_counter() > deadline:
+                report.budget_exhausted = True
+                break
+            report.merge(_fuzz_chunk([seed]))
+            if progress is not None:
+                progress(report.seeds_run, total)
+        report.elapsed = time.perf_counter() - started
+        return report
+
+    chunk_size = max(1, min(8, total // (jobs * 4) or 1))
+    chunks = [
+        list(seeds[i : i + chunk_size]) for i in range(0, total, chunk_size)
+    ]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    pool = ProcessPoolExecutor(
+        max_workers=min(jobs, len(chunks)), mp_context=context
+    )
+    abandoned = False
+    try:
+        futures = {pool.submit(_fuzz_chunk, chunk) for chunk in chunks}
+        while futures:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.perf_counter())
+            done, futures = wait(
+                futures, timeout=remaining, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                report.merge(future.result())
+                if progress is not None:
+                    progress(report.seeds_run, total)
+            if deadline is not None and time.perf_counter() > deadline:
+                report.budget_exhausted = bool(futures)
+                for future in futures:
+                    future.cancel()
+                abandoned = bool(futures)
+                break
+    finally:
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+    report.elapsed = time.perf_counter() - started
+    return report

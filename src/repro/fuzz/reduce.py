@@ -1,0 +1,113 @@
+"""Greedy statement-deleting reducer for fuzz reproducers.
+
+The generator emits one statement per line, with compound statements
+opening a brace at end-of-line and closing it on a dedicated line, so
+line-oriented deletion *is* statement deletion: the candidate units
+are single lines and balanced brace regions (a header line through
+its matching close).  The reducer greedily deletes any unit whose
+removal keeps the failure alive — candidates that no longer compile
+are simply rejected by the oracle — and repeats until no unit can be
+removed (a 1-minimal reproducer with respect to statement deletion).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+
+def _brace_delta(line: str) -> int:
+    return line.count("{") - line.count("}")
+
+
+def _regions(lines: List[str]) -> List[Tuple[int, int]]:
+    """Deletable units as half-open line ranges, largest first.
+
+    For a line that opens a brace the unit runs through the matching
+    close; other non-empty lines are single-line units.  Largest-first
+    ordering lets the greedy loop drop whole loops/ifs/functions
+    before nibbling at their bodies.
+    """
+    regions: List[Tuple[int, int]] = []
+    for start, line in enumerate(lines):
+        if not line.strip():
+            continue
+        if _brace_delta(line) > 0:
+            depth = 0
+            for end in range(start, len(lines)):
+                depth += _brace_delta(lines[end])
+                if depth <= 0:
+                    regions.append((start, end + 1))
+                    break
+        else:
+            regions.append((start, start + 1))
+    regions.sort(key=lambda r: r[0] - r[1])  # widest first
+    return regions
+
+
+def reduce_source(
+    source: str,
+    still_fails: Callable[[str], bool],
+    max_checks: Optional[int] = None,
+) -> str:
+    """Shrink ``source`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` is the reproduction oracle: it must return True
+    exactly when the candidate source still exhibits the original
+    failure (and False for anything else, including sources that no
+    longer compile).  ``max_checks`` bounds the number of oracle
+    calls; the best reduction found so far is returned when the
+    budget runs out.
+    """
+    lines = source.splitlines()
+    checks = 0
+    progress = True
+    while progress:
+        progress = False
+        for start, end in _regions(lines):
+            if max_checks is not None and checks >= max_checks:
+                return "\n".join(lines)
+            candidate = lines[:start] + lines[end:]
+            checks += 1
+            if still_fails("\n".join(candidate)):
+                lines = candidate
+                progress = True
+                break  # region indexes are stale; recompute
+    return "\n".join(lines)
+
+
+def reduce_failure(failure, max_checks: Optional[int] = 2000):
+    """Shrink a :class:`~repro.fuzz.harness.FuzzFailure` in place.
+
+    The oracle re-runs the failing preset under the failing register
+    configuration and accepts any failure of the same stage — drifting
+    to a different same-stage bug during reduction still yields a
+    valid reproducer.  Returns the (possibly updated) failure.
+    """
+    from dataclasses import replace
+
+    from repro.fuzz.harness import check_source
+    from repro.machine.registers import RegisterConfig
+
+    config = RegisterConfig(*failure.config)
+    presets = None if failure.allocator == "*" else [failure.allocator]
+
+    def still_fails(candidate: str) -> bool:
+        failures, _, _ = check_source(
+            candidate, failure.seed, config=config, presets=presets
+        )
+        return any(f.stage == failure.stage for f in failures)
+
+    minimized = reduce_source(failure.source, still_fails, max_checks)
+    if minimized == failure.source:
+        return failure
+    # Re-derive the error text from the minimized program so the
+    # quarantined record describes what the committed source does.
+    failures, _, _ = check_source(
+        minimized, failure.seed, config=config, presets=presets
+    )
+    for fresh in failures:
+        if fresh.stage == failure.stage:
+            return replace(
+                failure, source=minimized, error=fresh.error
+            )
+    return replace(failure, source=minimized)

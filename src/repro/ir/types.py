@@ -32,3 +32,27 @@ class ValueType(enum.Enum):
 #: Shorthand aliases used throughout the code base.
 INT = ValueType.INT
 FLOAT = ValueType.FLOAT
+
+#: The 32-bit two's-complement range ``ftoi`` saturates to.
+INT_MIN = -(2**31)
+INT_MAX = 2**31 - 1
+
+
+def saturating_f2i(value: float) -> int:
+    """``ftoi`` semantics: truncate toward zero, saturating at int32.
+
+    Plain ``int(x)`` raises on infinities and NaN, which generated
+    programs can legitimately produce (float overflow to ``inf``).
+    Following the MIPS ``trunc.w.s`` convention, out-of-range values
+    saturate to the nearest representable integer and NaN converts
+    to 0.  Every consumer of ``F2I`` — both interpreters and the
+    constant folder — must use this one definition, or differential
+    testing reports false mismatches.
+    """
+    if value != value:  # NaN
+        return 0
+    if value >= INT_MAX:
+        return INT_MAX
+    if value <= INT_MIN:
+        return INT_MIN
+    return int(value)

@@ -26,6 +26,7 @@ from repro.ir.instructions import (
     UnaryOp,
     UnaryOpcode,
 )
+from repro.ir.types import saturating_f2i
 from repro.ir.values import VReg
 from repro.profile.interp import _c_div, _c_mod
 
@@ -70,7 +71,7 @@ def _fold_instr(instr: Instr, known: Dict[VReg, float]) -> Optional[Instr]:
         if instr.op is UnaryOpcode.I2F:
             return Const(instr.dst, float(value))
         if instr.op is UnaryOpcode.F2I:
-            return Const(instr.dst, int(value))
+            return Const(instr.dst, saturating_f2i(value))
     return None
 
 

@@ -34,6 +34,7 @@ from repro.ir.instructions import (
     UnaryOp,
     UnaryOpcode,
 )
+from repro.ir.types import saturating_f2i
 from repro.ir.values import VReg
 from repro.profile.profile import Profile
 
@@ -179,7 +180,7 @@ class Interpreter:
         if op is UnaryOpcode.I2F:
             return float(value)
         if op is UnaryOpcode.F2I:
-            return int(value)
+            return saturating_f2i(value)
         raise InterpreterError(f"unknown unop {op}")  # pragma: no cover
 
     def _load(self, array: str, index):

@@ -35,6 +35,7 @@ from repro.ir.instructions import (
     Store,
     UnaryOp,
 )
+from repro.ir.types import saturating_f2i
 from repro.ir.values import VReg
 from repro.machine.registers import PhysReg
 from repro.profile.interp import InterpreterError, _c_div, _c_mod
@@ -299,7 +300,7 @@ def _unop(instr: UnaryOp, value):
     if op is Op.I2F:
         return float(value)
     if op is Op.F2I:
-        return int(value)
+        return saturating_f2i(value)
     raise MachineError(f"unknown unop {op}")  # pragma: no cover
 
 

@@ -21,6 +21,19 @@ from repro.regalloc.benefits import (
 )
 from repro.regalloc.cbh import CBHContext, augment_for_cbh
 from repro.regalloc.coalesce import coalesce_round
+from repro.regalloc.errors import (
+    AllocationContextError,
+    AllocationVerificationError,
+    BankMismatchError,
+    CalleeSaveError,
+    CallerSaveError,
+    CallingConventionError,
+    RegisterConflictError,
+    SpillSlotError,
+    UnassignedLiveRangeError,
+    UnexpectedInstructionError,
+    WebConstructionError,
+)
 from repro.regalloc.dot import to_dot
 from repro.regalloc.framework import (
     FunctionAllocation,
@@ -37,16 +50,31 @@ from repro.regalloc.interference import (
     build_interference,
 )
 from repro.regalloc.liverange import Web, build_webs
-from repro.regalloc.options import AllocatorOptions
+from repro.regalloc.options import PRESETS, AllocatorOptions
 from repro.regalloc.preference import preference_decisions
 from repro.regalloc.priority import DEFAULT_STRATEGY, STRATEGIES, priority_order
 from repro.regalloc.reconstruct import reconstruct_interference
 from repro.regalloc.simplify import AllocationError, OrderingResult, simplify
 from repro.regalloc.spillgen import SlotAllocator, insert_spill_code
 from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+from repro.regalloc.verify import verify_allocation, verify_function_allocation
 
 __all__ = [
+    "AllocationContextError",
     "AllocationError",
+    "AllocationVerificationError",
+    "BankMismatchError",
+    "CalleeSaveError",
+    "CallerSaveError",
+    "CallingConventionError",
+    "PRESETS",
+    "RegisterConflictError",
+    "SpillSlotError",
+    "UnassignedLiveRangeError",
+    "UnexpectedInstructionError",
+    "WebConstructionError",
+    "verify_allocation",
+    "verify_function_allocation",
     "AllocatorOptions",
     "AssignmentResult",
     "Benefits",

@@ -23,6 +23,7 @@ from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import Call, Instr, Ret
 from repro.ir.values import VReg
 from repro.machine.registers import PhysReg
+from repro.regalloc.errors import UnexpectedInstructionError
 from repro.regalloc.interference import LiveRangeInfo
 from repro.regalloc.spillgen import SlotAllocator
 from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
@@ -64,7 +65,12 @@ def _insert_caller_save(
         for block, index in info.crossed_calls:
             call = block.instrs[index]
             if not isinstance(call, Call):  # pragma: no cover - sanity
-                raise AssertionError(f"expected a call at {block.name}:{index}")
+                raise UnexpectedInstructionError(
+                    f"crossed-call site of {reg} holds {call!r}, not a call",
+                    function=func.name,
+                    block=block.name,
+                    index=index,
+                )
             if clobber_of is not None and phys not in clobber_of[call.callee]:
                 continue  # the callee provably leaves this register alone
             saved_regs.setdefault(call, []).append(phys)

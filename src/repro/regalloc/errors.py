@@ -1,0 +1,133 @@
+"""Structured allocator errors.
+
+Every failure the allocator (or the post-allocation verifier) can
+report derives from :class:`AllocationError`.  Errors raised while
+looking at a particular program point carry the function, block and
+instruction index as fields — fuzz reports and verifier output name
+the exact site instead of forcing a debugger session.
+
+The hierarchy:
+
+* ``AllocationError`` — anything the allocation pipeline can raise.
+
+  * ``AllocationContextError`` — adds ``function`` / ``block`` /
+    ``index`` context fields.
+
+    * ``UnexpectedInstructionError`` — an internal invariant of the
+      emission phase was violated (e.g. a recorded call site no
+      longer holds a call).
+    * ``WebConstructionError`` — web renaming broke an invariant
+      (e.g. a parameter lost its register).
+    * ``AllocationVerificationError`` — base of everything the
+      independent verifier (:mod:`repro.regalloc.verify`) reports;
+      ``check`` names the violated invariant.
+
+      * ``RegisterConflictError`` — two simultaneously-live ranges
+        share a physical register.
+      * ``BankMismatchError`` — an assignment uses a register from
+        the wrong bank, or one outside the configured file.
+      * ``CallerSaveError`` — a caller-save register live across a
+        call is not saved/restored correctly around it.
+      * ``CalleeSaveError`` — a used callee-save register is not
+        saved in the prologue or restored in some epilogue.
+      * ``SpillSlotError`` — a frame slot is read before any write
+        reaches it, or a slot index is out of range.
+      * ``CallingConventionError`` — a call site or return does not
+        match the callee's signature.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AllocationError(Exception):
+    """The allocator cannot make progress (e.g. only unspillable nodes)."""
+
+
+class AllocationContextError(AllocationError):
+    """An allocation error tied to a specific program point.
+
+    ``block`` and ``index`` are optional: some invariants are
+    per-function (a missing prologue save has no single instruction).
+    ``index`` is the instruction's position within the block, or -1
+    for the function-entry pseudo-site.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        function: str,
+        block: Optional[str] = None,
+        index: Optional[int] = None,
+    ) -> None:
+        self.function = function
+        self.block = block
+        self.index = index
+        super().__init__(f"{self.site()}: {message}")
+
+    def site(self) -> str:
+        """``function[/block[:index]]`` — the program point as text."""
+        where = self.function
+        if self.block is not None:
+            where += f"/{self.block}"
+            if self.index is not None:
+                where += f":{self.index}"
+        return where
+
+
+class UnexpectedInstructionError(AllocationContextError):
+    """Emission found something other than the instruction it recorded."""
+
+
+class WebConstructionError(AllocationContextError):
+    """Web renaming violated a structural invariant."""
+
+
+class AllocationVerificationError(AllocationContextError):
+    """The independent verifier rejected a finished allocation.
+
+    ``check`` is a short machine-readable name of the violated
+    invariant (``register-conflict``, ``caller-save``, ...), so fuzz
+    reports can bucket failures without parsing messages.
+    """
+
+    check = "generic"
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form used by fuzz quarantine records."""
+        return {
+            "check": self.check,
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "message": str(self),
+        }
+
+
+class UnassignedLiveRangeError(AllocationVerificationError):
+    check = "unassigned"
+
+
+class RegisterConflictError(AllocationVerificationError):
+    check = "register-conflict"
+
+
+class BankMismatchError(AllocationVerificationError):
+    check = "bank-mismatch"
+
+
+class CallerSaveError(AllocationVerificationError):
+    check = "caller-save"
+
+
+class CalleeSaveError(AllocationVerificationError):
+    check = "callee-save"
+
+
+class SpillSlotError(AllocationVerificationError):
+    check = "spill-slot"
+
+
+class CallingConventionError(AllocationVerificationError):
+    check = "calling-convention"

@@ -20,6 +20,7 @@ from typing import Dict, List, Set, Tuple
 from repro.analysis.reaching import compute_reaching_defs
 from repro.ir.function import BasicBlock, Function
 from repro.ir.values import VReg
+from repro.regalloc.errors import WebConstructionError
 
 #: A definition site including the defined register; the parameter
 #: pseudo-site is ``(entry, -1, param)``.
@@ -130,8 +131,11 @@ def build_webs(func: Function) -> List[Web]:
         root = uf.find((func.entry, -1, param))
         web_reg = web_regs[root]
         if web_reg is not param:
-            raise AssertionError(
-                f"{func.name}: parameter {param} lost its register to {web_reg}"
+            raise WebConstructionError(
+                f"parameter {param} lost its register to {web_reg}",
+                function=func.name,
+                block=func.entry.name,
+                index=-1,
             )
         webs[web_reg].def_sites.append((func.entry, -1))
 

@@ -123,3 +123,16 @@ class AllocatorOptions:
             parts.append("PR")
         name = "chaitin" if not self.optimistic else "optimistic"
         return f"{name}+{'+'.join(parts)}" if parts else name
+
+
+#: The six allocator presets every comparison in the paper uses, by
+#: their CLI names.  The CLI, the sweep drivers and the fuzz harness
+#: all share this one table.
+PRESETS = {
+    "base": AllocatorOptions.base_chaitin,
+    "optimistic": AllocatorOptions.optimistic_coloring,
+    "improved": AllocatorOptions.improved_chaitin,
+    "improved-optimistic": AllocatorOptions.improved_optimistic,
+    "priority": AllocatorOptions.priority_based,
+    "cbh": AllocatorOptions.cbh,
+}

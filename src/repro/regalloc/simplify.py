@@ -26,11 +26,8 @@ from typing import Callable, Dict, List, Optional, Set
 
 from repro.ir.values import VReg
 from repro.machine.registers import RegisterFile
+from repro.regalloc.errors import AllocationError  # noqa: F401  (re-export)
 from repro.regalloc.interference import InterferenceGraph, LiveRangeInfo
-
-
-class AllocationError(Exception):
-    """The allocator cannot make progress (e.g. only unspillable nodes)."""
 
 
 @dataclass

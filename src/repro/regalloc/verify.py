@@ -1,0 +1,530 @@
+"""Independent post-allocation verifier.
+
+Every overhead number the reproduction reports silently assumes the
+allocator's save/restore/spill decisions are *correct*: a missing
+caller-save restore would still produce a plausible-looking overhead
+count while the allocated program computes garbage.  This module
+re-derives liveness from the final code — sharing nothing with the
+allocator's own analyses beyond the dataflow kernel — and checks the
+invariants a finished :class:`~repro.regalloc.framework.ProgramAllocation`
+must satisfy:
+
+1. **Assignment sanity** — every live range referenced by the final
+   code has a register, from the configured file, in its own bank.
+2. **No conflicts** — no two simultaneously-live ranges share a
+   physical register (with the classic exception: a ``Copy``
+   destination may share the source's register).  Parameters are
+   defined simultaneously at entry, so they must be pairwise disjoint
+   and disjoint from everything live into the entry block.
+3. **Caller-save discipline** — a caller-save register live across a
+   call (and clobbered by the callee, under IPRA summaries) is saved
+   immediately before the call and restored immediately after it,
+   through one consistent frame slot.
+4. **Callee-save discipline** — every callee-save register the
+   function uses is saved in the prologue and restored, from the same
+   slot, in every epilogue; prologue and epilogues agree exactly.
+5. **Spill-slot consistency** — along every path, a frame slot is
+   written before it is read (forward must-initialized dataflow), and
+   every slot index is within the function's frame.
+6. **Calling convention** — call sites match the callee's signature
+   (argument count/banks, result presence/bank) and returns match the
+   function's own signature.
+
+Violations raise subclasses of
+:class:`~repro.regalloc.errors.AllocationVerificationError` naming the
+function, block and instruction index.  The verifier is deliberately
+structural — it never consults the allocator's interference graph or
+``LiveRangeInfo``, so a bug there cannot hide itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import reverse_postorder
+from repro.analysis.liveness import compute_liveness
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instructions import Call, Copy, Instr, Ret
+from repro.ir.values import VReg
+from repro.machine.registers import PhysReg, RegisterFile
+from repro.regalloc.errors import (
+    BankMismatchError,
+    CalleeSaveError,
+    CallerSaveError,
+    CallingConventionError,
+    RegisterConflictError,
+    SpillSlotError,
+    UnassignedLiveRangeError,
+)
+from repro.regalloc.framework import FunctionAllocation, ProgramAllocation
+from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+
+
+def verify_allocation(allocation: ProgramAllocation) -> None:
+    """Check every invariant on every function of ``allocation``.
+
+    Raises the first violation found as an
+    :class:`AllocationVerificationError` subclass; returns ``None``
+    when the allocation is clean.
+    """
+    for fa in allocation.functions.values():
+        verify_function_allocation(
+            fa,
+            allocation.regfile,
+            program=allocation.program,
+            clobber_of=allocation.clobbers,
+        )
+
+
+def verify_function_allocation(
+    fa: FunctionAllocation,
+    regfile: RegisterFile,
+    program: Optional[Program] = None,
+    clobber_of: Optional[Dict[str, FrozenSet[PhysReg]]] = None,
+) -> None:
+    """Verify one function's finished allocation.
+
+    ``program`` enables the cross-function calling-convention checks
+    (call-site signatures); without it only intra-function invariants
+    are checked.  ``clobber_of`` is the IPRA summary map the emission
+    honoured, if any — the caller-save check requires save/restore
+    code exactly for the registers the summaries leave clobbered.
+    """
+    func = fa.func
+    assignment = fa.assignment
+    liveness = compute_liveness(func)
+
+    _check_assignment_sanity(func, assignment, regfile)
+    _check_conflicts(func, assignment, liveness)
+    _check_caller_save(func, assignment, liveness, clobber_of)
+    _check_callee_save(func, assignment)
+    _check_spill_slots(func, fa.frame_slots)
+    if program is not None:
+        _check_calling_convention(func, program)
+
+
+# ----------------------------------------------------------------------
+# 1. assignment sanity
+# ----------------------------------------------------------------------
+
+
+def _check_assignment_sanity(
+    func: Function, assignment: Dict[VReg, PhysReg], regfile: RegisterFile
+) -> None:
+    valid = set(regfile.all_registers())
+    for reg in func.vregs():
+        phys = assignment.get(reg)
+        if phys is None:
+            raise UnassignedLiveRangeError(
+                f"live range {reg} has no physical register",
+                function=func.name,
+            )
+        if phys not in valid:
+            raise BankMismatchError(
+                f"{reg} assigned {phys.name}, which is not in the "
+                f"configured register file {regfile.config}",
+                function=func.name,
+            )
+        if phys.bank is not reg.vtype:
+            raise BankMismatchError(
+                f"{reg} ({reg.vtype}) assigned {phys.name} from the "
+                f"{phys.bank} bank",
+                function=func.name,
+            )
+    for instr, block, index in _physreg_sites(func):
+        for phys in _phys_operands(instr):
+            if phys not in valid:
+                raise BankMismatchError(
+                    f"save/restore code touches {phys.name}, which is "
+                    f"not in the configured register file {regfile.config}",
+                    function=func.name,
+                    block=block.name,
+                    index=index,
+                )
+
+
+def _physreg_sites(func: Function):
+    for block in func.blocks:
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, (SpillLoad, SpillStore)):
+                yield instr, block, index
+
+
+def _phys_operands(instr: Instr) -> Tuple[PhysReg, ...]:
+    if isinstance(instr, SpillLoad) and isinstance(instr.dst, PhysReg):
+        return (instr.dst,)
+    if isinstance(instr, SpillStore) and isinstance(instr.src, PhysReg):
+        return (instr.src,)
+    return ()
+
+
+# ----------------------------------------------------------------------
+# 2. register conflicts
+# ----------------------------------------------------------------------
+
+
+def _check_conflicts(func: Function, assignment, liveness) -> None:
+    # Parameters are all written simultaneously by the calling
+    # convention, so each must be disjoint from every other same-bank
+    # parameter and from everything live into the entry block.
+    entry_live = liveness.live_in[func.entry]
+    for param in func.params:
+        for other in func.params:
+            if (
+                other is not param
+                and other.vtype is param.vtype
+                and assignment[other] == assignment[param]
+            ):
+                raise RegisterConflictError(
+                    f"parameters {param} and {other} share "
+                    f"{assignment[param].name}",
+                    function=func.name,
+                    block=func.entry.name,
+                    index=-1,
+                )
+        for live in entry_live:
+            if (
+                live is not param
+                and live.vtype is param.vtype
+                and assignment[live] == assignment[param]
+            ):
+                raise RegisterConflictError(
+                    f"parameter {param} clobbers {live} "
+                    f"(both in {assignment[param].name})",
+                    function=func.name,
+                    block=func.entry.name,
+                    index=-1,
+                )
+
+    for block in func.blocks:
+        index = len(block.instrs)
+        for instr, live_after in liveness.live_across(block):
+            index -= 1
+            copy_src = instr.src if isinstance(instr, Copy) else None
+            for dst in instr.defs():
+                phys = assignment[dst]
+                for live in live_after:
+                    if live is dst or live is copy_src:
+                        continue
+                    if assignment[live] == phys:
+                        raise RegisterConflictError(
+                            f"{dst} (defined here) and {live} (live "
+                            f"after) share {phys.name}",
+                            function=func.name,
+                            block=block.name,
+                            index=index,
+                        )
+
+
+# ----------------------------------------------------------------------
+# 3. caller-save discipline
+# ----------------------------------------------------------------------
+
+
+def _check_caller_save(func: Function, assignment, liveness, clobber_of) -> None:
+    for block in func.blocks:
+        live_after_at: List[Set[VReg]] = [set()] * len(block.instrs)
+        index = len(block.instrs)
+        for instr, live_after in liveness.live_across(block):
+            index -= 1
+            live_after_at[index] = live_after
+        for index, instr in enumerate(block.instrs):
+            if not isinstance(instr, Call):
+                continue
+            saves = _adjacent_saves(block, index)
+            restores = _adjacent_restores(block, index)
+            crossing = live_after_at[index] - set(instr.defs())
+            for reg in sorted(crossing, key=lambda r: r.id):
+                phys = assignment[reg]
+                if not phys.is_caller_save:
+                    continue
+                if clobber_of is not None and phys not in clobber_of[instr.callee]:
+                    continue  # the callee provably leaves it alone
+                if phys not in saves:
+                    raise CallerSaveError(
+                        f"{reg} in caller-save {phys.name} is live "
+                        f"across call @{instr.callee} but not saved "
+                        f"before it",
+                        function=func.name,
+                        block=block.name,
+                        index=index,
+                    )
+                if phys not in restores:
+                    raise CallerSaveError(
+                        f"{reg} in caller-save {phys.name} is saved "
+                        f"around call @{instr.callee} but never "
+                        f"restored after it",
+                        function=func.name,
+                        block=block.name,
+                        index=index,
+                    )
+                if saves[phys] != restores[phys]:
+                    raise CallerSaveError(
+                        f"{phys.name} saved to slot {saves[phys]} but "
+                        f"restored from slot {restores[phys]} around "
+                        f"call @{instr.callee}",
+                        function=func.name,
+                        block=block.name,
+                        index=index,
+                    )
+
+
+def _adjacent_saves(block: BasicBlock, call_index: int) -> Dict[PhysReg, int]:
+    """Caller-save stores immediately preceding the call, as phys->slot."""
+    saves: Dict[PhysReg, int] = {}
+    i = call_index - 1
+    while i >= 0:
+        instr = block.instrs[i]
+        if (
+            isinstance(instr, SpillStore)
+            and instr.kind is OverheadKind.CALLER_SAVE
+            and isinstance(instr.src, PhysReg)
+        ):
+            saves[instr.src] = instr.slot
+            i -= 1
+        else:
+            break
+    return saves
+
+
+def _adjacent_restores(block: BasicBlock, call_index: int) -> Dict[PhysReg, int]:
+    """Caller-save loads immediately following the call, as phys->slot."""
+    restores: Dict[PhysReg, int] = {}
+    i = call_index + 1
+    while i < len(block.instrs):
+        instr = block.instrs[i]
+        if (
+            isinstance(instr, SpillLoad)
+            and instr.kind is OverheadKind.CALLER_SAVE
+            and isinstance(instr.dst, PhysReg)
+        ):
+            restores[instr.dst] = instr.slot
+            i += 1
+        else:
+            break
+    return restores
+
+
+# ----------------------------------------------------------------------
+# 4. callee-save discipline
+# ----------------------------------------------------------------------
+
+
+def _check_callee_save(func: Function, assignment) -> None:
+    saved: Dict[PhysReg, int] = {}
+    for instr in func.entry.instrs:
+        if (
+            isinstance(instr, SpillStore)
+            and instr.kind is OverheadKind.CALLEE_SAVE
+            and isinstance(instr.src, PhysReg)
+        ):
+            saved[instr.src] = instr.slot
+        else:
+            break
+
+    used = {phys for phys in assignment.values() if phys.is_callee_save}
+    for phys in sorted(used - set(saved), key=lambda p: p.name):
+        raise CalleeSaveError(
+            f"callee-save {phys.name} is used but not saved in the prologue",
+            function=func.name,
+            block=func.entry.name,
+        )
+
+    for block in func.blocks:
+        if not isinstance(block.terminator, Ret):
+            continue
+        restored: Dict[PhysReg, int] = {}
+        i = len(block.instrs) - 2
+        while i >= 0:
+            instr = block.instrs[i]
+            if (
+                isinstance(instr, SpillLoad)
+                and instr.kind is OverheadKind.CALLEE_SAVE
+                and isinstance(instr.dst, PhysReg)
+            ):
+                restored[instr.dst] = instr.slot
+                i -= 1
+            else:
+                break
+        for phys in sorted(set(saved) - set(restored), key=lambda p: p.name):
+            raise CalleeSaveError(
+                f"callee-save {phys.name} saved in the prologue but not "
+                f"restored before this return",
+                function=func.name,
+                block=block.name,
+                index=len(block.instrs) - 1,
+            )
+        for phys in sorted(set(restored) - set(saved), key=lambda p: p.name):
+            raise CalleeSaveError(
+                f"epilogue restores {phys.name}, which the prologue "
+                f"never saved",
+                function=func.name,
+                block=block.name,
+                index=len(block.instrs) - 1,
+            )
+        for phys, slot in restored.items():
+            if saved[phys] != slot:
+                raise CalleeSaveError(
+                    f"callee-save {phys.name} saved to slot "
+                    f"{saved[phys]} but restored from slot {slot}",
+                    function=func.name,
+                    block=block.name,
+                    index=len(block.instrs) - 1,
+                )
+
+
+# ----------------------------------------------------------------------
+# 5. spill-slot consistency
+# ----------------------------------------------------------------------
+
+
+def _check_spill_slots(func: Function, frame_slots: int) -> None:
+    for block in func.blocks:
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, (SpillLoad, SpillStore)):
+                if not 0 <= instr.slot < frame_slots:
+                    raise SpillSlotError(
+                        f"slot {instr.slot} outside the frame "
+                        f"(0..{frame_slots - 1})",
+                        function=func.name,
+                        block=block.name,
+                        index=index,
+                    )
+
+    # Forward must-initialized dataflow: a slot may be read only when
+    # every path from entry has written it first.  None = not yet
+    # visited (TOP); the meet is set intersection over predecessors.
+    blocks = reverse_postorder(func)
+    preds = func.predecessors()
+    out_sets: Dict[BasicBlock, Optional[FrozenSet[int]]] = {
+        b: None for b in blocks
+    }
+
+    def transfer(block: BasicBlock, entry_set: Set[int]) -> Set[int]:
+        current = set(entry_set)
+        for instr in block.instrs:
+            if isinstance(instr, SpillStore):
+                current.add(instr.slot)
+        return current
+
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block is func.entry:
+                entry_set: Set[int] = set()
+            else:
+                incoming = [
+                    out_sets[p] for p in preds[block] if out_sets[p] is not None
+                ]
+                if not incoming:
+                    continue
+                entry_set = set.intersection(*(set(s) for s in incoming))
+            new_out = frozenset(transfer(block, entry_set))
+            if new_out != out_sets[block]:
+                out_sets[block] = new_out
+                changed = True
+
+    for block in blocks:
+        if block is func.entry:
+            current: Set[int] = set()
+        else:
+            incoming = [
+                out_sets[p] for p in preds[block] if out_sets[p] is not None
+            ]
+            current = (
+                set.intersection(*(set(s) for s in incoming))
+                if incoming
+                else set()
+            )
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, SpillLoad) and instr.slot not in current:
+                raise SpillSlotError(
+                    f"slot {instr.slot} may be read before any store "
+                    f"reaches it",
+                    function=func.name,
+                    block=block.name,
+                    index=index,
+                )
+            if isinstance(instr, SpillStore):
+                current.add(instr.slot)
+
+
+# ----------------------------------------------------------------------
+# 6. calling convention
+# ----------------------------------------------------------------------
+
+
+def _check_calling_convention(func: Function, program: Program) -> None:
+    for block in func.blocks:
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, Call):
+                callee = program.functions.get(instr.callee)
+                if callee is None:
+                    raise CallingConventionError(
+                        f"call to unknown function @{instr.callee}",
+                        function=func.name,
+                        block=block.name,
+                        index=index,
+                    )
+                if len(instr.args) != len(callee.params):
+                    raise CallingConventionError(
+                        f"@{instr.callee} takes {len(callee.params)} "
+                        f"arguments, call passes {len(instr.args)}",
+                        function=func.name,
+                        block=block.name,
+                        index=index,
+                    )
+                for arg, param in zip(instr.args, callee.params):
+                    if arg.vtype is not param.vtype:
+                        raise CallingConventionError(
+                            f"argument {arg} ({arg.vtype}) passed for "
+                            f"{param} ({param.vtype}) of @{instr.callee}",
+                            function=func.name,
+                            block=block.name,
+                            index=index,
+                        )
+                if instr.dst is not None:
+                    if callee.return_type is None:
+                        raise CallingConventionError(
+                            f"@{instr.callee} returns void but the call "
+                            f"expects a value",
+                            function=func.name,
+                            block=block.name,
+                            index=index,
+                        )
+                    if instr.dst.vtype is not callee.return_type:
+                        raise CallingConventionError(
+                            f"@{instr.callee} returns "
+                            f"{callee.return_type}, call stores into "
+                            f"{instr.dst} ({instr.dst.vtype})",
+                            function=func.name,
+                            block=block.name,
+                            index=index,
+                        )
+            elif isinstance(instr, Ret):
+                if instr.value is not None and func.return_type is None:
+                    raise CallingConventionError(
+                        "void function returns a value",
+                        function=func.name,
+                        block=block.name,
+                        index=index,
+                    )
+                if instr.value is None and func.return_type is not None:
+                    raise CallingConventionError(
+                        f"{func.return_type} function returns no value",
+                        function=func.name,
+                        block=block.name,
+                        index=index,
+                    )
+                if (
+                    instr.value is not None
+                    and instr.value.vtype is not func.return_type
+                ):
+                    raise CallingConventionError(
+                        f"returns {instr.value} ({instr.value.vtype}) "
+                        f"from a {func.return_type} function",
+                        function=func.name,
+                        block=block.name,
+                        index=index,
+                    )

@@ -1,0 +1,116 @@
+"""Fault tolerance of ``run_grid``: crashing workers must not sink a sweep.
+
+The fault injection swaps ``runner._measure_chunk`` for wrappers that
+raise, hang or kill their worker process for one specific workload.
+``run_grid`` submits a trampoline that resolves ``_measure_chunk``
+through the module globals, and worker pools fork after the patch is
+applied, so the injected fault reaches the children too.
+"""
+
+import multiprocessing
+import os
+import time
+
+from repro.eval import ResultCache, run_grid
+from repro.eval import runner
+from repro.machine import RegisterConfig
+from repro.regalloc import AllocatorOptions
+
+CFG = RegisterConfig(6, 4, 2, 2)
+GOOD = ("compress", AllocatorOptions.base_chaitin(), CFG, "dynamic")
+GOOD2 = ("li", AllocatorOptions.base_chaitin(), CFG, "dynamic")
+BAD = ("eqntott", AllocatorOptions.base_chaitin(), CFG, "dynamic")
+
+_real_measure_chunk = runner._measure_chunk
+
+
+def _crashing(chunk, verify=False):
+    if chunk[0][0] == "eqntott":
+        raise RuntimeError("injected worker crash")
+    return _real_measure_chunk(chunk, verify)
+
+
+def _hanging(chunk, verify=False):
+    if chunk[0][0] == "eqntott":
+        time.sleep(8)
+    return []
+
+
+def _dying(chunk, verify=False):
+    if chunk[0][0] == "eqntott":
+        if multiprocessing.parent_process() is not None:
+            os._exit(13)  # hard-kill the worker: BrokenProcessPool
+        raise RuntimeError("injected hard crash")
+    return _real_measure_chunk(chunk, verify)
+
+
+def test_worker_exception_contained(monkeypatch):
+    monkeypatch.setattr(runner, "_measure_chunk", _crashing)
+    cache = ResultCache()
+    calls = []
+    report = run_grid(
+        [GOOD, BAD, GOOD2],
+        jobs=2,
+        cache=cache,
+        progress=lambda name, done, total: calls.append((done, total)),
+        retries=1,
+        backoff=0.05,
+    )
+    # The surviving chunks still landed in the cache...
+    assert GOOD in cache and GOOD2 in cache
+    assert sorted(report.computed) == sorted([GOOD, GOOD2])
+    # ...and the bad grid point became a failure record, not a crash.
+    assert report.failed_keys() == [BAD]
+    record = report.failed[0]
+    assert "injected worker crash" in record.error
+    assert record.attempts == 3  # two pool rounds + in-process salvage
+    # Progress stayed consistent: every chunk resolved exactly once.
+    assert calls[-1] == (3, 3)
+    assert [done for done, _ in calls] == [1, 2, 3]
+
+
+def test_serial_run_salvages_per_key(monkeypatch):
+    monkeypatch.setattr(runner, "_measure_chunk", _crashing)
+    cache = ResultCache()
+    report = run_grid([GOOD, BAD], jobs=1, cache=cache)
+    assert GOOD in cache
+    assert report.computed == [GOOD]
+    assert report.failed_keys() == [BAD]
+
+
+def test_timeout_recorded_without_hanging(monkeypatch):
+    monkeypatch.setattr(runner, "_measure_chunk", _hanging)
+    cache = ResultCache()
+    started = time.perf_counter()
+    report = run_grid(
+        [GOOD, BAD], jobs=2, cache=cache, timeout=2.0, retries=0
+    )
+    # The parent came back long before the 8s hang finished.
+    assert time.perf_counter() - started < 7
+    assert report.failed_keys() == [BAD]
+    assert "timed out" in report.failed[0].error
+
+
+def test_broken_pool_contained(monkeypatch):
+    monkeypatch.setattr(runner, "_measure_chunk", _dying)
+    cache = ResultCache()
+    report = run_grid(
+        [GOOD, BAD], jobs=2, cache=cache, retries=1, backoff=0.05
+    )
+    # A dead worker process (BrokenProcessPool) neither raised nor
+    # took the healthy chunk down with it.
+    assert GOOD in cache
+    assert GOOD in report.computed
+    assert report.failed_keys() == [BAD]
+    assert "injected hard crash" in report.failed[0].error
+
+
+def test_reports_already_cached_keys(monkeypatch):
+    cache = ResultCache()
+    first = run_grid([GOOD], jobs=1, cache=cache)
+    assert first.computed == [GOOD]
+    monkeypatch.setattr(runner, "_measure_chunk", _crashing)
+    # Cached keys are never recomputed, so the injected fault is moot.
+    second = run_grid([GOOD], jobs=1, cache=cache)
+    assert second.cached == [GOOD]
+    assert not second.computed and not second.failed

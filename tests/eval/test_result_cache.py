@@ -69,13 +69,16 @@ class TestResultCache:
 
 class TestRunGrid:
     def test_serial_prewarm_populates_cache(self):
-        computed = run_grid([KEY, OTHER, KEY], jobs=1)
-        assert computed == 2  # duplicates collapse
+        report = run_grid([KEY, OTHER, KEY], jobs=1)
+        assert len(report.computed) == 2  # duplicates collapse
+        assert report.ok and not report.cached
         assert KEY in RESULTS and OTHER in RESULTS
 
     def test_skips_already_cached(self):
         measure_full(*KEY)
-        assert run_grid([KEY], jobs=1) == 0
+        report = run_grid([KEY], jobs=1)
+        assert not report.computed and not report.failed
+        assert report.cached == [KEY]
 
     def test_parallel_matches_serial(self):
         serial = {k: measure_full(*k) for k in (KEY, OTHER)}

@@ -1,0 +1,84 @@
+"""Quarantine corpus round-trips and the committed-corpus regression gate."""
+
+import json
+from pathlib import Path
+
+from repro.fuzz import (
+    FuzzFailure,
+    load_corpus,
+    quarantine,
+    replay_case,
+    replay_corpus,
+)
+
+COMMITTED_CORPUS = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+
+CLEAN_SOURCE = """int out[1];
+
+int main() {
+    out[0] = 41 + 1;
+    return out[0];
+}"""
+
+
+def make_failure(source=CLEAN_SOURCE, allocator="*", stage="baseline"):
+    return FuzzFailure(
+        seed=123,
+        allocator=allocator,
+        config=(6, 4, 2, 2),
+        stage=stage,
+        error="synthetic failure for the round-trip test",
+        source=source,
+    )
+
+
+def test_quarantine_round_trip(tmp_path):
+    path = quarantine(make_failure(), tmp_path)
+    assert path.name == "seed00123_any_baseline.json"
+    record = json.loads(path.read_text())
+    assert record["seed"] == 123
+    assert record["config"] == [6, 4, 2, 2]
+    assert record["source"] == CLEAN_SOURCE
+    # The compiled IR rides along for humans reading the corpus.
+    assert record["ir"] and "@main" in record["ir"]
+    loaded = load_corpus(tmp_path)
+    assert len(loaded) == 1
+    assert loaded[0]["path"] == str(path)
+
+
+def test_uncompilable_source_quarantines_without_ir(tmp_path):
+    path = quarantine(
+        make_failure(source="int main( {", stage="compile"), tmp_path
+    )
+    assert json.loads(path.read_text())["ir"] is None
+
+
+def test_replay_fixed_bug_is_clean(tmp_path):
+    quarantine(make_failure(), tmp_path)
+    results = replay_corpus(tmp_path)
+    assert list(results.values()) == [[]]
+
+
+def test_replay_live_bug_still_fails(tmp_path):
+    quarantine(
+        make_failure(source="int main( {", stage="compile"), tmp_path
+    )
+    (record,) = load_corpus(tmp_path)
+    survivors = replay_case(record)
+    assert survivors and survivors[0].stage == "compile"
+
+
+def test_empty_corpus_is_empty():
+    assert load_corpus(Path("does/not/exist")) == []
+
+
+def test_committed_corpus_replays_clean():
+    """Every bug the fuzzer ever quarantined must stay fixed."""
+    records = load_corpus(COMMITTED_CORPUS)
+    assert records, "the committed corpus should not be empty"
+    for record in records:
+        survivors = replay_case(record)
+        assert survivors == [], (
+            f"regression: {record['path']} reproduces again: "
+            f"{[f.describe() for f in survivors]}"
+        )

@@ -1,0 +1,75 @@
+"""The differential fuzzing harness itself.
+
+A harness that cannot see bugs is silently useless, so next to the
+clean-seed smoke checks every failure stage is exercised by injecting
+the corresponding defect (uncompilable source, tampered machine
+execution, starved fuel).
+"""
+
+from repro.fuzz import harness
+from repro.fuzz.harness import (
+    FUZZ_CONFIGS,
+    check_seed,
+    check_source,
+    config_for_seed,
+    run_fuzz,
+)
+from repro.regalloc.options import PRESETS
+
+
+def test_clean_seed_checks_every_preset():
+    failures, checked, skipped = check_seed(0)
+    assert failures == []
+    assert checked == len(PRESETS)
+    assert not skipped
+
+
+def test_config_rotation_is_deterministic():
+    assert config_for_seed(0) is FUZZ_CONFIGS[0]
+    assert config_for_seed(1) is FUZZ_CONFIGS[1]
+    assert config_for_seed(len(FUZZ_CONFIGS)) is FUZZ_CONFIGS[0]
+
+
+def test_compile_failure_recorded():
+    failures, checked, skipped = check_source("int main( {", seed=7)
+    assert checked == 0 and not skipped
+    assert len(failures) == 1
+    assert failures[0].stage == "compile"
+    assert failures[0].allocator == "*"
+    assert failures[0].seed == 7
+
+
+def test_differential_mismatch_detected(monkeypatch):
+    real = harness.run_allocated
+
+    def tampered(allocation, fuel):
+        result = real(allocation, fuel=fuel)
+        result.return_value = (result.return_value or 0) + 1
+        return result
+
+    monkeypatch.setattr(harness, "run_allocated", tampered)
+    failures, checked, _ = check_seed(0, presets=["base"])
+    assert checked == 1
+    assert [f.stage for f in failures] == ["differential"]
+    assert "return value" in failures[0].error
+
+
+def test_fuel_exhaustion_skips_instead_of_failing(monkeypatch):
+    monkeypatch.setattr(harness, "BASELINE_FUEL", 5)
+    failures, checked, skipped = check_seed(0)
+    assert skipped
+    assert failures == [] and checked == 0
+
+
+def test_run_fuzz_reports_counts():
+    report = run_fuzz([0, 1])
+    assert report.ok
+    assert report.seeds_run == 2
+    assert report.checked == 2 * len(PRESETS)
+    assert report.elapsed > 0
+
+
+def test_run_fuzz_honours_time_budget():
+    report = run_fuzz(list(range(500)), time_budget=0.0)
+    assert report.budget_exhausted
+    assert report.seeds_run < 500

@@ -1,0 +1,67 @@
+"""The greedy statement-deleting reducer."""
+
+from repro.fuzz.reduce import _regions, reduce_source
+
+PROGRAM = """int main() {
+  int x;
+  x = 1;
+  if (x) {
+    x = 2;
+    x = 3;
+  }
+  bad();
+  while (x) {
+    x = x - 1;
+  }
+  return x;
+}"""
+
+
+def balanced(source: str) -> bool:
+    return source.count("{") == source.count("}")
+
+
+def oracle(source: str) -> bool:
+    """Stand-in failure: the marker statement survives, braces balance."""
+    return "bad();" in source and "int main()" in source and balanced(source)
+
+
+def test_regions_cover_whole_compound_statements():
+    lines = PROGRAM.splitlines()
+    regions = set(_regions(lines))
+    # The if-statement spans its header through the matching close
+    # (header + two body lines + the closing brace).
+    if_start = next(i for i, l in enumerate(lines) if "if (x)" in l)
+    assert (if_start, if_start + 4) in regions
+    # Widest units come first so whole blocks are tried before bodies.
+    widths = [end - start for start, end in _regions(lines)]
+    assert widths == sorted(widths, reverse=True)
+
+
+def test_reduces_to_minimal_reproducer():
+    minimized = reduce_source(PROGRAM, oracle)
+    assert minimized == "int main() {\n  bad();\n}"
+
+
+def test_result_still_satisfies_oracle():
+    minimized = reduce_source(PROGRAM, oracle)
+    assert oracle(minimized)
+    assert balanced(minimized)
+
+
+def test_check_budget_returns_best_so_far():
+    calls = []
+
+    def counting_oracle(source: str) -> bool:
+        calls.append(source)
+        return oracle(source)
+
+    minimized = reduce_source(PROGRAM, counting_oracle, max_checks=3)
+    assert len(calls) <= 3
+    assert oracle(minimized)  # never returns a non-reproducer
+    assert len(minimized) <= len(PROGRAM)
+
+
+def test_irreducible_source_unchanged():
+    source = "int main() {\n  bad();\n}"
+    assert reduce_source(source, oracle) == source

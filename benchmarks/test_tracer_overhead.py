@@ -1,0 +1,72 @@
+"""The tracer's no-op overhead gate (CI-enforced).
+
+Every decision site in the allocator guards its emission with
+``if tracer is not None and tracer.wants_events``; a disabled tracer
+must therefore cost almost nothing.  This benchmark times full
+allocations of a mid-sized workload three ways — no tracer, a
+:class:`NullTracer` (the guard cost made measurable) and a recording
+tracer — and fails if the NullTracer path is more than 10% slower
+than the untraced path.
+
+Plain ``perf_counter`` medians over interleaved repetitions, no
+pytest-benchmark dependency, so CI can run this file directly.
+"""
+
+import statistics
+import time
+
+from repro.machine import RegisterConfig, register_file
+from repro.obs import NullTracer, Tracer
+from repro.regalloc import PRESETS, allocate_program
+from repro.workloads import compile_workload
+
+CONFIG = RegisterConfig(8, 6, 2, 2)
+WORKLOAD = "compress"
+ROUNDS = 9
+#: The CI gate: guarded-but-disabled tracing within 10% of untraced.
+MAX_NOOP_OVERHEAD = 0.10
+
+
+def _time_once(compiled, tracer) -> float:
+    start = time.perf_counter()
+    allocate_program(
+        compiled.program,
+        register_file(CONFIG),
+        PRESETS["improved"](),
+        compiled.dynamic_weights,
+        tracer=tracer,
+    )
+    return time.perf_counter() - start
+
+
+def _medians():
+    compiled = compile_workload(WORKLOAD)
+    _time_once(compiled, None)  # warm compile/analysis caches
+    samples = {"none": [], "null": [], "recording": []}
+    # Interleave the variants so drift (thermal, GC) hits all equally.
+    for _ in range(ROUNDS):
+        samples["none"].append(_time_once(compiled, None))
+        samples["null"].append(_time_once(compiled, NullTracer()))
+        samples["recording"].append(_time_once(compiled, Tracer()))
+    return {k: statistics.median(v) for k, v in samples.items()}
+
+
+def test_disabled_tracer_overhead_within_10_percent():
+    medians = _medians()
+    overhead = medians["null"] / medians["none"] - 1.0
+    assert overhead < MAX_NOOP_OVERHEAD, (
+        f"NullTracer allocation is {overhead:.1%} slower than untraced "
+        f"(limit {MAX_NOOP_OVERHEAD:.0%}): "
+        f"untraced={medians['none'] * 1e3:.2f}ms "
+        f"null={medians['null'] * 1e3:.2f}ms"
+    )
+
+
+def test_recording_tracer_overhead_is_bounded():
+    """Recording everything is allowed to cost, but not explode."""
+    medians = _medians()
+    assert medians["recording"] < medians["none"] * 3.0, (
+        f"recording tracer tripled allocation time: "
+        f"untraced={medians['none'] * 1e3:.2f}ms "
+        f"recording={medians['recording'] * 1e3:.2f}ms"
+    )

@@ -5,6 +5,7 @@
     python -m repro compile FILE [--optimize]         # show the IR
     python -m repro run FILE [--main NAME]            # execute a program
     python -m repro allocate FILE --config 6,4,2,2    # allocate + report
+    python -m repro explain FILE --lr NAME            # why did NAME get that?
     python -m repro workloads                         # list the stand-ins
     python -m repro sweep WORKLOAD                    # allocators x sweep
     python -m repro experiment NAME                   # regenerate a figure
@@ -110,6 +111,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_allocate(args) -> int:
+    from repro.eval.report import allocation_report, dump_json, render_allocation
+
     program = _load_program(args.file, optimize=args.optimize)
     profile = run_program(program, fuel=args.fuel).profile
     options = ALLOCATORS[args.allocator]()
@@ -117,25 +120,29 @@ def cmd_allocate(args) -> int:
         profile.weights if args.info == "dynamic" else None
     )
     rf = register_file(args.config)
-    allocation = allocate_program(program, rf, options, weights_for)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    allocation = allocate_program(
+        program, rf, options, weights_for, tracer=tracer
+    )
     overhead = program_overhead(allocation, profile)
 
-    print(f"allocator: {options.label}   register file: {args.config}")
-    print(
-        f"overhead: total={overhead.total:.0f} (spill={overhead.spill:.0f}, "
-        f"caller-save={overhead.caller_save:.0f}, "
-        f"callee-save={overhead.callee_save:.0f}, "
-        f"shuffle={overhead.shuffle:.0f})"
-    )
-    for name, fa in allocation.functions.items():
-        spilled = ", ".join(repr(r) for r in fa.spilled) or "none"
+    report = allocation_report(allocation, overhead, str(args.config), args.info)
+    if args.json:
+        print(dump_json(report))
+    else:
+        print(render_allocation(report, show_assignment=args.show_assignment))
+    if args.trace:
+        from repro.obs import write_events_jsonl
+
+        write_events_jsonl(args.trace, tracer.events)
         print(
-            f"\n{name}: {len(fa.assignment)} ranges in registers, "
-            f"{fa.iterations} iteration(s), spilled: {spilled}"
+            f"\n{len(tracer.events)} decision event(s) written to {args.trace}",
+            file=sys.stderr,
         )
-        if args.show_assignment:
-            for reg, phys in sorted(fa.assignment.items(), key=lambda x: x[0].id):
-                print(f"    {reg!r:24} -> {phys.name}")
     if args.dot:
         func_name, _, dot_path = args.dot.partition(":")
         if not dot_path:
@@ -166,6 +173,34 @@ def cmd_allocate(args) -> int:
         print(f"execution check: {'PASS' if same else 'FAIL'}")
         return 0 if same else 1
     return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.obs import ExplainError, explain_live_range
+
+    program = _load_program(args.file, optimize=args.optimize)
+    options = ALLOCATORS[args.allocator]()
+    rf = register_file(args.config)
+    weights_for = None
+    if args.info == "dynamic":
+        weights_for = run_program(program, fuel=args.fuel).profile.weights
+    try:
+        explanation = explain_live_range(
+            program,
+            args.lr,
+            rf,
+            options,
+            func_name=args.func_name,
+            weights_for=weights_for,
+        )
+    except ExplainError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(explanation.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(explanation.render())
+    return 0 if explanation.verified in (True, None) else 1
 
 
 def cmd_workloads(args) -> int:
@@ -234,11 +269,23 @@ def _render_timings(keys: Sequence, title: str) -> Optional[str]:
             str(total.cache_misses),
         ]
     )
-    return render_table(title, header, rows)
+    lookups = total.cache_hits + total.cache_misses
+    rate = 100.0 * total.cache_hits / lookups if lookups else 0.0
+    from repro.obs import METRICS
+
+    METRICS.set_gauge("analysis_cache.hit_rate", rate)
+    summary = (
+        f"analysis cache: {total.cache_hits} hit(s) / "
+        f"{total.cache_misses} miss(es) ({rate:.1f}% hit rate)"
+    )
+    return render_table(title, header, rows) + "\n" + summary
 
 
 def cmd_sweep(args) -> int:
-    from repro.eval import describe_key, measure, run_grid
+    from repro.eval import measure, run_grid
+    from repro.eval.report import dump_json, render_sweep, sweep_report
+    from repro.eval.runner import RESULTS
+    from repro.obs import METRICS
 
     configs = mips_sweep()
     if args.short:
@@ -252,61 +299,57 @@ def cmd_sweep(args) -> int:
     # Always go through run_grid: it owns the fault handling, so one
     # bad grid point shows up as an ERR cell instead of a traceback.
     grid = run_grid(
-        keys, jobs=args.jobs, verify=args.verify, timeout=args.timeout
+        keys,
+        jobs=args.jobs,
+        verify=args.verify,
+        timeout=args.timeout,
+        trace=bool(args.trace),
     )
     failed_keys = set(grid.failed_keys())
-    rows = []
     data = {}
     for alloc_name in names:
         options = ALLOCATORS[alloc_name]()
-        row = [alloc_name]
         totals = {}
         for config in configs:
             key = (args.workload, options, config, args.info)
             if key in failed_keys:
-                row.append("ERR")
                 totals[str(config)] = None
             else:
                 overhead = measure(args.workload, options, config, args.info)
-                row.append(f"{overhead.total:.0f}")
                 totals[str(config)] = overhead.total
-        rows.append(row)
         data[alloc_name] = totals
+    METRICS.set_gauge("results_cache.hits", RESULTS.hits)
+    METRICS.set_gauge("results_cache.misses", RESULTS.misses)
+    report = sweep_report(
+        args.workload,
+        args.info,
+        names,
+        configs,
+        data,
+        grid,
+        metrics=METRICS.as_dict(),
+    )
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "workload": args.workload,
-                    "info": args.info,
-                    "totals": data,
-                    "grid": {
-                        "computed": len(grid.computed),
-                        "cached": len(grid.cached),
-                        "failures": [
-                            {
-                                "key": describe_key(record.key),
-                                "error": record.error,
-                                "attempts": record.attempts,
-                            }
-                            for record in grid.failed
-                        ],
-                    },
-                },
-                indent=2,
-                sort_keys=True,
-            )
-        )
+        print(dump_json(report))
     else:
-        header = ["allocator"] + [str(c) for c in configs]
-        print(
-            render_table(
-                f"total overhead for {args.workload!r} ({args.info} info)",
-                header,
-                rows,
-            )
-        )
+        print(render_sweep(report))
         for record in grid.failed:
             print(f"FAILED {record.describe()}", file=sys.stderr)
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        spans = []
+        for key in keys:
+            measurement = RESULTS.peek(key)
+            if measurement is not None:
+                spans.extend(measurement.spans)
+        write_chrome_trace(args.trace, spans)
+        pids = {span.pid for span in spans}
+        print(
+            f"chrome trace: {len(spans)} span(s) from {len(pids)} "
+            f"process(es) written to {args.trace}",
+            file=sys.stderr,
+        )
     if args.timings:
         timings = _render_timings(
             keys, f"Pipeline phase timings for {args.workload!r}"
@@ -482,7 +525,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "function to this DOT file (FUNC:PATH)")
     p.add_argument("--optimize", action="store_true")
     p.add_argument("--fuel", type=int, default=50_000_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit the allocation report as JSON")
+    p.add_argument("--trace",
+                   help="write the structured decision-event trace "
+                        "(JSONL) to this file")
     p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser(
+        "explain",
+        help="replay one allocation with tracing and explain why a "
+             "live range got its register, slot or spill",
+    )
+    p.add_argument("file")
+    p.add_argument("--lr", required=True,
+                   help="live range to explain: source name ('count'), "
+                        "full repr ('%%i2:count') or bare id ('%%i2')")
+    p.add_argument("--func", dest="func_name",
+                   help="restrict the search to one function")
+    p.add_argument("--config", type=_parse_config,
+                   default=RegisterConfig(6, 4, 2, 2))
+    p.add_argument("--allocator", choices=sorted(ALLOCATORS),
+                   default="improved")
+    p.add_argument("--info", choices=["static", "dynamic"], default="static",
+                   help="weights the allocator sees (dynamic executes "
+                        "the program first)")
+    p.add_argument("--optimize", action="store_true")
+    p.add_argument("--fuel", type=int, default=50_000_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit the explanation as JSON")
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("workloads", help="list the SPEC92 stand-ins")
     p.set_defaults(func=cmd_workloads)
@@ -503,6 +575,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print per-phase pipeline timings")
     p.add_argument("--json", action="store_true",
                    help="emit JSON instead of the ASCII table")
+    p.add_argument("--trace",
+                   help="collect per-phase spans across workers and "
+                        "write a Chrome trace-event file (load it in "
+                        "chrome://tracing or Perfetto)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("experiment", help="regenerate a table or figure")

@@ -1,0 +1,151 @@
+"""One render path for the CLI's allocation and sweep reports.
+
+``repro allocate`` and ``repro sweep`` each produce a plain-data
+report dict first; the human renderer and ``--json`` both consume
+that dict, so the two output modes cannot drift apart (and tests that
+pin the human strings pin the JSON content too).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.overhead import Overhead
+from repro.eval.render import render_table
+from repro.obs.metrics import allocation_metrics
+from repro.regalloc.framework import ProgramAllocation
+
+
+def overhead_dict(overhead: Overhead) -> Dict[str, float]:
+    return {
+        "total": overhead.total,
+        "spill": overhead.spill,
+        "caller_save": overhead.caller_save,
+        "callee_save": overhead.callee_save,
+        "shuffle": overhead.shuffle,
+    }
+
+
+def allocation_report(
+    allocation: ProgramAllocation,
+    overhead: Overhead,
+    config: str,
+    info: str,
+) -> dict:
+    """Plain-data record of one ``repro allocate`` run."""
+    functions = {}
+    for name, fa in allocation.functions.items():
+        functions[name] = {
+            "in_registers": len(fa.assignment),
+            "iterations": fa.iterations,
+            "frame_slots": fa.frame_slots,
+            "spilled": [repr(reg) for reg in fa.spilled],
+            "assignment": {
+                repr(reg): phys.name
+                for reg, phys in sorted(
+                    fa.assignment.items(), key=lambda x: x[0].id
+                )
+            },
+        }
+    snapshot = allocation_metrics(allocation)
+    return {
+        "allocator": allocation.options.label,
+        "config": config,
+        "info": info,
+        "overhead": overhead_dict(overhead),
+        "functions": functions,
+        "metrics": {
+            "counters": dict(sorted(snapshot.counters.items())),
+            "histograms": {
+                name: data.as_dict()
+                for name, data in sorted(snapshot.histograms.items())
+            },
+        },
+    }
+
+
+def render_allocation(report: dict, show_assignment: bool = False) -> str:
+    """The classic ``repro allocate`` text output, from the report."""
+    overhead = report["overhead"]
+    lines = [
+        f"allocator: {report['allocator']}   register file: {report['config']}",
+        (
+            f"overhead: total={overhead['total']:.0f} "
+            f"(spill={overhead['spill']:.0f}, "
+            f"caller-save={overhead['caller_save']:.0f}, "
+            f"callee-save={overhead['callee_save']:.0f}, "
+            f"shuffle={overhead['shuffle']:.0f})"
+        ),
+    ]
+    for name, record in report["functions"].items():
+        spilled = ", ".join(record["spilled"]) or "none"
+        lines.append(
+            f"\n{name}: {record['in_registers']} ranges in registers, "
+            f"{record['iterations']} iteration(s), spilled: {spilled}"
+        )
+        if show_assignment:
+            for reg, phys in record["assignment"].items():
+                lines.append(f"    {reg:24} -> {phys}")
+    return "\n".join(lines)
+
+
+def sweep_report(
+    workload: str,
+    info: str,
+    names: Sequence[str],
+    configs: Sequence,
+    totals: Dict[str, Dict[str, Optional[float]]],
+    grid,
+    metrics: Optional[dict] = None,
+) -> dict:
+    """Plain-data record of one ``repro sweep`` run.
+
+    ``totals`` maps allocator name to ``{str(config): total overhead}``
+    with ``None`` for failed grid points; ``grid`` is the
+    :class:`~repro.eval.runner.GridReport` the sweep ran under.
+    """
+    from repro.eval.runner import describe_key
+
+    report = {
+        "workload": workload,
+        "info": info,
+        "configs": [str(config) for config in configs],
+        "totals": totals,
+        "grid": {
+            "computed": len(grid.computed),
+            "cached": len(grid.cached),
+            "failures": [
+                {
+                    "key": describe_key(record.key),
+                    "error": record.error,
+                    "attempts": record.attempts,
+                }
+                for record in grid.failed
+            ],
+        },
+    }
+    if metrics is not None:
+        report["metrics"] = metrics
+    return report
+
+
+def render_sweep(report: dict) -> str:
+    """The classic ``repro sweep`` overhead table, from the report."""
+    header = ["allocator"] + list(report["configs"])
+    rows = []
+    for name, totals in report["totals"].items():
+        row = [name]
+        for config in report["configs"]:
+            total = totals.get(config)
+            row.append("ERR" if total is None else f"{total:.0f}")
+        rows.append(row)
+    return render_table(
+        f"total overhead for {report['workload']!r} ({report['info']} info)",
+        header,
+        rows,
+    )
+
+
+def dump_json(report: dict) -> str:
+    return json.dumps(report, indent=2, sort_keys=True)

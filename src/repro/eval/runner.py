@@ -47,6 +47,8 @@ from repro.eval.cycles import program_cycles
 from repro.eval.overhead import Overhead, program_overhead
 from repro.machine.mips import register_file
 from repro.machine.registers import RegisterConfig
+from repro.obs.metrics import METRICS, MetricsSnapshot, allocation_metrics
+from repro.obs.tracer import PhaseSpan, Tracer
 from repro.regalloc.framework import (
     PipelineStats,
     ProgramAllocation,
@@ -69,6 +71,11 @@ class Measurement:
     cycles: float
     #: Aggregated per-phase pipeline timings of the allocation.
     stats: PipelineStats
+    #: Per-allocation metrics, derived in whatever process computed
+    #: the measurement and merged into ``METRICS`` by the parent.
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    #: Phase spans (epoch-stamped, pid-tagged) when tracing was on.
+    spans: Tuple[PhaseSpan, ...] = ()
 
 
 class ResultCache:
@@ -130,6 +137,7 @@ def allocate_workload(
     options: AllocatorOptions,
     config: RegisterConfig,
     info: str = "dynamic",
+    tracer: Optional[Tracer] = None,
 ) -> ProgramAllocation:
     """Allocate one workload (uncached; most callers want ``measure``)."""
     if info not in INFO_SOURCES:
@@ -144,6 +152,7 @@ def allocate_workload(
         options,
         weights_for,
         cache=compiled.analyses,
+        tracer=tracer,
     )
 
 
@@ -153,14 +162,19 @@ def compute_measurement(
     config: RegisterConfig,
     info: str = "dynamic",
     verify: bool = False,
+    trace: bool = False,
 ) -> Measurement:
     """Allocate and evaluate one grid point, bypassing the cache.
 
     With ``verify`` set, the allocation is run through the independent
     post-allocation verifier before being measured, so a sweep can
-    certify every allocation it reports on.
+    certify every allocation it reports on.  With ``trace`` set, a
+    span-only tracer rides along and the measurement carries the
+    pid-tagged phase spans (the Chrome-trace raw material); decision
+    events stay off, so traced sweeps pay only the span bookkeeping.
     """
-    allocation = allocate_workload(name, options, config, info)
+    tracer = Tracer(record_events=False) if trace else None
+    allocation = allocate_workload(name, options, config, info, tracer=tracer)
     if verify:
         from repro.regalloc.verify import verify_allocation
 
@@ -170,6 +184,8 @@ def compute_measurement(
         overhead=program_overhead(allocation, profile),
         cycles=program_cycles(allocation, profile),
         stats=allocation.stats,
+        metrics=allocation_metrics(allocation),
+        spans=tuple(tracer.spans) if tracer is not None else (),
     )
 
 
@@ -185,6 +201,7 @@ def measure_full(
     if cached is None:
         cached = compute_measurement(name, options, config, info)
         RESULTS.put(key, cached)
+        METRICS.merge(cached.metrics)
     return cached
 
 
@@ -278,7 +295,7 @@ def describe_key(key: MeasureKey) -> str:
 
 
 def _measure_chunk(
-    chunk: Sequence[MeasureKey], verify: bool = False
+    chunk: Sequence[MeasureKey], verify: bool = False, trace: bool = False
 ) -> List[Tuple[MeasureKey, Measurement]]:
     """Worker entry point: compute a chunk of grid points.
 
@@ -286,11 +303,14 @@ def _measure_chunk(
     ``(key, Measurement)`` pairs.  Workloads are compiled in the
     worker (or inherited pre-compiled under a fork start method).
     """
-    return [(key, compute_measurement(*key, verify=verify)) for key in chunk]
+    return [
+        (key, compute_measurement(*key, verify=verify, trace=trace))
+        for key in chunk
+    ]
 
 
 def _run_chunk(
-    chunk: Sequence[MeasureKey], verify: bool
+    chunk: Sequence[MeasureKey], verify: bool, trace: bool = False
 ) -> List[Tuple[MeasureKey, Measurement]]:
     """The callable submitted to worker pools.
 
@@ -298,7 +318,7 @@ def _run_chunk(
     the module globals *in the worker*, so tests can monkeypatch the
     chunk worker (fault injection) and forked children see the patch.
     """
-    return _measure_chunk(chunk, verify)
+    return _measure_chunk(chunk, verify, trace=trace)
 
 
 def _chunk_by_workload(keys: Sequence[MeasureKey]) -> List[List[MeasureKey]]:
@@ -313,12 +333,35 @@ def _chunk_by_workload(keys: Sequence[MeasureKey]) -> List[List[MeasureKey]]:
     return list(chunks.values())
 
 
+def _split_for_jobs(
+    chunks: List[List[MeasureKey]], jobs: int
+) -> List[List[MeasureKey]]:
+    """Split workload chunks until there are ``jobs`` worker tasks.
+
+    Chunking by workload alone would serialize a single-workload sweep
+    on one worker; halving the largest chunk (repeatedly) trades one
+    extra compile of that workload for actual parallelism.  Splitting
+    is deterministic, and results are merged in submission order, so
+    cache contents stay byte-identical either way.
+    """
+    parts = [list(chunk) for chunk in chunks]
+    while len(parts) < jobs:
+        largest = max(parts, key=len)
+        if len(largest) < 2:
+            break
+        index = parts.index(largest)
+        mid = len(largest) // 2
+        parts[index : index + 1] = [largest[:mid], largest[mid:]]
+    return parts
+
+
 def _salvage_chunk(
     chunk: Sequence[MeasureKey],
     attempts: int,
     verify: bool,
     cache: ResultCache,
     report: GridReport,
+    trace: bool = False,
 ) -> None:
     """In-process, per-key degradation of a repeatedly-failing chunk.
 
@@ -328,7 +371,7 @@ def _salvage_chunk(
     """
     for key in chunk:
         try:
-            pairs = _measure_chunk([key], verify)
+            pairs = _measure_chunk([key], verify, trace=trace)
         except Exception as error:
             report.failed.append(
                 FailureRecord(
@@ -343,6 +386,24 @@ def _salvage_chunk(
                 report.computed.append(got)
 
 
+def _absorb_report(report: GridReport, cache: ResultCache) -> GridReport:
+    """Fold a finished ``run_grid`` report into the global registry.
+
+    Merges the per-allocation metrics of every *computed* measurement
+    (cached ones were merged when they were first computed) and counts
+    the grid outcome; runs in the parent only, so worker processes
+    never touch ``METRICS``.
+    """
+    for key in report.computed:
+        measurement = cache.peek(key)
+        if measurement is not None:
+            METRICS.merge(measurement.metrics)
+    METRICS.inc("grid.computed", len(report.computed))
+    METRICS.inc("grid.cached", len(report.cached))
+    METRICS.inc("grid.failed", len(report.failed))
+    return report
+
+
 def run_grid(
     keys: Sequence[MeasureKey],
     jobs: Optional[int] = None,
@@ -352,6 +413,7 @@ def run_grid(
     timeout: Optional[float] = None,
     retries: int = 2,
     backoff: float = 0.5,
+    trace: bool = False,
 ) -> GridReport:
     """Pre-compute a measurement grid, in parallel when ``jobs`` > 1.
 
@@ -393,9 +455,11 @@ def run_grid(
         else:
             pending.append(key)
     if not pending:
-        return report
+        return _absorb_report(report, cache)
 
     chunks = _chunk_by_workload(pending)
+    if jobs is not None and jobs > 1:
+        chunks = _split_for_jobs(chunks, jobs)
     total = len(pending)
     done = 0
 
@@ -408,17 +472,17 @@ def run_grid(
     if jobs is None or jobs <= 1 or len(chunks) == 1:
         for chunk in chunks:
             try:
-                pairs = _measure_chunk(chunk, verify)
+                pairs = _measure_chunk(chunk, verify, trace=trace)
             except Exception:
                 # One bad key poisons the whole-chunk attempt; re-run
                 # key by key to salvage the healthy points.
-                _salvage_chunk(chunk, 1, verify, cache, report)
+                _salvage_chunk(chunk, 1, verify, cache, report, trace=trace)
             else:
                 for key, measurement in pairs:
                     cache.put(key, measurement)
                     report.computed.append(key)
             resolve(chunk)
-        return report
+        return _absorb_report(report, cache)
 
     # Prefer fork on platforms that have it: workers inherit warm
     # compile caches instead of re-importing and recompiling.
@@ -452,7 +516,7 @@ def run_grid(
         )
         try:
             futures = [
-                (chunk, attempts, pool.submit(_run_chunk, chunk, verify))
+                (chunk, attempts, pool.submit(_run_chunk, chunk, verify, trace))
                 for chunk, attempts in queue
             ]
             for chunk, attempts, future in futures:  # submission order
@@ -489,11 +553,11 @@ def run_grid(
 
     for chunk, attempts, error, salvageable in exhausted:
         if salvageable:
-            _salvage_chunk(chunk, attempts, verify, cache, report)
+            _salvage_chunk(chunk, attempts, verify, cache, report, trace=trace)
         else:
             report.failed.extend(
                 FailureRecord(key=key, error=error, attempts=attempts)
                 for key in chunk
             )
         resolve(chunk)
-    return report
+    return _absorb_report(report, cache)

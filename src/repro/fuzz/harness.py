@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import multiprocessing
 
 from repro.machine.registers import RegisterConfig
+from repro.obs.metrics import METRICS
 from repro.machine.mips import register_file
 from repro.profile.interp import InterpreterError, run_program
 from repro.profile.machine_interp import run_allocated
@@ -231,6 +232,19 @@ def _fuzz_chunk(seeds: Sequence[int]) -> FuzzReport:
     return report
 
 
+def _record_metrics(report: FuzzReport) -> None:
+    """Fold a finished fuzz run's verdicts into the metrics registry.
+
+    Called once per ``run_fuzz`` in the parent process only, so
+    worker processes never touch the global registry.
+    """
+    METRICS.inc("fuzz.checked", report.checked)
+    METRICS.inc("fuzz.skipped", report.skipped)
+    METRICS.inc("fuzz.failures", len(report.failures))
+    for failure in report.failures:
+        METRICS.inc(f"fuzz.failures.{failure.stage}")
+
+
 def run_fuzz(
     seeds: Sequence[int],
     jobs: int = 1,
@@ -258,6 +272,7 @@ def run_fuzz(
             if progress is not None:
                 progress(report.seeds_run, total)
         report.elapsed = time.perf_counter() - started
+        _record_metrics(report)
         return report
 
     chunk_size = max(1, min(8, total // (jobs * 4) or 1))
@@ -294,4 +309,5 @@ def run_fuzz(
     finally:
         pool.shutdown(wait=not abandoned, cancel_futures=True)
     report.elapsed = time.perf_counter() - started
+    _record_metrics(report)
     return report

@@ -1,0 +1,54 @@
+"""Observability: decision tracing, metrics, exporters, explanations.
+
+The allocator's contribution is a sequence of *decisions* — simplify
+pops, storage-class choices, voluntary spills, shared-model
+resolutions — and this package makes each one a first-class,
+queryable event:
+
+* :class:`Tracer` / :class:`DecisionEvent` — structured event stream
+  from every decision site of ``repro.regalloc`` plus per-phase
+  wall-clock spans.  Untraced runs (``tracer=None``, the default
+  everywhere) pay a single ``is not None`` check per site.
+* :class:`MetricsRegistry` — process-safe counters, gauges and
+  histograms; worker processes ship picklable snapshots back to the
+  parent, which merges them into the global :data:`METRICS`.
+* Exporters — Chrome trace-event JSON (``chrome://tracing`` /
+  Perfetto) from phase spans, JSONL event dumps, and a plain-text
+  decision log.
+* :func:`explain_live_range` — replay one allocation with tracing on
+  and reconstruct the causal chain for a single live range (the
+  ``repro explain`` CLI command).
+"""
+
+from repro.obs.explain import ExplainError, Explanation, explain_live_range
+from repro.obs.export import (
+    chrome_trace_events,
+    render_decision_log,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.metrics import (
+    METRICS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    allocation_metrics,
+)
+from repro.obs.tracer import DecisionEvent, NullTracer, PhaseSpan, Tracer
+
+__all__ = [
+    "DecisionEvent",
+    "ExplainError",
+    "Explanation",
+    "METRICS",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullTracer",
+    "PhaseSpan",
+    "Tracer",
+    "allocation_metrics",
+    "chrome_trace_events",
+    "explain_live_range",
+    "render_decision_log",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]

@@ -1,0 +1,314 @@
+"""Replay one allocation and explain a single live range.
+
+``explain_live_range`` runs the allocator over a program with a
+recording :class:`~repro.obs.tracer.Tracer` attached, filters the
+event stream down to one live range, and assembles the causal chain
+behind its final placement: the cost-model inputs (spill cost, both
+save costs), the derived benefits, every decision event that mentions
+the range, and the final verdict (register, stack slot, or
+rematerialized constant).
+
+Spilled live ranges are explainable too — they are absent from the
+final assignment, but the event stream keeps the full story of why
+they lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Program
+from repro.machine.registers import RegisterFile
+from repro.obs.export import describe_event
+from repro.obs.tracer import DecisionEvent, Tracer
+from repro.regalloc.framework import allocate_program
+from repro.regalloc.options import AllocatorOptions
+from repro.regalloc.verify import verify_allocation
+
+
+class ExplainError(ValueError):
+    """The requested live range (or function) could not be found."""
+
+
+#: Event kinds that constitute the causal chain of one live range, in
+#: the order the allocator emits them.
+_CHAIN_KINDS = (
+    "coalesce",
+    "benefits",
+    "preference_demote",
+    "simplify_pop",
+    "ordering_spill",
+    "optimistic_push",
+    "assign",
+    "assign_spill",
+    "voluntary_spill",
+    "shared_defer",
+    "shared_resolution",
+    "cbh_reserve",
+    "cbh_release",
+    "spill_code",
+    "remat_code",
+)
+
+#: Kinds that settle the live range's fate (last one wins).
+_FINAL_KINDS = (
+    "assign",
+    "voluntary_spill",
+    "spill_code",
+    "remat_code",
+    "cbh_reserve",
+    "cbh_release",
+)
+
+
+@dataclass
+class Explanation:
+    """Everything the tracer recorded about one live range."""
+
+    query: str
+    lr: str
+    function: str
+    allocator: str
+    callee_model: str
+    #: Cost-model inputs and derived benefits from the *last* benefits
+    #: event (the iteration that settled the range's fate).
+    spill_cost: Optional[float] = None
+    caller_cost: Optional[float] = None
+    callee_cost: Optional[float] = None
+    benefit_caller: Optional[float] = None
+    benefit_callee: Optional[float] = None
+    prefers_callee: Optional[bool] = None
+    #: One human-readable line per causal event, in emission order.
+    chain: List[str] = field(default_factory=list)
+    #: The raw events behind ``chain`` (same order).
+    events: List[DecisionEvent] = field(default_factory=list)
+    decision: str = ""
+    verified: Optional[bool] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "lr": self.lr,
+            "function": self.function,
+            "allocator": self.allocator,
+            "callee_model": self.callee_model,
+            "spill_cost": self.spill_cost,
+            "caller_cost": self.caller_cost,
+            "callee_cost": self.callee_cost,
+            "benefit_caller": self.benefit_caller,
+            "benefit_callee": self.benefit_callee,
+            "prefers_callee": self.prefers_callee,
+            "decision": self.decision,
+            "chain": list(self.chain),
+            "events": [event.to_dict() for event in self.events],
+            "verified": self.verified,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"live range {self.lr} in {self.function}()",
+            f"  allocator: {self.allocator}   callee model: {self.callee_model}",
+        ]
+        if self.spill_cost is not None:
+            lines.append(f"  spill cost:       {self.spill_cost:g}")
+        if self.caller_cost is not None:
+            lines.append(f"  caller-save cost: {self.caller_cost:g}")
+        if self.callee_cost is not None:
+            lines.append(f"  callee-save cost: {self.callee_cost:g}")
+        if self.benefit_caller is not None:
+            lines.append(f"  benefit_caller:   {self.benefit_caller:g}")
+        if self.benefit_callee is not None:
+            preference = ""
+            if self.prefers_callee is not None:
+                kind = "callee-save" if self.prefers_callee else "caller-save"
+                preference = f"   (prefers {kind})"
+            lines.append(f"  benefit_callee:   {self.benefit_callee:g}{preference}")
+        lines.append("  decision chain:")
+        for entry in self.chain:
+            lines.append(f"    - {entry}")
+        lines.append(f"  final: {self.decision}")
+        if self.verified is not None:
+            status = "passed" if self.verified else "FAILED"
+            lines.append(f"  allocation verifier: {status}")
+        return "\n".join(lines)
+
+
+def explain_live_range(
+    program: Program,
+    lr_query: str,
+    regfile: RegisterFile,
+    options: AllocatorOptions = AllocatorOptions(),
+    func_name: Optional[str] = None,
+    weights_for=None,
+    verify: bool = True,
+) -> Explanation:
+    """Allocate ``program`` with tracing on and explain one live range.
+
+    ``lr_query`` matches a live range by its source-level name
+    (``count``), its full repr (``%i2:count``), or its bare id
+    (``%i2``).  With ``func_name`` the search is restricted to one
+    function; otherwise every function is searched and an ambiguous
+    name is an :class:`ExplainError` listing the candidates.
+    """
+    tracer = Tracer()
+    allocation = allocate_program(
+        program, regfile, options, weights_for=weights_for, tracer=tracer
+    )
+
+    matches = _match_query(tracer.events, lr_query, func_name)
+    if not matches:
+        scope = f" in function {func_name!r}" if func_name else ""
+        known = sorted(_named_ranges(tracer.events, func_name))
+        hint = f" (known live ranges: {', '.join(known)})" if known else ""
+        raise ExplainError(
+            f"no live range matches {lr_query!r}{scope}{hint}"
+        )
+    functions = sorted({function for function, _ in matches})
+    if len(functions) > 1:
+        raise ExplainError(
+            f"live range {lr_query!r} is ambiguous across functions "
+            f"{', '.join(functions)}; pass --func to pick one"
+        )
+    names = sorted({lr for _, lr in matches})
+    if len(names) > 1:
+        raise ExplainError(
+            f"{lr_query!r} matches several live ranges in "
+            f"{functions[0]}(): {', '.join(names)}"
+        )
+    function, lr = matches.pop()
+
+    events = [
+        event
+        for event in tracer.events
+        if event.function == function
+        and event.kind in _CHAIN_KINDS
+        and _mentions(event, lr)
+    ]
+    explanation = Explanation(
+        query=lr_query,
+        lr=lr,
+        function=function,
+        allocator=options.label,
+        callee_model=options.callee_model,
+    )
+    for event in events:
+        if event.kind == "benefits":
+            explanation.spill_cost = event.detail.get("spill_cost")
+            explanation.caller_cost = event.detail.get("caller_cost")
+            explanation.callee_cost = event.detail.get("callee_cost")
+            explanation.benefit_caller = event.detail.get("benefit_caller")
+            explanation.benefit_callee = event.detail.get("benefit_callee")
+            explanation.prefers_callee = event.detail.get("prefers_callee")
+    explanation.events = events
+    explanation.chain = [
+        f"[i{event.iteration}/{event.phase}] {describe_event(event)}"
+        for event in events
+    ]
+    explanation.decision = _final_decision(events, lr)
+
+    if verify:
+        try:
+            verify_allocation(allocation)
+        except Exception:
+            explanation.verified = False
+        else:
+            explanation.verified = True
+    return explanation
+
+
+def _mentions(event: DecisionEvent, lr: str) -> bool:
+    if event.lr == lr:
+        return True
+    detail = event.detail
+    for key in ("kept", "gone"):
+        if detail.get(key) == lr:
+            return True
+    users = detail.get("users")
+    if isinstance(users, list) and lr in users:
+        return True
+    spills = detail.get("spills")
+    if isinstance(spills, list) and lr in spills:
+        return True
+    return False
+
+
+def _split_repr(lr: str) -> Tuple[str, str]:
+    """``%i2:count`` -> (``%i2``, ``count``); ``%i4`` -> (``%i4``, \"\")."""
+    head, _, name = lr.partition(":")
+    return head, name
+
+
+def _match_query(
+    events: List[DecisionEvent], query: str, func_name: Optional[str]
+) -> set:
+    matches = set()
+    for event in events:
+        if event.lr is None:
+            continue
+        if func_name is not None and event.function != func_name:
+            continue
+        head, name = _split_repr(event.lr)
+        if query == event.lr or query == head or (name and query == name):
+            matches.add((event.function, event.lr))
+    return matches
+
+
+def _named_ranges(
+    events: List[DecisionEvent], func_name: Optional[str]
+) -> set:
+    names = set()
+    for event in events:
+        if event.lr is None:
+            continue
+        if func_name is not None and event.function != func_name:
+            continue
+        _, name = _split_repr(event.lr)
+        if name and not name.startswith("csr:") and ".spill" not in name:
+            names.add(name)
+    return names
+
+
+def _final_decision(events: List[DecisionEvent], lr: str) -> str:
+    final: Optional[DecisionEvent] = None
+    for event in events:
+        if event.kind in _FINAL_KINDS and event.lr == lr:
+            final = event
+        elif event.kind == "shared_resolution":
+            users = event.detail.get("users")
+            if isinstance(users, list) and lr in users:
+                final = event
+    if final is None:
+        return "no placement decision recorded"
+    detail = final.detail
+    if final.kind == "assign":
+        return (
+            f"assigned {detail.get('storage_class', '?')} register "
+            f"{detail.get('register', '?')}"
+        )
+    if final.kind == "voluntary_spill":
+        return f"voluntarily spilled: {detail.get('reason', '?')}"
+    if final.kind == "spill_code":
+        return (
+            f"spilled to frame slot {detail.get('slot', '?')} "
+            f"({detail.get('loads', 0)} reloads, {detail.get('stores', 0)} stores)"
+        )
+    if final.kind == "remat_code":
+        return (
+            f"spilled and rematerialized as constant {detail.get('value', '?')} "
+            f"({detail.get('loads', 0)} remat sites)"
+        )
+    if final.kind == "shared_resolution":
+        verdict = detail.get("verdict", "?")
+        return (
+            f"shared callee-save register {detail.get('register', '?')} "
+            f"resolved end-of-assignment: {verdict}"
+        )
+    if final.kind == "cbh_reserve":
+        return f"callee-save register {detail.get('register', '?')} kept untouched"
+    if final.kind == "cbh_release":
+        return (
+            f"callee-save register {detail.get('register', '?')} released "
+            f"for ordinary live ranges (save at entry, restore at exit)"
+        )
+    return describe_event(final)

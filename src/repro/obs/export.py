@@ -1,0 +1,184 @@
+"""Exporters for traces and events.
+
+* :func:`write_chrome_trace` — phase spans as Chrome trace-event JSON,
+  loadable in ``chrome://tracing`` and Perfetto.  Each process becomes
+  a trace *process* (so parallel sweep workers show up side by side)
+  and each allocated function becomes a named *thread* track within
+  it; spans are complete ("X") events in microseconds.
+* :func:`write_events_jsonl` — the decision-event stream, one JSON
+  object per line, in emission order (per-function streams are
+  recovered by filtering on the ``function`` field).
+* :func:`render_decision_log` — a plain-text, human-readable decision
+  log; also the rendering the ``repro explain`` causal chain uses.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.obs.tracer import DecisionEvent, PhaseSpan
+
+import json
+
+
+def chrome_trace_events(spans: Sequence[PhaseSpan]) -> List[Dict[str, Any]]:
+    """Chrome trace-event dicts (metadata plus "X" spans) for ``spans``."""
+    events: List[Dict[str, Any]] = []
+    #: (pid, function) -> tid; one thread track per function per process.
+    tids: Dict[Tuple[int, str], int] = {}
+    next_tid: Dict[int, int] = {}
+    pids: List[int] = []
+    for span in spans:
+        if span.pid not in next_tid:
+            next_tid[span.pid] = 1
+            pids.append(span.pid)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": 0,
+                    "args": {"name": f"worker pid {span.pid}"},
+                }
+            )
+        key = (span.pid, span.function)
+        if key not in tids:
+            tids[key] = next_tid[span.pid]
+            next_tid[span.pid] += 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": tids[key],
+                    "args": {"name": f"func {span.function}"},
+                }
+            )
+        events.append(
+            {
+                "name": span.name,
+                "cat": "regalloc",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": span.pid,
+                "tid": tids[key],
+                "args": {
+                    "function": span.function,
+                    "iteration": span.iteration,
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path, spans: Sequence[PhaseSpan]) -> int:
+    """Write ``spans`` as a Chrome trace file; returns the span count."""
+    payload = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    Path(path).write_text(json.dumps(payload) + "\n")
+    return len(spans)
+
+
+def write_events_jsonl(path, events: Iterable[DecisionEvent]) -> int:
+    """Write decision events as JSONL; returns the event count."""
+    count = 0
+    lines: List[str] = []
+    for event in events:
+        lines.append(event.to_json())
+        count += 1
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return count
+
+
+# ----------------------------------------------------------------------
+# the plain-text decision log
+# ----------------------------------------------------------------------
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+#: kind -> template; details not named by the template are appended.
+_TEMPLATES = {
+    "function_begin": "allocating under {allocator} (callee model {callee_model})",
+    "iteration_begin": "iteration {n} begins",
+    "coalesce": "coalesced {gone} into {kept} (copy eliminated)",
+    "benefits": (
+        "spill cost {spill_cost}, caller-save cost {caller_cost}, "
+        "callee-save cost {callee_cost} => benefit_caller {benefit_caller}, "
+        "benefit_callee {benefit_callee}"
+    ),
+    "preference_demote": (
+        "preference decision: demoted to caller-save (penalty {penalty}) "
+        "at call in {block}"
+    ),
+    "simplify_pop": "popped by simplification (degree {degree}, key {key})",
+    "ordering_spill": (
+        "simplification blocked: spilled ({metric} {value}, "
+        "spill cost {spill_cost}, degree {degree})"
+    ),
+    "optimistic_push": (
+        "simplification blocked: pushed optimistically ({metric} {value}, "
+        "spill cost {spill_cost}, degree {degree})"
+    ),
+    "assign": (
+        "assigned {register} ({storage_class}; benefit_caller "
+        "{benefit_caller}, benefit_callee {benefit_callee})"
+    ),
+    "assign_spill": "no register free among {neighbors_colored} colored neighbors: spilled",
+    "voluntary_spill": "spilled instead of {register}: {reason}",
+    "shared_defer": "tentatively holds callee-save {register} (shared model, resolution deferred)",
+    "shared_resolution": (
+        "shared callee-save {register}: occupant spill costs {total_cost} "
+        "vs save/restore cost {callee_cost} => {verdict}"
+    ),
+    "cbh_reserve": "callee-save register {register} stays untouched (pseudo colored)",
+    "cbh_release": "callee-save register {register} released: save/restore charged",
+    "spill_code": "spill code placed: {loads} reload(s), {stores} store(s), slot {slot}",
+    "remat_code": "rematerialized: {loads} use(s) re-emit const {value}, no slot",
+    "caller_save_site": "caller-save around call to {callee}: {registers}",
+    "callee_save": "callee-save at entry/exits: {registers}",
+    "spill_round": "iteration {n} spilled {count} live range(s): {spills}",
+    "allocation_final": (
+        "final: {assigned} live range(s) in registers, {spilled_total} "
+        "spilled, {frame_slots} frame slot(s), {iterations} iteration(s)"
+    ),
+}
+
+
+def describe_event(event: DecisionEvent) -> str:
+    """One human-readable line for ``event`` (no function prefix)."""
+    template = _TEMPLATES.get(event.kind)
+    detail = {k: _fmt(v) for k, v in event.detail.items()}
+    if template is None:
+        body = ", ".join(f"{k}={v}" for k, v in detail.items())
+        text = f"{event.kind}: {body}" if body else event.kind
+    else:
+        try:
+            text = template.format(**detail)
+        except KeyError:
+            body = ", ".join(f"{k}={v}" for k, v in detail.items())
+            text = f"{event.kind}: {body}"
+    if event.lr is not None:
+        return f"{event.lr}: {text}"
+    return text
+
+
+def render_decision_log(events: Iterable[DecisionEvent]) -> str:
+    """The whole event stream as an indented plain-text log."""
+    lines: List[str] = []
+    current = None
+    for event in events:
+        if event.function != current:
+            current = event.function
+            lines.append(f"== function {current} ==")
+        prefix = f"  [i{event.iteration}/{event.phase or '-'}] "
+        lines.append(prefix + describe_event(event))
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""A process-safe metrics registry: counters, gauges, histograms.
+
+``METRICS`` is the process-global registry.  Code running in the
+parent process increments it directly; code running in sweep workers
+does not touch any global at all — instead, per-measurement metrics
+are *derived* from the finished allocation
+(:func:`allocation_metrics`), carried back to the parent as a
+picklable :class:`MetricsSnapshot` on each
+:class:`~repro.eval.runner.Measurement`, and merged into ``METRICS``
+by ``run_grid``/``measure_full``.  That makes aggregation across
+worker processes trivially safe: snapshots are immutable values, and
+only the parent ever mutates the registry.
+
+Metric names use dotted ``component.metric`` form:
+
+* ``regalloc.spilled_ranges`` ``regalloc.frame_slots``
+  ``regalloc.coalesces`` — counters derived per allocation.
+* ``regalloc.spill_loads`` / ``regalloc.spill_stores`` /
+  ``regalloc.caller_save_ops`` / ``regalloc.callee_save_ops`` —
+  overhead operations actually placed in the final code, by kind.
+* ``regalloc.iterations`` — histogram, one observation per function.
+* ``analysis_cache.hits`` / ``analysis_cache.misses`` — analysis-cache
+  traffic attributable to allocations (from ``PipelineStats``).
+* ``results_cache.hits`` / ``results_cache.misses`` — gauges mirroring
+  the measurement cache's :class:`~repro.analysis.manager.CacheStats`.
+* ``grid.computed`` / ``grid.cached`` / ``grid.failed`` — ``run_grid``
+  outcome counters.
+* ``fuzz.checked`` / ``fuzz.skipped`` / ``fuzz.failures`` plus
+  ``fuzz.failures.<stage>`` — fuzzing verdicts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class HistogramData:
+    """Summary statistics of one histogram metric (picklable value)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> "HistogramData":
+        return HistogramData(
+            count=self.count + 1,
+            total=self.total + value,
+            minimum=min(self.minimum, value),
+            maximum=max(self.maximum, value),
+        )
+
+    def merge(self, other: "HistogramData") -> "HistogramData":
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
+        return HistogramData(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable, picklable copy of a registry's contents."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistogramData] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms under dotted names."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, HistogramData] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        current = self._histograms.get(name, HistogramData())
+        self._histograms[name] = current.observe(value)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> HistogramData:
+        return self._histograms.get(name, HistogramData())
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering, keys sorted for stable output."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].as_dict()
+                for k in sorted(self._histograms)
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # cross-process aggregation
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable copy safe to pickle across process boundaries."""
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms=dict(self._histograms),
+        )
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot in: counters add, gauges overwrite,
+        histograms combine."""
+        for name, value in snapshot.counters.items():
+            self.inc(name, value)
+        for name, value in snapshot.gauges.items():
+            self.set_gauge(name, value)
+        for name, data in snapshot.histograms.items():
+            current = self._histograms.get(name, HistogramData())
+            self._histograms[name] = current.merge(data)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: The process-global registry (parent-process aggregation point).
+METRICS = MetricsRegistry()
+
+
+def allocation_metrics(allocation) -> MetricsSnapshot:
+    """Derive the metrics of one finished :class:`ProgramAllocation`.
+
+    Reads only the allocation's own records and final code — spilled
+    live ranges, frame slots, iterations, coalesces, analysis-cache
+    traffic, and the overhead operations actually placed (spill
+    reloads/stores, caller-save and callee-save save/restore ops) —
+    so it is safe to call from worker processes and replaces the
+    ad-hoc tallies experiments used to keep by hand.
+    """
+    from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+
+    registry = MetricsRegistry()
+    ops = {
+        OverheadKind.SPILL: [0, 0],  # loads, stores
+        OverheadKind.CALLER_SAVE: [0, 0],
+        OverheadKind.CALLEE_SAVE: [0, 0],
+    }
+    for fa in allocation.functions.values():
+        registry.inc("regalloc.spilled_ranges", len(fa.spilled))
+        registry.inc("regalloc.frame_slots", fa.frame_slots)
+        registry.inc("regalloc.coalesces", fa.stats.coalesces)
+        registry.inc("analysis_cache.hits", fa.stats.cache_hits)
+        registry.inc("analysis_cache.misses", fa.stats.cache_misses)
+        registry.observe("regalloc.iterations", fa.iterations)
+        for instr in fa.func.instructions():
+            if isinstance(instr, SpillLoad):
+                ops[instr.kind][0] += 1
+            elif isinstance(instr, SpillStore):
+                ops[instr.kind][1] += 1
+    registry.inc(
+        "regalloc.spill_loads", ops[OverheadKind.SPILL][0]
+    )
+    registry.inc(
+        "regalloc.spill_stores", ops[OverheadKind.SPILL][1]
+    )
+    registry.inc(
+        "regalloc.caller_save_ops", sum(ops[OverheadKind.CALLER_SAVE])
+    )
+    registry.inc(
+        "regalloc.callee_save_ops", sum(ops[OverheadKind.CALLEE_SAVE])
+    )
+    return registry.snapshot()

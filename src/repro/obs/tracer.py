@@ -1,0 +1,233 @@
+"""The decision-event tracer.
+
+One :class:`Tracer` records two streams from an allocation run:
+
+* **Decision events** (:class:`DecisionEvent`) — every choice the
+  allocator makes: simplify pops with their key, color choices with
+  both benefit values, voluntary spills with their justification,
+  shared-model deferrals and resolutions, coalesces, spill-code and
+  save/restore placements.  Events are stamped with the function,
+  iteration and phase in effect when they were emitted, so the stream
+  is self-describing and replayable.
+* **Phase spans** (:class:`PhaseSpan`) — wall-clock begin/duration of
+  each pipeline phase, tagged with the emitting process id; spans from
+  parallel sweep workers combine into one Chrome trace.
+
+The tracer is *opt-in*: every decision site takes ``tracer=None`` and
+guards emission with ``if tracer is not None and tracer.wants_events``,
+so untraced runs pay a single attribute check per site and construct
+no event objects.  :class:`NullTracer` accepts every call and records
+nothing — it exists to measure exactly that guard cost (see
+``benchmarks/test_tracer_overhead.py``) and as a sink for callers that
+want unconditional call sites.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce event detail values to JSON-serializable primitives."""
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        # JSON has no inf/nan literals; strings keep the stream loadable
+        # by any parser (unspillable ranges have infinite spill cost).
+        if value != value or value in (float("inf"), float("-inf")):
+            return repr(value)
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = list(value)
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return [_json_safe(v) for v in items]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+@dataclass
+class DecisionEvent:
+    """One structured allocation decision.
+
+    ``lr`` is the textual rendering of the live range the decision is
+    about (``repr`` of its :class:`~repro.ir.values.VReg`), or None
+    for function-level events.  ``detail`` carries the kind-specific
+    payload with JSON-safe values only.
+    """
+
+    seq: int
+    kind: str
+    function: str
+    iteration: int
+    phase: str
+    lr: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "function": self.function,
+            "iteration": self.iteration,
+            "phase": self.phase,
+        }
+        if self.lr is not None:
+            record["lr"] = self.lr
+        if self.detail:
+            record["detail"] = self.detail
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=False)
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One timed pipeline-phase execution (Chrome trace "X" event)."""
+
+    name: str
+    function: str
+    iteration: int
+    #: Wall-clock start, seconds since the epoch (aligns spans emitted
+    #: by different worker processes on one machine).
+    start: float
+    #: Duration in seconds (measured with ``perf_counter``).
+    duration: float
+    pid: int
+
+
+class Tracer:
+    """Records decision events and phase spans from one allocation run.
+
+    The framework drives the context (:meth:`begin_function`,
+    :meth:`begin_iteration`, :meth:`begin_phase`); decision sites only
+    call :meth:`emit` with their kind and payload, and the tracer
+    stamps the context on.  ``record_events`` / ``record_spans``
+    switch either stream off; a span-only tracer is what the traced
+    sweep uses, so per-decision payloads never cross process
+    boundaries.
+    """
+
+    def __init__(self, record_events: bool = True, record_spans: bool = True):
+        self.events: List[DecisionEvent] = []
+        self.spans: List[PhaseSpan] = []
+        self.wants_events = record_events
+        self.wants_spans = record_spans
+        self._function = ""
+        self._iteration = 0
+        self._phase = ""
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # context, driven by the framework
+    # ------------------------------------------------------------------
+
+    def begin_function(self, name: str) -> None:
+        self._function = name
+        self._iteration = 0
+        self._phase = ""
+
+    def begin_iteration(self, iteration: int) -> None:
+        self._iteration = iteration
+
+    def begin_phase(self, name: str) -> None:
+        self._phase = name
+
+    # ------------------------------------------------------------------
+    # the two streams
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: str, lr: Any = None, **detail: Any) -> None:
+        """Record one decision event in the current context."""
+        if not self.wants_events:
+            return
+        self.events.append(
+            DecisionEvent(
+                seq=self._seq,
+                kind=kind,
+                function=self._function,
+                iteration=self._iteration,
+                phase=self._phase,
+                lr=None if lr is None else repr(lr),
+                detail={k: _json_safe(v) for k, v in detail.items()},
+            )
+        )
+        self._seq += 1
+
+    def add_span(self, name: str, start: float, duration: float) -> None:
+        """Record one completed phase span (``start`` is epoch seconds)."""
+        if not self.wants_spans:
+            return
+        self.spans.append(
+            PhaseSpan(
+                name=name,
+                function=self._function,
+                iteration=self._iteration,
+                start=start,
+                duration=duration,
+                pid=os.getpid(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # queries (the explain layer is built on these)
+    # ------------------------------------------------------------------
+
+    def events_for(
+        self,
+        function: Optional[str] = None,
+        lr: Optional[str] = None,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> Iterator[DecisionEvent]:
+        """Events filtered by function, live range and/or kind."""
+        wanted = None if kinds is None else frozenset(kinds)
+        for event in self.events:
+            if function is not None and event.function != function:
+                continue
+            if lr is not None and event.lr != lr:
+                continue
+            if wanted is not None and event.kind not in wanted:
+                continue
+            yield event
+
+    def functions(self) -> List[str]:
+        """Function names that emitted at least one event, in order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.function, None)
+        return list(seen)
+
+    def write_jsonl(self, path) -> int:
+        """Write the event stream as JSONL; returns the event count."""
+        from repro.obs.export import write_events_jsonl
+
+        return write_events_jsonl(path, self.events)
+
+
+class NullTracer(Tracer):
+    """A tracer that accepts everything and records nothing.
+
+    ``wants_events`` / ``wants_spans`` are False, so guarded decision
+    sites skip even event construction; unguarded calls land in the
+    overridden no-op recorders.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(record_events=False, record_spans=False)
+
+    def emit(self, kind: str, lr: Any = None, **detail: Any) -> None:
+        pass
+
+    def add_span(self, name: str, start: float, duration: float) -> None:
+        pass
+
+
+def wall_clock() -> float:
+    """Epoch-seconds timestamp used for span starts (one place to mock)."""
+    return time.time()

@@ -27,7 +27,10 @@ distinguish the allocators all live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
+    from repro.obs.tracer import Tracer
 
 from repro.ir.values import VReg
 from repro.machine.registers import PhysReg, RegisterFile
@@ -56,6 +59,7 @@ class ColorAssigner:
         options: AllocatorOptions,
         forced_caller: Optional[Set[VReg]] = None,
         callee_cost: float = 0.0,
+        tracer: Optional["Tracer"] = None,
     ):
         self.graph = graph
         self.infos = infos
@@ -64,6 +68,7 @@ class ColorAssigner:
         self.options = options
         self.forced_caller = forced_caller or set()
         self.callee_cost = callee_cost
+        self.tracer = tracer
         #: Live ranges currently occupying each callee-save register.
         self.callee_users: Dict[PhysReg, List[VReg]] = {}
 
@@ -83,13 +88,54 @@ class ColorAssigner:
             for nb in self.graph.neighbors(reg)
             if nb in result.assignment
         }
+        trace = self.tracer is not None and self.tracer.wants_events
         chosen = self._pick_register(reg, taken)
         if chosen is None:
+            if trace:
+                self.tracer.emit(
+                    "assign_spill", reg, neighbors_colored=len(taken)
+                )
             result.spilled.append(reg)
             return
         if self.options.sc and self._spill_instead(reg, chosen):
+            if trace:
+                benefits = self.benefits[reg]
+                reason = (
+                    f"negative benefit_caller ({benefits.caller:g})"
+                    if chosen.is_caller_save
+                    else "first callee-save user with negative "
+                    f"benefit_callee ({benefits.callee:g})"
+                )
+                self.tracer.emit(
+                    "voluntary_spill",
+                    reg,
+                    register=chosen.name,
+                    reason=reason,
+                    benefit_caller=benefits.caller,
+                    benefit_callee=benefits.callee,
+                )
             result.spilled.append(reg)
             return
+        if trace:
+            benefits = self.benefits.get(reg)
+            self.tracer.emit(
+                "assign",
+                reg,
+                register=chosen.name,
+                storage_class="callee-save"
+                if chosen.is_callee_save
+                else "caller-save",
+                benefit_caller=None if benefits is None else benefits.caller,
+                benefit_callee=None if benefits is None else benefits.callee,
+                prefers_callee=self._prefers_callee(reg),
+                forced_caller=reg in self.forced_caller,
+            )
+            if (
+                self.options.sc
+                and self.options.callee_model == "shared"
+                and chosen.is_callee_save
+            ):
+                self.tracer.emit("shared_defer", reg, register=chosen.name)
         result.assignment[reg] = chosen
         if chosen.is_callee_save:
             self.callee_users.setdefault(chosen, []).append(reg)
@@ -138,12 +184,23 @@ class ColorAssigner:
         ``U``: if ``sum(spill_cost(u)) < callee_cost`` then paying the
         save/restore is worse than spilling every occupant.
         """
+        trace = self.tracer is not None and self.tracer.wants_events
         for phys, users in self.callee_users.items():
             live_users = [u for u in users if u in result.assignment]
             if not live_users:
                 continue
             total = sum(self.infos[u].spill_cost for u in live_users)
-            if total < self.callee_cost:
+            unprofitable = total < self.callee_cost
+            if trace:
+                self.tracer.emit(
+                    "shared_resolution",
+                    register=phys.name,
+                    users=[repr(u) for u in live_users],
+                    total_cost=total,
+                    callee_cost=self.callee_cost,
+                    verdict="spill occupants" if unprofitable else "keep",
+                )
+            if unprofitable:
                 for user in live_users:
                     del result.assignment[user]
                     result.spilled.append(user)

@@ -29,7 +29,10 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
+    from repro.obs.tracer import Tracer
 
 from repro.analysis.frequency import BlockWeights
 from repro.ir.values import VReg
@@ -59,17 +62,40 @@ def callee_save_cost(weights: BlockWeights) -> float:
 
 
 def compute_benefits(
-    infos: Dict[VReg, LiveRangeInfo], weights: BlockWeights
+    infos: Dict[VReg, LiveRangeInfo],
+    weights: BlockWeights,
+    tracer: Optional["Tracer"] = None,
 ) -> Dict[VReg, Benefits]:
-    """Benefit table for every live range of a function."""
+    """Benefit table for every live range of a function.
+
+    With a tracer attached, one ``benefits`` event per live range
+    records the inputs (spill cost, caller-save cost, callee-save
+    cost) next to the two derived benefit values — the numbers every
+    later storage-class decision is justified by.
+    """
     callee_cost = callee_save_cost(weights)
-    return {
+    table = {
         reg: Benefits(
             caller=info.spill_cost - info.caller_cost,
             callee=info.spill_cost - callee_cost,
         )
         for reg, info in infos.items()
     }
+    if tracer is not None and tracer.wants_events:
+        for reg, benefits in table.items():
+            info = infos[reg]
+            tracer.emit(
+                "benefits",
+                reg,
+                spill_cost=info.spill_cost,
+                caller_cost=info.caller_cost,
+                callee_cost=callee_cost,
+                benefit_caller=benefits.caller,
+                benefit_callee=benefits.callee,
+                crossed_calls=len(info.crossed_calls),
+                prefers_callee=benefits.prefers_callee,
+            )
+    return table
 
 
 def delta_key(benefits: Benefits) -> float:

@@ -17,7 +17,10 @@ This is exactly the overhead the paper's cost model charges —
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
+    from repro.obs.tracer import Tracer
 
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import Call, Instr, Ret
@@ -35,6 +38,7 @@ def insert_save_restore_code(
     infos: Dict[VReg, LiveRangeInfo],
     slots: SlotAllocator,
     clobber_of: Optional[Dict[str, FrozenSet[PhysReg]]] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> None:
     """Insert caller-save and callee-save code into ``func`` in place.
 
@@ -43,8 +47,8 @@ def insert_save_restore_code(
     range whose register the callee provably leaves alone needs no
     save/restore at that call.
     """
-    _insert_caller_save(func, assignment, infos, slots, clobber_of)
-    _insert_callee_save(func, assignment, slots)
+    _insert_caller_save(func, assignment, infos, slots, clobber_of, tracer)
+    _insert_callee_save(func, assignment, slots, tracer)
 
 
 def _insert_caller_save(
@@ -53,6 +57,7 @@ def _insert_caller_save(
     infos: Dict[VReg, LiveRangeInfo],
     slots: SlotAllocator,
     clobber_of: Optional[Dict[str, FrozenSet[PhysReg]]] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> None:
     # Resolve (block, index) call sites to instruction objects before
     # any insertion shifts the indexes.
@@ -85,6 +90,13 @@ def _insert_caller_save(
             regs = saved_regs.get(instr) if isinstance(instr, Call) else None
             if regs:
                 ordered = sorted(set(regs), key=lambda p: p.name)
+                if tracer is not None and tracer.wants_events:
+                    tracer.emit(
+                        "caller_save_site",
+                        callee=instr.callee,
+                        block=block.name,
+                        registers=[p.name for p in ordered],
+                    )
                 for phys in ordered:
                     rewritten.append(
                         SpillStore(slot_of[phys], phys, OverheadKind.CALLER_SAVE)
@@ -103,6 +115,7 @@ def _insert_callee_save(
     func: Function,
     assignment: Dict[VReg, PhysReg],
     slots: SlotAllocator,
+    tracer: Optional["Tracer"] = None,
 ) -> None:
     used: Set[PhysReg] = {
         phys for phys in assignment.values() if phys.is_callee_save
@@ -112,6 +125,10 @@ def _insert_callee_save(
     ordered: List[Tuple[PhysReg, int]] = [
         (phys, slots.allocate()) for phys in sorted(used, key=lambda p: p.name)
     ]
+    if tracer is not None and tracer.wants_events:
+        tracer.emit(
+            "callee_save", registers=[phys.name for phys, _ in ordered]
+        )
     saves = [
         SpillStore(slot, phys, OverheadKind.CALLEE_SAVE) for phys, slot in ordered
     ]

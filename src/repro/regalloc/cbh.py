@@ -24,7 +24,10 @@ therefore released first, which is exactly the model's intent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
+    from repro.obs.tracer import Tracer
 
 from repro.analysis.frequency import BlockWeights
 from repro.ir.function import Function
@@ -95,11 +98,16 @@ class CBHAssigner(ColorAssigner):
                 for nb in self.graph.neighbors(reg)
                 if nb in result.assignment
             }
+            trace = self.tracer is not None and self.tracer.wants_events
             if phys in taken:
                 # Some ordinary live range got here first: the register
                 # must be saved/restored.  No spill code, no iteration.
+                if trace:
+                    self.tracer.emit("cbh_release", reg, register=phys.name)
                 self.released.append(reg)
             else:
+                if trace:
+                    self.tracer.emit("cbh_reserve", reg, register=phys.name)
                 result.assignment[reg] = phys
             return
         super()._assign_one(reg, result)
@@ -124,6 +132,7 @@ def cbh_order_and_assign(
     regfile: RegisterFile,
     weights: BlockWeights,
     options: AllocatorOptions,
+    tracer: Optional["Tracer"] = None,
 ):
     """Run CBH simplification and assignment; see the framework driver."""
 
@@ -140,17 +149,24 @@ def cbh_order_and_assign(
         optimistic=False,
         spill_metric="cost",
         num_regs=budget,
+        tracer=tracer,
     )
     # A pseudo node spilled at ordering time is simply released: its
     # register becomes assignable and entry/exit code is charged only
     # if the register actually ends up used.
     real_spills = [reg for reg in ordering.spilled if not context.is_pseudo(reg)]
+    if tracer is not None and tracer.wants_events:
+        for reg in ordering.spilled:
+            if context.is_pseudo(reg):
+                tracer.emit(
+                    "cbh_release", reg, register=context.pseudo_for[reg].name
+                )
     ordering = OrderingResult(
         stack=ordering.stack, spilled=real_spills, optimistic=ordering.optimistic
     )
     benefits = compute_benefits(infos, weights)
     assigner = CBHAssigner(
-        context, graph, infos, benefits, regfile, options
+        context, graph, infos, benefits, regfile, options, tracer=tracer
     )
     result = assigner.run(ordering.stack)
     # Drop the pseudo self-assignments: they only served to block

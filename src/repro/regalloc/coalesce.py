@@ -15,7 +15,10 @@ could wedge the allocator.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
+    from repro.obs.tracer import Tracer
 
 from repro.ir.function import Function
 from repro.ir.instructions import Copy
@@ -27,6 +30,7 @@ def coalesce_round(
     func: Function,
     graph: InterferenceGraph,
     infos: Dict[VReg, LiveRangeInfo],
+    tracer: Optional["Tracer"] = None,
 ) -> int:
     """Merge every eligible copy once; returns the number of merges.
 
@@ -54,6 +58,14 @@ def coalesce_round(
                     continue  # no-op copy left over from earlier merges
                 if _eligible(dst, src, graph, infos, params):
                     keep, gone = _pick_representative(dst, src, params)
+                    if tracer is not None and tracer.wants_events:
+                        tracer.emit(
+                            "coalesce",
+                            keep,
+                            kept=repr(keep),
+                            gone=repr(gone),
+                            block=block.name,
+                        )
                     graph.merge(keep, gone)
                     _merge_infos(infos, keep, gone)
                     alias[gone] = keep

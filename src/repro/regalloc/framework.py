@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
+    from repro.obs.tracer import Tracer
 
 from repro.analysis.frequency import BlockWeights
 from repro.analysis.manager import (
@@ -79,6 +82,8 @@ class PipelineStats:
     iterations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Copies eliminated by coalescing across all iterations.
+    coalesces: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -99,20 +104,34 @@ class PipelineStats:
             iterations=self.iterations + other.iterations,
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
+            coalesces=self.coalesces + other.coalesces,
         )
 
 
 class _PhaseTimer:
-    """Accumulate ``perf_counter`` spans into one ``PipelineStats``."""
+    """Accumulate ``perf_counter`` spans into one ``PipelineStats``.
 
-    def __init__(self, stats: PipelineStats) -> None:
+    With a tracer attached, every completed phase is also recorded as
+    a :class:`~repro.obs.tracer.PhaseSpan` (wall-clock start plus
+    measured duration) and the tracer's phase context is kept current
+    so decision events are stamped with the phase they happened in.
+    """
+
+    def __init__(
+        self, stats: PipelineStats, tracer: Optional["Tracer"] = None
+    ) -> None:
         self.stats = stats
+        self.tracer = tracer
         self._phase: Optional[str] = None
         self._started = 0.0
+        self._wall = 0.0
 
     def start(self, phase: str) -> None:
         self.stop()
         self._phase = phase
+        if self.tracer is not None:
+            self.tracer.begin_phase(phase)
+            self._wall = time.time()
         self._started = time.perf_counter()
 
     def stop(self) -> None:
@@ -121,6 +140,8 @@ class _PhaseTimer:
             setattr(
                 self.stats, self._phase, getattr(self.stats, self._phase) + elapsed
             )
+            if self.tracer is not None and self.tracer.wants_spans:
+                self.tracer.add_span(self._phase, self._wall, elapsed)
             self._phase = None
 
 
@@ -175,6 +196,7 @@ def allocate_function(
     reconstruct: bool = False,
     clobber_of: Optional[Dict[str, FrozenSet[PhysReg]]] = None,
     cache: Optional[AnalysisCache] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> FunctionAllocation:
     """Allocate registers for ``func`` in place.
 
@@ -193,12 +215,27 @@ def allocate_function(
     analyses, so CFG-shaped facts survive the whole run.  A private
     cache is used when none is given.  Per-phase wall-clock timings
     land in the returned allocation's ``stats``.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records every decision
+    the run makes as structured events plus per-phase spans; None (the
+    default) traces nothing and costs nothing.
     """
     if cache is None:
         cache = AnalysisCache()
     stats = PipelineStats()
-    timer = _PhaseTimer(stats)
+    timer = _PhaseTimer(stats, tracer)
     hits_before, misses_before = cache.hits, cache.misses
+    if tracer is not None:
+        tracer.begin_function(func.name)
+        if tracer.wants_events:
+            tracer.emit(
+                "function_begin",
+                allocator=options.label,
+                callee_model=options.callee_model,
+                allocator_kind=options.kind,
+                optimistic=options.optimistic,
+                reconstruct=reconstruct,
+            )
 
     timer.start("build")
     build_webs(func)
@@ -212,14 +249,19 @@ def allocate_function(
     infos: Dict[VReg, LiveRangeInfo] = {}
 
     for iteration in range(1, MAX_ITERATIONS + 1):
+        if tracer is not None:
+            tracer.begin_iteration(iteration)
+            if tracer.wants_events:
+                tracer.emit("iteration_begin", n=iteration)
         if graph is None:
             timer.start("build")
             graph, infos = build_interference(func, weights, spill_temps, cache)
             timer.stop()
             while True:
                 timer.start("coalesce")
-                merged = coalesce_round(func, graph, infos)
+                merged = coalesce_round(func, graph, infos, tracer=tracer)
                 timer.stop()
+                stats.coalesces += merged
                 if merged == 0:
                     break
                 cache.invalidate(func, INSTRUCTION_KEYS)
@@ -233,15 +275,15 @@ def allocate_function(
         if options.kind == "cbh":
             context = augment_for_cbh(func, graph, infos, regfile, weights)
             ordering, assignment = cbh_order_and_assign(
-                context, graph, infos, regfile, weights, options
+                context, graph, infos, regfile, weights, options, tracer=tracer
             )
             timer.stop()
         else:
-            benefits = compute_benefits(infos, weights)
+            benefits = compute_benefits(infos, weights, tracer=tracer)
             forced_caller: Set[VReg] = set()
             if options.pr:
                 forced_caller = preference_decisions(
-                    infos, benefits, weights, regfile
+                    infos, benefits, weights, regfile, tracer=tracer
                 )
             if options.kind == "priority":
                 ordering = priority_order(
@@ -256,6 +298,7 @@ def allocate_function(
                     key_fn=key_fn,
                     optimistic=options.optimistic,
                     spill_metric=options.spill_metric,
+                    tracer=tracer,
                 )
             timer.start("assign")
             assigner = ColorAssigner(
@@ -266,6 +309,7 @@ def allocate_function(
                 options,
                 forced_caller=forced_caller,
                 callee_cost=callee_save_cost(weights),
+                tracer=tracer,
             )
             assignment = assigner.run(ordering.stack)
             timer.stop()
@@ -274,13 +318,22 @@ def allocate_function(
         if not spills:
             timer.start("emit")
             insert_save_restore_code(
-                func, assignment.assignment, infos, slots, clobber_of
+                func, assignment.assignment, infos, slots, clobber_of,
+                tracer=tracer,
             )
             cache.invalidate(func, INSTRUCTION_KEYS)
             timer.stop()
             stats.iterations = iteration
             stats.cache_hits = cache.hits - hits_before
             stats.cache_misses = cache.misses - misses_before
+            if tracer is not None and tracer.wants_events:
+                tracer.emit(
+                    "allocation_final",
+                    assigned=len(assignment.assignment),
+                    spilled_total=len(all_spilled),
+                    frame_slots=slots.count,
+                    iterations=iteration,
+                )
             return FunctionAllocation(
                 func=func,
                 assignment=assignment.assignment,
@@ -291,12 +344,21 @@ def allocate_function(
                 stats=stats,
             )
         all_spilled.extend(spills)
+        if tracer is not None and tracer.wants_events:
+            tracer.emit(
+                "spill_round",
+                n=iteration,
+                count=len(spills),
+                spills=[repr(reg) for reg in spills],
+            )
         timer.start("spill_insert")
         temps_before = set(spill_temps)
         remat_values = (
             _rematerializable(func, spills) if options.remat else None
         )
-        insert_spill_code(func, spills, slots, spill_temps, remat_values)
+        insert_spill_code(
+            func, spills, slots, spill_temps, remat_values, tracer=tracer
+        )
         cache.invalidate(func, INSTRUCTION_KEYS)
         if reconstruct and options.kind != "cbh":
             reconstruct_interference(
@@ -365,6 +427,7 @@ def allocate_program(
     reconstruct: bool = False,
     ipra: bool = False,
     cache: Optional[AnalysisCache] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> ProgramAllocation:
     """Clone ``program`` and allocate every function of the clone.
 
@@ -428,6 +491,7 @@ def allocate_program(
             reconstruct=reconstruct,
             clobber_of=summaries if ipra else None,
             cache=cache,
+            tracer=tracer,
         )
         if ipra and name not in summaries:
             own = frozenset(

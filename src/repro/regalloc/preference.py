@@ -16,7 +16,10 @@ whose ``benefit_caller`` is negative).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
+    from repro.obs.tracer import Tracer
 
 from repro.analysis.frequency import BlockWeights
 from repro.ir.function import BasicBlock, Function
@@ -34,6 +37,7 @@ def preference_decisions(
     benefits: Dict[VReg, Benefits],
     weights: BlockWeights,
     regfile: RegisterFile,
+    tracer: Optional["Tracer"] = None,
 ) -> Set[VReg]:
     """Live ranges forced to prefer caller-save registers."""
     # Group call-crossing, callee-preferring live ranges by call site
@@ -63,5 +67,18 @@ def preference_decisions(
         contenders.sort(
             key=lambda reg: (preference_key(infos[reg], benefits[reg]), reg.id)
         )
-        forced.update(contenders[:excess])
+        demoted = contenders[:excess]
+        if tracer is not None and tracer.wants_events:
+            block, index = site
+            for reg in demoted:
+                tracer.emit(
+                    "preference_demote",
+                    reg,
+                    block=block.name,
+                    call_index=index,
+                    penalty=preference_key(infos[reg], benefits[reg]),
+                    contenders=len(contenders),
+                    callee_regs=available,
+                )
+        forced.update(demoted)
     return forced

@@ -22,7 +22,10 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
+    from repro.obs.tracer import Tracer
 
 from repro.ir.values import VReg
 from repro.machine.registers import RegisterFile
@@ -54,13 +57,15 @@ def simplify(
     spill_metric: str = "cost_over_degree",
     num_regs: Optional[Callable[[VReg], int]] = None,
     never_simplify: Optional[Set[VReg]] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> OrderingResult:
     """Run simplification to an empty graph.
 
     ``num_regs`` overrides the per-node register budget (the CBH model
     shrinks it for call-crossing ranges); ``never_simplify`` is unused
     by the standard allocators but lets callers pin nodes so they can
-    only leave the graph through a blocking spill.
+    only leave the graph through a blocking spill.  ``tracer`` records
+    every pop (with its benefit key) and every blocking spill.
     """
     if num_regs is None:
         def num_regs(reg: VReg) -> int:  # noqa: ANN001 - local default
@@ -96,16 +101,34 @@ def simplify(
                 degrees[neighbor] -= 1
                 consider(neighbor)
 
+    trace = tracer is not None and tracer.wants_events
     while remaining:
         while heap:
             _key, _tie, reg = heapq.heappop(heap)
             if reg in remaining and reg in in_heap:
+                if trace:
+                    tracer.emit(
+                        "simplify_pop", reg, degree=degrees[reg], key=_key
+                    )
                 remove(reg)
                 result.stack.append(reg)
                 break
         else:
             # Blocked: every remaining node is constrained (or pinned).
             candidate = _choose_spill(remaining, infos, degrees, spill_metric)
+            if trace:
+                tracer.emit(
+                    "optimistic_push" if optimistic else "ordering_spill",
+                    candidate,
+                    metric=spill_metric,
+                    value=_metric_value(
+                        infos[candidate].spill_cost,
+                        degrees[candidate],
+                        spill_metric,
+                    ),
+                    spill_cost=infos[candidate].spill_cost,
+                    degree=degrees[candidate],
+                )
             remove(candidate)
             if optimistic:
                 result.stack.append(candidate)
@@ -113,6 +136,15 @@ def simplify(
             else:
                 result.spilled.append(candidate)
     return result
+
+
+def _metric_value(cost: float, degree: int, metric: str) -> float:
+    """The spill-candidate ranking value under ``metric``."""
+    if metric == "cost_over_degree":
+        return cost / max(degree, 1)
+    if metric == "cost_over_degree_sq":
+        return cost / max(degree, 1) ** 2
+    return cost
 
 
 def _choose_spill(
@@ -125,13 +157,7 @@ def _choose_spill(
     best: Optional[VReg] = None
     best_value = math.inf
     for reg in remaining:
-        cost = infos[reg].spill_cost
-        if metric == "cost_over_degree":
-            value = cost / max(degrees[reg], 1)
-        elif metric == "cost_over_degree_sq":
-            value = cost / max(degrees[reg], 1) ** 2
-        else:
-            value = cost
+        value = _metric_value(infos[reg].spill_cost, degrees[reg], metric)
         if value < best_value or (
             value == best_value and (best is None or reg.id < best.id)
         ):

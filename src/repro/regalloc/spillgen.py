@@ -13,7 +13,10 @@ stored to its slot by an entry store.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
+    from repro.obs.tracer import Tracer
 
 from repro.ir.function import Function
 from repro.ir.instructions import Const, Instr
@@ -43,6 +46,7 @@ def insert_spill_code(
     slots: SlotAllocator,
     spill_temps: Set[VReg],
     remat_values: Optional[Dict[VReg, float]] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> Dict[VReg, int]:
     """Rewrite ``func`` so every register in ``spills`` lives in memory.
 
@@ -62,6 +66,8 @@ def insert_spill_code(
         for reg in sorted(spill_set, key=lambda r: r.id)
         if reg not in remat_values
     }
+    loads: Dict[VReg, int] = {}
+    stores: Dict[VReg, int] = {}
 
     for block in func.blocks:
         rewritten: List[Instr] = []
@@ -71,6 +77,7 @@ def insert_spill_code(
                 if used in spill_set and used not in use_map:
                     temp = func.new_vreg(used.vtype, _temp_name(used))
                     spill_temps.add(temp)
+                    loads[used] = loads.get(used, 0) + 1
                     if used in remat_values:
                         rewritten.append(Const(temp, remat_values[used]))
                     else:
@@ -80,7 +87,7 @@ def insert_spill_code(
                     use_map[used] = temp
             if use_map:
                 instr.replace_uses(use_map)
-            stores: List[Instr] = []
+            pending_stores: List[Instr] = []
             def_map: Dict[VReg, VReg] = {}
             for defined in instr.defs():
                 if defined in spill_set:
@@ -88,13 +95,14 @@ def insert_spill_code(
                     spill_temps.add(temp)
                     def_map[defined] = temp
                     if defined not in remat_values:
-                        stores.append(
+                        stores[defined] = stores.get(defined, 0) + 1
+                        pending_stores.append(
                             SpillStore(slot_of[defined], temp, OverheadKind.SPILL)
                         )
             if def_map:
                 instr.replace_defs(def_map)
             rewritten.append(instr)
-            rewritten.extend(stores)
+            rewritten.extend(pending_stores)
         block.instrs = rewritten
 
     # A spilled parameter arrives in a register; store it to its slot
@@ -105,9 +113,28 @@ def insert_spill_code(
             entry_stores.append(
                 SpillStore(slot_of[param], param, OverheadKind.SPILL)
             )
+            stores[param] = stores.get(param, 0) + 1
             spill_temps.add(param)
     if entry_stores:
         func.entry.instrs[:0] = entry_stores
+
+    if tracer is not None and tracer.wants_events:
+        for reg in sorted(spill_set, key=lambda r: r.id):
+            if reg in remat_values:
+                tracer.emit(
+                    "remat_code",
+                    reg,
+                    loads=loads.get(reg, 0),
+                    value=remat_values[reg],
+                )
+            else:
+                tracer.emit(
+                    "spill_code",
+                    reg,
+                    slot=slot_of[reg],
+                    loads=loads.get(reg, 0),
+                    stores=stores.get(reg, 0),
+                )
     return slot_of
 
 

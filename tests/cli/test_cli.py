@@ -175,3 +175,121 @@ class TestExperiment:
         assert main(["experiment", "table4", "--timings"]) == 0
         output = capsys.readouterr().out
         assert "Pipeline phase timings" in output
+
+
+class TestAllocateJson:
+    def test_json_report(self, source_file, capsys):
+        import json
+
+        assert main(["allocate", source_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["allocator"] == "chaitin+SC+BS+PR"
+        assert payload["overhead"]["total"] >= 0
+        assert "main" in payload["functions"]
+        assert "metrics" in payload
+
+    def test_json_matches_human_numbers(self, source_file, capsys):
+        import json
+        import re
+
+        assert main(["allocate", source_file]) == 0
+        human = capsys.readouterr().out
+        total = float(re.search(r"overhead: total=(\d+)", human).group(1))
+        assert main(["allocate", source_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert round(payload["overhead"]["total"]) == total
+
+    def test_trace_writes_events(self, source_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "events.jsonl"
+        assert main(["allocate", source_file, "--trace", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "assign" in kinds
+
+
+class TestExplain:
+    def test_explains_a_live_range(self, source_file, capsys):
+        assert main(["explain", source_file, "--lr", "total"]) == 0
+        output = capsys.readouterr().out
+        assert "live range" in output and ":total" in output
+        assert "benefit_caller" in output
+        assert "benefit_callee" in output
+        assert "spill cost" in output
+        assert "decision chain:" in output
+        assert "allocation verifier: passed" in output
+
+    def test_json_mode(self, source_file, capsys):
+        import json
+
+        assert main(["explain", source_file, "--lr", "total", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benefit_caller"] == (
+            payload["spill_cost"] - payload["caller_cost"]
+        )
+        assert payload["verified"] is True
+        assert payload["chain"]
+
+    def test_unknown_live_range_fails(self, source_file, capsys):
+        assert main(["explain", source_file, "--lr", "nope"]) == 1
+        assert "no live range matches" in capsys.readouterr().err
+
+    def test_func_and_allocator_flags(self, source_file, capsys):
+        assert main(
+            [
+                "explain", source_file, "--lr", "x",
+                "--func", "twice", "--allocator", "cbh",
+            ]
+        ) == 0
+        assert "twice()" in capsys.readouterr().out
+
+
+class TestSweepTrace:
+    def test_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.eval import clear_caches
+
+        clear_caches()
+        out = tmp_path / "trace.json"
+        assert main(
+            [
+                "sweep", "compress", "--short",
+                "--allocators", "base",
+                "--jobs", "2", "--trace", str(out),
+            ]
+        ) == 0
+        payload = json.loads(out.read_text())
+        complete = [
+            e for e in payload["traceEvents"] if e.get("ph") == "X"
+        ]
+        assert complete
+        assert {e["name"] for e in complete} >= {"build", "assign"}
+        pids = {e["pid"] for e in complete}
+        assert len(pids) >= 2, "spans must come from several workers"
+
+    def test_json_includes_metrics(self, capsys):
+        import json
+
+        assert main(
+            [
+                "sweep", "compress", "--short",
+                "--allocators", "base", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = payload["metrics"]["counters"]
+        assert "grid.computed" in counters or "grid.cached" in counters
+        gauges = payload["metrics"]["gauges"]
+        assert "results_cache.hits" in gauges
+
+    def test_timings_report_cache_hit_rate(self, capsys):
+        assert main(
+            [
+                "sweep", "compress", "--short",
+                "--allocators", "base", "--timings",
+            ]
+        ) == 0
+        assert "hit rate" in capsys.readouterr().out

@@ -1,0 +1,29 @@
+"""Regenerate the golden decision traces.
+
+Run after an *intentional* change to the allocator's decision order::
+
+    PYTHONPATH=src python tests/obs/regen_golden.py
+
+then review the diff — every changed line is a changed allocator
+decision and should be explainable by the change you made.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from test_tracer import GOLDEN_DIR, GOLDEN_PRESETS, _trace  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for preset in GOLDEN_PRESETS:
+        tracer = _trace(preset)
+        path = GOLDEN_DIR / f"trace_{preset}.jsonl"
+        tracer.write_jsonl(path)
+        print(f"{path}: {len(tracer.events)} event(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""``explain_live_range`` tests: the printed numbers are the model's.
+
+The headline assertion (satellite d): the benefit values an
+explanation reports equal the values ``regalloc/benefits.py`` computes
+from the allocation's own live-range table — the explanation is a
+faithful view of the cost model, not a reimplementation of it.
+"""
+
+import pytest
+
+from repro.analysis.frequency import static_weights
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.obs import ExplainError, explain_live_range
+from repro.regalloc import PRESETS, allocate_program
+from repro.regalloc.benefits import callee_save_cost, compute_benefits
+
+SOURCE = """
+int out[4];
+int helper(int x) { return x * 3 + 1; }
+void main() {
+    int total = 0;
+    int i = 0;
+    while (i < 20) {
+        total = total + helper(i);
+        i = i + 1;
+    }
+    out[0] = total;
+}
+"""
+
+CONFIG = RegisterConfig(6, 4, 2, 2)
+
+
+def _program():
+    return compile_source(SOURCE)
+
+
+def _explain(lr, **kwargs):
+    return explain_live_range(
+        _program(), lr, register_file(CONFIG), PRESETS["improved"](), **kwargs
+    )
+
+
+def test_benefits_match_the_benefit_module():
+    """The explanation's numbers equal ``compute_benefits`` output."""
+    explanation = _explain("total")
+    allocation = allocate_program(
+        _program(), register_file(CONFIG), PRESETS["improved"]()
+    )
+    fa = allocation.functions["main"]
+    reg = next(r for r in fa.infos if r.name == "total")
+    weights = static_weights(fa.func)
+    table = compute_benefits(fa.infos, weights)
+    assert explanation.spill_cost == fa.infos[reg].spill_cost
+    assert explanation.caller_cost == fa.infos[reg].caller_cost
+    assert explanation.callee_cost == callee_save_cost(weights)
+    assert explanation.benefit_caller == table[reg].caller
+    assert explanation.benefit_callee == table[reg].callee
+    assert explanation.prefers_callee == table[reg].prefers_callee
+
+
+def test_benefit_arithmetic_is_the_papers():
+    explanation = _explain("total")
+    assert (
+        explanation.benefit_caller
+        == explanation.spill_cost - explanation.caller_cost
+    )
+    assert (
+        explanation.benefit_callee
+        == explanation.spill_cost - explanation.callee_cost
+    )
+
+
+def test_decision_chain_and_verdict():
+    explanation = _explain("total")
+    assert explanation.function == "main"
+    assert explanation.lr.endswith(":total")
+    assert explanation.chain
+    assert explanation.decision != "no placement decision recorded"
+    assert explanation.verified is True
+
+
+def test_matches_by_name_repr_and_id():
+    by_name = _explain("total")
+    by_repr = _explain(by_name.lr)
+    head = by_name.lr.partition(":")[0]
+    by_id = _explain(head, func_name="main")
+    assert by_name.lr == by_repr.lr == by_id.lr
+    assert by_name.benefit_caller == by_repr.benefit_caller
+
+
+def test_unknown_live_range_lists_candidates():
+    with pytest.raises(ExplainError) as excinfo:
+        _explain("nonexistent")
+    message = str(excinfo.value)
+    assert "nonexistent" in message
+    assert "total" in message  # the hint names the known ranges
+
+
+def test_func_restriction():
+    explanation = _explain("x", func_name="helper")
+    assert explanation.function == "helper"
+    with pytest.raises(ExplainError):
+        _explain("x", func_name="main")
+
+
+def test_spilled_live_range_is_explainable():
+    """A spilled range is absent from the assignment but the event
+    stream still justifies its fate."""
+    program = compile_source(SOURCE)
+    rf = register_file(RegisterConfig(2, 2, 0, 1))
+    allocation = allocate_program(program, rf, PRESETS["base"]())
+    spilled = [
+        reg
+        for fa in allocation.functions.values()
+        for reg in fa.spilled
+    ]
+    assert spilled, "expected the tiny register file to force a spill"
+    target = repr(spilled[0])
+    explanation = explain_live_range(
+        compile_source(SOURCE), target, rf, PRESETS["base"]()
+    )
+    assert "spill" in explanation.decision
+    assert explanation.chain
+
+
+def test_render_contains_the_numbers():
+    explanation = _explain("total")
+    text = explanation.render()
+    assert f"{explanation.benefit_caller:g}" in text
+    assert f"{explanation.benefit_callee:g}" in text
+    assert "decision chain:" in text
+    assert "allocation verifier: passed" in text
+
+
+def test_as_dict_is_json_ready():
+    import json
+
+    json.dumps(_explain("total").as_dict())

@@ -1,0 +1,202 @@
+"""Metrics registry and per-allocation metric derivation tests."""
+
+import pickle
+
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.obs import MetricsRegistry, allocation_metrics
+from repro.obs.metrics import HistogramData, MetricsSnapshot
+from repro.regalloc import PRESETS, allocate_program
+from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+
+SOURCE = """
+int out[4];
+int helper(int x) { return x * 3 + 1; }
+void main() {
+    int total = 0;
+    int i = 0;
+    while (i < 20) {
+        total = total + helper(i);
+        i = i + 1;
+    }
+    out[0] = total;
+}
+"""
+
+
+def _allocate():
+    program = compile_source(SOURCE)
+    return allocate_program(
+        program, register_file(RegisterConfig(4, 3, 1, 1)), PRESETS["improved"]()
+    )
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b")
+        reg.inc("a.b", 2.5)
+        assert reg.counter("a.b") == 3.5
+        assert reg.counter("missing") == 0.0
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", 7.0)
+        assert reg.gauge("g") == 7.0
+        assert reg.gauge("missing") is None
+
+    def test_histograms_summarize(self):
+        reg = MetricsRegistry()
+        for value in (1, 2, 3):
+            reg.observe("h", value)
+        data = reg.histogram("h")
+        assert data.count == 3
+        assert data.minimum == 1 and data.maximum == 3
+        assert data.mean == 2.0
+
+    def test_as_dict_is_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.inc("z.last")
+        reg.inc("a.first")
+        reg.observe("h", 4)
+        rendered = reg.as_dict()
+        assert list(rendered["counters"]) == ["a.first", "z.last"]
+        json.dumps(rendered)
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1)
+        reg.clear()
+        assert reg.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters_and_combines_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2)
+        b.inc("c", 3)
+        a.observe("h", 1)
+        b.observe("h", 9)
+        a.merge(b.snapshot())
+        assert a.counter("c") == 5
+        data = a.histogram("h")
+        assert data.count == 2 and data.minimum == 1 and data.maximum == 9
+
+    def test_merge_order_independent_for_counters(self):
+        parts = []
+        for value in (1, 4, 7):
+            reg = MetricsRegistry()
+            reg.inc("c", value)
+            reg.observe("h", value)
+            parts.append(reg.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in parts:
+            forward.merge(snap)
+        for snap in reversed(parts):
+            backward.merge(snap)
+        assert forward.as_dict() == backward.as_dict()
+
+    def test_snapshot_is_picklable(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.observe("h", 3)
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        assert snap.counters["c"] == 2
+        assert snap.histograms["h"].count == 1
+
+    def test_empty_flag(self):
+        assert MetricsSnapshot().empty
+        assert not MetricsSnapshot(counters={"a": 1.0}).empty
+
+    def test_empty_histogram_merge(self):
+        assert HistogramData().merge(HistogramData()).count == 0
+
+
+class TestAllocationMetrics:
+    def test_counts_match_the_allocation(self):
+        allocation = _allocate()
+        snap = allocation_metrics(allocation)
+        functions = allocation.functions.values()
+        assert snap.counters["regalloc.spilled_ranges"] == sum(
+            len(fa.spilled) for fa in functions
+        )
+        assert snap.counters["regalloc.frame_slots"] == sum(
+            fa.frame_slots for fa in functions
+        )
+        assert snap.histograms["regalloc.iterations"].count == len(
+            allocation.functions
+        )
+
+    def test_overhead_ops_counted_from_final_code(self):
+        allocation = _allocate()
+        snap = allocation_metrics(allocation)
+        loads = stores = caller = callee = 0
+        for fa in allocation.functions.values():
+            for instr in fa.func.instructions():
+                if isinstance(instr, SpillLoad):
+                    if instr.kind is OverheadKind.SPILL:
+                        loads += 1
+                    elif instr.kind is OverheadKind.CALLER_SAVE:
+                        caller += 1
+                    else:
+                        callee += 1
+                elif isinstance(instr, SpillStore):
+                    if instr.kind is OverheadKind.SPILL:
+                        stores += 1
+                    elif instr.kind is OverheadKind.CALLER_SAVE:
+                        caller += 1
+                    else:
+                        callee += 1
+        assert snap.counters["regalloc.spill_loads"] == loads
+        assert snap.counters["regalloc.spill_stores"] == stores
+        assert snap.counters["regalloc.caller_save_ops"] == caller
+        assert snap.counters["regalloc.callee_save_ops"] == callee
+
+    def test_derivation_does_not_touch_global_registry(self):
+        from repro.obs import METRICS
+
+        before = METRICS.as_dict()
+        allocation_metrics(_allocate())
+        assert METRICS.as_dict() == before
+
+
+class TestMeasurementIntegration:
+    def test_measurements_carry_metrics_and_run_grid_merges(self):
+        from repro.eval.runner import ResultCache, run_grid
+        from repro.obs import METRICS
+
+        cache = ResultCache()
+        key = (
+            "compress",
+            PRESETS["base"](),
+            RegisterConfig(6, 4, 2, 2),
+            "dynamic",
+        )
+        before = METRICS.counter("grid.computed")
+        report = run_grid([key], cache=cache)
+        assert report.ok
+        measurement = cache.peek(key)
+        assert not measurement.metrics.empty
+        assert METRICS.counter("grid.computed") == before + 1
+
+    def test_traced_measurement_carries_spans(self):
+        from repro.eval.runner import compute_measurement
+
+        key = (
+            "compress",
+            PRESETS["base"](),
+            RegisterConfig(6, 4, 2, 2),
+            "dynamic",
+        )
+        traced = compute_measurement(*key, trace=True)
+        untraced = compute_measurement(*key)
+        assert traced.spans and not untraced.spans
+        assert traced.overhead == untraced.overhead
+        assert traced.cycles == untraced.cycles

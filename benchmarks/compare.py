@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Gate benchmark runs against the committed baseline.
+
+Usage::
+
+    python benchmarks/compare.py RUN.json [--baseline BENCH_allocator.json]
+                                          [--threshold 0.15]
+
+``RUN.json`` is a fresh ``pytest --benchmark-json`` output covering
+the speed suite (``test_allocator_speed.py``,
+``test_reconstruction_speed.py``, ``test_interp_speed.py``).  Every
+benchmark shared with the baseline is compared by median; the run
+fails (exit code 1) if any median regressed by more than the
+threshold (default 15%).  Benchmarks present in only one of the two
+files are reported but never fail the gate — new benchmarks land
+before their baseline does, and retired ones linger in old baselines.
+
+To refresh the baseline after an intentional performance change::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_allocator_speed.py \
+        benchmarks/test_reconstruction_speed.py \
+        benchmarks/test_interp_speed.py \
+        --benchmark-json=BENCH_allocator.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_allocator.json"
+
+
+def load_medians(path: Path) -> dict:
+    """``{benchmark fullname: median seconds}`` from one JSON report."""
+    with path.open() as handle:
+        report = json.load(handle)
+    return {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in report.get("benchmarks", [])
+    }
+
+
+def compare(
+    baseline: dict, current: dict, threshold: float
+) -> "tuple[list, list]":
+    """Return ``(rows, regressions)`` for the shared benchmarks."""
+    rows = []
+    regressions = []
+    for name in sorted(baseline.keys() & current.keys()):
+        old, new = baseline[name], current[name]
+        ratio = new / old if old else float("inf")
+        regressed = ratio > 1.0 + threshold
+        rows.append((name, old, new, ratio, regressed))
+        if regressed:
+            regressions.append(name)
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when benchmark medians regress past the baseline"
+    )
+    parser.add_argument("run", type=Path, help="fresh pytest-benchmark JSON")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed median regression as a fraction (default: 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.run)
+    rows, regressions = compare(baseline, current, args.threshold)
+
+    if not rows:
+        print("no shared benchmarks between run and baseline", file=sys.stderr)
+        return 1
+
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
+    for name, old, new, ratio, regressed in rows:
+        flag = "  << REGRESSION" if regressed else ""
+        print(
+            f"{name:<{width}}  {old * 1e3:>8.2f}ms  {new * 1e3:>8.2f}ms  "
+            f"{ratio:>5.2f}x{flag}"
+        )
+
+    for name in sorted(baseline.keys() - current.keys()):
+        print(f"note: {name} is in the baseline but not in this run")
+    for name in sorted(current.keys() - baseline.keys()):
+        print(f"note: {name} has no baseline yet")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} over the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(rows)} shared benchmark(s) within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Micro-benchmarks: raw execution speed of both interpreters.
+
+The source interpreter produces every profile and every semantics
+baseline; the machine interpreter executes every allocated program of
+every experiment.  Both are timed on one full gcc run so dispatch
+regressions (the precompiled closure path replacing the isinstance
+chain) show up independently of the allocator.
+"""
+
+import pytest
+
+from repro.machine import RegisterConfig, register_file
+from repro.profile import run_allocated
+from repro.profile.interp import run_program
+from repro.regalloc import AllocatorOptions, allocate_program
+from repro.workloads import compile_workload
+
+CONFIG = RegisterConfig(8, 6, 2, 2)
+
+
+def test_source_interp_speed(benchmark):
+    compiled = compile_workload("gcc")
+
+    def target():
+        return run_program(compiled.program)
+
+    result = benchmark(target)
+    assert result.return_value == compiled.baseline.return_value
+
+
+def test_machine_interp_speed(benchmark):
+    compiled = compile_workload("gcc")
+    allocation = allocate_program(
+        compiled.program,
+        register_file(CONFIG),
+        AllocatorOptions.improved_chaitin(),
+        compiled.dynamic_weights,
+    )
+
+    def target():
+        return run_allocated(allocation)
+
+    result = benchmark(target)
+    assert result.return_value == compiled.baseline.return_value

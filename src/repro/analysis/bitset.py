@@ -1,0 +1,218 @@
+"""Dense integer-bitset kernels for the dataflow analyses.
+
+Python's arbitrary-precision integers make excellent bit vectors: a
+set of virtual registers becomes one ``int`` with bit *i* set when
+register number *i* is a member.  Union is ``|``, difference is
+``& ~``, and the fixed-point loops of liveness reduce to a handful of
+machine-word operations per block instead of hash-set churn per
+element.
+
+The numbering is per-function: :func:`number_vregs` walks a function
+once (parameters first, then every definition and use in block order)
+and assigns each distinct :class:`~repro.ir.values.VReg` a small dense
+index.  The numbering also caches, per instruction, the def/use
+register tuples and their masks — the inner-loop data every backward
+walk needs — and a per-type mask used by the interference builder to
+restrict edges to registers of the same bank.
+
+Iteration over a mask uses the lowest-set-bit trick::
+
+    low = mask & -mask          # isolate lowest set bit
+    index = low.bit_length() - 1
+    mask ^= low                 # clear it
+
+which visits members in ascending index order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Instr
+from repro.ir.types import ValueType
+from repro.ir.values import VReg
+
+try:  # Python >= 3.10
+    _bit_count = int.bit_count
+
+    def popcount(mask: int) -> int:
+        """Number of set bits in ``mask``."""
+        return _bit_count(mask)
+
+except AttributeError:  # pragma: no cover - exercised on 3.9 in CI
+
+    def popcount(mask: int) -> int:
+        """Number of set bits in ``mask`` (3.9 fallback)."""
+        return bin(mask).count("1")
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class VRegNumbering:
+    """Dense per-function numbering of virtual registers.
+
+    ``regs[i]`` is the register with index ``i`` and ``index[reg]``
+    its inverse.  ``instr_info[instr]`` caches
+    ``(defs, def_mask, uses, use_mask)`` for every instruction seen
+    during numbering, and ``type_masks[vtype]`` is the mask of all
+    registers of one value type (one register bank).
+    """
+
+    __slots__ = ("regs", "index", "instr_info", "type_masks")
+
+    def __init__(self) -> None:
+        self.regs: List[VReg] = []
+        self.index: Dict[VReg, int] = {}
+        self.instr_info: Dict[
+            Instr, Tuple[Tuple[VReg, ...], int, Tuple[VReg, ...], int]
+        ] = {}
+        self.type_masks: Dict[ValueType, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.regs)
+
+    def _number(self, reg: VReg) -> int:
+        idx = self.index.get(reg)
+        if idx is None:
+            idx = len(self.regs)
+            self.index[reg] = idx
+            self.regs.append(reg)
+            self.type_masks[reg.vtype] = self.type_masks.get(
+                reg.vtype, 0
+            ) | (1 << idx)
+        return idx
+
+    def bit(self, reg: VReg) -> int:
+        """The single-bit mask of ``reg``."""
+        return 1 << self.index[reg]
+
+    def mask_of(self, regs) -> int:
+        """The mask with every register of ``regs`` set."""
+        mask = 0
+        index = self.index
+        for reg in regs:
+            mask |= 1 << index[reg]
+        return mask
+
+    def set_of(self, mask: int) -> Set[VReg]:
+        """Materialize ``mask`` as a plain set of registers."""
+        regs = self.regs
+        out: Set[VReg] = set()
+        while mask:
+            low = mask & -mask
+            out.add(regs[low.bit_length() - 1])
+            mask ^= low
+        return out
+
+    def frozenset_of(self, mask: int) -> "frozenset[VReg]":
+        """Materialize ``mask`` as a frozenset of registers."""
+        regs = self.regs
+        return frozenset(
+            regs[i] for i in iter_bits(mask)
+        )
+
+
+def number_vregs(
+    func: Function, blocks: Optional[List[BasicBlock]] = None
+) -> VRegNumbering:
+    """Number every register of ``func``: parameters, then each
+    definition and use in block/instruction order over ``blocks``
+    (the function's blocks by default)."""
+    numbering = VRegNumbering()
+    for param in func.params:
+        numbering._number(param)
+    if blocks is None:
+        blocks = func.blocks
+    # The numbering loop is inlined (rather than calling ``_number``
+    # per occurrence): it runs once per def/use in the function on
+    # every liveness recomputation.
+    instr_info = numbering.instr_info
+    index = numbering.index
+    regs = numbering.regs
+    type_masks = numbering.type_masks
+    index_get = index.get
+    for block in blocks:
+        for instr in block.instrs:
+            defs = instr.defs()
+            uses = instr.uses()
+            dmask = 0
+            for reg in defs:
+                idx = index_get(reg)
+                if idx is None:
+                    idx = len(regs)
+                    index[reg] = idx
+                    regs.append(reg)
+                    type_masks[reg.vtype] = type_masks.get(
+                        reg.vtype, 0
+                    ) | (1 << idx)
+                dmask |= 1 << idx
+            umask = 0
+            for reg in uses:
+                idx = index_get(reg)
+                if idx is None:
+                    idx = len(regs)
+                    index[reg] = idx
+                    regs.append(reg)
+                    type_masks[reg.vtype] = type_masks.get(
+                        reg.vtype, 0
+                    ) | (1 << idx)
+                umask |= 1 << idx
+            instr_info[instr] = (defs, dmask, uses, umask)
+    return numbering
+
+
+def liveness_fixed_point(
+    blocks: List[BasicBlock], numbering: VRegNumbering
+) -> Tuple[Dict[BasicBlock, int], Dict[BasicBlock, int]]:
+    """The classic backward liveness fixed point over bit vectors.
+
+    ``blocks`` must be a reverse postorder (iteration runs in
+    postorder for fast convergence).  Returns ``(live_in, live_out)``
+    masks per block.
+    """
+    instr_info = numbering.instr_info
+    n = len(blocks)
+    block_idx = {b: i for i, b in enumerate(blocks)}
+    use_masks = [0] * n
+    def_masks = [0] * n
+    for bi, block in enumerate(blocks):
+        uses = 0
+        defs = 0
+        for instr in block.instrs:
+            _, dmask, _, umask = instr_info[instr]
+            uses |= umask & ~defs
+            defs |= dmask
+        use_masks[bi] = uses
+        def_masks[bi] = defs
+
+    # Successor index lists, hoisted out of the iteration loop.
+    succs = [
+        [block_idx[s] for s in block.successors()] for block in blocks
+    ]
+
+    live_in = [0] * n
+    live_out = [0] * n
+    order = range(n - 1, -1, -1)
+    changed = True
+    while changed:
+        changed = False
+        for bi in order:
+            out = 0
+            for si in succs[bi]:
+                out |= live_in[si]
+            new_in = use_masks[bi] | (out & ~def_masks[bi])
+            if out != live_out[bi] or new_in != live_in[bi]:
+                live_out[bi] = out
+                live_in[bi] = new_in
+                changed = True
+    return (
+        {b: live_in[i] for i, b in enumerate(blocks)},
+        {b: live_out[i] for i, b in enumerate(blocks)},
+    )

@@ -3,25 +3,78 @@
 Produces per-block live-in / live-out sets over virtual registers.
 The interference-graph builder walks each block backwards from the
 live-out set, which is the classic Chaitin construction.
+
+The kernel runs on dense integer bitsets (see
+:mod:`repro.analysis.bitset`): registers are numbered per function and
+the per-block live sets are plain ``int`` masks.  The historical
+frozenset API (``live_in``/``live_out`` dictionaries, the
+``live_across`` walk) is preserved as a lazily materialized view, so
+callers that want sets still get sets while the hot paths —
+interference construction, reconstruction — read the masks directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
+from repro.analysis.bitset import (
+    VRegNumbering,
+    liveness_fixed_point,
+    number_vregs,
+)
 from repro.analysis.cfg import reverse_postorder
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import Instr
 from repro.ir.values import VReg
 
 
-@dataclass
 class LivenessInfo:
-    """Result of liveness analysis for one function."""
+    """Result of liveness analysis for one function.
 
-    live_in: Dict[BasicBlock, FrozenSet[VReg]]
-    live_out: Dict[BasicBlock, FrozenSet[VReg]]
+    ``numbering`` is the dense register numbering the masks are
+    expressed in; ``live_in_bits``/``live_out_bits`` are the raw
+    per-block masks.  ``live_in``/``live_out`` materialize the classic
+    frozenset dictionaries on first access.
+    """
+
+    __slots__ = (
+        "numbering",
+        "live_in_bits",
+        "live_out_bits",
+        "_live_in",
+        "_live_out",
+    )
+
+    def __init__(
+        self,
+        numbering: VRegNumbering,
+        live_in_bits: Dict[BasicBlock, int],
+        live_out_bits: Dict[BasicBlock, int],
+    ) -> None:
+        self.numbering = numbering
+        self.live_in_bits = live_in_bits
+        self.live_out_bits = live_out_bits
+        self._live_in: Optional[Dict[BasicBlock, FrozenSet[VReg]]] = None
+        self._live_out: Optional[Dict[BasicBlock, FrozenSet[VReg]]] = None
+
+    @property
+    def live_in(self) -> Dict[BasicBlock, FrozenSet[VReg]]:
+        if self._live_in is None:
+            freeze = self.numbering.frozenset_of
+            self._live_in = {
+                block: freeze(mask) for block, mask in self.live_in_bits.items()
+            }
+        return self._live_in
+
+    @property
+    def live_out(self) -> Dict[BasicBlock, FrozenSet[VReg]]:
+        if self._live_out is None:
+            freeze = self.numbering.frozenset_of
+            self._live_out = {
+                block: freeze(mask)
+                for block, mask in self.live_out_bits.items()
+            }
+        return self._live_out
 
     def live_across(self, block: BasicBlock) -> Iterator[Tuple[Instr, Set[VReg]]]:
         """Yield ``(instr, live_after)`` pairs walking ``block`` backwards.
@@ -30,11 +83,23 @@ class LivenessInfo:
         each instruction; mutating the yielded set is not allowed (a
         fresh copy is yielded each step).
         """
-        live: Set[VReg] = set(self.live_out[block])
+        numbering = self.numbering
+        instr_info = numbering.instr_info
+        materialize = numbering.set_of
+        live = self.live_out_bits[block]
         for instr in reversed(block.instrs):
-            yield instr, set(live)
-            live.difference_update(instr.defs())
-            live.update(instr.uses())
+            yield instr, materialize(live)
+            _, dmask, _, umask = instr_info[instr]
+            live = (live & ~dmask) | umask
+
+    def live_across_bits(self, block: BasicBlock) -> Iterator[Tuple[Instr, int]]:
+        """Like :meth:`live_across` but yields raw masks (hot path)."""
+        instr_info = self.numbering.instr_info
+        live = self.live_out_bits[block]
+        for instr in reversed(block.instrs):
+            yield instr, live
+            _, dmask, _, umask = instr_info[instr]
+            live = (live & ~dmask) | umask
 
 
 def compute_liveness(
@@ -45,6 +110,24 @@ def compute_liveness(
     ``blocks`` lets a caller (the analysis manager) supply an already
     computed reverse postorder; instruction-level rewrites invalidate
     liveness but not the block order, so the order is reusable.
+    """
+    if blocks is None:
+        blocks = reverse_postorder(func)
+    numbering = number_vregs(func, blocks)
+    live_in_bits, live_out_bits = liveness_fixed_point(blocks, numbering)
+    return LivenessInfo(numbering, live_in_bits, live_out_bits)
+
+
+def compute_liveness_sets(
+    func: Function, blocks: Optional[List[BasicBlock]] = None
+) -> Tuple[
+    Dict[BasicBlock, FrozenSet[VReg]], Dict[BasicBlock, FrozenSet[VReg]]
+]:
+    """Reference kernel: the original set-of-objects fixed point.
+
+    Kept verbatim as the differential-testing oracle for the bitset
+    kernel; returns plain ``(live_in, live_out)`` frozenset
+    dictionaries.  Not used by the allocation pipeline.
     """
     if blocks is None:
         blocks = reverse_postorder(func)
@@ -79,7 +162,7 @@ def compute_liveness(
                 live_in[block] = new_in
                 changed = True
 
-    return LivenessInfo(
-        live_in={b: frozenset(s) for b, s in live_in.items()},
-        live_out={b: frozenset(s) for b, s in live_out.items()},
+    return (
+        {b: frozenset(s) for b, s in live_in.items()},
+        {b: frozenset(s) for b, s in live_out.items()},
     )

@@ -8,12 +8,17 @@ lives in :mod:`repro.regalloc.liverange`.
 A definition site is identified as ``(block, index)`` where ``index``
 is the instruction's position in the block; function parameters are
 modelled as definitions at the virtual site ``(entry, -1)``.
+
+The kernel numbers definition sites densely and runs the classic
+forward may-analysis (``OUT = GEN | (IN & ~KILL)``) on integer
+bitsets, one mask per block, instead of one set of sites per
+``(block, register)`` pair.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
 
 from repro.analysis.cfg import reverse_postorder
 from repro.ir.function import BasicBlock, Function
@@ -33,62 +38,164 @@ class ReachingDefs:
     ``def_sites``  — every definition site of every register.
     ``use_chains`` — for every use site and register, the definition
     sites that reach it.
+
+    The remaining fields are the kernel's dense site numbering, kept
+    so web construction can run its union-find over small integers
+    instead of ``(block, index, reg)`` tuples: ``site_ids`` maps each
+    definition site (including the parameter pseudo-sites) to its
+    index, ``def_site_ids`` parallels ``def_sites``, ``use_masks``
+    holds each use's reaching sites as a bitset, and ``num_sites`` is
+    the total site count.
     """
 
     def_sites: Dict[VReg, List[DefSite]]
     use_chains: Dict[Tuple[UseSite, VReg], FrozenSet[DefSite]]
+    site_ids: Dict[Tuple[BasicBlock, int, VReg], int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    def_site_ids: Dict[VReg, List[int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    use_masks: Dict[Tuple[BasicBlock, int, VReg], int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    num_sites: int = field(default=0, repr=False, compare=False)
 
 
 def compute_reaching_defs(func: Function) -> ReachingDefs:
     """Standard forward may-analysis over definition sites."""
     blocks = reverse_postorder(func)
 
+    # Number every definition site; parameters claim the first
+    # indices so a register's pseudo-site sorts before its real defs.
+    # (``def_sites`` keeps the historical key order: registers appear
+    # when first defined, parameters without a real definition last —
+    # web construction iterates it to mint fresh registers, so the
+    # order is id-assignment-visible.)
     def_sites: Dict[VReg, List[DefSite]] = {}
-    # Per-block: the final definition site of each register defined in
-    # the block (gen after kill), used for the block-level dataflow.
-    gen: Dict[BasicBlock, Dict[VReg, DefSite]] = {}
+    def_site_ids: Dict[VReg, List[int]] = {}
+    sites: List[DefSite] = []
+    #: All sites defining one register, as a mask (the KILL set).
+    reg_sites: Dict[VReg, int] = {}
+    #: Just the parameter pseudo-sites (what reaches function entry).
+    entry_in = 0
+    site_ids: Dict[Tuple[BasicBlock, int, VReg], int] = {}
+    for param in func.params:
+        site_ids[(func.entry, -1, param)] = len(sites)
+        reg_sites[param] = 1 << len(sites)
+        entry_in |= 1 << len(sites)
+        sites.append((func.entry, -1))
+    # One walk over the instructions both numbers the definition
+    # sites and caches, per block, each instruction's uses and
+    # (register, site) definition pairs — the later passes replay the
+    # cache instead of re-dispatching ``defs()``/``uses()``.
+    block_ops: List[
+        List[Tuple[int, Tuple[VReg, ...], Tuple[Tuple[VReg, int], ...]]]
+    ] = []
     for block in blocks:
-        last: Dict[VReg, DefSite] = {}
+        ops: List[
+            Tuple[int, Tuple[VReg, ...], Tuple[Tuple[VReg, int], ...]]
+        ] = []
         for i, instr in enumerate(block.instrs):
-            for reg in instr.defs():
-                site = (block, i)
-                def_sites.setdefault(reg, []).append(site)
-                last[reg] = site
-        gen[block] = last
+            uses = instr.uses()
+            defs = instr.defs()
+            def_pairs: Tuple[Tuple[VReg, int], ...] = ()
+            if defs:
+                pairs = []
+                for reg in defs:
+                    sid = len(sites)
+                    site_ids[(block, i, reg)] = sid
+                    reg_sites[reg] = reg_sites.get(reg, 0) | (1 << sid)
+                    def_sites.setdefault(reg, []).append((block, i))
+                    def_site_ids.setdefault(reg, []).append(sid)
+                    sites.append((block, i))
+                    pairs.append((reg, sid))
+                def_pairs = tuple(pairs)
+            if uses or def_pairs:
+                ops.append((i, uses, def_pairs))
+        block_ops.append(ops)
     for param in func.params:
         def_sites.setdefault(param, []).insert(0, (func.entry, -1))
+        def_site_ids.setdefault(param, []).insert(
+            0, site_ids[(func.entry, -1, param)]
+        )
 
-    # in_defs[b][reg] = set of def sites of reg reaching entry of b.
-    in_defs: Dict[BasicBlock, Dict[VReg, Set[DefSite]]] = {b: {} for b in blocks}
-    for param in func.params:
-        in_defs[func.entry].setdefault(param, set()).add((func.entry, -1))
+    # Per-block GEN (downward-exposed def sites) and KILL (every site
+    # of every register the block defines).
+    nblocks = len(blocks)
+    gen = [0] * nblocks
+    kill = [0] * nblocks
+    for bi in range(nblocks):
+        g = 0
+        k = 0
+        for _, _, def_pairs in block_ops[bi]:
+            for reg, sid in def_pairs:
+                mask = reg_sites[reg]
+                g = (g & ~mask) | (1 << sid)
+                k |= mask
+        gen[bi] = g
+        kill[bi] = k
 
+    block_idx = {b: i for i, b in enumerate(blocks)}
+    preds: List[List[int]] = [[] for _ in range(nblocks)]
+    for bi, block in enumerate(blocks):
+        for succ in block.successors():
+            si = block_idx.get(succ)
+            if si is not None:
+                preds[si].append(bi)
+
+    entry_idx = block_idx[func.entry]
+    in_defs = [0] * nblocks
+    out_defs = [0] * nblocks
+    in_defs[entry_idx] = entry_in
     changed = True
     while changed:
         changed = False
-        for block in blocks:
-            out: Dict[VReg, Set[DefSite]] = {
-                reg: set(sites) for reg, sites in in_defs[block].items()
-            }
-            for reg, site in gen[block].items():
-                out[reg] = {site}
-            for succ in block.successors():
-                succ_in = in_defs[succ]
-                for reg, sites in out.items():
-                    have = succ_in.setdefault(reg, set())
-                    if not sites <= have:
-                        have |= sites
-                        changed = True
+        for bi in range(nblocks):
+            incoming = entry_in if bi == entry_idx else 0
+            for pi in preds[bi]:
+                incoming |= out_defs[pi]
+            out = gen[bi] | (incoming & ~kill[bi])
+            if incoming != in_defs[bi] or out != out_defs[bi]:
+                in_defs[bi] = incoming
+                out_defs[bi] = out
+                changed = True
+
+    # Materialized chains are cached per mask: distinct uses reached
+    # by the same definitions (the common case) share one frozenset.
+    chain_cache: Dict[int, FrozenSet[DefSite]] = {}
+
+    def materialize(mask: int) -> FrozenSet[DefSite]:
+        cached = chain_cache.get(mask)
+        if cached is not None:
+            return cached
+        chain = []
+        rest = mask
+        while rest:
+            low = rest & -rest
+            chain.append(sites[low.bit_length() - 1])
+            rest ^= low
+        result = frozenset(chain)
+        chain_cache[mask] = result
+        return result
 
     use_chains: Dict[Tuple[UseSite, VReg], FrozenSet[DefSite]] = {}
-    for block in blocks:
-        current: Dict[VReg, Set[DefSite]] = {
-            reg: set(sites) for reg, sites in in_defs[block].items()
-        }
-        for i, instr in enumerate(block.instrs):
-            for reg in instr.uses():
-                use_chains[((block, i), reg)] = frozenset(current.get(reg, ()))
-            for reg in instr.defs():
-                current[reg] = {(block, i)}
+    use_masks: Dict[Tuple[BasicBlock, int, VReg], int] = {}
+    for bi, block in enumerate(blocks):
+        current = in_defs[bi]
+        for i, uses, def_pairs in block_ops[bi]:
+            for reg in uses:
+                mask = current & reg_sites.get(reg, 0)
+                use_masks[(block, i, reg)] = mask
+                use_chains[((block, i), reg)] = materialize(mask)
+            for reg, sid in def_pairs:
+                current = (current & ~reg_sites[reg]) | (1 << sid)
 
-    return ReachingDefs(def_sites=def_sites, use_chains=use_chains)
+    return ReachingDefs(
+        def_sites=def_sites,
+        use_chains=use_chains,
+        site_ids=site_ids,
+        def_site_ids=def_site_ids,
+        use_masks=use_masks,
+        num_sites=len(sites),
+    )

@@ -217,12 +217,15 @@ def cmd_workloads(args) -> int:
 def _render_timings(keys: Sequence, title: str) -> Optional[str]:
     """Aggregate cached pipeline timings for ``keys`` into a table.
 
-    One row per workload (phase seconds, iterations, analysis-cache
-    traffic) plus a TOTAL row; returns None when nothing for ``keys``
-    is in the measurement cache yet.
+    One row per workload (phase seconds, sub-phase splits, iterations,
+    analysis-cache traffic) plus a TOTAL row; returns None when
+    nothing for ``keys`` is in the measurement cache yet.  Sub-phase
+    columns (prefixed ``·``) are nested inside their parent phase —
+    liveness and interference inside build, simplify inside order —
+    so they do not add to the total.
     """
     from repro.eval.runner import RESULTS
-    from repro.regalloc.framework import PHASES, PipelineStats
+    from repro.regalloc.framework import PHASES, SUB_PHASES, PipelineStats
 
     per_workload = {}
     counted = set()
@@ -242,6 +245,7 @@ def _render_timings(keys: Sequence, title: str) -> Optional[str]:
     header = (
         ["workload", "runs"]
         + list(PHASES)
+        + [f"·{name}" for name in SUB_PHASES]
         + ["total s", "iters", "cache hit", "cache miss"]
     )
     rows = []
@@ -252,6 +256,7 @@ def _render_timings(keys: Sequence, title: str) -> Optional[str]:
         rows.append(
             [workload, str(runs)]
             + [f"{seconds:.4f}" for seconds in stats.phase_seconds().values()]
+            + [f"{seconds:.4f}" for seconds in stats.sub_seconds().values()]
             + [
                 f"{stats.total_seconds:.4f}",
                 str(stats.iterations),
@@ -262,6 +267,7 @@ def _render_timings(keys: Sequence, title: str) -> Optional[str]:
     rows.append(
         ["TOTAL", str(total_runs)]
         + [f"{seconds:.4f}" for seconds in total.phase_seconds().values()]
+        + [f"{seconds:.4f}" for seconds in total.sub_seconds().values()]
         + [
             f"{total.total_seconds:.4f}",
             str(total.iterations),

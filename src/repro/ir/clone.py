@@ -89,31 +89,49 @@ def clone_program(program: Program) -> ProgramClone:
     return ProgramClone(program=new_program, functions=clones)
 
 
+def _clone_call(instr: Call, map_reg, block_map) -> Call:
+    dst = map_reg(instr.dst) if instr.dst is not None else None
+    return Call(dst, instr.callee, [map_reg(a) for a in instr.args])
+
+
+def _clone_ret(instr: Ret, map_reg, block_map) -> Ret:
+    value = map_reg(instr.value) if instr.value is not None else None
+    return Ret(value)
+
+
+#: Per-type clone constructors; dispatching on ``type(instr)`` once
+#: replaces the former isinstance chain in the per-instruction loop.
+_CLONERS = {
+    Const: lambda i, map_reg, block_map: Const(map_reg(i.dst), i.value),
+    BinOp: lambda i, map_reg, block_map: BinOp(
+        i.op, map_reg(i.dst), map_reg(i.lhs), map_reg(i.rhs)
+    ),
+    UnaryOp: lambda i, map_reg, block_map: UnaryOp(
+        i.op, map_reg(i.dst), map_reg(i.src)
+    ),
+    Copy: lambda i, map_reg, block_map: Copy(map_reg(i.dst), map_reg(i.src)),
+    Load: lambda i, map_reg, block_map: Load(
+        map_reg(i.dst), i.array, map_reg(i.index)
+    ),
+    Store: lambda i, map_reg, block_map: Store(
+        i.array, map_reg(i.index), map_reg(i.value)
+    ),
+    Call: _clone_call,
+    Branch: lambda i, map_reg, block_map: Branch(
+        map_reg(i.cond), block_map[i.then_block], block_map[i.else_block]
+    ),
+    Jump: lambda i, map_reg, block_map: Jump(block_map[i.target]),
+    Ret: _clone_ret,
+}
+
+
 def _clone_instr(instr: Instr, map_reg, block_map) -> Instr:
-    if isinstance(instr, Const):
-        return Const(map_reg(instr.dst), instr.value)
-    if isinstance(instr, BinOp):
-        return BinOp(instr.op, map_reg(instr.dst), map_reg(instr.lhs), map_reg(instr.rhs))
-    if isinstance(instr, UnaryOp):
-        return UnaryOp(instr.op, map_reg(instr.dst), map_reg(instr.src))
-    if isinstance(instr, Copy):
-        return Copy(map_reg(instr.dst), map_reg(instr.src))
-    if isinstance(instr, Load):
-        return Load(map_reg(instr.dst), instr.array, map_reg(instr.index))
-    if isinstance(instr, Store):
-        return Store(instr.array, map_reg(instr.index), map_reg(instr.value))
-    if isinstance(instr, Call):
-        dst = map_reg(instr.dst) if instr.dst is not None else None
-        return Call(dst, instr.callee, [map_reg(a) for a in instr.args])
-    if isinstance(instr, Branch):
-        return Branch(
-            map_reg(instr.cond),
-            block_map[instr.then_block],
-            block_map[instr.else_block],
-        )
-    if isinstance(instr, Jump):
-        return Jump(block_map[instr.target])
-    if isinstance(instr, Ret):
-        value = map_reg(instr.value) if instr.value is not None else None
-        return Ret(value)
-    raise TypeError(f"cannot clone {instr!r}")
+    cloner = _CLONERS.get(type(instr))
+    if cloner is None:
+        # Exact-type lookup missed: accept subclasses of the known
+        # instruction kinds before giving up.
+        for kind, fallback in _CLONERS.items():
+            if isinstance(instr, kind):
+                return fallback(instr, map_reg, block_map)
+        raise TypeError(f"cannot clone {instr!r}")
+    return cloner(instr, map_reg, block_map)

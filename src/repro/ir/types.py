@@ -17,6 +17,11 @@ class ValueType(enum.Enum):
     INT = "int"
     FLOAT = "float"
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # Enum default (which hashes the member name in Python) — and value
+    # types key dictionaries in the allocator's hottest loops.
+    __hash__ = object.__hash__
+
     @property
     def is_int(self) -> bool:
         return self is ValueType.INT

@@ -19,8 +19,10 @@ class VReg:
     """A virtual register.
 
     Virtual registers are unique per function and are compared by
-    identity.  ``name`` is a debugging aid (the source variable the
-    register was created for, when there is one).
+    identity — the inherited ``object`` equality and hash express
+    exactly that, at C speed (registers are dictionary keys in every
+    hot analysis loop).  ``name`` is a debugging aid (the source
+    variable the register was created for, when there is one).
     """
 
     __slots__ = ("id", "vtype", "name")
@@ -35,12 +37,6 @@ class VReg:
         if self.name:
             return f"{base}{self.id}:{self.name}"
         return f"{base}{self.id}"
-
-    def __hash__(self) -> int:
-        return hash(id(self))
-
-    def __eq__(self, other: object) -> bool:
-        return self is other
 
 
 class GlobalArray:

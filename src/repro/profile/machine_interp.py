@@ -16,14 +16,27 @@ spill slots, with the calling convention enforced the hard way:
 Tests assert that the allocated program computes the same global-array
 state and ``main`` return value as the original IR, and that the
 number of overhead operations executed matches the analytic count.
+
+Like the source interpreter, execution is precompiled: on a function's
+first call every instruction becomes a closure with its registers
+resolved to physical registers (the virtual-to-physical ``assignment``
+lookup happens once, at compile time), its poison-check error message
+prebuilt, and — for calls — the clobber set hoisted to a tuple.  A
+block compiles to the closure list of its instructions *up to and
+including the first control transfer* (the former dispatch loop never
+executed past one).  The entry block gets two variants: the first
+entry skips the callee-save saves of the prologue (they run against
+the caller's register values before the parameters land), while loop
+back edges into the entry re-execute them as ordinary instructions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.ir.instructions import (
+    BinaryOpcode,
     BinOp,
     Branch,
     Call,
@@ -34,6 +47,7 @@ from repro.ir.instructions import (
     Ret,
     Store,
     UnaryOp,
+    UnaryOpcode,
 )
 from repro.ir.types import saturating_f2i
 from repro.ir.values import VReg
@@ -68,6 +82,83 @@ class MachineExecution:
     instructions_executed: int = 0
 
 
+class _Return:
+    """Control-flow result: the enclosing function returns ``value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class _Frame:
+    """Per-call mutable state the instruction closures act on."""
+
+    __slots__ = ("slots", "captured")
+
+    def __init__(self):
+        #: Spill slots; missing keys are poisoned.
+        self.slots: Dict[int, object] = {}
+        #: Return value captured by the epilogue's first callee-save
+        #: restore (see ``_compile``).
+        self.captured = None
+
+
+class _CompiledBlock:
+    """A block's executable segment: closures up to the first control
+    transfer (instructions past one were never executed)."""
+
+    __slots__ = ("name", "count", "ops")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.ops: List[Callable] = []
+
+
+class _CompiledFunction:
+    __slots__ = ("func", "assignment", "prologue", "entry", "reentry")
+
+    def __init__(self, func, assignment, prologue, entry, reentry):
+        self.func = func
+        self.assignment = assignment
+        #: The callee-save SpillStores at the head of the entry block.
+        self.prologue = prologue
+        #: Entry variant that skips the prologue stores (first entry).
+        self.entry = entry
+        #: Full entry variant used by branches back to the entry.
+        self.reentry = reentry
+
+
+_BINOP_EXPR = {
+    BinaryOpcode.ADD: lambda lhs, rhs: lhs + rhs,
+    BinaryOpcode.SUB: lambda lhs, rhs: lhs - rhs,
+    BinaryOpcode.MUL: lambda lhs, rhs: lhs * rhs,
+    BinaryOpcode.MOD: _c_mod,
+    BinaryOpcode.AND: lambda lhs, rhs: lhs & rhs,
+    BinaryOpcode.OR: lambda lhs, rhs: lhs | rhs,
+    BinaryOpcode.EQ: lambda lhs, rhs: int(lhs == rhs),
+    BinaryOpcode.NE: lambda lhs, rhs: int(lhs != rhs),
+    BinaryOpcode.LT: lambda lhs, rhs: int(lhs < rhs),
+    BinaryOpcode.LE: lambda lhs, rhs: int(lhs <= rhs),
+    BinaryOpcode.GT: lambda lhs, rhs: int(lhs > rhs),
+    BinaryOpcode.GE: lambda lhs, rhs: int(lhs >= rhs),
+}
+
+_UNOP_EXPR = {
+    UnaryOpcode.NEG: lambda value: -value,
+    UnaryOpcode.NOT: lambda value: int(value == 0),
+    UnaryOpcode.I2F: float,
+    UnaryOpcode.F2I: saturating_f2i,
+}
+
+
+def _float_div(lhs, rhs):
+    if rhs == 0.0:
+        raise MachineError("float division by zero")
+    return lhs / rhs
+
+
 class MachineInterpreter:
     def __init__(self, allocation: ProgramAllocation, fuel: int = 100_000_000):
         self.allocation = allocation
@@ -83,52 +174,49 @@ class MachineInterpreter:
         }
         self.overhead: Dict[OverheadKind, int] = {kind: 0 for kind in OverheadKind}
         self.shuffles = 0
+        self._compiled: Dict[str, _CompiledFunction] = {}
 
     def run(self, func_name: str = "main", args: Optional[List] = None):
         return self._call(func_name, list(args or []))
 
     # ------------------------------------------------------------------
 
-    def _call(self, func_name: str, args: List):
+    def _compile(self, func_name: str) -> _CompiledFunction:
         fa = self.allocation.functions[func_name]
         func = fa.func
         assignment = fa.assignment
-        slots: Dict[int, object] = {}
+        regs = self.regs
+        overhead = self.overhead
+        globals_dict = self.globals
 
-        def read(reg: VReg):
-            value = self.regs[assignment[reg]]
-            if value is POISON:
-                raise MachineError(
-                    f"{func_name}: read of clobbered register "
-                    f"{assignment[reg]} (live range {reg})"
-                )
-            return value
+        def phys_of(reg):
+            # Spill instructions address registers directly; everything
+            # else goes through the allocation.
+            return assignment[reg] if isinstance(reg, VReg) else reg
 
-        def write(reg: VReg, value) -> None:
-            self.regs[assignment[reg]] = value
+        def reader(reg: VReg):
+            """A poison-checking read closure with a prebuilt message."""
+            phys = assignment[reg]
+            message = (
+                f"{func_name}: read of clobbered register "
+                f"{phys} (live range {reg})"
+            )
 
-        # Prologue: the callee-save saves at the head of the entry
-        # block capture the *caller's* register values, so they run
-        # before the parameters land in their registers.
-        entry = func.entry
-        start = 0
-        for instr in entry.instrs:
-            if isinstance(instr, SpillStore) and instr.kind is OverheadKind.CALLEE_SAVE:
-                slots[instr.slot] = self.regs[instr.src]
-                self.overhead[OverheadKind.CALLEE_SAVE] += 1
-                self.executed += 1
-                start += 1
-            else:
-                break
-        for param, value in zip(func.params, args):
-            write(param, float(value) if param.vtype.is_float else int(value))
+            def read():
+                value = regs[phys]
+                if value is POISON:
+                    raise MachineError(message)
+                return value
 
-        # Epilogue handling: the callee-save restores before a Ret may
-        # overwrite the register holding the return value (on real
-        # hardware the value moves to the caller-save return register
-        # first; our model passes it abstractly).  Capture the value
-        # when the epilogue's first restore executes.
-        epilogue_capture = {}
+            return read
+
+        # The callee-save restores before a Ret may overwrite the
+        # register holding the return value (on real hardware the value
+        # moves to the caller-save return register first; our model
+        # passes it abstractly).  The value is captured when the
+        # epilogue's first restore executes.
+        capture_loads = set()
+        capture_value: Dict[int, VReg] = {}
         for b in func.blocks:
             term = b.instrs[-1] if b.instrs else None
             if isinstance(term, Ret) and term.value is not None:
@@ -145,99 +233,258 @@ class MachineInterpreter:
                     else:
                         break
                 if first is not None:
-                    epilogue_capture[id(first)] = term.value
-        captured = None
+                    capture_loads.add(id(first))
+                    capture_value[id(first)] = term.value
 
-        block = entry
-        index = start
-        while True:
-            if self.executed > self.fuel:
-                raise MachineError("machine fuel exhausted")
-            next_block = None
-            instrs = block.instrs
-            while index < len(instrs):
-                instr = instrs[index]
-                index += 1
-                self.executed += 1
-                if isinstance(instr, SpillLoad):
-                    if id(instr) in epilogue_capture:
-                        captured = read(epilogue_capture[id(instr)])
-                    if instr.slot not in slots:
+        compiled = {block: _CompiledBlock(block.name) for block in func.blocks}
+        # Prologue: leading callee-save stores of the entry block.
+        prologue = []
+        for instr in func.entry.instrs:
+            if isinstance(instr, SpillStore) and instr.kind is OverheadKind.CALLEE_SAVE:
+                prologue.append(instr)
+            else:
+                break
+
+        def compile_instr(instr) -> Callable:
+            kind = type(instr)
+            if kind is SpillLoad:
+                slot = instr.slot
+                okind = instr.kind
+                dst_phys = phys_of(instr.dst)
+                missing = f"{func_name}: reload of unwritten slot {slot}"
+                if id(instr) in capture_loads:
+                    read_ret = reader(capture_value[id(instr)])
+
+                    def run(frame):
+                        frame.captured = read_ret()
+                        slots = frame.slots
+                        if slot not in slots:
+                            raise MachineError(missing)
+                        overhead[okind] += 1
+                        regs[dst_phys] = slots[slot]
+                else:
+                    def run(frame):
+                        slots = frame.slots
+                        if slot not in slots:
+                            raise MachineError(missing)
+                        overhead[okind] += 1
+                        regs[dst_phys] = slots[slot]
+            elif kind is SpillStore:
+                slot = instr.slot
+                okind = instr.kind
+                if isinstance(instr.src, VReg):
+                    read_src = reader(instr.src)
+
+                    def run(frame):
+                        overhead[okind] += 1
+                        frame.slots[slot] = read_src()
+                else:
+                    src_phys = instr.src
+
+                    def run(frame):
+                        overhead[okind] += 1
+                        frame.slots[slot] = regs[src_phys]
+            elif kind is Const:
+                dst_phys = assignment[instr.dst]
+                value = instr.value
+
+                def run(frame):
+                    regs[dst_phys] = value
+            elif kind is Copy:
+                read_src = reader(instr.src)
+                dst_phys = assignment[instr.dst]
+                if dst_phys != assignment[instr.src]:
+                    self_ref = self
+
+                    def run(frame):
+                        value = read_src()
+                        self_ref.shuffles += 1
+                        regs[dst_phys] = value
+                else:
+                    def run(frame):
+                        regs[dst_phys] = read_src()
+            elif kind is BinOp:
+                read_lhs = reader(instr.lhs)
+                read_rhs = reader(instr.rhs)
+                dst_phys = assignment[instr.dst]
+                if instr.op is BinaryOpcode.DIV:
+                    expr = (
+                        _float_div if instr.dst.vtype.is_float else _c_div
+                    )
+                else:
+                    expr = _BINOP_EXPR.get(instr.op)
+                if expr is None:  # pragma: no cover - exhaustive
+                    unknown = f"unknown binop {instr.op}"
+
+                    def run(frame):
+                        raise MachineError(unknown)
+                else:
+                    def run(frame, expr=expr):
+                        regs[dst_phys] = expr(read_lhs(), read_rhs())
+            elif kind is UnaryOp:
+                read_src = reader(instr.src)
+                dst_phys = assignment[instr.dst]
+                expr = _UNOP_EXPR.get(instr.op)
+                if expr is None:  # pragma: no cover - exhaustive
+                    unknown = f"unknown unop {instr.op}"
+
+                    def run(frame):
+                        raise MachineError(unknown)
+                else:
+                    def run(frame, expr=expr):
+                        regs[dst_phys] = expr(read_src())
+            elif kind is Load:
+                read_index = reader(instr.index)
+                dst_phys = assignment[instr.dst]
+                array = instr.array
+
+                def run(frame):
+                    values = globals_dict[array]
+                    index = read_index()
+                    if not 0 <= index < len(values):
                         raise MachineError(
-                            f"{func_name}: reload of unwritten slot {instr.slot}"
+                            f"index {index} out of bounds for @{array}"
                         )
-                    value = slots[instr.slot]
-                    self.overhead[instr.kind] += 1
-                    if isinstance(instr.dst, VReg):
-                        write(instr.dst, value)
-                    else:
-                        self.regs[instr.dst] = value
-                elif isinstance(instr, SpillStore):
-                    self.overhead[instr.kind] += 1
-                    if isinstance(instr.src, VReg):
-                        slots[instr.slot] = read(instr.src)
-                    else:
-                        slots[instr.slot] = self.regs[instr.src]
-                elif isinstance(instr, Const):
-                    write(instr.dst, instr.value)
-                elif isinstance(instr, Copy):
-                    value = read(instr.src)
-                    if assignment[instr.dst] != assignment[instr.src]:
-                        self.shuffles += 1
-                    write(instr.dst, value)
-                elif isinstance(instr, BinOp):
-                    write(
-                        instr.dst,
-                        _binop(instr, read(instr.lhs), read(instr.rhs)),
-                    )
-                elif isinstance(instr, UnaryOp):
-                    write(instr.dst, _unop(instr, read(instr.src)))
-                elif isinstance(instr, Load):
-                    write(instr.dst, self._load(instr.array, read(instr.index)))
-                elif isinstance(instr, Store):
-                    self._store(
-                        instr.array, read(instr.index), read(instr.value)
-                    )
-                elif isinstance(instr, Call):
-                    arg_values = [read(a) for a in instr.args]
-                    result = self._call(instr.callee, arg_values)
-                    # The callee may have written any caller-save
-                    # register — or, with IPRA summaries, exactly the
-                    # registers its summary admits.
-                    clobbers = self.allocation.clobbers
-                    if clobbers is not None:
-                        poisoned = clobbers[instr.callee]
-                    else:
-                        poisoned = (
-                            phys
-                            for phys in self.allocation.regfile.all_registers()
-                            if phys.is_caller_save
+                    regs[dst_phys] = values[index]
+            elif kind is Store:
+                read_index = reader(instr.index)
+                read_value = reader(instr.value)
+                array = instr.array
+
+                def run(frame):
+                    values = globals_dict[array]
+                    index = read_index()
+                    if not 0 <= index < len(values):
+                        raise MachineError(
+                            f"index {index} out of bounds for @{array}"
                         )
+                    values[index] = read_value()
+            elif kind is Call:
+                arg_reads = tuple(reader(a) for a in instr.args)
+                callee = instr.callee
+                # The callee may have written any caller-save register
+                # — or, with IPRA summaries, exactly the registers its
+                # summary admits.
+                clobbers = self.allocation.clobbers
+                if clobbers is not None:
+                    poisoned = tuple(clobbers[callee])
+                else:
+                    poisoned = tuple(
+                        phys
+                        for phys in self.allocation.regfile.all_registers()
+                        if phys.is_caller_save
+                    )
+                dst_phys = (
+                    assignment[instr.dst] if instr.dst is not None else None
+                )
+                self_ref = self
+
+                def run(frame):
+                    result = self_ref._call(
+                        callee, [read() for read in arg_reads]
+                    )
                     for phys in poisoned:
-                        self.regs[phys] = POISON
-                    if instr.dst is not None:
-                        write(instr.dst, result)
-                elif isinstance(instr, Branch):
-                    next_block = (
-                        instr.then_block
-                        if read(instr.cond) != 0
-                        else instr.else_block
-                    )
-                elif isinstance(instr, Jump):
-                    next_block = instr.target
-                elif isinstance(instr, Ret):
-                    if instr.value is None:
-                        return None
-                    return captured if captured is not None else read(instr.value)
-                else:  # pragma: no cover
+                        regs[phys] = POISON
+                    if dst_phys is not None:
+                        regs[dst_phys] = result
+            elif kind is Branch:
+                read_cond = reader(instr.cond)
+                then_cb = target_of(instr.then_block)
+                else_cb = target_of(instr.else_block)
+
+                def run(frame):
+                    return then_cb if read_cond() != 0 else else_cb
+            elif kind is Jump:
+                target_cb = target_of(instr.target)
+
+                def run(frame):
+                    return target_cb
+            elif kind is Ret:
+                if instr.value is None:
+                    ret_none = _Return(None)
+
+                    def run(frame):
+                        return ret_none
+                else:
+                    read_value = reader(instr.value)
+
+                    def run(frame):
+                        captured = frame.captured
+                        return _Return(
+                            captured if captured is not None else read_value()
+                        )
+            else:
+                # Unknown kinds fail when executed, like the former
+                # per-instruction dispatch.
+                def run(frame, instr=instr):
                     raise MachineError(f"cannot execute {instr!r}")
-                if next_block is not None:
-                    break
-            if next_block is None:
-                raise MachineError(f"{func_name}/{block.name} fell through")
-            block = next_block
-            index = 0
-            captured = None
+            return run
+
+        entry_full = compiled[func.entry]
+
+        def target_of(block) -> _CompiledBlock:
+            # Back edges into the entry re-run the prologue stores as
+            # ordinary instructions: they take the full variant.
+            return compiled[block]
+
+        for block, cblock in compiled.items():
+            for instr in block.instrs:
+                cblock.ops.append(compile_instr(instr))
+                cblock.count += 1
+                if type(instr) in (Branch, Jump, Ret):
+                    break  # the dispatch loop never ran past these
+
+        # First-entry variant of the entry block: skip the prologue.
+        skip = len(prologue)
+        entry_skip = _CompiledBlock(func.entry.name)
+        entry_skip.ops = entry_full.ops[skip:]
+        entry_skip.count = entry_full.count - skip
+
+        record = _CompiledFunction(
+            func, assignment, prologue, entry_skip, entry_full
+        )
+        self._compiled[func_name] = record
+        return record
+
+    def _call(self, func_name: str, args: List):
+        record = self._compiled.get(func_name)
+        if record is None:
+            record = self._compile(func_name)
+        func = record.func
+        assignment = record.assignment
+        regs = self.regs
+        frame = _Frame()
+        slots = frame.slots
+
+        # Prologue: the callee-save saves at the head of the entry
+        # block capture the *caller's* register values, so they run
+        # before the parameters land in their registers.
+        for instr in record.prologue:
+            slots[instr.slot] = regs[instr.src]
+            self.overhead[OverheadKind.CALLEE_SAVE] += 1
+            self.executed += 1
+        for param, value in zip(func.params, args):
+            regs[assignment[param]] = (
+                float(value) if param.vtype.is_float else int(value)
+            )
+
+        fuel = self.fuel
+        cblock = record.entry
+        while True:
+            if self.executed > fuel:
+                raise MachineError("machine fuel exhausted")
+            self.executed += cblock.count
+            next_cb = None
+            for op in cblock.ops:
+                res = op(frame)
+                if res is not None:
+                    if type(res) is _Return:
+                        return res.value
+                    next_cb = res
+            if next_cb is None:
+                raise MachineError(f"{func_name}/{cblock.name} fell through")
+            cblock = next_cb
+            frame.captured = None
 
     def _load(self, array: str, index):
         values = self.globals[array]
@@ -250,58 +497,6 @@ class MachineInterpreter:
         if not 0 <= index < len(values):
             raise MachineError(f"index {index} out of bounds for @{array}")
         values[index] = value
-
-
-def _binop(instr: BinOp, lhs, rhs):
-    from repro.ir.instructions import BinaryOpcode as Op
-
-    op = instr.op
-    if op is Op.ADD:
-        return lhs + rhs
-    if op is Op.SUB:
-        return lhs - rhs
-    if op is Op.MUL:
-        return lhs * rhs
-    if op is Op.DIV:
-        if instr.dst.vtype.is_float:
-            if rhs == 0.0:
-                raise MachineError("float division by zero")
-            return lhs / rhs
-        return _c_div(lhs, rhs)
-    if op is Op.MOD:
-        return _c_mod(lhs, rhs)
-    if op is Op.AND:
-        return lhs & rhs
-    if op is Op.OR:
-        return lhs | rhs
-    if op is Op.EQ:
-        return int(lhs == rhs)
-    if op is Op.NE:
-        return int(lhs != rhs)
-    if op is Op.LT:
-        return int(lhs < rhs)
-    if op is Op.LE:
-        return int(lhs <= rhs)
-    if op is Op.GT:
-        return int(lhs > rhs)
-    if op is Op.GE:
-        return int(lhs >= rhs)
-    raise MachineError(f"unknown binop {op}")  # pragma: no cover
-
-
-def _unop(instr: UnaryOp, value):
-    from repro.ir.instructions import UnaryOpcode as Op
-
-    op = instr.op
-    if op is Op.NEG:
-        return -value
-    if op is Op.NOT:
-        return int(value == 0)
-    if op is Op.I2F:
-        return float(value)
-    if op is Op.F2I:
-        return saturating_f2i(value)
-    raise MachineError(f"unknown unop {op}")  # pragma: no cover
 
 
 def run_allocated(

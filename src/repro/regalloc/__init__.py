@@ -39,6 +39,7 @@ from repro.regalloc.framework import (
     FunctionAllocation,
     MAX_ITERATIONS,
     PHASES,
+    SUB_PHASES,
     PipelineStats,
     ProgramAllocation,
     allocate_function,
@@ -88,6 +89,7 @@ __all__ = [
     "OrderingResult",
     "OverheadKind",
     "PHASES",
+    "SUB_PHASES",
     "PipelineStats",
     "ProgramAllocation",
     "STRATEGIES",

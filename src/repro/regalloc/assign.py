@@ -71,6 +71,19 @@ class ColorAssigner:
         self.tracer = tracer
         #: Live ranges currently occupying each callee-save register.
         self.callee_users: Dict[PhysReg, List[VReg]] = {}
+        #: Kernel-side mirror of the assignment: per graph slot the
+        #: chosen register, plus a mask of colored slots, so the taken
+        #: set of a node is its adjacency mask AND the colored mask.
+        self._phys_by_slot: List[Optional[PhysReg]] = [None] * len(
+            graph._regs
+        )
+        self._colored = 0
+        #: Per value type, the bank's (callee, caller) register tuples
+        #: — hoisted out of the per-node picking loop.
+        self._banks = {
+            bank.vtype: (tuple(bank.callee), tuple(bank.caller))
+            for bank in regfile.banks
+        }
 
     def run(self, stack: Sequence[VReg]) -> AssignmentResult:
         result = AssignmentResult()
@@ -82,12 +95,24 @@ class ColorAssigner:
 
     # ------------------------------------------------------------------
 
+    def _record(self, reg: VReg, chosen: PhysReg, result: AssignmentResult) -> None:
+        """Install one coloring in the result and the slot mirror."""
+        result.assignment[reg] = chosen
+        slot = self.graph._index.get(reg)
+        if slot is not None:
+            self._phys_by_slot[slot] = chosen
+            self._colored |= 1 << slot
+
     def _assign_one(self, reg: VReg, result: AssignmentResult) -> None:
-        taken = {
-            result.assignment[nb]
-            for nb in self.graph.neighbors(reg)
-            if nb in result.assignment
-        }
+        slot = self.graph._index.get(reg)
+        taken: Set[PhysReg] = set()
+        if slot is not None:
+            colored = self.graph._adj[slot] & self._colored
+            phys_by_slot = self._phys_by_slot
+            while colored:
+                low = colored & -colored
+                taken.add(phys_by_slot[low.bit_length() - 1])
+                colored ^= low
         trace = self.tracer is not None and self.tracer.wants_events
         chosen = self._pick_register(reg, taken)
         if chosen is None:
@@ -136,19 +161,20 @@ class ColorAssigner:
                 and chosen.is_callee_save
             ):
                 self.tracer.emit("shared_defer", reg, register=chosen.name)
-        result.assignment[reg] = chosen
+        self._record(reg, chosen, result)
         if chosen.is_callee_save:
             self.callee_users.setdefault(chosen, []).append(reg)
 
     def _pick_register(self, reg: VReg, taken: Set[PhysReg]) -> Optional[PhysReg]:
-        bank = self.regfile.bank(reg.vtype)
+        callee, caller = self._banks[reg.vtype]
         if self._prefers_callee(reg):
-            order = self._callee_order(bank.callee) + list(bank.caller)
+            groups = (self._callee_order(callee), caller)
         else:
-            order = list(bank.caller) + self._callee_order(bank.callee)
-        for candidate in order:
-            if candidate not in taken:
-                return candidate
+            groups = (caller, self._callee_order(callee))
+        for group in groups:
+            for candidate in group:
+                if candidate not in taken:
+                    return candidate
         return None
 
     def _prefers_callee(self, reg: VReg) -> bool:
@@ -160,8 +186,13 @@ class ColorAssigner:
 
     def _callee_order(self, callee: Sequence[PhysReg]) -> List[PhysReg]:
         """Callee-save registers, already-occupied ones first."""
-        used = [p for p in callee if p in self.callee_users]
-        unused = [p for p in callee if p not in self.callee_users]
+        users = self.callee_users
+        if not users:
+            return list(callee)
+        used: List[PhysReg] = []
+        unused: List[PhysReg] = []
+        for phys in callee:
+            (used if phys in users else unused).append(phys)
         return used + unused
 
     # ------------------------------------------------------------------

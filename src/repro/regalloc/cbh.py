@@ -23,6 +23,7 @@ therefore released first, which is exactly the model's intent.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
@@ -66,18 +67,22 @@ def augment_for_cbh(
     )
     save_cost = 2.0 * weights.entry_weight
     for bank in regfile.banks:
-        ordinary = [reg for reg in graph.nodes if reg.vtype is bank.vtype]
-        pseudos: List[VReg] = []
+        # One slot mask of the bank's ordinary nodes; each pseudo then
+        # joins the clique with a single mask-edge call instead of one
+        # add_edge per (pseudo, node) pair.
+        index = graph._index
+        ordinary_mask = 0
+        for reg in graph.nodes:
+            if reg.vtype is bank.vtype:
+                ordinary_mask |= 1 << index[reg]
+        pseudo_mask = 0
         for phys in bank.callee:
             pseudo = func.new_vreg(bank.vtype, f"csr:{phys.name}")
             context.pseudo_for[pseudo] = phys
             graph.add_node(pseudo)
             infos[pseudo] = LiveRangeInfo(reg=pseudo, spill_cost=save_cost)
-            for other in ordinary:
-                graph.add_edge(pseudo, other)
-            for other in pseudos:
-                graph.add_edge(pseudo, other)
-            pseudos.append(pseudo)
+            graph.add_edges_mask(pseudo, ordinary_mask | pseudo_mask)
+            pseudo_mask |= 1 << index[pseudo]
     return context
 
 
@@ -93,11 +98,15 @@ class CBHAssigner(ColorAssigner):
     def _assign_one(self, reg: VReg, result: AssignmentResult) -> None:
         if self.context.is_pseudo(reg):
             phys = self.context.pseudo_for[reg]
-            taken = {
-                result.assignment[nb]
-                for nb in self.graph.neighbors(reg)
-                if nb in result.assignment
-            }
+            taken = set()
+            slot = self.graph._index.get(reg)
+            if slot is not None:
+                colored = self.graph._adj[slot] & self._colored
+                phys_by_slot = self._phys_by_slot
+                while colored:
+                    low = colored & -colored
+                    taken.add(phys_by_slot[low.bit_length() - 1])
+                    colored ^= low
             trace = self.tracer is not None and self.tracer.wants_events
             if phys in taken:
                 # Some ordinary live range got here first: the register
@@ -108,20 +117,21 @@ class CBHAssigner(ColorAssigner):
             else:
                 if trace:
                     self.tracer.emit("cbh_reserve", reg, register=phys.name)
-                result.assignment[reg] = phys
+                self._record(reg, phys, result)
             return
         super()._assign_one(reg, result)
 
     def _pick_register(self, reg: VReg, taken: Set[PhysReg]) -> Optional[PhysReg]:
-        bank = self.regfile.bank(reg.vtype)
-        callee_order = self._callee_order(bank.callee)
+        callee, caller = self._banks[reg.vtype]
+        callee_order = self._callee_order(callee)
         if reg in self.context.crossing:
-            order = callee_order  # caller-save registers are forbidden
+            groups = (callee_order,)  # caller-save registers forbidden
         else:
-            order = list(bank.caller) + callee_order
-        for candidate in order:
-            if candidate not in taken:
-                return candidate
+            groups = (caller, callee_order)
+        for group in groups:
+            for candidate in group:
+                if candidate not in taken:
+                    return candidate
         return None
 
 
@@ -133,8 +143,14 @@ def cbh_order_and_assign(
     weights: BlockWeights,
     options: AllocatorOptions,
     tracer: Optional["Tracer"] = None,
+    stats=None,
 ):
-    """Run CBH simplification and assignment; see the framework driver."""
+    """Run CBH simplification and assignment; see the framework driver.
+
+    ``stats`` is any object with a ``simplify`` float attribute (a
+    ``PipelineStats``); when given, the simplification wall clock is
+    accumulated onto it.
+    """
 
     def budget(reg: VReg) -> int:
         bank = regfile.bank(reg.vtype)
@@ -142,6 +158,7 @@ def cbh_order_and_assign(
             return len(bank.callee)
         return bank.num_regs
 
+    started = time.perf_counter() if stats is not None else 0.0
     ordering = simplify(
         graph,
         infos,
@@ -151,6 +168,8 @@ def cbh_order_and_assign(
         num_regs=budget,
         tracer=tracer,
     )
+    if stats is not None:
+        stats.simplify += time.perf_counter() - started
     # A pseudo node spilled at ordering time is simply released: its
     # register becomes assignable and entry/exit code is charged only
     # if the register actually ends up used.

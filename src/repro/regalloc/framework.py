@@ -58,6 +58,12 @@ MAX_ITERATIONS = 100
 #: Phase names of the allocation pipeline, in execution order.
 PHASES = ("build", "coalesce", "order", "assign", "spill_insert", "emit")
 
+#: Sub-phase names: finer splits *nested inside* the phases above
+#: (``liveness``/``interference`` inside ``build``, ``simplify``
+#: inside ``order``).  They are informational and never added to
+#: ``total_seconds`` — their time is already counted by their parent.
+SUB_PHASES = ("liveness", "interference", "simplify")
+
 
 @dataclass
 class PipelineStats:
@@ -71,6 +77,13 @@ class PipelineStats:
     reconstruction, and ``emit`` the final save/restore emission.
     ``cache_hits``/``cache_misses`` count analysis-cache traffic
     attributable to the run.
+
+    The ``liveness``/``interference``/``simplify`` fields are
+    *sub-phase* splits: liveness analysis and graph construction both
+    run inside ``build``, simplification inside ``order`` (priority
+    ordering records no ``simplify`` time).  Their seconds are already
+    included in the parent phase, so they never contribute to
+    ``total_seconds``.
     """
 
     build: float = 0.0
@@ -79,6 +92,9 @@ class PipelineStats:
     assign: float = 0.0
     spill_insert: float = 0.0
     emit: float = 0.0
+    liveness: float = 0.0
+    interference: float = 0.0
+    simplify: float = 0.0
     iterations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -93,6 +109,10 @@ class PipelineStats:
         """``{phase name: seconds}`` in pipeline order."""
         return {phase: getattr(self, phase) for phase in PHASES}
 
+    def sub_seconds(self) -> Dict[str, float]:
+        """``{sub-phase name: seconds}``; nested inside phase_seconds."""
+        return {name: getattr(self, name) for name in SUB_PHASES}
+
     def __add__(self, other: "PipelineStats") -> "PipelineStats":
         return PipelineStats(
             build=self.build + other.build,
@@ -101,6 +121,9 @@ class PipelineStats:
             assign=self.assign + other.assign,
             spill_insert=self.spill_insert + other.spill_insert,
             emit=self.emit + other.emit,
+            liveness=self.liveness + other.liveness,
+            interference=self.interference + other.interference,
+            simplify=self.simplify + other.simplify,
             iterations=self.iterations + other.iterations,
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
@@ -255,7 +278,9 @@ def allocate_function(
                 tracer.emit("iteration_begin", n=iteration)
         if graph is None:
             timer.start("build")
-            graph, infos = build_interference(func, weights, spill_temps, cache)
+            graph, infos = build_interference(
+                func, weights, spill_temps, cache, stats=stats
+            )
             timer.stop()
             while True:
                 timer.start("coalesce")
@@ -267,7 +292,7 @@ def allocate_function(
                 cache.invalidate(func, INSTRUCTION_KEYS)
                 timer.start("build")
                 graph, infos = build_interference(
-                    func, weights, spill_temps, cache
+                    func, weights, spill_temps, cache, stats=stats
                 )
                 timer.stop()
 
@@ -275,7 +300,8 @@ def allocate_function(
         if options.kind == "cbh":
             context = augment_for_cbh(func, graph, infos, regfile, weights)
             ordering, assignment = cbh_order_and_assign(
-                context, graph, infos, regfile, weights, options, tracer=tracer
+                context, graph, infos, regfile, weights, options,
+                tracer=tracer, stats=stats,
             )
             timer.stop()
         else:
@@ -291,6 +317,7 @@ def allocate_function(
                 )
             else:
                 key_fn = _simplify_key(options, benefits)
+                simplify_started = time.perf_counter()
                 ordering = simplify(
                     graph,
                     infos,
@@ -300,6 +327,7 @@ def allocate_function(
                     spill_metric=options.spill_metric,
                     tracer=tracer,
                 )
+                stats.simplify += time.perf_counter() - simplify_started
             timer.start("assign")
             assigner = ColorAssigner(
                 graph,

@@ -13,14 +13,24 @@ a single pass:
   and out of the call), from which the caller-save cost follows,
 * the set of blocks each live range touches (the ``size`` denominator
   of the priority function of priority-based coloring).
+
+The graph and the walk both run on dense integer bitsets (see
+:mod:`repro.analysis.bitset`): nodes carry an index into a flat
+adjacency array of masks, an edge is two bits, and the per-definition
+edge fan-out — the inner loop of construction — is a single ``|=`` of
+the live-after mask instead of one hash insert per neighbor.  The
+public graph API is unchanged except that ``neighbors``/``nodes`` now
+hand out read-only views instead of aliasing internal mutable sets.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+import time
+from collections.abc import Set as AbstractSet
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.analysis.bitset import popcount
 from repro.analysis.frequency import BlockWeights
 from repro.analysis.liveness import compute_liveness
 from repro.analysis.manager import LIVENESS, AnalysisCache
@@ -29,23 +39,50 @@ from repro.ir.instructions import Call, Copy
 from repro.ir.values import VReg
 
 
-@dataclass
 class LiveRangeInfo:
-    """Costs and structure of one live range (one renamed register)."""
+    """Costs and structure of one live range (one renamed register).
 
-    reg: VReg
-    spill_cost: float = 0.0
-    num_defs: int = 0
-    num_uses: int = 0
-    #: Call sites (block, instruction index) this range is live across.
-    crossed_calls: List[Tuple[BasicBlock, int]] = field(default_factory=list)
-    #: Weighted caller-save cost: one save plus one restore per
-    #: crossed call execution.
-    caller_cost: float = 0.0
-    #: Blocks the live range is live in or referenced in.
-    blocks: Set[BasicBlock] = field(default_factory=set)
-    #: Spill temporaries must never be spilled again.
-    is_spill_temp: bool = False
+    A ``__slots__`` class rather than a dataclass: the interference
+    walk creates one record per live range on every (re)build and
+    updates its counters once per definition and use.
+    """
+
+    __slots__ = (
+        "reg",
+        "spill_cost",
+        "num_defs",
+        "num_uses",
+        "crossed_calls",
+        "caller_cost",
+        "blocks",
+        "is_spill_temp",
+    )
+
+    def __init__(
+        self,
+        reg: VReg,
+        spill_cost: float = 0.0,
+        num_defs: int = 0,
+        num_uses: int = 0,
+        crossed_calls: Optional[List[Tuple[BasicBlock, int]]] = None,
+        caller_cost: float = 0.0,
+        blocks: Optional[Set[BasicBlock]] = None,
+        is_spill_temp: bool = False,
+    ):
+        self.reg = reg
+        self.spill_cost = spill_cost
+        self.num_defs = num_defs
+        self.num_uses = num_uses
+        #: Call sites (block, instruction index) this range is live
+        #: across.
+        self.crossed_calls = crossed_calls if crossed_calls is not None else []
+        #: Weighted caller-save cost: one save plus one restore per
+        #: crossed call execution.
+        self.caller_cost = caller_cost
+        #: Blocks the live range is live in or referenced in.
+        self.blocks = blocks if blocks is not None else set()
+        #: Spill temporaries must never be spilled again.
+        self.is_spill_temp = is_spill_temp
 
     @property
     def size(self) -> int:
@@ -55,44 +92,205 @@ class LiveRangeInfo:
     def crosses_calls(self) -> bool:
         return bool(self.crossed_calls)
 
+    def __repr__(self) -> str:
+        return (
+            f"LiveRangeInfo(reg={self.reg!r}, spill_cost={self.spill_cost!r}, "
+            f"num_defs={self.num_defs}, num_uses={self.num_uses}, "
+            f"caller_cost={self.caller_cost!r}, "
+            f"is_spill_temp={self.is_spill_temp})"
+        )
+
+
+class NeighborView(AbstractSet):
+    """Read-only, live view of one node's neighbor set.
+
+    Reflects later graph mutations (like the aliased set it replaces)
+    but cannot be used to corrupt the adjacency structure.
+    """
+
+    __slots__ = ("_graph", "_slot")
+
+    def __init__(self, graph: "InterferenceGraph", slot: Optional[int]) -> None:
+        self._graph = graph
+        self._slot = slot
+
+    def _mask(self) -> int:
+        if self._slot is None:
+            return 0
+        return self._graph._adj[self._slot]
+
+    def __len__(self) -> int:
+        return popcount(self._mask())
+
+    def __iter__(self) -> Iterator[VReg]:
+        regs = self._graph._regs
+        mask = self._mask()
+        while mask:
+            low = mask & -mask
+            yield regs[low.bit_length() - 1]
+            mask ^= low
+
+    def __contains__(self, reg: object) -> bool:
+        index = self._graph._index.get(reg)
+        if index is None:
+            return False
+        return self._mask() >> index & 1 == 1
+
+    @classmethod
+    def _from_iterable(cls, iterable) -> "frozenset[VReg]":
+        # Set-algebra results (| & - ^) are plain frozensets.
+        return frozenset(iterable)
+
+    def __repr__(self) -> str:
+        return f"NeighborView({set(self)!r})"
+
 
 class InterferenceGraph:
-    """Undirected interference graph over live ranges."""
+    """Undirected interference graph over live ranges.
+
+    Nodes are mapped to dense indices; each node's adjacency is one
+    integer bitmask over those indices, so ``degree`` is a popcount
+    and bulk edge insertion is a mask union.  Indices of removed or
+    merged-away nodes are retired (their slot cleared everywhere and
+    never reused), which keeps every mask consistent without
+    renumbering survivors.
+    """
+
+    __slots__ = ("_index", "_regs", "_adj")
 
     def __init__(self) -> None:
-        self.adj: Dict[VReg, Set[VReg]] = {}
+        #: node -> slot, in node-insertion order.
+        self._index: Dict[VReg, int] = {}
+        #: slot -> node (None once retired).
+        self._regs: List[Optional[VReg]] = []
+        #: slot -> adjacency mask over slots.
+        self._adj: List[int] = []
+
+    @classmethod
+    def _from_kernel(
+        cls,
+        order,
+        index: Dict[VReg, int],
+        regs: List[VReg],
+        adj: List[int],
+    ) -> "InterferenceGraph":
+        """Adopt adjacency masks computed by :func:`build_interference`.
+
+        ``order`` fixes node-iteration order, ``index``/``regs`` the
+        slot numbering the ``adj`` masks are expressed in.  The arrays
+        are adopted, not copied — the caller must hand over ownership.
+        """
+        graph = cls()
+        graph._index = {reg: index[reg] for reg in order}
+        graph._regs = regs
+        graph._adj = adj
+        return graph
+
+    def _slot(self, reg: VReg) -> int:
+        index = self._index.get(reg)
+        if index is None:
+            index = len(self._regs)
+            self._index[reg] = index
+            self._regs.append(reg)
+            self._adj.append(0)
+        return index
 
     def add_node(self, reg: VReg) -> None:
-        self.adj.setdefault(reg, set())
+        self._slot(reg)
 
     def add_edge(self, a: VReg, b: VReg) -> None:
         if a is b:
             return
-        self.adj.setdefault(a, set()).add(b)
-        self.adj.setdefault(b, set()).add(a)
+        slot_a = self._slot(a)
+        slot_b = self._slot(b)
+        self._adj[slot_a] |= 1 << slot_b
+        self._adj[slot_b] |= 1 << slot_a
+
+    def add_edges_mask(self, reg: VReg, mask: int) -> None:
+        """Add an edge between ``reg`` and every slot set in ``mask``.
+
+        The mask is in slot space (``1 << slot``) and must only name
+        live slots; ``reg``'s own bit is ignored.  One call replaces a
+        loop of :meth:`add_edge` calls when the neighbor set is
+        already available as a bitset.
+        """
+        slot = self._slot(reg)
+        bit = 1 << slot
+        mask &= ~bit
+        adj = self._adj
+        adj[slot] |= mask
+        while mask:
+            low = mask & -mask
+            adj[low.bit_length() - 1] |= bit
+            mask ^= low
 
     def interferes(self, a: VReg, b: VReg) -> bool:
-        return b in self.adj.get(a, ())
+        slot_a = self._index.get(a)
+        slot_b = self._index.get(b)
+        if slot_a is None or slot_b is None:
+            return False
+        return self._adj[slot_a] >> slot_b & 1 == 1
 
-    def neighbors(self, reg: VReg) -> Set[VReg]:
-        return self.adj.get(reg, set())
+    def neighbors(self, reg: VReg) -> NeighborView:
+        return NeighborView(self, self._index.get(reg))
+
+    def neighbor_mask(self, reg: VReg) -> int:
+        """The raw adjacency mask of ``reg`` (kernel-facing)."""
+        slot = self._index.get(reg)
+        return 0 if slot is None else self._adj[slot]
 
     def degree(self, reg: VReg) -> int:
-        return len(self.adj.get(reg, ()))
+        slot = self._index.get(reg)
+        return 0 if slot is None else popcount(self._adj[slot])
 
     @property
-    def nodes(self) -> Iterable[VReg]:
-        return self.adj.keys()
+    def nodes(self):
+        """All nodes, insertion-ordered (a read-only view)."""
+        return self._index.keys()
 
     def __len__(self) -> int:
-        return len(self.adj)
+        return len(self._index)
 
     def merge(self, keep: VReg, remove: VReg) -> None:
         """Collapse ``remove`` into ``keep`` (coalescing)."""
-        for neighbor in self.adj.pop(remove, set()):
-            self.adj[neighbor].discard(remove)
-            if neighbor is not keep:
-                self.add_edge(keep, neighbor)
+        if keep is remove:
+            return
+        slot_rm = self._index.pop(remove, None)
+        if slot_rm is None:
+            return
+        mask = self._adj[slot_rm]
+        bit_rm = 1 << slot_rm
+        if mask:
+            slot_keep = self._slot(keep)
+            bit_keep = 1 << slot_keep
+            adj = self._adj
+            rest = mask
+            while rest:
+                low = rest & -rest
+                slot = low.bit_length() - 1
+                rest ^= low
+                if slot == slot_keep:
+                    adj[slot] &= ~bit_rm
+                else:
+                    adj[slot] = (adj[slot] & ~bit_rm) | bit_keep
+            adj[slot_keep] |= mask & ~bit_keep
+        self._adj[slot_rm] = 0
+        self._regs[slot_rm] = None
+
+    def remove_node(self, reg: VReg) -> None:
+        """Drop ``reg`` and every edge touching it (no-op if absent)."""
+        slot = self._index.pop(reg, None)
+        if slot is None:
+            return
+        mask = self._adj[slot]
+        bit = 1 << slot
+        adj = self._adj
+        while mask:
+            low = mask & -mask
+            adj[low.bit_length() - 1] &= ~bit
+            mask ^= low
+        self._adj[slot] = 0
+        self._regs[slot] = None
 
 
 def build_interference(
@@ -100,63 +298,122 @@ def build_interference(
     weights: BlockWeights,
     spill_temps: Set[VReg],
     cache: Optional[AnalysisCache] = None,
+    stats=None,
 ) -> Tuple[InterferenceGraph, Dict[VReg, LiveRangeInfo]]:
     """Build the graph and cost table for ``func`` under ``weights``.
 
     ``cache`` (an :class:`~repro.analysis.manager.AnalysisCache`)
     memoizes the liveness pass; the caller is responsible for
-    invalidating it when the function is rewritten.
+    invalidating it when the function is rewritten.  ``stats`` is any
+    object with ``liveness``/``interference`` float attributes (a
+    ``PipelineStats``); when given, the kernel's wall-clock split is
+    accumulated onto it.
     """
+    timed = stats is not None
+    started = time.perf_counter() if timed else 0.0
     liveness = (
         cache.get(func, LIVENESS) if cache is not None else compute_liveness(func)
     )
-    graph = InterferenceGraph()
-    infos: Dict[VReg, LiveRangeInfo] = {}
+    if timed:
+        now = time.perf_counter()
+        stats.liveness += now - started
+        started = now
 
-    def info(reg: VReg) -> LiveRangeInfo:
-        record = infos.get(reg)
+    numbering = liveness.numbering
+    index = numbering.index
+    regs = numbering.regs
+    instr_info = numbering.instr_info
+    n = len(regs)
+    # Per-slot same-bank mask, hoisted so the def loop never hashes a
+    # ValueType enum.
+    slot_type: List[int] = [0] * n
+    for type_mask in numbering.type_masks.values():
+        mask = type_mask
+        while mask:
+            low = mask & -mask
+            slot_type[low.bit_length() - 1] = type_mask
+            mask ^= low
+    adj: List[int] = [0] * n
+    infos: Dict[VReg, LiveRangeInfo] = {}
+    by_slot: List[Optional[LiveRangeInfo]] = [None] * n
+    #: Registers with no LiveRangeInfo yet; cleared as records are
+    #: created so the walk below makes each record at the same point
+    #: the per-element walk used to.
+    unseen = (1 << n) - 1
+
+    def info_at(slot: int) -> LiveRangeInfo:
+        nonlocal unseen
+        record = by_slot[slot]
         if record is None:
+            reg = regs[slot]
             record = LiveRangeInfo(reg=reg, is_spill_temp=reg in spill_temps)
             infos[reg] = record
-            graph.add_node(reg)
+            by_slot[slot] = record
+            unseen &= ~(1 << slot)
         return record
 
     # Parameters are all defined simultaneously at function entry (the
     # calling convention writes every one of them), so they mutually
     # interfere even when dead — a dead parameter's arriving value
     # must not clobber a register assigned to a live one.  They also
-    # interfere with everything else live into the entry block.
-    entry_live = liveness.live_in[func.entry]
+    # interfere with everything else live into the entry block.  One
+    # mask union per parameter replaces the old quadratic pairwise
+    # edge loop (which inserted every parameter pair twice).
+    entry_live = liveness.live_in_bits[func.entry]
+    params_mask = 0
     for param in func.params:
-        info(param)
-        for other in func.params:
-            if other is not param and other.vtype is param.vtype:
-                graph.add_edge(param, other)
-        for other in entry_live:
-            if other is not param and other.vtype is param.vtype:
-                graph.add_edge(param, other)
+        params_mask |= 1 << index[param]
+    for param in func.params:
+        slot = index[param]
+        info_at(slot)
+        adj[slot] |= (
+            (params_mask | entry_live) & slot_type[slot] & ~(1 << slot)
+        )
 
     for block in func.blocks:
         weight = weights.weight(block)
-        for reg in liveness.live_in[block]:
-            info(reg).blocks.add(block)
-        index = len(block.instrs)
-        for instr, live_after in liveness.live_across(block):
-            index -= 1
-            copy_src = instr.src if isinstance(instr, Copy) else None
-            for dst in instr.defs():
-                record = info(dst)
-                record.num_defs += 1
-                record.spill_cost += weight
-                record.blocks.add(block)
-                for live in live_after:
-                    if live is dst or live is copy_src:
-                        continue
-                    if live.vtype is dst.vtype:
-                        graph.add_edge(dst, live)
-                    info(live)
-            for src in instr.uses():
-                record = info(src)
+        live_in = liveness.live_in_bits[block]
+        mask = live_in & unseen
+        while mask:
+            low = mask & -mask
+            info_at(low.bit_length() - 1)
+            mask &= mask - 1
+        mask = live_in
+        while mask:
+            low = mask & -mask
+            by_slot[low.bit_length() - 1].blocks.add(block)
+            mask ^= low
+
+        position = len(block.instrs)
+        live = liveness.live_out_bits[block]
+        for instr in reversed(block.instrs):
+            position -= 1
+            live_after = live
+            defs, dmask, uses, umask = instr_info[instr]
+            if defs:
+                copy_bit = (
+                    1 << index[instr.src] if isinstance(instr, Copy) else 0
+                )
+                for dst in defs:
+                    slot = index[dst]
+                    record = by_slot[slot]
+                    if record is None:
+                        record = info_at(slot)
+                    record.num_defs += 1
+                    record.spill_cost += weight
+                    record.blocks.add(block)
+                    others = live_after & ~((1 << slot) | copy_bit)
+                    adj[slot] |= others & slot_type[slot]
+                    new = others & unseen
+                    while new:
+                        low = new & -new
+                        info_at(low.bit_length() - 1)
+                        new &= new - 1
+            for src in uses:
+                slot = index[src]
+                record = by_slot[slot]
+                if record is None:
+                    record = info_at(slot)
                 record.num_uses += 1
                 record.spill_cost += weight
                 record.blocks.add(block)
@@ -164,12 +421,31 @@ def build_interference(
                 # Live across the call = live after it and not defined
                 # by it (the call's result is born in the callee; an
                 # argument that dies at the call does not cross it).
-                for live in live_after - set(instr.defs()):
-                    record = info(live)
-                    record.crossed_calls.append((block, index))
-                    record.caller_cost += 2.0 * weight
+                crossers = live_after & ~dmask
+                cost = 2.0 * weight
+                while crossers:
+                    low = crossers & -crossers
+                    record = info_at(low.bit_length() - 1)
+                    record.crossed_calls.append((block, position))
+                    record.caller_cost += cost
+                    crossers ^= low
+            live = (live & ~dmask) | umask
 
     for record in infos.values():
         if record.is_spill_temp:
             record.spill_cost = math.inf
+
+    # Edges were accumulated one-directed (def -> live-after mask);
+    # one symmetrization pass makes the graph undirected.
+    for slot in range(n):
+        mask = adj[slot]
+        bit = 1 << slot
+        while mask:
+            low = mask & -mask
+            adj[low.bit_length() - 1] |= bit
+            mask ^= low
+
+    graph = InterferenceGraph._from_kernel(infos, index, list(regs), adj)
+    if timed:
+        stats.interference += time.perf_counter() - started
     return graph, infos

@@ -42,24 +42,6 @@ class Web:
         )
 
 
-class _UnionFind:
-    def __init__(self):
-        self.parent: Dict[_SiteKey, _SiteKey] = {}
-
-    def find(self, key: _SiteKey) -> _SiteKey:
-        root = key
-        while self.parent.setdefault(root, root) != root:
-            root = self.parent[root]
-        while self.parent[key] != root:  # path compression
-            self.parent[key], key = root, self.parent[key]
-        return root
-
-    def union(self, a: _SiteKey, b: _SiteKey) -> None:
-        ra, rb = self.find(a), self.find(b)
-        if ra != rb:
-            self.parent[ra] = rb
-
-
 def build_webs(func: Function) -> List[Web]:
     """Split every register of ``func`` into webs and rename in place.
 
@@ -67,35 +49,56 @@ def build_webs(func: Function) -> List[Web]:
     whose definitions all belong to one web keep their identity; the
     extra webs of a split register get fresh registers named after the
     original.
+
+    The union-find runs over the reaching-defs kernel's dense site
+    ids (a plain parent array) rather than ``(block, index, reg)``
+    tuples; the partition — and therefore the renaming — is the same.
     """
     reaching = compute_reaching_defs(func)
-    uf = _UnionFind()
+    site_ids = reaching.site_ids
+
+    parent = list(range(reaching.num_sites))
+
+    def find(site: int) -> int:
+        root = site
+        while parent[root] != root:
+            root = parent[root]
+        while parent[site] != root:  # path compression
+            parent[site], site = root, parent[site]
+        return root
 
     # Union the def sites that share a use; remember, per use, one
     # representative def site so we can resolve the use's web later.
-    use_anchor: Dict[Tuple[BasicBlock, int, VReg], _SiteKey] = {}
-    for (use_site, reg), def_sites in reaching.use_chains.items():
-        sites = [(block, index, reg) for block, index in def_sites]
-        if not sites:
+    use_anchor: Dict[Tuple[BasicBlock, int, VReg], int] = {}
+    for (block, index, reg), mask in reaching.use_masks.items():
+        if not mask:
             # The IR verifier's definite-assignment check makes this
             # unreachable for verified functions.
             raise ValueError(
-                f"{func.name}: use of {reg} at {use_site[0].name}:{use_site[1]} "
+                f"{func.name}: use of {reg} at {block.name}:{index} "
                 "has no reaching definition"
             )
-        for other in sites[1:]:
-            uf.union(sites[0], other)
-        use_anchor[(use_site[0], use_site[1], reg)] = sites[0]
+        low = mask & -mask
+        anchor = low.bit_length() - 1
+        use_anchor[(block, index, reg)] = anchor
+        rest = mask ^ low
+        while rest:
+            low = rest & -rest
+            other = low.bit_length() - 1
+            rest ^= low
+            ra, rb = find(anchor), find(other)
+            if ra != rb:
+                parent[ra] = rb
 
     # Choose the register for each web: the original register for the
     # web containing its first definition (parameters always qualify,
     # because their pseudo-site is ordered first), fresh ones otherwise.
-    web_regs: Dict[_SiteKey, VReg] = {}
+    web_regs: Dict[int, VReg] = {}
     webs: Dict[VReg, Web] = {}
-    for reg, def_sites in reaching.def_sites.items():
-        roots_seen: Set[_SiteKey] = set()
-        for i, (block, index) in enumerate(def_sites):
-            root = uf.find((block, index, reg))
+    for reg, ids in reaching.def_site_ids.items():
+        roots_seen: Set[int] = set()
+        for i, sid in enumerate(ids):
+            root = find(sid)
             if root in roots_seen:
                 continue
             roots_seen.add(root)
@@ -113,14 +116,14 @@ def build_webs(func: Function) -> List[Web]:
             use_map: Dict[VReg, VReg] = {}
             for reg in instr.uses():
                 anchor = use_anchor[(block, index, reg)]
-                web_reg = web_regs[uf.find(anchor)]
+                web_reg = web_regs[find(anchor)]
                 use_map[reg] = web_reg
                 webs[web_reg].use_sites.append((block, index))
             if use_map:
                 instr.replace_uses(use_map)
             def_map: Dict[VReg, VReg] = {}
             for reg in instr.defs():
-                web_reg = web_regs[uf.find((block, index, reg))]
+                web_reg = web_regs[find(site_ids[(block, index, reg)])]
                 def_map[reg] = web_reg
                 webs[web_reg].def_sites.append((block, index))
             if def_map:
@@ -128,7 +131,7 @@ def build_webs(func: Function) -> List[Web]:
 
     # Parameter pseudo-sites.
     for param in func.params:
-        root = uf.find((func.entry, -1, param))
+        root = find(site_ids[(func.entry, -1, param)])
         web_reg = web_regs[root]
         if web_reg is not param:
             raise WebConstructionError(

@@ -64,8 +64,7 @@ def reconstruct_interference(
 
     # 1. Drop the spilled nodes (and any info they carried).
     for reg in spilled_set:
-        for neighbor in graph.adj.pop(reg, set()):
-            graph.adj[neighbor].discard(reg)
+        graph.remove_node(reg)
         infos.pop(reg, None)
 
     # 2. One liveness pass over the rewritten function.

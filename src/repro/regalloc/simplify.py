@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
     from repro.obs.tracer import Tracer
 
+from repro.analysis.bitset import popcount
 from repro.ir.values import VReg
 from repro.machine.registers import RegisterFile
 from repro.regalloc.errors import AllocationError  # noqa: F401  (re-export)
@@ -71,9 +72,27 @@ def simplify(
         def num_regs(reg: VReg) -> int:  # noqa: ANN001 - local default
             return regfile.bank(reg.vtype).num_regs
 
-    pinned = never_simplify or set()
-    remaining: Set[VReg] = set(graph.nodes)
-    degrees: Dict[VReg, int] = {reg: graph.degree(reg) for reg in remaining}
+    # Kernel state lives in the graph's slot space (see
+    # InterferenceGraph): node membership is one bitmask, per-slot
+    # degrees an array maintained incrementally as nodes leave.  Every
+    # graph slot is live here (retired slots carry no bits), so the
+    # initial degree is the adjacency popcount.
+    slots = graph._adj
+    regs = graph._regs
+    size = len(regs)
+    degrees: List[int] = [0] * size
+    budgets: List[int] = [0] * size
+    remaining = 0
+    for reg, slot in graph._index.items():
+        degrees[slot] = popcount(slots[slot])
+        budgets[slot] = num_regs(reg)
+        remaining |= 1 << slot
+    pinned = 0
+    if never_simplify:
+        for reg in never_simplify:
+            slot = graph._index.get(reg)
+            if slot is not None:
+                pinned |= 1 << slot
     result = OrderingResult()
 
     # Lazy min-heap over currently-unconstrained nodes.  Entries go
@@ -82,40 +101,54 @@ def simplify(
         return key_fn(reg) if key_fn is not None else 0.0
 
     heap: List = []
-    in_heap: Set[VReg] = set()
+    in_heap = 0
 
-    def consider(reg: VReg) -> None:
-        if reg in remaining and reg not in in_heap and reg not in pinned:
-            if degrees[reg] < num_regs(reg):
-                heapq.heappush(heap, (key_of(reg), reg.id, reg))
-                in_heap.add(reg)
+    def consider(slot: int) -> None:
+        nonlocal in_heap
+        bit = 1 << slot
+        if remaining & bit and not (in_heap | pinned) & bit:
+            if degrees[slot] < budgets[slot]:
+                reg = regs[slot]
+                heapq.heappush(heap, (key_of(reg), reg.id, slot))
+                in_heap |= bit
 
-    for reg in remaining:
-        consider(reg)
+    mask = remaining
+    while mask:
+        low = mask & -mask
+        consider(low.bit_length() - 1)
+        mask ^= low
 
-    def remove(reg: VReg) -> None:
-        remaining.discard(reg)
-        in_heap.discard(reg)
-        for neighbor in graph.neighbors(reg):
-            if neighbor in remaining:
-                degrees[neighbor] -= 1
-                consider(neighbor)
+    def remove(slot: int) -> None:
+        nonlocal remaining, in_heap
+        bit = 1 << slot
+        remaining &= ~bit
+        in_heap &= ~bit
+        neighbors = slots[slot] & remaining
+        while neighbors:
+            low = neighbors & -neighbors
+            neighbor = low.bit_length() - 1
+            degrees[neighbor] -= 1
+            consider(neighbor)
+            neighbors ^= low
 
     trace = tracer is not None and tracer.wants_events
     while remaining:
         while heap:
-            _key, _tie, reg = heapq.heappop(heap)
-            if reg in remaining and reg in in_heap:
+            _key, _tie, slot = heapq.heappop(heap)
+            bit = 1 << slot
+            if remaining & bit and in_heap & bit:
+                reg = regs[slot]
                 if trace:
                     tracer.emit(
-                        "simplify_pop", reg, degree=degrees[reg], key=_key
+                        "simplify_pop", reg, degree=degrees[slot], key=_key
                     )
-                remove(reg)
+                remove(slot)
                 result.stack.append(reg)
                 break
         else:
             # Blocked: every remaining node is constrained (or pinned).
-            candidate = _choose_spill(remaining, infos, degrees, spill_metric)
+            slot = _choose_spill(remaining, regs, infos, degrees, spill_metric)
+            candidate = regs[slot]
             if trace:
                 tracer.emit(
                     "optimistic_push" if optimistic else "ordering_spill",
@@ -123,13 +156,13 @@ def simplify(
                     metric=spill_metric,
                     value=_metric_value(
                         infos[candidate].spill_cost,
-                        degrees[candidate],
+                        degrees[slot],
                         spill_metric,
                     ),
                     spill_cost=infos[candidate].spill_cost,
-                    degree=degrees[candidate],
+                    degree=degrees[slot],
                 )
-            remove(candidate)
+            remove(slot)
             if optimistic:
                 result.stack.append(candidate)
                 result.optimistic.add(candidate)
@@ -148,22 +181,30 @@ def _metric_value(cost: float, degree: int, metric: str) -> float:
 
 
 def _choose_spill(
-    remaining: Set[VReg],
+    remaining: int,
+    regs: List[Optional[VReg]],
     infos: Dict[VReg, LiveRangeInfo],
-    degrees: Dict[VReg, int],
+    degrees: List[int],
     metric: str,
-) -> VReg:
-    """Pick the cheapest node to spill among ``remaining``."""
-    best: Optional[VReg] = None
+) -> int:
+    """Pick the slot of the cheapest node to spill among ``remaining``."""
+    best: Optional[int] = None
+    best_id = -1
     best_value = math.inf
-    for reg in remaining:
-        value = _metric_value(infos[reg].spill_cost, degrees[reg], metric)
+    mask = remaining
+    while mask:
+        low = mask & -mask
+        slot = low.bit_length() - 1
+        mask ^= low
+        reg = regs[slot]
+        value = _metric_value(infos[reg].spill_cost, degrees[slot], metric)
         if value < best_value or (
-            value == best_value and (best is None or reg.id < best.id)
+            value == best_value and (best is None or reg.id < best_id)
         ):
-            best = reg
+            best = slot
+            best_id = reg.id
             best_value = value
-    if best is None or math.isinf(infos[best].spill_cost):
+    if best is None or math.isinf(infos[regs[best]].spill_cost):
         raise AllocationError(
             "simplification blocked with only unspillable live ranges; "
             "the register file is too small for this function"

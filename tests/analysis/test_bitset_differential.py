@@ -1,0 +1,192 @@
+"""Differential equivalence of the bitset kernels vs the set oracles.
+
+The dense-bitset liveness kernel (``repro.analysis.bitset``) and the
+mask-based interference walk must be observationally identical to the
+original set-of-objects implementations.  ``compute_liveness_sets`` is
+kept in the tree verbatim as the liveness oracle; the interference
+oracle is re-derived here as the textbook backward walk over explicit
+sets.  Both are compared against the production kernels over every
+registry workload and a corpus of generated fuzz programs, and the
+final allocations are checked for determinism (two independent runs
+produce bit-identical output) and validity (the PR 2 verifier).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.liveness import compute_liveness, compute_liveness_sets
+from repro.fuzz.harness import config_for_seed
+from repro.ir.clone import clone_program
+from repro.ir.instructions import Copy
+from repro.lang import compile_source
+from repro.machine.mips import register_file
+from repro.machine.registers import RegisterConfig
+from repro.regalloc import (
+    PRESETS,
+    allocate_program,
+    build_interference,
+    build_webs,
+    verify_allocation,
+)
+from repro.analysis.frequency import static_weights
+from repro.workloads import get_workload, workload_names
+from repro.workloads.generator import random_source
+
+#: Deterministic fuzz corpus: same generator the fuzz harness drives.
+FUZZ_SEEDS = tuple(range(24))
+
+WORKLOADS = workload_names()
+ALLOCATORS = sorted(PRESETS)
+
+
+def _compile_workload(name):
+    return compile_source(get_workload(name).source, name=name)
+
+
+def _compile_seed(seed):
+    return compile_source(random_source(seed), name=f"rand{seed}")
+
+
+# ----------------------------------------------------------------------
+# Liveness: bitset fixed point vs the set-of-objects oracle.
+
+
+def _assert_liveness_equivalent(func):
+    info = compute_liveness(func)
+    ref_in, ref_out = compute_liveness_sets(func)
+    assert info.live_in == ref_in, f"live-in mismatch in {func.name}"
+    assert info.live_out == ref_out, f"live-out mismatch in {func.name}"
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_liveness_matches_oracle_on_workload(name):
+    program = _compile_workload(name)
+    for func in program.functions.values():
+        _assert_liveness_equivalent(func)
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_liveness_matches_oracle_on_fuzz_program(seed):
+    program = _compile_seed(seed)
+    for func in program.functions.values():
+        _assert_liveness_equivalent(func)
+
+
+# ----------------------------------------------------------------------
+# Interference: mask walk vs an explicit-set reference builder.
+
+
+def _reference_edges(func):
+    """The interference edge set by the original set-based definition.
+
+    Parameters all interfere pairwise and with everything live into
+    the entry block; each definition interferes with everything live
+    after the defining instruction except itself and, for a ``Copy``,
+    the copy source.  Only same-bank pairs interfere.
+    """
+    live_in, live_out = compute_liveness_sets(func)
+    edges = set()
+
+    def connect(a, b):
+        if a is not b and a.vtype is b.vtype:
+            edges.add(frozenset((a, b)))
+
+    for param in func.params:
+        for other in func.params:
+            connect(param, other)
+        for other in live_in[func.entry]:
+            connect(param, other)
+
+    for block in func.blocks:
+        live = set(live_out[block])
+        for instr in reversed(block.instrs):
+            defs = instr.defs()
+            copy_src = instr.src if isinstance(instr, Copy) else None
+            for dst in defs:
+                for other in live:
+                    if other is copy_src:
+                        continue
+                    connect(dst, other)
+            live.difference_update(defs)
+            live.update(instr.uses())
+    return edges
+
+
+def _graph_edges(graph):
+    edges = set()
+    for reg in graph.nodes:
+        for other in graph.neighbors(reg):
+            edges.add(frozenset((reg, other)))
+    return edges
+
+
+def _assert_interference_equivalent(func):
+    # Mirror the pipeline: interference is always built on webs.
+    build_webs(func)
+    graph, _ = build_interference(func, static_weights(func), set())
+    assert _graph_edges(graph) == _reference_edges(
+        func
+    ), f"edge-set mismatch in {func.name}"
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_interference_matches_reference_on_workload(name):
+    # build_webs rewrites the function, so work on a private clone.
+    program = clone_program(_compile_workload(name)).program
+    for func in program.functions.values():
+        _assert_interference_equivalent(func)
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_interference_matches_reference_on_fuzz_program(seed):
+    program = clone_program(_compile_seed(seed)).program
+    for func in program.functions.values():
+        _assert_interference_equivalent(func)
+
+
+# ----------------------------------------------------------------------
+# End to end: every preset produces a valid, deterministic allocation.
+
+
+def _signature(allocation):
+    """Everything observable about an allocation, rendered to strings.
+
+    ``allocate_program`` clones its input, so VReg objects differ
+    between runs; reprs (stable per-function ids and names) and block
+    order capture the result bit for bit.
+    """
+    sig = {}
+    for name, fa in allocation.functions.items():
+        blocks = [
+            (block.name, [repr(instr) for instr in block.instrs])
+            for block in fa.func.blocks
+        ]
+        assignment = sorted(
+            (repr(reg), phys.name) for reg, phys in fa.assignment.items()
+        )
+        spilled = sorted(repr(reg) for reg in fa.spilled)
+        sig[name] = (blocks, assignment, spilled, fa.frame_slots, fa.iterations)
+    return sig
+
+
+def _assert_allocation_stable(program, config: RegisterConfig, label: str):
+    options = PRESETS[label]()
+    regfile = register_file(config)
+    first = allocate_program(program, regfile, options)
+    verify_allocation(first)
+    second = allocate_program(program, regfile, options)
+    assert _signature(first) == _signature(second)
+
+
+@pytest.mark.parametrize("label", ALLOCATORS)
+def test_fuzz_allocations_verified_and_deterministic(label):
+    for seed in FUZZ_SEEDS[::3]:
+        program = _compile_seed(seed)
+        _assert_allocation_stable(program, config_for_seed(seed), label)
+
+
+@pytest.mark.parametrize("label", ALLOCATORS)
+def test_workload_allocation_verified_and_deterministic(label):
+    program = _compile_workload("compress")
+    _assert_allocation_stable(program, RegisterConfig(8, 6, 2, 2), label)

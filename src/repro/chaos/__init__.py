@@ -1,0 +1,59 @@
+"""Chaos engineering for the allocator: prove the recovery paths work.
+
+The resilience layer (:mod:`repro.resilience`) claims every
+``allocate_program(resilient=True)`` call comes back with a
+verifier-clean allocation.  This package earns that claim the hard
+way: deterministic, seed-driven fault plans
+(:class:`~repro.chaos.plan.FaultPlan`) inject exceptions and budget
+exhaustion at the tracer decision sites and phase boundaries, corrupt
+finished allocations in four verifier-facing ways
+(:mod:`repro.chaos.corrupt`), and campaign runs
+(:func:`~repro.chaos.campaign.run_campaign`) sweep workloads × presets
+× seeds asserting that every injected fault is either caught by the
+verifier or absorbed by a lower rung — never silently survived.
+
+CLI entry point: ``repro chaos``.
+"""
+
+from repro.chaos.campaign import (
+    CampaignReport,
+    CampaignRun,
+    composite_seed,
+    record_campaign,
+    run_campaign,
+)
+from repro.chaos.corrupt import CORRUPTIONS, Corruptor
+from repro.chaos.plan import (
+    ACTIONS,
+    CORRUPTION_ACTIONS,
+    EVENT_SITES,
+    INJECT_SITES,
+    PHASE_SITES,
+    RAISE_ACTIONS,
+    ChaosFault,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+__all__ = [
+    "ACTIONS",
+    "CORRUPTIONS",
+    "CORRUPTION_ACTIONS",
+    "CampaignReport",
+    "CampaignRun",
+    "ChaosFault",
+    "Corruptor",
+    "EVENT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "INJECT_SITES",
+    "InjectedFault",
+    "PHASE_SITES",
+    "RAISE_ACTIONS",
+    "composite_seed",
+    "record_campaign",
+    "run_campaign",
+]

@@ -1,0 +1,187 @@
+"""Seeded fault-injection campaigns over workloads × presets × seeds.
+
+One campaign run = one ``(workload, preset, seed)`` triple: a
+:class:`~repro.chaos.plan.FaultPlan` is derived from a composite seed
+(stable CRC32 of the triple, so adding a workload never reshuffles
+another's faults), its injector and corruptor are handed to the
+fallback chain, and the run is **clean** when a verifier-clean
+allocation comes back with every demotion attributed — the acceptance
+bar the CI chaos job enforces across hundreds of injections.
+
+Campaigns run in-process and sequentially: determinism matters more
+than speed here, and a run is a handful of allocations at most.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.chaos.corrupt import Corruptor
+from repro.chaos.plan import FaultInjector, FaultPlan
+from repro.machine.mips import FULL_CONFIG, register_file
+from repro.machine.registers import RegisterConfig
+from repro.regalloc.options import PRESETS
+from repro.regalloc.verify import verify_allocation
+from repro.resilience.chain import resilient_allocate_program
+from repro.workloads import compile_workload
+
+
+def composite_seed(workload: str, preset: str, seed: int) -> int:
+    """A stable per-triple seed (CRC32 of ``workload:preset:seed``)."""
+    return zlib.crc32(f"{workload}:{preset}:{seed}".encode())
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of one chaos-injected resilient allocation."""
+
+    workload: str
+    preset: str
+    seed: int
+    plan: dict
+    #: In-allocator faults that actually fired (site, function, ...).
+    injected: List[dict] = field(default_factory=list)
+    #: Corruptions actually applied to a finished rung's result.
+    corrupted: List[dict] = field(default_factory=list)
+    #: The accepted ResilienceReport, as a dict; None when the run
+    #: failed outright (chain exhausted or an escape — never expected).
+    report: Optional[dict] = None
+    #: True iff an allocation came back and re-verified clean.
+    clean: bool = False
+    error: Optional[str] = None
+
+    @property
+    def faults_fired(self) -> int:
+        return len(self.injected) + len(self.corrupted)
+
+    @property
+    def attributed(self) -> bool:
+        """Every demotion carries an error type (nothing anonymous)."""
+        if self.report is None:
+            return False
+        return all(
+            record.get("error_type") for record in self.report["demotions"]
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "preset": self.preset,
+            "seed": self.seed,
+            "plan": self.plan,
+            "injected": self.injected,
+            "corrupted": self.corrupted,
+            "faults_fired": self.faults_fired,
+            "report": self.report,
+            "clean": self.clean,
+            "attributed": self.attributed,
+            "error": self.error,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Every run of one campaign, plus the aggregate verdict."""
+
+    runs: List[CampaignRun] = field(default_factory=list)
+
+    @property
+    def total_injections(self) -> int:
+        return sum(run.faults_fired for run in self.runs)
+
+    @property
+    def unclean(self) -> List[CampaignRun]:
+        return [run for run in self.runs if not run.clean]
+
+    @property
+    def unattributed(self) -> List[CampaignRun]:
+        return [run for run in self.runs if run.clean and not run.attributed]
+
+    @property
+    def all_clean(self) -> bool:
+        return not self.unclean and not self.unattributed
+
+    @property
+    def degraded_runs(self) -> int:
+        return sum(
+            1
+            for run in self.runs
+            if run.report is not None and run.report["degraded"]
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "runs": [run.as_dict() for run in self.runs],
+            "total_runs": len(self.runs),
+            "total_injections": self.total_injections,
+            "degraded_runs": self.degraded_runs,
+            "unclean_runs": len(self.unclean),
+            "unattributed_runs": len(self.unattributed),
+            "all_clean": self.all_clean,
+        }
+
+
+def run_campaign(
+    workloads: Sequence[str],
+    presets: Sequence[str] = tuple(PRESETS),
+    seeds: Sequence[int] = range(10),
+    faults_per_seed: int = 2,
+    config: RegisterConfig = FULL_CONFIG,
+) -> CampaignReport:
+    """Run the full cross product and collect every outcome.
+
+    Nothing here raises for an injected fault — a fault that escapes
+    the chain is exactly what a run records as ``clean=False`` (and
+    what makes the CI job fail).
+    """
+    report = CampaignReport()
+    regfile = register_file(config)
+    for workload in workloads:
+        compiled = compile_workload(workload)
+        for preset in presets:
+            options = PRESETS[preset]()
+            for seed in seeds:
+                plan = FaultPlan.from_seed(
+                    composite_seed(workload, preset, seed),
+                    faults=faults_per_seed,
+                )
+                injector = FaultInjector(plan)
+                corruptor = Corruptor(plan)
+                run = CampaignRun(
+                    workload=workload,
+                    preset=preset,
+                    seed=seed,
+                    plan=plan.as_dict(),
+                )
+                try:
+                    allocation, resilience = resilient_allocate_program(
+                        compiled.program,
+                        regfile,
+                        options,
+                        injector=injector,
+                        corrupt=corruptor,
+                    )
+                    # Belt and braces: the chain verified the winning
+                    # rung already; re-verify so "clean" never rests on
+                    # the chain's own bookkeeping.
+                    verify_allocation(allocation)
+                    run.report = resilience.as_dict()
+                    run.clean = True
+                except Exception as exc:  # noqa: BLE001 - the verdict
+                    run.error = f"{type(exc).__name__}: {exc}"
+                run.injected = [fault.as_dict() for fault in injector.fired]
+                run.corrupted = list(corruptor.fired)
+                report.runs.append(run)
+    return report
+
+
+def record_campaign(report: CampaignReport) -> None:
+    """Feed campaign aggregates into the process-global metrics."""
+    from repro.obs.metrics import METRICS
+
+    METRICS.inc("chaos.runs", len(report.runs))
+    METRICS.inc("chaos.injections", report.total_injections)
+    METRICS.inc("chaos.degraded", report.degraded_runs)
+    METRICS.inc("chaos.unclean", len(report.unclean))

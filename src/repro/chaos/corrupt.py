@@ -1,0 +1,237 @@
+"""Allocation corruptions: sabotage the verifier must catch.
+
+Each corruption mutates a *finished* :class:`ProgramAllocation` —
+after the allocator declared victory, before the fallback chain
+verifies it — in a way that is guaranteed to violate the specific
+invariant it is named for:
+
+* ``wrong-color`` — re-color a defined live range with the register
+  of a range live across its definition (same bank, so assignment
+  sanity still passes) → ``register-conflict``.  Functions too small
+  to contain such a pair fall back to moving one range into the wrong
+  bank → ``bank-mismatch``.
+* ``caller-save-clobber`` — delete the save/restore pair protecting a
+  caller-save register across a call, so the callee's clobber goes
+  unguarded → ``caller-save``.
+* ``uninit-spill-slot`` — retarget one spill reload at a fresh,
+  never-written frame slot → ``spill-slot`` (read before any store
+  reaches it).
+* ``bad-callee-prologue`` — delete one callee-save save from the
+  prologue while the register stays in use → ``callee-save``.
+
+Every function returns the corruption record (a dict naming the
+function and what was broken) or ``None`` when the allocation offers
+no candidate site — e.g. ``caller-save-clobber`` on a program whose
+calls cross no caller-save registers.  Candidate selection walks
+functions in allocation order and picks with the caller's seeded
+``random.Random``, so a given plan always breaks the same thing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.liveness import compute_liveness
+from repro.ir.instructions import Call, Copy
+from repro.regalloc.framework import ProgramAllocation
+from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
+
+
+def corrupt_wrong_color(
+    allocation: ProgramAllocation, rng: random.Random
+) -> Optional[dict]:
+    """Alias two simultaneously-live same-bank ranges."""
+    candidates = []  # (fa, dst, victim)
+    for fa in allocation.functions.values():
+        liveness = compute_liveness(fa.func)
+        for block in fa.func.blocks:
+            for instr, live_after in liveness.live_across(block):
+                copy_src = instr.src if isinstance(instr, Copy) else None
+                for dst in instr.defs():
+                    for live in live_after:
+                        if live is dst or live is copy_src:
+                            continue
+                        if (
+                            live.vtype is dst.vtype
+                            and fa.assignment[live] != fa.assignment[dst]
+                        ):
+                            candidates.append((fa, dst, live))
+    if candidates:
+        fa, dst, live = candidates[rng.randrange(len(candidates))]
+        fa.assignment[dst] = fa.assignment[live]
+        return {
+            "kind": "wrong-color",
+            "function": fa.func.name,
+            "lr": repr(dst),
+            "register": fa.assignment[live].name,
+            "expect_check": "register-conflict",
+        }
+    # Tiny functions: no two ranges are ever simultaneously live, so
+    # recolor one range into the other bank instead.
+    banked = []
+    for fa in allocation.functions.values():
+        for reg, phys in fa.assignment.items():
+            for other in allocation.regfile.all_registers():
+                if other.bank is not reg.vtype:
+                    banked.append((fa, reg, other))
+                    break
+    if not banked:
+        return None
+    fa, reg, other = banked[rng.randrange(len(banked))]
+    fa.assignment[reg] = other
+    return {
+        "kind": "wrong-color",
+        "function": fa.func.name,
+        "lr": repr(reg),
+        "register": other.name,
+        "expect_check": "bank-mismatch",
+    }
+
+
+def corrupt_caller_save(
+    allocation: ProgramAllocation, rng: random.Random
+) -> Optional[dict]:
+    """Strip the save/restore pair around one call."""
+    candidates = []  # (fa, block, call_index)
+    for fa in allocation.functions.values():
+        for block in fa.func.blocks:
+            for index, instr in enumerate(block.instrs):
+                if isinstance(instr, Call) and _caller_saves_before(
+                    block, index
+                ):
+                    candidates.append((fa, block, index))
+    if not candidates:
+        return None
+    fa, block, index = candidates[rng.randrange(len(candidates))]
+    save = _caller_saves_before(block, index)[-1]
+    phys = save.src
+    # Remove the matching restore first so the call's index is stable.
+    for offset, instr in enumerate(block.instrs[index + 1 :]):
+        if (
+            isinstance(instr, SpillLoad)
+            and instr.kind is OverheadKind.CALLER_SAVE
+            and instr.dst == phys
+        ):
+            del block.instrs[index + 1 + offset]
+            break
+        if not (
+            isinstance(instr, SpillLoad)
+            and instr.kind is OverheadKind.CALLER_SAVE
+        ):
+            break
+    block.instrs.remove(save)
+    return {
+        "kind": "caller-save-clobber",
+        "function": fa.func.name,
+        "block": block.name,
+        "register": phys.name,
+        "expect_check": "caller-save",
+    }
+
+
+def _caller_saves_before(block, call_index: int) -> List[SpillStore]:
+    saves: List[SpillStore] = []
+    i = call_index - 1
+    while i >= 0:
+        instr = block.instrs[i]
+        if isinstance(instr, SpillStore) and instr.kind is OverheadKind.CALLER_SAVE:
+            saves.append(instr)
+            i -= 1
+        else:
+            break
+    return saves
+
+
+def corrupt_spill_slot(
+    allocation: ProgramAllocation, rng: random.Random
+) -> Optional[dict]:
+    """Point one spill reload at a fresh, never-written slot."""
+    candidates = []  # (fa, block, instr)
+    for fa in allocation.functions.values():
+        for block in fa.func.blocks:
+            for instr in block.instrs:
+                if (
+                    isinstance(instr, SpillLoad)
+                    and instr.kind is OverheadKind.SPILL
+                ):
+                    candidates.append((fa, block, instr))
+    if not candidates:
+        return None
+    fa, block, instr = candidates[rng.randrange(len(candidates))]
+    fresh = fa.frame_slots
+    fa.frame_slots += 1  # keep the slot in range: read-before-write, not OOB
+    instr.slot = fresh
+    return {
+        "kind": "uninit-spill-slot",
+        "function": fa.func.name,
+        "block": block.name,
+        "slot": fresh,
+        "expect_check": "spill-slot",
+    }
+
+
+def corrupt_callee_prologue(
+    allocation: ProgramAllocation, rng: random.Random
+) -> Optional[dict]:
+    """Drop one callee-save save from a function's prologue."""
+    candidates = []  # (fa, save)
+    for fa in allocation.functions.values():
+        for instr in fa.func.entry.instrs:
+            if (
+                isinstance(instr, SpillStore)
+                and instr.kind is OverheadKind.CALLEE_SAVE
+            ):
+                candidates.append((fa, instr))
+            else:
+                break
+    if not candidates:
+        return None
+    fa, save = candidates[rng.randrange(len(candidates))]
+    fa.func.entry.instrs.remove(save)
+    return {
+        "kind": "bad-callee-prologue",
+        "function": fa.func.name,
+        "register": save.src.name,
+        "expect_check": "callee-save",
+    }
+
+
+#: Corruption class name -> implementation; names match
+#: :data:`repro.chaos.plan.CORRUPTION_ACTIONS`.
+CORRUPTIONS: Dict[
+    str, Callable[[ProgramAllocation, random.Random], Optional[dict]]
+] = {
+    "wrong-color": corrupt_wrong_color,
+    "caller-save-clobber": corrupt_caller_save,
+    "uninit-spill-slot": corrupt_spill_slot,
+    "bad-callee-prologue": corrupt_callee_prologue,
+}
+
+
+class Corruptor:
+    """Applies a plan's corruption specs to the matching rung's result.
+
+    Usable directly as the fallback chain's ``corrupt`` hook.  Each
+    spec applies at most once; applied corruptions are recorded in
+    :attr:`fired` (the corruption record plus the rung index),
+    inapplicable ones in :attr:`skipped`.
+    """
+
+    def __init__(self, plan) -> None:
+        self.plan = plan
+        self._pending = list(plan.corruption_specs())
+        self._rng = random.Random(plan.seed ^ 0x5EED5)
+        self.fired: List[dict] = []
+        self.skipped: List[dict] = []
+
+    def __call__(self, allocation: ProgramAllocation, rung_index: int) -> None:
+        for spec in list(self._pending):
+            if spec.rung != rung_index:
+                continue
+            self._pending.remove(spec)
+            record = CORRUPTIONS[spec.action](allocation, self._rng)
+            if record is None:
+                self.skipped.append(spec.as_dict())
+            else:
+                self.fired.append({**record, "rung": rung_index})

@@ -1,0 +1,227 @@
+"""Deterministic fault plans and the tracer-driven fault injector.
+
+A :class:`FaultPlan` is derived entirely from one integer seed: the
+same seed always produces the same fault specs, which fire at the same
+sites, so a chaos run — and the :class:`ResilienceReport` it provokes
+— is reproducible bit-for-bit.  Faults come in two families:
+
+* **Injected exceptions** (``raise`` / ``budget``) fire *inside* the
+  allocator, at the PR 3 tracer decision sites and phase boundaries.
+  The :class:`FaultInjector` is a :class:`~repro.obs.tracer.Tracer`
+  subclass: the framework already calls ``emit``/``begin_phase`` at
+  every decision point, so handing the injector in as the tracer turns
+  every instrumented site into a potential failure point with zero new
+  hooks in allocator code.  ``raise`` throws a :class:`ChaosFault`
+  (a plain ``RuntimeError`` — deliberately *not* an
+  ``AllocationError``, to prove the chain absorbs arbitrary crashes);
+  ``budget`` throws a real
+  :class:`~repro.regalloc.budget.BudgetExceeded`.
+* **Corruptions** (see :mod:`repro.chaos.corrupt`) sabotage a
+  *finished* allocation before the chain verifies it, proving the
+  verifier — not luck — is what guards each rung.
+
+Every spec is **one-shot**: once fired it disarms, so the next rung
+down retries without it and a single fault demotes exactly one rung.
+The chain never hands the injector (or the corruptor) to the final
+rung — the last resort runs unsabotaged, which is what makes the whole
+arrangement total.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.obs.tracer import Tracer
+from repro.regalloc.budget import BudgetExceeded
+from repro.regalloc.framework import PHASES
+
+#: Decision-event kinds the injector can target.  A spec aimed at a
+#: site the run never hits (e.g. ``coalesce`` on a copy-free function)
+#: simply never fires; campaign reports count *fired* injections.
+EVENT_SITES: Tuple[str, ...] = (
+    "simplify_pop",
+    "assign",
+    "coalesce",
+    "spill_code",
+    "caller_save_site",
+    "callee_save",
+    "iteration_begin",
+    "spill_round",
+    "ordering_spill",
+    "optimistic_push",
+)
+
+#: Phase-boundary sites (``begin_phase``), one per pipeline phase.
+PHASE_SITES: Tuple[str, ...] = tuple(f"phase:{name}" for name in PHASES)
+
+INJECT_SITES: Tuple[str, ...] = EVENT_SITES + PHASE_SITES
+
+#: In-allocator fault actions.
+RAISE_ACTIONS: Tuple[str, ...] = ("raise", "budget")
+
+#: Post-allocation corruption classes (implemented in
+#: :mod:`repro.chaos.corrupt`), matched to the verifier check each is
+#: designed to trip.
+CORRUPTION_ACTIONS: Tuple[str, ...] = (
+    "wrong-color",
+    "caller-save-clobber",
+    "uninit-spill-slot",
+    "bad-callee-prologue",
+)
+
+ACTIONS: Tuple[str, ...] = RAISE_ACTIONS + CORRUPTION_ACTIONS
+
+
+class ChaosFault(RuntimeError):
+    """An exception injected on purpose at an instrumented site."""
+
+    def __init__(self, site: str, occurrence: int, function: str) -> None:
+        self.site = site
+        self.occurrence = occurrence
+        self.function = function
+        super().__init__(
+            f"chaos: injected fault at {site} (hit #{occurrence}) "
+            f"in {function or '?'}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    ``raise``/``budget`` specs carry an injection ``site`` and fire on
+    its ``occurrence``-th hit (counted across the whole chain run).
+    Corruption specs use the pseudo-site ``allocation`` and apply to
+    the finished result of rung ``rung``.
+    """
+
+    action: str
+    site: str = "allocation"
+    occurrence: int = 1
+    rung: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "site": self.site,
+            "occurrence": self.occurrence,
+            "rung": self.rung,
+        }
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """A fault that actually fired, with where it landed."""
+
+    spec: FaultSpec
+    function: str
+    phase: str
+    iteration: int
+
+    def as_dict(self) -> dict:
+        return {
+            **self.spec.as_dict(),
+            "function": self.function,
+            "phase": self.phase,
+            "iteration": self.iteration,
+        }
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible set of fault specs for one chaos run."""
+
+    seed: int
+    specs: List[FaultSpec] = field(default_factory=list)
+
+    @staticmethod
+    def from_seed(seed: int, faults: int = 2) -> "FaultPlan":
+        """Derive ``faults`` specs deterministically from ``seed``.
+
+        Actions are drawn uniformly from :data:`ACTIONS` (so roughly a
+        third of specs are in-allocator exceptions/budget blows and
+        two thirds verifier-facing corruptions); injection sites get a
+        small occurrence number to keep the firing rate high.
+        Corruptions target the primary rung's result.
+        """
+        rng = random.Random(seed)
+        specs: List[FaultSpec] = []
+        for _ in range(faults):
+            action = rng.choice(ACTIONS)
+            if action in RAISE_ACTIONS:
+                site = rng.choice(INJECT_SITES)
+                bound = 6 if site.startswith("phase:") else 12
+                specs.append(
+                    FaultSpec(
+                        action=action,
+                        site=site,
+                        occurrence=rng.randint(1, bound),
+                    )
+                )
+            else:
+                specs.append(FaultSpec(action=action, rung=0))
+        return FaultPlan(seed=seed, specs=specs)
+
+    def injection_specs(self) -> List[FaultSpec]:
+        return [s for s in self.specs if s.action in RAISE_ACTIONS]
+
+    def corruption_specs(self) -> List[FaultSpec]:
+        return [s for s in self.specs if s.action in CORRUPTION_ACTIONS]
+
+    def as_dict(self) -> dict:
+        return {"seed": self.seed, "specs": [s.as_dict() for s in self.specs]}
+
+
+class FaultInjector(Tracer):
+    """A tracer that turns instrumented sites into failure points.
+
+    Counts every decision-event kind and every phase begin as a site
+    hit; when a hit matches an armed spec's ``(site, occurrence)``,
+    the spec disarms, the firing is recorded in :attr:`fired`, and the
+    planned exception is raised from inside the allocator.  Events are
+    *not* retained (``emit`` only counts), so a campaign of thousands
+    of runs stays cheap.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        super().__init__(record_events=True, record_spans=False)
+        self.plan = plan
+        self.fired: List[InjectedFault] = []
+        self._armed: List[FaultSpec] = plan.injection_specs()
+        self._counts: dict = {}
+
+    def emit(self, kind: str, lr=None, **detail) -> None:  # noqa: ARG002
+        self._hit(kind)
+
+    def begin_phase(self, name: str) -> None:
+        super().begin_phase(name)
+        self._hit(f"phase:{name}")
+
+    def add_span(self, name, start, duration) -> None:  # pragma: no cover
+        pass
+
+    def _hit(self, site: str) -> None:
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        for spec in self._armed:
+            if spec.site == site and spec.occurrence == count:
+                self._armed.remove(spec)
+                self.fired.append(
+                    InjectedFault(
+                        spec=spec,
+                        function=self._function,
+                        phase=self._phase,
+                        iteration=self._iteration,
+                    )
+                )
+                if spec.action == "budget":
+                    raise BudgetExceeded(
+                        "deadline",
+                        0.0,
+                        0.0,
+                        self._function or "?",
+                        phase=self._phase or None,
+                    )
+                raise ChaosFault(site, count, self._function)

@@ -13,6 +13,17 @@ def format_value(value: float) -> str:
     return f"{value:.2f}"
 
 
+def degraded_cell(total: float, rung: str) -> str:
+    """Sweep cell for a grid point served by a fallback rung.
+
+    A degraded point still has a real (verifier-clean) total, but
+    printing the bare number would silently pass a lower rung's
+    overhead off as the requested allocator's — so the cell names the
+    rung that actually produced it.
+    """
+    return f"deg[{rung}] {total:.0f}"
+
+
 def render_table(
     title: str,
     header: Sequence[str],

@@ -12,7 +12,7 @@ import json
 from typing import Dict, List, Optional, Sequence
 
 from repro.eval.overhead import Overhead
-from repro.eval.render import render_table
+from repro.eval.render import degraded_cell, render_table
 from repro.obs.metrics import allocation_metrics
 from repro.regalloc.framework import ProgramAllocation
 
@@ -49,7 +49,7 @@ def allocation_report(
             },
         }
     snapshot = allocation_metrics(allocation)
-    return {
+    report = {
         "allocator": allocation.options.label,
         "config": config,
         "info": info,
@@ -63,6 +63,9 @@ def allocation_report(
             },
         },
     }
+    if allocation.resilience is not None:
+        report["resilience"] = allocation.resilience.as_dict()
+    return report
 
 
 def render_allocation(report: dict, show_assignment: bool = False) -> str:
@@ -78,6 +81,17 @@ def render_allocation(report: dict, show_assignment: bool = False) -> str:
             f"shuffle={overhead['shuffle']:.0f})"
         ),
     ]
+    resilience = report.get("resilience")
+    if resilience is not None and resilience["degraded"]:
+        reasons = "; ".join(
+            f"{record['rung']}: {record['error_type']}"
+            for record in resilience["demotions"]
+        )
+        lines.insert(
+            1,
+            f"DEGRADED to rung {resilience['rung']!r} "
+            f"(requested {resilience['requested']!r}; {reasons})",
+        )
     for name, record in report["functions"].items():
         spilled = ", ".join(record["spilled"]) or "none"
         lines.append(
@@ -98,12 +112,16 @@ def sweep_report(
     totals: Dict[str, Dict[str, Optional[float]]],
     grid,
     metrics: Optional[dict] = None,
+    resilience: Optional[Dict[str, Dict[str, Optional[dict]]]] = None,
 ) -> dict:
     """Plain-data record of one ``repro sweep`` run.
 
     ``totals`` maps allocator name to ``{str(config): total overhead}``
     with ``None`` for failed grid points; ``grid`` is the
     :class:`~repro.eval.runner.GridReport` the sweep ran under.
+    ``resilience`` (resilient sweeps only) mirrors the shape of
+    ``totals`` with each cell's full ``ResilienceReport`` dict — or
+    ``None`` for cells served by the primary rung.
     """
     from repro.eval.runner import describe_key
 
@@ -127,18 +145,34 @@ def sweep_report(
     }
     if metrics is not None:
         report["metrics"] = metrics
+    if resilience is not None:
+        report["resilience"] = resilience
     return report
 
 
 def render_sweep(report: dict) -> str:
-    """The classic ``repro sweep`` overhead table, from the report."""
+    """The classic ``repro sweep`` overhead table, from the report.
+
+    Cells a resilient sweep served from a fallback rung render as
+    ``deg[<rung>] <total>`` so a recovered point is never mistaken for
+    the requested allocator's own number; unrecovered points stay
+    ``ERR``.
+    """
+    resilience = report.get("resilience") or {}
     header = ["allocator"] + list(report["configs"])
     rows = []
     for name, totals in report["totals"].items():
         row = [name]
         for config in report["configs"]:
             total = totals.get(config)
-            row.append("ERR" if total is None else f"{total:.0f}")
+            if total is None:
+                row.append("ERR")
+                continue
+            cell = resilience.get(name, {}).get(config)
+            if cell is not None and cell["degraded"]:
+                row.append(degraded_cell(total, cell["rung"]))
+            else:
+                row.append(f"{total:.0f}")
         rows.append(row)
     return render_table(
         f"total overhead for {report['workload']!r} ({report['info']} info)",

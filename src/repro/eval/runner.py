@@ -76,6 +76,11 @@ class Measurement:
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
     #: Phase spans (epoch-stamped, pid-tagged) when tracing was on.
     spans: Tuple[PhaseSpan, ...] = ()
+    #: ``ResilienceReport.as_dict()`` when the grid point was computed
+    #: resiliently (None otherwise): which fallback rung produced the
+    #: numbers and why any higher rung was demoted.  Picklable, so it
+    #: travels from sweep workers like the metrics snapshot.
+    resilience: Optional[dict] = None
 
 
 class ResultCache:
@@ -138,6 +143,7 @@ def allocate_workload(
     config: RegisterConfig,
     info: str = "dynamic",
     tracer: Optional[Tracer] = None,
+    resilient: bool = False,
 ) -> ProgramAllocation:
     """Allocate one workload (uncached; most callers want ``measure``)."""
     if info not in INFO_SOURCES:
@@ -153,6 +159,7 @@ def allocate_workload(
         weights_for,
         cache=compiled.analyses,
         tracer=tracer,
+        resilient=resilient,
     )
 
 
@@ -163,6 +170,7 @@ def compute_measurement(
     info: str = "dynamic",
     verify: bool = False,
     trace: bool = False,
+    resilient: bool = False,
 ) -> Measurement:
     """Allocate and evaluate one grid point, bypassing the cache.
 
@@ -172,9 +180,15 @@ def compute_measurement(
     span-only tracer rides along and the measurement carries the
     pid-tagged phase spans (the Chrome-trace raw material); decision
     events stay off, so traced sweeps pay only the span bookkeeping.
+    With ``resilient`` set, the allocation goes through the fallback
+    chain: a grid point whose primary allocator fails yields the best
+    surviving rung's (verifier-clean) numbers instead of an error, and
+    the measurement's ``resilience`` dict says which rung that was.
     """
     tracer = Tracer(record_events=False) if trace else None
-    allocation = allocate_workload(name, options, config, info, tracer=tracer)
+    allocation = allocate_workload(
+        name, options, config, info, tracer=tracer, resilient=resilient
+    )
     if verify:
         from repro.regalloc.verify import verify_allocation
 
@@ -186,6 +200,11 @@ def compute_measurement(
         stats=allocation.stats,
         metrics=allocation_metrics(allocation),
         spans=tuple(tracer.spans) if tracer is not None else (),
+        resilience=(
+            allocation.resilience.as_dict()
+            if allocation.resilience is not None
+            else None
+        ),
     )
 
 
@@ -194,12 +213,22 @@ def measure_full(
     options: AllocatorOptions,
     config: RegisterConfig,
     info: str = "dynamic",
+    resilient: bool = False,
 ) -> Measurement:
-    """The full measurement record for one grid point (cached)."""
+    """The full measurement record for one grid point (cached).
+
+    ``resilient`` only affects cache *misses*: resilient and plain
+    measurements share the four-tuple key, which is sound because a
+    resilient run whose primary rung succeeds produces the identical
+    allocation, and a grid point whose primary rung fails has no plain
+    measurement to collide with (a plain run of it raises).
+    """
     key: MeasureKey = (name, options, config, info)
     cached = RESULTS.get(key)
     if cached is None:
-        cached = compute_measurement(name, options, config, info)
+        cached = compute_measurement(
+            name, options, config, info, resilient=resilient
+        )
         RESULTS.put(key, cached)
         METRICS.merge(cached.metrics)
     return cached
@@ -210,9 +239,10 @@ def measure(
     options: AllocatorOptions,
     config: RegisterConfig,
     info: str = "dynamic",
+    resilient: bool = False,
 ) -> Overhead:
     """Overhead of ``name`` under the given allocator setup (cached)."""
-    return measure_full(name, options, config, info).overhead
+    return measure_full(name, options, config, info, resilient=resilient).overhead
 
 
 def measure_cycles(
@@ -220,9 +250,10 @@ def measure_cycles(
     options: AllocatorOptions,
     config: RegisterConfig,
     info: str = "dynamic",
+    resilient: bool = False,
 ) -> float:
     """Modelled execution cycles for the same setup (cached)."""
-    return measure_full(name, options, config, info).cycles
+    return measure_full(name, options, config, info, resilient=resilient).cycles
 
 
 def overhead_ratio(base: Overhead, other: Overhead) -> float:
@@ -295,7 +326,10 @@ def describe_key(key: MeasureKey) -> str:
 
 
 def _measure_chunk(
-    chunk: Sequence[MeasureKey], verify: bool = False, trace: bool = False
+    chunk: Sequence[MeasureKey],
+    verify: bool = False,
+    trace: bool = False,
+    resilient: bool = False,
 ) -> List[Tuple[MeasureKey, Measurement]]:
     """Worker entry point: compute a chunk of grid points.
 
@@ -304,13 +338,21 @@ def _measure_chunk(
     worker (or inherited pre-compiled under a fork start method).
     """
     return [
-        (key, compute_measurement(*key, verify=verify, trace=trace))
+        (
+            key,
+            compute_measurement(
+                *key, verify=verify, trace=trace, resilient=resilient
+            ),
+        )
         for key in chunk
     ]
 
 
 def _run_chunk(
-    chunk: Sequence[MeasureKey], verify: bool, trace: bool = False
+    chunk: Sequence[MeasureKey],
+    verify: bool,
+    trace: bool = False,
+    resilient: bool = False,
 ) -> List[Tuple[MeasureKey, Measurement]]:
     """The callable submitted to worker pools.
 
@@ -318,7 +360,7 @@ def _run_chunk(
     the module globals *in the worker*, so tests can monkeypatch the
     chunk worker (fault injection) and forked children see the patch.
     """
-    return _measure_chunk(chunk, verify, trace=trace)
+    return _measure_chunk(chunk, verify, trace=trace, resilient=resilient)
 
 
 def _chunk_by_workload(keys: Sequence[MeasureKey]) -> List[List[MeasureKey]]:
@@ -362,6 +404,7 @@ def _salvage_chunk(
     cache: ResultCache,
     report: GridReport,
     trace: bool = False,
+    resilient: bool = False,
 ) -> None:
     """In-process, per-key degradation of a repeatedly-failing chunk.
 
@@ -371,7 +414,7 @@ def _salvage_chunk(
     """
     for key in chunk:
         try:
-            pairs = _measure_chunk([key], verify, trace=trace)
+            pairs = _measure_chunk([key], verify, trace=trace, resilient=resilient)
         except Exception as error:
             report.failed.append(
                 FailureRecord(
@@ -394,13 +437,28 @@ def _absorb_report(report: GridReport, cache: ResultCache) -> GridReport:
     the grid outcome; runs in the parent only, so worker processes
     never touch ``METRICS``.
     """
+    fallback_runs = 0
+    fallback_demotions = 0
     for key in report.computed:
         measurement = cache.peek(key)
-        if measurement is not None:
-            METRICS.merge(measurement.metrics)
+        if measurement is None:
+            continue
+        METRICS.merge(measurement.metrics)
+        resilience = measurement.resilience
+        if resilience is not None:
+            from repro.resilience.chain import record_resilience
+
+            record_resilience(resilience)
+            if resilience["degraded"]:
+                fallback_runs += 1
+            fallback_demotions += len(resilience["demotions"])
     METRICS.inc("grid.computed", len(report.computed))
     METRICS.inc("grid.cached", len(report.cached))
     METRICS.inc("grid.failed", len(report.failed))
+    if fallback_runs:
+        METRICS.inc("grid.fallback_runs", fallback_runs)
+    if fallback_demotions:
+        METRICS.inc("grid.fallback_demotions", fallback_demotions)
     return report
 
 
@@ -414,6 +472,7 @@ def run_grid(
     retries: int = 2,
     backoff: float = 0.5,
     trace: bool = False,
+    resilient: bool = False,
 ) -> GridReport:
     """Pre-compute a measurement grid, in parallel when ``jobs`` > 1.
 
@@ -440,6 +499,12 @@ def run_grid(
     final failure — so the done count is consistent even when chunks
     crash.  Returns a :class:`GridReport` listing the computed,
     already-cached and failed grid points.
+
+    With ``resilient`` set, every grid point allocates through the
+    fallback chain (see :mod:`repro.resilience`): points whose primary
+    allocator would fail land in the cache as a lower rung's numbers
+    annotated with their ``resilience`` report, instead of becoming
+    :class:`FailureRecord` entries.
     """
     if cache is None:
         cache = RESULTS
@@ -472,11 +537,16 @@ def run_grid(
     if jobs is None or jobs <= 1 or len(chunks) == 1:
         for chunk in chunks:
             try:
-                pairs = _measure_chunk(chunk, verify, trace=trace)
+                pairs = _measure_chunk(
+                    chunk, verify, trace=trace, resilient=resilient
+                )
             except Exception:
                 # One bad key poisons the whole-chunk attempt; re-run
                 # key by key to salvage the healthy points.
-                _salvage_chunk(chunk, 1, verify, cache, report, trace=trace)
+                _salvage_chunk(
+                    chunk, 1, verify, cache, report, trace=trace,
+                    resilient=resilient,
+                )
             else:
                 for key, measurement in pairs:
                     cache.put(key, measurement)
@@ -516,7 +586,11 @@ def run_grid(
         )
         try:
             futures = [
-                (chunk, attempts, pool.submit(_run_chunk, chunk, verify, trace))
+                (
+                    chunk,
+                    attempts,
+                    pool.submit(_run_chunk, chunk, verify, trace, resilient),
+                )
                 for chunk, attempts in queue
             ]
             for chunk, attempts, future in futures:  # submission order
@@ -553,7 +627,10 @@ def run_grid(
 
     for chunk, attempts, error, salvageable in exhausted:
         if salvageable:
-            _salvage_chunk(chunk, attempts, verify, cache, report, trace=trace)
+            _salvage_chunk(
+                chunk, attempts, verify, cache, report, trace=trace,
+                resilient=resilient,
+            )
         else:
             report.failed.extend(
                 FailureRecord(key=key, error=error, attempts=attempts)

@@ -39,6 +39,7 @@ def quarantine(failure: FuzzFailure, corpus_dir: Path) -> Path:
         "error": failure.error,
         "source": failure.source,
         "ir": _ir_text(failure),
+        "rung": failure.rung,
     }
     path = corpus_dir / case_name(failure)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -85,6 +86,7 @@ def replay_case(record: Dict) -> List[FuzzFailure]:
         record["seed"],
         config=RegisterConfig(*record["config"]),
         presets=presets,
+        chaos=record.get("stage") == "chaos",
     )
     if skipped:
         return [

@@ -66,15 +66,19 @@ class FuzzFailure:
     allocator: str
     config: Tuple[int, int, int, int]
     #: Which check failed: ``compile``, ``baseline``, ``allocate``,
-    #: ``verify``, ``execute`` or ``differential``.
+    #: ``verify``, ``execute``, ``differential`` or ``chaos``.
     stage: str
     error: str
     source: str
+    #: For ``chaos``-stage failures: the fallback rung whose result the
+    #: failing check ran against (None when no rung was reached).
+    rung: Optional[str] = None
 
     def describe(self) -> str:
+        rung = f" (rung={self.rung})" if self.rung is not None else ""
         return (
             f"seed {self.seed} [{self.allocator} @ {self.config}] "
-            f"{self.stage}: {self.error}"
+            f"{self.stage}{rung}: {self.error}"
         )
 
 
@@ -135,12 +139,17 @@ def check_source(
     seed: int,
     config: Optional[RegisterConfig] = None,
     presets: Optional[Sequence[str]] = None,
+    chaos: bool = False,
 ) -> Tuple[List[FuzzFailure], int, bool]:
     """Run every check on one source program.
 
     Returns ``(failures, allocations checked, skipped)`` where
     ``skipped`` is True when the baseline run ran out of fuel and the
-    source was not checked at all.
+    source was not checked at all.  With ``chaos`` set, each preset is
+    additionally run through the fallback chain under a seeded fault
+    plan (stage ``chaos``): the surviving allocation must verify and
+    behave identically to the source program, whichever rung produced
+    it.
     """
     from repro.lang.lower import compile_source
     from repro.regalloc.verify import verify_allocation
@@ -150,7 +159,9 @@ def check_source(
     names = list(presets) if presets is not None else list(PRESETS)
     failures: List[FuzzFailure] = []
 
-    def failure(allocator: str, stage: str, error: str) -> None:
+    def failure(
+        allocator: str, stage: str, error: str, rung: Optional[str] = None
+    ) -> None:
         failures.append(
             FuzzFailure(
                 seed=seed,
@@ -159,6 +170,7 @@ def check_source(
                 stage=stage,
                 error=error,
                 source=source,
+                rung=rung,
             )
         )
 
@@ -207,6 +219,46 @@ def check_source(
         mismatch = _same_state(baseline, mech)
         if mismatch is not None:
             failure(name, "differential", mismatch)
+
+    if chaos:
+        from repro.chaos import Corruptor, FaultInjector, FaultPlan, composite_seed
+        from repro.resilience import resilient_allocate_program
+
+        for name in names:
+            options = PRESETS[name]()
+            plan = FaultPlan.from_seed(
+                composite_seed(f"fuzz{seed}", name, seed)
+            )
+            injector = FaultInjector(plan)
+            corruptor = Corruptor(plan)
+            checked += 1
+            rung: Optional[str] = None
+            try:
+                allocation, resilience = resilient_allocate_program(
+                    program,
+                    regfile,
+                    options,
+                    baseline.profile.weights,
+                    injector=injector,
+                    corrupt=corruptor,
+                )
+                rung = resilience.rung
+                verify_allocation(allocation)
+            except Exception as error:
+                failure(
+                    name, "chaos", f"{type(error).__name__}: {error}", rung=rung
+                )
+                continue
+            try:
+                mech = run_allocated(allocation, fuel=MACHINE_FUEL)
+            except Exception as error:
+                failure(
+                    name, "chaos", f"{type(error).__name__}: {error}", rung=rung
+                )
+                continue
+            mismatch = _same_state(baseline, mech)
+            if mismatch is not None:
+                failure(name, "chaos", mismatch, rung=rung)
     return failures, checked, False
 
 
@@ -220,11 +272,11 @@ def check_seed(seed: int, **kwargs) -> Tuple[List[FuzzFailure], int, bool]:
 # ----------------------------------------------------------------------
 
 
-def _fuzz_chunk(seeds: Sequence[int]) -> FuzzReport:
+def _fuzz_chunk(seeds: Sequence[int], chaos: bool = False) -> FuzzReport:
     """Worker entry point: check a chunk of seeds."""
     report = FuzzReport()
     for seed in seeds:
-        failures, checked, skipped = check_seed(seed)
+        failures, checked, skipped = check_seed(seed, chaos=chaos)
         report.seeds_run += 1
         report.checked += checked
         report.skipped += int(skipped)
@@ -250,6 +302,7 @@ def run_fuzz(
     jobs: int = 1,
     time_budget: Optional[float] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    chaos: bool = False,
 ) -> FuzzReport:
     """Fuzz ``seeds``, optionally in parallel, within ``time_budget``.
 
@@ -268,7 +321,7 @@ def run_fuzz(
             if deadline is not None and time.perf_counter() > deadline:
                 report.budget_exhausted = True
                 break
-            report.merge(_fuzz_chunk([seed]))
+            report.merge(_fuzz_chunk([seed], chaos=chaos))
             if progress is not None:
                 progress(report.seeds_run, total)
         report.elapsed = time.perf_counter() - started
@@ -288,7 +341,7 @@ def run_fuzz(
     )
     abandoned = False
     try:
-        futures = {pool.submit(_fuzz_chunk, chunk) for chunk in chunks}
+        futures = {pool.submit(_fuzz_chunk, chunk, chaos) for chunk in chunks}
         while futures:
             remaining = None
             if deadline is not None:

@@ -24,9 +24,17 @@ Metric names use dotted ``component.metric`` form:
 * ``results_cache.hits`` / ``results_cache.misses`` — gauges mirroring
   the measurement cache's :class:`~repro.analysis.manager.CacheStats`.
 * ``grid.computed`` / ``grid.cached`` / ``grid.failed`` — ``run_grid``
-  outcome counters.
+  outcome counters; ``grid.fallback_runs`` / ``grid.fallback_demotions``
+  count resilient grid points that degraded and the demotions behind
+  them.
 * ``fuzz.checked`` / ``fuzz.skipped`` / ``fuzz.failures`` plus
   ``fuzz.failures.<stage>`` — fuzzing verdicts.
+* ``resilience.runs`` / ``resilience.demotions`` /
+  ``resilience.degraded`` / ``resilience.rung.<name>`` — fallback-chain
+  outcomes (parent-side, one per accepted ``ResilienceReport``), plus
+  the ``resilience.rung_index`` histogram of how deep runs fall.
+* ``chaos.runs`` / ``chaos.injections`` / ``chaos.degraded`` /
+  ``chaos.unclean`` — fault-injection campaign aggregates.
 """
 
 from __future__ import annotations

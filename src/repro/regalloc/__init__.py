@@ -19,12 +19,14 @@ from repro.regalloc.benefits import (
     preference_key,
     priority_function,
 )
+from repro.regalloc.budget import AllocationBudget, BudgetExceeded
 from repro.regalloc.cbh import CBHContext, augment_for_cbh
 from repro.regalloc.coalesce import coalesce_round
 from repro.regalloc.errors import (
     AllocationContextError,
     AllocationVerificationError,
     BankMismatchError,
+    ConvergenceError,
     CalleeSaveError,
     CallerSaveError,
     CallingConventionError,
@@ -56,18 +58,22 @@ from repro.regalloc.preference import preference_decisions
 from repro.regalloc.priority import DEFAULT_STRATEGY, STRATEGIES, priority_order
 from repro.regalloc.reconstruct import reconstruct_interference
 from repro.regalloc.simplify import AllocationError, OrderingResult, simplify
+from repro.regalloc.spillall import allocate_spill_everywhere
 from repro.regalloc.spillgen import SlotAllocator, insert_spill_code
 from repro.regalloc.spillinstr import OverheadKind, SpillLoad, SpillStore
 from repro.regalloc.verify import verify_allocation, verify_function_allocation
 
 __all__ = [
+    "AllocationBudget",
     "AllocationContextError",
     "AllocationError",
     "AllocationVerificationError",
     "BankMismatchError",
+    "BudgetExceeded",
     "CalleeSaveError",
     "CallerSaveError",
     "CallingConventionError",
+    "ConvergenceError",
     "PRESETS",
     "RegisterConflictError",
     "SpillSlotError",
@@ -99,6 +105,7 @@ __all__ = [
     "Web",
     "allocate_function",
     "allocate_program",
+    "allocate_spill_everywhere",
     "augment_for_cbh",
     "build_interference",
     "build_webs",

@@ -1,0 +1,156 @@
+"""Phase budgets: bounded allocation runs.
+
+An :class:`AllocationBudget` puts ceilings on one allocation run — a
+wall-clock deadline, a per-function iteration ceiling and a
+per-function spill-count ceiling.  The framework checks the deadline
+at every phase boundary and the ceilings at their natural points
+(iteration start, after each spill round), so a runaway run surfaces
+as a catchable :class:`BudgetExceeded` instead of minutes of silence
+or a bare ``RuntimeError``.
+
+``BudgetExceeded`` derives from
+:class:`~repro.regalloc.errors.AllocationError`, so everything that
+already contains allocator failures — the fault-tolerant sweep, the
+fuzz harness, the resilience fallback chain — absorbs a blown budget
+like any other allocation failure.
+
+The clock starts lazily (at the first deadline check) or explicitly
+via :meth:`AllocationBudget.start`; ``allocate_program`` restarts it
+at the top of every call, so a deadline bounds one program allocation
+and each rung of a fallback chain gets the full allowance.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.regalloc.errors import AllocationError
+
+
+class BudgetExceeded(AllocationError):
+    """An allocation run blew one of its budget ceilings.
+
+    ``limit_kind`` is machine-readable: ``deadline``, ``iterations``
+    or ``spills``.  ``phase`` names the pipeline phase about to start
+    when a deadline fired (ceiling checks leave it None).
+    """
+
+    def __init__(
+        self,
+        limit_kind: str,
+        limit: float,
+        observed: float,
+        function: str,
+        phase: Optional[str] = None,
+    ) -> None:
+        self.limit_kind = limit_kind
+        self.limit = limit
+        self.observed = observed
+        self.function = function
+        self.phase = phase
+        where = f" entering phase {phase!r}" if phase else ""
+        if limit_kind == "deadline":
+            detail = f"{observed:.3f}s elapsed, deadline {limit:g}s"
+        else:
+            detail = f"{observed:g} observed, ceiling {limit:g}"
+        super().__init__(
+            f"{function}: allocation budget exceeded{where}: "
+            f"{limit_kind} ({detail})"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "limit_kind": self.limit_kind,
+            "limit": self.limit,
+            "observed": self.observed,
+            "function": self.function,
+            "phase": self.phase,
+            "message": str(self),
+        }
+
+
+class AllocationBudget:
+    """Ceilings for one allocation run; all limits optional.
+
+    * ``deadline_seconds`` — wall clock for the whole
+      ``allocate_program`` call, checked at phase boundaries.
+    * ``max_iterations`` — allocate/spill iterations allowed *per
+      function* (tighter than the framework's hard bound).
+    * ``max_spills`` — spilled live ranges allowed per function,
+      summed over iterations.
+
+    The object is reusable: ``start()`` (called by
+    ``allocate_program``) resets the clock, so the same budget can
+    govern several runs — e.g. every rung of a fallback chain — each
+    with a fresh allowance.
+    """
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+        max_spills: Optional[int] = None,
+    ) -> None:
+        for name, value in (
+            ("deadline_seconds", deadline_seconds),
+            ("max_iterations", max_iterations),
+            ("max_spills", max_spills),
+        ):
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        self.deadline_seconds = deadline_seconds
+        self.max_iterations = max_iterations
+        self.max_spills = max_spills
+        self._started: Optional[float] = None
+
+    def start(self) -> None:
+        """(Re)start the wall clock for a new run."""
+        self._started = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 before the first check)."""
+        if self._started is None:
+            return 0.0
+        return time.perf_counter() - self._started
+
+    # ------------------------------------------------------------------
+    # checks, called from the framework
+    # ------------------------------------------------------------------
+
+    def check_deadline(self, function: str, phase: str) -> None:
+        """Raise :class:`BudgetExceeded` when the deadline has passed."""
+        if self.deadline_seconds is None:
+            return
+        if self._started is None:
+            self._started = time.perf_counter()
+            if self.deadline_seconds > 0:
+                return
+        elapsed = time.perf_counter() - self._started
+        if elapsed > self.deadline_seconds:
+            raise BudgetExceeded(
+                "deadline",
+                self.deadline_seconds,
+                elapsed,
+                function,
+                phase=phase,
+            )
+
+    def check_iterations(self, function: str, iteration: int) -> None:
+        """Raise when ``iteration`` exceeds the per-function ceiling."""
+        if self.max_iterations is not None and iteration > self.max_iterations:
+            raise BudgetExceeded(
+                "iterations", self.max_iterations, iteration, function
+            )
+
+    def check_spills(self, function: str, spilled: int) -> None:
+        """Raise when the function's spill count exceeds its ceiling."""
+        if self.max_spills is not None and spilled > self.max_spills:
+            raise BudgetExceeded("spills", self.max_spills, spilled, function)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AllocationBudget(deadline_seconds={self.deadline_seconds}, "
+            f"max_iterations={self.max_iterations}, "
+            f"max_spills={self.max_spills})"
+        )

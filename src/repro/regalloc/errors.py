@@ -10,6 +10,9 @@ The hierarchy:
 
 * ``AllocationError`` — anything the allocation pipeline can raise.
 
+  * ``ConvergenceError`` — the allocate/spill iteration hit its hard
+    bound; carries the per-iteration spill history and partial
+    pipeline stats so reports can show *why* coloring diverged.
   * ``AllocationContextError`` — adds ``function`` / ``block`` /
     ``index`` context fields.
 
@@ -38,11 +41,56 @@ The hierarchy:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 
 class AllocationError(Exception):
     """The allocator cannot make progress (e.g. only unspillable nodes)."""
+
+
+class ConvergenceError(AllocationError):
+    """The allocate/spill iteration exceeded its hard bound.
+
+    Every iteration is supposed to spill at least one finite-cost live
+    range, so hitting the bound means the spill decisions cycled.
+    ``spill_history`` holds the live ranges spilled in each iteration
+    (one list of reprs per iteration, in order) and ``stats`` the
+    partial :class:`~repro.regalloc.framework.PipelineStats` of the
+    run up to the divergence — enough for the fallback chain and
+    ``repro explain`` to report what the allocator kept spilling.
+    """
+
+    def __init__(
+        self,
+        function: str,
+        iterations: int,
+        spill_history: Optional[List[List[str]]] = None,
+        stats=None,
+    ) -> None:
+        self.function = function
+        self.iterations = iterations
+        self.spill_history = spill_history if spill_history is not None else []
+        self.stats = stats
+        tail = ""
+        if self.spill_history:
+            last = ", ".join(self.spill_history[-1]) or "nothing"
+            tail = (
+                f"; {sum(len(s) for s in self.spill_history)} spill(s) "
+                f"across the run, last iteration spilled: {last}"
+            )
+        super().__init__(
+            f"{function}: register allocation did not converge after "
+            f"{iterations} iterations{tail}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form for resilience reports and ``explain``."""
+        return {
+            "function": self.function,
+            "iterations": self.iterations,
+            "spill_history": [list(spills) for spills in self.spill_history],
+            "message": str(self),
+        }
 
 
 class AllocationContextError(AllocationError):

@@ -37,9 +37,11 @@ from repro.ir.values import VReg
 from repro.machine.registers import PhysReg, RegisterFile
 from repro.regalloc.assign import ColorAssigner
 from repro.regalloc.benefits import callee_save_cost, compute_benefits
+from repro.regalloc.budget import AllocationBudget
 from repro.regalloc.callcode import insert_save_restore_code
 from repro.regalloc.cbh import augment_for_cbh, cbh_order_and_assign
 from repro.regalloc.coalesce import coalesce_round
+from repro.regalloc.errors import ConvergenceError
 from repro.regalloc.interference import LiveRangeInfo, build_interference
 from repro.regalloc.liverange import build_webs
 from repro.regalloc.options import AllocatorOptions
@@ -138,13 +140,25 @@ class _PhaseTimer:
     a :class:`~repro.obs.tracer.PhaseSpan` (wall-clock start plus
     measured duration) and the tracer's phase context is kept current
     so decision events are stamped with the phase they happened in.
+
+    With a budget attached, every phase boundary checks the wall-clock
+    deadline (after notifying the tracer, so an injected fault at a
+    phase site fires before the budget does), raising
+    :class:`~repro.regalloc.budget.BudgetExceeded` naming the phase
+    about to start.
     """
 
     def __init__(
-        self, stats: PipelineStats, tracer: Optional["Tracer"] = None
+        self,
+        stats: PipelineStats,
+        tracer: Optional["Tracer"] = None,
+        budget: Optional[AllocationBudget] = None,
+        function: str = "?",
     ) -> None:
         self.stats = stats
         self.tracer = tracer
+        self.budget = budget
+        self.function = function
         self._phase: Optional[str] = None
         self._started = 0.0
         self._wall = 0.0
@@ -155,6 +169,8 @@ class _PhaseTimer:
         if self.tracer is not None:
             self.tracer.begin_phase(phase)
             self._wall = time.time()
+        if self.budget is not None:
+            self.budget.check_deadline(self.function, phase)
         self._started = time.perf_counter()
 
     def stop(self) -> None:
@@ -201,6 +217,11 @@ class ProgramAllocation:
     #: by the emission and honoured by the machine interpreter.  None
     #: means every call conservatively clobbers all caller-save regs.
     clobbers: Optional[Dict[str, FrozenSet[PhysReg]]] = None
+    #: Set by ``allocate_program(resilient=True)``: the
+    #: :class:`~repro.resilience.chain.ResilienceReport` describing
+    #: which fallback rung produced this allocation and why any higher
+    #: rung was demoted.  None on plain (non-resilient) runs.
+    resilience: Optional[object] = None
 
     @property
     def stats(self) -> PipelineStats:
@@ -220,6 +241,7 @@ def allocate_function(
     clobber_of: Optional[Dict[str, FrozenSet[PhysReg]]] = None,
     cache: Optional[AnalysisCache] = None,
     tracer: Optional["Tracer"] = None,
+    budget: Optional[AllocationBudget] = None,
 ) -> FunctionAllocation:
     """Allocate registers for ``func`` in place.
 
@@ -242,11 +264,30 @@ def allocate_function(
     ``tracer`` (a :class:`repro.obs.Tracer`) records every decision
     the run makes as structured events plus per-phase spans; None (the
     default) traces nothing and costs nothing.
+
+    ``budget`` (an :class:`~repro.regalloc.budget.AllocationBudget`)
+    bounds the run: the deadline is checked at every phase boundary,
+    the iteration ceiling at the top of every allocate/spill iteration
+    and the spill ceiling after every spill round, each raising a
+    catchable :class:`~repro.regalloc.budget.BudgetExceeded`.
     """
+    if options.kind == "spillall":
+        from repro.regalloc.spillall import allocate_spill_everywhere
+
+        return allocate_spill_everywhere(
+            func,
+            regfile,
+            weights,
+            options,
+            clobber_of=clobber_of,
+            cache=cache,
+            tracer=tracer,
+            budget=budget,
+        )
     if cache is None:
         cache = AnalysisCache()
     stats = PipelineStats()
-    timer = _PhaseTimer(stats, tracer)
+    timer = _PhaseTimer(stats, tracer, budget=budget, function=func.name)
     hits_before, misses_before = cache.hits, cache.misses
     if tracer is not None:
         tracer.begin_function(func.name)
@@ -268,10 +309,13 @@ def allocate_function(
     spill_temps: Set[VReg] = set()
     slots = SlotAllocator()
     all_spilled: List[VReg] = []
+    spill_history: List[List[str]] = []
     graph = None
     infos: Dict[VReg, LiveRangeInfo] = {}
 
     for iteration in range(1, MAX_ITERATIONS + 1):
+        if budget is not None:
+            budget.check_iterations(func.name, iteration)
         if tracer is not None:
             tracer.begin_iteration(iteration)
             if tracer.wants_events:
@@ -282,7 +326,7 @@ def allocate_function(
                 func, weights, spill_temps, cache, stats=stats
             )
             timer.stop()
-            while True:
+            while options.coalesce:
                 timer.start("coalesce")
                 merged = coalesce_round(func, graph, infos, tracer=tracer)
                 timer.stop()
@@ -372,12 +416,15 @@ def allocate_function(
                 stats=stats,
             )
         all_spilled.extend(spills)
+        spill_history.append([repr(reg) for reg in spills])
+        if budget is not None:
+            budget.check_spills(func.name, len(all_spilled))
         if tracer is not None and tracer.wants_events:
             tracer.emit(
                 "spill_round",
                 n=iteration,
                 count=len(spills),
-                spills=[repr(reg) for reg in spills],
+                spills=spill_history[-1],
             )
         timer.start("spill_insert")
         temps_before = set(spill_temps)
@@ -402,9 +449,12 @@ def allocate_function(
             graph = None
         timer.stop()
 
-    raise AllocationError(
-        f"{func.name}: register allocation did not converge after "
-        f"{MAX_ITERATIONS} iterations"
+    timer.stop()
+    stats.iterations = MAX_ITERATIONS
+    stats.cache_hits = cache.hits - hits_before
+    stats.cache_misses = cache.misses - misses_before
+    raise ConvergenceError(
+        func.name, MAX_ITERATIONS, spill_history=spill_history, stats=stats
     )
 
 
@@ -456,6 +506,8 @@ def allocate_program(
     ipra: bool = False,
     cache: Optional[AnalysisCache] = None,
     tracer: Optional["Tracer"] = None,
+    budget: Optional[AllocationBudget] = None,
+    resilient: bool = False,
 ) -> ProgramAllocation:
     """Clone ``program`` and allocate every function of the clone.
 
@@ -475,7 +527,37 @@ def allocate_program(
     skips the save/restore of a crossing live range at calls whose
     callee provably leaves its register alone.  Recursive functions
     (call-graph cycles) get conservative all-clobbering summaries.
+
+    ``budget`` bounds the run (see :func:`allocate_function`); its
+    wall clock is (re)started here, so a deadline covers this one
+    program allocation.  ``resilient=True`` routes the call through
+    the fallback chain (:mod:`repro.resilience`): the chain retries
+    with degraded option sets down to the spill-everywhere allocator
+    until the verifier accepts a result, attaches the
+    ``ResilienceReport`` to the returned allocation's ``resilience``
+    field, and guarantees an allocation comes back for every program
+    the register file can hold at all.
     """
+    if resilient:
+        # Lazy import: the chain drives allocate_program itself, so
+        # the dependency must point resilience -> regalloc only.
+        from repro.resilience.chain import resilient_allocate_program
+
+        allocation, report = resilient_allocate_program(
+            program,
+            regfile,
+            options,
+            weights_for=weights_for,
+            reconstruct=reconstruct,
+            ipra=ipra,
+            cache=cache,
+            tracer=tracer,
+            budget=budget,
+        )
+        allocation.resilience = report
+        return allocation
+    if budget is not None:
+        budget.start()
     if cache is None:
         cache = AnalysisCache()
     if weights_for is None:
@@ -520,6 +602,7 @@ def allocate_program(
             clobber_of=summaries if ipra else None,
             cache=cache,
             tracer=tracer,
+            budget=budget,
         )
         if ipra and name not in summaries:
             own = frozenset(

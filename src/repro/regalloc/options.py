@@ -3,7 +3,9 @@
 ``AllocatorOptions`` captures every dimension the paper evaluates:
 
 * ``kind`` — the base algorithm: ``chaitin`` (also the base for
-  optimistic and improved variants), ``priority`` or ``cbh``.
+  optimistic and improved variants), ``priority``, ``cbh``, or
+  ``spillall`` (the last-resort spill-everywhere allocator used as
+  the bottom rung of the resilience fallback chain).
 * ``optimistic`` — defer blocking spills to color assignment
   (Briggs-style optimistic coloring).
 * ``sc`` / ``bs`` / ``pr`` — the paper's three improvements:
@@ -25,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-_KINDS = ("chaitin", "priority", "cbh")
+_KINDS = ("chaitin", "priority", "cbh", "spillall")
 _CALLEE_MODELS = ("shared", "first")
 _BS_KEYS = ("delta", "max")
 _SPILL_METRICS = ("cost_over_degree", "cost_over_degree_sq", "cost")
@@ -50,6 +52,9 @@ class AllocatorOptions:
     #: ``cost_over_degree`` (default), Bernstein's square-law
     #: ``cost_over_degree_sq``, or plain ``cost`` (what CBH uses).
     spill_metric: str = "cost_over_degree"
+    #: Run live-range coalescing rounds (resilience extension: the
+    #: fallback chain's degraded rungs turn coalescing off).
+    coalesce: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -62,6 +67,18 @@ class AllocatorOptions:
             raise ValueError("the CBH model does not take SC/BS/PR enhancements")
         if self.kind == "priority" and self.optimistic:
             raise ValueError("priority-based coloring is inherently optimistic")
+        if self.kind == "spillall" and (
+            self.sc
+            or self.bs
+            or self.pr
+            or self.optimistic
+            or self.remat
+            or self.coalesce
+        ):
+            raise ValueError(
+                "the spill-everywhere allocator takes no enhancements "
+                "(construct it via AllocatorOptions.spill_everywhere())"
+            )
         if self.spill_metric not in _SPILL_METRICS:
             raise ValueError(f"unknown spill metric {self.spill_metric!r}")
 
@@ -103,6 +120,18 @@ class AllocatorOptions:
         """The Chaitin/Briggs-Hierarchical call-cost model (Section 10)."""
         return AllocatorOptions(kind="cbh")
 
+    @staticmethod
+    def spill_everywhere() -> "AllocatorOptions":
+        """The last-resort allocator: every live range lives in memory.
+
+        Correct by construction (Bouchez et al. treat this regime as
+        the well-understood baseline): only the tiny reload/store
+        temporaries — which never cross calls and never block each
+        other beyond one instruction's operands — need registers.  The
+        resilience fallback chain ends here.
+        """
+        return AllocatorOptions(kind="spillall", coalesce=False)
+
     def with_(self, **changes) -> "AllocatorOptions":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
@@ -110,6 +139,8 @@ class AllocatorOptions:
     @property
     def label(self) -> str:
         """Short human-readable name used in reports."""
+        if self.kind == "spillall":
+            return "spillall"
         if self.kind == "cbh":
             return "CBH"
         if self.kind == "priority":
@@ -125,9 +156,12 @@ class AllocatorOptions:
         return f"{name}+{'+'.join(parts)}" if parts else name
 
 
-#: The six allocator presets every comparison in the paper uses, by
-#: their CLI names.  The CLI, the sweep drivers and the fuzz harness
-#: all share this one table.
+#: The six allocator presets every comparison in the paper uses, plus
+#: the last-resort spill-everywhere allocator, by their CLI names.
+#: The CLI, the sweep drivers and the fuzz harness all share this one
+#: table (the fuzz differential harness covers ``spillall`` too, so
+#: the resilience chain's bottom rung gets the same source-vs-machine
+#: execution scrutiny as the real allocators).
 PRESETS = {
     "base": AllocatorOptions.base_chaitin,
     "optimistic": AllocatorOptions.optimistic_coloring,
@@ -135,4 +169,5 @@ PRESETS = {
     "improved-optimistic": AllocatorOptions.improved_optimistic,
     "priority": AllocatorOptions.priority_based,
     "cbh": AllocatorOptions.cbh,
+    "spillall": AllocatorOptions.spill_everywhere,
 }

@@ -1,0 +1,206 @@
+"""The spill-everywhere allocator: the last rung of the fallback chain.
+
+Every original live range is assigned to memory; only the tiny reload
+and store temporaries that spill-code insertion creates — plus the
+entry copies of spilled parameters — ever occupy registers.  Those
+temporaries live for one instruction's operands, never cross a call,
+and never interfere beyond the handful of values one instruction
+touches, so the allocation is correct by construction on any register
+file large enough to execute a single instruction (Bouchez et al.
+treat this spill-everywhere regime as the well-understood baseline).
+
+The run deliberately reuses the standard pipeline machinery —
+:func:`~repro.regalloc.interference.build_interference`,
+:func:`~repro.regalloc.simplify.simplify`,
+:class:`~repro.regalloc.assign.ColorAssigner`,
+:func:`~repro.regalloc.callcode.insert_save_restore_code` — so the
+result flows through the verifier, the interpreters and every report
+exactly like any other :class:`FunctionAllocation`.  What makes it
+total is that the *decision* layer is gone: there is nothing to
+converge, no benefit model to get wrong, and exactly two iterations
+(one spill round, one coloring round) regardless of input.
+
+``allocate_function`` dispatches here for ``options.kind ==
+"spillall"``; the preset is also registered in
+:data:`~repro.regalloc.options.PRESETS` so the CLI, the sweep drivers
+and the differential fuzz harness exercise the last-resort path like
+any other allocator.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> regalloc)
+    from repro.obs.tracer import Tracer
+
+from repro.analysis.frequency import BlockWeights
+from repro.analysis.manager import INSTRUCTION_KEYS, AnalysisCache
+from repro.ir.function import Function
+from repro.ir.values import VReg
+from repro.machine.registers import PhysReg, RegisterFile
+from repro.regalloc.assign import ColorAssigner
+from repro.regalloc.budget import AllocationBudget
+from repro.regalloc.callcode import insert_save_restore_code
+from repro.regalloc.errors import AllocationError
+from repro.regalloc.interference import LiveRangeInfo, build_interference
+from repro.regalloc.liverange import build_webs
+from repro.regalloc.options import AllocatorOptions
+from repro.regalloc.simplify import simplify
+from repro.regalloc.spillgen import SlotAllocator, insert_spill_code
+
+
+def allocate_spill_everywhere(
+    func: Function,
+    regfile: RegisterFile,
+    weights: BlockWeights,
+    options: AllocatorOptions,
+    clobber_of: Optional[Dict[str, FrozenSet[PhysReg]]] = None,
+    cache: Optional[AnalysisCache] = None,
+    tracer: Optional["Tracer"] = None,
+    budget: Optional[AllocationBudget] = None,
+):
+    """Allocate ``func`` by spilling every original live range.
+
+    Mirrors :func:`~repro.regalloc.framework.allocate_function`'s
+    contract: mutates ``func`` in place, returns a
+    :class:`~repro.regalloc.framework.FunctionAllocation`, records
+    per-phase timings (and tracer events/spans when a tracer is
+    attached).  Raises :class:`AllocationError` only when the register
+    file is genuinely too small to hold one instruction's operands.
+    """
+    # Local import: framework dispatches to this module, so the
+    # dataclasses are fetched lazily to keep the module graph acyclic.
+    from repro.regalloc.framework import (
+        FunctionAllocation,
+        PipelineStats,
+        _PhaseTimer,
+    )
+
+    if cache is None:
+        cache = AnalysisCache()
+    stats = PipelineStats()
+    timer = _PhaseTimer(stats, tracer, budget=budget, function=func.name)
+    hits_before, misses_before = cache.hits, cache.misses
+    if tracer is not None:
+        tracer.begin_function(func.name)
+        if tracer.wants_events:
+            tracer.emit(
+                "function_begin",
+                allocator=options.label,
+                callee_model=options.callee_model,
+                allocator_kind=options.kind,
+                optimistic=False,
+                reconstruct=False,
+            )
+
+    timer.start("build")
+    build_webs(func)
+    cache.invalidate(func, INSTRUCTION_KEYS)
+    timer.stop()
+
+    spill_temps: Set[VReg] = set()
+    slots = SlotAllocator()
+
+    # Iteration 1: build the graph once, then send every original live
+    # range (finite spill cost; there are no temps yet) to memory.
+    if tracer is not None:
+        tracer.begin_iteration(1)
+        if tracer.wants_events:
+            tracer.emit("iteration_begin", n=1)
+    timer.start("build")
+    graph, infos = build_interference(
+        func, weights, spill_temps, cache, stats=stats
+    )
+    timer.stop()
+    spills: List[VReg] = sorted(
+        (reg for reg in graph.nodes if math.isfinite(infos[reg].spill_cost)),
+        key=lambda reg: reg.id,
+    )
+    if spills:
+        if tracer is not None and tracer.wants_events:
+            tracer.emit(
+                "spill_round",
+                n=1,
+                count=len(spills),
+                spills=[repr(reg) for reg in spills],
+            )
+        timer.start("spill_insert")
+        insert_spill_code(func, spills, slots, spill_temps, None, tracer=tracer)
+        cache.invalidate(func, INSTRUCTION_KEYS)
+        timer.stop()
+
+    # Iteration 2: everything left in the graph is a spill temp or the
+    # in-register entry copy of a spilled parameter.  Plain Chaitin
+    # simplification orders them (it only blocks — and raises — when
+    # the register file cannot hold one instruction's operands) and
+    # plain assignment colors them; with ``sc``/``bs``/``pr`` all off
+    # neither consults a benefit model.
+    if tracer is not None:
+        tracer.begin_iteration(2)
+        if tracer.wants_events:
+            tracer.emit("iteration_begin", n=2)
+    timer.start("build")
+    graph, infos = build_interference(
+        func, weights, spill_temps, cache, stats=stats
+    )
+    timer.stop()
+    timer.start("order")
+    simplify_started = time.perf_counter()
+    ordering = simplify(
+        graph,
+        infos,
+        regfile,
+        key_fn=None,
+        optimistic=False,
+        spill_metric=options.spill_metric,
+        tracer=tracer,
+    )
+    stats.simplify += time.perf_counter() - simplify_started
+    timer.start("assign")
+    assigner = ColorAssigner(
+        graph,
+        infos,
+        {},
+        regfile,
+        options,
+        forced_caller=None,
+        callee_cost=0.0,
+        tracer=tracer,
+    )
+    assignment = assigner.run(ordering.stack)
+    timer.stop()
+    if ordering.spilled or assignment.spilled:  # pragma: no cover - defensive
+        raise AllocationError(
+            f"{func.name}: spill-everywhere coloring spilled a spill "
+            "temporary; the register file is too small for this function"
+        )
+
+    timer.start("emit")
+    insert_save_restore_code(
+        func, assignment.assignment, infos, slots, clobber_of, tracer=tracer
+    )
+    cache.invalidate(func, INSTRUCTION_KEYS)
+    timer.stop()
+    stats.iterations = 2
+    stats.cache_hits = cache.hits - hits_before
+    stats.cache_misses = cache.misses - misses_before
+    if tracer is not None and tracer.wants_events:
+        tracer.emit(
+            "allocation_final",
+            assigned=len(assignment.assignment),
+            spilled_total=len(spills),
+            frame_slots=slots.count,
+            iterations=2,
+        )
+    return FunctionAllocation(
+        func=func,
+        assignment=assignment.assignment,
+        infos=infos,
+        spilled=spills,
+        iterations=2,
+        frame_slots=slots.count,
+        stats=stats,
+    )

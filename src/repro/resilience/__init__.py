@@ -1,0 +1,40 @@
+"""Guaranteed-progress allocation: the resilience layer.
+
+``allocate_program(resilient=True)`` is total (for any register file
+that can hold one instruction's operands): the fallback chain in
+:mod:`repro.resilience.chain` retries with progressively degraded
+allocator configurations down to the spill-everywhere last resort,
+verifying every rung's result before accepting it, and attaches a
+structured :class:`ResilienceReport` naming the surviving rung and
+attributing every demotion.
+
+Budgets (:class:`~repro.regalloc.budget.AllocationBudget` /
+:class:`~repro.regalloc.budget.BudgetExceeded`) live in
+:mod:`repro.regalloc.budget` — the framework checks them, so the
+import direction stays ``resilience -> regalloc`` — and are
+re-exported here for convenience.  The chaos harness that proves the
+recovery paths work is :mod:`repro.chaos`.
+"""
+
+from repro.regalloc.budget import AllocationBudget, BudgetExceeded
+from repro.resilience.chain import (
+    DemotionRecord,
+    FallbackChainExhausted,
+    ResilienceReport,
+    Rung,
+    fallback_rungs,
+    record_resilience,
+    resilient_allocate_program,
+)
+
+__all__ = [
+    "AllocationBudget",
+    "BudgetExceeded",
+    "DemotionRecord",
+    "FallbackChainExhausted",
+    "ResilienceReport",
+    "Rung",
+    "fallback_rungs",
+    "record_resilience",
+    "resilient_allocate_program",
+]

@@ -1,0 +1,285 @@
+"""The fallback chain: allocation that always comes back with a result.
+
+``resilient_allocate_program`` walks a ladder of allocator
+configurations — the requested preset first, then progressively
+degraded variants, ending at the spill-everywhere allocator — and
+returns the first rung whose result the independent verifier
+(:mod:`repro.regalloc.verify`) accepts.  Every failed rung is recorded
+as a :class:`DemotionRecord` (which exception or verifier error killed
+it, plus any partial pipeline stats the error carried), and the whole
+story ships as a :class:`ResilienceReport` attached to the returned
+allocation.
+
+The ladder (rungs are deduplicated, so e.g. asking for ``base``
+collapses the middle rungs):
+
+1. ``primary`` — the requested options, untouched.
+2. ``no-coalesce`` — the same options with coalescing off (coalescing
+   rewrites instructions, so it is the first decision layer to shed).
+3. ``degraded`` — plain Chaitin ordering: preference decisions,
+   benefit-driven simplification, optimistic coloring,
+   rematerialization and CBH/priority ordering all disabled; if
+   storage-class analysis was requested it is kept but demoted to the
+   ``first``-user callee-cost model (no deferred shared-model
+   finalization).
+4. ``plain`` — base Chaitin with no enhancements at all.
+5. ``spillall`` — the last resort
+   (:mod:`repro.regalloc.spillall`): every live range to memory,
+   correct by construction.
+
+Two guarantees make the chain total:
+
+* The **final rung is sacrosanct** — it runs without the caller's
+  :class:`~repro.regalloc.budget.AllocationBudget` and without any
+  chaos ``injector``/``corrupt`` sabotage, so nothing the harness (or
+  a tight deadline) does can knock out the rung whose job is to
+  always succeed.
+* Every rung's result is **verified before acceptance** — a rung that
+  silently produced a wrong allocation (e.g. under chaos color
+  corruption) is demoted exactly like one that raised.
+
+Workers never touch the process-global metrics registry; parent-side
+callers feed accepted reports to :func:`record_resilience`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
+
+from repro.regalloc.budget import AllocationBudget, BudgetExceeded
+from repro.regalloc.errors import (
+    AllocationError,
+    AllocationVerificationError,
+    ConvergenceError,
+)
+from repro.regalloc.framework import ProgramAllocation, allocate_program
+from repro.regalloc.options import AllocatorOptions
+from repro.regalloc.verify import verify_allocation
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One configuration on the fallback ladder."""
+
+    name: str
+    options: AllocatorOptions
+
+
+@dataclass(frozen=True)
+class DemotionRecord:
+    """Why one rung was rejected and the chain moved down."""
+
+    rung: str
+    #: Exception class name (``CallerSaveError``, ``BudgetExceeded``,
+    #: ``ConvergenceError``, ``ZeroDivisionError``...).
+    error_type: str
+    error: str
+    #: The verifier ``check`` name when the rung was rejected by the
+    #: independent verifier, None when it raised before finishing.
+    check: Optional[str] = None
+    #: Structured detail (``as_dict()``) for errors that carry one.
+    detail: Optional[dict] = None
+    #: Partial per-phase timings when the error carried its stats.
+    stats: Optional[dict] = None
+
+    @staticmethod
+    def from_exception(rung: str, exc: BaseException) -> "DemotionRecord":
+        check = exc.check if isinstance(exc, AllocationVerificationError) else None
+        detail = exc.as_dict() if hasattr(exc, "as_dict") else None
+        stats = None
+        carried = getattr(exc, "stats", None)
+        if carried is not None and hasattr(carried, "phase_seconds"):
+            stats = {
+                **carried.phase_seconds(),
+                "iterations": carried.iterations,
+            }
+        return DemotionRecord(
+            rung=rung,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            check=check,
+            detail=detail,
+            stats=stats,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "rung": self.rung,
+            "error_type": self.error_type,
+            "error": self.error,
+            "check": self.check,
+            "detail": self.detail,
+            "stats": self.stats,
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """How one resilient allocation run played out (picklable)."""
+
+    #: Label of the options the caller asked for.
+    requested: str
+    #: Name of the rung that produced the accepted allocation.
+    rung: str
+    #: Its position on the ladder (0 = the primary preset).
+    rung_index: int
+    #: Label of the options the winning rung actually used.
+    options: str
+    #: Rungs tried, including the winner.
+    attempts: int
+    demotions: Tuple[DemotionRecord, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything other than the primary rung won."""
+        return self.rung_index > 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requested": self.requested,
+            "rung": self.rung,
+            "rung_index": self.rung_index,
+            "options": self.options,
+            "attempts": self.attempts,
+            "degraded": self.degraded,
+            "demotions": [record.as_dict() for record in self.demotions],
+        }
+
+
+class FallbackChainExhausted(AllocationError):
+    """Every rung failed — even spill-everywhere.
+
+    Only a register file too small to execute a single instruction
+    (or sabotage of the final rung, which the chain forbids) gets
+    here.  ``demotions`` carries the full failure story.
+    """
+
+    def __init__(self, requested: str, demotions: List[DemotionRecord]) -> None:
+        self.requested = requested
+        self.demotions = list(demotions)
+        rungs = ", ".join(
+            f"{record.rung} ({record.error_type})" for record in self.demotions
+        )
+        super().__init__(
+            f"fallback chain exhausted for {requested}: every rung failed "
+            f"[{rungs}]"
+        )
+
+
+def fallback_rungs(options: AllocatorOptions) -> List[Rung]:
+    """The deduplicated ladder for ``options``, primary first.
+
+    Duplicates collapse (e.g. base Chaitin's ``degraded`` and
+    ``plain`` rungs are the same configuration), so every rung on the
+    returned ladder is a genuinely different allocator.  Asking for
+    ``spillall`` itself yields a one-rung ladder — the primary already
+    *is* the last resort.
+    """
+    if options.kind == "spillall":
+        return [Rung("primary", options)]
+    keep_sc = options.sc and options.kind == "chaitin"
+    degraded = AllocatorOptions(
+        kind="chaitin",
+        sc=keep_sc,
+        callee_model="first" if keep_sc else "shared",
+        coalesce=False,
+    )
+    candidates = [
+        Rung("primary", options),
+        Rung("no-coalesce", options.with_(coalesce=False)),
+        Rung("degraded", degraded),
+        Rung("plain", AllocatorOptions(kind="chaitin", coalesce=False)),
+        Rung("spillall", AllocatorOptions.spill_everywhere()),
+    ]
+    rungs: List[Rung] = []
+    for rung in candidates:
+        if any(earlier.options == rung.options for earlier in rungs):
+            continue
+        rungs.append(rung)
+    return rungs
+
+
+def resilient_allocate_program(
+    program,
+    regfile,
+    options: AllocatorOptions = AllocatorOptions(),
+    weights_for=None,
+    reconstruct: bool = False,
+    ipra: bool = False,
+    cache=None,
+    tracer: Optional["Tracer"] = None,
+    budget: Optional[AllocationBudget] = None,
+    injector: Optional["Tracer"] = None,
+    corrupt: Optional[Callable[[ProgramAllocation, int], None]] = None,
+) -> Tuple[ProgramAllocation, ResilienceReport]:
+    """Allocate ``program``, demoting down the ladder until verified.
+
+    Parameters mirror
+    :func:`~repro.regalloc.framework.allocate_program`; two extras
+    serve the chaos harness: ``injector`` (a fault-injecting tracer
+    used *instead of* ``tracer`` on every rung but the last) and
+    ``corrupt`` (called with the finished allocation and the rung
+    index before verification, on every rung but the last).  Returns
+    ``(allocation, report)``; the caller — normally
+    ``allocate_program(resilient=True)`` — attaches the report to the
+    allocation.
+
+    Raises :class:`FallbackChainExhausted` only when even the
+    unsabotaged, unbudgeted spill-everywhere rung fails — i.e. the
+    register file cannot hold one instruction's operands.
+    """
+    rungs = fallback_rungs(options)
+    demotions: List[DemotionRecord] = []
+    for index, rung in enumerate(rungs):
+        final = index == len(rungs) - 1
+        try:
+            allocation = allocate_program(
+                program,
+                regfile,
+                rung.options,
+                weights_for=weights_for,
+                reconstruct=reconstruct,
+                ipra=ipra,
+                cache=cache,
+                tracer=tracer if (final or injector is None) else injector,
+                budget=None if final else budget,
+            )
+            if corrupt is not None and not final:
+                corrupt(allocation, index)
+            verify_allocation(allocation)
+        except Exception as exc:  # noqa: BLE001 - absorbing is the point
+            demotions.append(DemotionRecord.from_exception(rung.name, exc))
+            continue
+        return allocation, ResilienceReport(
+            requested=options.label,
+            rung=rung.name,
+            rung_index=index,
+            options=rung.options.label,
+            attempts=index + 1,
+            demotions=tuple(demotions),
+        )
+    raise FallbackChainExhausted(options.label, demotions)
+
+
+def record_resilience(report) -> None:
+    """Feed one accepted report into the process-global metrics.
+
+    Accepts a :class:`ResilienceReport` or its ``as_dict()`` form (the
+    shape sweep workers ship back on their measurements).  Parent-
+    process callers only (the CLI, ``_absorb_report``); workers ship
+    the report on the measurement instead of touching globals.
+    """
+    from repro.obs.metrics import METRICS
+
+    if not isinstance(report, dict):
+        report = report.as_dict()
+    METRICS.inc("resilience.runs")
+    METRICS.inc("resilience.demotions", len(report["demotions"]))
+    METRICS.inc(f"resilience.rung.{report['rung']}")
+    METRICS.observe("resilience.rung_index", report["rung_index"])
+    if report["degraded"]:
+        METRICS.inc("resilience.degraded")

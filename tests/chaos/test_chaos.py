@@ -1,0 +1,190 @@
+"""Chaos harness: corruption matrix, injection, determinism, campaigns."""
+
+import random
+
+import pytest
+
+from repro.chaos import (
+    CORRUPTION_ACTIONS,
+    CORRUPTIONS,
+    ChaosFault,
+    Corruptor,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    run_campaign,
+)
+from repro.machine.mips import FULL_CONFIG, register_file
+from repro.regalloc import allocate_program, verify_allocation
+from repro.regalloc.errors import AllocationVerificationError
+from repro.regalloc.options import PRESETS
+from repro.resilience import resilient_allocate_program
+from repro.workloads import compile_workload
+
+
+def fresh_allocation(preset: str = "improved"):
+    compiled = compile_workload("li")
+    return allocate_program(
+        compiled.program,
+        register_file(FULL_CONFIG),
+        PRESETS[preset](),
+        compiled.dynamic_weights,
+        cache=compiled.analyses,
+    )
+
+
+class TestCorruptionMatrix:
+    """Each corruption class trips exactly the verifier check it names."""
+
+    @pytest.mark.parametrize("action", CORRUPTION_ACTIONS)
+    def test_corruption_trips_named_check(self, action):
+        allocation = fresh_allocation()
+        verify_allocation(allocation)  # sane before sabotage
+        record = CORRUPTIONS[action](allocation, random.Random(0))
+        assert record is not None, f"no candidate site for {action}"
+        with pytest.raises(AllocationVerificationError) as exc:
+            verify_allocation(allocation)
+        assert exc.value.check == record["expect_check"]
+
+    @pytest.mark.parametrize("action", CORRUPTION_ACTIONS)
+    def test_chain_demotes_exactly_one_rung(self, action):
+        compiled = compile_workload("li")
+        plan = FaultPlan(seed=0, specs=[FaultSpec(action=action, rung=0)])
+        corruptor = Corruptor(plan)
+        allocation, report = resilient_allocate_program(
+            compiled.program,
+            register_file(FULL_CONFIG),
+            PRESETS["improved"](),
+            compiled.dynamic_weights,
+            corrupt=corruptor,
+        )
+        assert len(corruptor.fired) == 1
+        assert report.rung_index == 1
+        assert report.rung == "no-coalesce"
+        assert len(report.demotions) == 1
+        demotion = report.demotions[0]
+        assert demotion.rung == "primary"
+        # The verifier rejected the sabotaged rung with exactly the
+        # check the corruption class is designed to trip.
+        assert demotion.check == corruptor.fired[0]["expect_check"]
+        verify_allocation(allocation)  # the accepted rung really is clean
+
+
+class TestInjection:
+    def test_raise_action_demotes_one_rung(self, small_call_program):
+        plan = FaultPlan(
+            seed=0,
+            specs=[FaultSpec(action="raise", site="phase:build", occurrence=1)],
+        )
+        injector = FaultInjector(plan)
+        _, report = resilient_allocate_program(
+            small_call_program,
+            register_file(FULL_CONFIG),
+            PRESETS["improved"](),
+            injector=injector,
+        )
+        assert len(injector.fired) == 1
+        assert report.rung_index == 1
+        assert report.demotions[0].error_type == "ChaosFault"
+
+    def test_budget_action_raises_budget_exceeded(self, small_call_program):
+        plan = FaultPlan(
+            seed=0,
+            specs=[FaultSpec(action="budget", site="phase:build", occurrence=1)],
+        )
+        _, report = resilient_allocate_program(
+            small_call_program,
+            register_file(FULL_CONFIG),
+            PRESETS["improved"](),
+            injector=FaultInjector(plan),
+        )
+        assert report.demotions[0].error_type == "BudgetExceeded"
+
+    def test_injector_raises_outside_chain(self, small_call_program):
+        plan = FaultPlan(
+            seed=0,
+            specs=[FaultSpec(action="raise", site="phase:build", occurrence=1)],
+        )
+        with pytest.raises(ChaosFault):
+            allocate_program(
+                small_call_program,
+                register_file(FULL_CONFIG),
+                PRESETS["improved"](),
+                tracer=FaultInjector(plan),
+            )
+
+    def test_final_rung_never_sabotaged(self, small_call_program):
+        # A spillall primary is a one-rung (= final-rung) ladder, so the
+        # injector must never be consulted at all.
+        plan = FaultPlan(
+            seed=0,
+            specs=[FaultSpec(action="raise", site="phase:build", occurrence=1)],
+        )
+        injector = FaultInjector(plan)
+        _, report = resilient_allocate_program(
+            small_call_program,
+            register_file(FULL_CONFIG),
+            PRESETS["spillall"](),
+            injector=injector,
+        )
+        assert report.rung == "primary"
+        assert injector.fired == []
+
+
+class TestDeterminism:
+    def test_plan_from_seed_is_stable(self):
+        for seed in (0, 1, 12345):
+            assert (
+                FaultPlan.from_seed(seed).as_dict()
+                == FaultPlan.from_seed(seed).as_dict()
+            )
+
+    def test_same_seed_same_resilience_report(self, small_call_program):
+        def run():
+            plan = FaultPlan.from_seed(7, faults=3)
+            _, report = resilient_allocate_program(
+                small_call_program,
+                register_file(FULL_CONFIG),
+                PRESETS["improved"](),
+                injector=FaultInjector(plan),
+                corrupt=Corruptor(plan),
+            )
+            return report.as_dict()
+
+        assert run() == run()
+
+    def test_campaign_is_deterministic(self):
+        def run():
+            return run_campaign(
+                ["li"], presets=["improved"], seeds=range(2)
+            ).as_dict()
+
+        assert run() == run()
+
+
+class TestCampaign:
+    def test_small_campaign_is_clean(self):
+        report = run_campaign(
+            ["li"], presets=["base", "improved", "spillall"], seeds=range(3)
+        )
+        assert report.runs
+        assert report.all_clean
+        assert not report.unclean
+        assert not report.unattributed
+        for run in report.runs:
+            assert run.report is not None
+            # every demotion is attributed to a concrete error
+            for record in run.report["demotions"]:
+                assert record["error_type"]
+
+    def test_campaign_dict_shape(self):
+        data = run_campaign(["li"], presets=["base"], seeds=range(1)).as_dict()
+        assert data["total_runs"] == 1
+        assert set(data) >= {
+            "runs",
+            "total_injections",
+            "degraded_runs",
+            "unclean_runs",
+            "unattributed_runs",
+            "all_clean",
+        }

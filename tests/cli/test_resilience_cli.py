@@ -1,0 +1,154 @@
+"""CLI coverage for --resilient flags and the chaos subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int out[2];
+int twice(int x) { return x * 2; }
+void main() {
+    int total = 0;
+    for (int i = 0; i < 10; i = i + 1) {
+        total = total + twice(i);
+    }
+    out[0] = total;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestAllocateResilient:
+    def test_clean_run_reports_primary(self, source_file, capsys):
+        assert main(["allocate", source_file, "--resilient", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["resilience"]["rung"] == "primary"
+        assert report["resilience"]["degraded"] is False
+
+    def test_spillall_allocator_resilient(self, source_file, capsys):
+        assert (
+            main(
+                [
+                    "allocate",
+                    source_file,
+                    "--resilient",
+                    "--allocator",
+                    "spillall",
+                    "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "verification: PASS" in out
+        assert "execution check: PASS" in out
+
+
+class TestSweepResilient:
+    def test_json_includes_resilience_map(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "li",
+                    "--short",
+                    "--allocators",
+                    "improved",
+                    "--resilient",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert "resilience" in report
+        cells = report["resilience"]["improved"]
+        assert set(cells) == set(report["totals"]["improved"])
+        for cell in cells.values():
+            assert cell is None or "rung" in cell
+
+    def test_plain_sweep_has_no_resilience_key(self, capsys):
+        assert (
+            main(
+                ["sweep", "li", "--short", "--allocators", "improved", "--json"]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert "resilience" not in report
+
+
+class TestChaosCommand:
+    def test_small_campaign_passes(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--workloads",
+                    "li",
+                    "--allocators",
+                    "improved",
+                    "--seeds",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "chaos campaign: 2 run(s)" in out
+        assert "verifier-clean" in out
+
+    def test_json_and_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "campaign.json"
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--workloads",
+                    "li",
+                    "--allocators",
+                    "base",
+                    "--seeds",
+                    "2",
+                    "--json",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["all_clean"] is True
+        assert report["total_runs"] == 2
+        assert "metrics" in report
+        on_disk = json.loads(out_path.read_text())
+        assert on_disk["total_runs"] == 2
+
+    def test_min_injections_gate(self, capsys):
+        # A zero-fault plan can never fire anything; the gate trips.
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--workloads",
+                    "li",
+                    "--allocators",
+                    "improved",
+                    "--seeds",
+                    "1",
+                    "--faults",
+                    "0",
+                    "--min-injections",
+                    "1",
+                ]
+            )
+            == 1
+        )

@@ -24,24 +24,24 @@ BAD = ("eqntott", AllocatorOptions.base_chaitin(), CFG, "dynamic")
 _real_measure_chunk = runner._measure_chunk
 
 
-def _crashing(chunk, verify=False, trace=False):
+def _crashing(chunk, verify=False, trace=False, resilient=False):
     if chunk[0][0] == "eqntott":
         raise RuntimeError("injected worker crash")
-    return _real_measure_chunk(chunk, verify, trace=trace)
+    return _real_measure_chunk(chunk, verify, trace=trace, resilient=resilient)
 
 
-def _hanging(chunk, verify=False, trace=False):
+def _hanging(chunk, verify=False, trace=False, resilient=False):
     if chunk[0][0] == "eqntott":
         time.sleep(8)
     return []
 
 
-def _dying(chunk, verify=False, trace=False):
+def _dying(chunk, verify=False, trace=False, resilient=False):
     if chunk[0][0] == "eqntott":
         if multiprocessing.parent_process() is not None:
             os._exit(13)  # hard-kill the worker: BrokenProcessPool
         raise RuntimeError("injected hard crash")
-    return _real_measure_chunk(chunk, verify, trace=trace)
+    return _real_measure_chunk(chunk, verify, trace=trace, resilient=resilient)
 
 
 def test_worker_exception_contained(monkeypatch):

@@ -1,0 +1,155 @@
+"""Resilient measurement: grid threading, counters and rendering."""
+
+from repro.eval.render import degraded_cell
+from repro.eval.report import render_sweep, sweep_report
+from repro.eval.runner import (
+    GridReport,
+    Measurement,
+    ResultCache,
+    compute_measurement,
+    run_grid,
+)
+from repro.machine.mips import MIN_CONFIG
+from repro.obs.metrics import METRICS
+from repro.regalloc.options import PRESETS
+
+
+def degraded_report_dict(rung="spillall", rung_index=2):
+    return {
+        "requested": "chaitin+SC",
+        "rung": rung,
+        "rung_index": rung_index,
+        "options": rung,
+        "attempts": rung_index + 1,
+        "degraded": rung_index > 0,
+        "demotions": [
+            {
+                "rung": "primary",
+                "error_type": "ChaosFault",
+                "error": "injected",
+                "check": None,
+                "detail": None,
+                "stats": None,
+            }
+        ]
+        * rung_index,
+    }
+
+
+class TestComputeMeasurement:
+    def test_resilient_measurement_carries_report(self):
+        measurement = compute_measurement(
+            "li", PRESETS["improved"](), MIN_CONFIG, resilient=True
+        )
+        assert measurement.resilience is not None
+        assert measurement.resilience["rung"] == "primary"
+        assert measurement.resilience["degraded"] is False
+
+    def test_plain_measurement_has_no_report(self):
+        measurement = compute_measurement("li", PRESETS["improved"](), MIN_CONFIG)
+        assert measurement.resilience is None
+
+    def test_resilient_matches_plain_numbers(self):
+        plain = compute_measurement("li", PRESETS["improved"](), MIN_CONFIG)
+        resilient = compute_measurement(
+            "li", PRESETS["improved"](), MIN_CONFIG, resilient=True
+        )
+        assert resilient.overhead.total == plain.overhead.total
+        assert resilient.cycles == plain.cycles
+
+
+class TestResilientGrid:
+    def test_serial_grid_threads_resilient(self):
+        cache = ResultCache()
+        keys = [("li", PRESETS["improved"](), MIN_CONFIG, "dynamic")]
+        report = run_grid(keys, cache=cache, resilient=True)
+        assert report.ok
+        measurement = cache.peek(keys[0])
+        assert measurement.resilience is not None
+
+    def test_absorb_counts_fallbacks(self):
+        from repro.eval.runner import _absorb_report
+
+        cache = ResultCache()
+        key = ("li", PRESETS["improved"](), MIN_CONFIG, "dynamic")
+        base = compute_measurement(*key[:3], key[3])
+        cache.put(
+            key,
+            Measurement(
+                overhead=base.overhead,
+                cycles=base.cycles,
+                stats=base.stats,
+                resilience=degraded_report_dict(rung_index=2),
+            ),
+        )
+        grid = GridReport(computed=[key])
+        before = dict(METRICS.as_dict()["counters"])
+        _absorb_report(grid, cache)
+        after = METRICS.as_dict()["counters"]
+        assert after["grid.fallback_runs"] == before.get("grid.fallback_runs", 0) + 1
+        assert (
+            after["grid.fallback_demotions"]
+            == before.get("grid.fallback_demotions", 0) + 2
+        )
+        assert (
+            after["resilience.rung.spillall"]
+            == before.get("resilience.rung.spillall", 0) + 1
+        )
+
+
+class TestRendering:
+    def test_degraded_cell_format(self):
+        assert degraded_cell(1234.0, "spillall") == "deg[spillall] 1234"
+
+    def test_render_sweep_marks_degraded_cells(self):
+        grid = GridReport()
+        report = sweep_report(
+            "li",
+            "dynamic",
+            ["improved"],
+            ["(6,4,0,0)", "(7,5,1,1)"],
+            {"improved": {"(6,4,0,0)": 500.0, "(7,5,1,1)": 400.0}},
+            grid,
+            resilience={
+                "improved": {
+                    "(6,4,0,0)": degraded_report_dict(),
+                    "(7,5,1,1)": None,
+                }
+            },
+        )
+        rendered = render_sweep(report)
+        assert "deg[spillall] 500" in rendered
+        assert "400" in rendered
+        assert "deg" not in rendered.split("400")[1]
+
+    def test_render_sweep_keeps_err_cells(self):
+        grid = GridReport()
+        report = sweep_report(
+            "li",
+            "dynamic",
+            ["improved"],
+            ["(6,4,0,0)"],
+            {"improved": {"(6,4,0,0)": None}},
+            grid,
+            resilience={"improved": {"(6,4,0,0)": None}},
+        )
+        assert "ERR" in render_sweep(report)
+
+    def test_json_report_carries_full_resilience(self):
+        from repro.eval.report import dump_json
+        import json
+
+        grid = GridReport()
+        report = sweep_report(
+            "li",
+            "dynamic",
+            ["improved"],
+            ["(6,4,0,0)"],
+            {"improved": {"(6,4,0,0)": 500.0}},
+            grid,
+            resilience={"improved": {"(6,4,0,0)": degraded_report_dict()}},
+        )
+        data = json.loads(dump_json(report))
+        cell = data["resilience"]["improved"]["(6,4,0,0)"]
+        assert cell["rung"] == "spillall"
+        assert cell["demotions"][0]["error_type"] == "ChaosFault"

@@ -1,0 +1,96 @@
+"""The spill-everywhere last-resort allocator."""
+
+import pytest
+
+from repro.machine.mips import FULL_CONFIG, MIN_CONFIG, register_file
+from repro.profile import run_allocated, run_program
+from repro.regalloc import allocate_program, verify_allocation
+from repro.regalloc.options import PRESETS, AllocatorOptions
+from repro.workloads import compile_workload
+from tests.conftest import assert_same_globals
+
+
+class TestOptions:
+    def test_preset_registered(self):
+        options = PRESETS["spillall"]()
+        assert options.kind == "spillall"
+        assert options.label == "spillall"
+        assert not options.coalesce
+
+    def test_spillall_takes_no_enhancements(self):
+        with pytest.raises(ValueError):
+            AllocatorOptions(kind="spillall", sc=True)
+        with pytest.raises(ValueError):
+            AllocatorOptions(kind="spillall", coalesce=True)
+
+
+class TestSpillEverywhere:
+    @pytest.mark.parametrize("config", [MIN_CONFIG, FULL_CONFIG])
+    def test_verifies_on_real_workload(self, config):
+        compiled = compile_workload("li")
+        allocation = allocate_program(
+            compiled.program,
+            register_file(config),
+            AllocatorOptions.spill_everywhere(),
+            compiled.dynamic_weights,
+            cache=compiled.analyses,
+        )
+        verify_allocation(allocation)
+
+    def test_every_original_range_spilled(self, small_call_program):
+        allocation = allocate_program(
+            small_call_program,
+            register_file(MIN_CONFIG),
+            AllocatorOptions.spill_everywhere(),
+        )
+        for fa in allocation.functions.values():
+            # Iteration 1 spills every original (finite-cost) range in
+            # one round; iteration 2 colors the spill plumbing.  A
+            # third iteration would mean something original survived.
+            assert fa.iterations == 2
+            assert fa.spilled, "every function here has live ranges"
+            assert fa.frame_slots >= len(fa.spilled)
+            spilled = set(fa.spilled)
+            # A spilled parameter keeps a short entry-range register
+            # (it arrives in one before the store to its slot); nothing
+            # else may be both spilled and register-resident.
+            assert spilled & set(fa.assignment) <= set(fa.func.params)
+
+    def test_differential_execution(self, small_call_program):
+        baseline = run_program(small_call_program, fuel=3_000_000)
+        allocation = allocate_program(
+            small_call_program,
+            register_file(MIN_CONFIG),
+            AllocatorOptions.spill_everywhere(),
+            baseline.profile.weights,
+        )
+        verify_allocation(allocation)
+        mech = run_allocated(allocation, fuel=30_000_000)
+        assert_same_globals(baseline.globals_state, mech.globals_state)
+        assert mech.return_value == baseline.return_value
+
+    def test_overhead_independent_of_register_count(self):
+        from repro.eval.overhead import program_overhead
+
+        compiled = compile_workload("compress")
+        totals = []
+        for config in (MIN_CONFIG, FULL_CONFIG):
+            allocation = allocate_program(
+                compiled.program,
+                register_file(config),
+                AllocatorOptions.spill_everywhere(),
+                compiled.dynamic_weights,
+                cache=compiled.analyses,
+            )
+            totals.append(program_overhead(allocation, compiled.profile).total)
+        assert totals[0] == totals[1]
+
+    def test_resilient_spillall_is_single_rung(self, small_call_program):
+        allocation = allocate_program(
+            small_call_program,
+            register_file(MIN_CONFIG),
+            AllocatorOptions.spill_everywhere(),
+            resilient=True,
+        )
+        assert allocation.resilience.rung == "primary"
+        assert allocation.resilience.attempts == 1

@@ -1,0 +1,184 @@
+"""Phase budgets and the structured convergence error."""
+
+import pytest
+
+from repro.machine import RegisterConfig, RegisterFile
+from repro.regalloc import (
+    AllocationBudget,
+    BudgetExceeded,
+    ConvergenceError,
+    allocate_program,
+)
+from repro.regalloc.options import AllocatorOptions
+
+STARVED = RegisterFile(RegisterConfig(3, 2, 1, 1))
+
+#: Eight ints live across every call: guaranteed to spill on STARVED.
+SPILLY_SOURCE = """
+int out[8];
+int bump(int x) { return x + 1; }
+void main() {
+    int a = 1; int b = 2; int c = 3; int d = 4;
+    int e = 5; int f = 6; int g = 7; int h = 8;
+    for (int i = 0; i < 5; i = i + 1) {
+        a = a + bump(b); b = b + bump(c); c = c + bump(d); d = d + bump(e);
+        e = e + bump(f); f = f + bump(g); g = g + bump(h); h = h + bump(a);
+    }
+    out[0] = a + b + c + d;
+    out[1] = e + f + g + h;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def spilly_program():
+    from repro.lang import compile_source
+
+    return compile_source(SPILLY_SOURCE)
+
+
+def _assignment_repr(fa):
+    """Clone-independent view of one function's assignment."""
+    return {repr(reg): phys.name for reg, phys in fa.assignment.items()}
+
+
+class TestBudgetChecks:
+    def test_limits_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            AllocationBudget(deadline_seconds=-1.0)
+        with pytest.raises(ValueError):
+            AllocationBudget(max_iterations=-1)
+
+    def test_iteration_ceiling(self):
+        budget = AllocationBudget(max_iterations=3)
+        budget.check_iterations("f", 3)  # at the ceiling is fine
+        with pytest.raises(BudgetExceeded) as exc:
+            budget.check_iterations("f", 4)
+        assert exc.value.limit_kind == "iterations"
+        assert exc.value.limit == 3
+        assert exc.value.observed == 4
+        assert exc.value.function == "f"
+        assert exc.value.phase is None
+
+    def test_spill_ceiling(self):
+        budget = AllocationBudget(max_spills=2)
+        budget.check_spills("f", 2)
+        with pytest.raises(BudgetExceeded) as exc:
+            budget.check_spills("f", 5)
+        assert exc.value.limit_kind == "spills"
+
+    def test_no_limits_never_fires(self):
+        budget = AllocationBudget()
+        budget.check_deadline("f", "build")
+        budget.check_iterations("f", 10**6)
+        budget.check_spills("f", 10**6)
+
+    def test_zero_deadline_fires_on_first_check(self):
+        budget = AllocationBudget(deadline_seconds=0.0)
+        with pytest.raises(BudgetExceeded) as exc:
+            budget.check_deadline("f", "build")
+        assert exc.value.limit_kind == "deadline"
+        assert exc.value.phase == "build"
+
+    def test_as_dict_round_trip(self):
+        error = BudgetExceeded("iterations", 2, 3, "main")
+        data = error.as_dict()
+        assert data["limit_kind"] == "iterations"
+        assert data["function"] == "main"
+        assert "ceiling" in data["message"]
+
+
+class TestBudgetedAllocation:
+    def test_zero_deadline_aborts_allocation(self, small_call_program):
+        budget = AllocationBudget(deadline_seconds=0.0)
+        with pytest.raises(BudgetExceeded) as exc:
+            allocate_program(
+                small_call_program, STARVED, AllocatorOptions(), budget=budget
+            )
+        assert exc.value.limit_kind == "deadline"
+        assert exc.value.phase is not None
+
+    def test_iteration_budget_aborts_spilling_run(self, spilly_program):
+        # The starved file forces at least one spill round, i.e. more
+        # than one iteration somewhere.
+        budget = AllocationBudget(max_iterations=1)
+        with pytest.raises(BudgetExceeded) as exc:
+            allocate_program(
+                spilly_program, STARVED, AllocatorOptions(), budget=budget
+            )
+        assert exc.value.limit_kind == "iterations"
+
+    def test_spill_budget_aborts_spilling_run(self, spilly_program):
+        budget = AllocationBudget(max_spills=0)
+        with pytest.raises(BudgetExceeded) as exc:
+            allocate_program(
+                spilly_program, STARVED, AllocatorOptions(), budget=budget
+            )
+        assert exc.value.limit_kind == "spills"
+
+    def test_generous_budget_changes_nothing(self, small_call_program):
+        budget = AllocationBudget(
+            deadline_seconds=120.0, max_iterations=100, max_spills=10_000
+        )
+        budgeted = allocate_program(
+            small_call_program, STARVED, AllocatorOptions(), budget=budget
+        )
+        plain = allocate_program(small_call_program, STARVED, AllocatorOptions())
+        for name, fa in plain.functions.items():
+            assert _assignment_repr(budgeted.functions[name]) == _assignment_repr(fa)
+
+    def test_resilient_run_absorbs_blown_budget(self, small_call_program):
+        budget = AllocationBudget(deadline_seconds=0.0)
+        allocation = allocate_program(
+            small_call_program,
+            STARVED,
+            AllocatorOptions(),
+            budget=budget,
+            resilient=True,
+        )
+        report = allocation.resilience
+        assert report is not None
+        assert report.degraded
+        # The final rung runs unbudgeted, so the chain always lands.
+        assert report.rung == "spillall"
+        assert all(
+            record.error_type == "BudgetExceeded" for record in report.demotions
+        )
+
+
+class TestConvergenceError:
+    def test_structured_error_after_max_iterations(
+        self, spilly_program, monkeypatch
+    ):
+        import repro.regalloc.framework as framework
+
+        monkeypatch.setattr(framework, "MAX_ITERATIONS", 1)
+        with pytest.raises(ConvergenceError) as exc:
+            allocate_program(spilly_program, STARVED, AllocatorOptions())
+        error = exc.value
+        assert error.iterations == 1
+        assert error.spill_history  # one spill list per iteration
+        assert all(isinstance(spills, list) for spills in error.spill_history)
+        assert error.stats is not None
+        data = error.as_dict()
+        assert data["function"] == error.function
+        assert data["iterations"] == 1
+        assert data["spill_history"] == error.spill_history
+
+    def test_resilient_run_absorbs_convergence_error(
+        self, spilly_program, monkeypatch
+    ):
+        import repro.regalloc.framework as framework
+
+        monkeypatch.setattr(framework, "MAX_ITERATIONS", 1)
+        allocation = allocate_program(
+            spilly_program, STARVED, AllocatorOptions(), resilient=True
+        )
+        report = allocation.resilience
+        assert report is not None
+        assert report.degraded
+        assert report.rung == "spillall"
+        assert any(
+            record.error_type == "ConvergenceError"
+            for record in report.demotions
+        )

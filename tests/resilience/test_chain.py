@@ -1,0 +1,109 @@
+"""The fallback chain: ladders, demotion records, determinism."""
+
+import pytest
+
+from repro.machine import RegisterConfig, RegisterFile
+from repro.obs.metrics import METRICS
+from repro.regalloc.options import PRESETS, AllocatorOptions
+from repro.resilience import (
+    fallback_rungs,
+    record_resilience,
+    resilient_allocate_program,
+)
+
+REGFILE = RegisterFile(RegisterConfig(6, 4, 2, 2))
+
+
+class TestLadders:
+    def test_primary_first_spillall_last(self):
+        for preset in PRESETS:
+            rungs = fallback_rungs(PRESETS[preset]())
+            assert rungs[0].name == "primary"
+            assert rungs[-1].options.kind == "spillall"
+
+    def test_spillall_primary_is_one_rung(self):
+        rungs = fallback_rungs(AllocatorOptions.spill_everywhere())
+        assert [rung.name for rung in rungs] == ["primary"]
+
+    def test_base_ladder_collapses_middle_rungs(self):
+        # base Chaitin without coalescing *is* degraded *is* plain.
+        names = [rung.name for rung in fallback_rungs(PRESETS["base"]())]
+        assert names == ["primary", "no-coalesce", "spillall"]
+
+    def test_improved_ladder_is_full(self):
+        names = [rung.name for rung in fallback_rungs(PRESETS["improved"]())]
+        assert names == ["primary", "no-coalesce", "degraded", "plain", "spillall"]
+
+    def test_every_rung_is_a_distinct_configuration(self):
+        for preset in PRESETS:
+            rungs = fallback_rungs(PRESETS[preset]())
+            options = [rung.options for rung in rungs]
+            assert len(options) == len(set(options))
+
+
+class TestResilientAllocation:
+    def test_clean_run_wins_on_primary(self, small_call_program):
+        allocation, report = resilient_allocate_program(
+            small_call_program, REGFILE, PRESETS["improved"]()
+        )
+        assert report.rung == "primary"
+        assert report.rung_index == 0
+        assert not report.degraded
+        assert report.attempts == 1
+        assert report.demotions == ()
+        assert allocation.functions
+
+    def test_clean_run_matches_non_resilient(self, small_call_program):
+        from repro.regalloc import allocate_program
+
+        options = PRESETS["improved"]()
+        resilient, _ = resilient_allocate_program(
+            small_call_program, REGFILE, options
+        )
+        plain = allocate_program(small_call_program, REGFILE, options)
+        for name, fa in plain.functions.items():
+            got = resilient.functions[name]
+            assert {repr(r): p.name for r, p in got.assignment.items()} == {
+                repr(r): p.name for r, p in fa.assignment.items()
+            }
+            assert [repr(r) for r in got.spilled] == [repr(r) for r in fa.spilled]
+
+    def test_report_attached_by_allocate_program(self, small_call_program):
+        from repro.regalloc import allocate_program
+
+        allocation = allocate_program(
+            small_call_program, REGFILE, PRESETS["improved"](), resilient=True
+        )
+        assert allocation.resilience is not None
+        assert allocation.resilience.requested == PRESETS["improved"]().label
+
+    def test_report_as_dict_shape(self, small_call_program):
+        _, report = resilient_allocate_program(
+            small_call_program, REGFILE, PRESETS["base"]()
+        )
+        data = report.as_dict()
+        assert set(data) == {
+            "requested",
+            "rung",
+            "rung_index",
+            "options",
+            "attempts",
+            "degraded",
+            "demotions",
+        }
+
+
+class TestRecordResilience:
+    def test_accepts_report_and_dict(self, small_call_program):
+        _, report = resilient_allocate_program(
+            small_call_program, REGFILE, PRESETS["base"]()
+        )
+        before = METRICS.as_dict()["counters"].get("resilience.runs", 0)
+        record_resilience(report)
+        record_resilience(report.as_dict())
+        after = METRICS.as_dict()["counters"]["resilience.runs"]
+        assert after == before + 2
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(KeyError):
+            record_resilience({"not": "a report"})

@@ -21,6 +21,16 @@ To refresh the baseline after an intentional performance change::
         benchmarks/test_reconstruction_speed.py \
         benchmarks/test_interp_speed.py \
         --benchmark-json=BENCH_allocator.json
+
+``--serve`` switches to the serving-latency gate: ``RUN.json`` is a
+``repro loadgen`` report (``--spawn --out RUN.json``) compared
+against the committed ``BENCH_serve.json`` baseline.  The gate fails
+on any hard-failed request, on zero cache hits, or when p50/p99
+latency regresses past the (deliberately generous — shared runners
+are noisy) serve threshold.  Refresh with::
+
+    PYTHONPATH=src python -m repro loadgen --spawn --requests 200 \
+        --concurrency 8 --out BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_allocator.json"
+DEFAULT_SERVE_BASELINE = REPO_ROOT / "BENCH_serve.json"
 
 
 def load_medians(path: Path) -> dict:
@@ -60,6 +71,60 @@ def compare(
     return rows, regressions
 
 
+def compare_serve(run_path: Path, baseline_path: Path, threshold: float) -> int:
+    """Gate one ``repro loadgen`` report against the serve baseline.
+
+    Correctness is absolute (no failed requests, cache hits present);
+    latency is relative to the committed baseline with a generous
+    threshold, because wall-clock on shared runners is noisy in a way
+    allocator medians are not.
+    """
+    with run_path.open() as handle:
+        run = json.load(handle)
+    with baseline_path.open() as handle:
+        baseline = json.load(handle)
+
+    problems = []
+    if run.get("failed", 0) != 0:
+        problems.append(f"{run['failed']} request(s) hard-failed")
+    if run.get("ok", 0) != run.get("requests", 0):
+        problems.append(
+            f"only {run.get('ok', 0)}/{run.get('requests', 0)} requests ok"
+        )
+    if run.get("cache_hits", 0) == 0:
+        problems.append("content cache recorded zero hits")
+
+    print(
+        f"{'metric':<10} {'baseline':>12} {'current':>12}  ratio"
+    )
+    for metric in ("p50_ms", "p99_ms"):
+        old, new = baseline.get(metric, 0.0), run.get(metric, 0.0)
+        ratio = new / old if old else float("inf")
+        regressed = old > 0 and ratio > 1.0 + threshold
+        flag = "  << REGRESSION" if regressed else ""
+        print(f"{metric:<10} {old:>10.2f}ms {new:>10.2f}ms  {ratio:>5.2f}x{flag}")
+        if regressed:
+            problems.append(
+                f"{metric} regressed {ratio:.2f}x over baseline "
+                f"(allowed {1.0 + threshold:.2f}x)"
+            )
+    print(
+        f"{'req/s':<10} {baseline.get('requests_per_sec', 0.0):>12.1f} "
+        f"{run.get('requests_per_sec', 0.0):>12.1f}"
+    )
+    print(
+        f"throttled retries: {run.get('throttled_retries', 0)}, "
+        f"cache hits: {run.get('cache_hits', 0)}/{run.get('requests', 0)}"
+    )
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(f"\nserve gate passed (threshold {threshold:.0%})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="fail when benchmark medians regress past the baseline"
@@ -68,16 +133,35 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--baseline",
         type=Path,
-        default=DEFAULT_BASELINE,
-        help=f"committed baseline JSON (default: {DEFAULT_BASELINE})",
+        default=None,
+        help=f"committed baseline JSON (default: {DEFAULT_BASELINE}, "
+        f"or {DEFAULT_SERVE_BASELINE} with --serve)",
     )
     parser.add_argument(
         "--threshold",
         type=float,
-        default=0.15,
-        help="allowed median regression as a fraction (default: 0.15)",
+        default=None,
+        help="allowed regression as a fraction (default: 0.15, "
+        "or 3.0 with --serve)",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="gate a repro loadgen latency report instead of the "
+        "pytest-benchmark speed suite",
     )
     args = parser.parse_args(argv)
+
+    if args.serve:
+        return compare_serve(
+            args.run,
+            args.baseline or DEFAULT_SERVE_BASELINE,
+            3.0 if args.threshold is None else args.threshold,
+        )
+    if args.threshold is None:
+        args.threshold = 0.15
+    if args.baseline is None:
+        args.baseline = DEFAULT_BASELINE
 
     baseline = load_medians(args.baseline)
     current = load_medians(args.run)

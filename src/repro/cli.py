@@ -25,13 +25,12 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.eval import experiments as exp
-from repro.eval.overhead import program_overhead
 from repro.eval.render import render_table
 from repro.ir import format_program
 from repro.lang import compile_source
 from repro.machine import RegisterConfig, mips_sweep, register_file
 from repro.profile import run_allocated, run_program
-from repro.regalloc import PRESETS, allocate_program
+from repro.regalloc import PRESETS
 
 #: The allocator presets, by CLI name (one shared table for the CLI,
 #: the sweep drivers, the fuzz harness and the chaos campaigns).
@@ -111,38 +110,47 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _file_request(args) -> "AllocationRequest":
+    """Build the engine request for a file-based CLI command."""
+    from repro.engine import AllocationRequest
+
+    path = Path(args.file)
+    text = path.read_text()
+    is_ir = path.suffix == ".ir"
+    return AllocationRequest(
+        source=None if is_ir else text,
+        ir=text if is_ir else None,
+        preset=args.allocator,
+        config=args.config,
+        info=args.info,
+        optimize=args.optimize,
+        resilient=getattr(args, "resilient", False),
+        trace=bool(getattr(args, "trace", False)),
+        fuel=args.fuel,
+        name=path.stem,
+    )
+
+
 def cmd_allocate(args) -> int:
-    from repro.eval.report import allocation_report, dump_json, render_allocation
+    from repro.engine import AllocationEngine, RequestError
+    from repro.eval.report import dump_json, render_allocation
 
-    program = _load_program(args.file, optimize=args.optimize)
-    profile = run_program(program, fuel=args.fuel).profile
-    options = ALLOCATORS[args.allocator]()
-    weights_for = (
-        profile.weights if args.info == "dynamic" else None
-    )
-    rf = register_file(args.config)
-    tracer = None
-    if args.trace:
-        from repro.obs import Tracer
-
-        tracer = Tracer()
-    allocation = allocate_program(
-        program, rf, options, weights_for, tracer=tracer,
-        resilient=args.resilient,
-    )
+    engine = AllocationEngine()
+    try:
+        result = engine.submit(_file_request(args))
+    except RequestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    allocation = result.allocation
     if allocation.resilience is not None:
-        from repro.resilience import record_resilience
-
-        record_resilience(allocation.resilience)
         if allocation.resilience.degraded and not args.json:
             print(
                 f"note: degraded to rung {allocation.resilience.rung!r} "
                 f"after {len(allocation.resilience.demotions)} demotion(s)",
                 file=sys.stderr,
             )
-    overhead = program_overhead(allocation, profile)
 
-    report = allocation_report(allocation, overhead, str(args.config), args.info)
+    report = result.report
     if args.json:
         print(dump_json(report))
     else:
@@ -150,9 +158,9 @@ def cmd_allocate(args) -> int:
     if args.trace:
         from repro.obs import write_events_jsonl
 
-        write_events_jsonl(args.trace, tracer.events)
+        write_events_jsonl(args.trace, result.trace_events)
         print(
-            f"\n{len(tracer.events)} decision event(s) written to {args.trace}",
+            f"\n{len(result.trace_events)} decision event(s) written to {args.trace}",
             file=sys.stderr,
         )
     if args.dot:
@@ -180,7 +188,7 @@ def cmd_allocate(args) -> int:
             return 1
         print("\nverification: PASS")
         mech = run_allocated(allocation, fuel=args.fuel * 4)
-        baseline = run_program(program, fuel=args.fuel)
+        baseline = run_program(result.source_program, fuel=args.fuel)
         same = mech.globals_state == baseline.globals_state
         print(f"execution check: {'PASS' if same else 'FAIL'}")
         return 0 if same else 1
@@ -209,7 +217,9 @@ def cmd_explain(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     if args.json:
-        print(json.dumps(explanation.as_dict(), indent=2, sort_keys=True))
+        from repro.schema import stamp
+
+        print(json.dumps(stamp(explanation.as_dict()), indent=2, sort_keys=True))
     else:
         print(explanation.render())
     return 0 if explanation.verified in (True, None) else 1
@@ -300,66 +310,27 @@ def _render_timings(keys: Sequence, title: str) -> Optional[str]:
 
 
 def cmd_sweep(args) -> int:
-    from repro.eval import measure, run_grid
-    from repro.eval.report import dump_json, render_sweep, sweep_report
+    from repro.engine import AllocationEngine
+    from repro.eval.report import dump_json, render_sweep
     from repro.eval.runner import RESULTS
-    from repro.obs import METRICS
 
     configs = mips_sweep()
     if args.short:
         configs = configs[:6]
     names = args.allocators or list(ALLOCATORS)
-    keys = [
-        (args.workload, ALLOCATORS[alloc_name](), config, args.info)
-        for alloc_name in names
-        for config in configs
-    ]
-    # Always go through run_grid: it owns the fault handling, so one
-    # bad grid point shows up as an ERR cell instead of a traceback.
-    grid = run_grid(
-        keys,
+    # The engine sweeps through run_grid: it owns the fault handling,
+    # so one bad grid point shows up as an ERR cell, not a traceback.
+    engine = AllocationEngine()
+    report, grid, keys = engine.sweep(
+        args.workload,
+        names,
+        configs,
+        info=args.info,
         jobs=args.jobs,
         verify=args.verify,
         timeout=args.timeout,
         trace=bool(args.trace),
         resilient=args.resilient,
-    )
-    failed_keys = set(grid.failed_keys())
-    data = {}
-    resilience = {} if args.resilient else None
-    for alloc_name in names:
-        options = ALLOCATORS[alloc_name]()
-        totals = {}
-        cells = {}
-        for config in configs:
-            key = (args.workload, options, config, args.info)
-            if key in failed_keys:
-                totals[str(config)] = None
-                cells[str(config)] = None
-            else:
-                overhead = measure(
-                    args.workload, options, config, args.info,
-                    resilient=args.resilient,
-                )
-                totals[str(config)] = overhead.total
-                measurement = RESULTS.peek(key)
-                cells[str(config)] = (
-                    measurement.resilience if measurement is not None else None
-                )
-        data[alloc_name] = totals
-        if resilience is not None:
-            resilience[alloc_name] = cells
-    METRICS.set_gauge("results_cache.hits", RESULTS.hits)
-    METRICS.set_gauge("results_cache.misses", RESULTS.misses)
-    report = sweep_report(
-        args.workload,
-        args.info,
-        names,
-        configs,
-        data,
-        grid,
-        metrics=METRICS.as_dict(),
-        resilience=resilience,
     )
     if args.json:
         print(dump_json(report))
@@ -393,8 +364,11 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    from repro.eval import experiment_grid, run_grid
+    from repro.engine import AllocationEngine
+    from repro.eval import experiment_grid
+    from repro.schema import stamp
 
+    engine = AllocationEngine()
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
         driver = EXPERIMENTS[name]
@@ -406,7 +380,7 @@ def cmd_experiment(args) -> int:
             # through the fallback chain, so the driver's own measure()
             # calls hit the cache and inherit the degraded-but-clean
             # numbers instead of raising.
-            grid = run_grid(
+            grid = engine.run_keys(
                 keys,
                 jobs=args.jobs,
                 verify=args.verify,
@@ -418,7 +392,7 @@ def cmd_experiment(args) -> int:
                 print(f"FAILED {record.describe()}", file=sys.stderr)
         result = driver()
         text = (
-            json.dumps(result.as_dict(), indent=2)
+            json.dumps(stamp(result.as_dict()), indent=2)
             if args.json
             else result.render()
         )
@@ -463,15 +437,19 @@ def cmd_fuzz(args) -> int:
             path: fails for path, fails in results.items() if fails
         }
         if args.json:
+            from repro.schema import stamp
+
             print(
                 json.dumps(
-                    {
-                        "cases": len(results),
-                        "regressions": {
-                            path: [f.describe() for f in fails]
-                            for path, fails in regressions.items()
-                        },
-                    },
+                    stamp(
+                        {
+                            "cases": len(results),
+                            "regressions": {
+                                path: [f.describe() for f in fails]
+                                for path, fails in regressions.items()
+                            },
+                        }
+                    ),
                     indent=2,
                     sort_keys=True,
                 )
@@ -505,17 +483,21 @@ def cmd_fuzz(args) -> int:
         written.append(str(quarantine(failure, corpus_dir)))
 
     if args.json:
+        from repro.schema import stamp
+
         print(
             json.dumps(
-                {
-                    "seeds_run": report.seeds_run,
-                    "checked": report.checked,
-                    "skipped": report.skipped,
-                    "elapsed": round(report.elapsed, 2),
-                    "budget_exhausted": report.budget_exhausted,
-                    "failures": [f.describe() for f in report.failures],
-                    "quarantined": written,
-                },
+                stamp(
+                    {
+                        "seeds_run": report.seeds_run,
+                        "checked": report.checked,
+                        "skipped": report.skipped,
+                        "elapsed": round(report.elapsed, 2),
+                        "budget_exhausted": report.budget_exhausted,
+                        "failures": [f.describe() for f in report.failures],
+                        "quarantined": written,
+                    }
+                ),
                 indent=2,
                 sort_keys=True,
             )
@@ -548,7 +530,9 @@ def cmd_chaos(args) -> int:
         config=args.config,
     )
     record_campaign(report)
-    data = report.as_dict()
+    from repro.schema import stamp
+
+    data = stamp(report.as_dict())
     data["metrics"] = {
         name: value
         for name, value in METRICS.as_dict()["counters"].items()
@@ -586,6 +570,60 @@ def cmd_chaos(args) -> int:
         )
         return 1
     return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import ServerConfig, serve_forever
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        default_deadline_ms=args.deadline_ms,
+        resilient=not args.no_resilient,
+        cache_size=args.cache_size,
+    )
+    return serve_forever(config)
+
+
+def cmd_loadgen(args) -> int:
+    from repro.serve import LoadgenConfig, ServerConfig, run_loadgen
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        preset=args.preset,
+        deadline_ms=args.deadline_ms,
+    )
+    server_config = None
+    if args.spawn:
+        server_config = ServerConfig(
+            port=0,
+            queue_size=args.queue_size,
+            workers=args.workers,
+            batch_size=args.batch_size,
+        )
+    report = run_loadgen(config, spawn=args.spawn, server_config=server_config)
+    data = report.as_dict()
+    text = json.dumps(data, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"loadgen report written to {args.out}", file=sys.stderr)
+    if args.json or not args.out:
+        print(text)
+    else:
+        print(
+            f"loadgen: {report.ok}/{report.requests} ok, "
+            f"{report.failed} failed, {report.throttled_retries} throttled "
+            f"retries, {report.cache_hits} cache hits, "
+            f"p50={data['p50_ms']:.1f}ms p99={data['p99_ms']:.1f}ms "
+            f"({data['requests_per_sec']:.1f} req/s)"
+        )
+    return 0 if report.failed == 0 else 1
 
 
 # ----------------------------------------------------------------------
@@ -766,6 +804,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the campaign report as JSON")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve allocations over HTTP/JSON: POST mini-C or IR to "
+             "/allocate, batched through one shared engine with "
+             "bounded-queue backpressure and per-request deadlines",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8377)
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="bounded admission queue; a full queue answers "
+                        "429 with Retry-After instead of accepting work")
+    p.add_argument("--workers", type=int, default=2,
+                   help="engine worker threads")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="max requests drained per dispatch round and "
+                        "handed to the engine as one batch")
+    p.add_argument("--deadline-ms", type=float, default=10_000.0,
+                   help="default per-request allocation deadline "
+                        "(requests may override with deadline_ms)")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="content-addressed result cache entries")
+    p.add_argument("--no-resilient", action="store_true",
+                   help="serve without the fallback chain (failing "
+                        "allocations answer 500 instead of degrading)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="fire concurrent allocation requests at a repro serve "
+             "instance and report latency percentiles and throughput",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8377)
+    p.add_argument("--requests", type=int, default=200,
+                   help="total requests to send")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="concurrent client workers")
+    p.add_argument("--preset", choices=sorted(ALLOCATORS), default="improved")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request allocation deadline to send")
+    p.add_argument("--spawn", action="store_true",
+                   help="boot an in-process server on an ephemeral port "
+                        "first (one-command benchmark)")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="spawned server's queue size (with --spawn)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="spawned server's worker threads (with --spawn)")
+    p.add_argument("--batch-size", type=int, default=8,
+                   help="spawned server's batch size (with --spawn)")
+    p.add_argument("--out",
+                   help="write the latency/throughput report JSON here")
+    p.add_argument("--json", action="store_true",
+                   help="print the report JSON even with --out")
+    p.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -1,0 +1,34 @@
+"""Allocation-as-a-service engine layer.
+
+The reusable core the CLI and the HTTP server (:mod:`repro.serve`)
+both sit on: :class:`AllocationEngine` owns preset resolution,
+compilation/profiling, analysis caches, budgets, tracing, the
+resilience ladder and content-addressed result caching behind a
+single ``submit(request) -> AllocationResult`` entry point.
+"""
+
+from repro.engine.cache import (
+    ContentCache,
+    fingerprint_program,
+    fingerprint_text,
+    result_key,
+)
+from repro.engine.core import (
+    AllocationEngine,
+    AllocationRequest,
+    AllocationResult,
+    EngineError,
+    RequestError,
+)
+
+__all__ = [
+    "AllocationEngine",
+    "AllocationRequest",
+    "AllocationResult",
+    "ContentCache",
+    "EngineError",
+    "RequestError",
+    "fingerprint_program",
+    "fingerprint_text",
+    "result_key",
+]

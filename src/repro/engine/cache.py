@@ -1,0 +1,139 @@
+"""Content-addressed allocation-result caching.
+
+Two requests asking for the same allocation should pay for it once,
+no matter how their *text* differs.  The cache therefore keys on the
+**parsed program**, not on the submitted source: the program is
+compiled, then fingerprinted from its canonical IR printing
+(:func:`repro.ir.format_program`), so a whitespace-only or
+comment-only edit of the source hashes to the same entry while any
+change that survives parsing misses.
+
+The full key is ``(program fingerprint, allocator options, register
+config, info source, flags)`` — every dimension that can change the
+allocation or its measured overhead.  Entries are bounded by an LRU
+(the server runs for days; an unbounded dict is a leak), and every
+lookup is counted so the hit rate is observable through the global
+:data:`~repro.obs.metrics.METRICS` registry as ``engine.cache.hits``
+/ ``engine.cache.misses`` / ``engine.cache.evictions``.
+
+All operations take the cache's lock: the HTTP server calls into one
+engine from several worker threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.ir import format_program
+from repro.obs.metrics import METRICS
+
+
+def fingerprint_text(text: str) -> str:
+    """SHA-256 of a text blob (used to key *compilations* by source)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint_program(program) -> str:
+    """Content address of a parsed program.
+
+    Hashes the canonical IR printing, so two sources that parse to the
+    same IR — differing only in whitespace, comments or formatting —
+    share one fingerprint, while any semantic change produces a new
+    one.
+    """
+    return fingerprint_text(format_program(program))
+
+
+class ContentCache:
+    """A thread-safe LRU mapping content keys to finished results.
+
+    ``maxsize`` bounds the entry count; inserting past the bound
+    evicts the least-recently-*used* entry (hits refresh recency).
+    ``metric_prefix`` names the counters this cache reports under.
+    """
+
+    def __init__(self, maxsize: int = 256, metric_prefix: str = "engine.cache"):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.metric_prefix = metric_prefix
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key``, counting the lookup."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                METRICS.inc(f"{self.metric_prefix}.misses")
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            METRICS.inc(f"{self.metric_prefix}.hits")
+            return value
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """Like :meth:`get` but touching neither counters nor recency."""
+        with self._lock:
+            return self._data.get(key)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                METRICS.inc(f"{self.metric_prefix}.evictions")
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> Dict[str, float]:
+        """JSON-ready counters (plus the derived hit rate)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
+
+
+def result_key(
+    fingerprint: str,
+    options,
+    config,
+    info: str,
+    flags: Tuple[str, ...] = (),
+) -> Tuple:
+    """The full content-addressed cache key for one allocation.
+
+    ``flags`` carries every boolean dimension that changes the result
+    (``resilient``, ``optimize``, ...) as a sorted tuple of names, so
+    adding a new flag never silently aliases old entries.
+    """
+    return (fingerprint, options, config, info, tuple(sorted(flags)))

@@ -1,0 +1,498 @@
+"""The allocation engine: one entry point for every client.
+
+:class:`AllocationEngine` is the facade that owns everything a client
+needs to turn *a program and an allocator configuration* into *an
+allocation report*: preset resolution, compilation and profiling,
+per-program :class:`~repro.analysis.manager.AnalysisCache` sharing,
+budgets, tracing, the resilience fallback ladder, and content-addressed
+result caching.  The CLI commands (``allocate``, ``sweep``,
+``experiment``), the HTTP server (:mod:`repro.serve`) and the grid
+runner all sit on top of this one :meth:`~AllocationEngine.submit`
+path, so there is exactly one implementation of the allocate pipeline
+to reason about.
+
+Request lifecycle::
+
+    AllocationRequest
+        -> resolve preset -> compile + profile (program cache)
+        -> content-cache lookup (program hash, options, config, flags)
+        -> allocate_program (budget, tracer, resilient ladder)
+        -> overhead + report
+        -> content-cache store -> AllocationResult
+
+Grid-shaped work (sweeps, experiments) goes through
+:meth:`AllocationEngine.run_keys`, which delegates to the
+process-parallel :func:`repro.eval.runner.run_grid` executor — the
+engine decides *what* to compute, the runner owns *how* to fan it
+out.  Batch submissions (:meth:`AllocationEngine.submit_batch`) are
+grouped by program fingerprint exactly like ``run_grid`` chunks by
+workload, so a batch over one program compiles and profiles it once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import (
+    ContentCache,
+    fingerprint_program,
+    fingerprint_text,
+    result_key,
+)
+from repro.eval.overhead import Overhead, program_overhead
+from repro.eval.report import allocation_report
+from repro.ir import IRParseError, parse_ir, verify_program
+from repro.lang import FrontendError, compile_source
+from repro.machine.mips import register_file
+from repro.machine.registers import RegisterConfig
+from repro.obs.metrics import METRICS
+from repro.regalloc.budget import AllocationBudget
+from repro.regalloc.framework import ProgramAllocation, allocate_program
+from repro.regalloc.options import PRESETS, AllocatorOptions
+
+
+class EngineError(Exception):
+    """An engine failure; ``status`` hints the HTTP mapping."""
+
+    status = 500
+
+
+class RequestError(EngineError):
+    """The request itself is malformed (unknown preset, bad source)."""
+
+    status = 400
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """One allocation job, however it reaches the engine.
+
+    Exactly one of ``source`` (mini-C text), ``ir`` (textual IR) or
+    ``workload`` (a registered SPEC92 stand-in name) selects the
+    program.  Everything else mirrors the CLI's ``allocate`` flags.
+    """
+
+    source: Optional[str] = None
+    ir: Optional[str] = None
+    workload: Optional[str] = None
+    preset: str = "improved"
+    config: RegisterConfig = RegisterConfig(6, 4, 2, 2)
+    info: str = "dynamic"
+    optimize: bool = False
+    resilient: bool = False
+    verify: bool = False
+    trace: bool = False
+    fuel: int = 50_000_000
+    #: Wall-clock budget for the allocation (per fallback rung); the
+    #: resilience ladder's final rung deliberately ignores it.
+    deadline_seconds: Optional[float] = None
+    #: Display name for reports (defaults to the program's own name).
+    name: str = "request"
+
+    def program_spec(self) -> Tuple[str, str]:
+        """``(kind, text-or-name)`` of the program this request names."""
+        picked = [
+            (kind, value)
+            for kind, value in (
+                ("source", self.source),
+                ("ir", self.ir),
+                ("workload", self.workload),
+            )
+            if value is not None
+        ]
+        if len(picked) != 1:
+            raise RequestError(
+                "exactly one of source, ir or workload must be given"
+            )
+        return picked[0]
+
+
+@dataclass
+class AllocationResult:
+    """Everything :meth:`AllocationEngine.submit` yields for a request."""
+
+    report: dict
+    allocation: ProgramAllocation
+    overhead: Overhead
+    fingerprint: str
+    preset: str
+    #: The compiled (pre-allocation) program the request named; the
+    #: CLI's ``--verify`` execution check re-runs it as the oracle.
+    source_program: object = None
+    #: Decision events when the request asked for tracing.
+    trace_events: Tuple = ()
+    cache_hit: bool = False
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class _CompiledEntry:
+    """A compiled and profiled program, shared across requests."""
+
+    program: object
+    profile: object
+    analyses: object
+    fingerprint: str
+    static_weights: Callable
+    dynamic_weights: Callable
+
+
+class AllocationEngine:
+    """The shared facade over the allocation pipeline.
+
+    One engine instance per process is the intended shape (the CLI
+    builds a throwaway one per command; the server keeps one for its
+    whole lifetime).  Thread-safe: the server calls :meth:`submit`
+    from several worker threads.
+    """
+
+    def __init__(
+        self,
+        presets: Optional[Dict[str, Callable[[], AllocatorOptions]]] = None,
+        cache_size: int = 256,
+        program_cache_size: int = 64,
+        resilient_default: bool = False,
+        default_deadline: Optional[float] = None,
+    ) -> None:
+        self.presets = dict(PRESETS if presets is None else presets)
+        self.results = ContentCache(cache_size, metric_prefix="engine.cache")
+        self._programs = ContentCache(
+            program_cache_size, metric_prefix="engine.programs"
+        )
+        self.resilient_default = resilient_default
+        self.default_deadline = default_deadline
+        self._compile_lock = threading.Lock()
+        self.submitted = 0
+
+    # ------------------------------------------------------------------
+    # request resolution
+    # ------------------------------------------------------------------
+
+    def resolve_options(self, preset: str) -> AllocatorOptions:
+        try:
+            factory = self.presets[preset]
+        except KeyError:
+            raise RequestError(
+                f"unknown preset {preset!r}; "
+                f"available: {', '.join(sorted(self.presets))}"
+            ) from None
+        return factory()
+
+    def _compile(self, request: AllocationRequest) -> _CompiledEntry:
+        """Compile + profile the request's program (content-cached).
+
+        Programs are keyed by the hash of their submitted text (plus
+        the compile-relevant knobs), so repeated requests over the
+        same program — the serving hot path — skip the compile, the
+        verifier pass and the profiling run entirely and share one
+        :class:`AnalysisCache`.
+        """
+        kind, text = request.program_spec()
+        if kind == "workload":
+            from repro.workloads.registry import compile_workload
+
+            try:
+                compiled = compile_workload(text)
+            except KeyError as error:
+                raise RequestError(str(error)) from None
+            return _CompiledEntry(
+                program=compiled.program,
+                profile=compiled.profile,
+                analyses=compiled.analyses,
+                fingerprint=fingerprint_program(compiled.program),
+                static_weights=compiled.static_weights,
+                dynamic_weights=compiled.dynamic_weights,
+            )
+
+        cache_key = (kind, fingerprint_text(text), request.optimize, request.fuel)
+        entry = self._programs.get(cache_key)
+        if entry is not None:
+            return entry
+        with self._compile_lock:
+            entry = self._programs.peek(cache_key)
+            if entry is not None:
+                return entry
+            entry = self._compile_fresh(kind, text, request)
+            self._programs.put(cache_key, entry)
+            return entry
+
+    def _compile_fresh(
+        self, kind: str, text: str, request: AllocationRequest
+    ) -> _CompiledEntry:
+        from repro.analysis.frequency import static_weights
+        from repro.analysis.manager import AnalysisCache
+        from repro.profile.interp import run_program
+
+        try:
+            if kind == "ir":
+                program = parse_ir(text, name=request.name)
+                verify_program(program)
+            else:
+                program = compile_source(text, name=request.name)
+        except (FrontendError, IRParseError) as error:
+            raise RequestError(f"{type(error).__name__}: {error}") from error
+        if request.optimize:
+            from repro.opt import optimize_program
+
+            optimize_program(program)
+        try:
+            profile = run_program(program, fuel=request.fuel).profile
+        except Exception as error:
+            raise RequestError(
+                f"profiling failed: {type(error).__name__}: {error}"
+            ) from error
+        return _CompiledEntry(
+            program=program,
+            profile=profile,
+            analyses=AnalysisCache(),
+            fingerprint=fingerprint_program(program),
+            static_weights=static_weights,
+            dynamic_weights=profile.weights,
+        )
+
+    # ------------------------------------------------------------------
+    # the one entry point
+    # ------------------------------------------------------------------
+
+    def submit(self, request: AllocationRequest) -> AllocationResult:
+        """Run one allocation request through the whole pipeline.
+
+        Results are content-cached: a second request for the same
+        parsed program under the same options, register configuration,
+        info source and flags returns the stored result (tagged
+        ``cache_hit``) without touching the allocator.  Requests that
+        ask for a decision trace bypass the cache *read* (events are
+        per-run artifacts) but still store their result.
+        """
+        started = time.perf_counter()
+        self.submitted += 1
+        if request.info not in ("static", "dynamic"):
+            raise RequestError(
+                f"info must be 'static' or 'dynamic', got {request.info!r}"
+            )
+        options = self.resolve_options(request.preset)
+        resilient = request.resilient or self.resilient_default
+        deadline = request.deadline_seconds
+        if deadline is None:
+            deadline = self.default_deadline
+        compiled = self._compile(request)
+        flags = []
+        if resilient:
+            flags.append("resilient")
+        if request.optimize:
+            flags.append("optimize")
+        if deadline is not None:
+            # The deadline changes what comes back (a tight budget can
+            # degrade a resilient run), so it is part of the identity.
+            flags.append(f"deadline={deadline:g}")
+        key = result_key(
+            compiled.fingerprint, options, request.config, request.info,
+            tuple(flags),
+        )
+        if not request.trace:
+            cached = self.results.get(key)
+            if cached is not None:
+                return replace(
+                    cached,
+                    cache_hit=True,
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+
+        tracer = None
+        if request.trace:
+            from repro.obs.tracer import Tracer
+
+            tracer = Tracer()
+        budget = (
+            AllocationBudget(deadline_seconds=deadline)
+            if deadline is not None
+            else None
+        )
+        weights_for = (
+            compiled.dynamic_weights
+            if request.info == "dynamic"
+            else compiled.static_weights
+        )
+        allocation = allocate_program(
+            compiled.program,
+            register_file(request.config),
+            options,
+            weights_for,
+            cache=compiled.analyses,
+            tracer=tracer,
+            budget=budget,
+            resilient=resilient,
+        )
+        if allocation.resilience is not None:
+            from repro.resilience import record_resilience
+
+            record_resilience(allocation.resilience)
+        if request.verify:
+            from repro.regalloc.verify import verify_allocation
+
+            verify_allocation(allocation)
+        overhead = program_overhead(allocation, compiled.profile)
+        report = allocation_report(
+            allocation, overhead, str(request.config), request.info
+        )
+        result = AllocationResult(
+            report=report,
+            allocation=allocation,
+            overhead=overhead,
+            fingerprint=compiled.fingerprint,
+            preset=request.preset,
+            source_program=compiled.program,
+            trace_events=tuple(tracer.events) if tracer is not None else (),
+            cache_hit=False,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        self.results.put(key, result)
+        return result
+
+    def submit_batch(
+        self, requests: Sequence[AllocationRequest]
+    ) -> List[AllocationResult]:
+        """Submit a batch, grouped by program for compile sharing.
+
+        Mirrors ``run_grid``'s chunk-by-workload strategy: requests
+        over the same program run back to back, so each distinct
+        program is compiled and profiled at most once per batch even
+        under a tiny program cache.  Results come back in request
+        order; a failing request yields its exception in-slot rather
+        than sinking its batch-mates.
+        """
+        order: Dict[Tuple[str, str], List[int]] = {}
+        for index, request in enumerate(requests):
+            try:
+                spec = request.program_spec()
+            except RequestError:
+                spec = ("invalid", str(index))
+            order.setdefault(spec, []).append(index)
+        results: List[object] = [None] * len(requests)
+        for indices in order.values():
+            for index in indices:
+                try:
+                    results[index] = self.submit(requests[index])
+                except Exception as error:  # noqa: BLE001 - travels in-slot
+                    results[index] = error
+        return results
+
+    # ------------------------------------------------------------------
+    # grid-shaped work (the CLI sweep / experiment path)
+    # ------------------------------------------------------------------
+
+    def run_keys(
+        self,
+        keys: Sequence,
+        jobs: Optional[int] = None,
+        verify: bool = False,
+        timeout: Optional[float] = None,
+        trace: bool = False,
+        resilient: bool = False,
+    ):
+        """Pre-compute workload measurement keys (process-parallel).
+
+        Thin delegation to :func:`repro.eval.runner.run_grid`; the
+        engine is the only caller the CLI goes through, so grid-shaped
+        and single-request work share one front door.
+        """
+        from repro.eval.runner import run_grid
+
+        return run_grid(
+            keys,
+            jobs=jobs,
+            verify=verify,
+            timeout=timeout,
+            trace=trace,
+            resilient=resilient,
+        )
+
+    def sweep(
+        self,
+        workload: str,
+        names: Sequence[str],
+        configs: Sequence[RegisterConfig],
+        info: str = "dynamic",
+        jobs: Optional[int] = None,
+        verify: bool = False,
+        timeout: Optional[float] = None,
+        trace: bool = False,
+        resilient: bool = False,
+    ) -> Tuple[dict, object, List]:
+        """One allocator×config sweep over a workload.
+
+        Returns ``(report dict, GridReport, keys)`` — the report is
+        the same plain-data record ``repro sweep`` has always
+        rendered, so the CLI (and anything else) only formats it.
+        """
+        from repro.eval.report import sweep_report
+        from repro.eval.runner import RESULTS, measure
+
+        keys = [
+            (workload, self.resolve_options(name), config, info)
+            for name in names
+            for config in configs
+        ]
+        grid = self.run_keys(
+            keys,
+            jobs=jobs,
+            verify=verify,
+            timeout=timeout,
+            trace=trace,
+            resilient=resilient,
+        )
+        failed_keys = set(grid.failed_keys())
+        data = {}
+        resilience = {} if resilient else None
+        for name in names:
+            options = self.resolve_options(name)
+            totals = {}
+            cells = {}
+            for config in configs:
+                key = (workload, options, config, info)
+                if key in failed_keys:
+                    totals[str(config)] = None
+                    cells[str(config)] = None
+                else:
+                    overhead = measure(
+                        workload, options, config, info, resilient=resilient
+                    )
+                    totals[str(config)] = overhead.total
+                    measurement = RESULTS.peek(key)
+                    cells[str(config)] = (
+                        measurement.resilience
+                        if measurement is not None
+                        else None
+                    )
+            data[name] = totals
+            if resilience is not None:
+                resilience[name] = cells
+        METRICS.set_gauge("results_cache.hits", RESULTS.hits)
+        METRICS.set_gauge("results_cache.misses", RESULTS.misses)
+        report = sweep_report(
+            workload,
+            info,
+            names,
+            configs,
+            data,
+            grid,
+            metrics=METRICS.as_dict(),
+            resilience=resilience,
+        )
+        return report, grid, keys
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-ready engine health (cache traffic, request count)."""
+        return {
+            "submitted": self.submitted,
+            "result_cache": self.results.stats(),
+            "program_cache": self._programs.stats(),
+            "presets": sorted(self.presets),
+        }

@@ -15,6 +15,7 @@ from repro.eval.overhead import Overhead
 from repro.eval.render import degraded_cell, render_table
 from repro.obs.metrics import allocation_metrics
 from repro.regalloc.framework import ProgramAllocation
+from repro.schema import stamp
 
 
 def overhead_dict(overhead: Overhead) -> Dict[str, float]:
@@ -65,7 +66,7 @@ def allocation_report(
     }
     if allocation.resilience is not None:
         report["resilience"] = allocation.resilience.as_dict()
-    return report
+    return stamp(report)
 
 
 def render_allocation(report: dict, show_assignment: bool = False) -> str:
@@ -147,7 +148,7 @@ def sweep_report(
         report["metrics"] = metrics
     if resilience is not None:
         report["resilience"] = resilience
-    return report
+    return stamp(report)
 
 
 def render_sweep(report: dict) -> str:

@@ -301,6 +301,10 @@ class GridReport:
     computed: List[MeasureKey] = field(default_factory=list)
     cached: List[MeasureKey] = field(default_factory=list)
     failed: List[FailureRecord] = field(default_factory=list)
+    #: True when the run was cut short by ``KeyboardInterrupt``: the
+    #: pools were torn down, unfinished points became ``interrupted``
+    #: failure records, and everything computed so far is in the cache.
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -317,6 +321,7 @@ class GridReport:
         self.computed.extend(other.computed)
         self.cached.extend(other.cached)
         self.failed.extend(other.failed)
+        self.interrupted = self.interrupted or other.interrupted
 
 
 def describe_key(key: MeasureKey) -> str:
@@ -412,9 +417,17 @@ def _salvage_chunk(
     the chunk still land in the cache, bad ones become one
     :class:`FailureRecord` each.
     """
-    for key in chunk:
+    for index, key in enumerate(chunk):
         try:
             pairs = _measure_chunk([key], verify, trace=trace, resilient=resilient)
+        except KeyboardInterrupt:
+            # Ctrl-C mid-salvage: everything not yet salvaged becomes
+            # an interrupted failure and the report comes back partial.
+            report.interrupted = True
+            report.failed.extend(
+                _interrupt_records(chunk[index:], attempts + 1)
+            )
+            return
         except Exception as error:
             report.failed.append(
                 FailureRecord(
@@ -427,6 +440,16 @@ def _salvage_chunk(
             for got, measurement in pairs:
                 cache.put(got, measurement)
                 report.computed.append(got)
+
+
+def _interrupt_records(
+    keys: Sequence[MeasureKey], attempts: int
+) -> List[FailureRecord]:
+    """Failure records for grid points cut off by an interrupt."""
+    return [
+        FailureRecord(key=key, error="interrupted", attempts=attempts)
+        for key in keys
+    ]
 
 
 def _absorb_report(report: GridReport, cache: ResultCache) -> GridReport:
@@ -535,11 +558,20 @@ def run_grid(
             progress(chunk[0][0], done, total)
 
     if jobs is None or jobs <= 1 or len(chunks) == 1:
-        for chunk in chunks:
+        for chunk_no, chunk in enumerate(chunks):
             try:
                 pairs = _measure_chunk(
                     chunk, verify, trace=trace, resilient=resilient
                 )
+            except KeyboardInterrupt:
+                # Ctrl-C: hand back the partial report — everything
+                # computed so far stays cached, the rest is recorded
+                # as interrupted.
+                report.interrupted = True
+                for rest in chunks[chunk_no:]:
+                    report.failed.extend(_interrupt_records(rest, 1))
+                    resolve(rest)
+                break
             except Exception:
                 # One bad key poisons the whole-chunk attempt; re-run
                 # key by key to salvage the healthy points.
@@ -547,6 +579,12 @@ def run_grid(
                     chunk, 1, verify, cache, report, trace=trace,
                     resilient=resilient,
                 )
+                if report.interrupted:
+                    resolve(chunk)
+                    for rest in chunks[chunk_no + 1 :]:
+                        report.failed.extend(_interrupt_records(rest, 0))
+                        resolve(rest)
+                    break
             else:
                 for key, measurement in pairs:
                     cache.put(key, measurement)
@@ -593,9 +631,45 @@ def run_grid(
                 )
                 for chunk, attempts in queue
             ]
-            for chunk, attempts, future in futures:  # submission order
+            for position, (chunk, attempts, future) in enumerate(
+                futures
+            ):  # submission order
                 try:
                     pairs = future.result(timeout=timeout)
+                except KeyboardInterrupt:
+                    # Ctrl-C in the parent (or an interrupted worker).
+                    # Stop the sweep: record this chunk and everything
+                    # unresolved as interrupted, harvest chunks that
+                    # already finished, and tear the pool down hard so
+                    # no orphaned workers keep grinding.
+                    abandoned = True
+                    report.interrupted = True
+                    future.cancel()
+                    report.failed.extend(
+                        _interrupt_records(chunk, attempts + 1)
+                    )
+                    resolve(chunk)
+                    for later, later_attempts, later_future in futures[
+                        position + 1 :
+                    ]:
+                        later_future.cancel()
+                        harvested = False
+                        if later_future.done() and not later_future.cancelled():
+                            try:
+                                for key, measurement in later_future.result(
+                                    timeout=0
+                                ):
+                                    cache.put(key, measurement)
+                                    report.computed.append(key)
+                                harvested = True
+                            except BaseException:  # noqa: BLE001
+                                harvested = False
+                        if not harvested:
+                            report.failed.extend(
+                                _interrupt_records(later, later_attempts + 1)
+                            )
+                        resolve(later)
+                    break
                 except FutureTimeout:
                     # The worker is stuck; the pool must be abandoned
                     # (shutdown without waiting) or we would hang too.
@@ -622,11 +696,34 @@ def run_grid(
                         report.computed.append(key)
                     resolve(chunk)
         finally:
+            if report.interrupted:
+                # Workers may be mid-measurement; terminate them so an
+                # interrupted sweep leaves no orphaned processes.
+                for process in list(
+                    (getattr(pool, "_processes", None) or {}).values()
+                ):
+                    process.terminate()
             pool.shutdown(wait=not abandoned, cancel_futures=True)
+        if report.interrupted:
+            # Chunks settled for a retry round never get one.
+            for chunk, attempts in retry_next:
+                report.failed.extend(_interrupt_records(chunk, attempts))
+                resolve(chunk)
+            for chunk, attempts, error, salvageable in exhausted:
+                report.failed.extend(
+                    FailureRecord(key=key, error=error, attempts=attempts)
+                    for key in chunk
+                )
+                resolve(chunk)
+            return _absorb_report(report, cache)
         queue = retry_next
 
     for chunk, attempts, error, salvageable in exhausted:
-        if salvageable:
+        if report.interrupted:
+            # A salvage pass got Ctrl-C'd: what remains is recorded
+            # as interrupted instead of being ground through.
+            report.failed.extend(_interrupt_records(chunk, attempts))
+        elif salvageable:
             _salvage_chunk(
                 chunk, attempts, verify, cache, report, trace=trace,
                 resilient=resilient,

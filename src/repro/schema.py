@@ -1,0 +1,27 @@
+"""Versioning for every JSON payload the toolkit emits.
+
+Every machine-readable artifact — ``--json`` reports, grid failure
+records, chaos campaign artifacts, server responses, loadgen output —
+carries a top-level ``schema_version`` so clients can detect format
+drift instead of silently misparsing a newer payload.
+
+Bump :data:`SCHEMA_VERSION` whenever the *shape* of any emitted
+payload changes incompatibly (renamed or removed keys, changed
+nesting); adding new optional keys does not require a bump.
+"""
+
+from __future__ import annotations
+
+#: The current payload format generation.
+SCHEMA_VERSION = 1
+
+
+def stamp(payload: dict) -> dict:
+    """Stamp ``payload`` with the current schema version, in place.
+
+    Returns the payload for call-chaining.  An existing
+    ``schema_version`` key is left alone so replayed or merged
+    payloads keep the version they were produced under.
+    """
+    payload.setdefault("schema_version", SCHEMA_VERSION)
+    return payload

@@ -1,0 +1,44 @@
+"""Allocation-as-a-service: async HTTP front end over the engine.
+
+:class:`AllocationServer` serves the engine's
+:meth:`~repro.engine.AllocationEngine.submit` path over HTTP/JSON
+with bounded-queue backpressure, request batching and per-request
+deadlines; :mod:`repro.serve.loadgen` is the bundled client and
+latency benchmark.  Stdlib only (asyncio), by design.
+"""
+
+from repro.serve.loadgen import (
+    DEFAULT_PROGRAMS,
+    LoadgenConfig,
+    LoadgenReport,
+    http_get_json,
+    http_post_json,
+    run_loadgen,
+    run_loadgen_async,
+)
+from repro.serve.server import (
+    AllocationServer,
+    ServerConfig,
+    ServerThread,
+    ServiceUnavailable,
+    request_from_payload,
+    result_payload,
+    serve_forever,
+)
+
+__all__ = [
+    "AllocationServer",
+    "DEFAULT_PROGRAMS",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "ServerConfig",
+    "ServerThread",
+    "ServiceUnavailable",
+    "http_get_json",
+    "http_post_json",
+    "request_from_payload",
+    "result_payload",
+    "run_loadgen",
+    "run_loadgen_async",
+    "serve_forever",
+]

@@ -1,0 +1,289 @@
+"""Load generator and latency benchmark for :mod:`repro.serve`.
+
+``repro loadgen`` fires N allocation requests at a running server
+from C concurrent workers and reports latency percentiles and
+throughput — the number the serving PR stands on.  Stdlib only: a
+minimal asyncio HTTP/1.1 client over raw sockets, same dialect the
+server speaks.
+
+Backpressure is part of the protocol: a ``429`` answer is not a
+failure, it is the server asking the client to slow down.  The
+workers honour ``Retry-After`` and retry, so a correctly-operating
+overloaded server finishes a run with *zero* failed requests and a
+nonzero ``throttled_retries`` count.
+
+``--spawn`` boots an in-process :class:`ServerThread` first, so CI
+and the benchmark harness need exactly one command.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.schema import stamp
+
+#: Request mix: cycles through these programs so the run exercises
+#: both the content cache (repeats hit) and real allocation work.
+#: Mini-C bodies mirror the paper's workload shapes in miniature.
+DEFAULT_PROGRAMS = [
+    (
+        "sum-loop",
+        "int main() { int s; int i; s = 0; i = 0;"
+        " while (i < 50) { s = s + i; i = i + 1; } return s; }",
+    ),
+    (
+        "call-heavy",
+        "int add(int a, int b) { return a + b; }"
+        " int main() { int i; int s; s = 0; i = 0;"
+        " while (i < 20) { s = add(s, i); i = i + 1; } return s; }",
+    ),
+    (
+        "pressure",
+        "int main() { int a; int b; int c; int d; int e; int f;"
+        " a = 1; b = 2; c = 3; d = 4; e = 5; f = 6;"
+        " return a + b + c + d + e + f + a * b + c * d + e * f; }",
+    ),
+]
+
+
+@dataclass
+class LoadgenConfig:
+    host: str = "127.0.0.1"
+    port: int = 8377
+    requests: int = 200
+    concurrency: int = 8
+    preset: str = "improved"
+    #: Retries per request on 429 before counting it failed.
+    max_retries: int = 50
+    #: Ceiling on honoured Retry-After sleeps (seconds).
+    max_backoff: float = 2.0
+    deadline_ms: Optional[float] = None
+    timeout: float = 60.0
+
+
+@dataclass
+class LoadgenReport:
+    """Aggregated outcome of one loadgen run."""
+
+    requests: int = 0
+    ok: int = 0
+    failed: int = 0
+    throttled_retries: int = 0
+    cache_hits: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    errors: Dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def as_dict(self) -> dict:
+        return stamp(
+            {
+                "requests": self.requests,
+                "ok": self.ok,
+                "failed": self.failed,
+                "throttled_retries": self.throttled_retries,
+                "cache_hits": self.cache_hits,
+                "elapsed_seconds": round(self.elapsed_seconds, 3),
+                "requests_per_sec": round(
+                    self.ok / self.elapsed_seconds, 2
+                )
+                if self.elapsed_seconds > 0
+                else 0.0,
+                "p50_ms": round(self.percentile(0.50), 3),
+                "p90_ms": round(self.percentile(0.90), 3),
+                "p99_ms": round(self.percentile(0.99), 3),
+                "max_ms": round(max(self.latencies_ms), 3)
+                if self.latencies_ms
+                else 0.0,
+                "errors": dict(sorted(self.errors.items())),
+            }
+        )
+
+
+async def http_post_json(
+    host: str, port: int, path: str, payload: dict, timeout: float = 60.0
+) -> Tuple[int, Dict[str, str], dict]:
+    """One HTTP POST over a fresh connection; returns (status, headers, body)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        parts = status_line.decode("latin-1").split(maxsplit=2)
+        status = int(parts[1]) if len(parts) >= 2 else 0
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = (
+            await asyncio.wait_for(reader.readexactly(length), timeout)
+            if length
+            else b""
+        )
+        parsed = json.loads(raw.decode("utf-8")) if raw else {}
+        return status, headers, parsed
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:  # noqa: BLE001 - teardown only
+            pass
+
+
+async def http_get_json(
+    host: str, port: int, path: str, timeout: float = 60.0
+) -> Tuple[int, dict]:
+    """One HTTP GET (healthz / metrics probes)."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        head = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        parts = status_line.decode("latin-1").split(maxsplit=2)
+        status = int(parts[1]) if len(parts) >= 2 else 0
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = (
+            await asyncio.wait_for(reader.readexactly(length), timeout)
+            if length
+            else b""
+        )
+        return status, json.loads(raw.decode("utf-8")) if raw else {}
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:  # noqa: BLE001 - teardown only
+            pass
+
+
+async def _worker(
+    config: LoadgenConfig,
+    queue: "asyncio.Queue[dict]",
+    report: LoadgenReport,
+) -> None:
+    while True:
+        try:
+            payload = queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return
+        started = time.perf_counter()
+        attempts = 0
+        while True:
+            try:
+                status, headers, body = await http_post_json(
+                    config.host,
+                    config.port,
+                    "/allocate",
+                    payload,
+                    timeout=config.timeout,
+                )
+            except Exception as error:  # noqa: BLE001 - counted, not raised
+                report.failed += 1
+                name = type(error).__name__
+                report.errors[name] = report.errors.get(name, 0) + 1
+                break
+            if status == 429:
+                report.throttled_retries += 1
+                attempts += 1
+                if attempts > config.max_retries:
+                    report.failed += 1
+                    report.errors["throttled_out"] = (
+                        report.errors.get("throttled_out", 0) + 1
+                    )
+                    break
+                retry_after = min(
+                    float(headers.get("retry-after", "0.1") or "0.1"),
+                    config.max_backoff,
+                )
+                await asyncio.sleep(retry_after)
+                continue
+            if status == 200 and body.get("status") == "ok":
+                report.ok += 1
+                report.latencies_ms.append(
+                    (time.perf_counter() - started) * 1000.0
+                )
+                if body.get("cache") == "hit":
+                    report.cache_hits += 1
+            else:
+                report.failed += 1
+                key = f"http_{status}"
+                report.errors[key] = report.errors.get(key, 0) + 1
+            break
+
+
+async def run_loadgen_async(config: LoadgenConfig) -> LoadgenReport:
+    report = LoadgenReport(requests=config.requests)
+    queue: "asyncio.Queue[dict]" = asyncio.Queue()
+    for index in range(config.requests):
+        name, source = DEFAULT_PROGRAMS[index % len(DEFAULT_PROGRAMS)]
+        payload = {
+            "source": source,
+            "preset": config.preset,
+            "name": name,
+        }
+        if config.deadline_ms is not None:
+            payload["deadline_ms"] = config.deadline_ms
+        queue.put_nowait(payload)
+    started = time.perf_counter()
+    workers = [
+        asyncio.ensure_future(_worker(config, queue, report))
+        for _ in range(config.concurrency)
+    ]
+    await asyncio.gather(*workers)
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def run_loadgen(
+    config: Optional[LoadgenConfig] = None,
+    spawn: bool = False,
+    server_config=None,
+) -> LoadgenReport:
+    """Run one loadgen campaign; optionally spawn the server in-process."""
+    config = config or LoadgenConfig()
+    if not spawn:
+        return asyncio.run(run_loadgen_async(config))
+    from repro.serve.server import ServerConfig, ServerThread
+
+    server_config = server_config or ServerConfig(port=0)
+    with ServerThread(server_config) as (host, port):
+        config.host, config.port = host, port
+        return asyncio.run(run_loadgen_async(config))

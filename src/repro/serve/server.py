@@ -1,0 +1,584 @@
+"""Allocation-as-a-service: the async HTTP/JSON front end.
+
+A stdlib-only asyncio server over one shared
+:class:`~repro.engine.AllocationEngine`.  The request path::
+
+    connection -> parse HTTP -> validate JSON -> bounded queue
+        -> batch dispatcher -> engine.submit_batch (worker thread)
+        -> JSON response
+
+Design points, each load-bearing:
+
+* **Backpressure, not collapse.**  Admission is a bounded
+  :class:`asyncio.Queue`; when it is full the server answers ``429``
+  with a ``Retry-After`` header instead of accepting work it cannot
+  finish.  Clients (the bundled loadgen does this) back off and retry.
+* **Batching.**  A dispatcher drains up to ``batch_size`` queued jobs
+  at once and hands them to the engine as one batch, which groups
+  them by program fingerprint — the same chunk-by-workload strategy
+  ``run_grid`` uses — so a burst over one program compiles and
+  profiles it once.
+* **Budgets.**  Every request gets an
+  :class:`~repro.regalloc.budget.AllocationBudget` deadline (its own
+  ``deadline_ms`` or the server default), so a pathological program
+  cannot monopolize a worker.
+* **Resilient by default.**  Requests run through the fallback ladder
+  unless they explicitly opt out, so no request fails hard: a broken
+  preset degrades (ultimately to spill-everywhere) and the response
+  carries the ``resilience`` record saying so.
+
+Endpoints:
+
+* ``POST /allocate`` — one allocation request.
+* ``POST /batch`` — ``{"requests": [...]}``, answered as one body.
+* ``GET /healthz`` — liveness, queue depth, engine cache stats.
+* ``GET /metrics`` — the process-global metrics registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine import (
+    AllocationEngine,
+    AllocationRequest,
+    AllocationResult,
+    EngineError,
+    RequestError,
+)
+from repro.machine.registers import RegisterConfig
+from repro.obs.metrics import METRICS
+from repro.schema import stamp
+
+#: Largest accepted request body; allocation requests are small, and
+#: an unbounded read is a trivial way to take the server down.
+MAX_BODY_BYTES = 2 * 1024 * 1024
+
+class ServiceUnavailable(EngineError):
+    """The server is shutting down; queued work is refused."""
+
+    status = 503
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8377
+    #: Bounded admission queue; a full queue answers 429.
+    queue_size: int = 64
+    #: Worker threads running the (CPU-bound) engine.
+    workers: int = 2
+    #: Jobs drained per dispatch round and handed to the engine as one
+    #: fingerprint-grouped batch.
+    batch_size: int = 8
+    #: Default per-request allocation deadline (ms); None disables.
+    default_deadline_ms: Optional[float] = 10_000.0
+    #: Serve through the resilience ladder unless a request opts out.
+    resilient: bool = True
+    #: Content-addressed result cache bound (entries).
+    cache_size: int = 256
+    #: Retry-After seconds suggested on 429.
+    retry_after: float = 1.0
+
+
+def parse_config_value(value) -> RegisterConfig:
+    """``(Ri, Rf, Ei, Ef)`` from ``"6,4,2,2"`` or ``[6, 4, 2, 2]``."""
+    if isinstance(value, str):
+        parts = [
+            p for p in value.replace("(", "").replace(")", "").split(",") if p
+        ]
+    elif isinstance(value, (list, tuple)):
+        parts = list(value)
+    else:
+        raise RequestError(f"config must be a string or list, got {value!r}")
+    try:
+        numbers = [int(p) for p in parts]
+    except (TypeError, ValueError):
+        raise RequestError(f"config components must be integers: {value!r}")
+    if len(numbers) != 4:
+        raise RequestError(f"config must have 4 components, got {value!r}")
+    return RegisterConfig(*numbers)
+
+
+_ALLOWED_KEYS = frozenset(
+    {
+        "source", "ir", "workload", "preset", "config", "info", "optimize",
+        "resilient", "trace", "deadline_ms", "name",
+    }
+)
+
+
+def request_from_payload(
+    payload: dict, config: ServerConfig
+) -> AllocationRequest:
+    """Validate one JSON request object into an engine request."""
+    if not isinstance(payload, dict):
+        raise RequestError("request must be a JSON object")
+    unknown = sorted(set(payload) - _ALLOWED_KEYS)
+    if unknown:
+        raise RequestError(f"unknown request field(s): {', '.join(unknown)}")
+    deadline_ms = payload.get("deadline_ms", config.default_deadline_ms)
+    if deadline_ms is not None and (
+        not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+    ):
+        raise RequestError(f"deadline_ms must be a positive number, got {deadline_ms!r}")
+    for key in ("source", "ir", "workload"):
+        value = payload.get(key)
+        if value is not None and not isinstance(value, str):
+            raise RequestError(f"{key} must be a string")
+    request = AllocationRequest(
+        source=payload.get("source"),
+        ir=payload.get("ir"),
+        workload=payload.get("workload"),
+        preset=payload.get("preset", "improved"),
+        config=(
+            parse_config_value(payload["config"])
+            if "config" in payload
+            else RegisterConfig(6, 4, 2, 2)
+        ),
+        info=payload.get("info", "dynamic"),
+        optimize=bool(payload.get("optimize", False)),
+        resilient=bool(payload.get("resilient", config.resilient)),
+        trace=bool(payload.get("trace", False)),
+        deadline_seconds=(
+            deadline_ms / 1000.0 if deadline_ms is not None else None
+        ),
+        name=str(payload.get("name", "request")),
+    )
+    request.program_spec()  # validates exactly-one-of early, pre-queue
+    return request
+
+
+def result_payload(result: AllocationResult) -> dict:
+    """The JSON body for one successful allocation."""
+    body = {
+        "status": "ok",
+        "cache": "hit" if result.cache_hit else "miss",
+        "elapsed_ms": round(result.elapsed_seconds * 1000.0, 3),
+        "fingerprint": result.fingerprint,
+        "preset": result.preset,
+        "report": result.report,
+    }
+    if result.trace_events:
+        body["trace"] = [event.to_dict() for event in result.trace_events]
+    return stamp(body)
+
+
+def error_payload(error: BaseException) -> Tuple[int, dict]:
+    """``(HTTP status, JSON body)`` for a failed allocation."""
+    status = error.status if isinstance(error, EngineError) else 500
+    return status, stamp(
+        {
+            "status": "error",
+            "error_type": type(error).__name__,
+            "error": str(error),
+        }
+    )
+
+
+class _Job:
+    """One queued unit of work: N requests, one response future."""
+
+    __slots__ = ("requests", "future")
+
+    def __init__(self, requests: Sequence[AllocationRequest], future):
+        self.requests = list(requests)
+        self.future = future
+
+
+class AllocationServer:
+    """The asyncio HTTP server over one shared engine."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.engine = AllocationEngine(
+            cache_size=self.config.cache_size,
+            resilient_default=False,  # per-request flag decides
+        )
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatchers: List[asyncio.Task] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.served = 0
+        self.throttled = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start dispatchers; returns the bound (host, port)."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._dispatchers = [
+            self._loop.create_task(self._dispatch_loop())
+            for _ in range(self.config.workers)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, tear down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Fail whatever is still queued (clients see 503, not a hang).
+        if self._queue is not None:
+            while not self._queue.empty():
+                job = self._queue.get_nowait()
+                if not job.future.done():
+                    job.future.set_exception(
+                        ServiceUnavailable("server shutting down")
+                    )
+        for task in self._dispatchers:
+            task.cancel()
+        if self._dispatchers:
+            await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # dispatch: bounded queue -> engine batches
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None and self._loop is not None
+        while True:
+            jobs = [await self._queue.get()]
+            # Opportunistically drain a batch: whatever is already
+            # queued (up to batch_size requests) travels together so
+            # the engine can group it by program.
+            count = len(jobs[0].requests)
+            while count < self.config.batch_size:
+                try:
+                    job = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                jobs.append(job)
+                count += len(job.requests)
+            if len(jobs) > 1:
+                METRICS.inc("serve.batches")
+            requests: List[AllocationRequest] = []
+            spans: List[Tuple[_Job, int, int]] = []
+            for job in jobs:
+                spans.append((job, len(requests), len(job.requests)))
+                requests.extend(job.requests)
+            try:
+                results = await self._loop.run_in_executor(
+                    self._executor, self.engine.submit_batch, requests
+                )
+            except Exception as error:  # noqa: BLE001 - travels to client
+                for job in jobs:
+                    if not job.future.done():
+                        job.future.set_exception(error)
+                continue
+            for job, start, length in spans:
+                if not job.future.done():
+                    job.future.set_result(results[start : start + length])
+
+    async def _run_requests(
+        self, requests: Sequence[AllocationRequest]
+    ) -> List[object]:
+        """Enqueue requests; raises ``asyncio.QueueFull`` when loaded."""
+        assert self._queue is not None and self._loop is not None
+        future = self._loop.create_future()
+        self._queue.put_nowait(_Job(requests, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, target, body = parsed
+            status, payload, headers = await self._route(method, target, body)
+            self._write_response(writer, status, payload, headers)
+            await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except Exception as error:  # noqa: BLE001 - last-ditch 500
+            try:
+                status, payload = error_payload(error)
+                self._write_response(writer, status, payload, ())
+                await writer.drain()
+            except Exception:  # noqa: BLE001 - connection already gone
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+
+    async def _read_request(self, reader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = 0
+        if length > MAX_BODY_BYTES:
+            return method, target, b"\x00toolarge"
+        body = await reader.readexactly(length) if length > 0 else b""
+        return method, target, body
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, dict, Sequence[Tuple[str, str]]]:
+        METRICS.inc("serve.requests")
+        path = target.split("?", 1)[0]
+        if body == b"\x00toolarge":
+            return 413, stamp({"status": "error", "error": "body too large"}), ()
+        if path == "/healthz" and method == "GET":
+            return 200, self._health_payload(), ()
+        if path == "/metrics" and method == "GET":
+            return 200, stamp(METRICS.as_dict()), ()
+        if path in ("/allocate", "/batch"):
+            if method != "POST":
+                return (
+                    405,
+                    stamp({"status": "error", "error": "POST required"}),
+                    (("Allow", "POST"),),
+                )
+            return await self._handle_allocate(path, body)
+        return 404, stamp({"status": "error", "error": f"no route {path}"}), ()
+
+    async def _handle_allocate(
+        self, path: str, body: bytes
+    ) -> Tuple[int, dict, Sequence[Tuple[str, str]]]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return (
+                400,
+                stamp({"status": "error", "error": f"bad JSON: {error}"}),
+                (),
+            )
+        try:
+            if path == "/batch":
+                if (
+                    not isinstance(payload, dict)
+                    or not isinstance(payload.get("requests"), list)
+                    or not payload["requests"]
+                ):
+                    raise RequestError(
+                        'batch body must be {"requests": [...]} (non-empty)'
+                    )
+                requests = [
+                    request_from_payload(item, self.config)
+                    for item in payload["requests"]
+                ]
+            else:
+                requests = [request_from_payload(payload, self.config)]
+        except RequestError as error:
+            status, body_out = error_payload(error)
+            return status, body_out, ()
+
+        try:
+            results = await self._run_requests(requests)
+        except asyncio.QueueFull:
+            self.throttled += 1
+            METRICS.inc("serve.throttled")
+            retry_after = self.config.retry_after
+            return (
+                429,
+                stamp(
+                    {
+                        "status": "throttled",
+                        "error": "request queue full",
+                        "retry_after": retry_after,
+                    }
+                ),
+                (("Retry-After", f"{retry_after:g}"),),
+            )
+        except EngineError as error:
+            status, body_out = error_payload(error)
+            return status, body_out, ()
+
+        self.served += len(results)
+        bodies = []
+        for outcome in results:
+            if isinstance(outcome, AllocationResult):
+                METRICS.inc("serve.ok")
+                METRICS.observe(
+                    "serve.latency_ms", outcome.elapsed_seconds * 1000.0
+                )
+                bodies.append(result_payload(outcome))
+            else:
+                METRICS.inc("serve.errors")
+                _, body_out = error_payload(outcome)
+                bodies.append(body_out)
+        if path == "/batch":
+            return 200, stamp({"status": "ok", "results": bodies}), ()
+        only = bodies[0]
+        status = 200
+        if only.get("status") == "error":
+            outcome = results[0]
+            status = (
+                outcome.status
+                if isinstance(outcome, EngineError)
+                else 500
+            )
+        return status, only, ()
+
+    def _health_payload(self) -> dict:
+        queue_depth = self._queue.qsize() if self._queue is not None else 0
+        return stamp(
+            {
+                "status": "ok",
+                "queue_depth": queue_depth,
+                "queue_capacity": self.config.queue_size,
+                "served": self.served,
+                "throttled": self.throttled,
+                "resilient_default": self.config.resilient,
+                "engine": self.engine.stats(),
+            }
+        )
+
+    @staticmethod
+    def _write_response(
+        writer, status: int, payload: dict, headers: Sequence[Tuple[str, str]]
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head_lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        head_lines.extend(f"{name}: {value}" for name, value in headers)
+        writer.write(
+            ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1") + body
+        )
+
+
+# ----------------------------------------------------------------------
+# embedding helpers (CLI, tests, loadgen --spawn)
+# ----------------------------------------------------------------------
+
+
+def serve_forever(config: Optional[ServerConfig] = None) -> int:
+    """Run the server on the current thread until interrupted."""
+    server = AllocationServer(config)
+
+    async def _main() -> None:
+        host, port = await server.start()
+        print(f"repro.serve listening on http://{host}:{port}", flush=True)
+        assert server._server is not None
+        try:
+            await server._server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro.serve: shutting down", flush=True)
+    return 0
+
+
+class ServerThread:
+    """A server running on a background thread (tests, ``--spawn``).
+
+    ::
+
+        with ServerThread() as (host, port):
+            ... fire requests ...
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig(port=0)
+        self.server = AllocationServer(self.config)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self.address: Optional[Tuple[str, int]] = None
+
+    def __enter__(self) -> Tuple[str, int]:
+        self.start()
+        assert self.address is not None
+        return self.address
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 30.0) -> Tuple[str, int]:
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def _main() -> None:
+                self.address = await self.server.start()
+                self._started.set()
+
+            loop.run_until_complete(_main())
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.server.stop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-serve-thread", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server thread failed to start")
+        assert self.address is not None
+        return self.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)

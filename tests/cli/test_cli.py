@@ -210,6 +210,71 @@ class TestAllocateJson:
         assert "assign" in kinds
 
 
+class TestSchemaVersion:
+    """Every JSON payload the CLI emits carries ``schema_version``."""
+
+    def _payload(self, capsys):
+        import json
+
+        return json.loads(capsys.readouterr().out)
+
+    def test_allocate_json(self, source_file, capsys):
+        from repro.schema import SCHEMA_VERSION
+
+        assert main(["allocate", source_file, "--json"]) == 0
+        assert self._payload(capsys)["schema_version"] == SCHEMA_VERSION
+
+    def test_sweep_json_and_failures(self, capsys):
+        from repro.schema import SCHEMA_VERSION
+
+        assert main(
+            ["sweep", "compress", "--short", "--allocators", "base", "--json"]
+        ) == 0
+        payload = self._payload(capsys)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert "failures" in payload["grid"]
+
+    def test_experiment_json(self, capsys):
+        from repro.schema import SCHEMA_VERSION
+
+        assert main(["experiment", "table4", "--json"]) == 0
+        assert self._payload(capsys)["schema_version"] == SCHEMA_VERSION
+
+    def test_explain_json(self, source_file, capsys):
+        from repro.schema import SCHEMA_VERSION
+
+        assert main(["explain", source_file, "--lr", "total", "--json"]) == 0
+        assert self._payload(capsys)["schema_version"] == SCHEMA_VERSION
+
+    def test_fuzz_json(self, tmp_path, capsys):
+        from repro.schema import SCHEMA_VERSION
+
+        assert main(
+            [
+                "fuzz", "--seeds", "2",
+                "--corpus", str(tmp_path / "corpus"), "--json",
+            ]
+        ) == 0
+        assert self._payload(capsys)["schema_version"] == SCHEMA_VERSION
+
+    def test_chaos_json_artifact(self, tmp_path, capsys):
+        import json
+
+        from repro.schema import SCHEMA_VERSION
+
+        out = tmp_path / "campaign.json"
+        code = main(
+            [
+                "chaos", "--workloads", "compress",
+                "--allocators", "base", "--seeds", "1",
+                "--faults", "1", "--json", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert self._payload(capsys)["schema_version"] == SCHEMA_VERSION
+        assert json.loads(out.read_text())["schema_version"] == SCHEMA_VERSION
+
+
 class TestExplain:
     def test_explains_a_live_range(self, source_file, capsys):
         assert main(["explain", source_file, "--lr", "total"]) == 0

@@ -1,0 +1,158 @@
+"""Content-addressed result caching: keying, LRU bound, counters.
+
+The satellite contract, spelled out: the cache keys on the *parsed
+program* (hash of the canonical IR printing), so a whitespace-only
+source edit still hits, while changing the preset, the register
+configuration or any flag misses — and the LRU bound actually evicts.
+"""
+
+import pytest
+
+from repro.engine import (
+    AllocationEngine,
+    AllocationRequest,
+    ContentCache,
+    fingerprint_text,
+    result_key,
+)
+from repro.machine import RegisterConfig
+from repro.regalloc import PRESETS
+
+SOURCE = (
+    "int out[2];\n"
+    "int twice(int x) { return x * 2; }\n"
+    "void main() {\n"
+    "    int total = 0;\n"
+    "    for (int i = 0; i < 10; i = i + 1) { total = total + twice(i); }\n"
+    "    out[0] = total;\n"
+    "}\n"
+)
+
+#: The same program, reformatted: extra blank lines, indentation and
+#: spacing only.  Parses to byte-identical IR.
+SOURCE_WS = (
+    "int   out[2];\n\n\n"
+    "int twice( int x )   { return x * 2; }\n\n"
+    "void main() {\n"
+    "        int total = 0;\n"
+    "        for (int i = 0; i < 10; i = i + 1) {\n"
+    "                total = total + twice(i);\n"
+    "        }\n"
+    "        out[0] = total;\n"
+    "}\n"
+)
+
+
+def request(**kwargs) -> AllocationRequest:
+    kwargs.setdefault("source", SOURCE)
+    kwargs.setdefault("name", "prog")
+    return AllocationRequest(**kwargs)
+
+
+class TestContentCacheUnit:
+    def test_get_put_and_counters(self):
+        cache = ContentCache(maxsize=4, metric_prefix="test.cache")
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.stats()["hit_rate"] == 0.5
+
+    def test_peek_counts_nothing(self):
+        cache = ContentCache(maxsize=4, metric_prefix="test.cache")
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("b") is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = ContentCache(maxsize=2, metric_prefix="test.cache")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh 'a'; 'b' is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_rejects_senseless_bound(self):
+        with pytest.raises(ValueError):
+            ContentCache(maxsize=0)
+
+    def test_result_key_sorts_flags(self):
+        key_a = result_key("f", None, None, "dynamic", ("resilient", "optimize"))
+        key_b = result_key("f", None, None, "dynamic", ("optimize", "resilient"))
+        assert key_a == key_b
+
+    def test_fingerprint_text_is_stable(self):
+        assert fingerprint_text("abc") == fingerprint_text("abc")
+        assert fingerprint_text("abc") != fingerprint_text("abd")
+
+
+class TestEngineResultCaching:
+    def test_same_source_hits(self):
+        engine = AllocationEngine()
+        first = engine.submit(request())
+        second = engine.submit(request())
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.report == first.report
+
+    def test_whitespace_only_change_hits(self):
+        """The key is the parsed IR's hash, not the source text's."""
+        engine = AllocationEngine()
+        first = engine.submit(request(source=SOURCE))
+        second = engine.submit(request(source=SOURCE_WS))
+        assert second.fingerprint == first.fingerprint
+        assert second.cache_hit
+        # The *program* cache (text-keyed) correctly missed: the
+        # reformatted source had to be compiled to prove IR equality.
+        assert engine.stats()["program_cache"]["misses"] == 2
+
+    def test_preset_change_misses(self):
+        engine = AllocationEngine()
+        engine.submit(request(preset="improved"))
+        other = engine.submit(request(preset="base"))
+        assert not other.cache_hit
+
+    def test_config_change_misses(self):
+        engine = AllocationEngine()
+        engine.submit(request(config=RegisterConfig(6, 4, 2, 2)))
+        other = engine.submit(request(config=RegisterConfig(4, 2, 1, 1)))
+        assert not other.cache_hit
+
+    def test_info_change_misses(self):
+        engine = AllocationEngine()
+        engine.submit(request(info="dynamic"))
+        other = engine.submit(request(info="static"))
+        assert not other.cache_hit
+
+    def test_flag_change_misses(self):
+        engine = AllocationEngine()
+        engine.submit(request())
+        resilient = engine.submit(request(resilient=True))
+        assert not resilient.cache_hit
+
+    def test_lru_bound_evicts_results(self):
+        engine = AllocationEngine(cache_size=1)
+        engine.submit(request(preset="improved"))
+        engine.submit(request(preset="base"))  # evicts the first entry
+        again = engine.submit(request(preset="improved"))
+        assert not again.cache_hit
+        assert engine.results.evictions >= 1
+
+    def test_trace_requests_bypass_cache_read(self):
+        """Trace events are per-run artifacts; a cached result has
+        none, so traced requests recompute (but still store)."""
+        engine = AllocationEngine()
+        engine.submit(request())
+        traced = engine.submit(request(trace=True))
+        assert not traced.cache_hit
+        assert traced.trace_events
+
+    def test_every_preset_produces_a_distinct_entry(self):
+        engine = AllocationEngine()
+        for name in sorted(PRESETS):
+            result = engine.submit(request(preset=name))
+            assert not result.cache_hit
+        assert len(engine.results) == len(PRESETS)

@@ -1,0 +1,176 @@
+"""The engine facade: one entry point, same decisions as the pipeline.
+
+The refactor's acceptance bar is that the CLI and the server share
+*one* allocation pipeline — so the engine's output must be
+indistinguishable from calling :func:`allocate_program` directly:
+byte-identical decision traces, same overhead, same report.
+"""
+
+import pytest
+
+from repro.engine import (
+    AllocationEngine,
+    AllocationRequest,
+    RequestError,
+)
+from repro.ir import format_program
+from repro.lang import compile_source
+from repro.machine import RegisterConfig, register_file
+from repro.obs import Tracer
+from repro.profile import run_program
+from repro.regalloc import PRESETS, allocate_program
+
+SOURCE = (
+    "int out[2];\n"
+    "int twice(int x) { return x * 2; }\n"
+    "void main() {\n"
+    "    int total = 0;\n"
+    "    for (int i = 0; i < 10; i = i + 1) { total = total + twice(i); }\n"
+    "    out[0] = total;\n"
+    "}\n"
+)
+
+CFG = RegisterConfig(6, 4, 2, 2)
+
+
+class TestRequestValidation:
+    def test_requires_exactly_one_program(self):
+        engine = AllocationEngine()
+        with pytest.raises(RequestError):
+            engine.submit(AllocationRequest())
+        with pytest.raises(RequestError):
+            engine.submit(
+                AllocationRequest(source="int main(){return 0;}", workload="li")
+            )
+
+    def test_unknown_preset_rejected(self):
+        engine = AllocationEngine()
+        with pytest.raises(RequestError, match="unknown preset"):
+            engine.submit(AllocationRequest(source=SOURCE, preset="nope"))
+
+    def test_bad_info_rejected(self):
+        engine = AllocationEngine()
+        with pytest.raises(RequestError, match="info must be"):
+            engine.submit(AllocationRequest(source=SOURCE, info="oracle"))
+
+    def test_broken_source_is_a_request_error(self):
+        engine = AllocationEngine()
+        with pytest.raises(RequestError):
+            engine.submit(AllocationRequest(source="int main( {"))
+
+    def test_unknown_workload_is_a_request_error(self):
+        engine = AllocationEngine()
+        with pytest.raises(RequestError):
+            engine.submit(AllocationRequest(workload="spec2095"))
+
+
+class TestPipelineEquivalence:
+    def test_trace_byte_identical_to_direct_pipeline(self):
+        """engine.submit == allocate_program, decision for decision."""
+        program = compile_source(SOURCE, name="prog")
+        weights = run_program(program, fuel=50_000_000).profile.weights
+        tracer = Tracer()
+        allocate_program(
+            program,
+            register_file(CFG),
+            PRESETS["improved"](),
+            weights,
+            tracer=tracer,
+        )
+        direct = [event.to_json() for event in tracer.events]
+
+        engine = AllocationEngine()
+        result = engine.submit(
+            AllocationRequest(source=SOURCE, trace=True, name="prog")
+        )
+        via_engine = [event.to_json() for event in result.trace_events]
+        assert via_engine == direct
+
+    def test_ir_and_source_routes_agree(self):
+        """Submitting the compiled IR text reproduces the source run.
+
+        ``parse_ir`` renumbers virtual registers, so the IR route's
+        fingerprint differs from the source route's — but the
+        allocation itself must not care about numbering.
+        """
+        engine = AllocationEngine()
+        from_source = engine.submit(
+            AllocationRequest(source=SOURCE, name="prog")
+        )
+        ir_text = format_program(compile_source(SOURCE, name="prog"))
+        from_ir = engine.submit(AllocationRequest(ir=ir_text, name="prog"))
+        assert from_ir.report["overhead"] == from_source.report["overhead"]
+        # The IR route itself is content-stable: resubmitting the
+        # normalized printing shares one fingerprint (and the entry).
+        again = engine.submit(AllocationRequest(ir=ir_text, name="prog"))
+        assert again.fingerprint == from_ir.fingerprint
+        assert again.cache_hit
+
+    def test_workload_route_uses_registry(self):
+        engine = AllocationEngine()
+        result = engine.submit(AllocationRequest(workload="compress"))
+        assert result.report["overhead"]["total"] >= 0
+
+    def test_report_carries_schema_version(self):
+        engine = AllocationEngine()
+        result = engine.submit(AllocationRequest(source=SOURCE))
+        assert result.report["schema_version"] == 1
+
+
+class TestSubmitBatch:
+    def test_results_in_request_order(self):
+        engine = AllocationEngine()
+        requests = [
+            AllocationRequest(source=SOURCE, preset="base", name="prog"),
+            AllocationRequest(workload="compress"),
+            AllocationRequest(source=SOURCE, preset="improved", name="prog"),
+        ]
+        results = engine.submit_batch(requests)
+        # Order is positional, whatever the grouping did internally.
+        assert results[0].preset == "base"
+        assert results[2].preset == "improved"
+        assert results[1].report["overhead"]["total"] >= 0
+
+    def test_same_program_compiles_once(self):
+        engine = AllocationEngine()
+        requests = [
+            AllocationRequest(source=SOURCE, preset=name, name="prog")
+            for name in ("base", "improved", "priority")
+        ]
+        engine.submit_batch(requests)
+        stats = engine.stats()["program_cache"]
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
+    def test_errors_travel_in_slot(self):
+        engine = AllocationEngine()
+        requests = [
+            AllocationRequest(source=SOURCE, name="prog"),
+            AllocationRequest(source=SOURCE, preset="nope", name="prog"),
+            AllocationRequest(source=SOURCE, preset="base", name="prog"),
+        ]
+        results = engine.submit_batch(requests)
+        assert results[0].preset == "improved"
+        assert isinstance(results[1], RequestError)
+        assert results[2].preset == "base"
+
+
+class TestBudgets:
+    def test_deadline_exceeded_raises_without_resilience(self):
+        from repro.regalloc.budget import BudgetExceeded
+
+        engine = AllocationEngine()
+        with pytest.raises(BudgetExceeded):
+            engine.submit(
+                AllocationRequest(source=SOURCE, deadline_seconds=1e-9)
+            )
+
+    def test_deadline_exceeded_degrades_with_resilience(self):
+        engine = AllocationEngine()
+        result = engine.submit(
+            AllocationRequest(
+                source=SOURCE, deadline_seconds=1e-9, resilient=True
+            )
+        )
+        assert result.allocation.resilience is not None
+        assert result.allocation.resilience.degraded

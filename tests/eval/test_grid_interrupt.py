@@ -1,0 +1,90 @@
+"""``run_grid`` under KeyboardInterrupt: clean shutdown, partial report.
+
+The server's graceful-shutdown path (and plain Ctrl-C at a terminal)
+interrupts sweeps mid-chunk.  ``run_grid`` must come back with a
+partial :class:`GridReport` — computed points cached, unfinished ones
+recorded as ``interrupted`` failures — instead of propagating the
+interrupt, hanging on its pool, or leaving orphaned workers behind.
+
+Fault injection follows ``test_grid_failures.py``: swap
+``runner._measure_chunk`` for a wrapper that raises
+``KeyboardInterrupt`` for one specific workload; pools fork after the
+patch, so the injected interrupt fires inside the worker too.
+"""
+
+import time
+
+from repro.eval import ResultCache, run_grid
+from repro.eval import runner
+from repro.machine import RegisterConfig
+from repro.regalloc import AllocatorOptions
+
+CFG = RegisterConfig(6, 4, 2, 2)
+GOOD = ("compress", AllocatorOptions.base_chaitin(), CFG, "dynamic")
+GOOD2 = ("li", AllocatorOptions.base_chaitin(), CFG, "dynamic")
+BAD = ("eqntott", AllocatorOptions.base_chaitin(), CFG, "dynamic")
+
+_real_measure_chunk = runner._measure_chunk
+
+
+def _interrupting(chunk, verify=False, trace=False, resilient=False):
+    if chunk[0][0] == "eqntott":
+        raise KeyboardInterrupt
+    return _real_measure_chunk(chunk, verify, trace=trace, resilient=resilient)
+
+
+def test_serial_interrupt_returns_partial_report(monkeypatch):
+    monkeypatch.setattr(runner, "_measure_chunk", _interrupting)
+    cache = ResultCache()
+    report = run_grid([GOOD, BAD, GOOD2], jobs=1, cache=cache)
+    # The chunk before the interrupt landed; nothing was lost.
+    assert GOOD in cache
+    assert report.computed == [GOOD]
+    assert report.interrupted
+    # The interrupted chunk and everything after it are recorded, so
+    # the report still covers every requested point.
+    assert sorted(report.failed_keys()) == sorted([BAD, GOOD2])
+    assert all(record.error == "interrupted" for record in report.failed)
+    assert report.total == 3
+
+
+def test_parallel_interrupt_shuts_pool_down(monkeypatch):
+    monkeypatch.setattr(runner, "_measure_chunk", _interrupting)
+    cache = ResultCache()
+    calls = []
+    started = time.perf_counter()
+    report = run_grid(
+        [GOOD, BAD, GOOD2],
+        jobs=2,
+        cache=cache,
+        progress=lambda name, done, total: calls.append((done, total)),
+        retries=2,
+        backoff=0.05,
+    )
+    # Came back promptly: no retry rounds, no salvage grinding.
+    assert time.perf_counter() - started < 30
+    assert report.interrupted
+    # The first-submitted chunk finished before the interrupt resolved.
+    assert GOOD in cache
+    assert GOOD in report.computed
+    assert BAD in report.failed_keys()
+    # Every chunk resolved exactly once, success or not.
+    assert report.total == 3
+    assert calls[-1][0] == calls[-1][1] == 3
+
+
+def test_interrupt_failures_do_not_retry(monkeypatch):
+    """Interrupted points are terminal: no pool-round retries."""
+    monkeypatch.setattr(runner, "_measure_chunk", _interrupting)
+    report = run_grid(
+        [GOOD, BAD], jobs=2, cache=ResultCache(), retries=2, backoff=0.05
+    )
+    record = next(r for r in report.failed if r.key == BAD)
+    assert record.attempts == 1
+    assert record.error == "interrupted"
+
+
+def test_uninterrupted_grid_reports_clean_flag():
+    report = run_grid([GOOD], jobs=1, cache=ResultCache())
+    assert not report.interrupted
+    assert report.ok

@@ -1,0 +1,333 @@
+"""The HTTP front end: request lifecycle, backpressure, deadlines.
+
+Integration-style: every test boots a real :class:`ServerThread` on
+an ephemeral port and speaks actual HTTP through the loadgen client
+helpers, so the wire format the tests pin is the wire format clients
+see.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.serve import (
+    LoadgenConfig,
+    ServerConfig,
+    ServerThread,
+    http_get_json,
+    http_post_json,
+    run_loadgen,
+)
+
+SOURCE = (
+    "int out[2];\n"
+    "int twice(int x) { return x * 2; }\n"
+    "void main() {\n"
+    "    int total = 0;\n"
+    "    for (int i = 0; i < 10; i = i + 1) { total = total + twice(i); }\n"
+    "    out[0] = total;\n"
+    "}\n"
+)
+
+
+def post(host, port, path, payload, timeout=60.0):
+    return asyncio.run(http_post_json(host, port, path, payload, timeout))
+
+
+def get(host, port, path, timeout=60.0):
+    return asyncio.run(http_get_json(host, port, path, timeout))
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(port=0)) as address:
+        yield address
+
+
+class TestAllocateEndpoint:
+    def test_allocates_and_stamps_schema(self, server):
+        host, port = server
+        status, _, body = post(host, port, "/allocate", {"source": SOURCE})
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["schema_version"] == 1
+        assert body["report"]["schema_version"] == 1
+        assert body["report"]["overhead"]["total"] >= 0
+        assert "main" in body["report"]["functions"]
+
+    def test_repeat_request_hits_content_cache(self, server):
+        host, port = server
+        payload = {"source": SOURCE, "preset": "base"}
+        status, _, first = post(host, port, "/allocate", payload)
+        assert status == 200
+        status, _, second = post(host, port, "/allocate", payload)
+        assert status == 200
+        assert second["cache"] == "hit"
+        assert second["fingerprint"] == first["fingerprint"]
+        assert second["report"] == first["report"]
+
+    def test_workload_and_config_fields(self, server):
+        host, port = server
+        status, _, body = post(
+            host,
+            port,
+            "/allocate",
+            {"workload": "compress", "preset": "base", "config": "4,2,1,1"},
+        )
+        assert status == 200
+        assert body["report"]["config"] == "(4,2,1,1)"
+
+    def test_trace_field_returns_decision_events(self, server):
+        host, port = server
+        status, _, body = post(
+            host, port, "/allocate", {"source": SOURCE, "trace": True}
+        )
+        assert status == 200
+        kinds = {event["kind"] for event in body["trace"]}
+        assert "assign" in kinds
+
+    def test_bad_source_is_400_not_crash(self, server):
+        host, port = server
+        status, _, body = post(
+            host, port, "/allocate", {"source": "int main( {"}
+        )
+        assert status == 400
+        assert body["status"] == "error"
+        assert body["schema_version"] == 1
+
+    def test_unknown_preset_is_400(self, server):
+        host, port = server
+        status, _, body = post(
+            host, port, "/allocate", {"source": SOURCE, "preset": "nope"}
+        )
+        assert status == 400
+        assert "unknown preset" in body["error"]
+
+    def test_unknown_field_is_400(self, server):
+        host, port = server
+        status, _, body = post(
+            host, port, "/allocate", {"source": SOURCE, "bogus": 1}
+        )
+        assert status == 400
+        assert "bogus" in body["error"]
+
+    def test_ambiguous_program_is_400(self, server):
+        host, port = server
+        status, _, _ = post(
+            host,
+            port,
+            "/allocate",
+            {"source": SOURCE, "workload": "compress"},
+        )
+        assert status == 400
+
+    def test_malformed_json_is_400(self, server):
+        host, port = server
+
+        async def send_garbage():
+            reader, writer = await asyncio.open_connection(host, port)
+            body = b"{not json"
+            writer.write(
+                (
+                    f"POST /allocate HTTP/1.1\r\nHost: x\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            writer.close()
+            return int(status_line.split()[1])
+
+        assert asyncio.run(send_garbage()) == 400
+
+
+class TestDeadlines:
+    def test_impossible_deadline_degrades_resiliently(self, server):
+        """Resilient default: a blown budget degrades, never 500s."""
+        host, port = server
+        status, _, body = post(
+            host,
+            port,
+            "/allocate",
+            {"source": SOURCE, "deadline_ms": 1e-6, "name": "tight"},
+        )
+        assert status == 200
+        assert body["report"]["resilience"]["degraded"]
+
+    def test_impossible_deadline_errors_without_resilience(self, server):
+        host, port = server
+        status, _, body = post(
+            host,
+            port,
+            "/allocate",
+            {
+                "source": SOURCE,
+                "deadline_ms": 1e-6,
+                "resilient": False,
+                "name": "tight",
+            },
+        )
+        assert status == 500
+        assert body["error_type"] == "BudgetExceeded"
+
+    def test_nonpositive_deadline_rejected(self, server):
+        host, port = server
+        status, _, _ = post(
+            host, port, "/allocate", {"source": SOURCE, "deadline_ms": -5}
+        )
+        assert status == 400
+
+
+class TestBatchEndpoint:
+    def test_batch_answers_in_order(self, server):
+        host, port = server
+        status, _, body = post(
+            host,
+            port,
+            "/batch",
+            {
+                "requests": [
+                    {"source": SOURCE, "preset": "base"},
+                    {"source": SOURCE, "preset": "improved"},
+                ]
+            },
+        )
+        assert status == 200
+        assert body["schema_version"] == 1
+        results = body["results"]
+        assert [r["preset"] for r in results] == ["base", "improved"]
+
+    def test_batch_carries_per_request_errors_in_slot(self, server):
+        host, port = server
+        status, _, body = post(
+            host,
+            port,
+            "/batch",
+            {
+                "requests": [
+                    {"source": SOURCE},
+                    {"source": SOURCE, "preset": "nope"},
+                ]
+            },
+        )
+        assert status == 200
+        results = body["results"]
+        assert results[0]["status"] == "ok"
+        assert results[1]["status"] == "error"
+
+    def test_empty_batch_rejected(self, server):
+        host, port = server
+        status, _, _ = post(host, port, "/batch", {"requests": []})
+        assert status == 400
+
+
+class TestHttpPlumbing:
+    def test_healthz(self, server):
+        host, port = server
+        status, body = get(host, port, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["schema_version"] == 1
+        assert body["queue_capacity"] == ServerConfig().queue_size
+        assert "result_cache" in body["engine"]
+
+    def test_metrics(self, server):
+        host, port = server
+        status, body = get(host, port, "/metrics")
+        assert status == 200
+        assert "counters" in body
+        assert body["counters"].get("serve.requests", 0) > 0
+
+    def test_unknown_route_is_404(self, server):
+        host, port = server
+        status, _ = get(host, port, "/nope")
+        assert status == 404
+
+    def test_get_on_allocate_is_405(self, server):
+        host, port = server
+        status, _ = get(host, port, "/allocate")
+        assert status == 405
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429_with_retry_after(self):
+        """Stall the engine; the bounded queue must throttle, not grow."""
+        config = ServerConfig(
+            port=0, queue_size=1, workers=1, batch_size=1, retry_after=0.25
+        )
+        thread = ServerThread(config)
+        host, port = thread.start()
+        try:
+            release = __import__("threading").Event()
+            real = thread.server.engine.submit_batch
+
+            def stalled(requests):
+                release.wait(10)
+                return real(requests)
+
+            thread.server.engine.submit_batch = stalled
+
+            async def flood():
+                first = asyncio.ensure_future(
+                    http_post_json(
+                        host, port, "/allocate", {"source": SOURCE}
+                    )
+                )
+                await asyncio.sleep(0.3)  # first job now stalls the worker
+                # Concurrently fill the 1-slot queue and keep pushing:
+                # the overflow must bounce with 429, not queue up.
+                tasks = [
+                    asyncio.ensure_future(
+                        http_post_json(
+                            host, port, "/allocate", {"source": SOURCE}
+                        )
+                    )
+                    for _ in range(4)
+                ]
+                await asyncio.sleep(0.5)  # let the overflow bounce
+                release.set()
+                statuses = list(await asyncio.gather(*tasks))
+                await first
+                return statuses
+
+            outcomes = asyncio.run(flood())
+            throttled = [o for o in outcomes if o[0] == 429]
+            assert throttled, f"expected a 429, got {[o[0] for o in outcomes]}"
+            status, headers, body = throttled[0]
+            assert headers["retry-after"] == "0.25"
+            assert body["status"] == "throttled"
+            assert body["schema_version"] == 1
+        finally:
+            thread.stop()
+
+    def test_loadgen_under_pressure_loses_nothing(self):
+        """The acceptance bar: a concurrent run against a tiny queue
+        finishes with zero hard failures — 429s turn into retries —
+        and the content cache demonstrably carries repeats."""
+        report = run_loadgen(
+            LoadgenConfig(requests=60, concurrency=8),
+            spawn=True,
+            server_config=ServerConfig(
+                port=0, queue_size=2, workers=1, batch_size=4
+            ),
+        )
+        assert report.ok == 60
+        assert report.failed == 0
+        assert report.cache_hits > 0
+        data = report.as_dict()
+        assert data["schema_version"] == 1
+        assert data["p99_ms"] >= data["p50_ms"] > 0
+
+
+class TestShutdown:
+    def test_stop_is_prompt_and_clean(self):
+        thread = ServerThread(ServerConfig(port=0))
+        host, port = thread.start()
+        status, _, body = post(host, port, "/allocate", {"source": SOURCE})
+        assert status == 200
+        started = time.time()
+        thread.stop()
+        assert time.time() - started < 10

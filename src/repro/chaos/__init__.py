@@ -18,9 +18,12 @@ CLI entry point: ``repro chaos``.
 from repro.chaos.campaign import (
     CampaignReport,
     CampaignRun,
+    ServeCampaignReport,
     composite_seed,
     record_campaign,
+    record_serve_campaign,
     run_campaign,
+    run_serve_campaign,
 )
 from repro.chaos.corrupt import CORRUPTIONS, Corruptor
 from repro.chaos.plan import (
@@ -30,11 +33,14 @@ from repro.chaos.plan import (
     INJECT_SITES,
     PHASE_SITES,
     RAISE_ACTIONS,
+    SERVICE_ACTIONS,
     ChaosFault,
     FaultInjector,
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    ServiceFault,
+    ServiceFaultPlan,
 )
 
 __all__ = [
@@ -53,7 +59,13 @@ __all__ = [
     "InjectedFault",
     "PHASE_SITES",
     "RAISE_ACTIONS",
+    "SERVICE_ACTIONS",
+    "ServeCampaignReport",
+    "ServiceFault",
+    "ServiceFaultPlan",
     "composite_seed",
     "record_campaign",
+    "record_serve_campaign",
     "run_campaign",
+    "run_serve_campaign",
 ]

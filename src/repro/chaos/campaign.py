@@ -10,21 +10,32 @@ bar the CI chaos job enforces across hundreds of injections.
 
 Campaigns run in-process and sequentially: determinism matters more
 than speed here, and a run is a handful of allocations at most.
+
+:func:`run_serve_campaign` is the service-level counterpart (``repro
+chaos-serve``): it boots a real supervised server, arms a seeded
+:class:`~repro.chaos.plan.ServiceFaultPlan` that murders, hangs and
+corrupts actual worker subprocesses mid-traffic, and drives it with
+the chaos-mode loadgen.  Its acceptance bar: **zero failed client
+requests**, every planned fault fired, every degraded response
+attributed to the worker faults that caused it, and no worker
+subprocess left alive afterwards.
 """
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.chaos.corrupt import Corruptor
-from repro.chaos.plan import FaultInjector, FaultPlan
+from repro.chaos.plan import FaultInjector, FaultPlan, ServiceFaultPlan
 from repro.machine.mips import FULL_CONFIG, register_file
 from repro.machine.registers import RegisterConfig
 from repro.regalloc.options import PRESETS
 from repro.regalloc.verify import verify_allocation
 from repro.resilience.chain import resilient_allocate_program
+from repro.schema import stamp
 from repro.workloads import compile_workload
 
 
@@ -185,3 +196,167 @@ def record_campaign(report: CampaignReport) -> None:
     METRICS.inc("chaos.injections", report.total_injections)
     METRICS.inc("chaos.degraded", report.degraded_runs)
     METRICS.inc("chaos.unclean", len(report.unclean))
+
+
+# ----------------------------------------------------------------------
+# service-level chaos: kill real workers under real traffic
+# ----------------------------------------------------------------------
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is ``pid`` a live process?  (Reaped workers answer False.)"""
+    try:
+        os.kill(pid, 0)
+    except (OSError, ProcessLookupError):
+        return False
+    return True
+
+
+@dataclass
+class ServeCampaignReport:
+    """One chaos-serve campaign: the plan, the traffic, the recovery.
+
+    ``all_clean`` is the CI verdict and requires all of:
+
+    * the loadgen finished with **zero failed client requests** —
+      turbulence (throttles, breaker waits, degraded answers) is
+      allowed, losing a request is not;
+    * every planned fault actually fired (a fault that never fires
+      tested nothing);
+    * every degraded response carries attributed worker faults (a
+      reason, plus the chaos directive where chaos caused it);
+    * no worker subprocess outlived the server.
+    """
+
+    seed: int
+    plan: dict
+    loadgen: dict
+    supervisor: dict
+    leaked_pids: List[int] = field(default_factory=list)
+
+    @property
+    def faults_planned(self) -> int:
+        return len(self.plan["faults"])
+
+    @property
+    def faults_fired(self) -> int:
+        return len(self.supervisor["chaos"]["fired"])
+
+    @property
+    def degraded_attributed(self) -> bool:
+        return all(
+            entry.get("faults")
+            and all(fault.get("reason") for fault in entry["faults"])
+            for entry in self.supervisor["degraded"]
+        )
+
+    @property
+    def all_clean(self) -> bool:
+        return (
+            self.loadgen["failed"] == 0
+            and self.faults_fired == self.faults_planned
+            and self.degraded_attributed
+            and not self.leaked_pids
+        )
+
+    def as_dict(self) -> dict:
+        return stamp(
+            {
+                "seed": self.seed,
+                "plan": self.plan,
+                "loadgen": self.loadgen,
+                "supervisor": self.supervisor,
+                "faults_planned": self.faults_planned,
+                "faults_fired": self.faults_fired,
+                "degraded_responses": len(self.supervisor["degraded"]),
+                "degraded_attributed": self.degraded_attributed,
+                "leaked_pids": self.leaked_pids,
+                "all_clean": self.all_clean,
+            }
+        )
+
+
+def run_serve_campaign(
+    seed: int = 0,
+    faults: int = 50,
+    requests: int = 200,
+    concurrency: int = 8,
+    workers: int = 2,
+    watchdog_seconds: float = 1.0,
+    retries: int = 3,
+    span: Optional[int] = None,
+) -> ServeCampaignReport:
+    """Boot a supervised server, murder its workers, count the damage.
+
+    The server runs with the parent-side result cache disabled (every
+    client request genuinely dispatches to a worker, so every armed
+    dispatch index is reached) and no default request deadline (the
+    ``watchdog_seconds`` hard limit is the binding recovery clock —
+    low, so hang faults cost ~a second each, not ten).  ``span``
+    bounds the dispatch indices faults land on and defaults to the
+    request count; it must not exceed it, or late faults never fire
+    and the verdict fails honestly.
+    """
+    import asyncio
+
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen_async
+    from repro.serve.server import ServerConfig, ServerThread
+
+    span = requests if span is None else span
+    if span > requests:
+        raise ValueError(
+            f"span {span} exceeds the request count {requests}; "
+            "late faults would never fire"
+        )
+    plan = ServiceFaultPlan.from_seed(seed, faults=faults, span=span)
+    server_config = ServerConfig(
+        port=0,
+        supervised=True,
+        workers=workers,
+        batch_workers=1,
+        default_deadline_ms=None,
+        watchdog_seconds=watchdog_seconds,
+        worker_retries=retries,
+        breaker_cooldown=2.0,
+        supervisor_cache_size=0,
+    )
+    thread = ServerThread(server_config)
+    with thread as (host, port):
+        assert thread.server.supervisor is not None
+        thread.server.supervisor.arm_chaos(plan)
+        loadgen_config = LoadgenConfig(
+            host=host,
+            port=port,
+            requests=requests,
+            concurrency=concurrency,
+            chaos=True,
+            jitter_seed=seed,
+            max_retries=100,
+            max_backoff=1.0,
+        )
+        loadgen_report = asyncio.run(run_loadgen_async(loadgen_config))
+        supervisor_report = thread.server.supervisor.report()
+    leaked = [
+        pid
+        for pid in supervisor_report["worker_pids"]
+        if _pid_alive(pid)
+    ]
+    return ServeCampaignReport(
+        seed=seed,
+        plan=plan.as_dict(),
+        loadgen=loadgen_report.as_dict(),
+        supervisor=supervisor_report,
+        leaked_pids=leaked,
+    )
+
+
+def record_serve_campaign(report: ServeCampaignReport) -> None:
+    """Feed chaos-serve aggregates into the process-global metrics."""
+    from repro.obs.metrics import METRICS
+
+    METRICS.inc("chaos.serve.campaigns")
+    METRICS.inc("chaos.serve.faults_fired", report.faults_fired)
+    METRICS.inc(
+        "chaos.serve.degraded", len(report.supervisor["degraded"])
+    )
+    METRICS.inc("chaos.serve.failed", report.loadgen["failed"])

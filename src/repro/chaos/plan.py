@@ -73,6 +73,14 @@ CORRUPTION_ACTIONS: Tuple[str, ...] = (
 
 ACTIONS: Tuple[str, ...] = RAISE_ACTIONS + CORRUPTION_ACTIONS
 
+#: Service-level fault actions, executed by a real worker subprocess
+#: (:mod:`repro.serve.worker`): ``kill`` SIGKILLs the worker mid-job,
+#: ``hang`` sleeps far past the supervisor watchdog, ``latency``
+#: delays the reply, ``garbage`` answers with a malformed pipe
+#: message.  Distinct family from the in-allocator actions above —
+#: these attack the *process*, not the algorithm.
+SERVICE_ACTIONS: Tuple[str, ...] = ("kill", "hang", "latency", "garbage")
+
 
 class ChaosFault(RuntimeError):
     """An exception injected on purpose at an instrumented site."""
@@ -172,6 +180,86 @@ class FaultPlan:
 
     def as_dict(self) -> dict:
         return {"seed": self.seed, "specs": [s.as_dict() for s in self.specs]}
+
+
+@dataclass(frozen=True)
+class ServiceFault:
+    """One planned service-level fault.
+
+    Fires on the supervisor's ``after``-th worker dispatch (retries
+    included), executed by the worker subprocess that receives it.
+    ``latency_ms`` is meaningful for the ``latency`` action only.
+    """
+
+    action: str
+    after: int
+    latency_ms: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "after": self.after,
+            "latency_ms": self.latency_ms,
+        }
+
+
+@dataclass
+class ServiceFaultPlan:
+    """A reproducible set of service faults for one chaos-serve run.
+
+    Derived entirely from one integer seed, like :class:`FaultPlan`:
+    the same seed always arms the same ``(action, dispatch-index)``
+    pairs.  Which *client request* a fault lands on still depends on
+    scheduling interleave — service chaos is deterministic in what is
+    injected, statistical in where it bites, and the campaign verdict
+    is therefore aggregate (zero failed client requests, every
+    degraded response attributed) rather than per-request.
+    """
+
+    seed: int
+    faults: List[ServiceFault] = field(default_factory=list)
+
+    @staticmethod
+    def from_seed(
+        seed: int, faults: int = 50, span: Optional[int] = None
+    ) -> "ServiceFaultPlan":
+        """Arm ``faults`` distinct dispatch indices inside ``span``.
+
+        ``span`` bounds the dispatch indices faults can land on and
+        defaults to ``4 * faults``; it must be at least ``faults`` so
+        the indices can be distinct.  Keep it at or below the number
+        of requests the campaign will dispatch, or late faults never
+        fire.
+        """
+        span = 4 * faults if span is None else span
+        if span < faults:
+            raise ValueError(
+                f"span {span} cannot hold {faults} distinct faults"
+            )
+        rng = random.Random(seed)
+        indices = rng.sample(range(1, span + 1), faults)
+        planned = [
+            ServiceFault(
+                action=rng.choice(SERVICE_ACTIONS),
+                after=index,
+                latency_ms=round(rng.uniform(10.0, 150.0), 1),
+            )
+            for index in sorted(indices)
+        ]
+        return ServiceFaultPlan(seed=seed, faults=planned)
+
+    def by_action(self) -> dict:
+        counts: dict = {}
+        for fault in self.faults:
+            counts[fault.action] = counts.get(fault.action, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [fault.as_dict() for fault in self.faults],
+            "by_action": self.by_action(),
+        }
 
 
 class FaultInjector(Tracer):

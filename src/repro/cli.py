@@ -584,6 +584,14 @@ def cmd_serve(args) -> int:
         default_deadline_ms=args.deadline_ms,
         resilient=not args.no_resilient,
         cache_size=args.cache_size,
+        supervised=not args.no_supervised,
+        max_body_bytes=args.max_body_bytes,
+        batch_workers=args.batch_workers,
+        watchdog_seconds=args.watchdog_ms / 1000.0,
+        worker_retries=args.retries,
+        recycle_after=args.recycle_after,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     return serve_forever(config)
 
@@ -598,6 +606,8 @@ def cmd_loadgen(args) -> int:
         concurrency=args.concurrency,
         preset=args.preset,
         deadline_ms=args.deadline_ms,
+        chaos=args.chaos,
+        jitter_seed=args.jitter_seed,
     )
     server_config = None
     if args.spawn:
@@ -620,10 +630,81 @@ def cmd_loadgen(args) -> int:
             f"loadgen: {report.ok}/{report.requests} ok, "
             f"{report.failed} failed, {report.throttled_retries} throttled "
             f"retries, {report.cache_hits} cache hits, "
+            f"{report.degraded} degraded, "
+            f"{data['retry_sleep_seconds']:.1f}s retry sleep, "
             f"p50={data['p50_ms']:.1f}ms p99={data['p99_ms']:.1f}ms "
             f"({data['requests_per_sec']:.1f} req/s)"
         )
     return 0 if report.failed == 0 else 1
+
+
+def cmd_chaos_serve(args) -> int:
+    from repro.chaos import record_serve_campaign, run_serve_campaign
+
+    report = run_serve_campaign(
+        seed=args.seed,
+        faults=args.faults,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        workers=args.workers,
+        watchdog_seconds=args.watchdog_ms / 1000.0,
+        retries=args.retries,
+    )
+    record_serve_campaign(report)
+    data = report.as_dict()
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"chaos-serve report written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        counters = report.supervisor["counters"]
+        print(
+            f"chaos-serve: {report.loadgen['ok']}/"
+            f"{report.loadgen['requests']} client requests ok, "
+            f"{report.loadgen['failed']} failed, "
+            f"{report.faults_fired}/{report.faults_planned} faults fired "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(report.plan['by_action'].items()))}), "
+            f"{counters.get('supervisor.kills', 0)} workers killed, "
+            f"{counters.get('supervisor.retries', 0)} retries, "
+            f"{len(report.supervisor['degraded'])} degraded "
+            f"(attributed={report.degraded_attributed}), "
+            f"{len(report.leaked_pids)} leaked workers"
+        )
+        if report.all_clean:
+            print(
+                "no client request was lost while workers were being killed"
+            )
+    if not report.all_clean:
+        if report.loadgen["failed"]:
+            print(
+                f"FAILED: {report.loadgen['failed']} client request(s) lost",
+                file=sys.stderr,
+            )
+        if report.faults_fired != report.faults_planned:
+            print(
+                f"FAILED: only {report.faults_fired} of "
+                f"{report.faults_planned} planned faults fired",
+                file=sys.stderr,
+            )
+        if not report.degraded_attributed:
+            print("FAILED: unattributed degraded response", file=sys.stderr)
+        if report.leaked_pids:
+            print(
+                f"FAILED: leaked worker pids {report.leaked_pids}",
+                file=sys.stderr,
+            )
+        return 1
+    if report.faults_fired < args.min_faults:
+        print(
+            f"campaign too quiet: {report.faults_fired} fault(s) fired "
+            f"but --min-faults={args.min_faults}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -829,6 +910,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-resilient", action="store_true",
                    help="serve without the fallback chain (failing "
                         "allocations answer 500 instead of degrading)")
+    p.add_argument("--no-supervised", action="store_true",
+                   help="run engine work in-process on a thread pool "
+                        "instead of supervised worker subprocesses")
+    p.add_argument("--max-body-bytes", type=int, default=1024 * 1024,
+                   help="largest accepted request body; beyond it the "
+                        "server answers 413")
+    p.add_argument("--batch-workers", type=int, default=1,
+                   help="worker processes reserved for the /batch "
+                        "bulkhead (supervised mode)")
+    p.add_argument("--watchdog-ms", type=float, default=30_000.0,
+                   help="hard per-request wall clock for requests with "
+                        "no deadline of their own; workers past it are "
+                        "SIGKILLed (supervised mode)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="re-runs on a fresh worker after worker death "
+                        "before degrading (supervised mode)")
+    p.add_argument("--recycle-after", type=int, default=200,
+                   help="gracefully retire a worker after this many "
+                        "jobs (supervised mode)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive worker-fatal failures per preset "
+                        "before its circuit opens (supervised mode)")
+    p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   help="seconds an open circuit waits before admitting "
+                        "a half-open probe (supervised mode)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -854,11 +960,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="spawned server's worker threads (with --spawn)")
     p.add_argument("--batch-size", type=int, default=8,
                    help="spawned server's batch size (with --spawn)")
+    p.add_argument("--chaos", action="store_true",
+                   help="chaos-survival mode: retry 503s that carry "
+                        "Retry-After (open breakers, supervisor "
+                        "recovery) instead of failing on them")
+    p.add_argument("--jitter-seed", type=int, default=None,
+                   help="seed for the full-jitter retry RNG "
+                        "(deterministic backoff for CI)")
     p.add_argument("--out",
                    help="write the latency/throughput report JSON here")
     p.add_argument("--json", action="store_true",
                    help="print the report JSON even with --out")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "chaos-serve",
+        help="service-level chaos campaign: boot a supervised server, "
+             "kill/hang/corrupt its worker subprocesses under live "
+             "loadgen traffic, and assert zero failed client requests",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the service fault plan and the "
+                        "loadgen jitter")
+    p.add_argument("--faults", type=int, default=50,
+                   help="service faults to arm (kill/hang/latency/"
+                        "garbage, sampled by seed)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="client requests to drive through the chaos")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="concurrent loadgen workers")
+    p.add_argument("--workers", type=int, default=2,
+                   help="interactive worker subprocesses")
+    p.add_argument("--watchdog-ms", type=float, default=1000.0,
+                   help="hard per-request wall clock; hang faults are "
+                        "cut at this bound")
+    p.add_argument("--retries", type=int, default=3,
+                   help="re-runs on a fresh worker before degrading")
+    p.add_argument("--min-faults", type=int, default=0,
+                   help="fail unless at least this many faults fired "
+                        "(guards CI against a silently quiet campaign)")
+    p.add_argument("--out",
+                   help="write the campaign report JSON here")
+    p.add_argument("--json", action="store_true",
+                   help="emit the campaign report as JSON")
+    p.set_defaults(func=cmd_chaos_serve)
 
     return parser
 

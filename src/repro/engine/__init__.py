@@ -19,6 +19,7 @@ from repro.engine.core import (
     AllocationResult,
     EngineError,
     RequestError,
+    error_wire,
 )
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "ContentCache",
     "EngineError",
     "RequestError",
+    "error_wire",
     "fingerprint_program",
     "fingerprint_text",
     "result_key",

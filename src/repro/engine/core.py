@@ -127,6 +127,41 @@ class AllocationResult:
     cache_hit: bool = False
     elapsed_seconds: float = 0.0
 
+    def to_wire(self) -> dict:
+        """The JSON-safe body every serving layer ships for a success.
+
+        One canonical shape whether the result was produced in-process
+        (the inline server path), inside a supervised worker subprocess
+        (which pickles only this dict back over the pipe, never the
+        allocation itself), or by the supervisor's own degrade
+        fallback.
+        """
+        body = {
+            "status": "ok",
+            "cache": "hit" if self.cache_hit else "miss",
+            "elapsed_ms": round(self.elapsed_seconds * 1000.0, 3),
+            "fingerprint": self.fingerprint,
+            "preset": self.preset,
+            "report": self.report,
+        }
+        if self.trace_events:
+            body["trace"] = [event.to_dict() for event in self.trace_events]
+        return body
+
+
+def error_wire(error: BaseException) -> Tuple[int, dict]:
+    """``(HTTP status, JSON-safe body)`` for a failed allocation.
+
+    Shared by the HTTP server and the worker subprocess so an error
+    crossing the worker pipe renders exactly like one raised inline.
+    """
+    status = error.status if isinstance(error, EngineError) else 500
+    return status, {
+        "status": "error",
+        "error_type": type(error).__name__,
+        "error": str(error),
+    }
+
 
 @dataclass
 class _CompiledEntry:

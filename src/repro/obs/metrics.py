@@ -34,12 +34,37 @@ Metric names use dotted ``component.metric`` form:
   outcomes (parent-side, one per accepted ``ResilienceReport``), plus
   the ``resilience.rung_index`` histogram of how deep runs fall.
 * ``chaos.runs`` / ``chaos.injections`` / ``chaos.degraded`` /
-  ``chaos.unclean`` — fault-injection campaign aggregates.
+  ``chaos.unclean`` — fault-injection campaign aggregates;
+  ``chaos.serve.*`` for the service-level (worker-killing) campaigns.
+* ``supervisor.*`` — the supervised worker pool:
+  ``supervisor.dispatches`` jobs sent to workers;
+  ``supervisor.kills`` worker SIGKILLs, split by cause as
+  ``supervisor.kills.watchdog`` / ``.crash`` / ``.garbage``;
+  ``supervisor.spawns`` / ``supervisor.respawns`` /
+  ``supervisor.spawn_failures`` worker process starts;
+  ``supervisor.retries`` re-runs on a fresh worker after worker death;
+  ``supervisor.degraded`` jobs answered by the inline fallback after
+  retries were exhausted;
+  ``supervisor.recycled`` (and ``.requests`` / ``.oom``) planned
+  worker retirements;
+  ``supervisor.admission_full`` / ``supervisor.breaker.rejected``
+  refused admissions; ``supervisor.breaker.open`` / ``.half_open`` /
+  ``.closed`` circuit transitions;
+  ``supervisor.chaos.injected`` armed service faults handed to
+  workers; ``supervisor.cache.hits`` / ``.misses`` parent-side
+  wire-result cache traffic.
+* ``serve.degraded`` / ``serve.breaker_refused`` /
+  ``serve.rejected_body`` — HTTP-layer views of the same stories.
+
+The registry itself is thread-safe (one lock around every mutation):
+the supervised server increments it concurrently from dispatcher
+threads, breaker callbacks and the asyncio loop.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -106,6 +131,7 @@ class MetricsRegistry:
     """Counters, gauges and histograms under dotted names."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, HistogramData] = {}
@@ -116,40 +142,49 @@ class MetricsRegistry:
 
     def inc(self, name: str, value: float = 1.0) -> None:
         """Add ``value`` to the counter ``name`` (creating it at 0)."""
-        self._counters[name] = self._counters.get(name, 0.0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` to ``value`` (last write wins)."""
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation into the histogram ``name``."""
-        current = self._histograms.get(name, HistogramData())
-        self._histograms[name] = current.observe(value)
+        with self._lock:
+            current = self._histograms.get(name, HistogramData())
+            self._histograms[name] = current.observe(value)
 
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
 
     def counter(self, name: str) -> float:
-        return self._counters.get(name, 0.0)
+        with self._lock:
+            return self._counters.get(name, 0.0)
 
     def gauge(self, name: str) -> Optional[float]:
-        return self._gauges.get(name)
+        with self._lock:
+            return self._gauges.get(name)
 
     def histogram(self, name: str) -> HistogramData:
-        return self._histograms.get(name, HistogramData())
+        with self._lock:
+            return self._histograms.get(name, HistogramData())
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering, keys sorted for stable output."""
-        return {
-            "counters": {k: self._counters[k] for k in sorted(self._counters)},
-            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
-            "histograms": {
-                k: self._histograms[k].as_dict()
-                for k in sorted(self._histograms)
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    k: self._counters[k] for k in sorted(self._counters)
+                },
+                "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+                "histograms": {
+                    k: self._histograms[k].as_dict()
+                    for k in sorted(self._histograms)
+                },
+            }
 
     # ------------------------------------------------------------------
     # cross-process aggregation
@@ -157,27 +192,45 @@ class MetricsRegistry:
 
     def snapshot(self) -> MetricsSnapshot:
         """An immutable copy safe to pickle across process boundaries."""
-        return MetricsSnapshot(
-            counters=dict(self._counters),
-            gauges=dict(self._gauges),
-            histograms=dict(self._histograms),
-        )
+        with self._lock:
+            return MetricsSnapshot(
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                histograms=dict(self._histograms),
+            )
 
     def merge(self, snapshot: MetricsSnapshot) -> None:
         """Fold a snapshot in: counters add, gauges overwrite,
         histograms combine."""
-        for name, value in snapshot.counters.items():
-            self.inc(name, value)
-        for name, value in snapshot.gauges.items():
-            self.set_gauge(name, value)
-        for name, data in snapshot.histograms.items():
-            current = self._histograms.get(name, HistogramData())
-            self._histograms[name] = current.merge(data)
+        with self._lock:
+            for name, value in snapshot.counters.items():
+                self._counters[name] = self._counters.get(name, 0.0) + value
+            for name, value in snapshot.gauges.items():
+                self._gauges[name] = value
+            for name, data in snapshot.histograms.items():
+                current = self._histograms.get(name, HistogramData())
+                self._histograms[name] = current.merge(data)
 
     def clear(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def rearm_after_fork(self) -> None:
+        """Reset this registry in a freshly forked child process.
+
+        A ``fork`` can happen while another parent thread holds this
+        registry's lock; the child would then deadlock on its first
+        metric.  Worker subprocesses call this before doing anything
+        else: the child is single-threaded at that point, so replacing
+        the lock is safe, and the inherited numbers belong to the
+        parent's story, not the worker's.
+        """
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
 
 
 #: The process-global registry (parent-process aggregation point).

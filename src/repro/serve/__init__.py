@@ -1,12 +1,18 @@
 """Allocation-as-a-service: async HTTP front end over the engine.
 
-:class:`AllocationServer` serves the engine's
-:meth:`~repro.engine.AllocationEngine.submit` path over HTTP/JSON
-with bounded-queue backpressure, request batching and per-request
-deadlines; :mod:`repro.serve.loadgen` is the bundled client and
-latency benchmark.  Stdlib only (asyncio), by design.
+:class:`AllocationServer` serves allocation work over HTTP/JSON with
+bounded-queue backpressure, per-request deadlines and — by default —
+**process isolation**: engine work runs in supervised worker
+subprocesses (:mod:`repro.serve.supervisor` / :mod:`repro.serve.worker`)
+with hard watchdogs, crash recovery, per-preset circuit breakers
+(:mod:`repro.serve.breaker`) and bulkhead queues, so no engine
+disaster ever takes the serving process down.
+:mod:`repro.serve.loadgen` is the bundled client, latency benchmark
+and chaos-survival harness.  Stdlib only (asyncio +
+multiprocessing), by design.
 """
 
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
 from repro.serve.loadgen import (
     DEFAULT_PROGRAMS,
     LoadgenConfig,
@@ -25,15 +31,38 @@ from repro.serve.server import (
     result_payload,
     serve_forever,
 )
+from repro.serve.supervisor import (
+    BATCH,
+    INTERACTIVE,
+    AdmissionFull,
+    BreakerOpen,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorError,
+    SupervisorStopped,
+)
 
 __all__ = [
+    "AdmissionFull",
     "AllocationServer",
+    "BATCH",
+    "BreakerBoard",
+    "BreakerOpen",
+    "CLOSED",
+    "CircuitBreaker",
     "DEFAULT_PROGRAMS",
+    "HALF_OPEN",
+    "INTERACTIVE",
     "LoadgenConfig",
     "LoadgenReport",
+    "OPEN",
     "ServerConfig",
     "ServerThread",
     "ServiceUnavailable",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorError",
+    "SupervisorStopped",
     "http_get_json",
     "http_post_json",
     "request_from_payload",

@@ -1,0 +1,199 @@
+"""Per-preset circuit breakers for the supervised serving path.
+
+A worker-fatal failure (crash, watchdog kill, garbage reply) costs a
+worker process: the supervisor pays a respawn and the client pays a
+retry.  When one preset keeps killing workers — a pathological
+configuration, a bug tripped only by that code path — letting every
+request for it burn a worker in turn melts the whole pool.  The
+breaker is the standard answer: after ``threshold`` *consecutive*
+worker-fatal failures for a key, the circuit **opens** and requests
+for that key are refused instantly with ``503 Retry-After`` instead
+of being dispatched.  After ``cooldown`` seconds the circuit goes
+**half-open**: exactly one probe request is let through; if it
+succeeds the circuit closes, if it dies the circuit re-opens for
+another cooldown.
+
+State machine::
+
+    CLOSED --(threshold consecutive failures)--> OPEN
+    OPEN --(cooldown elapsed, one probe admitted)--> HALF_OPEN
+    HALF_OPEN --(probe succeeds)--> CLOSED
+    HALF_OPEN --(probe fails)--> OPEN
+
+Request-level errors (a 400 for bad source, a budget blow inside a
+healthy worker) never count: the breaker watches *worker fatalities*,
+not request outcomes.  Thread-safe; the supervisor calls it from the
+admission path and from every dispatcher thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One key's breaker: consecutive-failure counting + probe logic."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+
+    def _transition(self, new_state: str) -> None:
+        old, self._state = self._state, new_state
+        if old != new_state:
+            self.transitions += 1
+            if self._on_transition is not None:
+                self._on_transition(old, new_state)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> Tuple[bool, float]:
+        """May a request for this key be dispatched right now?
+
+        Returns ``(allowed, retry_after_seconds)``; ``retry_after`` is
+        meaningful only when refused.  The call that finds an open
+        circuit past its cooldown flips it half-open and is admitted
+        as the probe; until that probe resolves, everyone else is
+        refused.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True, 0.0
+            if self._state == OPEN:
+                elapsed = self._clock() - (self._opened_at or 0.0)
+                if elapsed < self.cooldown:
+                    return False, max(self.cooldown - elapsed, 0.0)
+                self._transition(HALF_OPEN)
+                self._probe_in_flight = True
+                return True, 0.0
+            # HALF_OPEN: one probe at a time.
+            if self._probe_in_flight:
+                return False, self.cooldown
+            self._probe_in_flight = True
+            return True, 0.0
+
+    def release_probe(self) -> None:
+        """Abort an admitted probe that was never dispatched.
+
+        The supervisor calls this when admission fails *after*
+        ``allow()`` (queue full, a sibling preset refused): the probe
+        slot must be returned or a half-open circuit would wait on a
+        resolution that is never coming.
+        """
+        with self._lock:
+            self._probe_in_flight = False
+
+    def record_success(self) -> None:
+        """A dispatched request finished on a healthy worker."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A dispatched request cost a worker (crash/hang/garbage)."""
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            if self._state == HALF_OPEN:
+                # The probe died: straight back to open.
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "transitions": self.transitions,
+            }
+
+
+class BreakerBoard:
+    """The supervisor's breakers, one per key (preset), created lazily."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def _get(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                callback = None
+                if self._on_transition is not None:
+                    outer = self._on_transition
+
+                    def callback(old: str, new: str, _key: str = key) -> None:
+                        outer(_key, old, new)
+
+                breaker = CircuitBreaker(
+                    threshold=self.threshold,
+                    cooldown=self.cooldown,
+                    clock=self._clock,
+                    on_transition=callback,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def allow(self, key: str) -> Tuple[bool, float]:
+        return self._get(key).allow()
+
+    def record_success(self, key: str) -> None:
+        self._get(key).record_success()
+
+    def record_failure(self, key: str) -> None:
+        self._get(key).record_failure()
+
+    def state(self, key: str) -> str:
+        return self._get(key).state
+
+    def states(self) -> Dict[str, dict]:
+        """JSON-ready per-key snapshots (for ``/healthz``)."""
+        with self._lock:
+            keys = list(self._breakers)
+        return {key: self._breakers[key].snapshot() for key in sorted(keys)}

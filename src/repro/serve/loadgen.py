@@ -8,9 +8,20 @@ server speaks.
 
 Backpressure is part of the protocol: a ``429`` answer is not a
 failure, it is the server asking the client to slow down.  The
-workers honour ``Retry-After`` and retry, so a correctly-operating
-overloaded server finishes a run with *zero* failed requests and a
-nonzero ``throttled_retries`` count.
+workers honour ``Retry-After`` with **full jitter** — each retry
+sleeps a uniform random fraction of the advertised wait (bounded by
+``max_backoff``), so a herd of throttled clients does not re-arrive
+in lockstep.  The jitter RNG is seedable (``jitter_seed``) and total
+retry sleep is accounted in the report.  A correctly-operating
+overloaded server therefore finishes a run with *zero* failed
+requests and a nonzero ``throttled_retries`` count.
+
+``chaos=True`` is the survival variant for ``repro chaos-serve``:
+``503`` answers carrying ``Retry-After`` (an open circuit breaker, a
+mid-recovery supervisor) are retried like ``429``, and responses the
+supervisor degraded to its inline fallback are counted — the
+acceptance bar is zero *failed* client requests while workers are
+being killed, not zero turbulence.
 
 ``--spawn`` boots an in-process :class:`ServerThread` first, so CI
 and the benchmark harness need exactly one command.
@@ -20,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -63,6 +75,13 @@ class LoadgenConfig:
     max_backoff: float = 2.0
     deadline_ms: Optional[float] = None
     timeout: float = 60.0
+    #: Full jitter on retry sleeps (uniform over [0, bounded wait]).
+    jitter: bool = True
+    #: Seed for the jitter RNG; None draws from the OS.
+    jitter_seed: Optional[int] = None
+    #: Chaos-survival mode: retry 503s that carry Retry-After (open
+    #: breakers, supervisor recovery) instead of failing on them.
+    chaos: bool = False
 
 
 @dataclass
@@ -73,7 +92,13 @@ class LoadgenReport:
     ok: int = 0
     failed: int = 0
     throttled_retries: int = 0
+    #: Chaos mode: retries taken on 503-with-Retry-After answers.
+    breaker_retries: int = 0
+    #: Successful responses the supervisor degraded to its fallback.
+    degraded: int = 0
     cache_hits: int = 0
+    #: Total seconds spent sleeping between retries (post-jitter).
+    retry_sleep_seconds: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
     errors: Dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
@@ -92,7 +117,10 @@ class LoadgenReport:
                 "ok": self.ok,
                 "failed": self.failed,
                 "throttled_retries": self.throttled_retries,
+                "breaker_retries": self.breaker_retries,
+                "degraded": self.degraded,
                 "cache_hits": self.cache_hits,
+                "retry_sleep_seconds": round(self.retry_sleep_seconds, 3),
                 "elapsed_seconds": round(self.elapsed_seconds, 3),
                 "requests_per_sec": round(
                     self.ok / self.elapsed_seconds, 2
@@ -194,10 +222,29 @@ async def http_get_json(
             pass
 
 
+def _retry_sleep(
+    config: LoadgenConfig, rng: random.Random, headers: Dict[str, str]
+) -> float:
+    """The jittered wait before a retry: uniform over [0, bounded].
+
+    Full jitter (not "advertised wait ± a bit"): every throttled
+    client re-arrives at an independent random point inside the
+    server's suggested window, so synchronized retry storms cannot
+    form.  ``jitter=False`` keeps the old deterministic sleep for
+    tests that assert exact timing.
+    """
+    bounded = min(
+        float(headers.get("retry-after", "0.1") or "0.1"),
+        config.max_backoff,
+    )
+    return rng.uniform(0.0, bounded) if config.jitter else bounded
+
+
 async def _worker(
     config: LoadgenConfig,
     queue: "asyncio.Queue[dict]",
     report: LoadgenReport,
+    rng: random.Random,
 ) -> None:
     while True:
         try:
@@ -220,8 +267,14 @@ async def _worker(
                 name = type(error).__name__
                 report.errors[name] = report.errors.get(name, 0) + 1
                 break
-            if status == 429:
-                report.throttled_retries += 1
+            retryable_503 = (
+                config.chaos and status == 503 and "retry-after" in headers
+            )
+            if status == 429 or retryable_503:
+                if status == 429:
+                    report.throttled_retries += 1
+                else:
+                    report.breaker_retries += 1
                 attempts += 1
                 if attempts > config.max_retries:
                     report.failed += 1
@@ -229,11 +282,9 @@ async def _worker(
                         report.errors.get("throttled_out", 0) + 1
                     )
                     break
-                retry_after = min(
-                    float(headers.get("retry-after", "0.1") or "0.1"),
-                    config.max_backoff,
-                )
-                await asyncio.sleep(retry_after)
+                sleep = _retry_sleep(config, rng, headers)
+                report.retry_sleep_seconds += sleep
+                await asyncio.sleep(sleep)
                 continue
             if status == 200 and body.get("status") == "ok":
                 report.ok += 1
@@ -242,6 +293,11 @@ async def _worker(
                 )
                 if body.get("cache") == "hit":
                     report.cache_hits += 1
+                supervisor_note = body.get("supervisor")
+                if isinstance(supervisor_note, dict) and supervisor_note.get(
+                    "degraded"
+                ):
+                    report.degraded += 1
             else:
                 report.failed += 1
                 key = f"http_{status}"
@@ -262,9 +318,10 @@ async def run_loadgen_async(config: LoadgenConfig) -> LoadgenReport:
         if config.deadline_ms is not None:
             payload["deadline_ms"] = config.deadline_ms
         queue.put_nowait(payload)
+    rng = random.Random(config.jitter_seed)
     started = time.perf_counter()
     workers = [
-        asyncio.ensure_future(_worker(config, queue, report))
+        asyncio.ensure_future(_worker(config, queue, report, rng))
         for _ in range(config.concurrency)
     ]
     await asyncio.gather(*workers)

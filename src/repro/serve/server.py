@@ -1,37 +1,46 @@
 """Allocation-as-a-service: the async HTTP/JSON front end.
 
-A stdlib-only asyncio server over one shared
-:class:`~repro.engine.AllocationEngine`.  The request path::
+A stdlib-only asyncio server.  In the default **supervised** mode the
+request path runs through process-isolated workers::
 
-    connection -> parse HTTP -> validate JSON -> bounded queue
-        -> batch dispatcher -> engine.submit_batch (worker thread)
+    connection -> parse HTTP -> validate JSON
+        -> Supervisor.submit (bulkhead queue, circuit breakers)
+        -> worker subprocess (own AllocationEngine)
         -> JSON response
+
+so a crash, hang or memory blowup inside engine work kills a worker
+subprocess — never this server (see :mod:`repro.serve.supervisor`).
+The pre-supervisor in-process path (a bounded :class:`asyncio.Queue`
+feeding ``engine.submit_batch`` on a thread pool) survives behind
+``ServerConfig(supervised=False)`` for embedding and tests.
 
 Design points, each load-bearing:
 
-* **Backpressure, not collapse.**  Admission is a bounded
-  :class:`asyncio.Queue`; when it is full the server answers ``429``
-  with a ``Retry-After`` header instead of accepting work it cannot
-  finish.  Clients (the bundled loadgen does this) back off and retry.
-* **Batching.**  A dispatcher drains up to ``batch_size`` queued jobs
-  at once and hands them to the engine as one batch, which groups
-  them by program fingerprint — the same chunk-by-workload strategy
-  ``run_grid`` uses — so a burst over one program compiles and
-  profiles it once.
-* **Budgets.**  Every request gets an
-  :class:`~repro.regalloc.budget.AllocationBudget` deadline (its own
-  ``deadline_ms`` or the server default), so a pathological program
-  cannot monopolize a worker.
+* **Backpressure, not collapse.**  Admission queues are bounded; a
+  full queue answers ``429`` with ``Retry-After`` instead of
+  accepting work the server cannot finish.  Clients (the bundled
+  loadgen does this) back off and retry.
+* **Failure domains.**  Supervised engine work runs in subprocesses
+  with hard wall-clock watchdogs and crash/hang recovery; a request
+  that keeps killing workers trips its preset's circuit breaker and
+  is refused fast (``503 Retry-After``) until a half-open probe
+  proves the path healthy again.
+* **Bulkheads.**  ``/allocate`` and ``/batch`` run on separate queues
+  with separate worker allotments, so batch campaigns cannot starve
+  interactive traffic.
+* **Bounded input.**  Request bodies are size-capped (``413`` past
+  ``max_body_bytes``); malformed or truncated JSON gets a structured
+  ``400`` carrying ``schema_version``, never a connection reset.
 * **Resilient by default.**  Requests run through the fallback ladder
-  unless they explicitly opt out, so no request fails hard: a broken
-  preset degrades (ultimately to spill-everywhere) and the response
-  carries the ``resilience`` record saying so.
+  unless they explicitly opt out, and a job that exhausts its worker
+  retries is answered by the supervisor's inline spill-everywhere
+  fallback with full fault attribution — no request fails hard.
 
 Endpoints:
 
 * ``POST /allocate`` — one allocation request.
 * ``POST /batch`` — ``{"requests": [...]}``, answered as one body.
-* ``GET /healthz`` — liveness, queue depth, engine cache stats.
+* ``GET /healthz`` — liveness, queues, workers, breakers, caches.
 * ``GET /metrics`` — the process-global metrics registry.
 """
 
@@ -42,7 +51,7 @@ import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.engine import (
     AllocationEngine,
@@ -54,10 +63,26 @@ from repro.engine import (
 from repro.machine.registers import RegisterConfig
 from repro.obs.metrics import METRICS
 from repro.schema import stamp
+from repro.serve.supervisor import (
+    BATCH,
+    INTERACTIVE,
+    AdmissionFull,
+    BreakerOpen,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorError,
+    SupervisorStopped,
+)
 
-#: Largest accepted request body; allocation requests are small, and
-#: an unbounded read is a trivial way to take the server down.
-MAX_BODY_BYTES = 2 * 1024 * 1024
+#: Default bound on accepted request bodies; allocation requests are
+#: small, and an unbounded read is a trivial way to take the server
+#: down.  Configurable per server via ``ServerConfig.max_body_bytes``.
+MAX_BODY_BYTES = 1024 * 1024
+
+#: Sentinel markers ``_read_request`` returns in place of a body when
+#: the body could not be read in full.
+_TOO_LARGE = b"\x00toolarge"
+_TRUNCATED = b"\x00truncated"
 
 class ServiceUnavailable(EngineError):
     """The server is shutting down; queued work is refused."""
@@ -98,6 +123,51 @@ class ServerConfig:
     cache_size: int = 256
     #: Retry-After seconds suggested on 429.
     retry_after: float = 1.0
+    #: Run engine work in supervised worker subprocesses (the default);
+    #: False keeps the old in-process thread-pool path.
+    supervised: bool = True
+    #: Largest accepted request body (bytes); beyond it the server
+    #: answers 413 without reading the payload.
+    max_body_bytes: int = MAX_BODY_BYTES
+    #: Supervised mode: worker processes reserved for /batch.
+    batch_workers: int = 1
+    #: Supervised mode: default per-request hard wall clock (seconds)
+    #: for requests that carry no deadline of their own.
+    watchdog_seconds: float = 30.0
+    #: Supervised mode: re-runs on a fresh worker after worker death.
+    worker_retries: int = 2
+    #: Supervised mode: graceful worker retirement after N jobs.
+    recycle_after: int = 200
+    #: Supervised mode: recycle a worker whose RSS crosses this (MiB).
+    max_rss_mb: Optional[float] = 1024.0
+    #: Supervised mode: consecutive worker-fatal failures per preset
+    #: before its circuit opens.
+    breaker_threshold: int = 5
+    #: Supervised mode: seconds an open circuit waits before probing.
+    breaker_cooldown: float = 30.0
+    #: Supervised mode: parent-side wire-result cache entries; None
+    #: follows ``cache_size``, 0 disables (the chaos campaign does, so
+    #: every request genuinely reaches a worker).
+    supervisor_cache_size: Optional[int] = None
+
+    def supervisor_config(self) -> SupervisorConfig:
+        """The supervisor tunables this server config implies."""
+        return SupervisorConfig(
+            workers=self.workers,
+            batch_workers=self.batch_workers,
+            queue_size=self.queue_size,
+            watchdog_seconds=self.watchdog_seconds,
+            retries=self.worker_retries,
+            recycle_after=self.recycle_after,
+            max_rss_mb=self.max_rss_mb,
+            breaker_threshold=self.breaker_threshold,
+            breaker_cooldown=self.breaker_cooldown,
+            result_cache_size=(
+                self.cache_size
+                if self.supervisor_cache_size is None
+                else self.supervisor_cache_size
+            ),
+        )
 
 
 def parse_config_value(value) -> RegisterConfig:
@@ -214,11 +284,17 @@ class AllocationServer:
             cache_size=self.config.cache_size,
             resilient_default=False,  # per-request flag decides
         )
+        self.supervisor: Optional[Supervisor] = (
+            Supervisor(self.config.supervisor_config())
+            if self.config.supervised
+            else None
+        )
         self._queue: Optional[asyncio.Queue] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._dispatchers: List[asyncio.Task] = []
         self._executor: Optional[ThreadPoolExecutor] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._connections: Set[asyncio.Task] = set()
         self.served = 0
         self.throttled = 0
 
@@ -229,15 +305,18 @@ class AllocationServer:
     async def start(self) -> Tuple[str, int]:
         """Bind, start dispatchers; returns the bound (host, port)."""
         self._loop = asyncio.get_running_loop()
-        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.config.workers,
-            thread_name_prefix="repro-serve",
-        )
-        self._dispatchers = [
-            self._loop.create_task(self._dispatch_loop())
-            for _ in range(self.config.workers)
-        ]
+        if self.supervisor is not None:
+            self.supervisor.start()
+        else:
+            self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-serve",
+            )
+            self._dispatchers = [
+                self._loop.create_task(self._dispatch_loop())
+                for _ in range(self.config.workers)
+            ]
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -245,11 +324,22 @@ class AllocationServer:
         return host, port
 
     async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain, tear down."""
+        """Graceful shutdown: stop accepting, drain, tear down.
+
+        Ordering is the point: first stop accepting, then fail queued
+        work (clients get an *answered* 503, never a reset), then wait
+        for every open connection handler to flush its response.  In
+        supervised mode the supervisor's own ``stop`` kills whatever
+        workers remain — no subprocess outlives this call.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        # Fail whatever is still queued (clients see 503, not a hang).
+        if self.supervisor is not None:
+            # Joins dispatcher threads; run off-loop so the loop stays
+            # free to write the resulting 503s while it happens.
+            assert self._loop is not None
+            await self._loop.run_in_executor(None, self.supervisor.stop)
         if self._queue is not None:
             while not self._queue.empty():
                 job = self._queue.get_nowait()
@@ -263,6 +353,13 @@ class AllocationServer:
             await asyncio.gather(*self._dispatchers, return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
+        pending = [
+            task
+            for task in self._connections
+            if not task.done() and task is not asyncio.current_task()
+        ]
+        if pending:
+            await asyncio.wait(pending, timeout=5.0)
 
     async def serve_forever(self) -> None:
         await self.start()
@@ -318,11 +415,28 @@ class AllocationServer:
         self._queue.put_nowait(_Job(requests, future))
         return await future
 
+    async def _run_supervised(
+        self, requests: Sequence[AllocationRequest], path: str
+    ) -> List[dict]:
+        """Submit to the supervisor's bulkhead; returns wire outcomes."""
+        assert self.supervisor is not None
+        future = self.supervisor.submit(
+            requests,
+            bulkhead=BATCH if path == "/batch" else INTERACTIVE,
+            retry_after=self.config.retry_after,
+        )
+        return await asyncio.wrap_future(future)
+
     # ------------------------------------------------------------------
     # HTTP layer
     # ------------------------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            # Tracked so graceful shutdown can wait for the response
+            # to flush instead of resetting the connection.
+            self._connections.add(task)
         try:
             parsed = await self._read_request(reader)
             if parsed is None:
@@ -341,6 +455,8 @@ class AllocationServer:
             except Exception:  # noqa: BLE001 - connection already gone
                 pass
         finally:
+            if task is not None:
+                self._connections.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -366,9 +482,16 @@ class AllocationServer:
             length = int(headers.get("content-length", "0"))
         except ValueError:
             length = 0
-        if length > MAX_BODY_BYTES:
-            return method, target, b"\x00toolarge"
-        body = await reader.readexactly(length) if length > 0 else b""
+        if length > self.config.max_body_bytes:
+            return method, target, _TOO_LARGE
+        if length <= 0:
+            return method, target, b""
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            # The client promised more bytes than it sent; answer a
+            # structured 400 rather than dropping the connection.
+            return method, target, _TRUNCATED
         return method, target, body
 
     async def _route(
@@ -376,8 +499,36 @@ class AllocationServer:
     ) -> Tuple[int, dict, Sequence[Tuple[str, str]]]:
         METRICS.inc("serve.requests")
         path = target.split("?", 1)[0]
-        if body == b"\x00toolarge":
-            return 413, stamp({"status": "error", "error": "body too large"}), ()
+        if body == _TOO_LARGE:
+            METRICS.inc("serve.rejected_body")
+            return (
+                413,
+                stamp(
+                    {
+                        "status": "error",
+                        "error_type": "PayloadTooLarge",
+                        "error": (
+                            "body exceeds the "
+                            f"{self.config.max_body_bytes}-byte limit"
+                        ),
+                        "max_body_bytes": self.config.max_body_bytes,
+                    }
+                ),
+                (),
+            )
+        if body == _TRUNCATED:
+            METRICS.inc("serve.rejected_body")
+            return (
+                400,
+                stamp(
+                    {
+                        "status": "error",
+                        "error_type": "TruncatedBody",
+                        "error": "body shorter than its Content-Length",
+                    }
+                ),
+                (),
+            )
         if path == "/healthz" and method == "GET":
             return 200, self._health_payload(), ()
         if path == "/metrics" and method == "GET":
@@ -398,9 +549,16 @@ class AllocationServer:
         try:
             payload = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            METRICS.inc("serve.rejected_body")
             return (
                 400,
-                stamp({"status": "error", "error": f"bad JSON: {error}"}),
+                stamp(
+                    {
+                        "status": "error",
+                        "error_type": "BadJSON",
+                        "error": f"bad JSON: {error}",
+                    }
+                ),
                 (),
             )
         try:
@@ -422,6 +580,9 @@ class AllocationServer:
         except RequestError as error:
             status, body_out = error_payload(error)
             return status, body_out, ()
+
+        if self.supervisor is not None:
+            return await self._allocate_supervised(path, requests)
 
         try:
             results = await self._run_requests(requests)
@@ -470,8 +631,84 @@ class AllocationServer:
             )
         return status, only, ()
 
+    async def _allocate_supervised(
+        self, path: str, requests: Sequence[AllocationRequest]
+    ) -> Tuple[int, dict, Sequence[Tuple[str, str]]]:
+        """The supervised request path: bulkheads, breakers, workers."""
+        try:
+            outcomes = await self._run_supervised(requests, path)
+        except AdmissionFull as error:
+            self.throttled += 1
+            METRICS.inc("serve.throttled")
+            return (
+                429,
+                stamp(
+                    {
+                        "status": "throttled",
+                        "error": str(error),
+                        "retry_after": error.retry_after,
+                    }
+                ),
+                (("Retry-After", f"{error.retry_after:g}"),),
+            )
+        except BreakerOpen as error:
+            METRICS.inc("serve.breaker_refused")
+            return (
+                503,
+                stamp(
+                    {
+                        "status": "unavailable",
+                        "error_type": "BreakerOpen",
+                        "error": str(error),
+                        "retry_after": error.retry_after,
+                    }
+                ),
+                (("Retry-After", f"{error.retry_after:g}"),),
+            )
+        except SupervisorStopped as error:
+            METRICS.inc("serve.unavailable")
+            return (
+                503,
+                stamp(
+                    {
+                        "status": "unavailable",
+                        "error_type": "SupervisorStopped",
+                        "error": str(error),
+                    }
+                ),
+                (),
+            )
+        except SupervisorError as error:
+            status, body_out = error_payload(error)
+            return status, body_out, ()
+
+        self.served += len(outcomes)
+        bodies = []
+        for outcome in outcomes:
+            body_out = outcome["body"]
+            if outcome["status_code"] == 200:
+                METRICS.inc("serve.ok")
+                elapsed = body_out.get("elapsed_ms")
+                if isinstance(elapsed, (int, float)):
+                    METRICS.observe("serve.latency_ms", elapsed)
+            else:
+                METRICS.inc("serve.errors")
+            supervisor_note = body_out.get("supervisor")
+            if isinstance(supervisor_note, dict) and supervisor_note.get(
+                "degraded"
+            ):
+                METRICS.inc("serve.degraded")
+            bodies.append(body_out)
+        if path == "/batch":
+            return 200, stamp({"status": "ok", "results": bodies}), ()
+        return outcomes[0]["status_code"], bodies[0], ()
+
     def _health_payload(self) -> dict:
-        queue_depth = self._queue.qsize() if self._queue is not None else 0
+        if self.supervisor is not None:
+            interactive = self.supervisor.bulkheads[INTERACTIVE]
+            queue_depth = interactive.queue.qsize()
+        else:
+            queue_depth = self._queue.qsize() if self._queue is not None else 0
         return stamp(
             {
                 "status": "ok",
@@ -480,6 +717,12 @@ class AllocationServer:
                 "served": self.served,
                 "throttled": self.throttled,
                 "resilient_default": self.config.resilient,
+                "supervised": self.supervisor is not None,
+                "supervisor": (
+                    self.supervisor.health()
+                    if self.supervisor is not None
+                    else None
+                ),
                 "engine": self.engine.stats(),
             }
         )

@@ -1,0 +1,812 @@
+"""The supervised worker pool: process isolation for engine work.
+
+PR 5 made *allocation* total (the resilience ladder); this module
+makes the *serving process* total.  Engine work runs in worker
+subprocesses (:mod:`repro.serve.worker`), each a private
+:class:`~repro.engine.AllocationEngine` over a pipe protocol, and the
+supervisor guarantees that no worker-level disaster — a hung fixed
+point, an interpreter crash, a memory blowup — ever surfaces as a
+failed client request:
+
+* **Hard watchdogs.**  Every dispatched job gets a wall-clock budget
+  derived from its requests' deadlines (or the configured default);
+  a worker that blows it is SIGKILLed.  This is *independent* of the
+  cooperative :class:`~repro.regalloc.budget.AllocationBudget` checks:
+  the budget asks nicely at phase boundaries, the watchdog does not
+  ask at all.
+* **Recycling.**  Workers retire gracefully after ``recycle_after``
+  jobs or when their RSS crosses ``max_rss_mb`` (slow leaks die young),
+  and are killed outright on crash, hang or protocol violation.
+* **Respawn with backoff.**  A dying worker slot respawns with
+  exponential backoff (reset on the first healthy job), so a
+  crash-looping environment degrades to slow instead of burning CPU
+  on fork loops.
+* **Retry, then degrade.**  A job interrupted by worker death re-runs
+  on a fresh worker up to ``retries`` times; past that the supervisor
+  itself answers with an inline resilient spill-everywhere allocation
+  — mirroring :mod:`repro.resilience.chain`, where the final rung is
+  sacrosanct — and attributes every worker fault in a structured
+  ``supervisor`` record on the response.
+* **Circuit breakers.**  Worker-fatal failures are charged to the
+  request's preset (:mod:`repro.serve.breaker`); a preset that keeps
+  killing workers gets fast 503s with ``Retry-After`` instead of a
+  worker apiece, with half-open probes to recover.
+* **Bulkheads.**  ``/allocate`` (interactive) and ``/batch`` traffic
+  run on separate queues with separate worker allotments, so a batch
+  campaign can saturate its own bulkhead without adding a millisecond
+  to interactive latency.
+
+The supervisor also hosts the service-level chaos hook: an armed
+:class:`~repro.chaos.plan.ServiceFaultPlan` tags dispatches with
+kill/hang/latency/garbage directives that the *worker* executes, so
+chaos exercises real process death end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine import (
+    AllocationEngine,
+    AllocationRequest,
+    ContentCache,
+    EngineError,
+    error_wire,
+    fingerprint_text,
+)
+from repro.obs.metrics import METRICS
+from repro.schema import stamp
+from repro.serve.breaker import BreakerBoard
+from repro.serve.worker import worker_main
+
+INTERACTIVE = "interactive"
+BATCH = "batch"
+
+
+class SupervisorError(EngineError):
+    """A supervisor-level refusal; ``status`` hints the HTTP mapping."""
+
+    status = 500
+
+
+class AdmissionFull(SupervisorError):
+    """The target bulkhead's queue is full — back off and retry."""
+
+    status = 429
+
+    def __init__(self, bulkhead: str, retry_after: float) -> None:
+        self.bulkhead = bulkhead
+        self.retry_after = retry_after
+        super().__init__(f"{bulkhead} queue full")
+
+
+class BreakerOpen(SupervisorError):
+    """The preset's circuit is open — it has been killing workers."""
+
+    status = 503
+
+    def __init__(self, preset: str, retry_after: float) -> None:
+        self.preset = preset
+        self.retry_after = retry_after
+        super().__init__(
+            f"circuit open for preset {preset!r} "
+            f"(recent requests killed workers); retry in {retry_after:.1f}s"
+        )
+
+
+class SupervisorStopped(SupervisorError):
+    """The supervisor is shutting down; queued work is refused."""
+
+    status = 503
+
+    def __init__(self, message: str = "server shutting down") -> None:
+        super().__init__(message)
+
+
+@dataclass
+class SupervisorConfig:
+    """Tunables of one supervisor instance."""
+
+    #: Worker processes on the interactive bulkhead.
+    workers: int = 2
+    #: Worker processes reserved for ``/batch`` traffic.
+    batch_workers: int = 1
+    #: Interactive bulkhead queue bound (full queue answers 429).
+    queue_size: int = 64
+    #: Batch bulkhead queue bound.
+    batch_queue_size: int = 16
+    #: Default per-request hard wall clock (seconds) when the request
+    #: carries no deadline of its own.
+    watchdog_seconds: float = 30.0
+    #: Slack added on top of a request's cooperative deadline before
+    #: the SIGKILL fires (the resilience ladder's final rung runs
+    #: unbudgeted and needs room to finish).
+    watchdog_grace: float = 2.0
+    #: Re-runs on a fresh worker after worker death, before degrading.
+    retries: int = 2
+    #: Graceful worker retirement after this many completed jobs.
+    recycle_after: int = 200
+    #: Recycle a worker whose RSS crosses this bound (MiB); None
+    #: disables the check (it is also skipped where /proc is absent).
+    max_rss_mb: Optional[float] = 1024.0
+    #: First respawn backoff after a worker death (doubles per
+    #: consecutive death, resets on a healthy job).
+    respawn_backoff: float = 0.05
+    respawn_backoff_cap: float = 2.0
+    #: Spawn attempts per needed worker before the job degrades.
+    spawn_attempts: int = 3
+    #: Seconds to wait for a fresh worker's ``ready`` handshake.
+    spawn_timeout: float = 30.0
+    #: Consecutive worker-fatal failures per preset before its
+    #: circuit opens.
+    breaker_threshold: int = 5
+    #: Seconds an open circuit waits before admitting a probe.
+    breaker_cooldown: float = 30.0
+    #: Parent-side wire-result cache entries (0 disables — the chaos
+    #: campaign does, so every request genuinely dispatches).
+    result_cache_size: int = 256
+    #: Worker-side engine result cache entries.
+    worker_cache_size: int = 64
+    #: ``multiprocessing`` start method; None picks ``fork`` when
+    #: available (workers inherit warm imports) else the default.
+    mp_start_method: Optional[str] = None
+
+
+@dataclass
+class _Job:
+    """One queued unit: N requests, one future, one hard budget."""
+
+    id: int
+    requests: Tuple[AllocationRequest, ...]
+    future: Future
+    hard_timeout: float
+    presets: Tuple[str, ...]
+    cache_key: Optional[tuple] = None
+
+
+@dataclass
+class _WorkerHandle:
+    process: object
+    conn: object
+    pid: int
+    jobs_done: int = 0
+    busy: bool = False
+
+
+@dataclass
+class _Slot:
+    """One dispatcher thread's worker seat."""
+
+    name: str
+    worker: Optional[_WorkerHandle] = None
+    backoff: float = 0.0
+    ever_spawned: bool = False
+
+
+@dataclass
+class _Bulkhead:
+    name: str
+    queue: "queue.Queue[_Job]"
+    slots: List[_Slot] = field(default_factory=list)
+
+
+def _rss_mb(pid: int) -> Optional[float]:
+    """Resident set size of ``pid`` in MiB, or None where unknowable."""
+    try:
+        with open(f"/proc/{pid}/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+class Supervisor:
+    """Owns the worker processes and every recovery decision."""
+
+    def __init__(self, config: Optional[SupervisorConfig] = None) -> None:
+        self.config = config or SupervisorConfig()
+        method = self.config.mp_start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        self._mp = multiprocessing.get_context(method)
+        self._job_ids = itertools.count(1)
+        self._stats_lock = threading.Lock()
+        self.counters: Dict[str, int] = {}
+        self.breaker_transitions: List[dict] = []
+        self.breakers = BreakerBoard(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+            on_transition=self._on_breaker_transition,
+        )
+        self._cache = (
+            ContentCache(
+                self.config.result_cache_size,
+                metric_prefix="supervisor.cache",
+            )
+            if self.config.result_cache_size > 0
+            else None
+        )
+        #: The inline last resort: spill-everywhere through the
+        #: resilience ladder, in *this* process — nothing to kill.
+        self._fallback_engine = AllocationEngine(
+            cache_size=32, program_cache_size=8
+        )
+        self.degraded_log: List[dict] = []
+        self.all_worker_pids: List[int] = []
+        # chaos
+        self._chaos_lock = threading.Lock()
+        self._chaos_by_dispatch: Dict[int, dict] = {}
+        self._dispatch_count = 0
+        self.chaos_armed = 0
+        self.chaos_fired: List[dict] = []
+        # bulkheads + dispatcher threads
+        self._stopping = False
+        self._threads: List[threading.Thread] = []
+        self.bulkheads: Dict[str, _Bulkhead] = {
+            INTERACTIVE: _Bulkhead(
+                INTERACTIVE, queue.Queue(maxsize=self.config.queue_size)
+            ),
+            BATCH: _Bulkhead(
+                BATCH, queue.Queue(maxsize=self.config.batch_queue_size)
+            ),
+        }
+        for index in range(max(1, self.config.workers)):
+            self.bulkheads[INTERACTIVE].slots.append(
+                _Slot(name=f"{INTERACTIVE}-{index}")
+            )
+        for index in range(max(1, self.config.batch_workers)):
+            self.bulkheads[BATCH].slots.append(_Slot(name=f"{BATCH}-{index}"))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start one dispatcher thread per worker slot."""
+        for bulkhead in self.bulkheads.values():
+            for slot in bulkhead.slots:
+                thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    args=(bulkhead, slot),
+                    name=f"repro-supervisor-{slot.name}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def stop(self, grace: float = 5.0) -> None:
+        """Refuse new work, 503 the queues, drain or kill in-flight.
+
+        Queued jobs fail cleanly with :class:`SupervisorStopped` (the
+        HTTP layer renders 503 and the connection is answered, not
+        reset).  In-flight jobs get ``grace`` seconds to complete;
+        whatever is still running then loses its worker to SIGKILL and
+        also fails with a clean 503.  No worker subprocess survives
+        this call.
+        """
+        self._stopping = True
+        for bulkhead in self.bulkheads.values():
+            while True:
+                try:
+                    job = bulkhead.queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._fail_job(job, SupervisorStopped())
+        deadline = time.monotonic() + grace
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        # Anything still busy: take its worker away; the dispatcher
+        # observes the death, sees _stopping, and 503s the job.
+        for bulkhead in self.bulkheads.values():
+            for slot in bulkhead.slots:
+                worker = slot.worker
+                if worker is not None:
+                    self._kill_worker(worker)
+        for thread in self._threads:
+            thread.join(2.0)
+        for bulkhead in self.bulkheads.values():
+            for slot in bulkhead.slots:
+                if slot.worker is not None:
+                    self._kill_worker(slot.worker)
+                    slot.worker = None
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        requests: Sequence[AllocationRequest],
+        bulkhead: str = INTERACTIVE,
+        retry_after: float = 1.0,
+    ) -> "Future[List[dict]]":
+        """Queue a job; returns a future of per-request wire outcomes.
+
+        Raises :class:`SupervisorStopped` during shutdown,
+        :class:`BreakerOpen` when any requested preset's circuit is
+        open, and :class:`AdmissionFull` when the bulkhead queue is at
+        capacity — all *before* any work is accepted, so refusal is
+        always cheap.
+        """
+        if self._stopping:
+            raise SupervisorStopped()
+        presets = tuple(sorted({request.preset for request in requests}))
+        probed: List[str] = []
+        for preset in presets:
+            allowed, wait = self.breakers.allow(preset)
+            probed.append(preset)
+            if not allowed:
+                for name in probed:
+                    self.breakers._get(name).release_probe()
+                self._count("supervisor.breaker.rejected")
+                raise BreakerOpen(preset, wait)
+        cache_key = (
+            self._cache_key(requests[0]) if len(requests) == 1 else None
+        )
+        if cache_key is not None and self._cache is not None:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                for name in probed:
+                    self.breakers._get(name).release_probe()
+                body = dict(cached)
+                body["cache"] = "hit"
+                future: "Future[List[dict]]" = Future()
+                future.set_result([{"status_code": 200, "body": body}])
+                return future
+        job = _Job(
+            id=next(self._job_ids),
+            requests=tuple(requests),
+            future=Future(),
+            hard_timeout=self._hard_timeout(requests),
+            presets=presets,
+            cache_key=cache_key,
+        )
+        try:
+            self.bulkheads[bulkhead].queue.put_nowait(job)
+        except queue.Full:
+            for name in probed:
+                self.breakers._get(name).release_probe()
+            self._count("supervisor.admission_full")
+            raise AdmissionFull(bulkhead, retry_after) from None
+        return job.future
+
+    def _hard_timeout(self, requests: Sequence[AllocationRequest]) -> float:
+        total = 0.0
+        for request in requests:
+            if request.deadline_seconds is not None:
+                total += request.deadline_seconds + self.config.watchdog_grace
+            else:
+                total += self.config.watchdog_seconds
+        return total
+
+    def _cache_key(self, request: AllocationRequest) -> Optional[tuple]:
+        if request.trace:
+            return None
+        try:
+            kind, text = request.program_spec()
+        except EngineError:
+            return None
+        return (
+            kind,
+            fingerprint_text(text),
+            request.preset,
+            request.config,
+            request.info,
+            request.optimize,
+            request.resilient,
+            request.fuel,
+            request.deadline_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self, bulkhead: _Bulkhead, slot: _Slot) -> None:
+        while True:
+            try:
+                job = bulkhead.queue.get(timeout=0.2)
+            except queue.Empty:
+                if self._stopping:
+                    break
+                continue
+            if self._stopping:
+                self._fail_job(job, SupervisorStopped())
+                continue
+            try:
+                self._run_job(bulkhead, slot, job)
+            except Exception as error:  # noqa: BLE001 - never lose a future
+                self._fail_job(job, error)
+        self._retire_worker(slot, graceful=True)
+
+    def _run_job(self, bulkhead: _Bulkhead, slot: _Slot, job: _Job) -> None:
+        faults: List[dict] = []
+        attempts = 0
+        while attempts <= self.config.retries:
+            if self._stopping:
+                self._fail_job(job, SupervisorStopped())
+                return
+            attempts += 1
+            worker = self._ensure_worker(slot)
+            if worker is None:
+                faults.append(
+                    {"reason": "spawn-failed", "worker_pid": None, "chaos": None}
+                )
+                break
+            chaos = self._take_chaos()
+            self._count("supervisor.dispatches")
+            try:
+                worker.conn.send(("job", job.id, job.requests, chaos))
+            except (BrokenPipeError, OSError):
+                faults.append(self._fault_record(worker, "crash", chaos))
+                self._worker_fatal(slot, job, "crash")
+                continue
+            worker.busy = True
+            try:
+                ok, outcomes, reason = self._await_reply(worker, job)
+            finally:
+                worker.busy = False
+            if not ok:
+                faults.append(self._fault_record(worker, reason, chaos))
+                self._worker_fatal(slot, job, reason)
+                if attempts <= self.config.retries:
+                    self._count("supervisor.retries")
+                continue
+            worker.jobs_done += 1
+            slot.backoff = 0.0
+            for preset in job.presets:
+                self.breakers.record_success(preset)
+            self._maybe_recycle(slot, worker)
+            self._finish_job(job, outcomes, faults, attempts)
+            return
+        self._degrade_job(job, faults, attempts)
+
+    def _await_reply(self, worker: _WorkerHandle, job: _Job):
+        """Wait for the worker's reply under the hard watchdog."""
+        if not worker.conn.poll(job.hard_timeout):
+            return False, None, "watchdog"
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            return False, None, "crash"
+        if (
+            not isinstance(message, tuple)
+            or len(message) != 3
+            or message[0] != "ok"
+            or message[1] != job.id
+            or not isinstance(message[2], list)
+        ):
+            return False, None, "garbage"
+        return True, message[2], None
+
+    def _worker_fatal(self, slot: _Slot, job: _Job, reason: str) -> None:
+        """Account one worker death: kill, backoff, breaker charge."""
+        worker = slot.worker
+        if worker is not None:
+            self._kill_worker(worker)
+        slot.worker = None
+        slot.backoff = (
+            self.config.respawn_backoff
+            if slot.backoff == 0.0
+            else min(slot.backoff * 2.0, self.config.respawn_backoff_cap)
+        )
+        self._count(f"supervisor.kills.{reason}")
+        self._count("supervisor.kills")
+        for preset in job.presets:
+            self.breakers.record_failure(preset)
+
+    def _fault_record(
+        self, worker: _WorkerHandle, reason: str, chaos: Optional[dict]
+    ) -> dict:
+        return {"reason": reason, "worker_pid": worker.pid, "chaos": chaos}
+
+    def _finish_job(
+        self, job: _Job, outcomes: List[dict], faults: List[dict], attempts: int
+    ) -> None:
+        if faults:
+            # The job survived worker deaths on the way: attribute them.
+            for outcome in outcomes:
+                outcome["body"]["supervisor"] = {
+                    "degraded": False,
+                    "attempts": attempts,
+                    "faults": faults,
+                }
+        elif (
+            job.cache_key is not None
+            and self._cache is not None
+            and len(outcomes) == 1
+            and outcomes[0]["status_code"] == 200
+        ):
+            self._cache.put(job.cache_key, dict(outcomes[0]["body"]))
+        if not job.future.done():
+            job.future.set_result(outcomes)
+
+    def _degrade_job(
+        self, job: _Job, faults: List[dict], attempts: int
+    ) -> None:
+        """Retries exhausted: answer from the inline last resort.
+
+        Mirrors the resilience chain's sacrosanct final rung —
+        spill-everywhere through the verified ladder, run in the
+        supervisor process itself where no worker fault can reach it —
+        so the client still gets a correct (degraded, fully
+        attributed) allocation instead of an error.
+        """
+        self._count("supervisor.degraded")
+        record = {
+            "degraded": True,
+            "rung": "spillall-inline",
+            "attempts": attempts,
+            "faults": faults,
+        }
+        outcomes = []
+        for request in job.requests:
+            fallback = replace(
+                request,
+                preset="spillall",
+                resilient=True,
+                trace=False,
+                deadline_seconds=None,
+            )
+            try:
+                result = self._fallback_engine.submit(fallback)
+                body = stamp(result.to_wire())
+                body["supervisor"] = {
+                    **record,
+                    "requested_preset": request.preset,
+                }
+                outcomes.append({"status_code": 200, "body": body})
+            except Exception as error:  # noqa: BLE001 - last-ditch
+                status, body = error_wire(error)
+                body["supervisor"] = {
+                    **record,
+                    "requested_preset": request.preset,
+                }
+                outcomes.append({"status_code": status, "body": stamp(body)})
+        with self._stats_lock:
+            self.degraded_log.append(
+                {
+                    "job": job.id,
+                    "presets": list(job.presets),
+                    "names": [request.name for request in job.requests],
+                    "attempts": attempts,
+                    "faults": faults,
+                }
+            )
+        if not job.future.done():
+            job.future.set_result(outcomes)
+
+    def _fail_job(self, job: _Job, error: BaseException) -> None:
+        if not job.future.done():
+            job.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_worker(self, slot: _Slot) -> Optional[_WorkerHandle]:
+        worker = slot.worker
+        if worker is not None and worker.process.is_alive():
+            return worker
+        slot.worker = None
+        for _ in range(max(1, self.config.spawn_attempts)):
+            if self._stopping:
+                return None
+            if slot.backoff > 0.0:
+                time.sleep(min(slot.backoff, self.config.respawn_backoff_cap))
+            try:
+                slot.worker = self._spawn(slot)
+            except Exception:  # noqa: BLE001 - spawn failure feeds backoff
+                self._count("supervisor.spawn_failures")
+                slot.backoff = (
+                    self.config.respawn_backoff
+                    if slot.backoff == 0.0
+                    else min(
+                        slot.backoff * 2.0, self.config.respawn_backoff_cap
+                    )
+                )
+                continue
+            self._count("supervisor.spawns")
+            if slot.ever_spawned:
+                self._count("supervisor.respawns")
+            slot.ever_spawned = True
+            return slot.worker
+        return None
+
+    def _spawn(self, slot: _Slot) -> _WorkerHandle:
+        parent_conn, child_conn = self._mp.Pipe()
+        process = self._mp.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                {"cache_size": self.config.worker_cache_size},
+            ),
+            name=f"repro-worker-{slot.name}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(self.config.spawn_timeout):
+            process.kill()
+            process.join(1.0)
+            parent_conn.close()
+            raise RuntimeError(f"worker {slot.name} never became ready")
+        message = parent_conn.recv()
+        if not (isinstance(message, tuple) and message[0] == "ready"):
+            process.kill()
+            process.join(1.0)
+            parent_conn.close()
+            raise RuntimeError(f"worker {slot.name} sent a bad handshake")
+        handle = _WorkerHandle(
+            process=process, conn=parent_conn, pid=process.pid
+        )
+        with self._stats_lock:
+            self.all_worker_pids.append(process.pid)
+        return handle
+
+    def _kill_worker(self, worker: _WorkerHandle) -> None:
+        try:
+            worker.process.kill()
+        except Exception:  # noqa: BLE001 - already dead
+            pass
+        worker.process.join(2.0)
+        try:
+            worker.conn.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def _retire_worker(self, slot: _Slot, graceful: bool = False) -> None:
+        worker = slot.worker
+        if worker is None:
+            return
+        slot.worker = None
+        if graceful and worker.process.is_alive():
+            try:
+                worker.conn.send(("stop",))
+                worker.process.join(1.0)
+            except (BrokenPipeError, OSError):
+                pass
+        self._kill_worker(worker)
+
+    def _maybe_recycle(self, slot: _Slot, worker: _WorkerHandle) -> None:
+        reason = None
+        if worker.jobs_done >= self.config.recycle_after:
+            reason = "requests"
+        elif self.config.max_rss_mb is not None:
+            rss = _rss_mb(worker.pid)
+            if rss is not None and rss > self.config.max_rss_mb:
+                reason = "oom"
+        if reason is None:
+            return
+        self._count("supervisor.recycled")
+        self._count(f"supervisor.recycled.{reason}")
+        self._retire_worker(slot, graceful=True)
+
+    # ------------------------------------------------------------------
+    # chaos
+    # ------------------------------------------------------------------
+
+    def arm_chaos(self, plan) -> None:
+        """Install a service fault plan: faults fire by dispatch index.
+
+        ``plan`` is a :class:`~repro.chaos.plan.ServiceFaultPlan` (or
+        anything with a ``faults`` list of objects carrying ``after``
+        and ``as_dict()``).  The Nth dispatch to a worker — retries
+        included — triggers the fault armed for index N.
+        """
+        with self._chaos_lock:
+            for fault in plan.faults:
+                self._chaos_by_dispatch[fault.after] = fault.as_dict()
+            self.chaos_armed += len(plan.faults)
+
+    def _take_chaos(self) -> Optional[dict]:
+        with self._chaos_lock:
+            if not self._chaos_by_dispatch and not self.chaos_fired:
+                return None
+            self._dispatch_count += 1
+            fault = self._chaos_by_dispatch.pop(self._dispatch_count, None)
+            if fault is None:
+                return None
+            fired = {**fault, "dispatch": self._dispatch_count}
+            self.chaos_fired.append(fired)
+        self._count("supervisor.chaos.injected")
+        return fault
+
+    # ------------------------------------------------------------------
+    # accounting / introspection
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, value: int = 1) -> None:
+        with self._stats_lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+        METRICS.inc(name, value)
+
+    def _on_breaker_transition(self, preset: str, old: str, new: str) -> None:
+        with self._stats_lock:
+            self.breaker_transitions.append(
+                {"preset": preset, "from": old, "to": new}
+            )
+        METRICS.inc(f"supervisor.breaker.{new.replace('-', '_')}")
+
+    def live_workers(self) -> List[int]:
+        """PIDs of currently-alive worker processes."""
+        pids = []
+        for bulkhead in self.bulkheads.values():
+            for slot in bulkhead.slots:
+                worker = slot.worker
+                if worker is not None and worker.process.is_alive():
+                    pids.append(worker.pid)
+        return pids
+
+    def health(self) -> dict:
+        """JSON-ready live state for ``GET /healthz``."""
+        live = 0
+        busy = 0
+        bulkheads = {}
+        for bulkhead in self.bulkheads.values():
+            for slot in bulkhead.slots:
+                worker = slot.worker
+                if worker is not None and worker.process.is_alive():
+                    live += 1
+                    if worker.busy:
+                        busy += 1
+            bulkheads[bulkhead.name] = {
+                "queue_depth": bulkhead.queue.qsize(),
+                "queue_capacity": bulkhead.queue.maxsize,
+                "workers": len(bulkhead.slots),
+            }
+        with self._stats_lock:
+            counters = dict(sorted(self.counters.items()))
+            chaos_fired = len(self.chaos_fired)
+        with self._chaos_lock:
+            chaos_armed = len(self._chaos_by_dispatch)
+        return {
+            "workers": {
+                "live": live,
+                "busy": busy,
+                "configured": sum(
+                    len(b.slots) for b in self.bulkheads.values()
+                ),
+            },
+            "bulkheads": bulkheads,
+            "breakers": self.breakers.states(),
+            "counters": counters,
+            "chaos": {"pending": chaos_armed, "fired": chaos_fired},
+            "cache": self._cache.stats() if self._cache is not None else None,
+        }
+
+    def report(self) -> dict:
+        """The structured post-run supervisor story (campaign artifact).
+
+        Everything the chaos-serve acceptance bar needs: per-counter
+        totals, every degraded response with its attributed worker
+        faults, breaker transitions, the chaos firing log, and every
+        worker PID ever spawned (so a harness can assert none leaked).
+        """
+        with self._stats_lock:
+            return stamp(
+                {
+                    "counters": dict(sorted(self.counters.items())),
+                    "degraded": list(self.degraded_log),
+                    "breaker_transitions": list(self.breaker_transitions),
+                    "chaos": {
+                        "armed": self.chaos_armed,
+                        "fired": list(self.chaos_fired),
+                    },
+                    "worker_pids": list(self.all_worker_pids),
+                }
+            )

@@ -1,0 +1,135 @@
+"""The worker subprocess: one isolated `AllocationEngine` per process.
+
+``worker_main`` is the entry point the supervisor spawns.  The worker
+owns a private engine (its own compile/profile and result caches) and
+speaks a tiny pickled-tuple protocol over a duplex pipe:
+
+parent -> worker::
+
+    ("job", job_id, (AllocationRequest, ...), chaos_or_None)
+    ("stop",)
+
+worker -> parent::
+
+    ("ready", pid)                       # once, after engine construction
+    ("ok", job_id, [outcome, ...])       # one outcome per request, in order
+
+where each ``outcome`` is ``{"status_code": int, "body": dict}`` —
+the same wire shape the HTTP layer emits, built from
+:meth:`~repro.engine.AllocationResult.to_wire` /
+:func:`~repro.engine.error_wire`.  Only JSON-safe dicts ever cross
+the pipe; allocations, IR and interference graphs stay inside the
+worker, which is what makes killing it cheap.
+
+**Process isolation is the contract.**  Anything that goes wrong in
+here — an interpreter crash, a hung fixed point, unbounded memory —
+dies with this process; the supervisor sees EOF or a watchdog timeout
+and recycles.  Request-level failures (bad source, unknown preset, a
+blown budget on a non-resilient request) are *not* process failures:
+they travel back as error outcomes in-slot and cost nothing.
+
+The ``chaos`` slot on a job is the service-level fault-injection
+hook: a :class:`~repro.chaos.plan.ServiceFault` dict telling this
+worker to die (``SIGKILL`` itself), hang past the watchdog, sleep an
+injected latency, or answer with a malformed reply.  Faults are
+injected *here*, in a real subprocess, precisely so the supervisor's
+recovery machinery is exercised against genuine process death rather
+than simulated exceptions.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Optional, Sequence
+
+from repro.engine import AllocationEngine, AllocationRequest, error_wire
+from repro.schema import stamp
+
+#: How long a chaos ``hang`` sleeps: far past any sane watchdog, so
+#: the only way out is the supervisor's SIGKILL.
+HANG_SECONDS = 3600.0
+
+
+def run_requests(
+    engine: AllocationEngine, requests: Sequence[AllocationRequest]
+) -> list:
+    """Run a job's requests in order; failures stay in-slot."""
+    outcomes = []
+    for request in requests:
+        try:
+            result = engine.submit(request)
+            outcomes.append({"status_code": 200, "body": stamp(result.to_wire())})
+        except Exception as error:  # noqa: BLE001 - travels in-slot
+            status, body = error_wire(error)
+            outcomes.append({"status_code": status, "body": stamp(body)})
+    return outcomes
+
+
+def _apply_pre_chaos(chaos: Optional[dict]) -> None:
+    """Faults that fire before the job runs (kill / hang / latency)."""
+    if not chaos:
+        return
+    action = chaos.get("action")
+    if action == "kill":
+        # A real, uncatchable death — not an exception the engine
+        # could absorb.  The supervisor must notice EOF and recover.
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "hang":
+        time.sleep(chaos.get("hang_seconds", HANG_SECONDS))
+    elif action == "latency":
+        time.sleep(chaos.get("latency_ms", 0.0) / 1000.0)
+
+
+def worker_main(conn, worker_config: Optional[dict] = None) -> None:
+    """The subprocess main loop (target of ``multiprocessing.Process``).
+
+    Blocks on the pipe for jobs until a ``stop`` message or EOF.  The
+    parent owns this process's lifetime entirely: SIGINT is ignored so
+    a Ctrl+C aimed at the server races nothing — shutdown is always
+    the supervisor's explicit ``stop``/SIGKILL.
+    """
+    worker_config = worker_config or {}
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    # Under the fork start method this process may have inherited the
+    # metrics registry's lock in a held state (another parent thread
+    # was mid-increment at fork time); rearm it before any engine work
+    # can touch a metric.
+    from repro.obs.metrics import METRICS
+
+    METRICS.rearm_after_fork()
+    engine = AllocationEngine(
+        cache_size=int(worker_config.get("cache_size", 64)),
+        program_cache_size=int(worker_config.get("program_cache_size", 16)),
+    )
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        except KeyboardInterrupt:  # pragma: no cover - belt and braces
+            return
+        if not isinstance(message, tuple) or not message:
+            continue
+        if message[0] == "stop":
+            return
+        if message[0] != "job":
+            continue
+        _, job_id, requests, chaos = message
+        _apply_pre_chaos(chaos)
+        outcomes = run_requests(engine, requests)
+        try:
+            if chaos and chaos.get("action") == "garbage":
+                # Deliberately violate the protocol: not a tuple, not a
+                # reply — the supervisor must treat this worker as
+                # compromised and recycle it.
+                conn.send("\x00garbage-reply\x00")
+            else:
+                conn.send(("ok", job_id, outcomes))
+        except (BrokenPipeError, OSError):
+            return

@@ -1,0 +1,141 @@
+"""Service-level chaos: seeded fault plans and the campaign verdict.
+
+The plan tests are pure determinism checks; the campaign test is the
+real thing in miniature — a supervised server with its workers being
+killed, hung and garbled under live traffic, judged by the same
+``all_clean`` bar the CI job enforces at 50 faults.
+"""
+
+import pytest
+
+from repro.chaos import (
+    SERVICE_ACTIONS,
+    ServeCampaignReport,
+    ServiceFault,
+    ServiceFaultPlan,
+    record_serve_campaign,
+    run_serve_campaign,
+)
+from repro.obs.metrics import METRICS
+
+
+class TestServiceFaultPlan:
+    def test_same_seed_same_plan(self):
+        first = ServiceFaultPlan.from_seed(42, faults=20, span=80)
+        second = ServiceFaultPlan.from_seed(42, faults=20, span=80)
+        assert first.as_dict() == second.as_dict()
+        assert len(first.faults) == 20
+
+    def test_different_seeds_differ(self):
+        a = ServiceFaultPlan.from_seed(1, faults=20, span=80)
+        b = ServiceFaultPlan.from_seed(2, faults=20, span=80)
+        assert a.as_dict() != b.as_dict()
+
+    def test_dispatch_indices_are_distinct_and_within_span(self):
+        plan = ServiceFaultPlan.from_seed(7, faults=30, span=60)
+        afters = [fault.after for fault in plan.faults]
+        assert len(set(afters)) == 30
+        assert all(1 <= after <= 60 for after in afters)
+        assert afters == sorted(afters)
+
+    def test_actions_come_from_the_service_taxonomy(self):
+        plan = ServiceFaultPlan.from_seed(3, faults=40, span=160)
+        assert {fault.action for fault in plan.faults} <= set(SERVICE_ACTIONS)
+        for fault in plan.faults:
+            if fault.action == "latency":
+                assert fault.latency_ms > 0.0
+
+    def test_span_smaller_than_fault_count_is_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceFaultPlan.from_seed(0, faults=10, span=5)
+
+    def test_by_action_partitions_the_plan(self):
+        plan = ServiceFaultPlan.from_seed(5, faults=25, span=100)
+        assert sum(plan.by_action().values()) == 25
+
+    def test_fault_as_dict_round_trip(self):
+        fault = ServiceFault(action="latency", after=9, latency_ms=42.5)
+        assert fault.as_dict() == {
+            "action": "latency",
+            "after": 9,
+            "latency_ms": 42.5,
+        }
+
+
+class TestServeCampaign:
+    def test_span_beyond_requests_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_serve_campaign(seed=0, faults=5, requests=10, span=20)
+
+    def test_small_campaign_survives_with_zero_failed_requests(self):
+        report = run_serve_campaign(
+            seed=11,
+            faults=8,
+            requests=30,
+            concurrency=4,
+            workers=2,
+            watchdog_seconds=1.0,
+            retries=3,
+        )
+        assert report.faults_planned == 8
+        assert report.faults_fired == 8
+        assert report.loadgen["failed"] == 0
+        assert report.loadgen["ok"] == 30
+        assert report.leaked_pids == []
+        assert report.degraded_attributed
+        assert report.all_clean
+        # The supervisor story is structured and stamped.
+        assert report.supervisor["schema_version"] == 1
+        assert report.supervisor["counters"]["supervisor.chaos.injected"] == 8
+        assert report.supervisor["worker_pids"]
+
+        as_dict = report.as_dict()
+        assert as_dict["schema_version"] == 1
+        assert as_dict["all_clean"] is True
+        assert as_dict["faults_fired"] == 8
+
+        campaigns_before = METRICS.counter("chaos.serve.campaigns")
+        failed_before = METRICS.counter("chaos.serve.failed")
+        record_serve_campaign(report)
+        assert METRICS.counter("chaos.serve.campaigns") == campaigns_before + 1
+        assert METRICS.counter("chaos.serve.failed") == failed_before
+
+    def test_verdict_fails_honestly_when_requests_fail(self):
+        report = ServeCampaignReport(
+            seed=0,
+            plan={"faults": [{"action": "kill", "after": 1}]},
+            loadgen={"failed": 1, "ok": 9},
+            supervisor={"chaos": {"fired": [{"action": "kill"}]}, "degraded": []},
+        )
+        assert not report.all_clean
+
+    def test_verdict_fails_when_a_fault_never_fires(self):
+        report = ServeCampaignReport(
+            seed=0,
+            plan={"faults": [{"action": "kill", "after": 1}]},
+            loadgen={"failed": 0, "ok": 10},
+            supervisor={"chaos": {"fired": []}, "degraded": []},
+        )
+        assert not report.all_clean
+
+    def test_verdict_fails_on_leaked_workers(self):
+        report = ServeCampaignReport(
+            seed=0,
+            plan={"faults": []},
+            loadgen={"failed": 0, "ok": 10},
+            supervisor={"chaos": {"fired": []}, "degraded": []},
+            leaked_pids=[12345],
+        )
+        assert not report.all_clean
+
+    def test_verdict_fails_on_unattributed_degradation(self):
+        report = ServeCampaignReport(
+            seed=0,
+            plan={"faults": []},
+            loadgen={"failed": 0, "ok": 10},
+            supervisor={
+                "chaos": {"fired": []},
+                "degraded": [{"job": 1, "faults": []}],
+            },
+        )
+        assert not report.all_clean

@@ -1,0 +1,157 @@
+"""The circuit breaker state machine, pinned transition by transition.
+
+Pure unit tests with a fake clock: the breaker's contract (consecutive
+failures open it, cooldown admits exactly one probe, the probe's fate
+decides) is what the supervisor's fast-refusal story rests on, so every
+edge gets its own assertion.
+"""
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=threshold, cooldown=cooldown, clock=clock)
+    return breaker, clock
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make()
+        assert breaker.state == CLOSED
+        allowed, retry_after = breaker.allow()
+        assert allowed
+        assert retry_after == 0.0
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()[0]
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_threshold_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestOpen:
+    def test_threshold_consecutive_failures_open(self):
+        breaker, _ = make(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_open_refuses_with_remaining_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(4.0)
+        allowed, retry_after = breaker.allow()
+        assert not allowed
+        assert retry_after == 6.0
+
+
+class TestHalfOpen:
+    def test_cooldown_elapsed_admits_exactly_one_probe(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()[0]  # the probe
+        assert breaker.state == HALF_OPEN
+        allowed, retry_after = breaker.allow()  # everyone else
+        assert not allowed
+        assert retry_after > 0.0
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()[0]
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()[0]
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()[0]
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()[0]
+        clock.advance(10.0)
+        assert breaker.allow()[0]  # next probe after the new cooldown
+
+    def test_release_probe_returns_the_slot(self):
+        """An admitted probe that is never dispatched must not wedge
+        the circuit half-open forever."""
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()[0]
+        breaker.release_probe()
+        assert breaker.allow()[0]  # a new probe is admitted
+
+    def test_transitions_are_counted(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()  # closed -> open
+        clock.advance(10.0)
+        breaker.allow()  # open -> half-open
+        breaker.record_success()  # half-open -> closed
+        assert breaker.snapshot()["transitions"] == 3
+
+
+class TestBreakerBoard:
+    def test_keys_are_isolated(self):
+        board = BreakerBoard(threshold=1, cooldown=10.0)
+        board.record_failure("bad-preset")
+        assert board.state("bad-preset") == OPEN
+        assert board.state("good-preset") == CLOSED
+        assert board.allow("good-preset")[0]
+        assert not board.allow("bad-preset")[0]
+
+    def test_states_snapshot_covers_every_key_seen(self):
+        board = BreakerBoard(threshold=2)
+        board.allow("a")
+        board.record_failure("b")
+        states = board.states()
+        assert set(states) == {"a", "b"}
+        assert states["b"]["consecutive_failures"] == 1
+
+    def test_transition_callback_carries_the_key(self):
+        seen = []
+        board = BreakerBoard(
+            threshold=1,
+            cooldown=10.0,
+            on_transition=lambda key, old, new: seen.append((key, old, new)),
+        )
+        board.record_failure("hot")
+        assert seen == [("hot", CLOSED, OPEN)]

@@ -144,6 +144,57 @@ class TestAllocateEndpoint:
         assert asyncio.run(send_garbage()) == 400
 
 
+class TestBodyLimits:
+    def test_oversized_body_is_413_with_configured_limit(self):
+        config = ServerConfig(port=0, max_body_bytes=1000, supervised=False)
+        with ServerThread(config) as (host, port):
+            payload = {"source": SOURCE, "name": "x" * 2000}
+            status, _, body = post(host, port, "/allocate", payload)
+            assert status == 413
+            assert body["status"] == "error"
+            assert body["error_type"] == "PayloadTooLarge"
+            assert body["max_body_bytes"] == 1000
+            assert body["schema_version"] == 1
+            # Under the limit still works on the same server.
+            status, _, body = post(host, port, "/allocate", {"source": SOURCE})
+            assert status == 200
+
+    def test_default_limit_is_one_mebibyte(self):
+        from repro.serve.server import MAX_BODY_BYTES
+
+        assert ServerConfig().max_body_bytes == MAX_BODY_BYTES == 1024 * 1024
+
+    def test_truncated_body_is_structured_400(self, server):
+        """A short body (vs Content-Length) answers 400, not a reset."""
+        host, port = server
+
+        async def send_truncated():
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /allocate HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 500\r\n\r\n"
+                b'{"source": "int main() {'
+            )
+            await writer.drain()
+            writer.write_eof()
+            status_line = await reader.readline()
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode().partition(":")
+                headers[name.strip().lower()] = value.strip()
+            raw = await reader.read()
+            writer.close()
+            return int(status_line.split()[1]), json.loads(raw.decode())
+
+        status, body = asyncio.run(send_truncated())
+        assert status == 400
+        assert body["error_type"] == "TruncatedBody"
+        assert body["schema_version"] == 1
+
+
 class TestDeadlines:
     def test_impossible_deadline_degrades_resiliently(self, server):
         """Resilient default: a blown budget degrades, never 500s."""
@@ -234,6 +285,31 @@ class TestHttpPlumbing:
         assert body["queue_capacity"] == ServerConfig().queue_size
         assert "result_cache" in body["engine"]
 
+    def test_healthz_exposes_supervisor_state(self, server):
+        host, port = server
+        _, body = get(host, port, "/healthz")
+        assert body["supervised"] is True
+        supervisor = body["supervisor"]
+        workers = supervisor["workers"]
+        assert workers["configured"] >= 2
+        assert 0 <= workers["live"] <= workers["configured"]
+        for name in ("interactive", "batch"):
+            bulkhead = supervisor["bulkheads"][name]
+            assert bulkhead["queue_depth"] >= 0
+            assert bulkhead["queue_capacity"] > 0
+        # Every preset served so far has a breaker snapshot.
+        for snapshot in supervisor["breakers"].values():
+            assert snapshot["state"] in ("closed", "open", "half-open")
+
+    def test_metrics_exposes_supervisor_counters(self, server):
+        host, port = server
+        # Ensure at least one request has dispatched to a worker.
+        post(host, port, "/allocate", {"source": SOURCE, "name": "warm"})
+        status, body = get(host, port, "/metrics")
+        assert status == 200
+        assert body["counters"].get("supervisor.dispatches", 0) > 0
+        assert body["counters"].get("supervisor.spawns", 0) > 0
+
     def test_metrics(self, server):
         host, port = server
         status, body = get(host, port, "/metrics")
@@ -254,9 +330,20 @@ class TestHttpPlumbing:
 
 class TestBackpressure:
     def test_full_queue_answers_429_with_retry_after(self):
-        """Stall the engine; the bounded queue must throttle, not grow."""
+        """Stall the engine; the bounded queue must throttle, not grow.
+
+        Pinned to the in-process path (``supervised=False``): the test
+        stalls the engine by monkeypatching ``submit_batch``, which
+        only the thread-pool dispatcher calls.  The supervised path's
+        backpressure is covered in ``test_supervisor.py``.
+        """
         config = ServerConfig(
-            port=0, queue_size=1, workers=1, batch_size=1, retry_after=0.25
+            port=0,
+            queue_size=1,
+            workers=1,
+            batch_size=1,
+            retry_after=0.25,
+            supervised=False,
         )
         thread = ServerThread(config)
         host, port = thread.start()

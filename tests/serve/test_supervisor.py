@@ -1,0 +1,342 @@
+"""The supervised worker pool: real processes, real kills.
+
+These tests spawn genuine worker subprocesses and murder them with the
+service chaos hooks, pinning the recovery ladder end to end: retry on
+a fresh worker, watchdog SIGKILL on hangs, recycling, circuit
+breakers, bulkhead isolation, and — the part PR 7 exists for —
+graceful shutdown that leaks neither connections nor processes.
+"""
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro.chaos import ServiceFault, ServiceFaultPlan
+from repro.engine import AllocationRequest
+from repro.serve import (
+    BATCH,
+    AdmissionFull,
+    BreakerOpen,
+    ServerConfig,
+    ServerThread,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorStopped,
+    http_post_json,
+)
+from repro.serve.breaker import CLOSED, OPEN
+
+SOURCE = (
+    "int out[2];\n"
+    "int twice(int x) { return x * 2; }\n"
+    "void main() {\n"
+    "    int total = 0;\n"
+    "    for (int i = 0; i < 10; i = i + 1) { total = total + twice(i); }\n"
+    "    out[0] = total;\n"
+    "}\n"
+)
+
+
+def source_variant(index: int) -> str:
+    """Distinct programs so the content caches never short-circuit."""
+    return SOURCE.replace("x * 2", f"x * 2 + {index}")
+
+
+def request(index: int = 0, **overrides) -> AllocationRequest:
+    fields = dict(source=source_variant(index), name=f"req-{index}")
+    fields.update(overrides)
+    return AllocationRequest(**fields)
+
+
+def make_supervisor(**overrides) -> Supervisor:
+    defaults = dict(
+        workers=1,
+        batch_workers=1,
+        queue_size=8,
+        batch_queue_size=8,
+        watchdog_seconds=10.0,
+        retries=2,
+        respawn_backoff=0.01,
+        result_cache_size=0,
+        worker_cache_size=8,
+    )
+    defaults.update(overrides)
+    supervisor = Supervisor(SupervisorConfig(**defaults))
+    supervisor.start()
+    return supervisor
+
+
+def arm(supervisor: Supervisor, *faults: ServiceFault) -> None:
+    supervisor.arm_chaos(ServiceFaultPlan(seed=0, faults=list(faults)))
+
+
+def assert_no_leaked_workers(supervisor: Supervisor) -> None:
+    """Every PID the supervisor ever spawned must be dead."""
+    assert supervisor.live_workers() == []
+    for pid in supervisor.all_worker_pids:
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+
+
+class TestHappyPath:
+    def test_submit_returns_wire_outcomes(self):
+        supervisor = make_supervisor()
+        try:
+            outcomes = supervisor.submit([request(0)]).result(timeout=60)
+            assert len(outcomes) == 1
+            assert outcomes[0]["status_code"] == 200
+            body = outcomes[0]["body"]
+            assert body["status"] == "ok"
+            assert body["schema_version"] == 1
+            assert "supervisor" not in body  # clean run: nothing to attribute
+            assert supervisor.counters["supervisor.dispatches"] == 1
+        finally:
+            supervisor.stop()
+        assert_no_leaked_workers(supervisor)
+
+    def test_parent_cache_answers_repeats_without_dispatch(self):
+        supervisor = make_supervisor(result_cache_size=8)
+        try:
+            first = supervisor.submit([request(0)]).result(timeout=60)
+            second = supervisor.submit([request(0)]).result(timeout=60)
+            assert first[0]["body"].get("cache") != "hit"
+            assert second[0]["body"]["cache"] == "hit"
+            assert supervisor.counters["supervisor.dispatches"] == 1
+        finally:
+            supervisor.stop()
+
+
+class TestWorkerDeath:
+    def test_killed_worker_retries_and_attributes_the_fault(self):
+        supervisor = make_supervisor(retries=2)
+        try:
+            arm(supervisor, ServiceFault(action="kill", after=1))
+            outcomes = supervisor.submit([request(0)]).result(timeout=60)
+            assert outcomes[0]["status_code"] == 200
+            note = outcomes[0]["body"]["supervisor"]
+            assert note["degraded"] is False
+            assert note["attempts"] == 2
+            assert note["faults"][0]["reason"] == "crash"
+            assert note["faults"][0]["chaos"]["action"] == "kill"
+            assert supervisor.counters["supervisor.kills.crash"] == 1
+            assert supervisor.counters["supervisor.retries"] == 1
+            assert supervisor.counters["supervisor.respawns"] >= 1
+        finally:
+            supervisor.stop()
+        assert_no_leaked_workers(supervisor)
+
+    def test_hung_worker_dies_by_watchdog(self):
+        supervisor = make_supervisor(watchdog_seconds=0.5, retries=1)
+        try:
+            arm(supervisor, ServiceFault(action="hang", after=1))
+            outcomes = supervisor.submit([request(0)]).result(timeout=60)
+            assert outcomes[0]["status_code"] == 200
+            note = outcomes[0]["body"]["supervisor"]
+            assert note["faults"][0]["reason"] == "watchdog"
+            assert supervisor.counters["supervisor.kills.watchdog"] == 1
+        finally:
+            supervisor.stop()
+        assert_no_leaked_workers(supervisor)
+
+    def test_garbage_reply_is_fatal_and_retried(self):
+        supervisor = make_supervisor(retries=1)
+        try:
+            arm(supervisor, ServiceFault(action="garbage", after=1))
+            outcomes = supervisor.submit([request(0)]).result(timeout=60)
+            assert outcomes[0]["status_code"] == 200
+            note = outcomes[0]["body"]["supervisor"]
+            assert note["faults"][0]["reason"] == "garbage"
+            assert supervisor.counters["supervisor.kills.garbage"] == 1
+        finally:
+            supervisor.stop()
+        assert_no_leaked_workers(supervisor)
+
+    def test_retries_exhausted_degrades_to_inline_spillall(self):
+        supervisor = make_supervisor(retries=0)
+        try:
+            arm(supervisor, ServiceFault(action="kill", after=1))
+            outcomes = supervisor.submit(
+                [request(0, preset="improved")]
+            ).result(timeout=60)
+            # Still a 200: the supervisor answered from its inline rung.
+            assert outcomes[0]["status_code"] == 200
+            body = outcomes[0]["body"]
+            assert body["status"] == "ok"
+            assert body["preset"] == "spillall"
+            note = body["supervisor"]
+            assert note["degraded"] is True
+            assert note["rung"] == "spillall-inline"
+            assert note["requested_preset"] == "improved"
+            assert note["faults"][0]["reason"] == "crash"
+            assert supervisor.counters["supervisor.degraded"] == 1
+            assert len(supervisor.degraded_log) == 1
+            assert supervisor.degraded_log[0]["faults"]
+        finally:
+            supervisor.stop()
+        assert_no_leaked_workers(supervisor)
+
+
+class TestRecycling:
+    def test_workers_retire_after_the_job_quota(self):
+        supervisor = make_supervisor(recycle_after=1)
+        try:
+            supervisor.submit([request(0)]).result(timeout=60)
+            supervisor.submit([request(1)]).result(timeout=60)
+            assert supervisor.counters["supervisor.recycled"] >= 1
+            assert supervisor.counters["supervisor.recycled.requests"] >= 1
+            pids = supervisor.all_worker_pids
+            assert len(pids) >= 2
+            assert len(set(pids)) == len(pids)
+        finally:
+            supervisor.stop()
+        assert_no_leaked_workers(supervisor)
+
+
+class TestBreaker:
+    def test_worker_killing_preset_opens_then_recovers(self):
+        supervisor = make_supervisor(
+            retries=0, breaker_threshold=2, breaker_cooldown=0.4
+        )
+        try:
+            arm(
+                supervisor,
+                ServiceFault(action="kill", after=1),
+                ServiceFault(action="kill", after=2),
+            )
+            supervisor.submit([request(0)]).result(timeout=60)
+            supervisor.submit([request(1)]).result(timeout=60)
+            assert supervisor.breakers.state("improved") == OPEN
+            with pytest.raises(BreakerOpen) as refusal:
+                supervisor.submit([request(2)])
+            assert refusal.value.status == 503
+            assert refusal.value.retry_after > 0.0
+            time.sleep(0.5)
+            # Half-open: the probe dispatches for real and closes it.
+            outcomes = supervisor.submit([request(3)]).result(timeout=60)
+            assert outcomes[0]["status_code"] == 200
+            assert supervisor.breakers.state("improved") == CLOSED
+            states = [
+                (entry["from"], entry["to"])
+                for entry in supervisor.breaker_transitions
+            ]
+            assert ("closed", "open") in states
+            assert ("half-open", "closed") in states
+        finally:
+            supervisor.stop()
+        assert_no_leaked_workers(supervisor)
+
+
+class TestBulkheads:
+    def test_batch_overflow_never_touches_interactive(self):
+        supervisor = make_supervisor(
+            batch_queue_size=1, watchdog_seconds=1.0, retries=0
+        )
+        try:
+            # Wedge the lone batch worker on a hang...
+            arm(supervisor, ServiceFault(action="hang", after=1))
+            wedged = supervisor.submit([request(0)], bulkhead=BATCH)
+            time.sleep(0.2)  # dispatcher has taken it; queue is empty
+            queued = supervisor.submit([request(1)], bulkhead=BATCH)
+            # ...so the next batch job overflows the bulkhead...
+            with pytest.raises(AdmissionFull) as refusal:
+                supervisor.submit([request(2)], bulkhead=BATCH)
+            assert refusal.value.bulkhead == BATCH
+            assert refusal.value.status == 429
+            # ...while interactive traffic is entirely unaffected.
+            ok = supervisor.submit([request(3)]).result(timeout=60)
+            assert ok[0]["status_code"] == 200
+            # Let the wedged lane recover before teardown.
+            assert wedged.result(timeout=60)[0]["status_code"] == 200
+            assert queued.result(timeout=60)[0]["status_code"] == 200
+        finally:
+            supervisor.stop()
+        assert_no_leaked_workers(supervisor)
+
+
+class TestShutdown:
+    def test_stop_fails_queued_jobs_cleanly_and_kills_stragglers(self):
+        supervisor = make_supervisor(watchdog_seconds=30.0, retries=2)
+        try:
+            # Wedge the interactive worker, then queue behind it.
+            arm(supervisor, ServiceFault(action="hang", after=1))
+            wedged = supervisor.submit([request(0)])
+            time.sleep(0.2)
+            queued = [supervisor.submit([request(i)]) for i in range(1, 4)]
+        finally:
+            supervisor.stop(grace=0.5)
+        for future in queued:
+            with pytest.raises(SupervisorStopped):
+                future.result(timeout=10)
+        # The in-flight job lost its worker to the shutdown SIGKILL and
+        # failed cleanly too — never hung, never leaked.
+        with pytest.raises(SupervisorStopped):
+            wedged.result(timeout=10)
+        with pytest.raises(SupervisorStopped):
+            supervisor.submit([request(9)])
+        assert_no_leaked_workers(supervisor)
+
+
+class TestServerGracefulShutdown:
+    def test_shutdown_under_load_answers_every_connection(self):
+        """Satellite 4: stop the server mid-burst.
+
+        Every in-flight HTTP request must come back as a real response
+        — 200 for work that completed, 503 JSON for work shed during
+        shutdown — with no connection resets, and no worker subprocess
+        may survive.
+        """
+        config = ServerConfig(
+            port=0,
+            supervised=True,
+            workers=1,
+            queue_size=32,
+            default_deadline_ms=None,
+            watchdog_seconds=10.0,
+        )
+        thread = ServerThread(config)
+        host, port = thread.start()
+        supervisor = thread.server.supervisor
+        # The second dispatch hangs its worker, so the lone interactive
+        # lane wedges and everything behind it is provably still queued
+        # when the stop lands — shutdown must shed it cleanly.
+        arm(supervisor, ServiceFault(action="hang", after=2))
+
+        async def drive():
+            tasks = [
+                asyncio.ensure_future(
+                    http_post_json(
+                        host,
+                        port,
+                        "/allocate",
+                        {"source": source_variant(i), "name": f"shed-{i}"},
+                        timeout=30.0,
+                    )
+                )
+                for i in range(24)
+            ]
+            await asyncio.sleep(0.3)  # first job done, second wedged
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, thread.stop)
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(drive())
+        statuses = []
+        for result in results:
+            assert not isinstance(result, BaseException), (
+                f"connection error during shutdown: {result!r}"
+            )
+            status, _, body = result
+            statuses.append(status)
+            assert status in (200, 503)
+            assert body["schema_version"] == 1
+            if status == 200:
+                assert body["status"] == "ok"
+            else:
+                assert body["status"] == "unavailable"
+        # At least the first job completed; the wedged lane forced the
+        # rest to be shed — so both shutdown paths really ran.
+        assert statuses.count(200) >= 1
+        assert statuses.count(503) >= 1
+        assert_no_leaked_workers(supervisor)

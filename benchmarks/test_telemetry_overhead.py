@@ -1,0 +1,93 @@
+"""The request-telemetry no-op overhead gate (CI-enforced).
+
+The tentpole promise of the telemetry work is that *untraced runs pay
+~nothing*: every hook in the engine and serving stack is guarded by
+``if trace_id is None``, so a request without a trace identity must
+allocate at effectively the same speed as before telemetry existed.
+This benchmark times ``AllocationEngine.submit`` three ways —
+untraced, telemetry (span-only tracing) and full decision trace — and
+fails if telemetered submission is more than 10% slower than
+untraced.  Caching is disabled so every submit really allocates.
+
+Plain ``perf_counter`` medians over interleaved repetitions, no
+pytest-benchmark dependency, so CI can run this file directly.
+"""
+
+import itertools
+import statistics
+import time
+
+from repro.engine import AllocationEngine, AllocationRequest
+from repro.obs import mint_trace_id
+
+WORKLOAD = "compress"
+ROUNDS = 9
+#: The CI gate: telemetry machinery within 10% when nothing is traced.
+MAX_NOOP_OVERHEAD = 0.10
+
+#: Each timed submit gets a unique (absurdly loose) deadline: the
+#: deadline is part of the result-cache identity, so every submit
+#: genuinely allocates instead of hitting the engine's content cache,
+#: while a multi-hour budget never actually degrades anything.
+_DEADLINES = itertools.count()
+
+
+def _request(**overrides) -> AllocationRequest:
+    fields = dict(
+        workload=WORKLOAD,
+        preset="improved",
+        name="bench",
+        deadline_seconds=36000.0 + next(_DEADLINES),
+    )
+    fields.update(overrides)
+    return AllocationRequest(**fields)
+
+
+def _time_once(engine, request) -> float:
+    start = time.perf_counter()
+    result = engine.submit(request)
+    assert result.report is not None
+    assert not result.cache_hit
+    return time.perf_counter() - start
+
+
+def _medians():
+    engine = AllocationEngine()
+    _time_once(engine, _request())  # warm compile/analysis caches
+    samples = {"off": [], "telemetry": [], "trace": []}
+    # Interleave the variants so drift (thermal, GC) hits all equally.
+    for _ in range(ROUNDS):
+        samples["off"].append(_time_once(engine, _request()))
+        samples["telemetry"].append(
+            _time_once(
+                engine,
+                _request(trace_id=mint_trace_id(), telemetry=True),
+            )
+        )
+        samples["trace"].append(
+            _time_once(
+                engine, _request(trace_id=mint_trace_id(), trace=True)
+            )
+        )
+    return {k: statistics.median(v) for k, v in samples.items()}
+
+
+def test_untraced_requests_pay_nothing():
+    medians = _medians()
+    overhead = medians["telemetry"] / medians["off"] - 1.0
+    assert overhead < MAX_NOOP_OVERHEAD, (
+        f"telemetered submit is {overhead:.1%} slower than untraced "
+        f"(limit {MAX_NOOP_OVERHEAD:.0%}): "
+        f"untraced={medians['off'] * 1e3:.2f}ms "
+        f"telemetry={medians['telemetry'] * 1e3:.2f}ms"
+    )
+
+
+def test_full_trace_overhead_is_bounded():
+    """Recording the decision stream may cost, but not explode."""
+    medians = _medians()
+    assert medians["trace"] < medians["off"] * 3.0, (
+        f"full tracing tripled submit time: "
+        f"untraced={medians['off'] * 1e3:.2f}ms "
+        f"trace={medians['trace'] * 1e3:.2f}ms"
+    )

@@ -225,6 +225,10 @@ class ServeCampaignReport:
       tested nothing);
     * every degraded response carries attributed worker faults (a
       reason, plus the chaos directive where chaos caused it);
+    * every degraded response's trace ID resolved in the server's
+      flight recorder while it was still up — a degraded answer whose
+      cross-process story cannot be reconstructed is a telemetry
+      regression, and the campaign is where it would first go dark;
     * no worker subprocess outlived the server.
     """
 
@@ -233,6 +237,10 @@ class ServeCampaignReport:
     loadgen: dict
     supervisor: dict
     leaked_pids: List[int] = field(default_factory=list)
+    #: Degraded-response trace IDs the flight recorder resolved /
+    #: failed to resolve before shutdown.
+    degraded_traced: int = 0
+    degraded_untraceable: List[str] = field(default_factory=list)
 
     @property
     def faults_planned(self) -> int:
@@ -251,11 +259,16 @@ class ServeCampaignReport:
         )
 
     @property
+    def degraded_traceable(self) -> bool:
+        return not self.degraded_untraceable
+
+    @property
     def all_clean(self) -> bool:
         return (
             self.loadgen["failed"] == 0
             and self.faults_fired == self.faults_planned
             and self.degraded_attributed
+            and self.degraded_traceable
             and not self.leaked_pids
         )
 
@@ -270,6 +283,9 @@ class ServeCampaignReport:
                 "faults_fired": self.faults_fired,
                 "degraded_responses": len(self.supervisor["degraded"]),
                 "degraded_attributed": self.degraded_attributed,
+                "degraded_traced": self.degraded_traced,
+                "degraded_untraceable": self.degraded_untraceable,
+                "degraded_traceable": self.degraded_traceable,
                 "leaked_pids": self.leaked_pids,
                 "all_clean": self.all_clean,
             }
@@ -319,6 +335,11 @@ def run_serve_campaign(
         worker_retries=retries,
         breaker_cooldown=2.0,
         supervisor_cache_size=0,
+        # Retention sized to the campaign: every degraded answer must
+        # still resolve in the flight recorder at the final audit.
+        flight_recent=max(256, requests),
+        flight_degraded=max(64, requests),
+        flight_faulted=max(64, requests),
     )
     thread = ServerThread(server_config)
     with thread as (host, port):
@@ -336,6 +357,17 @@ def run_serve_campaign(
         )
         loadgen_report = asyncio.run(run_loadgen_async(loadgen_config))
         supervisor_report = thread.server.supervisor.report()
+        # Resolve every degraded response's trace ID against the
+        # flight recorder while the server is still up: a degraded
+        # answer the recorder cannot explain fails the campaign.
+        degraded_traced = 0
+        untraceable: List[str] = []
+        flight = thread.server.flight
+        for trace_id in loadgen_report.degraded_trace_ids:
+            if flight.lookup(trace_id) is not None:
+                degraded_traced += 1
+            else:
+                untraceable.append(trace_id)
     leaked = [
         pid
         for pid in supervisor_report["worker_pids"]
@@ -347,6 +379,8 @@ def run_serve_campaign(
         loadgen=loadgen_report.as_dict(),
         supervisor=supervisor_report,
         leaked_pids=leaked,
+        degraded_traced=degraded_traced,
+        degraded_untraceable=untraceable,
     )
 
 

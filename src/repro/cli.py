@@ -592,6 +592,13 @@ def cmd_serve(args) -> int:
         recycle_after=args.recycle_after,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        telemetry=not args.no_telemetry,
+        access_log=args.access_log,
+        slo_availability=args.slo_availability,
+        slo_p50_ms=args.slo_p50_ms,
+        slo_p99_ms=args.slo_p99_ms,
+        flight_recent=args.flight_recent,
+        flight_slowest=args.flight_slowest,
     )
     return serve_forever(config)
 
@@ -608,6 +615,7 @@ def cmd_loadgen(args) -> int:
         deadline_ms=args.deadline_ms,
         chaos=args.chaos,
         jitter_seed=args.jitter_seed,
+        check_traces=args.check_traces,
     )
     server_config = None
     if args.spawn:
@@ -635,6 +643,27 @@ def cmd_loadgen(args) -> int:
             f"p50={data['p50_ms']:.1f}ms p99={data['p99_ms']:.1f}ms "
             f"({data['requests_per_sec']:.1f} req/s)"
         )
+        if report.traced:
+            queue_wait = data["queue_wait_ms"]
+            service = data["service_time_ms"]
+            print(
+                f"telemetry: {report.traced} traced, queue-wait "
+                f"p50={queue_wait['p50']:.1f}ms p99={queue_wait['p99']:.1f}ms, "
+                f"service p50={service['p50']:.1f}ms "
+                f"p99={service['p99']:.1f}ms"
+            )
+        if report.trace_checked:
+            print(
+                f"flight recorder: {report.trace_resolved}/"
+                f"{report.trace_checked} trace IDs resolved"
+            )
+    if args.check_traces and report.trace_resolved != report.trace_checked:
+        print(
+            f"FAILED: {report.trace_checked - report.trace_resolved} trace "
+            "ID(s) did not resolve in the flight recorder",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if report.failed == 0 else 1
 
 
@@ -670,7 +699,8 @@ def cmd_chaos_serve(args) -> int:
             f"{counters.get('supervisor.kills', 0)} workers killed, "
             f"{counters.get('supervisor.retries', 0)} retries, "
             f"{len(report.supervisor['degraded'])} degraded "
-            f"(attributed={report.degraded_attributed}), "
+            f"(attributed={report.degraded_attributed}, "
+            f"traceable={report.degraded_traceable}), "
             f"{len(report.leaked_pids)} leaked workers"
         )
         if report.all_clean:
@@ -691,6 +721,12 @@ def cmd_chaos_serve(args) -> int:
             )
         if not report.degraded_attributed:
             print("FAILED: unattributed degraded response", file=sys.stderr)
+        if not report.degraded_traceable:
+            print(
+                "FAILED: degraded response trace ID(s) not resolvable in "
+                f"the flight recorder: {report.degraded_untraceable}",
+                file=sys.stderr,
+            )
         if report.leaked_pids:
             print(
                 f"FAILED: leaked worker pids {report.leaked_pids}",
@@ -935,6 +971,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breaker-cooldown", type=float, default=30.0,
                    help="seconds an open circuit waits before admitting "
                         "a half-open probe (supervised mode)")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="serve without request telemetry: no trace IDs, "
+                        "no flight recorder, no SLO accounting")
+    p.add_argument("--access-log",
+                   help="append one JSONL record per request here "
+                        "(size-rotated; off by default)")
+    p.add_argument("--slo-availability", type=float, default=0.999,
+                   help="availability target the SLO tracker scores "
+                        "against")
+    p.add_argument("--slo-p50-ms", type=float, default=50.0,
+                   help="p50 latency target (ms)")
+    p.add_argument("--slo-p99-ms", type=float, default=500.0,
+                   help="p99 latency target (ms)")
+    p.add_argument("--flight-recent", type=int, default=256,
+                   help="flight recorder: recent-request ring size")
+    p.add_argument("--flight-slowest", type=int, default=32,
+                   help="flight recorder: slowest-request entries kept")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -967,6 +1020,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jitter-seed", type=int, default=None,
                    help="seed for the full-jitter retry RNG "
                         "(deterministic backoff for CI)")
+    p.add_argument("--check-traces", action="store_true",
+                   help="after the run, resolve every response's trace "
+                        "ID against the server's flight recorder and "
+                        "fail unless all resolve (CI telemetry gate)")
     p.add_argument("--out",
                    help="write the latency/throughput report JSON here")
     p.add_argument("--json", action="store_true",

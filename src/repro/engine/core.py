@@ -91,6 +91,15 @@ class AllocationRequest:
     deadline_seconds: Optional[float] = None
     #: Display name for reports (defaults to the program's own name).
     name: str = "request"
+    #: Request trace identity, minted at HTTP ingress (or adopted from
+    #: the ``X-Repro-Trace-Id`` header) and carried everywhere this
+    #: request goes — including over the supervisor pipe into forked
+    #: workers, since the request pickles whole.
+    trace_id: Optional[str] = None
+    #: Record per-phase spans (no decision events) so the serving
+    #: stack can build span trees; independent of ``trace``, which
+    #: additionally records the full decision-event stream.
+    telemetry: bool = False
 
     def program_spec(self) -> Tuple[str, str]:
         """``(kind, text-or-name)`` of the program this request names."""
@@ -124,6 +133,10 @@ class AllocationResult:
     source_program: object = None
     #: Decision events when the request asked for tracing.
     trace_events: Tuple = ()
+    #: Per-phase spans when the request asked for tracing or telemetry;
+    #: the serving stack converts these into ``engine:<phase>`` child
+    #: spans of the request's span tree.
+    phase_spans: Tuple = ()
     cache_hit: bool = False
     elapsed_seconds: float = 0.0
 
@@ -330,9 +343,15 @@ class AllocationEngine:
         if not request.trace:
             cached = self.results.get(key)
             if cached is not None:
+                # Phase spans are per-run artifacts: the stored ones
+                # describe the run that populated the cache (possibly
+                # another trace ID, another process), so a hit returns
+                # without them — the serving layer records the hit as
+                # an ``engine-cache`` span instead.
                 return replace(
                     cached,
                     cache_hit=True,
+                    phase_spans=(),
                     elapsed_seconds=time.perf_counter() - started,
                 )
 
@@ -340,7 +359,14 @@ class AllocationEngine:
         if request.trace:
             from repro.obs.tracer import Tracer
 
-            tracer = Tracer()
+            tracer = Tracer(trace_id=request.trace_id)
+        elif request.telemetry:
+            from repro.obs.tracer import Tracer
+
+            # Span-only: telemetered serving wants phase timings in the
+            # request's span tree without paying for (or shipping) the
+            # per-decision event stream.
+            tracer = Tracer(record_events=False, trace_id=request.trace_id)
         budget = (
             AllocationBudget(deadline_seconds=deadline)
             if deadline is not None
@@ -381,6 +407,7 @@ class AllocationEngine:
             preset=request.preset,
             source_program=compiled.program,
             trace_events=tuple(tracer.events) if tracer is not None else (),
+            phase_spans=tuple(tracer.spans) if tracer is not None else (),
             cache_hit=False,
             elapsed_seconds=time.perf_counter() - started,
         )

@@ -9,12 +9,22 @@ queryable event:
   from every decision site of ``repro.regalloc`` plus per-phase
   wall-clock spans.  Untraced runs (``tracer=None``, the default
   everywhere) pay a single ``is not None`` check per site.
-* :class:`MetricsRegistry` — process-safe counters, gauges and
-  histograms; worker processes ship picklable snapshots back to the
-  parent, which merges them into the global :data:`METRICS`.
+* :class:`MetricsRegistry` — process-safe counters, gauges, plain and
+  labeled bucketed histograms; worker processes ship picklable
+  snapshots back to the parent, which merges them into the global
+  :data:`METRICS`.
+* Request telemetry (:mod:`repro.obs.telemetry`) — trace IDs minted
+  at HTTP ingress and propagated across the supervisor pipe into
+  forked workers; :class:`Span` trees reconstruct one request's path
+  through every failure domain.
+* :class:`FlightRecorder` — bounded in-memory retention of full span
+  trees for the slowest / degraded / faulted requests, behind
+  ``GET /debug/requests``.
+* :class:`SLOTracker` — availability and latency scored against
+  configurable targets, exported on ``/metrics``.
 * Exporters — Chrome trace-event JSON (``chrome://tracing`` /
-  Perfetto) from phase spans, JSONL event dumps, and a plain-text
-  decision log.
+  Perfetto) from phase spans or request span trees, Prometheus text
+  exposition, JSONL event dumps, and a plain-text decision log.
 * :func:`explain_live_range` — replay one allocation with tracing on
   and reconstruct the causal chain for a single live range (the
   ``repro explain`` CLI command).
@@ -24,31 +34,83 @@ from repro.obs.explain import ExplainError, Explanation, explain_live_range
 from repro.obs.export import (
     chrome_trace_events,
     render_decision_log,
+    request_chrome_trace,
+    request_trace_events,
+    trace_epoch_base,
     write_chrome_trace,
     write_events_jsonl,
 )
+from repro.obs.flight import FlightEntry, FlightRecorder
+from repro.obs.logs import JsonlLogger, open_access_log
 from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
     METRICS,
+    BucketedData,
     MetricsRegistry,
     MetricsSnapshot,
     allocation_metrics,
+    label_key,
+    render_labels,
+)
+from repro.obs.promtext import render_prometheus, render_slo_prometheus
+from repro.obs.slo import SLOTargets, SLOTracker
+from repro.obs.telemetry import (
+    SPAN_NAMES,
+    TRACE_HEADER,
+    Span,
+    SpanClock,
+    attempt_outcomes,
+    breakdown,
+    dedupe_spans,
+    mint_span_id,
+    mint_trace_id,
+    reparent,
+    span_tree,
+    spans_from_phases,
 )
 from repro.obs.tracer import DecisionEvent, NullTracer, PhaseSpan, Tracer
 
 __all__ = [
+    "BucketedData",
     "DecisionEvent",
     "ExplainError",
     "Explanation",
+    "FlightEntry",
+    "FlightRecorder",
+    "JsonlLogger",
+    "LATENCY_BUCKETS_MS",
     "METRICS",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NullTracer",
     "PhaseSpan",
+    "SLOTargets",
+    "SLOTracker",
+    "SPAN_NAMES",
+    "Span",
+    "SpanClock",
+    "TRACE_HEADER",
     "Tracer",
     "allocation_metrics",
+    "attempt_outcomes",
+    "breakdown",
     "chrome_trace_events",
+    "dedupe_spans",
     "explain_live_range",
+    "label_key",
+    "mint_span_id",
+    "mint_trace_id",
+    "open_access_log",
     "render_decision_log",
+    "render_labels",
+    "render_prometheus",
+    "render_slo_prometheus",
+    "reparent",
+    "request_chrome_trace",
+    "request_trace_events",
+    "span_tree",
+    "spans_from_phases",
+    "trace_epoch_base",
     "write_chrome_trace",
     "write_events_jsonl",
 ]

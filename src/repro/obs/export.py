@@ -22,9 +22,35 @@ from repro.obs.tracer import DecisionEvent, PhaseSpan
 import json
 
 
-def chrome_trace_events(spans: Sequence[PhaseSpan]) -> List[Dict[str, Any]]:
-    """Chrome trace-event dicts (metadata plus "X" spans) for ``spans``."""
+def trace_epoch_base(spans: Sequence) -> float:
+    """The common timestamp origin for one exported trace.
+
+    Spans carry absolute epoch-seconds starts (``time.time()``), which
+    is what lets spans from the parent process and supervisor-forked
+    workers line up at all — but exported raw, epoch microseconds are
+    ~1.7e15, large enough that the float64 ``ts`` values Chrome trace
+    JSON uses lose sub-microsecond precision and viewers render each
+    process's track mis-aligned by its own rounding.  Rebasing every
+    span against the *earliest span in the export* keeps the
+    cross-process alignment (one shared origin) while keeping ``ts``
+    small and exact.
+    """
+    return min((span.start for span in spans), default=0.0)
+
+
+def chrome_trace_events(
+    spans: Sequence[PhaseSpan], base: float = None
+) -> List[Dict[str, Any]]:
+    """Chrome trace-event dicts (metadata plus "X" spans) for ``spans``.
+
+    ``base`` is the epoch origin subtracted from every start; None
+    (the default) rebases to the earliest span so parent-side and
+    worker-side spans merge onto one precise timeline.  Pass ``0.0``
+    to keep the pre-rebase absolute timestamps.
+    """
     events: List[Dict[str, Any]] = []
+    if base is None:
+        base = trace_epoch_base(spans)
     #: (pid, function) -> tid; one thread track per function per process.
     tids: Dict[Tuple[int, str], int] = {}
     next_tid: Dict[int, int] = {}
@@ -60,7 +86,7 @@ def chrome_trace_events(spans: Sequence[PhaseSpan]) -> List[Dict[str, Any]]:
                 "name": span.name,
                 "cat": "regalloc",
                 "ph": "X",
-                "ts": span.start * 1e6,
+                "ts": (span.start - base) * 1e6,
                 "dur": span.duration * 1e6,
                 "pid": span.pid,
                 "tid": tids[key],
@@ -71,6 +97,69 @@ def chrome_trace_events(spans: Sequence[PhaseSpan]) -> List[Dict[str, Any]]:
             }
         )
     return events
+
+
+def request_trace_events(
+    span_dicts: Sequence[Dict[str, Any]], base: float = None
+) -> List[Dict[str, Any]]:
+    """Chrome trace events for one request's telemetry span dicts.
+
+    Accepts the serialized spans the flight recorder retains (see
+    :mod:`repro.obs.telemetry`).  Every process in the tree — the
+    server parent and any supervisor-forked worker — becomes a trace
+    process; within a process all spans share one thread track, where
+    "X" events nest by time containment into a flame view.  All
+    timestamps are rebased against the earliest span in the tree, so
+    parent-side and worker-side spans land on one aligned timeline.
+    """
+    events: List[Dict[str, Any]] = []
+    if base is None:
+        base = min(
+            (float(s.get("start", 0.0)) for s in span_dicts), default=0.0
+        )
+    seen_pids: Dict[int, None] = {}
+    for span in span_dicts:
+        pid = int(span.get("pid", 0))
+        if pid not in seen_pids:
+            seen_pids[pid] = None
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"pid {pid}"},
+                }
+            )
+        args: Dict[str, Any] = {
+            "span_id": span.get("span_id"),
+            "parent_id": span.get("parent_id"),
+        }
+        args.update(span.get("attrs") or {})
+        events.append(
+            {
+                "name": span.get("name", "span"),
+                "cat": "request",
+                "ph": "X",
+                "ts": (float(span.get("start", 0.0)) - base) * 1e6,
+                "dur": float(span.get("duration_ms", 0.0)) * 1000.0,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return events
+
+
+def request_chrome_trace(
+    trace_id: str, span_dicts: Sequence[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """A complete Chrome trace document for one request's span tree."""
+    return {
+        "traceEvents": request_trace_events(span_dicts),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "trace_id": trace_id},
+    }
 
 
 def write_chrome_trace(path, spans: Sequence[PhaseSpan]) -> int:

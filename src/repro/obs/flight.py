@@ -1,0 +1,159 @@
+"""The flight recorder: bounded in-memory retention of span trees.
+
+Production postmortems never need *every* request — they need the
+interesting ones, and they need them after the fact.  The recorder
+keeps four bounded views over finished requests:
+
+* **recent** — a ring of the last N requests of any kind (the working
+  set a `/debug/requests` glance shows);
+* **slowest** — the N highest-latency requests seen so far (evicting
+  the fastest member when full, so the worst offenders survive long
+  after the recent ring has wrapped);
+* **degraded** — requests the supervisor answered from its inline
+  fallback, or that record worker faults on the way;
+* **faulted** — requests that ended in a 5xx or carry an error body.
+
+Each entry holds the request's *full* span tree plus a summary row,
+so the recorder is the authoritative place a trace ID resolves to —
+the JSON response only echoes the compact breakdown.  Lookup is by
+trace ID across all four views.  Everything is under one lock; the
+recorder is written from the asyncio loop and read from debug
+endpoints concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.telemetry import breakdown, span_tree
+
+
+class FlightEntry:
+    """One recorded request: summary row plus full spans."""
+
+    __slots__ = (
+        "trace_id", "path", "status", "outcome", "duration_ms", "preset",
+        "degraded", "faulted", "spans", "recorded_at",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        path: str,
+        status: int,
+        outcome: str,
+        duration_ms: float,
+        preset: Optional[str],
+        degraded: bool,
+        faulted: bool,
+        spans: Sequence[Dict[str, Any]],
+    ) -> None:
+        self.trace_id = trace_id
+        self.path = path
+        self.status = status
+        self.outcome = outcome
+        self.duration_ms = duration_ms
+        self.preset = preset
+        self.degraded = degraded
+        self.faulted = faulted
+        self.spans = list(spans)
+        self.recorded_at = time.time()
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "path": self.path,
+            "status": self.status,
+            "outcome": self.outcome,
+            "duration_ms": round(self.duration_ms, 3),
+            "preset": self.preset,
+            "degraded": self.degraded,
+            "faulted": self.faulted,
+            "spans": len(self.spans),
+            "recorded_at": self.recorded_at,
+        }
+
+    def full(self) -> Dict[str, Any]:
+        return {
+            **self.summary(),
+            "breakdown": breakdown(self.spans),
+            "tree": span_tree(self.spans),
+        }
+
+
+class FlightRecorder:
+    """Bounded retention of the requests worth asking about later."""
+
+    def __init__(
+        self,
+        recent: int = 256,
+        slowest: int = 32,
+        degraded: int = 64,
+        faulted: int = 64,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._recent: "deque[FlightEntry]" = deque(maxlen=max(1, recent))
+        self._slowest_cap = max(1, slowest)
+        #: trace_id -> entry, kept sorted ascending by duration so the
+        #: fastest member is always first out when capacity is hit.
+        self._slowest: "OrderedDict[str, FlightEntry]" = OrderedDict()
+        self._degraded: "deque[FlightEntry]" = deque(maxlen=max(1, degraded))
+        self._faulted: "deque[FlightEntry]" = deque(maxlen=max(1, faulted))
+        self.recorded = 0
+
+    def record(self, entry: FlightEntry) -> None:
+        with self._lock:
+            self.recorded += 1
+            self._recent.append(entry)
+            if entry.degraded:
+                self._degraded.append(entry)
+            if entry.faulted:
+                self._faulted.append(entry)
+            self._note_slow(entry)
+
+    def _note_slow(self, entry: FlightEntry) -> None:
+        self._slowest[entry.trace_id] = entry
+        ordered = sorted(
+            self._slowest.items(), key=lambda item: item[1].duration_ms
+        )
+        while len(ordered) > self._slowest_cap:
+            ordered.pop(0)
+        self._slowest = OrderedDict(ordered)
+
+    def lookup(self, trace_id: str) -> Optional[FlightEntry]:
+        """Resolve one trace ID across every retention view."""
+        with self._lock:
+            entry = self._slowest.get(trace_id)
+            if entry is not None:
+                return entry
+            for ring in (self._recent, self._degraded, self._faulted):
+                for candidate in reversed(ring):
+                    if candidate.trace_id == trace_id:
+                        return candidate
+        return None
+
+    def index(self) -> Dict[str, Any]:
+        """Summary rows for ``GET /debug/requests`` (no span payloads)."""
+        with self._lock:
+            slowest = sorted(
+                self._slowest.values(),
+                key=lambda entry: -entry.duration_ms,
+            )
+            return {
+                "recorded": self.recorded,
+                "recent": [e.summary() for e in reversed(self._recent)],
+                "slowest": [e.summary() for e in slowest],
+                "degraded": [e.summary() for e in reversed(self._degraded)],
+                "faulted": [e.summary() for e in reversed(self._faulted)],
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+            self._slowest.clear()
+            self._degraded.clear()
+            self._faulted.clear()
+            self.recorded = 0

@@ -1,0 +1,87 @@
+"""Structured JSONL logging with size-based rotation.
+
+The server's access/event log: one JSON object per line, one line per
+record, appended synchronously (records are small and the serving
+path is CPU-bound on allocation work, not on a ~200-byte write).
+When the active file crosses ``max_bytes`` it rotates shift-style —
+``access.jsonl`` → ``access.jsonl.1`` → ``access.jsonl.2`` … — so
+total disk use is bounded by ``max_bytes * (backups + 1)``.
+
+Every record is stamped with ``ts`` (epoch seconds) and the emitting
+``pid``; the caller supplies everything else (trace IDs, method,
+path, status, latency, outcome).  Thread-safe: the asyncio loop and
+supervisor dispatcher threads may log concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+class JsonlLogger:
+    """Append-only JSONL writer with shift rotation."""
+
+    def __init__(
+        self,
+        path,
+        max_bytes: int = 5 * 1024 * 1024,
+        backups: int = 2,
+    ) -> None:
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = max(0, backups)
+        self._lock = threading.Lock()
+        self.written = 0
+        self.rotations = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def log(self, record: Dict[str, Any]) -> None:
+        """Append one record (stamped with ``ts`` and ``pid``)."""
+        stamped = {"ts": time.time(), "pid": os.getpid(), **record}
+        line = json.dumps(stamped, sort_keys=True) + "\n"
+        with self._lock:
+            self._maybe_rotate(len(line))
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
+            self.written += 1
+
+    def _maybe_rotate(self, incoming: int) -> None:
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size + incoming <= self.max_bytes:
+            return
+        self.rotations += 1
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+            return
+        oldest = self.path.with_name(f"{self.path.name}.{self.backups}")
+        oldest.unlink(missing_ok=True)
+        for index in range(self.backups - 1, 0, -1):
+            source = self.path.with_name(f"{self.path.name}.{index}")
+            if source.exists():
+                source.rename(
+                    self.path.with_name(f"{self.path.name}.{index + 1}")
+                )
+        self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "written": self.written,
+                "rotations": self.rotations,
+            }
+
+
+def open_access_log(path: Optional[str], **kwargs) -> Optional[JsonlLogger]:
+    """A logger for ``path``, or None when logging is off."""
+    if not path:
+        return None
+    return JsonlLogger(path, **kwargs)

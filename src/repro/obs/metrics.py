@@ -63,10 +63,37 @@ threads, breaker callbacks and the asyncio loop.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+
+#: Upper bounds (milliseconds) of the latency buckets labeled
+#: histograms observe into; an implicit +inf bucket follows.  Chosen
+#: to straddle the serving stack's realistic range: sub-ms cache hits
+#: through multi-second degraded requests.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+    500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+#: A label set in canonical form: ``(("key", "value"), ...)`` sorted
+#: by key.  Dict order never leaks into metric identity.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def label_key(labels: Dict[str, str]) -> LabelKey:
+    """Canonicalize a label dict into a hashable, sorted key."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_labels(key: LabelKey) -> str:
+    """``{a="x",b="y"}`` — the Prometheus (and JSON-key) rendering."""
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
 
 
 @dataclass(frozen=True)
@@ -115,16 +142,105 @@ class HistogramData:
 
 
 @dataclass(frozen=True)
+class BucketedData:
+    """A labeled latency histogram's value: summary plus buckets.
+
+    ``buckets`` holds one cumulative-free count per
+    :data:`LATENCY_BUCKETS_MS` bound, plus a final overflow slot.
+    Quantiles are estimated by linear interpolation within the bucket
+    the target rank lands in — exact enough for SLO accounting, and
+    mergeable across processes (bucket counts just add).
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    buckets: Tuple[int, ...] = (0,) * (len(LATENCY_BUCKETS_MS) + 1)
+
+    def observe(self, value: float) -> "BucketedData":
+        index = bisect.bisect_left(LATENCY_BUCKETS_MS, value)
+        buckets = list(self.buckets)
+        buckets[index] += 1
+        return BucketedData(
+            count=self.count + 1,
+            total=self.total + value,
+            minimum=min(self.minimum, value),
+            maximum=max(self.maximum, value),
+            buckets=tuple(buckets),
+        )
+
+    def merge(self, other: "BucketedData") -> "BucketedData":
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
+        return BucketedData(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+            buckets=tuple(
+                a + b for a, b in zip(self.buckets, other.buckets)
+            ),
+        )
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0..1) from the bucket counts."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                low = LATENCY_BUCKETS_MS[index - 1] if index > 0 else 0.0
+                high = (
+                    LATENCY_BUCKETS_MS[index]
+                    if index < len(LATENCY_BUCKETS_MS)
+                    else self.maximum
+                )
+                low = max(low, self.minimum) if index == 0 else low
+                high = min(high, self.maximum)
+                if high <= low:
+                    return high
+                fraction = (rank - cumulative) / bucket_count
+                return low + (high - low) * min(1.0, max(0.0, fraction))
+            cumulative += bucket_count
+        return self.maximum
+
+    def as_dict(self) -> Dict[str, Any]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": round(self.total, 3),
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": round(self.quantile(0.50), 3),
+            "p99": round(self.quantile(0.99), 3),
+        }
+
+
+@dataclass(frozen=True)
 class MetricsSnapshot:
     """An immutable, picklable copy of a registry's contents."""
 
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, HistogramData] = field(default_factory=dict)
+    #: name -> {canonical label tuple -> bucketed data}.
+    labeled: Dict[str, Dict[LabelKey, BucketedData]] = field(
+        default_factory=dict
+    )
 
     @property
     def empty(self) -> bool:
-        return not (self.counters or self.gauges or self.histograms)
+        return not (
+            self.counters or self.gauges or self.histograms or self.labeled
+        )
 
 
 class MetricsRegistry:
@@ -135,6 +251,7 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, HistogramData] = {}
+        self._labeled: Dict[str, Dict[LabelKey, BucketedData]] = {}
 
     # ------------------------------------------------------------------
     # recording
@@ -156,6 +273,21 @@ class MetricsRegistry:
             current = self._histograms.get(name, HistogramData())
             self._histograms[name] = current.observe(value)
 
+    def observe_labeled(
+        self, name: str, value: float, labels: Dict[str, str]
+    ) -> None:
+        """Record into the labeled (bucketed) histogram ``name``.
+
+        One series per distinct label set — e.g.
+        ``serve.request_ms{preset=improved,outcome=ok,rung=primary,
+        cache=miss}``.  Labels are canonicalized (sorted by key) so
+        caller dict order never splits a series.
+        """
+        key = label_key(labels)
+        with self._lock:
+            series = self._labeled.setdefault(name, {})
+            series[key] = series.get(key, BucketedData()).observe(value)
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
@@ -172,6 +304,15 @@ class MetricsRegistry:
         with self._lock:
             return self._histograms.get(name, HistogramData())
 
+    def labeled(self, name: str) -> Dict[LabelKey, BucketedData]:
+        """The labeled histogram's series (a copy; empty if absent)."""
+        with self._lock:
+            return dict(self._labeled.get(name, {}))
+
+    def labeled_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._labeled))
+
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering, keys sorted for stable output."""
         with self._lock:
@@ -183,6 +324,13 @@ class MetricsRegistry:
                 "histograms": {
                     k: self._histograms[k].as_dict()
                     for k in sorted(self._histograms)
+                },
+                "labeled": {
+                    name: {
+                        render_labels(key) or "{}": data.as_dict()
+                        for key, data in sorted(series.items())
+                    }
+                    for name, series in sorted(self._labeled.items())
                 },
             }
 
@@ -197,11 +345,15 @@ class MetricsRegistry:
                 counters=dict(self._counters),
                 gauges=dict(self._gauges),
                 histograms=dict(self._histograms),
+                labeled={
+                    name: dict(series)
+                    for name, series in self._labeled.items()
+                },
             )
 
     def merge(self, snapshot: MetricsSnapshot) -> None:
         """Fold a snapshot in: counters add, gauges overwrite,
-        histograms combine."""
+        histograms (labeled or not) combine."""
         with self._lock:
             for name, value in snapshot.counters.items():
                 self._counters[name] = self._counters.get(name, 0.0) + value
@@ -210,12 +362,17 @@ class MetricsRegistry:
             for name, data in snapshot.histograms.items():
                 current = self._histograms.get(name, HistogramData())
                 self._histograms[name] = current.merge(data)
+            for name, series in getattr(snapshot, "labeled", {}).items():
+                mine = self._labeled.setdefault(name, {})
+                for key, data in series.items():
+                    mine[key] = mine.get(key, BucketedData()).merge(data)
 
     def clear(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._labeled.clear()
 
     def rearm_after_fork(self) -> None:
         """Reset this registry in a freshly forked child process.
@@ -225,12 +382,16 @@ class MetricsRegistry:
         metric.  Worker subprocesses call this before doing anything
         else: the child is single-threaded at that point, so replacing
         the lock is safe, and the inherited numbers belong to the
-        parent's story, not the worker's.
+        parent's story, not the worker's.  *Every* store is replaced —
+        plain and labeled histogram state included, so a forked
+        worker's first ``/metrics`` view never double-reports the
+        parent's latency distribution.
         """
         self._lock = threading.Lock()
         self._counters = {}
         self._gauges = {}
         self._histograms = {}
+        self._labeled = {}
 
 
 #: The process-global registry (parent-process aggregation point).

@@ -1,0 +1,128 @@
+"""Prometheus text exposition of the metrics registry.
+
+``GET /metrics?format=prometheus`` renders the same registry the JSON
+view serves, in the text format (version 0.0.4) every Prometheus
+scraper speaks:
+
+* counters → ``repro_<name>_total``;
+* gauges → ``repro_<name>``;
+* plain histograms (summary-only :class:`HistogramData`) →
+  ``_count`` / ``_sum`` / ``_min`` / ``_max`` gauges;
+* labeled bucketed histograms → real Prometheus histograms with
+  cumulative ``_bucket{le=...}`` series per label set, plus ``_sum``
+  and ``_count``.
+
+Dotted metric names become underscore-separated (Prometheus forbids
+dots); label values are escaped per the exposition format rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+)
+
+#: Prepended to every exported metric name.
+NAMESPACE = "repro"
+
+
+def _name(metric: str, suffix: str = "") -> str:
+    cleaned = metric.replace(".", "_").replace("-", "_")
+    return f"{NAMESPACE}_{cleaned}{suffix}"
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels_text(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(str(value))}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _finite(value: float) -> float:
+    # The exposition format has +Inf/-Inf literals but empty-histogram
+    # sentinels (min=inf, max=-inf) would just confuse dashboards.
+    if value in (float("inf"), float("-inf")) or value != value:
+        return 0.0
+    return value
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry as Prometheus text exposition format."""
+    data = registry.snapshot()
+    lines: List[str] = []
+
+    for metric in sorted(data.counters):
+        name = _name(metric, "_total")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {data.counters[metric]:g}")
+
+    for metric in sorted(data.gauges):
+        name = _name(metric)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {data.gauges[metric]:g}")
+
+    for metric in sorted(data.histograms):
+        histogram = data.histograms[metric]
+        base = _name(metric)
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"{base}_count {histogram.count}")
+        lines.append(f"{base}_sum {_finite(histogram.total):g}")
+        lines.append(f"{base}_min {_finite(histogram.minimum):g}")
+        lines.append(f"{base}_max {_finite(histogram.maximum):g}")
+
+    for metric in sorted(data.labeled):
+        base = _name(metric)
+        lines.append(f"# TYPE {base} histogram")
+        for key in sorted(data.labeled[metric]):
+            bucketed = data.labeled[metric][key]
+            cumulative = 0
+            for bound, count in zip(
+                LATENCY_BUCKETS_MS, bucketed.buckets
+            ):
+                cumulative += count
+                le_pairs = tuple(key) + (("le", f"{bound:g}"),)
+                lines.append(
+                    f"{base}_bucket{_labels_text(le_pairs)} {cumulative}"
+                )
+            inf_pairs = tuple(key) + (("le", "+Inf"),)
+            lines.append(
+                f"{base}_bucket{_labels_text(inf_pairs)} {bucketed.count}"
+            )
+            lines.append(
+                f"{base}_sum{_labels_text(key)} {_finite(bucketed.total):g}"
+            )
+            lines.append(
+                f"{base}_count{_labels_text(key)} {bucketed.count}"
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+def render_slo_prometheus(slo_report: Dict) -> str:
+    """SLO scorecard gauges appended to the exposition output."""
+    lines: List[str] = []
+    for field in (
+        "requests", "unavailable", "throttled", "degraded",
+        "availability", "availability_target",
+        "p50_ms", "p50_target_ms", "p99_ms", "p99_target_ms",
+        "error_budget_burned",
+    ):
+        name = _name(f"slo.{field}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {float(slo_report[field]):g}")
+    for field in ("availability_met", "p50_met", "p99_met"):
+        name = _name(f"slo.{field}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {1 if slo_report[field] else 0}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,124 @@
+"""SLO accounting: availability and latency vs. configurable targets.
+
+One :class:`SLOTracker` per server instance.  Every finished request
+is recorded with its availability verdict and latency; the tracker
+answers with the three numbers an operator actually pages on:
+
+* **availability** — the fraction of requests that did not fail with
+  a server-side error.  Backpressure answers (429) and open-breaker
+  refusals (503 with Retry-After) count *against* availability only
+  when ``strict`` is set: by default they are the system protecting
+  itself, not failing — the same stance the loadgen takes when it
+  retries them.  Supervisor-degraded 200s count as available (the
+  client got a correct allocation) but are tallied separately so a
+  degraded-but-up service is visible.
+* **p50 / p99 latency** — estimated from the same bucketed histogram
+  the labeled metrics use, compared against target milliseconds.
+* **error budget** — how much of the allowed unavailability
+  (``1 - availability_target``) this window has already burned.
+
+The report lands on ``/metrics`` (JSON and Prometheus) and in the
+loadgen summary, so client-observed and server-observed SLO
+compliance can be compared side by side.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.obs.metrics import BucketedData
+
+
+@dataclass(frozen=True)
+class SLOTargets:
+    """The service-level objectives one tracker scores against."""
+
+    availability: float = 0.999
+    p50_ms: float = 50.0
+    p99_ms: float = 500.0
+    #: Count throttles/breaker refusals against availability.
+    strict: bool = False
+
+
+class SLOTracker:
+    """Thread-safe accumulation of one serving window's SLO inputs."""
+
+    def __init__(self, targets: SLOTargets = SLOTargets()) -> None:
+        self.targets = targets
+        self._lock = threading.Lock()
+        self._total = 0
+        self._unavailable = 0
+        self._throttled = 0
+        self._degraded = 0
+        self._latency = BucketedData()
+
+    def record(
+        self,
+        status: int,
+        latency_ms: float,
+        degraded: bool = False,
+        throttled: bool = False,
+    ) -> None:
+        """Account one finished request.
+
+        ``throttled`` marks self-protection answers (429, breaker
+        503s); ``degraded`` marks successful-but-fallback responses.
+        Only 5xx responses that are *not* throttles burn availability
+        unless the targets are strict.
+        """
+        with self._lock:
+            self._total += 1
+            if throttled:
+                self._throttled += 1
+                if self.targets.strict:
+                    self._unavailable += 1
+            elif status >= 500:
+                self._unavailable += 1
+            if degraded:
+                self._degraded += 1
+            # Latency only for answered requests; a refusal's sub-ms
+            # turnaround would flatter the percentiles it never served.
+            if not throttled:
+                self._latency = self._latency.observe(latency_ms)
+
+    def report(self) -> Dict[str, Any]:
+        """The JSON-ready SLO scorecard for this window."""
+        with self._lock:
+            total = self._total
+            unavailable = self._unavailable
+            throttled = self._throttled
+            degraded = self._degraded
+            latency = self._latency
+        availability = 1.0 if total == 0 else (total - unavailable) / total
+        p50 = latency.quantile(0.50)
+        p99 = latency.quantile(0.99)
+        budget = 1.0 - self.targets.availability
+        burned = (1.0 - availability) / budget if budget > 0 else 0.0
+        return {
+            "requests": total,
+            "unavailable": unavailable,
+            "throttled": throttled,
+            "degraded": degraded,
+            "availability": round(availability, 6),
+            "availability_target": self.targets.availability,
+            "availability_met": availability >= self.targets.availability,
+            "p50_ms": round(p50, 3),
+            "p50_target_ms": self.targets.p50_ms,
+            "p50_met": p50 <= self.targets.p50_ms,
+            "p99_ms": round(p99, 3),
+            "p99_target_ms": self.targets.p99_ms,
+            "p99_met": p99 <= self.targets.p99_ms,
+            "error_budget_burned": round(min(burned, 1.0), 6)
+            if total
+            else 0.0,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._total = 0
+            self._unavailable = 0
+            self._throttled = 0
+            self._degraded = 0
+            self._latency = BucketedData()

@@ -1,0 +1,303 @@
+"""Request-scoped telemetry: trace IDs and cross-process span trees.
+
+The serving stack spans several failure domains — the asyncio HTTP
+front end, the supervisor's dispatcher threads, forked worker
+subprocesses, and the engine pipeline inside them — and a slow or
+degraded answer is only explainable if every domain contributes its
+part of the story under one identity.  This module is that identity:
+
+* A **trace ID** is minted at HTTP ingress (or adopted from an
+  ``X-Repro-Trace-Id`` header) and travels with the request through
+  the admission queue, the supervisor pipe protocol and into the
+  worker, stamped onto the PR 3 :class:`~repro.obs.tracer.Tracer` so
+  decision events and engine phase spans carry it too.
+* A :class:`Span` is one timed region in one process.  Spans form a
+  tree via ``parent_id``; the vocabulary is small and stable:
+  ``ingress`` (the whole HTTP request, parent side) → ``queue-wait``
+  (bulkhead/admission queue) → ``dispatch`` (one attempt at a worker,
+  one span *per attempt* so retries stay visible) → ``worker-exec``
+  (one engine submit inside the worker subprocess) →
+  ``engine:<phase>`` (the pipeline phases of PR 3's tracer), plus
+  ``degrade-inline`` for the supervisor's last-resort fallback.
+* Worker-side spans cross the pipe as plain dicts inside the wire
+  body and are **merged parent-side**: :func:`reparent` hangs the
+  worker's root spans under the dispatch span that ran them, and
+  :func:`dedupe_spans` makes the merge idempotent when one job's
+  spans are echoed on several batch outcomes.
+
+Timestamps are wall-clock epoch seconds (``time.time()``), durations
+``perf_counter`` deltas — the same convention as
+:class:`~repro.obs.tracer.PhaseSpan`, so spans from every process on
+one machine land on one timeline and export through the same
+Chrome/Perfetto path (:func:`repro.obs.export.write_chrome_trace`).
+
+Untraced requests pay ~nothing: every hook in the serving stack is
+guarded by ``if trace_id is None`` exactly like the decision tracer's
+``wants_events`` guard, and no span object is ever constructed for
+them (see ``benchmarks/test_telemetry_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+#: Request/response header carrying the trace identity.
+TRACE_HEADER = "x-repro-trace-id"
+
+#: The stable span-name vocabulary, outermost first.  ``engine:*``
+#: expands to one span per pipeline phase per allocated function.
+SPAN_NAMES = (
+    "ingress",
+    "queue-wait",
+    "dispatch",
+    "worker-exec",
+    "engine-cache",
+    "degrade-inline",
+)
+
+
+def mint_trace_id() -> str:
+    """A fresh 64-bit hex trace identity."""
+    return os.urandom(8).hex()
+
+
+def mint_span_id() -> str:
+    """A fresh 32-bit hex span identity (unique within a trace)."""
+    return os.urandom(4).hex()
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed region of one request, in one process."""
+
+    trace_id: str
+    span_id: str
+    name: str
+    #: Wall-clock start, epoch seconds (cross-process alignment).
+    start: float
+    #: Duration in seconds (``perf_counter`` delta).
+    duration: float
+    pid: int
+    parent_id: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_ms": round(self.duration * 1000.0, 3),
+            "pid": self.pid,
+        }
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Span":
+        return cls(
+            trace_id=record["trace_id"],
+            span_id=record["span_id"],
+            name=record["name"],
+            start=record["start"],
+            duration=record.get("duration_ms", 0.0) / 1000.0,
+            pid=record.get("pid", 0),
+            parent_id=record.get("parent_id"),
+            attrs=dict(record.get("attrs", {})),
+        )
+
+
+class SpanClock:
+    """Start/finish bookkeeping for spans opened in this process.
+
+    One instance per request *per process*; not thread-safe (each
+    dispatcher thread and each worker owns its own).  ``begin``
+    returns a token; ``end`` turns it into an immutable :class:`Span`.
+    """
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+
+    def begin(
+        self, name: str, parent_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        return {
+            "name": name,
+            "parent_id": parent_id,
+            "span_id": mint_span_id(),
+            "wall": time.time(),
+            "perf": time.perf_counter(),
+        }
+
+    def end(self, token: Dict[str, Any], **attrs: Any) -> Span:
+        return Span(
+            trace_id=self.trace_id,
+            span_id=token["span_id"],
+            name=token["name"],
+            start=token["wall"],
+            duration=time.perf_counter() - token["perf"],
+            pid=os.getpid(),
+            parent_id=token["parent_id"],
+            attrs=attrs,
+        )
+
+    def point(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """A span from already-measured begin/duration numbers."""
+        return Span(
+            trace_id=self.trace_id,
+            span_id=mint_span_id(),
+            name=name,
+            start=start,
+            duration=duration,
+            pid=os.getpid(),
+            parent_id=parent_id,
+            attrs=attrs,
+        )
+
+
+def spans_from_phases(
+    trace_id: str, parent_id: Optional[str], phase_spans: Sequence
+) -> List[Span]:
+    """Engine ``engine:<phase>`` spans from PR 3 tracer phase spans.
+
+    Each :class:`~repro.obs.tracer.PhaseSpan` (wall start + duration,
+    emitted in the allocating process) becomes one child of the
+    worker-exec span that ran the engine, keeping function and
+    iteration as attributes.
+    """
+    spans = []
+    for phase in phase_spans:
+        spans.append(
+            Span(
+                trace_id=trace_id,
+                span_id=mint_span_id(),
+                name=f"engine:{phase.name}",
+                start=phase.start,
+                duration=phase.duration,
+                pid=phase.pid,
+                parent_id=parent_id,
+                attrs={
+                    "function": phase.function,
+                    "iteration": phase.iteration,
+                },
+            )
+        )
+    return spans
+
+
+def reparent(
+    spans: Iterable[Dict[str, Any]], parent_id: str
+) -> List[Dict[str, Any]]:
+    """Hang another process's root spans under ``parent_id``.
+
+    Worker-side spans arrive with their own internal structure
+    (worker-exec roots, engine phases below); the parent attaches the
+    roots to the dispatch span that ran that worker attempt, giving
+    one connected per-request tree.  Operates on span *dicts* (the
+    wire form) and returns new dicts; non-roots pass through.
+    """
+    merged = []
+    for record in spans:
+        if record.get("parent_id") is None:
+            record = {**record, "parent_id": parent_id}
+        merged.append(record)
+    return merged
+
+
+def dedupe_spans(spans: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Drop duplicate span dicts by span_id, keeping first occurrence.
+
+    Job-level spans (queue-wait, dispatch) are echoed on every outcome
+    of a batch job so no single body is privileged; merging the bodies
+    back into one tree must not double-count them.
+    """
+    seen = set()
+    unique = []
+    for record in spans:
+        span_id = record.get("span_id")
+        if span_id in seen:
+            continue
+        seen.add(span_id)
+        unique.append(record)
+    return unique
+
+
+def span_tree(spans: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Nest span dicts into ``{span..., "children": [...]}`` trees.
+
+    Returns the list of roots ordered by start time; orphans (a
+    parent_id that matches no span — e.g. a worker killed before its
+    parent span closed) are promoted to roots rather than dropped, so
+    a partial story still renders.
+    """
+    by_id = {record["span_id"]: {**record, "children": []} for record in spans}
+    roots = []
+    for record in spans:
+        node = by_id[record["span_id"]]
+        parent = by_id.get(record.get("parent_id"))
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    for node in by_id.values():
+        node["children"].sort(key=lambda child: child.get("start", 0.0))
+    roots.sort(key=lambda node: node.get("start", 0.0))
+    return roots
+
+
+def breakdown(spans: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    """The compact per-request latency decomposition (milliseconds).
+
+    ``queue_ms`` sums queue-wait spans, ``dispatch_ms`` the dispatch
+    attempts, ``service_ms`` worker-exec plus inline fallback work,
+    ``engine_ms`` the engine phases inside them; ``total_ms`` is the
+    ingress span when present.  This is what every JSON response
+    echoes and what the loadgen report aggregates.
+    """
+    sums: Dict[str, float] = {}
+    for record in spans:
+        name = record.get("name", "")
+        duration = float(record.get("duration_ms", 0.0))
+        if name == "ingress":
+            sums["total_ms"] = sums.get("total_ms", 0.0) + duration
+        elif name == "queue-wait":
+            sums["queue_ms"] = sums.get("queue_ms", 0.0) + duration
+        elif name == "dispatch":
+            sums["dispatch_ms"] = sums.get("dispatch_ms", 0.0) + duration
+        elif name in ("worker-exec", "degrade-inline", "engine-cache"):
+            sums["service_ms"] = sums.get("service_ms", 0.0) + duration
+        elif name.startswith("engine:"):
+            sums["engine_ms"] = sums.get("engine_ms", 0.0) + duration
+    return {key: round(value, 3) for key, value in sorted(sums.items())}
+
+
+def attempt_outcomes(spans: Sequence[Dict[str, Any]]) -> List[str]:
+    """The per-attempt outcomes, in attempt order (continuity checks).
+
+    Each dispatch span carries ``attrs.outcome`` (``ok``, ``crash``,
+    ``watchdog``, ``garbage``, ``send-failed``); a request that
+    survived a worker kill shows ``["crash", "ok"]`` here.
+    """
+    attempts = [
+        record
+        for record in spans
+        if record.get("name") == "dispatch"
+    ]
+    attempts.sort(key=lambda record: record.get("attrs", {}).get("attempt", 0))
+    return [
+        record.get("attrs", {}).get("outcome", "unknown")
+        for record in attempts
+    ]

@@ -100,6 +100,10 @@ class PhaseSpan:
     #: Duration in seconds (measured with ``perf_counter``).
     duration: float
     pid: int
+    #: Request trace identity when this span was produced serving a
+    #: telemetered request (see :mod:`repro.obs.telemetry`); None for
+    #: CLI/sweep tracing, which predates request scoping.
+    trace_id: Optional[str] = None
 
 
 class Tracer:
@@ -114,11 +118,20 @@ class Tracer:
     boundaries.
     """
 
-    def __init__(self, record_events: bool = True, record_spans: bool = True):
+    def __init__(
+        self,
+        record_events: bool = True,
+        record_spans: bool = True,
+        trace_id: Optional[str] = None,
+    ):
         self.events: List[DecisionEvent] = []
         self.spans: List[PhaseSpan] = []
         self.wants_events = record_events
         self.wants_spans = record_spans
+        #: Request trace identity stamped on every span (and carried
+        #: by the tracer for event-stream consumers); None outside the
+        #: serving stack.
+        self.trace_id = trace_id
         self._function = ""
         self._iteration = 0
         self._phase = ""
@@ -172,6 +185,7 @@ class Tracer:
                 start=start,
                 duration=duration,
                 pid=os.getpid(),
+                trace_id=self.trace_id,
             )
         )
 

@@ -8,8 +8,11 @@ with hard watchdogs, crash recovery, per-preset circuit breakers
 (:mod:`repro.serve.breaker`) and bulkhead queues, so no engine
 disaster ever takes the serving process down.
 :mod:`repro.serve.loadgen` is the bundled client, latency benchmark
-and chaos-survival harness.  Stdlib only (asyncio +
-multiprocessing), by design.
+and chaos-survival harness.  Every request carries an end-to-end
+trace ID (:mod:`repro.obs.telemetry`): responses echo a compact
+latency breakdown, ``/debug/requests`` resolves full cross-process
+span trees from the flight recorder, and ``/metrics`` scores the SLO.
+Stdlib only (asyncio + multiprocessing), by design.
 """
 
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker

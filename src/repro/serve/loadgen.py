@@ -82,6 +82,10 @@ class LoadgenConfig:
     #: Chaos-survival mode: retry 503s that carry Retry-After (open
     #: breakers, supervisor recovery) instead of failing on them.
     chaos: bool = False
+    #: Collect every final response's trace ID and, after the run,
+    #: resolve each against the server's flight recorder
+    #: (``GET /debug/requests/<id>``) — the CI telemetry gate.
+    check_traces: bool = False
 
 
 @dataclass
@@ -102,13 +106,24 @@ class LoadgenReport:
     latencies_ms: List[float] = field(default_factory=list)
     errors: Dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    #: Final responses that carried a trace ID.
+    traced: int = 0
+    #: Server-side queue-wait / service-time per answered request, from
+    #: the response telemetry breakdown — splits client-observed
+    #: latency into "waiting for a worker" vs "doing the work".
+    queue_wait_ms: List[float] = field(default_factory=list)
+    service_time_ms: List[float] = field(default_factory=list)
+    #: Trace IDs of responses the supervisor degraded (the chaos-serve
+    #: campaign resolves each against the flight recorder).
+    degraded_trace_ids: List[str] = field(default_factory=list)
+    #: ``check_traces`` mode: every final trace ID, and how many of
+    #: them the flight recorder resolved after the run.
+    trace_ids: List[str] = field(default_factory=list)
+    trace_checked: int = 0
+    trace_resolved: int = 0
 
     def percentile(self, q: float) -> float:
-        if not self.latencies_ms:
-            return 0.0
-        ordered = sorted(self.latencies_ms)
-        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
-        return ordered[index]
+        return _percentile(self.latencies_ms, q)
 
     def as_dict(self) -> dict:
         return stamp(
@@ -134,8 +149,30 @@ class LoadgenReport:
                 if self.latencies_ms
                 else 0.0,
                 "errors": dict(sorted(self.errors.items())),
+                "traced": self.traced,
+                "queue_wait_ms": {
+                    "p50": round(_percentile(self.queue_wait_ms, 0.50), 3),
+                    "p90": round(_percentile(self.queue_wait_ms, 0.90), 3),
+                    "p99": round(_percentile(self.queue_wait_ms, 0.99), 3),
+                },
+                "service_time_ms": {
+                    "p50": round(_percentile(self.service_time_ms, 0.50), 3),
+                    "p90": round(_percentile(self.service_time_ms, 0.90), 3),
+                    "p99": round(_percentile(self.service_time_ms, 0.99), 3),
+                },
+                "trace_checked": self.trace_checked,
+                "trace_resolved": self.trace_resolved,
+                "degraded_trace_ids": list(self.degraded_trace_ids),
             }
         )
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
 
 
 async def http_post_json(
@@ -286,6 +323,13 @@ async def _worker(
                 report.retry_sleep_seconds += sleep
                 await asyncio.sleep(sleep)
                 continue
+            trace_id = (
+                body.get("trace_id") if isinstance(body, dict) else None
+            )
+            if isinstance(trace_id, str) and trace_id:
+                report.traced += 1
+                if config.check_traces:
+                    report.trace_ids.append(trace_id)
             if status == 200 and body.get("status") == "ok":
                 report.ok += 1
                 report.latencies_ms.append(
@@ -293,11 +337,23 @@ async def _worker(
                 )
                 if body.get("cache") == "hit":
                     report.cache_hits += 1
+                telemetry = body.get("telemetry")
+                if isinstance(telemetry, dict):
+                    server_side = telemetry.get("breakdown", {})
+                    if isinstance(server_side, dict):
+                        report.queue_wait_ms.append(
+                            float(server_side.get("queue_ms", 0.0))
+                        )
+                        report.service_time_ms.append(
+                            float(server_side.get("service_ms", 0.0))
+                        )
                 supervisor_note = body.get("supervisor")
                 if isinstance(supervisor_note, dict) and supervisor_note.get(
                     "degraded"
                 ):
                     report.degraded += 1
+                    if isinstance(trace_id, str) and trace_id:
+                        report.degraded_trace_ids.append(trace_id)
             else:
                 report.failed += 1
                 key = f"http_{status}"
@@ -326,7 +382,34 @@ async def run_loadgen_async(config: LoadgenConfig) -> LoadgenReport:
     ]
     await asyncio.gather(*workers)
     report.elapsed_seconds = time.perf_counter() - started
+    if config.check_traces:
+        await _resolve_traces(config, report)
     return report
+
+
+async def _resolve_traces(
+    config: LoadgenConfig, report: LoadgenReport
+) -> None:
+    """Resolve every collected trace ID against the flight recorder.
+
+    Runs while the server is still up (before ``--spawn`` tears it
+    down); a resolved trace is one ``GET /debug/requests/<id>``
+    answers 200 for, meaning the full span tree survived into the
+    recorder.  The CI telemetry gate asserts checked == resolved.
+    """
+    for trace_id in report.trace_ids:
+        report.trace_checked += 1
+        try:
+            status, _ = await http_get_json(
+                config.host,
+                config.port,
+                f"/debug/requests/{trace_id}",
+                timeout=config.timeout,
+            )
+        except Exception:  # noqa: BLE001 - counted as unresolved
+            continue
+        if status == 200:
+            report.trace_resolved += 1
 
 
 def run_loadgen(

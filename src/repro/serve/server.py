@@ -36,12 +36,24 @@ Design points, each load-bearing:
   retries is answered by the supervisor's inline spill-everywhere
   fallback with full fault attribution — no request fails hard.
 
+* **Telemetry end to end.**  Every request is minted a trace ID at
+  ingress (or adopts one from ``X-Repro-Trace-Id``) that travels
+  through the admission queue, the supervisor pipe and into worker
+  subprocesses; the response echoes the ID plus a compact latency
+  breakdown, the flight recorder retains the full cross-process span
+  tree for the requests worth asking about later, and an SLO tracker
+  scores availability and latency against configured targets.
+
 Endpoints:
 
 * ``POST /allocate`` — one allocation request.
 * ``POST /batch`` — ``{"requests": [...]}``, answered as one body.
 * ``GET /healthz`` — liveness, queues, workers, breakers, caches.
-* ``GET /metrics`` — the process-global metrics registry.
+* ``GET /metrics`` — the process-global metrics registry plus the SLO
+  scorecard; ``?format=prometheus`` for text exposition.
+* ``GET /debug/requests`` — the flight recorder's index.
+* ``GET /debug/requests/<trace_id>`` — one request's full span tree;
+  ``?format=chrome`` for a Perfetto-loadable trace document.
 """
 
 from __future__ import annotations
@@ -49,8 +61,9 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.engine import (
@@ -61,7 +74,21 @@ from repro.engine import (
     RequestError,
 )
 from repro.machine.registers import RegisterConfig
+from repro.obs.export import request_chrome_trace
+from repro.obs.flight import FlightEntry, FlightRecorder
+from repro.obs.logs import open_access_log
 from repro.obs.metrics import METRICS
+from repro.obs.promtext import render_prometheus, render_slo_prometheus
+from repro.obs.slo import SLOTargets, SLOTracker
+from repro.obs.telemetry import (
+    TRACE_HEADER,
+    SpanClock,
+    breakdown as span_breakdown,
+    dedupe_spans,
+    mint_trace_id,
+    reparent,
+    spans_from_phases,
+)
 from repro.schema import stamp
 from repro.serve.supervisor import (
     BATCH,
@@ -149,6 +176,33 @@ class ServerConfig:
     #: follows ``cache_size``, 0 disables (the chaos campaign does, so
     #: every request genuinely reaches a worker).
     supervisor_cache_size: Optional[int] = None
+    #: Request telemetry: trace IDs on every response, span trees in
+    #: the flight recorder, SLO accounting.  Off restores the
+    #: pre-telemetry wire shape and skips all per-request span work.
+    telemetry: bool = True
+    #: Flight recorder retention bounds (entries per view).
+    flight_recent: int = 256
+    flight_slowest: int = 32
+    flight_degraded: int = 64
+    flight_faulted: int = 64
+    #: JSONL access-log path; None disables access logging.
+    access_log: Optional[str] = None
+    access_log_max_bytes: int = 5 * 1024 * 1024
+    access_log_backups: int = 2
+    #: SLO targets the tracker scores this server against.
+    slo_availability: float = 0.999
+    slo_p50_ms: float = 50.0
+    slo_p99_ms: float = 500.0
+    #: Count 429/breaker-503 self-protection against availability.
+    slo_strict: bool = False
+
+    def slo_targets(self) -> SLOTargets:
+        return SLOTargets(
+            availability=self.slo_availability,
+            p50_ms=self.slo_p50_ms,
+            p99_ms=self.slo_p99_ms,
+            strict=self.slo_strict,
+        )
 
     def supervisor_config(self) -> SupervisorConfig:
         """The supervisor tunables this server config implies."""
@@ -297,6 +351,19 @@ class AllocationServer:
         self._connections: Set[asyncio.Task] = set()
         self.served = 0
         self.throttled = 0
+        self.telemetry = self.config.telemetry
+        self.flight = FlightRecorder(
+            recent=self.config.flight_recent,
+            slowest=self.config.flight_slowest,
+            degraded=self.config.flight_degraded,
+            faulted=self.config.flight_faulted,
+        )
+        self.slo = SLOTracker(self.config.slo_targets())
+        self.access_log = open_access_log(
+            self.config.access_log,
+            max_bytes=self.config.access_log_max_bytes,
+            backups=self.config.access_log_backups,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -437,12 +504,28 @@ class AllocationServer:
             # Tracked so graceful shutdown can wait for the response
             # to flush instead of resetting the connection.
             self._connections.add(task)
+        trace_id = None
         try:
             parsed = await self._read_request(reader)
             if parsed is None:
                 return
-            method, target, body = parsed
-            status, payload, headers = await self._route(method, target, body)
+            method, target, body, req_headers = parsed
+            ingress = None
+            if self.telemetry:
+                trace_id = req_headers.get(TRACE_HEADER) or mint_trace_id()
+                clock = SpanClock(trace_id)
+                ingress = (clock, clock.begin("ingress"))
+            status, payload, headers = await self._route(
+                method, target, body, trace_id
+            )
+            if trace_id is not None:
+                if isinstance(payload, dict):
+                    payload = self._finalize_telemetry(
+                        trace_id, ingress, method, target, status, payload
+                    )
+                headers = tuple(headers) + (
+                    ("X-Repro-Trace-Id", trace_id),
+                )
             self._write_response(writer, status, payload, headers)
             await writer.drain()
         except (ConnectionResetError, asyncio.IncompleteReadError):
@@ -450,7 +533,11 @@ class AllocationServer:
         except Exception as error:  # noqa: BLE001 - last-ditch 500
             try:
                 status, payload = error_payload(error)
-                self._write_response(writer, status, payload, ())
+                headers: Sequence[Tuple[str, str]] = ()
+                if trace_id is not None:
+                    payload["trace_id"] = trace_id
+                    headers = (("X-Repro-Trace-Id", trace_id),)
+                self._write_response(writer, status, payload, headers)
                 await writer.drain()
             except Exception:  # noqa: BLE001 - connection already gone
                 pass
@@ -483,22 +570,23 @@ class AllocationServer:
         except ValueError:
             length = 0
         if length > self.config.max_body_bytes:
-            return method, target, _TOO_LARGE
+            return method, target, _TOO_LARGE, headers
         if length <= 0:
-            return method, target, b""
+            return method, target, b"", headers
         try:
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError:
             # The client promised more bytes than it sent; answer a
             # structured 400 rather than dropping the connection.
-            return method, target, _TRUNCATED
-        return method, target, body
+            return method, target, _TRUNCATED, headers
+        return method, target, body, headers
 
     async def _route(
-        self, method: str, target: str, body: bytes
-    ) -> Tuple[int, dict, Sequence[Tuple[str, str]]]:
+        self, method: str, target: str, body: bytes,
+        trace_id: Optional[str] = None,
+    ) -> Tuple[int, object, Sequence[Tuple[str, str]]]:
         METRICS.inc("serve.requests")
-        path = target.split("?", 1)[0]
+        path, _, query = target.partition("?")
         if body == _TOO_LARGE:
             METRICS.inc("serve.rejected_body")
             return (
@@ -529,10 +617,44 @@ class AllocationServer:
                 ),
                 (),
             )
+        wants_prometheus = "format=prometheus" in query.split("&")
+        wants_chrome = "format=chrome" in query.split("&")
         if path == "/healthz" and method == "GET":
             return 200, self._health_payload(), ()
         if path == "/metrics" and method == "GET":
-            return 200, stamp(METRICS.as_dict()), ()
+            if wants_prometheus:
+                text = render_prometheus(METRICS) + render_slo_prometheus(
+                    self.slo.report()
+                )
+                return 200, text, ()
+            return (
+                200,
+                stamp({**METRICS.as_dict(), "slo": self.slo.report()}),
+                (),
+            )
+        if path == "/debug/requests" and method == "GET":
+            return 200, stamp(self.flight.index()), ()
+        if path.startswith("/debug/requests/") and method == "GET":
+            wanted = path.rsplit("/", 1)[1]
+            entry = self.flight.lookup(wanted)
+            if entry is None:
+                return (
+                    404,
+                    stamp(
+                        {
+                            "status": "error",
+                            "error_type": "UnknownTrace",
+                            "error": (
+                                f"trace {wanted!r} not in the flight "
+                                "recorder (expired or never recorded)"
+                            ),
+                        }
+                    ),
+                    (),
+                )
+            if wants_chrome:
+                return 200, request_chrome_trace(wanted, entry.spans), ()
+            return 200, stamp(entry.full()), ()
         if path in ("/allocate", "/batch"):
             if method != "POST":
                 return (
@@ -540,11 +662,11 @@ class AllocationServer:
                     stamp({"status": "error", "error": "POST required"}),
                     (("Allow", "POST"),),
                 )
-            return await self._handle_allocate(path, body)
+            return await self._handle_allocate(path, body, trace_id)
         return 404, stamp({"status": "error", "error": f"no route {path}"}), ()
 
     async def _handle_allocate(
-        self, path: str, body: bytes
+        self, path: str, body: bytes, trace_id: Optional[str] = None
     ) -> Tuple[int, dict, Sequence[Tuple[str, str]]]:
         try:
             payload = json.loads(body.decode("utf-8") or "null")
@@ -581,6 +703,15 @@ class AllocationServer:
             status, body_out = error_payload(error)
             return status, body_out, ()
 
+        if trace_id is not None:
+            # The trace identity rides the request itself — frozen
+            # dataclasses pickle whole over the supervisor pipe, so
+            # this is the entire cross-process propagation mechanism.
+            requests = [
+                replace(request, trace_id=trace_id, telemetry=True)
+                for request in requests
+            ]
+
         if self.supervisor is not None:
             return await self._allocate_supervised(path, requests)
 
@@ -613,7 +744,30 @@ class AllocationServer:
                 METRICS.observe(
                     "serve.latency_ms", outcome.elapsed_seconds * 1000.0
                 )
-                bodies.append(result_payload(outcome))
+                body_out = result_payload(outcome)
+                if trace_id is not None:
+                    clock = SpanClock(trace_id)
+                    if outcome.cache_hit:
+                        spans = [
+                            clock.point(
+                                "engine-cache",
+                                start=time.time(),
+                                duration=outcome.elapsed_seconds,
+                                layer="engine",
+                            ).to_dict()
+                        ]
+                    else:
+                        spans = [
+                            span.to_dict()
+                            for span in spans_from_phases(
+                                trace_id, None, outcome.phase_spans
+                            )
+                        ]
+                    body_out["telemetry"] = {
+                        "trace_id": trace_id,
+                        "spans": spans,
+                    }
+                bodies.append(body_out)
             else:
                 METRICS.inc("serve.errors")
                 _, body_out = error_payload(outcome)
@@ -703,6 +857,122 @@ class AllocationServer:
             return 200, stamp({"status": "ok", "results": bodies}), ()
         return outcomes[0]["status_code"], bodies[0], ()
 
+    # ------------------------------------------------------------------
+    # telemetry assembly (runs once per connection, traced mode only)
+    # ------------------------------------------------------------------
+
+    def _finalize_telemetry(
+        self,
+        trace_id: str,
+        ingress,
+        method: str,
+        target: str,
+        status: int,
+        payload: dict,
+    ) -> dict:
+        """Close the ingress span, merge spans, record everything.
+
+        Collects the span dicts each response body carried up from the
+        supervisor/worker layers, dedupes the job-level spans echoed on
+        every batch outcome, hangs the roots under the ingress span,
+        and then: echoes the compact breakdown on the JSON payload,
+        files the full tree in the flight recorder, scores the SLO
+        tracker, feeds the labeled latency histogram and writes the
+        access-log line.  Only dict payloads arrive here and only when
+        telemetry is on — untraced serving never calls this.
+        """
+        clock, token = ingress
+        path = target.partition("?")[0]
+        # Only allocation responses carry span payloads up from the
+        # lower layers; other endpoints (healthz, debug) may have their
+        # own semantic "telemetry" keys that must pass through intact.
+        bodies: List[dict] = []
+        if path in ("/allocate", "/batch"):
+            bodies = [payload]
+            if isinstance(payload.get("results"), list):
+                bodies = [
+                    body
+                    for body in payload["results"]
+                    if isinstance(body, dict)
+                ]
+        collected: List[dict] = []
+        preset = None
+        cache = None
+        degraded = False
+        rung = "primary"
+        for body in bodies:
+            telemetry = body.pop("telemetry", None)
+            if isinstance(telemetry, dict):
+                collected.extend(telemetry.get("spans", []))
+            if preset is None and isinstance(body.get("preset"), str):
+                preset = body["preset"]
+            if cache is None and body.get("cache") in ("hit", "miss"):
+                cache = body["cache"]
+            note = body.get("supervisor")
+            if isinstance(note, dict) and note.get("degraded"):
+                degraded = True
+                rung = str(note.get("rung", "degraded"))
+        ingress_span = clock.end(
+            token, method=method, path=path, status=status
+        )
+        spans = [ingress_span.to_dict()] + reparent(
+            dedupe_spans(collected), ingress_span.span_id
+        )
+        latency_ms = ingress_span.duration * 1000.0
+        outcome = str(payload.get("status", "ok"))
+        # setdefault: debug payloads carry the *recorded* request's
+        # trace_id, which must win over this connection's own identity
+        # (the response header still carries the latter).
+        payload.setdefault("trace_id", trace_id)
+        if path in ("/allocate", "/batch"):
+            payload["telemetry"] = {
+                "breakdown": span_breakdown(spans),
+                "spans": len(spans),
+            }
+            throttled = status == 429 or (
+                status == 503 and outcome in ("throttled", "unavailable")
+            )
+            faulted = status >= 500 or outcome == "error"
+            self.flight.record(
+                FlightEntry(
+                    trace_id=trace_id,
+                    path=path,
+                    status=status,
+                    outcome=outcome,
+                    duration_ms=latency_ms,
+                    preset=preset,
+                    degraded=degraded,
+                    faulted=faulted,
+                    spans=spans,
+                )
+            )
+            self.slo.record(
+                status, latency_ms, degraded=degraded, throttled=throttled
+            )
+            METRICS.observe_labeled(
+                "serve.request_ms",
+                latency_ms,
+                {
+                    "preset": preset or "none",
+                    "outcome": outcome,
+                    "rung": rung,
+                    "cache": cache or "none",
+                },
+            )
+        if self.access_log is not None:
+            self.access_log.log(
+                {
+                    "trace_id": trace_id,
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "outcome": outcome,
+                    "duration_ms": round(latency_ms, 3),
+                    "degraded": degraded,
+                }
+            )
+        return payload
+
     def _health_payload(self) -> dict:
         if self.supervisor is not None:
             interactive = self.supervisor.bulkheads[INTERACTIVE]
@@ -724,17 +994,35 @@ class AllocationServer:
                     else None
                 ),
                 "engine": self.engine.stats(),
+                "telemetry": {
+                    "enabled": self.telemetry,
+                    "flight_recorded": self.flight.recorded,
+                    "access_log": (
+                        self.access_log.stats()
+                        if self.access_log is not None
+                        else None
+                    ),
+                },
             }
         )
 
     @staticmethod
     def _write_response(
-        writer, status: int, payload: dict, headers: Sequence[Tuple[str, str]]
+        writer,
+        status: int,
+        payload,
+        headers: Sequence[Tuple[str, str]],
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, str):
+            # Prometheus text exposition (the one non-JSON payload).
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         head_lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]

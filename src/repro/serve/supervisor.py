@@ -170,6 +170,14 @@ class _Job:
     hard_timeout: float
     presets: Tuple[str, ...]
     cache_key: Optional[tuple] = None
+    #: The shared trace identity of the job's requests (the server
+    #: stamps one trace ID per HTTP request, batches included); None
+    #: for untraced jobs, which then skip every telemetry branch.
+    trace_id: Optional[str] = None
+    #: Admission timestamps backing the queue-wait span (wall clock
+    #: for the span start, perf_counter for its duration).
+    enqueued_wall: float = 0.0
+    enqueued_perf: float = 0.0
 
 
 @dataclass
@@ -357,6 +365,7 @@ class Supervisor:
         cache_key = (
             self._cache_key(requests[0]) if len(requests) == 1 else None
         )
+        trace_id = requests[0].trace_id
         if cache_key is not None and self._cache is not None:
             cached = self._cache.get(cache_key)
             if cached is not None:
@@ -364,6 +373,17 @@ class Supervisor:
                     self.breakers._get(name).release_probe()
                 body = dict(cached)
                 body["cache"] = "hit"
+                if trace_id is not None:
+                    from repro.obs.telemetry import SpanClock
+
+                    clock = SpanClock(trace_id)
+                    span = clock.end(
+                        clock.begin("engine-cache"), layer="supervisor"
+                    )
+                    body["telemetry"] = {
+                        "trace_id": trace_id,
+                        "spans": [span.to_dict()],
+                    }
                 future: "Future[List[dict]]" = Future()
                 future.set_result([{"status_code": 200, "body": body}])
                 return future
@@ -374,6 +394,11 @@ class Supervisor:
             hard_timeout=self._hard_timeout(requests),
             presets=presets,
             cache_key=cache_key,
+            trace_id=trace_id,
+            enqueued_wall=time.time() if trace_id is not None else 0.0,
+            enqueued_perf=(
+                time.perf_counter() if trace_id is not None else 0.0
+            ),
         )
         try:
             self.bulkheads[bulkhead].queue.put_nowait(job)
@@ -436,6 +461,21 @@ class Supervisor:
     def _run_job(self, bulkhead: _Bulkhead, slot: _Slot, job: _Job) -> None:
         faults: List[dict] = []
         attempts = 0
+        clock = None
+        job_spans: List[dict] = []
+        success_span: Optional[str] = None
+        if job.trace_id is not None:
+            from repro.obs.telemetry import SpanClock
+
+            clock = SpanClock(job.trace_id)
+            job_spans.append(
+                clock.point(
+                    "queue-wait",
+                    start=job.enqueued_wall,
+                    duration=time.perf_counter() - job.enqueued_perf,
+                    bulkhead=bulkhead.name,
+                ).to_dict()
+            )
         while attempts <= self.config.retries:
             if self._stopping:
                 self._fail_job(job, SupervisorStopped())
@@ -449,9 +489,22 @@ class Supervisor:
                 break
             chaos = self._take_chaos()
             self._count("supervisor.dispatches")
+            # One dispatch span PER ATTEMPT, tagged with the attempt
+            # number and outcome — a request that survives a worker
+            # kill keeps the failed attempt visible in its span tree.
+            token = clock.begin("dispatch") if clock is not None else None
             try:
                 worker.conn.send(("job", job.id, job.requests, chaos))
             except (BrokenPipeError, OSError):
+                if clock is not None:
+                    job_spans.append(
+                        clock.end(
+                            token,
+                            outcome="send-failed",
+                            attempt=attempts,
+                            worker_pid=worker.pid,
+                        ).to_dict()
+                    )
                 faults.append(self._fault_record(worker, "crash", chaos))
                 self._worker_fatal(slot, job, "crash")
                 continue
@@ -461,19 +514,39 @@ class Supervisor:
             finally:
                 worker.busy = False
             if not ok:
+                if clock is not None:
+                    job_spans.append(
+                        clock.end(
+                            token,
+                            outcome=reason,
+                            attempt=attempts,
+                            worker_pid=worker.pid,
+                        ).to_dict()
+                    )
                 faults.append(self._fault_record(worker, reason, chaos))
                 self._worker_fatal(slot, job, reason)
                 if attempts <= self.config.retries:
                     self._count("supervisor.retries")
                 continue
+            if clock is not None:
+                span = clock.end(
+                    token,
+                    outcome="ok",
+                    attempt=attempts,
+                    worker_pid=worker.pid,
+                )
+                job_spans.append(span.to_dict())
+                success_span = span.span_id
             worker.jobs_done += 1
             slot.backoff = 0.0
             for preset in job.presets:
                 self.breakers.record_success(preset)
             self._maybe_recycle(slot, worker)
-            self._finish_job(job, outcomes, faults, attempts)
+            self._finish_job(
+                job, outcomes, faults, attempts, job_spans, success_span
+            )
             return
-        self._degrade_job(job, faults, attempts)
+        self._degrade_job(job, faults, attempts, clock, job_spans)
 
     def _await_reply(self, worker: _WorkerHandle, job: _Job):
         """Wait for the worker's reply under the hard watchdog."""
@@ -515,8 +588,37 @@ class Supervisor:
         return {"reason": reason, "worker_pid": worker.pid, "chaos": chaos}
 
     def _finish_job(
-        self, job: _Job, outcomes: List[dict], faults: List[dict], attempts: int
+        self,
+        job: _Job,
+        outcomes: List[dict],
+        faults: List[dict],
+        attempts: int,
+        job_spans: Optional[List[dict]] = None,
+        parent_span_id: Optional[str] = None,
     ) -> None:
+        if job.trace_id is not None:
+            from repro.obs.telemetry import reparent
+
+            # Merge worker-side spans parent-side: the worker's roots
+            # (its worker-exec spans) hang under the dispatch attempt
+            # that ran the job.  Job-level spans (queue-wait, every
+            # dispatch attempt) are echoed on every outcome so no
+            # single body of a batch is privileged; the HTTP layer
+            # dedupes them by span_id when it rebuilds the tree.
+            for outcome in outcomes:
+                body = outcome["body"]
+                telemetry = body.get("telemetry")
+                worker_spans = (
+                    list(telemetry.get("spans", []))
+                    if isinstance(telemetry, dict)
+                    else []
+                )
+                if parent_span_id is not None:
+                    worker_spans = reparent(worker_spans, parent_span_id)
+                body["telemetry"] = {
+                    "trace_id": job.trace_id,
+                    "spans": list(job_spans or []) + worker_spans,
+                }
         if faults:
             # The job survived worker deaths on the way: attribute them.
             for outcome in outcomes:
@@ -531,12 +633,25 @@ class Supervisor:
             and len(outcomes) == 1
             and outcomes[0]["status_code"] == 200
         ):
-            self._cache.put(job.cache_key, dict(outcomes[0]["body"]))
+            # Telemetry is per-request state; caching it would replay
+            # one request's spans into another's tree.  Hits get a
+            # fresh engine-cache span at admission instead.
+            cached_body = {
+                key: value
+                for key, value in outcomes[0]["body"].items()
+                if key != "telemetry"
+            }
+            self._cache.put(job.cache_key, cached_body)
         if not job.future.done():
             job.future.set_result(outcomes)
 
     def _degrade_job(
-        self, job: _Job, faults: List[dict], attempts: int
+        self,
+        job: _Job,
+        faults: List[dict],
+        attempts: int,
+        clock=None,
+        job_spans: Optional[List[dict]] = None,
     ) -> None:
         """Retries exhausted: answer from the inline last resort.
 
@@ -555,12 +670,19 @@ class Supervisor:
         }
         outcomes = []
         for request in job.requests:
+            # ``replace`` keeps trace_id/telemetry, so the degraded
+            # answer stays traceable under the SAME trace ID: the
+            # fallback engine's phase spans hang under a
+            # degrade-inline span next to the failed dispatch attempts.
             fallback = replace(
                 request,
                 preset="spillall",
                 resilient=True,
                 trace=False,
                 deadline_seconds=None,
+            )
+            token = (
+                clock.begin("degrade-inline") if clock is not None else None
             )
             try:
                 result = self._fallback_engine.submit(fallback)
@@ -569,6 +691,25 @@ class Supervisor:
                     **record,
                     "requested_preset": request.preset,
                 }
+                if clock is not None:
+                    from repro.obs.telemetry import spans_from_phases
+
+                    span = clock.end(
+                        token,
+                        rung="spillall-inline",
+                        requested_preset=request.preset,
+                    )
+                    spans = list(job_spans or []) + [span.to_dict()]
+                    spans.extend(
+                        child.to_dict()
+                        for child in spans_from_phases(
+                            job.trace_id, span.span_id, result.phase_spans
+                        )
+                    )
+                    body["telemetry"] = {
+                        "trace_id": job.trace_id,
+                        "spans": spans,
+                    }
                 outcomes.append({"status_code": 200, "body": body})
             except Exception as error:  # noqa: BLE001 - last-ditch
                 status, body = error_wire(error)
@@ -576,6 +717,16 @@ class Supervisor:
                     **record,
                     "requested_preset": request.preset,
                 }
+                if clock is not None:
+                    span = clock.end(
+                        token,
+                        rung="spillall-inline",
+                        error=type(error).__name__,
+                    )
+                    body["telemetry"] = {
+                        "trace_id": job.trace_id,
+                        "spans": list(job_spans or []) + [span.to_dict()],
+                    }
                 outcomes.append({"status_code": status, "body": stamp(body)})
         with self._stats_lock:
             self.degraded_log.append(

@@ -55,15 +55,62 @@ HANG_SECONDS = 3600.0
 def run_requests(
     engine: AllocationEngine, requests: Sequence[AllocationRequest]
 ) -> list:
-    """Run a job's requests in order; failures stay in-slot."""
+    """Run a job's requests in order; failures stay in-slot.
+
+    Telemetered requests (``request.trace_id`` set) get a
+    ``worker-exec`` span around their engine submit, with the engine's
+    phase spans hung below it; the span dicts travel back inside the
+    wire body (``body["telemetry"]["spans"]``) with parent_id ``None``
+    on the root, and the supervisor reparents them under the dispatch
+    attempt that ran this job.  Untraced requests skip every telemetry
+    branch — the guard is ``trace_id is None``, nothing else.
+    """
     outcomes = []
     for request in requests:
+        clock = None
+        token = None
+        if request.trace_id is not None:
+            from repro.obs.telemetry import SpanClock
+
+            clock = SpanClock(request.trace_id)
+            token = clock.begin("worker-exec")
         try:
             result = engine.submit(request)
-            outcomes.append({"status_code": 200, "body": stamp(result.to_wire())})
+            body = stamp(result.to_wire())
+            if clock is not None:
+                from repro.obs.telemetry import spans_from_phases
+
+                exec_span = clock.end(
+                    token,
+                    cache=("hit" if result.cache_hit else "miss"),
+                    preset=result.preset,
+                )
+                spans = [exec_span.to_dict()]
+                spans.extend(
+                    span.to_dict()
+                    for span in spans_from_phases(
+                        request.trace_id,
+                        exec_span.span_id,
+                        result.phase_spans,
+                    )
+                )
+                body["telemetry"] = {
+                    "trace_id": request.trace_id,
+                    "spans": spans,
+                }
+            outcomes.append({"status_code": 200, "body": body})
         except Exception as error:  # noqa: BLE001 - travels in-slot
             status, body = error_wire(error)
-            outcomes.append({"status_code": status, "body": stamp(body)})
+            body = stamp(body)
+            if clock is not None:
+                exec_span = clock.end(
+                    token, error=type(error).__name__
+                )
+                body["telemetry"] = {
+                    "trace_id": request.trace_id,
+                    "spans": [exec_span.to_dict()],
+                }
+            outcomes.append({"status_code": status, "body": body})
     return outcomes
 
 

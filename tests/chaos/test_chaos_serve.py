@@ -83,6 +83,13 @@ class TestServeCampaign:
         assert report.loadgen["ok"] == 30
         assert report.leaked_pids == []
         assert report.degraded_attributed
+        # Every degraded answer must resolve in the flight recorder:
+        # a fallback response nobody can explain fails the campaign.
+        assert report.degraded_untraceable == []
+        assert report.degraded_traced == len(
+            report.loadgen["degraded_trace_ids"]
+        )
+        assert report.degraded_traceable
         assert report.all_clean
         # The supervisor story is structured and stamped.
         assert report.supervisor["schema_version"] == 1
@@ -127,6 +134,18 @@ class TestServeCampaign:
             leaked_pids=[12345],
         )
         assert not report.all_clean
+
+    def test_verdict_fails_on_untraceable_degradation(self):
+        report = ServeCampaignReport(
+            seed=0,
+            plan={"faults": []},
+            loadgen={"failed": 0, "ok": 10},
+            supervisor={"chaos": {"fired": []}, "degraded": []},
+            degraded_untraceable=["deadbeefdeadbeef"],
+        )
+        assert not report.degraded_traceable
+        assert not report.all_clean
+        assert report.as_dict()["degraded_traceable"] is False
 
     def test_verdict_fails_on_unattributed_degradation(self):
         report = ServeCampaignReport(

@@ -71,10 +71,41 @@ class TestRegistry:
         reg.inc("c")
         reg.set_gauge("g", 1)
         reg.observe("h", 1)
+        reg.observe_labeled("l", 1.0, {"k": "v"})
         reg.clear()
         assert reg.as_dict() == {
-            "counters": {}, "gauges": {}, "histograms": {}
+            "counters": {}, "gauges": {}, "histograms": {}, "labeled": {}
         }
+
+    def test_labeled_histograms_keep_one_series_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.observe_labeled("serve.request_ms", 4.0, {"a": "1", "b": "2"})
+        # Same labels, different dict order: must land in the same series.
+        reg.observe_labeled("serve.request_ms", 8.0, {"b": "2", "a": "1"})
+        reg.observe_labeled("serve.request_ms", 4.0, {"a": "1", "b": "3"})
+        series = reg.labeled("serve.request_ms")
+        assert len(series) == 2
+        key = (("a", "1"), ("b", "2"))
+        assert series[key].count == 2
+        assert reg.labeled_names() == ("serve.request_ms",)
+        rendered = reg.as_dict()["labeled"]["serve.request_ms"]
+        assert 'a="1",b="2"' in "".join(rendered)
+
+    def test_rearm_after_fork_resets_labeled_state_too(self):
+        """The fork-safety reset must cover every store — a worker that
+        inherited the parent's labeled latency histograms would
+        double-report the parent's distribution on its first snapshot."""
+        reg = MetricsRegistry()
+        reg.inc("c", 5)
+        reg.observe("h", 1.0)
+        reg.observe_labeled("serve.request_ms", 4.0, {"preset": "base"})
+        old_lock = reg._lock
+        reg.rearm_after_fork()
+        assert reg._lock is not old_lock  # fresh, never-held lock
+        assert reg.counter("c") == 0.0
+        assert reg.histogram("h").count == 0
+        assert reg.labeled("serve.request_ms") == {}
+        assert reg.labeled_names() == ()
 
 
 class TestSnapshotMerge:

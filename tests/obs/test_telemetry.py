@@ -1,0 +1,464 @@
+"""Request telemetry primitives: spans, flight recorder, SLO, logs.
+
+Unit-level coverage of :mod:`repro.obs.telemetry` and friends — the
+serving-stack integration (real HTTP, real forked workers) lives in
+``tests/serve/test_telemetry.py``.
+"""
+
+import json
+import os
+import time
+
+from repro.obs import (
+    FlightEntry,
+    FlightRecorder,
+    JsonlLogger,
+    LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    SLOTargets,
+    SLOTracker,
+    Span,
+    SpanClock,
+    attempt_outcomes,
+    breakdown,
+    dedupe_spans,
+    mint_span_id,
+    mint_trace_id,
+    open_access_log,
+    render_prometheus,
+    render_slo_prometheus,
+    reparent,
+    request_chrome_trace,
+    request_trace_events,
+    span_tree,
+    spans_from_phases,
+    trace_epoch_base,
+)
+from repro.obs.metrics import BucketedData
+from repro.obs.tracer import PhaseSpan
+
+
+class TestIdentity:
+    def test_trace_ids_are_64_bit_hex_and_distinct(self):
+        ids = {mint_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for tid in ids:
+            assert len(tid) == 16
+            int(tid, 16)
+
+    def test_span_ids_are_32_bit_hex(self):
+        sid = mint_span_id()
+        assert len(sid) == 8
+        int(sid, 16)
+
+
+class TestSpanClock:
+    def test_begin_end_produces_child_span(self):
+        clock = SpanClock("t" * 16)
+        token = clock.begin("dispatch", parent_id="abcd1234")
+        span = clock.end(token, outcome="ok", attempt=1)
+        assert span.trace_id == "t" * 16
+        assert span.name == "dispatch"
+        assert span.parent_id == "abcd1234"
+        assert span.pid == os.getpid()
+        assert span.duration >= 0
+        assert span.attrs == {"outcome": "ok", "attempt": 1}
+
+    def test_point_span_keeps_given_times(self):
+        clock = SpanClock("t" * 16)
+        span = clock.point("queue-wait", start=123.5, duration=0.25,
+                           bulkhead="interactive")
+        assert span.start == 123.5
+        assert span.duration == 0.25
+        assert span.attrs["bulkhead"] == "interactive"
+
+    def test_to_dict_from_dict_round_trip(self):
+        clock = SpanClock(mint_trace_id())
+        span = clock.end(clock.begin("worker-exec"), preset="improved")
+        record = span.to_dict()
+        assert record["duration_ms"] == round(span.duration * 1000.0, 3)
+        back = Span.from_dict(record)
+        assert back.trace_id == span.trace_id
+        assert back.span_id == span.span_id
+        assert back.name == span.name
+        assert back.pid == span.pid
+        assert back.attrs == span.attrs
+
+
+class TestEnginePhaseSpans:
+    def test_phase_spans_become_engine_children(self):
+        phases = [
+            PhaseSpan(name="build", function="main", iteration=1,
+                      start=10.0, duration=0.001, pid=42),
+            PhaseSpan(name="assign", function="main", iteration=1,
+                      start=10.1, duration=0.002, pid=42),
+        ]
+        spans = spans_from_phases("f" * 16, "parent01", phases)
+        assert [s.name for s in spans] == ["engine:build", "engine:assign"]
+        for span in spans:
+            assert span.parent_id == "parent01"
+            assert span.pid == 42
+            assert span.attrs["function"] == "main"
+
+
+class TestTreeMerging:
+    def _dict(self, name, span_id, parent_id=None, start=0.0,
+              duration_ms=1.0, **attrs):
+        record = {
+            "trace_id": "t" * 16,
+            "span_id": span_id,
+            "name": name,
+            "start": start,
+            "duration_ms": duration_ms,
+            "pid": 1,
+        }
+        if parent_id is not None:
+            record["parent_id"] = parent_id
+        if attrs:
+            record["attrs"] = attrs
+        return record
+
+    def test_reparent_attaches_only_roots(self):
+        worker = [
+            self._dict("worker-exec", "w1"),
+            self._dict("engine:build", "w2", parent_id="w1"),
+        ]
+        merged = reparent(worker, "dispatch1")
+        assert merged[0]["parent_id"] == "dispatch1"
+        assert merged[1]["parent_id"] == "w1"
+
+    def test_dedupe_drops_echoed_job_spans(self):
+        job = self._dict("queue-wait", "q1")
+        spans = [job, self._dict("worker-exec", "w1"), dict(job)]
+        unique = dedupe_spans(spans)
+        assert [s["span_id"] for s in unique] == ["q1", "w1"]
+
+    def test_span_tree_nests_and_sorts_by_start(self):
+        spans = [
+            self._dict("ingress", "root", start=1.0),
+            self._dict("dispatch", "d2", parent_id="root", start=3.0),
+            self._dict("queue-wait", "q1", parent_id="root", start=2.0),
+        ]
+        roots = span_tree(spans)
+        assert len(roots) == 1
+        names = [child["name"] for child in roots[0]["children"]]
+        assert names == ["queue-wait", "dispatch"]
+
+    def test_span_tree_promotes_orphans(self):
+        spans = [self._dict("worker-exec", "w1", parent_id="gone")]
+        roots = span_tree(spans)
+        assert len(roots) == 1
+        assert roots[0]["name"] == "worker-exec"
+
+    def test_breakdown_buckets_by_vocabulary(self):
+        spans = [
+            self._dict("ingress", "a", duration_ms=10.0),
+            self._dict("queue-wait", "b", duration_ms=2.0),
+            self._dict("dispatch", "c", duration_ms=6.0),
+            self._dict("worker-exec", "d", duration_ms=5.0),
+            self._dict("engine:build", "e", duration_ms=1.5),
+            self._dict("engine:assign", "f", duration_ms=0.5),
+        ]
+        decomposed = breakdown(spans)
+        assert decomposed == {
+            "dispatch_ms": 6.0,
+            "engine_ms": 2.0,
+            "queue_ms": 2.0,
+            "service_ms": 5.0,
+            "total_ms": 10.0,
+        }
+
+    def test_attempt_outcomes_orders_by_attempt(self):
+        spans = [
+            self._dict("dispatch", "d2", outcome="ok", attempt=2),
+            self._dict("dispatch", "d1", outcome="crash", attempt=1),
+            self._dict("worker-exec", "w1"),
+        ]
+        assert attempt_outcomes(spans) == ["crash", "ok"]
+
+
+def _entry(trace_id, duration_ms=5.0, degraded=False, faulted=False,
+           status=200):
+    return FlightEntry(
+        trace_id=trace_id,
+        path="/allocate",
+        status=status,
+        outcome="ok" if status == 200 else "error",
+        duration_ms=duration_ms,
+        preset="improved",
+        degraded=degraded,
+        faulted=faulted,
+        spans=[{
+            "trace_id": trace_id, "span_id": "s1", "name": "ingress",
+            "start": 1.0, "duration_ms": duration_ms, "pid": 1,
+        }],
+    )
+
+
+class TestFlightRecorder:
+    def test_lookup_resolves_recent_entries(self):
+        recorder = FlightRecorder(recent=4)
+        recorder.record(_entry("a" * 16))
+        entry = recorder.lookup("a" * 16)
+        assert entry is not None
+        full = entry.full()
+        assert full["breakdown"]["total_ms"] > 0
+        assert full["tree"][0]["name"] == "ingress"
+
+    def test_slowest_ring_evicts_fastest(self):
+        recorder = FlightRecorder(recent=2, slowest=2)
+        recorder.record(_entry("fast000000000000", duration_ms=1.0))
+        recorder.record(_entry("slow000000000000", duration_ms=100.0))
+        recorder.record(_entry("mid0000000000000", duration_ms=50.0))
+        index = recorder.index()
+        slowest = [row["trace_id"] for row in index["slowest"]]
+        assert slowest == ["slow000000000000", "mid0000000000000"]
+
+    def test_slow_entry_survives_recent_wraparound(self):
+        recorder = FlightRecorder(recent=2, slowest=4)
+        recorder.record(_entry("slow000000000000", duration_ms=100.0))
+        for index in range(8):
+            recorder.record(_entry(f"f{index:015d}", duration_ms=1.0))
+        assert recorder.lookup("slow000000000000") is not None
+
+    def test_degraded_and_faulted_views(self):
+        recorder = FlightRecorder()
+        recorder.record(_entry("d" * 16, degraded=True))
+        recorder.record(_entry("f" * 16, faulted=True, status=500))
+        index = recorder.index()
+        assert index["degraded"][0]["trace_id"] == "d" * 16
+        assert index["faulted"][0]["trace_id"] == "f" * 16
+        assert index["recorded"] == 2
+
+    def test_clear_empties_every_view(self):
+        recorder = FlightRecorder()
+        recorder.record(_entry("a" * 16))
+        recorder.clear()
+        assert recorder.lookup("a" * 16) is None
+        assert recorder.index()["recorded"] == 0
+
+
+class TestSLOTracker:
+    def test_throttles_do_not_burn_availability_by_default(self):
+        tracker = SLOTracker(SLOTargets(availability=0.9))
+        for _ in range(8):
+            tracker.record(200, 5.0)
+        tracker.record(429, 0.1, throttled=True)
+        tracker.record(503, 0.1, throttled=True)
+        report = tracker.report()
+        assert report["requests"] == 10
+        assert report["throttled"] == 2
+        assert report["availability"] == 1.0
+        assert report["availability_met"]
+        assert report["error_budget_burned"] == 0.0
+
+    def test_strict_mode_counts_throttles(self):
+        tracker = SLOTracker(SLOTargets(availability=0.9, strict=True))
+        tracker.record(200, 5.0)
+        tracker.record(429, 0.1, throttled=True)
+        report = tracker.report()
+        assert report["availability"] == 0.5
+        assert not report["availability_met"]
+
+    def test_5xx_burns_error_budget(self):
+        tracker = SLOTracker(SLOTargets(availability=0.999))
+        for _ in range(9):
+            tracker.record(200, 5.0)
+        tracker.record(500, 5.0)
+        report = tracker.report()
+        assert report["unavailable"] == 1
+        assert report["availability"] == 0.9
+        assert report["error_budget_burned"] == 1.0  # capped
+
+    def test_throttled_latency_excluded_from_percentiles(self):
+        tracker = SLOTracker()
+        tracker.record(200, 40.0)
+        tracker.record(429, 0.01, throttled=True)
+        report = tracker.report()
+        assert report["p50_ms"] > 1.0  # the 0.01ms refusal is ignored
+
+    def test_degraded_tallied_but_available(self):
+        tracker = SLOTracker()
+        tracker.record(200, 5.0, degraded=True)
+        report = tracker.report()
+        assert report["degraded"] == 1
+        assert report["availability"] == 1.0
+
+    def test_clear_resets_window(self):
+        tracker = SLOTracker()
+        tracker.record(500, 5.0)
+        tracker.clear()
+        assert tracker.report()["requests"] == 0
+
+
+class TestJsonlLogger:
+    def test_appends_stamped_records(self, tmp_path):
+        logger = JsonlLogger(tmp_path / "access.jsonl")
+        logger.log({"path": "/allocate", "status": 200})
+        logger.log({"path": "/metrics", "status": 200})
+        lines = (tmp_path / "access.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["path"] == "/allocate"
+        assert record["pid"] == os.getpid()
+        assert record["ts"] <= time.time()
+
+    def test_rotation_bounds_disk_use(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        logger = JsonlLogger(path, max_bytes=200, backups=2)
+        for index in range(40):
+            logger.log({"n": index, "pad": "x" * 40})
+        assert logger.rotations > 0
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["access.jsonl", "access.jsonl.1", "access.jsonl.2"]
+        for p in tmp_path.iterdir():
+            assert p.stat().st_size <= 200 + 120  # one record of slack
+
+    def test_open_access_log_none_when_disabled(self, tmp_path):
+        assert open_access_log(None) is None
+        assert open_access_log("") is None
+        logger = open_access_log(str(tmp_path / "a.jsonl"), max_bytes=100)
+        assert logger is not None and logger.max_bytes == 100
+
+
+class TestBucketedData:
+    def test_observe_and_quantile(self):
+        data = BucketedData()
+        for value in (1.5, 3.0, 7.0, 40.0, 900.0):
+            data = data.observe(value)
+        assert data.count == 5
+        assert data.quantile(0.0) <= data.quantile(0.5) <= data.quantile(1.0)
+        assert data.quantile(1.0) <= data.maximum
+
+    def test_merge_adds_bucket_counts(self):
+        a = BucketedData().observe(1.0).observe(100.0)
+        b = BucketedData().observe(1.0)
+        merged = a.merge(b)
+        assert merged.count == 3
+        assert sum(merged.buckets) == 3
+        assert merged.maximum == 100.0
+
+    def test_overflow_bucket_catches_huge_values(self):
+        data = BucketedData().observe(LATENCY_BUCKETS_MS[-1] * 10)
+        assert data.buckets[-1] == 1
+
+
+class TestPrometheusRendering:
+    def test_counters_gauges_and_labeled_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.requests", 3)
+        registry.set_gauge("serve.queue_depth", 2)
+        registry.observe("regalloc.iterations", 2.0)
+        registry.observe_labeled(
+            "serve.request_ms", 4.0,
+            {"preset": "improved", "outcome": "ok"},
+        )
+        registry.observe_labeled(
+            "serve.request_ms", 80.0,
+            {"preset": "improved", "outcome": "ok"},
+        )
+        text = render_prometheus(registry)
+        assert text.endswith("\n")
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 3" in text
+        assert "repro_serve_queue_depth 2" in text
+        assert "repro_regalloc_iterations_count 1" in text
+        assert "# TYPE repro_serve_request_ms histogram" in text
+        assert (
+            'repro_serve_request_ms_bucket{outcome="ok",preset="improved",'
+            'le="5"} 1' in text
+        )
+        assert (
+            'repro_serve_request_ms_bucket{outcome="ok",preset="improved",'
+            'le="+Inf"} 2' in text
+        )
+        assert (
+            'repro_serve_request_ms_count{outcome="ok",preset="improved"} 2'
+            in text
+        )
+
+    def test_bucket_series_is_cumulative(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 4.0, 40.0):
+            registry.observe_labeled("serve.request_ms", value, {"k": "v"})
+        counts = []
+        for line in render_prometheus(registry).splitlines():
+            if line.startswith("repro_serve_request_ms_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_slo_rendering(self):
+        tracker = SLOTracker()
+        tracker.record(200, 5.0)
+        text = render_slo_prometheus(tracker.report())
+        assert "repro_slo_availability 1" in text
+        assert "repro_slo_availability_met 1" in text
+        assert "repro_slo_requests 1" in text
+
+
+class TestChromeExport:
+    def _spans(self):
+        base = 1.7e9
+        return [
+            {"trace_id": "t" * 16, "span_id": "a", "name": "ingress",
+             "start": base, "duration_ms": 10.0, "pid": 100},
+            {"trace_id": "t" * 16, "span_id": "b", "name": "worker-exec",
+             "start": base + 0.002, "duration_ms": 5.0, "pid": 200,
+             "parent_id": "a", "attrs": {"preset": "improved"}},
+        ]
+
+    def test_timestamps_rebased_to_earliest_span(self):
+        events = request_trace_events(self._spans())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete[0]["ts"] == 0.0
+        assert abs(complete[1]["ts"] - 2000.0) < 1.0  # 2ms later, in µs
+
+    def test_durations_come_from_duration_ms(self):
+        complete = [
+            e for e in request_trace_events(self._spans()) if e["ph"] == "X"
+        ]
+        assert complete[0]["dur"] == 10000.0  # 10ms in µs
+        assert complete[1]["dur"] == 5000.0
+
+    def test_each_pid_gets_a_process_track(self):
+        events = request_trace_events(self._spans())
+        names = [
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        ]
+        assert names == ["pid 100", "pid 200"]
+
+    def test_full_document_carries_trace_id(self):
+        document = request_chrome_trace("t" * 16, self._spans())
+        assert document["otherData"]["trace_id"] == "t" * 16
+        assert document["displayTimeUnit"] == "ms"
+        assert document["traceEvents"]
+
+    def test_span_args_carry_identity_and_attrs(self):
+        complete = [
+            e for e in request_trace_events(self._spans()) if e["ph"] == "X"
+        ]
+        assert complete[1]["args"]["span_id"] == "b"
+        assert complete[1]["args"]["parent_id"] == "a"
+        assert complete[1]["args"]["preset"] == "improved"
+
+    def test_phase_span_export_is_rebased_too(self):
+        spans = [
+            PhaseSpan(name="build", function="main", iteration=1,
+                      start=1.7e9, duration=0.001, pid=1),
+            PhaseSpan(name="assign", function="main", iteration=1,
+                      start=1.7e9 + 0.5, duration=0.001, pid=2),
+        ]
+        assert trace_epoch_base(spans) == 1.7e9
+        from repro.obs import chrome_trace_events
+
+        complete = [
+            e for e in chrome_trace_events(spans) if e["ph"] == "X"
+        ]
+        assert complete[0]["ts"] == 0.0
+        assert abs(complete[1]["ts"] - 5e5) < 1.0
+        # Opting out keeps absolute epoch timestamps.
+        absolute = [
+            e for e in chrome_trace_events(spans, base=0.0) if e["ph"] == "X"
+        ]
+        assert absolute[0]["ts"] == 1.7e9 * 1e6

@@ -1,0 +1,403 @@
+"""End-to-end request telemetry through the real serving stack.
+
+Every test boots a real :class:`ServerThread` (most in the default
+supervised mode, so spans genuinely cross the fork into worker
+subprocesses) and asserts the tentpole property: *every* response
+carries a trace ID whose full span tree is reconstructable from the
+flight recorder — including throttles, rejections and answers that
+survived a worker kill.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.chaos import ServiceFault, ServiceFaultPlan
+from repro.obs import TRACE_HEADER, attempt_outcomes, mint_trace_id
+from repro.serve import (
+    ServerConfig,
+    ServerThread,
+    http_get_json,
+    http_post_json,
+)
+
+SOURCE = (
+    "int out[2];\n"
+    "int twice(int x) { return x * 2; }\n"
+    "void main() {\n"
+    "    int total = 0;\n"
+    "    for (int i = 0; i < 10; i = i + 1) { total = total + twice(i); }\n"
+    "    out[0] = total;\n"
+    "}\n"
+)
+
+
+def post(host, port, path, payload, timeout=60.0):
+    return asyncio.run(http_post_json(host, port, path, payload, timeout))
+
+
+def get(host, port, path, timeout=60.0):
+    return asyncio.run(http_get_json(host, port, path, timeout))
+
+
+def raw_request(host, port, lines, body=b""):
+    """One hand-rolled HTTP exchange; returns (status, headers, raw body)."""
+
+    async def go():
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write("\r\n".join(lines).encode("latin-1") + b"\r\n\r\n" + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await reader.readexactly(length) if length else b""
+        writer.close()
+        return status, headers, raw
+
+    return asyncio.run(go())
+
+
+def names_in(tree):
+    """Every span name in a nested span tree, depth-first."""
+    found = []
+    stack = list(tree)
+    while stack:
+        node = stack.pop()
+        found.append(node["name"])
+        stack.extend(node.get("children", []))
+    return found
+
+
+def variant(index):
+    return SOURCE.replace("x * 2", f"x * 2 + {index}")
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServerConfig(port=0, supervisor_cache_size=0)
+    with ServerThread(config) as address:
+        yield address
+
+
+class TestEveryResponseIsTraced:
+    def test_ok_response_carries_trace_id_and_breakdown(self, server):
+        host, port = server
+        status, headers, body = post(
+            host, port, "/allocate", {"source": SOURCE}
+        )
+        assert status == 200
+        tid = body["trace_id"]
+        assert len(tid) == 16
+        assert headers["x-repro-trace-id"] == tid
+        telemetry = body["telemetry"]
+        assert telemetry["spans"] >= 4  # ingress, queue, dispatch, exec ...
+        decomposed = telemetry["breakdown"]
+        assert decomposed["total_ms"] > 0
+        assert "queue_ms" in decomposed
+        assert "service_ms" in decomposed
+
+    def test_validation_400_still_traced(self, server):
+        host, port = server
+        status, headers, body = post(
+            host, port, "/allocate", {"source": SOURCE, "preset": "nope"}
+        )
+        assert status == 400
+        assert body["trace_id"] == headers["x-repro-trace-id"]
+
+    def test_404_and_405_traced(self, server):
+        host, port = server
+        for path_status in (("/nope", 404),):
+            status, headers, raw = raw_request(
+                host,
+                port,
+                [f"GET {path_status[0]} HTTP/1.1", "Host: x"],
+            )
+            assert status == path_status[1]
+            body = json.loads(raw)
+            assert body["trace_id"] == headers["x-repro-trace-id"]
+
+    def test_oversized_413_traced(self):
+        config = ServerConfig(port=0, max_body_bytes=500, supervised=False)
+        with ServerThread(config) as (host, port):
+            status, headers, body = post(
+                host, port, "/allocate", {"source": SOURCE, "name": "x" * 900}
+            )
+            assert status == 413
+            assert body["trace_id"] == headers["x-repro-trace-id"]
+
+    def test_adopted_trace_id_from_request_header(self, server):
+        host, port = server
+        minted = mint_trace_id()
+        payload = json.dumps({"source": SOURCE}).encode()
+        status, headers, raw = raw_request(
+            host,
+            port,
+            [
+                "POST /allocate HTTP/1.1",
+                "Host: x",
+                f"{TRACE_HEADER}: {minted}",
+                f"Content-Length: {len(payload)}",
+            ],
+            payload,
+        )
+        assert status == 200
+        body = json.loads(raw)
+        assert body["trace_id"] == minted
+        assert headers["x-repro-trace-id"] == minted
+
+    def test_throttled_429_is_traced(self):
+        """Backpressure refusals still answer with a trace identity."""
+        config = ServerConfig(
+            port=0, queue_size=1, workers=1, batch_size=1, supervised=False
+        )
+        thread = ServerThread(config)
+        host, port = thread.start()
+        try:
+            release = __import__("threading").Event()
+            real = thread.server.engine.submit_batch
+
+            def stalled(requests):
+                release.wait(10)
+                return real(requests)
+
+            thread.server.engine.submit_batch = stalled
+
+            async def flood():
+                first = asyncio.ensure_future(
+                    http_post_json(host, port, "/allocate", {"source": SOURCE})
+                )
+                await asyncio.sleep(0.3)
+                tasks = [
+                    asyncio.ensure_future(
+                        http_post_json(
+                            host, port, "/allocate", {"source": SOURCE}
+                        )
+                    )
+                    for _ in range(4)
+                ]
+                await asyncio.sleep(0.5)
+                release.set()
+                outcomes = list(await asyncio.gather(*tasks))
+                await first
+                return outcomes
+
+            outcomes = asyncio.run(flood())
+            throttled = [o for o in outcomes if o[0] == 429]
+            assert throttled
+            _, headers, body = throttled[0]
+            assert body["trace_id"] == headers["x-repro-trace-id"]
+            report = thread.server.slo.report()
+            assert report["throttled"] >= 1
+            assert report["availability"] == 1.0  # lenient by default
+        finally:
+            thread.stop()
+
+
+class TestFlightRecorderEndpoints:
+    def test_trace_resolves_to_cross_process_tree(self, server):
+        host, port = server
+        status, _, body = post(
+            host, port, "/allocate", {"source": variant(1), "name": "tree"}
+        )
+        assert status == 200
+        tid = body["trace_id"]
+        status, full = get(host, port, f"/debug/requests/{tid}")
+        assert status == 200
+        assert full["trace_id"] == tid
+        names = names_in(full["tree"])
+        for expected in ("ingress", "queue-wait", "dispatch", "worker-exec"):
+            assert expected in names, names
+        assert any(name.startswith("engine:") for name in names)
+        # The worker-exec span really ran in another process.
+        pids = set()
+        stack = list(full["tree"])
+        while stack:
+            node = stack.pop()
+            pids.add(node["pid"])
+            stack.extend(node.get("children", []))
+        assert len(pids) >= 2
+
+    def test_index_lists_recent_requests(self, server):
+        host, port = server
+        _, _, body = post(
+            host, port, "/allocate", {"source": variant(2), "name": "idx"}
+        )
+        status, index = get(host, port, "/debug/requests")
+        assert status == 200
+        assert index["recorded"] >= 1
+        recent_ids = [row["trace_id"] for row in index["recent"]]
+        assert body["trace_id"] in recent_ids
+
+    def test_unknown_trace_is_404(self, server):
+        host, port = server
+        status, body = get(host, port, "/debug/requests/deadbeefdeadbeef")
+        assert status == 404
+        assert body["error_type"] == "UnknownTrace"
+
+    def test_chrome_export_of_one_request(self, server):
+        host, port = server
+        _, _, body = post(
+            host, port, "/allocate", {"source": variant(3), "name": "chrome"}
+        )
+        tid = body["trace_id"]
+        status, document = get(
+            host, port, f"/debug/requests/{tid}?format=chrome"
+        )
+        assert status == 200
+        assert document["otherData"]["trace_id"] == tid
+        complete = [
+            e for e in document["traceEvents"] if e.get("ph") == "X"
+        ]
+        assert complete
+        assert min(e["ts"] for e in complete) == 0.0  # rebased timeline
+
+    def test_engine_cache_hit_is_traced(self, server):
+        host, port = server
+        payload = {"source": variant(4), "preset": "base", "name": "cached"}
+        post(host, port, "/allocate", payload)
+        config = ServerConfig(port=0)  # fresh server with caching on
+        with ServerThread(config) as (chost, cport):
+            post(chost, cport, "/allocate", payload)
+            status, _, second = post(chost, cport, "/allocate", payload)
+            assert status == 200
+            assert second["cache"] == "hit"
+            tid = second["trace_id"]
+            status, full = get(chost, cport, f"/debug/requests/{tid}")
+            assert status == 200
+            assert "engine-cache" in names_in(full["tree"])
+
+
+class TestMetricsEndpoints:
+    def test_metrics_json_has_slo_and_labeled_latency(self, server):
+        host, port = server
+        post(host, port, "/allocate", {"source": variant(5), "name": "slo"})
+        status, body = get(host, port, "/metrics")
+        assert status == 200
+        slo = body["slo"]
+        assert slo["requests"] >= 1
+        assert 0.0 <= slo["availability"] <= 1.0
+        assert "error_budget_burned" in slo
+        labeled = body["labeled"]["serve.request_ms"]
+        assert any('outcome="ok"' in key for key in labeled)
+
+    def test_prometheus_exposition(self, server):
+        host, port = server
+        post(host, port, "/allocate", {"source": variant(6), "name": "prom"})
+        status, headers, raw = raw_request(
+            host,
+            port,
+            ["GET /metrics?format=prometheus HTTP/1.1", "Host: x"],
+        )
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["content-type"]
+        text = raw.decode("utf-8")
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_request_ms_bucket{" in text
+        assert 'le="+Inf"' in text
+        assert "repro_slo_availability " in text
+
+    def test_healthz_reports_telemetry_state(self, server):
+        host, port = server
+        status, body = get(host, port, "/healthz")
+        assert status == 200
+        assert body["telemetry"]["enabled"] is True
+        assert body["telemetry"]["flight_recorded"] >= 0
+
+
+class TestTraceContinuityAcrossFailures:
+    def test_worker_kill_keeps_trace_id_and_shows_both_attempts(self):
+        """A request whose worker was SIGKILLed answers 200 under the
+        *same* trace ID, and the span tree testifies to the failed
+        attempt: dispatch outcomes ``[crash, ok]``."""
+        config = ServerConfig(
+            port=0, workers=1, worker_retries=2, supervisor_cache_size=0
+        )
+        thread = ServerThread(config)
+        host, port = thread.start()
+        try:
+            thread.server.supervisor.arm_chaos(
+                ServiceFaultPlan(
+                    seed=0, faults=[ServiceFault(action="kill", after=1)]
+                )
+            )
+            status, headers, body = post(
+                host, port, "/allocate", {"source": variant(7), "name": "kill"}
+            )
+            assert status == 200
+            note = body["supervisor"]
+            assert note["attempts"] == 2
+            assert note["degraded"] is False
+            tid = body["trace_id"]
+            assert headers["x-repro-trace-id"] == tid
+            entry = thread.server.flight.lookup(tid)
+            assert entry is not None
+            assert attempt_outcomes(entry.spans) == ["crash", "ok"]
+            names = [span["name"] for span in entry.spans]
+            assert names.count("dispatch") == 2
+            assert "worker-exec" in names
+        finally:
+            thread.stop()
+
+    def test_degraded_inline_answer_is_traceable(self):
+        """Retries exhausted: the inline spill-everywhere answer keeps
+        the trace ID, records a degrade-inline span, and lands in the
+        flight recorder's degraded view."""
+        config = ServerConfig(
+            port=0, workers=1, worker_retries=0, supervisor_cache_size=0
+        )
+        thread = ServerThread(config)
+        host, port = thread.start()
+        try:
+            thread.server.supervisor.arm_chaos(
+                ServiceFaultPlan(
+                    seed=0, faults=[ServiceFault(action="kill", after=1)]
+                )
+            )
+            status, _, body = post(
+                host,
+                port,
+                "/allocate",
+                {"source": variant(8), "preset": "improved", "name": "deg"},
+            )
+            assert status == 200
+            assert body["preset"] == "spillall"
+            assert body["supervisor"]["degraded"] is True
+            tid = body["trace_id"]
+            status, full = get(host, port, f"/debug/requests/{tid}")
+            assert status == 200
+            assert full["degraded"] is True
+            names = names_in(full["tree"])
+            assert "degrade-inline" in names
+            assert "dispatch" in names  # the failed attempt is in the story
+            degraded_ids = [
+                row["trace_id"]
+                for row in thread.server.flight.index()["degraded"]
+            ]
+            assert tid in degraded_ids
+            assert thread.server.slo.report()["degraded"] >= 1
+        finally:
+            thread.stop()
+
+
+class TestTelemetryOptOut:
+    def test_disabled_telemetry_restores_old_wire_shape(self):
+        config = ServerConfig(port=0, telemetry=False, supervised=False)
+        with ServerThread(config) as (host, port):
+            status, headers, body = post(
+                host, port, "/allocate", {"source": SOURCE}
+            )
+            assert status == 200
+            assert "trace_id" not in body
+            assert "telemetry" not in body
+            assert "x-repro-trace-id" not in headers
+            status, index = get(host, port, "/debug/requests")
+            assert index["recorded"] == 0

@@ -31,6 +31,16 @@ are noisy) serve threshold.  Refresh with::
 
     PYTHONPATH=src python -m repro loadgen --spawn --requests 200 \
         --concurrency 8 --out BENCH_serve.json
+
+``--store`` gates the artifact-store warm-path benchmark: ``RUN.json``
+is a ``benchmarks/store_warm.py`` report compared against the
+committed ``BENCH_store.json``.  Correctness is absolute — the three
+runs (store disabled, cold, warm) must be digest-identical and the
+warm run must actually hit the store — and the warm speedup has a
+hard 2x floor plus a relative check against the baseline.  Refresh
+with::
+
+    PYTHONPATH=src python benchmarks/store_warm.py --out BENCH_store.json
 """
 
 from __future__ import annotations
@@ -43,6 +53,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_allocator.json"
 DEFAULT_SERVE_BASELINE = REPO_ROOT / "BENCH_serve.json"
+DEFAULT_STORE_BASELINE = REPO_ROOT / "BENCH_store.json"
+
+#: The acceptance floor for the warm path: a second run of the full
+#: workload sweep against a populated store must be at least this
+#: many times faster than the cold run, whatever the baseline says.
+STORE_SPEEDUP_FLOOR = 2.0
 
 
 def load_medians(path: Path) -> dict:
@@ -125,6 +141,65 @@ def compare_serve(run_path: Path, baseline_path: Path, threshold: float) -> int:
     return 0
 
 
+def compare_store(run_path: Path, baseline_path: Path, threshold: float) -> int:
+    """Gate one ``store_warm.py`` report against the store baseline.
+
+    Correctness is absolute: the disabled, cold and warm runs must
+    produce one digest (the store changed nothing but the clock), the
+    warm run must hit the store, and the cold run must populate it.
+    Speed has a hard floor (``STORE_SPEEDUP_FLOOR``) plus a relative
+    bound: the measured speedup may not collapse below
+    ``(1 - threshold)`` of the committed baseline's.
+    """
+    with run_path.open() as handle:
+        run = json.load(handle)
+    with baseline_path.open() as handle:
+        baseline = json.load(handle)
+
+    problems = []
+    if not run.get("identical", False):
+        problems.append(
+            "warm-path results diverged: disabled/cold/warm digests differ"
+        )
+    if run.get("warm_hits", 0) <= 0:
+        problems.append("warm run recorded zero store hits")
+    if run.get("cold_writes", 0) <= 0:
+        problems.append("cold run published zero artifacts")
+    speedup = run.get("speedup", 0.0)
+    if speedup < STORE_SPEEDUP_FLOOR:
+        problems.append(
+            f"warm speedup {speedup:.2f}x is below the "
+            f"{STORE_SPEEDUP_FLOOR:.1f}x floor"
+        )
+    base_speedup = baseline.get("speedup", 0.0)
+    allowed = base_speedup * (1.0 - threshold)
+    if base_speedup > 0 and speedup < allowed:
+        problems.append(
+            f"warm speedup {speedup:.2f}x collapsed below "
+            f"{allowed:.2f}x ({1.0 - threshold:.0%} of the baseline's "
+            f"{base_speedup:.2f}x)"
+        )
+
+    print(f"{'metric':<16} {'baseline':>12} {'current':>12}")
+    for metric in ("cold_seconds", "warm_seconds", "speedup"):
+        print(
+            f"{metric:<16} {baseline.get(metric, 0.0):>12.3f} "
+            f"{run.get(metric, 0.0):>12.3f}"
+        )
+    print(
+        f"warm hits: {run.get('warm_hits', 0)}/{run.get('workloads', 0)} "
+        f"workloads, cold writes: {run.get('cold_writes', 0)}, "
+        f"identical: {run.get('identical')}"
+    )
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(f"\nstore gate passed (floor {STORE_SPEEDUP_FLOOR:.1f}x)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="fail when benchmark medians regress past the baseline"
@@ -150,8 +225,20 @@ def main(argv=None) -> int:
         help="gate a repro loadgen latency report instead of the "
         "pytest-benchmark speed suite",
     )
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="gate a benchmarks/store_warm.py artifact-store report "
+        "instead of the pytest-benchmark speed suite",
+    )
     args = parser.parse_args(argv)
 
+    if args.store:
+        return compare_store(
+            args.run,
+            args.baseline or DEFAULT_STORE_BASELINE,
+            0.5 if args.threshold is None else args.threshold,
+        )
     if args.serve:
         return compare_serve(
             args.run,

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Cold-vs-warm benchmark for the persistent artifact store.
+
+Runs the full 14-workload allocation grid three times, each in a
+fresh subprocess (so no in-process cache can cheat):
+
+1. **disabled** — no store configured: the reference for results and
+   for what "cold" costs without the store machinery;
+2. **cold** — an empty store directory: every workload misses,
+   profiles, and publishes its artifact;
+3. **warm** — the same directory again: every workload rehydrates.
+
+Each child reports wall-clock seconds, the store traffic counters,
+and a SHA-256 digest over every measurement (overheads, cycles,
+profile entry counts).  The parent asserts nothing itself — it emits
+one JSON report; ``benchmarks/compare.py --store`` is the gate
+(digests identical, warm hits nonzero, speedup over the committed
+``BENCH_store.json`` floor).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/store_warm.py --out BENCH_store.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def child_main() -> int:
+    """One measured grid run, results digested (invoked in a subprocess).
+
+    The store is configured purely through ``REPRO_STORE_DIR`` — the
+    exact inheritance path grid pool workers and serving workers use.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.eval.runner import compute_measurement
+    from repro.machine import RegisterConfig
+    from repro.obs.metrics import METRICS
+    from repro.regalloc.options import AllocatorOptions
+    from repro.workloads.registry import compile_workload, workload_names
+
+    names = workload_names()
+    options = AllocatorOptions()
+    config = RegisterConfig(6, 4, 2, 2)
+    started = time.perf_counter()
+    results = []
+    for name in names:
+        compiled = compile_workload(name)
+        measurement = compute_measurement(name, options, config)
+        overhead = measurement.overhead
+        results.append(
+            {
+                "workload": name,
+                "spill": overhead.spill,
+                "caller_save": overhead.caller_save,
+                "callee_save": overhead.callee_save,
+                "shuffle": overhead.shuffle,
+                "cycles": measurement.cycles,
+                "entry_counts": dict(compiled.profile.entry_counts),
+                "baseline_instructions": (
+                    compiled.baseline.instructions_executed
+                ),
+            }
+        )
+    elapsed = time.perf_counter() - started
+    canonical = json.dumps(results, sort_keys=True, separators=(",", ":"))
+    counters = METRICS.as_dict()["counters"]
+    print(
+        json.dumps(
+            {
+                "seconds": elapsed,
+                "workloads": len(names),
+                "digest": hashlib.sha256(canonical.encode()).hexdigest(),
+                "store_hits": int(counters.get("store.hit", 0)),
+                "store_misses": int(counters.get("store.miss", 0)),
+                "store_writes": int(counters.get("store.write", 0)),
+            }
+        )
+    )
+    return 0
+
+
+def run_child(store_dir: "str | None") -> dict:
+    env = dict(os.environ)
+    env.pop("REPRO_STORE_DIR", None)
+    if store_dir is not None:
+        env["REPRO_STORE_DIR"] = store_dir
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--child"],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+    if args.child:
+        return child_main()
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as root:
+        disabled = run_child(None)
+        cold = run_child(root)
+        warm = run_child(root)
+
+    speedup = (
+        cold["seconds"] / warm["seconds"] if warm["seconds"] > 0 else 0.0
+    )
+    report = {
+        "schema_version": 1,
+        "workloads": cold["workloads"],
+        "disabled_seconds": round(disabled["seconds"], 4),
+        "cold_seconds": round(cold["seconds"], 4),
+        "warm_seconds": round(warm["seconds"], 4),
+        "speedup": round(speedup, 2),
+        "cold_writes": cold["store_writes"],
+        "warm_hits": warm["store_hits"],
+        "warm_misses": warm["store_misses"],
+        "identical": (
+            disabled["digest"] == cold["digest"] == warm["digest"]
+        ),
+        "digest": disabled["digest"],
+    }
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out is not None:
+        args.out.write_text(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -133,6 +133,26 @@ class AnalysisCache:
         entries[analysis.name] = result
         return result
 
+    def prime(
+        self, func: Function, analysis: FunctionAnalysis, value: Any
+    ) -> None:
+        """Seed a known result without computing (the warm-start path).
+
+        The artifact store rehydrates persisted analyses through here;
+        an entry that is already cached wins, so priming can never
+        clobber a result this process computed itself.  Primed entries
+        obey the same invalidation keys as computed ones.
+        """
+        entries = self._functions.setdefault(func, {})
+        entries.setdefault(analysis.name, value)
+
+    def prime_program(
+        self, program: Program, analysis: ProgramAnalysis, value: Any
+    ) -> None:
+        """Program-level :meth:`prime`."""
+        entries = self._programs.setdefault(program, {})
+        entries.setdefault(analysis.name, value)
+
     # ------------------------------------------------------------------
     # invalidation
     # ------------------------------------------------------------------

@@ -335,6 +335,9 @@ def run_serve_campaign(
         worker_retries=retries,
         breaker_cooldown=2.0,
         supervisor_cache_size=0,
+        # The fault plan indexes dispatches, so identical concurrent
+        # requests must not be coalesced onto one dispatch either.
+        coalesce=False,
         # Retention sized to the campaign: every degraded answer must
         # still resolve in the flight recorder at the final audit.
         flight_recent=max(256, requests),

@@ -131,10 +131,20 @@ def _file_request(args) -> "AllocationRequest":
     )
 
 
+def _configure_store(args) -> None:
+    """Enable the artifact store when the command asked for one."""
+    store = getattr(args, "store", None)
+    if store:
+        from repro.store import configure_store
+
+        configure_store(store)
+
+
 def cmd_allocate(args) -> int:
     from repro.engine import AllocationEngine, RequestError
     from repro.eval.report import dump_json, render_allocation
 
+    _configure_store(args)
     engine = AllocationEngine()
     try:
         result = engine.submit(_file_request(args))
@@ -314,6 +324,7 @@ def cmd_sweep(args) -> int:
     from repro.eval.report import dump_json, render_sweep
     from repro.eval.runner import RESULTS
 
+    _configure_store(args)
     configs = mips_sweep()
     if args.short:
         configs = configs[:6]
@@ -368,6 +379,7 @@ def cmd_experiment(args) -> int:
     from repro.eval import experiment_grid
     from repro.schema import stamp
 
+    _configure_store(args)
     engine = AllocationEngine()
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
@@ -572,9 +584,58 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    """Inspect and maintain the persistent artifact store."""
+    import os
+
+    from repro.schema import stamp
+    from repro.store import ENV_VAR, ArtifactStore
+
+    root = args.store or os.environ.get(ENV_VAR)
+    if not root:
+        print(
+            f"error: no store directory (pass --store or set {ENV_VAR})",
+            file=sys.stderr,
+        )
+        return 1
+    store = ArtifactStore(root)
+    if args.cache_command == "stats":
+        print(json.dumps(stamp(store.stats()), indent=2, sort_keys=True))
+        return 0
+    if args.cache_command == "clear":
+        result = store.clear()
+        print(
+            f"cleared {result['removed']} artifact(s), "
+            f"{result['bytes_freed']} bytes freed"
+        )
+        return 0
+    if args.cache_command == "gc":
+        result = store.gc(args.max_bytes)
+        print(
+            f"evicted {result['removed']} artifact(s) "
+            f"({result['bytes_freed']} bytes freed, "
+            f"{result['bytes_remaining']} bytes remain, "
+            f"bound {args.max_bytes})"
+        )
+        return 0
+    print(f"error: unknown cache command {args.cache_command!r}", file=sys.stderr)
+    return 1
+
+
 def cmd_serve(args) -> int:
     from repro.serve import ServerConfig, serve_forever
 
+    _configure_store(args)
+    store_warm: tuple = ()
+    if args.store and args.store_warm:
+        if args.store_warm == "all":
+            from repro.workloads import workload_names
+
+            store_warm = tuple(workload_names())
+        else:
+            store_warm = tuple(
+                name for name in args.store_warm.split(",") if name
+            )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -599,6 +660,8 @@ def cmd_serve(args) -> int:
         slo_p99_ms=args.slo_p99_ms,
         flight_recent=args.flight_recent,
         flight_slowest=args.flight_slowest,
+        store_dir=args.store,
+        store_warm=store_warm,
     )
     return serve_forever(config)
 
@@ -616,6 +679,7 @@ def cmd_loadgen(args) -> int:
         chaos=args.chaos,
         jitter_seed=args.jitter_seed,
         check_traces=args.check_traces,
+        warmup=args.warmup,
     )
     server_config = None
     if args.spawn:
@@ -783,6 +847,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace",
                    help="write the structured decision-event trace "
                         "(JSONL) to this file")
+    p.add_argument("--store", default=None,
+                   help="artifact store directory: reuse compiled "
+                        "programs/profiles across runs")
     p.add_argument("--resilient", action="store_true",
                    help="allocate through the fallback chain: a failing "
                         "allocator degrades (ultimately to "
@@ -836,6 +903,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect per-phase spans across workers and "
                         "write a Chrome trace-event file (load it in "
                         "chrome://tracing or Perfetto)")
+    p.add_argument("--store", default=None,
+                   help="artifact store directory: reuse compiled "
+                        "programs/profiles across runs")
     p.add_argument("--resilient", action="store_true",
                    help="measure every grid point through the fallback "
                         "chain; recovered points render as deg[<rung>] "
@@ -858,6 +928,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print per-phase pipeline timings")
     p.add_argument("--json", action="store_true",
                    help="emit JSON instead of the ASCII table")
+    p.add_argument("--store", default=None,
+                   help="artifact store directory: reuse compiled "
+                        "programs/profiles across runs")
     p.add_argument("--resilient", action="store_true",
                    help="pre-measure the experiment grid through the "
                         "fallback chain so a failing grid point "
@@ -988,6 +1061,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="flight recorder: recent-request ring size")
     p.add_argument("--flight-slowest", type=int, default=32,
                    help="flight recorder: slowest-request entries kept")
+    p.add_argument("--store", default=None,
+                   help="artifact store directory shared by all workers; "
+                        "respawned workers warm-start from it")
+    p.add_argument("--store-warm", default=None,
+                   help="workloads to pre-warm on worker spawn: 'all' or "
+                        "a comma-separated list of workload names")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1020,6 +1099,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jitter-seed", type=int, default=None,
                    help="seed for the full-jitter retry RNG "
                         "(deterministic backoff for CI)")
+    p.add_argument("--warmup", type=int, default=0,
+                   help="send this many untimed warmup requests before "
+                        "the measured run (caches and workers settle)")
     p.add_argument("--check-traces", action="store_true",
                    help="after the run, resolve every response's trace "
                         "ID against the server's flight recorder and "
@@ -1061,6 +1143,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the campaign report as JSON")
     p.set_defaults(func=cmd_chaos_serve)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or maintain the persistent artifact store",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cp = cache_sub.add_parser("stats", help="print store statistics as JSON")
+    cp.add_argument("--store", default=None,
+                    help="store directory (defaults to $REPRO_STORE_DIR)")
+    cp.set_defaults(func=cmd_cache, cache_command="stats")
+    cp = cache_sub.add_parser("clear", help="remove every stored artifact")
+    cp.add_argument("--store", default=None,
+                    help="store directory (defaults to $REPRO_STORE_DIR)")
+    cp.set_defaults(func=cmd_cache, cache_command="clear")
+    cp = cache_sub.add_parser(
+        "gc", help="evict oldest-read artifacts down to a byte budget"
+    )
+    cp.add_argument("--store", default=None,
+                    help="store directory (defaults to $REPRO_STORE_DIR)")
+    cp.add_argument("--max-bytes", type=int, required=True,
+                    help="evict least-recently-read artifacts until the "
+                         "store fits in this many bytes")
+    cp.set_defaults(func=cmd_cache, cache_command="gc")
 
     return parser
 

@@ -286,20 +286,41 @@ class AllocationEngine:
             from repro.opt import optimize_program
 
             optimize_program(program)
+        fingerprint = fingerprint_program(program)
+        # Warm path: the artifact store may already hold this program's
+        # profiling run (published by any process).  The stored run must
+        # fit this request's fuel budget — a hit is not allowed to mask
+        # the fuel-exhaustion error a fresh profiling run would raise.
+        from repro.store import load_program_artifact, save_program_artifact
+
+        warm = load_program_artifact(program, fingerprint=fingerprint)
+        if warm is not None and warm.instructions_executed <= request.fuel:
+            return _CompiledEntry(
+                program=program,
+                profile=warm.profile,
+                analyses=warm.analyses,
+                fingerprint=fingerprint,
+                static_weights=static_weights,
+                dynamic_weights=warm.profile.weights,
+            )
         try:
-            profile = run_program(program, fuel=request.fuel).profile
+            baseline = run_program(program, fuel=request.fuel)
         except Exception as error:
             raise RequestError(
                 f"profiling failed: {type(error).__name__}: {error}"
             ) from error
-        return _CompiledEntry(
+        entry = _CompiledEntry(
             program=program,
-            profile=profile,
+            profile=baseline.profile,
             analyses=AnalysisCache(),
-            fingerprint=fingerprint_program(program),
+            fingerprint=fingerprint,
             static_weights=static_weights,
-            dynamic_weights=profile.weights,
+            dynamic_weights=baseline.profile.weights,
         )
+        save_program_artifact(
+            program, baseline, entry.analyses, fingerprint=fingerprint
+        )
+        return entry
 
     # ------------------------------------------------------------------
     # the one entry point

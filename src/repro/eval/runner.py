@@ -592,6 +592,21 @@ def run_grid(
             resolve(chunk)
         return _absorb_report(report, cache)
 
+    # Warm path: with an artifact store configured, compile + profile
+    # every distinct workload once in the parent *before* forking.
+    # Pool workers then inherit the warm in-process cache (fork) or
+    # read the just-published artifacts (spawn, via REPRO_STORE_DIR),
+    # so the grid ships keys to workers — never profiling work.
+    from repro.store import get_store
+
+    if get_store() is not None:
+        for name in sorted({key[0] for key in pending}):
+            try:
+                compile_workload(name)
+            except Exception:  # noqa: BLE001 - prewarm is advisory
+                continue
+            METRICS.inc("store.prewarm")
+
     # Prefer fork on platforms that have it: workers inherit warm
     # compile caches instead of re-importing and recompiling.
     try:

@@ -86,6 +86,11 @@ class LoadgenConfig:
     #: resolve each against the server's flight recorder
     #: (``GET /debug/requests/<id>``) — the CI telemetry gate.
     check_traces: bool = False
+    #: Untimed warmup requests fired (and discarded) before the
+    #: measured run, so reported percentiles describe steady state
+    #: instead of mixing in cold-start compiles and first-touch cache
+    #: misses.
+    warmup: int = 0
 
 
 @dataclass
@@ -93,6 +98,8 @@ class LoadgenReport:
     """Aggregated outcome of one loadgen run."""
 
     requests: int = 0
+    #: Untimed warmup requests that preceded the measured run.
+    warmup: int = 0
     ok: int = 0
     failed: int = 0
     throttled_retries: int = 0
@@ -129,6 +136,7 @@ class LoadgenReport:
         return stamp(
             {
                 "requests": self.requests,
+                "warmup": self.warmup,
                 "ok": self.ok,
                 "failed": self.failed,
                 "throttled_retries": self.throttled_retries,
@@ -361,10 +369,10 @@ async def _worker(
             break
 
 
-async def run_loadgen_async(config: LoadgenConfig) -> LoadgenReport:
-    report = LoadgenReport(requests=config.requests)
+def _fill_queue(config: LoadgenConfig, count: int) -> "asyncio.Queue[dict]":
+    """A request queue cycling the default program mix."""
     queue: "asyncio.Queue[dict]" = asyncio.Queue()
-    for index in range(config.requests):
+    for index in range(count):
         name, source = DEFAULT_PROGRAMS[index % len(DEFAULT_PROGRAMS)]
         payload = {
             "source": source,
@@ -374,7 +382,27 @@ async def run_loadgen_async(config: LoadgenConfig) -> LoadgenReport:
         if config.deadline_ms is not None:
             payload["deadline_ms"] = config.deadline_ms
         queue.put_nowait(payload)
+    return queue
+
+
+async def run_loadgen_async(config: LoadgenConfig) -> LoadgenReport:
     rng = random.Random(config.jitter_seed)
+    if config.warmup > 0:
+        # Untimed warmup: same program mix, same concurrency, results
+        # discarded.  Compiles, profiling runs and cache fills all land
+        # before the clock starts, so the measured run is steady state.
+        warm_report = LoadgenReport(requests=config.warmup)
+        warm_queue = _fill_queue(config, config.warmup)
+        await asyncio.gather(
+            *(
+                asyncio.ensure_future(
+                    _worker(config, warm_queue, warm_report, rng)
+                )
+                for _ in range(config.concurrency)
+            )
+        )
+    report = LoadgenReport(requests=config.requests, warmup=config.warmup)
+    queue = _fill_queue(config, config.requests)
     started = time.perf_counter()
     workers = [
         asyncio.ensure_future(_worker(config, queue, report, rng))

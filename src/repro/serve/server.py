@@ -195,6 +195,14 @@ class ServerConfig:
     slo_p99_ms: float = 500.0
     #: Count 429/breaker-503 self-protection against availability.
     slo_strict: bool = False
+    #: Artifact store root (supervised mode): spawned and respawned
+    #: workers warm-start from it, and engine work inside them reads
+    #: and publishes program artifacts there.  None disables.
+    store_dir: Optional[str] = None
+    #: Workload names fresh workers pre-compile from the store.
+    store_warm: Tuple[str, ...] = ()
+    #: Single-flight coalescing of identical in-flight requests.
+    coalesce: bool = True
 
     def slo_targets(self) -> SLOTargets:
         return SLOTargets(
@@ -221,6 +229,9 @@ class ServerConfig:
                 if self.supervisor_cache_size is None
                 else self.supervisor_cache_size
             ),
+            store_dir=self.store_dir,
+            warm_workloads=tuple(self.store_warm),
+            coalesce=self.coalesce,
         )
 
 

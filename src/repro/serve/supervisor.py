@@ -158,6 +158,19 @@ class SupervisorConfig:
     #: ``multiprocessing`` start method; None picks ``fork`` when
     #: available (workers inherit warm imports) else the default.
     mp_start_method: Optional[str] = None
+    #: Artifact store root for worker warm starts; None disables.
+    #: Every spawned/respawned/recycled worker configures the store
+    #: before its ready handshake, so process death never forfeits
+    #: compiled-program warm state (profiles, static weights).
+    store_dir: Optional[str] = None
+    #: Workload names each fresh worker pre-compiles from the store
+    #: before taking traffic (source/ir requests warm lazily through
+    #: the engine's own store reads).
+    warm_workloads: Tuple[str, ...] = ()
+    #: Single-flight coalescing of identical in-flight requests.
+    #: Off in the chaos campaign, whose fault plan indexes dispatches
+    #: and therefore needs every request to genuinely dispatch.
+    coalesce: bool = True
 
 
 @dataclass
@@ -255,6 +268,10 @@ class Supervisor:
         )
         self.degraded_log: List[dict] = []
         self.all_worker_pids: List[int] = []
+        # Single-flight coalescing: cache key -> the in-flight leader
+        # job currently computing that key's answer.
+        self._inflight_lock = threading.Lock()
+        self._inflight: Dict[tuple, _Job] = {}
         # chaos
         self._chaos_lock = threading.Lock()
         self._chaos_by_dispatch: Dict[int, dict] = {}
@@ -400,14 +417,92 @@ class Supervisor:
                 time.perf_counter() if trace_id is not None else 0.0
             ),
         )
+        if cache_key is not None and self.config.coalesce:
+            # Single flight: if a job with this exact cache key is
+            # already in flight, ride it instead of queueing a twin —
+            # the follower's future resolves off the leader's, marked
+            # ``coalesced``, with its own trace identity.  Check and
+            # leader registration are one atomic step, so identical
+            # concurrent requests elect exactly one leader.
+            with self._inflight_lock:
+                leader = self._inflight.get(cache_key)
+                if leader is not None and not leader.future.done():
+                    for name in probed:
+                        self.breakers._get(name).release_probe()
+                    return self._coalesce(leader, trace_id)
+                self._inflight[cache_key] = job
+            job.future.add_done_callback(
+                lambda _f, key=cache_key, job=job: self._inflight_done(
+                    key, job
+                )
+            )
         try:
             self.bulkheads[bulkhead].queue.put_nowait(job)
         except queue.Full:
+            if cache_key is not None:
+                self._inflight_done(cache_key, job)
             for name in probed:
                 self.breakers._get(name).release_probe()
             self._count("supervisor.admission_full")
             raise AdmissionFull(bulkhead, retry_after) from None
         return job.future
+
+    def _inflight_done(self, key: tuple, job: _Job) -> None:
+        with self._inflight_lock:
+            if self._inflight.get(key) is job:
+                del self._inflight[key]
+
+    def _coalesce(
+        self, leader: _Job, trace_id: Optional[str]
+    ) -> "Future[List[dict]]":
+        """A follower future that resolves off ``leader``'s result.
+
+        The follower shares the leader's engine execution but nothing
+        else: its body is a copy marked ``coalesced`` and its
+        telemetry is its *own* — a single ``coalesced-wait`` span
+        under its own trace ID, spanning exactly the time it waited.
+        Leader failures (shutdown, degraded errors) propagate as-is.
+        """
+        self._count("serve.coalesced")
+        follower: "Future[List[dict]]" = Future()
+        clock = None
+        token = None
+        if trace_id is not None:
+            from repro.obs.telemetry import SpanClock
+
+            clock = SpanClock(trace_id)
+            token = clock.begin("coalesced-wait")
+
+        def fan_out(done: "Future[List[dict]]") -> None:
+            if follower.done():
+                return
+            error = done.exception()
+            if error is not None:
+                follower.set_exception(error)
+                return
+            copied = []
+            for outcome in done.result():
+                body = {
+                    key: value
+                    for key, value in outcome["body"].items()
+                    if key != "telemetry"
+                }
+                body["coalesced"] = True
+                if clock is not None:
+                    span = clock.end(
+                        token, layer="supervisor", leader_job=leader.id
+                    )
+                    body["telemetry"] = {
+                        "trace_id": trace_id,
+                        "spans": [span.to_dict()],
+                    }
+                copied.append(
+                    {"status_code": outcome["status_code"], "body": body}
+                )
+            follower.set_result(copied)
+
+        leader.future.add_done_callback(fan_out)
+        return follower
 
     def _hard_timeout(self, requests: Sequence[AllocationRequest]) -> float:
         total = 0.0
@@ -772,6 +867,8 @@ class Supervisor:
                 )
                 continue
             self._count("supervisor.spawns")
+            if self.config.store_dir is not None:
+                self._count("supervisor.warm_starts")
             if slot.ever_spawned:
                 self._count("supervisor.respawns")
             slot.ever_spawned = True
@@ -780,12 +877,15 @@ class Supervisor:
 
     def _spawn(self, slot: _Slot) -> _WorkerHandle:
         parent_conn, child_conn = self._mp.Pipe()
+        worker_config = {"cache_size": self.config.worker_cache_size}
+        if self.config.store_dir is not None:
+            worker_config["store_dir"] = str(self.config.store_dir)
+            worker_config["warm_workloads"] = tuple(
+                self.config.warm_workloads
+            )
         process = self._mp.Process(
             target=worker_main,
-            args=(
-                child_conn,
-                {"cache_size": self.config.worker_cache_size},
-            ),
+            args=(child_conn, worker_config),
             name=f"repro-worker-{slot.name}",
             daemon=True,
         )

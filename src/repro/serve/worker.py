@@ -153,6 +153,25 @@ def worker_main(conn, worker_config: Optional[dict] = None) -> None:
         cache_size=int(worker_config.get("cache_size", 64)),
         program_cache_size=int(worker_config.get("program_cache_size", 16)),
     )
+    # Warm start: a respawned (or recycled, or SIGKILLed-and-replaced)
+    # worker re-reads its predecessors' published artifacts before
+    # taking traffic, so process death never forfeits warm state.
+    # Runs before the ready handshake: the supervisor only dispatches
+    # to workers that are already warm.  Advisory — any failure here
+    # just means a cold first request.
+    store_dir = worker_config.get("store_dir")
+    if store_dir:
+        from repro.store import configure_store
+
+        configure_store(store_dir, export_env=False)
+        for name in worker_config.get("warm_workloads", ()):
+            try:
+                from repro.workloads.registry import compile_workload
+
+                compile_workload(name)
+                METRICS.inc("store.warm_start")
+            except Exception:  # noqa: BLE001 - warm start is advisory
+                continue
     conn.send(("ready", os.getpid()))
     while True:
         try:

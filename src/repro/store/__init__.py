@@ -1,0 +1,43 @@
+"""Persistent artifact store: the cross-process warm path.
+
+Everything config-independent about a compiled program — its profile,
+baseline execution and static frequency estimates — is computed once,
+published under the SHA-256 of its canonical IR, and shared across
+every process that allocates it: grid pool workers, supervised
+serving workers across respawns, and back-to-back CLI runs.  See
+:mod:`repro.store.store` for the on-disk format and failure semantics
+and :mod:`repro.store.artifacts` for what is (and deliberately is
+not) serialized.
+"""
+
+from repro.store.artifacts import (
+    PROGRAM_ARTIFACT,
+    RehydratedProgram,
+    load_program_artifact,
+    program_fingerprint,
+    program_payload,
+    rehydrate_program,
+    save_program_artifact,
+)
+from repro.store.store import (
+    ARTIFACT_SCHEMA_VERSION,
+    ENV_VAR,
+    ArtifactStore,
+    configure_store,
+    get_store,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ENV_VAR",
+    "ArtifactStore",
+    "PROGRAM_ARTIFACT",
+    "RehydratedProgram",
+    "configure_store",
+    "get_store",
+    "load_program_artifact",
+    "program_fingerprint",
+    "program_payload",
+    "rehydrate_program",
+    "save_program_artifact",
+]

@@ -1,0 +1,232 @@
+"""Serialization of the per-program warm-path artifact.
+
+One artifact kind (``"program"``) carries everything about a compiled
+program that is *config-independent* — the same no matter which
+register configuration, allocator preset or info source a run asks
+for:
+
+* the profiling run's outcome (:class:`~repro.profile.interp.ExecutionResult`):
+  exact block and entry counts, the return value, final global-array
+  state and the instruction count of the run;
+* the static frequency estimates (loop-depth ``10**d`` weights) of
+  every function.
+
+Profiling dominates a cold compile (full interpretation of the
+workload); both layers of the warm path — ``compile_workload`` and
+the engine's ``_compile_fresh`` — consult this artifact to skip it.
+
+What is deliberately **not** stored: liveness, interference and webs.
+The pipeline computes those on per-allocation *clones* after spill
+and save/restore rewrites, keyed by object identity in the
+:class:`~repro.analysis.manager.AnalysisCache`; a persisted copy for
+the pristine source program would be invalidated by the first
+mutation of every run and could never be shared across clones.  They
+are also cheap relative to profiling (see INTERNALS §17).  The call
+graph is likewise recomputed: it is microseconds of work, and
+rebuilding it fresh keeps its set iteration order identical to a
+store-disabled run.
+
+Rehydration maps serialized ``(function, block label)`` names back
+onto the *caller's* program objects — the program is always
+recompiled from source (the textual IR round-trip renumbers vregs, so
+parsed-back programs would not be the same objects the pipeline keys
+on).  A payload that does not map cleanly (unknown function, unknown
+or duplicate label) rehydrates to None and the caller treats it as a
+miss; like corruption, a stale artifact can cost time, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.frequency import BlockWeights
+from repro.analysis.manager import STATIC_WEIGHTS, AnalysisCache
+from repro.ir.function import BasicBlock, Program
+from repro.ir.printer import format_program
+from repro.profile.interp import ExecutionResult
+from repro.profile.profile import Profile
+from repro.store.store import get_store
+
+#: The artifact kind under which program warm state is stored.
+PROGRAM_ARTIFACT = "program"
+
+
+def program_fingerprint(program: Program) -> str:
+    """SHA-256 of the canonical IR printing (the store key).
+
+    Matches :func:`repro.engine.cache.fingerprint_program` exactly;
+    duplicated here so the workload registry can key the store without
+    importing the engine layer.
+    """
+    text = format_program(program)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RehydratedProgram:
+    """A program artifact mapped back onto live IR objects."""
+
+    profile: Profile
+    baseline: ExecutionResult
+    #: Instruction count of the stored profiling run; callers with a
+    #: fuel budget below it must treat the hit as a miss (a fresh run
+    #: under that budget would have failed, and the artifact must not
+    #: mask that).
+    instructions_executed: int
+    #: An analysis cache pre-primed with the stored static weights.
+    analyses: AnalysisCache
+
+
+def _block_maps(program: Program):
+    """``function name -> label -> block``, or None on duplicate labels."""
+    maps: Dict[str, Dict[str, BasicBlock]] = {}
+    for func in program.functions.values():
+        labels: Dict[str, BasicBlock] = {}
+        for block in func.blocks:
+            if block.name in labels:
+                return None
+            labels[block.name] = block
+        maps[func.name] = labels
+    return maps
+
+
+def program_payload(
+    program: Program, baseline: ExecutionResult, analyses: AnalysisCache
+) -> dict:
+    """Serialize a program's warm state to a JSON-safe payload.
+
+    Dict iteration orders are preserved through JSON round-trips, so
+    everything is emitted in its natural in-memory order and
+    rehydrates with identical ordering — part of the bit-identity
+    contract the differential tests pin.
+    """
+    block_to_func: Dict[int, str] = {}
+    for func in program.functions.values():
+        for block in func.blocks:
+            block_to_func[id(block)] = func.name
+    block_counts = [
+        [block_to_func[id(block)], block.name, count]
+        for block, count in baseline.profile.block_counts.items()
+        if id(block) in block_to_func
+    ]
+    weights = {}
+    for func in program.functions.values():
+        estimate: BlockWeights = analyses.get(func, STATIC_WEIGHTS)
+        weights[func.name] = {
+            "entry": estimate.entry_weight,
+            "blocks": {
+                block.name: weight
+                for block, weight in estimate.weights.items()
+            },
+        }
+    return {
+        "return_value": baseline.return_value,
+        "instructions_executed": baseline.instructions_executed,
+        "globals_state": {
+            name: list(values)
+            for name, values in baseline.globals_state.items()
+        },
+        "entry_counts": dict(baseline.profile.entry_counts),
+        "block_counts": block_counts,
+        "static_weights": weights,
+    }
+
+
+def rehydrate_program(
+    program: Program, payload: dict
+) -> Optional[RehydratedProgram]:
+    """Map a payload back onto ``program``'s objects, or None.
+
+    Any mismatch between the payload and the program's actual shape —
+    which a fingerprint collision or a buggy artifact could produce —
+    returns None so the caller falls back to fresh computation.
+    """
+    maps = _block_maps(program)
+    if maps is None:
+        return None
+    try:
+        profile = Profile(entry_counts=dict(payload["entry_counts"]))
+        for func_name, label, count in payload["block_counts"]:
+            profile.block_counts[maps[func_name][label]] = count
+        analyses = AnalysisCache()
+        stored_weights = payload["static_weights"]
+        for func in program.functions.values():
+            record = stored_weights[func.name]
+            labels = maps[func.name]
+            estimate = BlockWeights(
+                weights={
+                    labels[label]: weight
+                    for label, weight in record["blocks"].items()
+                },
+                entry_weight=record["entry"],
+            )
+            analyses.prime(func, STATIC_WEIGHTS, estimate)
+        baseline = ExecutionResult(
+            return_value=payload["return_value"],
+            globals_state={
+                name: list(values)
+                for name, values in payload["globals_state"].items()
+            },
+            profile=profile,
+            instructions_executed=payload["instructions_executed"],
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+    return RehydratedProgram(
+        profile=profile,
+        baseline=baseline,
+        instructions_executed=baseline.instructions_executed,
+        analyses=analyses,
+    )
+
+
+def load_program_artifact(
+    program: Program, fingerprint: Optional[str] = None
+) -> Optional[RehydratedProgram]:
+    """Warm state for ``program`` from the active store, or None.
+
+    No-op (None) when no store is configured.  A payload that exists
+    but does not rehydrate cleanly is recorded as corrupt, then
+    treated as a miss.
+    """
+    store = get_store()
+    if store is None:
+        return None
+    if fingerprint is None:
+        fingerprint = program_fingerprint(program)
+    payload = store.get(fingerprint, PROGRAM_ARTIFACT)
+    if payload is None:
+        return None
+    rehydrated = rehydrate_program(program, payload)
+    if rehydrated is None:
+        store.corrupt += 1
+        from repro.obs.metrics import METRICS
+
+        METRICS.inc("store.corrupt")
+    return rehydrated
+
+
+def save_program_artifact(
+    program: Program,
+    baseline: ExecutionResult,
+    analyses: AnalysisCache,
+    fingerprint: Optional[str] = None,
+) -> None:
+    """Publish ``program``'s warm state to the active store (if any).
+
+    Failures are swallowed: a store that cannot serialize or write
+    leaves the run exactly as fast as it was without one.
+    """
+    store = get_store()
+    if store is None:
+        return
+    if fingerprint is None:
+        fingerprint = program_fingerprint(program)
+    try:
+        payload = program_payload(program, baseline, analyses)
+    except Exception:  # noqa: BLE001 - the store must never fail a run
+        return
+    store.put(fingerprint, PROGRAM_ARTIFACT, payload)

@@ -1,0 +1,326 @@
+"""The persistent, content-addressed artifact store.
+
+One directory, shared by every process that allocates the same
+programs: grid workers forked by ``run_grid``, supervised serving
+workers across respawns and recycles, and plain CLI invocations
+running back to back.  Artifacts are JSON envelopes written under::
+
+    <root>/v<ARTIFACT_SCHEMA_VERSION>/<fp[:2]>/<fingerprint>.<kind>.json
+
+where ``fingerprint`` is the SHA-256 of the program's canonical IR
+printing (:func:`repro.ir.format_program`) — the same content address
+the engine's result cache keys on — and the version segment makes a
+schema bump a whole-directory invalidation, never a parse-and-pray.
+
+Three properties are load-bearing:
+
+* **Atomic publication.**  Writers serialize to a ``tmp-<pid>-<uuid>``
+  sibling and ``os.replace`` it into place.  Two processes racing to
+  write the same key both succeed; readers see either the old bytes,
+  the new bytes, or nothing — never a torn file.
+* **Corruption degrades to a miss.**  Every read validates the
+  envelope (version, kind, fingerprint, payload checksum) inside one
+  ``try``.  Truncated, garbage or half-written files count a
+  ``store.corrupt`` metric and return None; no artifact-store failure
+  is ever allowed to fail an allocation.
+* **Observable.**  Every lookup and write lands in the global
+  :data:`~repro.obs.metrics.METRICS` registry (``store.hit`` /
+  ``store.miss`` / ``store.write`` / ``store.corrupt``), and
+  :meth:`ArtifactStore.stats` reports on-disk entry counts and bytes
+  for ``repro cache stats``.
+
+Hot keys are additionally held in a small in-process LRU
+(:class:`~repro.engine.cache.ContentCache`), so a serving worker
+answering the same program repeatedly pays the disk read once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import METRICS
+from repro.schema import SCHEMA_VERSION
+
+#: Version of the *artifact* serialization (what the payloads contain
+#: and how they rehydrate).  Bump it whenever a stored analysis result
+#: would rehydrate incorrectly under the current code — old entries
+#: then live under a dead ``v<N>/`` directory and simply stop hitting.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Environment variable naming the store root.  Exported by
+#: :func:`configure_store` so forked or spawned children (grid pool
+#: workers, supervised serving workers, subprocess benchmarks) inherit
+#: the configuration without any plumbing of their own.
+ENV_VAR = "REPRO_STORE_DIR"
+
+
+def _checksum(payload: dict) -> str:
+    """Content hash of a payload, independent of envelope or file."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """One on-disk artifact directory plus its in-process LRU."""
+
+    def __init__(self, root, lru_size: int = 64) -> None:
+        self.root = Path(root)
+        self._version_dir = self.root / f"v{ARTIFACT_SCHEMA_VERSION}"
+        from repro.engine.cache import ContentCache
+
+        self._lru = ContentCache(max(1, lru_size), metric_prefix="store.lru")
+        self._io_lock = threading.Lock()
+        # Process-local traffic counters (the METRICS registry carries
+        # the same numbers globally; these back ``stats()``).
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------
+    # lookup / publish
+    # ------------------------------------------------------------------
+
+    def path_for(self, fingerprint: str, kind: str) -> Path:
+        return (
+            self._version_dir / fingerprint[:2] / f"{fingerprint}.{kind}.json"
+        )
+
+    def get(self, fingerprint: str, kind: str) -> Optional[dict]:
+        """The stored payload for ``(fingerprint, kind)``, or None.
+
+        Validates the whole envelope; any failure — missing file,
+        truncated JSON, wrong version, checksum mismatch — is a miss.
+        Callers must treat the returned payload as immutable: hits can
+        come from the shared in-process LRU.
+        """
+        key = (fingerprint, kind)
+        cached = self._lru.get(key)
+        if cached is not None:
+            self.hits += 1
+            METRICS.inc("store.hit")
+            return cached
+        path = self.path_for(fingerprint, kind)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            METRICS.inc("store.miss")
+            return None
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+            if envelope["artifact_schema"] != ARTIFACT_SCHEMA_VERSION:
+                raise ValueError("artifact schema mismatch")
+            if envelope["kind"] != kind:
+                raise ValueError("artifact kind mismatch")
+            if envelope["fingerprint"] != fingerprint:
+                raise ValueError("artifact fingerprint mismatch")
+            payload = envelope["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("artifact payload is not an object")
+            if envelope["checksum"] != _checksum(payload):
+                raise ValueError("artifact checksum mismatch")
+        except Exception:  # noqa: BLE001 - corruption is a miss, never a crash
+            self.misses += 1
+            self.corrupt += 1
+            METRICS.inc("store.miss")
+            METRICS.inc("store.corrupt")
+            return None
+        self.hits += 1
+        METRICS.inc("store.hit")
+        self._lru.put(key, payload)
+        return payload
+
+    def put(self, fingerprint: str, kind: str, payload: dict) -> bool:
+        """Publish a payload under ``(fingerprint, kind)``, atomically.
+
+        Serializes to a process-unique temp file and renames it into
+        place, so concurrent writers of the same key all succeed and
+        readers never observe a torn artifact.  Returns False (after
+        counting nothing but the attempt) when the filesystem refuses;
+        a store that cannot write is merely cold, not broken.
+        """
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "artifact_schema": ARTIFACT_SCHEMA_VERSION,
+            "kind": kind,
+            "fingerprint": fingerprint,
+            "checksum": _checksum(payload),
+            "payload": payload,
+        }
+        path = self.path_for(fingerprint, kind)
+        tmp = path.with_name(f"tmp-{os.getpid()}-{uuid.uuid4().hex}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(envelope, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.writes += 1
+        METRICS.inc("store.write")
+        self._lru.put((fingerprint, kind), payload)
+        return True
+
+    # ------------------------------------------------------------------
+    # maintenance (the ``repro cache`` subcommand)
+    # ------------------------------------------------------------------
+
+    def _artifact_files(self) -> List[Path]:
+        """Every artifact file under the root, all versions included."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.root.glob("v*/*/*.json")
+            if not path.name.startswith("tmp-")
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready store health: disk contents plus this process's
+        traffic counters (hit rates are per-process; the directory is
+        shared, the counters are not)."""
+        entries = 0
+        total_bytes = 0
+        by_kind: Dict[str, int] = {}
+        stale = 0
+        current_prefix = f"v{ARTIFACT_SCHEMA_VERSION}"
+        for path in self._artifact_files():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += size
+            kind = path.name.rsplit(".", 2)[-2] if path.name.count(".") >= 2 else "?"
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            if path.parts[-3] != current_prefix:
+                stale += 1
+        lookups = self.hits + self.misses
+        return {
+            "root": str(self.root),
+            "artifact_schema": ARTIFACT_SCHEMA_VERSION,
+            "entries": entries,
+            "bytes": total_bytes,
+            "by_kind": dict(sorted(by_kind.items())),
+            "stale_entries": stale,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "lru": self._lru.stats(),
+        }
+
+    def clear(self) -> Dict[str, int]:
+        """Delete every artifact (all schema versions); returns counts."""
+        removed = 0
+        freed = 0
+        with self._io_lock:
+            for path in self._artifact_files():
+                try:
+                    freed += path.stat().st_size
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+            self._lru.clear()
+        return {"removed": removed, "bytes_freed": freed}
+
+    def gc(self, max_bytes: int) -> Dict[str, int]:
+        """Evict oldest-atime-first until the store fits ``max_bytes``.
+
+        Access-time ordering means the artifacts a live workload keeps
+        hitting survive; entries from retired programs (and any stale
+        schema-version directory, whose atimes stopped advancing when
+        the version bumped) go first.
+        """
+        records: List[Tuple[float, int, Path]] = []
+        total = 0
+        with self._io_lock:
+            for path in self._artifact_files():
+                try:
+                    meta = path.stat()
+                except OSError:
+                    continue
+                records.append((meta.st_atime, meta.st_size, path))
+                total += meta.st_size
+            records.sort(key=lambda record: (record[0], str(record[2])))
+            removed = 0
+            freed = 0
+            for atime, size, path in records:
+                if total - freed <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                freed += size
+            if removed:
+                self._lru.clear()
+        return {
+            "removed": removed,
+            "bytes_freed": freed,
+            "bytes_remaining": total - freed,
+        }
+
+
+# ----------------------------------------------------------------------
+# process-global configuration
+# ----------------------------------------------------------------------
+
+_lock = threading.Lock()
+_configured: Optional[ArtifactStore] = None
+_env_store: Optional[ArtifactStore] = None
+_env_root: Optional[str] = None
+
+
+def configure_store(
+    root: Optional[str], export_env: bool = True
+) -> Optional[ArtifactStore]:
+    """Enable (or, with None, disable) the store for this process.
+
+    With ``export_env`` (the default) the root is also published as
+    :data:`ENV_VAR`, so any child process — forked grid workers,
+    spawned serving workers, subprocess benchmark runs — inherits the
+    same store with no explicit plumbing.  Returns the active store.
+    """
+    global _configured
+    with _lock:
+        _configured = ArtifactStore(root) if root is not None else None
+        if export_env:
+            if root is not None:
+                os.environ[ENV_VAR] = str(root)
+            else:
+                os.environ.pop(ENV_VAR, None)
+        return _configured
+
+
+def get_store() -> Optional[ArtifactStore]:
+    """The active store: explicit configuration first, then the
+    environment, else None (disabled — the default, so tests and
+    golden-trace runs never see persisted state they did not ask for).
+    """
+    global _env_store, _env_root
+    if _configured is not None:
+        return _configured
+    root = os.environ.get(ENV_VAR)
+    if not root:
+        return None
+    with _lock:
+        if _configured is not None:
+            return _configured
+        if _env_store is None or _env_root != root:
+            _env_store = ArtifactStore(root)
+            _env_root = root
+        return _env_store

@@ -99,13 +99,29 @@ def compile_workload(name: str, optimize: bool = False) -> CompiledWorkload:
 
         optimize_program(program)
     verify_program(program)
+    # Warm path: with an artifact store configured, a prior run of this
+    # program (any process, any config) already published its profile
+    # and static weights — skip the profiling interpretation entirely.
+    from repro.store import load_program_artifact, save_program_artifact
+
+    warm = load_program_artifact(program)
+    if warm is not None:
+        return CompiledWorkload(
+            workload=workload,
+            program=program,
+            profile=warm.profile,
+            baseline=warm.baseline,
+            analyses=warm.analyses,
+        )
     baseline = run_program(program)
-    return CompiledWorkload(
+    compiled = CompiledWorkload(
         workload=workload,
         program=program,
         profile=baseline.profile,
         baseline=baseline,
     )
+    save_program_artifact(program, baseline, compiled.analyses)
+    return compiled
 
 
 def clear_compiled_cache() -> None:

@@ -1,0 +1,147 @@
+"""The ``repro cache`` subcommand and the ``--store`` CLI plumbing."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.store import ENV_VAR, ArtifactStore, configure_store
+from repro.workloads.registry import clear_compiled_cache
+
+SOURCE = """
+int out[2];
+int twice(int x) { return x * 2; }
+void main() {
+    int total = 0;
+    for (int i = 0; i < 10; i = i + 1) {
+        total = total + twice(i);
+    }
+    out[0] = total;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _isolated_store(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    configure_store(None, export_env=False)
+    clear_compiled_cache()
+    yield
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    configure_store(None, export_env=False)
+    clear_compiled_cache()
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def populate(tmp_path, count: int = 3) -> str:
+    root = str(tmp_path / "store")
+    store = ArtifactStore(root)
+    for i in range(count):
+        store.put(f"{i:02x}" + "f" * 62, "program", {"index": i})
+    return root
+
+
+class TestCacheStats:
+    def test_stats_reports_entries_bytes_and_schema(self, tmp_path, capsys):
+        root = populate(tmp_path)
+        assert main(["cache", "stats", "--store", root]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["schema_version"] == 1
+        assert stats["root"] == root
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert stats["by_kind"] == {"program": 3}
+        assert "hit_rate" in stats and "lru" in stats
+
+    def test_store_root_comes_from_the_environment(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        root = populate(tmp_path)
+        monkeypatch.setenv(ENV_VAR, root)
+        assert main(["cache", "stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 3
+
+    def test_no_root_anywhere_is_an_error(self, capsys):
+        assert main(["cache", "stats"]) == 1
+        assert ENV_VAR in capsys.readouterr().err
+
+
+class TestCacheClear:
+    def test_clear_empties_the_store(self, tmp_path, capsys):
+        root = populate(tmp_path)
+        assert main(["cache", "clear", "--store", root]) == 0
+        assert "cleared 3 artifact(s)" in capsys.readouterr().out
+        assert ArtifactStore(root).stats()["entries"] == 0
+
+
+class TestCacheGC:
+    def test_gc_respects_the_byte_budget(self, tmp_path, capsys):
+        root = populate(tmp_path)
+        sizes = sum(
+            p.stat().st_size for p in ArtifactStore(root)._artifact_files()
+        )
+        assert main(
+            ["cache", "gc", "--store", root, "--max-bytes", str(sizes - 1)]
+        ) == 0
+        assert "evicted 1 artifact(s)" in capsys.readouterr().out
+        assert ArtifactStore(root).stats()["entries"] == 2
+
+    def test_gc_requires_max_bytes(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "gc", "--store", str(tmp_path)])
+
+
+class TestStoreFlag:
+    def test_allocate_with_store_publishes_and_reuses(
+        self, tmp_path, source_file, capsys
+    ):
+        root = str(tmp_path / "store")
+        assert main(["allocate", source_file, "--store", root, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert ArtifactStore(root).stats()["entries"] == 1
+        # Fresh process state is simulated by the autouse fixture
+        # running configure_store(None); re-point at the same root.
+        configure_store(None, export_env=False)
+        assert main(["allocate", source_file, "--store", root, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second == first
+        # No REPRO_STORE_DIR leak into this test process's siblings is
+        # checked by the autouse fixture teardown; here just confirm
+        # the flag exported it for child processes.
+        assert os.environ[ENV_VAR] == root
+
+    def test_sweep_json_carries_store_counters(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.metrics import METRICS
+
+        METRICS.clear()
+        root = str(tmp_path / "store")
+        assert main(
+            ["sweep", "compress", "--short", "--store", root, "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        counters = report["metrics"]["counters"]
+        assert counters.get("store.write", 0) == 1
+        configure_store(None, export_env=False)
+        clear_compiled_cache()
+        from repro.eval.runner import clear_caches
+
+        clear_caches()
+        from repro.obs.metrics import METRICS
+
+        METRICS.clear()
+        assert main(
+            ["sweep", "compress", "--short", "--store", root, "--json"]
+        ) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["metrics"]["counters"].get("store.hit", 0) >= 1

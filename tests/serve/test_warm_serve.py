@@ -1,0 +1,298 @@
+"""Serving-layer warm paths: single-flight coalescing, worker warm start.
+
+Satellite 1 (request coalescing) and the serving leg of the tentpole
+(workers that warm-start from the artifact store on spawn and
+respawn).  Coalescing is pinned deterministically on an *unstarted*
+supervisor — jobs queue but never dispatch, so the leader is provably
+in flight when the follower arrives — plus one live end-to-end run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.chaos import ServiceFault, ServiceFaultPlan
+from repro.engine import AllocationRequest
+from repro.serve import AdmissionFull, Supervisor, SupervisorConfig
+from repro.store import configure_store
+from repro.workloads.registry import clear_compiled_cache
+
+SOURCE = (
+    "int out[2];\n"
+    "int twice(int x) { return x * 2; }\n"
+    "void main() {\n"
+    "    int total = 0;\n"
+    "    for (int i = 0; i < 10; i = i + 1) { total = total + twice(i); }\n"
+    "    out[0] = total;\n"
+    "}\n"
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_store_leaks():
+    configure_store(None)
+    clear_compiled_cache()
+    yield
+    configure_store(None)
+    clear_compiled_cache()
+
+
+def request(index: int = 0, **overrides) -> AllocationRequest:
+    fields = dict(
+        source=SOURCE.replace("x * 2", f"x * 2 + {index}"),
+        name=f"req-{index}",
+    )
+    fields.update(overrides)
+    return AllocationRequest(**fields)
+
+
+def idle_supervisor(**overrides) -> Supervisor:
+    """A supervisor whose dispatchers never run: queued jobs stay
+    queued, so in-flight state is fully under the test's control."""
+    defaults = dict(workers=1, queue_size=8, result_cache_size=0)
+    defaults.update(overrides)
+    return Supervisor(SupervisorConfig(**defaults))
+
+
+OUTCOME = {
+    "status_code": 200,
+    "body": {
+        "status": "ok",
+        "cache": "miss",
+        "preset": "improved",
+        "report": {"overhead": 1.5},
+        "telemetry": {"trace_id": "leader-trace", "spans": []},
+    },
+}
+
+
+class TestCoalescing:
+    def test_identical_request_rides_the_inflight_leader(self):
+        supervisor = idle_supervisor()
+        leader = supervisor.submit([request(0)])
+        follower = supervisor.submit([request(0)])
+        assert follower is not leader
+        assert supervisor.counters["serve.coalesced"] == 1
+        # Only the leader ever reached the queue.
+        assert supervisor.bulkheads["interactive"].queue.qsize() == 1
+
+        leader.set_result([OUTCOME])
+        outcomes = follower.result(timeout=5)
+        assert outcomes[0]["status_code"] == 200
+        body = outcomes[0]["body"]
+        assert body["coalesced"] is True
+        assert body["report"] == {"overhead": 1.5}
+        # The leader's telemetry never leaks into the follower.
+        assert "telemetry" not in body
+        # The leader's own result is untouched.
+        assert "coalesced" not in leader.result(timeout=5)[0]["body"]
+
+    def test_follower_gets_its_own_trace_span(self):
+        supervisor = idle_supervisor()
+        leader = supervisor.submit([request(0, trace_id="trace-leader")])
+        follower = supervisor.submit([request(0, trace_id="trace-follower")])
+        assert supervisor.counters["serve.coalesced"] == 1
+        leader.set_result([OUTCOME])
+        body = follower.result(timeout=5)[0]["body"]
+        telemetry = body["telemetry"]
+        assert telemetry["trace_id"] == "trace-follower"
+        (span,) = telemetry["spans"]
+        assert span["name"] == "coalesced-wait"
+        assert span["trace_id"] == "trace-follower"
+        assert span["attrs"]["layer"] == "supervisor"
+        assert span["attrs"]["leader_job"]
+
+    def test_distinct_programs_never_coalesce(self):
+        supervisor = idle_supervisor()
+        supervisor.submit([request(0)])
+        supervisor.submit([request(1)])
+        assert supervisor.counters.get("serve.coalesced", 0) == 0
+        assert supervisor.bulkheads["interactive"].queue.qsize() == 2
+
+    def test_coalesce_switch_disables_single_flight(self):
+        # The chaos campaign turns coalescing off so its dispatch-
+        # indexed fault plan sees every request.
+        supervisor = idle_supervisor(coalesce=False)
+        supervisor.submit([request(0)])
+        supervisor.submit([request(0)])
+        assert supervisor.counters.get("serve.coalesced", 0) == 0
+        assert supervisor.bulkheads["interactive"].queue.qsize() == 2
+
+    def test_trace_requests_never_coalesce(self):
+        # Decision traces are per-request artifacts; sharing one
+        # execution would hand request B request A's trace.
+        supervisor = idle_supervisor()
+        supervisor.submit([request(0, trace="twice")])
+        supervisor.submit([request(0, trace="twice")])
+        assert supervisor.counters.get("serve.coalesced", 0) == 0
+
+    def test_leader_failure_propagates_to_followers(self):
+        supervisor = idle_supervisor()
+        leader = supervisor.submit([request(0)])
+        follower = supervisor.submit([request(0)])
+        leader.set_exception(RuntimeError("leader died"))
+        with pytest.raises(RuntimeError, match="leader died"):
+            follower.result(timeout=5)
+
+    def test_completed_leader_is_deregistered(self):
+        supervisor = idle_supervisor()
+        leader = supervisor.submit([request(0)])
+        leader.set_result([OUTCOME])
+        # The key is free again: the next submit is a new leader, not
+        # a follower of a finished job.
+        second = supervisor.submit([request(0)])
+        assert second is not leader
+        assert supervisor.counters.get("serve.coalesced", 0) == 0
+        assert supervisor._inflight != {}
+
+    def test_admission_full_deregisters_the_leader(self):
+        supervisor = idle_supervisor(queue_size=1)
+        supervisor.submit([request(0)])  # fills the queue
+        with pytest.raises(AdmissionFull):
+            supervisor.submit([request(1)])  # distinct key, queue full
+        # The refused job must not squat in the in-flight table.
+        assert all(
+            job.requests[0].name != "req-1"
+            for job in supervisor._inflight.values()
+        )
+
+    def test_live_coalescing_end_to_end(self):
+        """Against a real worker pool: an injected 400ms latency holds
+        the leader in flight while an identical request arrives."""
+        supervisor = Supervisor(
+            SupervisorConfig(
+                workers=1,
+                queue_size=8,
+                result_cache_size=0,
+                respawn_backoff=0.01,
+            )
+        )
+        supervisor.start()
+        try:
+            supervisor.arm_chaos(
+                ServiceFaultPlan(
+                    seed=0,
+                    faults=[
+                        ServiceFault(
+                            action="latency", after=1, latency_ms=400.0
+                        )
+                    ],
+                )
+            )
+            leader = supervisor.submit([request(0)])
+            time.sleep(0.1)  # leader dispatched, sleeping in the worker
+            follower = supervisor.submit([request(0)])
+            lead_body = leader.result(timeout=60)[0]["body"]
+            follow_body = follower.result(timeout=60)[0]["body"]
+            assert supervisor.counters["serve.coalesced"] == 1
+            assert supervisor.counters["supervisor.dispatches"] == 1
+            assert "coalesced" not in lead_body
+            assert follow_body["coalesced"] is True
+            assert follow_body["report"] == lead_body["report"]
+        finally:
+            supervisor.stop()
+
+
+class TestLoadgenWarmup:
+    def test_warmup_runs_untimed_before_the_measured_phase(self):
+        from repro.serve import LoadgenConfig, ServerConfig, run_loadgen
+
+        report = run_loadgen(
+            LoadgenConfig(requests=12, concurrency=4, warmup=6),
+            spawn=True,
+            server_config=ServerConfig(port=0, queue_size=16, workers=1),
+        )
+        # Warmup results are discarded: the report counts only the
+        # measured phase, but records how much warmup preceded it.
+        assert report.requests == 12
+        assert report.ok == 12
+        assert report.failed == 0
+        assert report.warmup == 6
+        assert report.as_dict()["warmup"] == 6
+        # Two full cycles of the 3-program mix warmed every cache, so
+        # the measured run is pure steady state: all hits.
+        assert report.cache_hits == 12
+
+    def test_warmup_defaults_to_zero(self):
+        from repro.serve import LoadgenConfig
+
+        assert LoadgenConfig().warmup == 0
+
+
+class TestWorkerWarmStart:
+    def test_fresh_workers_publish_warm_artifacts_before_traffic(
+        self, tmp_path
+    ):
+        """A worker told to pre-warm a workload compiles it (and
+        publishes the artifact) before its ready handshake."""
+        store_root = tmp_path / "store"
+        supervisor = Supervisor(
+            SupervisorConfig(
+                workers=1,
+                queue_size=8,
+                result_cache_size=0,
+                respawn_backoff=0.01,
+                store_dir=str(store_root),
+                warm_workloads=("compress",),
+            )
+        )
+        supervisor.start()
+        try:
+            outcomes = supervisor.submit(
+                [request(0, source=None, workload="compress")]
+            ).result(timeout=60)
+            assert outcomes[0]["status_code"] == 200
+            assert supervisor.counters["supervisor.warm_starts"] == 1
+        finally:
+            supervisor.stop()
+        from repro.store import ArtifactStore
+
+        stats = ArtifactStore(store_root).stats()
+        assert stats["entries"] == 1
+        assert stats["by_kind"] == {"program": 1}
+
+    def test_respawned_worker_warm_starts_again(self, tmp_path):
+        store_root = tmp_path / "store"
+        supervisor = Supervisor(
+            SupervisorConfig(
+                workers=1,
+                queue_size=8,
+                result_cache_size=0,
+                retries=2,
+                respawn_backoff=0.01,
+                store_dir=str(store_root),
+                warm_workloads=("compress",),
+            )
+        )
+        supervisor.start()
+        try:
+            supervisor.arm_chaos(
+                ServiceFaultPlan(
+                    seed=0, faults=[ServiceFault(action="kill", after=1)]
+                )
+            )
+            outcomes = supervisor.submit([request(0)]).result(timeout=60)
+            assert outcomes[0]["status_code"] == 200
+            # Spawn + at least one respawn, each warm-started.
+            assert supervisor.counters["supervisor.warm_starts"] >= 2
+            assert supervisor.counters["supervisor.respawns"] >= 1
+        finally:
+            supervisor.stop()
+        from repro.store import ArtifactStore
+
+        # compress from the warm starts, plus the retried source
+        # request's own program (the engine publishes those too).
+        assert ArtifactStore(store_root).stats()["entries"] >= 1
+
+    def test_no_store_means_no_warm_start_counter(self):
+        supervisor = Supervisor(
+            SupervisorConfig(workers=1, queue_size=8, result_cache_size=0)
+        )
+        supervisor.start()
+        try:
+            supervisor.submit([request(0)]).result(timeout=60)
+            assert "supervisor.warm_starts" not in supervisor.counters
+        finally:
+            supervisor.stop()

@@ -1,0 +1,25 @@
+"""Store tests run against throwaway roots and never leak config.
+
+The store is process-global (module singleton plus an environment
+variable that children inherit); every test here gets a clean slate
+before and after, and the compiled-workload cache is dropped so a
+warm compile from one test cannot satisfy the next.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import ENV_VAR, configure_store
+from repro.workloads.registry import clear_compiled_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_store(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    configure_store(None, export_env=False)
+    clear_compiled_cache()
+    yield
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    configure_store(None, export_env=False)
+    clear_compiled_cache()

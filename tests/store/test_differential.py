@@ -1,0 +1,216 @@
+"""Bit-identity: the warm path must change nothing but the clock.
+
+For every workload (and a spread of fuzz-generated programs), a run
+that rehydrates from the artifact store must produce *exactly* the
+results of a store-disabled run: same profiles, same baselines, same
+static weights, same allocation reports, same decision traces.  No
+float tolerance anywhere — the store round-trips through JSON, which
+preserves Python floats and dict order exactly, and these tests are
+the proof.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import AllocationEngine, AllocationRequest
+from repro.store import configure_store, get_store
+from repro.workloads.generator import random_source
+from repro.workloads.registry import (
+    clear_compiled_cache,
+    compile_workload,
+    workload_names,
+)
+
+
+def profile_snapshot(compiled) -> dict:
+    """A compiled workload's warm state as comparable plain data."""
+    program = compiled.program
+    block_to_func = {
+        id(block): func.name
+        for func in program.functions.values()
+        for block in func.blocks
+    }
+    return {
+        "entry_counts": dict(compiled.profile.entry_counts),
+        "block_counts": sorted(
+            (block_to_func[id(block)], block.name, count)
+            for block, count in compiled.profile.block_counts.items()
+        ),
+        "return_value": compiled.baseline.return_value,
+        "instructions": compiled.baseline.instructions_executed,
+        "globals": {
+            name: list(values)
+            for name, values in compiled.baseline.globals_state.items()
+        },
+        "static_weights": {
+            func.name: {
+                "entry": compiled.static_weights(func).entry_weight,
+                "blocks": {
+                    block.name: weight
+                    for block, weight in (
+                        compiled.static_weights(func).weights.items()
+                    )
+                },
+            }
+            for func in program.functions.values()
+        },
+        "dynamic_weights": {
+            func.name: {
+                block.name: weight
+                for block, weight in (
+                    compiled.dynamic_weights(func).weights.items()
+                )
+            }
+            for func in program.functions.values()
+        },
+    }
+
+
+def wire_body(result) -> dict:
+    """The full comparable surface of an engine result, timings cut."""
+    body = result.to_wire()
+    body.pop("elapsed_ms", None)
+    body.pop("cache", None)
+    return body
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_every_workload_rehydrates_bit_identical(name, tmp_path):
+    fresh = profile_snapshot(compile_workload(name))
+
+    configure_store(str(tmp_path / "store"), export_env=False)
+    clear_compiled_cache()
+    compile_workload(name)  # cold: publishes the artifact
+    store = get_store()
+    assert store.writes == 1, "cold compile must publish exactly one artifact"
+    clear_compiled_cache()
+    warm_compiled = compile_workload(name)  # warm: rehydrates it
+    assert store.hits >= 1
+    warm = profile_snapshot(warm_compiled)
+
+    # Dict == is exact: no tolerance, no rounding, no reordering.
+    assert warm == fresh
+
+
+class TestEngineWarmPath:
+    SOURCE = (
+        "int out[3];\n"
+        "int spin(int x) {\n"
+        "    int acc = x;\n"
+        "    for (int i = 0; i < 8; i = i + 1) { acc = acc * 3 + i; }\n"
+        "    return acc;\n"
+        "}\n"
+        "void main() {\n"
+        "    int total = 0;\n"
+        "    for (int i = 0; i < 30; i = i + 1) { total = total + spin(i); }\n"
+        "    out[0] = total;\n"
+        "}\n"
+    )
+
+    def request(self, **overrides) -> AllocationRequest:
+        fields = dict(source=self.SOURCE, name="warm-diff", trace="spin")
+        fields.update(overrides)
+        return AllocationRequest(**fields)
+
+    def test_store_hit_report_and_trace_match_store_off(self, tmp_path):
+        baseline = wire_body(AllocationEngine().submit(self.request()))
+
+        configure_store(str(tmp_path / "store"), export_env=False)
+        cold_engine = AllocationEngine()
+        cold = wire_body(cold_engine.submit(self.request()))
+        store = get_store()
+        assert store.writes == 1
+        # A brand-new engine (cold program cache) must hit the store...
+        warm_engine = AllocationEngine()
+        warm = wire_body(warm_engine.submit(self.request()))
+        assert store.hits >= 1
+        # ...and the golden surface — report, fingerprint, decision
+        # trace, preset — is exactly what a storeless run produces.
+        assert cold == baseline
+        assert warm == baseline
+
+    def test_presets_and_configs_share_one_artifact(self, tmp_path):
+        configure_store(str(tmp_path / "store"), export_env=False)
+        engine = AllocationEngine()
+        engine.submit(self.request())
+        for preset in ("base", "optimistic", "spillall"):
+            fresh = AllocationEngine()
+            result = fresh.submit(self.request(preset=preset))
+            off = AllocationEngine()  # store keyed per-program, not per-config
+            configure_store(None, export_env=False)
+            expected = wire_body(off.submit(self.request(preset=preset)))
+            configure_store(str(tmp_path / "store"), export_env=False)
+            assert wire_body(result) == expected
+        assert get_store().stats()["entries"] == 1, "one program, one artifact"
+
+    def test_hit_below_stored_fuel_budget_is_refused(self, tmp_path):
+        configure_store(str(tmp_path / "store"), export_env=False)
+        first = AllocationEngine().submit(self.request())
+        stored_instructions = None
+        store = get_store()
+        from repro.store import PROGRAM_ARTIFACT
+
+        payload = store.get(first.fingerprint, PROGRAM_ARTIFACT)
+        stored_instructions = payload["instructions_executed"]
+        assert stored_instructions > 1
+
+        # A fuel budget below the stored run: the warm hit must NOT
+        # mask the fuel-exhaustion error a fresh profiling run raises.
+        from repro.engine import EngineError
+
+        starved = self.request(fuel=stored_instructions - 1)
+        with pytest.raises(EngineError) as with_store:
+            AllocationEngine().submit(starved)
+        configure_store(None, export_env=False)
+        with pytest.raises(EngineError) as without_store:
+            AllocationEngine().submit(starved)
+        assert str(with_store.value) == str(without_store.value)
+
+    def test_corrupt_artifact_falls_back_to_fresh_computation(self, tmp_path):
+        baseline = wire_body(AllocationEngine().submit(self.request()))
+        configure_store(str(tmp_path / "store"), export_env=False)
+        first = AllocationEngine().submit(self.request())
+        store = get_store()
+        path = store.path_for(first.fingerprint, "program")
+        path.write_bytes(b"\x00 torn mid-write \x00")
+        # Reconfigure: a fresh store instance with a cold LRU, as a
+        # new process inheriting the directory would see it.
+        store = configure_store(str(tmp_path / "store"), export_env=False)
+        result = AllocationEngine().submit(self.request())
+        assert store.corrupt >= 1
+        assert wire_body(result) == baseline
+
+    def test_unmappable_payload_is_counted_corrupt_and_recomputed(
+        self, tmp_path
+    ):
+        """A payload naming blocks this program doesn't have (a
+        fingerprint collision in effigy) rehydrates to None."""
+        configure_store(str(tmp_path / "store"), export_env=False)
+        first = AllocationEngine().submit(self.request())
+        store = get_store()
+        from repro.store import PROGRAM_ARTIFACT
+
+        payload = store.get(first.fingerprint, PROGRAM_ARTIFACT)
+        mangled = dict(payload)
+        mangled["block_counts"] = [["no_such_func", "no_such_block", 3]]
+        store.put(first.fingerprint, PROGRAM_ARTIFACT, mangled)
+        corrupt_before = store.corrupt
+        result = AllocationEngine().submit(self.request())
+        assert store.corrupt == corrupt_before + 1
+        assert result.report == first.report
+
+
+class TestFuzzSeeds:
+    @pytest.mark.parametrize("seed", [0, 7, 23, 51, 104])
+    def test_generated_programs_round_trip_exactly(self, seed, tmp_path):
+        source = random_source(seed)
+        request = AllocationRequest(source=source, name=f"fuzz-{seed}")
+        baseline = wire_body(AllocationEngine().submit(request))
+
+        configure_store(str(tmp_path / "store"), export_env=False)
+        cold = wire_body(AllocationEngine().submit(request))
+        warm = wire_body(AllocationEngine().submit(request))
+        assert get_store().hits >= 1
+        assert cold == baseline
+        assert warm == baseline

@@ -1,0 +1,298 @@
+"""The artifact store's on-disk contract: atomicity, corruption, GC.
+
+Satellite 4 of the warm-path PR.  The properties pinned here are the
+ones the tentpole leans on: a torn, truncated or garbage file is a
+miss (never a crash), two processes racing to publish the same key
+both succeed, and a schema-version bump silently retires every old
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+import repro.store.store as store_module
+from repro.store import (
+    ARTIFACT_SCHEMA_VERSION,
+    ENV_VAR,
+    ArtifactStore,
+    configure_store,
+    get_store,
+)
+
+FP = "ab" + "0" * 62
+PAYLOAD = {"entry_counts": {"main": 1}, "numbers": [1, 2.5, -3]}
+
+
+def make_store(tmp_path, **kwargs) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store", **kwargs)
+
+
+class TestRoundTrip:
+    def test_put_then_get_returns_equal_payload(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.put(FP, "program", PAYLOAD) is True
+        assert store.get(FP, "program") == PAYLOAD
+        assert store.writes == 1 and store.hits == 1
+
+    def test_payload_survives_a_fresh_store_instance(self, tmp_path):
+        make_store(tmp_path).put(FP, "program", PAYLOAD)
+        reader = make_store(tmp_path)
+        assert reader.get(FP, "program") == PAYLOAD
+
+    def test_layout_is_versioned_and_sharded(self, tmp_path):
+        store = make_store(tmp_path)
+        path = store.path_for(FP, "program")
+        assert path.parts[-3] == f"v{ARTIFACT_SCHEMA_VERSION}"
+        assert path.parts[-2] == FP[:2]
+        assert path.name == f"{FP}.program.json"
+
+    def test_absent_key_is_a_plain_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.get(FP, "program") is None
+        assert store.misses == 1 and store.corrupt == 0
+
+    def test_lru_serves_repeat_reads_without_disk(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(FP, "program", PAYLOAD)
+        fresh = make_store(tmp_path)
+        assert fresh.get(FP, "program") == PAYLOAD
+        fresh.path_for(FP, "program").unlink()
+        # File gone, LRU still answers.
+        assert fresh.get(FP, "program") == PAYLOAD
+
+
+class TestCorruption:
+    """Every flavor of bad file degrades to a miss, never an error."""
+
+    def corrupt_and_get(self, tmp_path, raw: bytes):
+        store = make_store(tmp_path)
+        store.put(FP, "program", PAYLOAD)
+        store.path_for(FP, "program").write_bytes(raw)
+        reader = make_store(tmp_path)  # cold LRU: forces the disk read
+        result = reader.get(FP, "program")
+        return reader, result
+
+    def test_truncated_file_is_a_corrupt_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(FP, "program", PAYLOAD)
+        raw = store.path_for(FP, "program").read_bytes()[: len(FP) // 2]
+        reader, result = self.corrupt_and_get(tmp_path, raw)
+        assert result is None
+        assert reader.corrupt == 1 and reader.misses == 1
+
+    def test_garbage_bytes_are_a_corrupt_miss(self, tmp_path):
+        reader, result = self.corrupt_and_get(tmp_path, b"\x00\xffnot json")
+        assert result is None
+        assert reader.corrupt == 1
+
+    def test_checksum_mismatch_is_a_corrupt_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(FP, "program", PAYLOAD)
+        envelope = json.loads(store.path_for(FP, "program").read_text())
+        envelope["payload"]["numbers"][0] = 999  # tampered payload
+        reader, result = self.corrupt_and_get(
+            tmp_path, json.dumps(envelope).encode()
+        )
+        assert result is None
+        assert reader.corrupt == 1
+
+    def test_wrong_fingerprint_in_envelope_is_corrupt(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(FP, "program", PAYLOAD)
+        envelope = json.loads(store.path_for(FP, "program").read_text())
+        envelope["fingerprint"] = "cd" + "0" * 62
+        reader, result = self.corrupt_and_get(
+            tmp_path, json.dumps(envelope).encode()
+        )
+        assert result is None
+
+    def test_partially_written_tmp_files_are_invisible(self, tmp_path):
+        """A writer that died mid-publish leaves only a tmp- sibling."""
+        store = make_store(tmp_path)
+        path = store.path_for(FP, "program")
+        path.parent.mkdir(parents=True)
+        (path.parent / "tmp-99999-deadbeef").write_text('{"half": ')
+        assert store.get(FP, "program") is None
+        assert store.corrupt == 0  # plain miss: the real file never existed
+        assert store.stats()["entries"] == 0
+
+    def test_corrupt_entry_can_be_overwritten_and_recovered(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(FP, "program", PAYLOAD)
+        store.path_for(FP, "program").write_bytes(b"garbage")
+        reader = make_store(tmp_path)
+        assert reader.get(FP, "program") is None
+        assert reader.put(FP, "program", PAYLOAD) is True
+        assert make_store(tmp_path).get(FP, "program") == PAYLOAD
+
+
+class TestSchemaVersion:
+    def test_version_bump_invalidates_everything(self, tmp_path, monkeypatch):
+        old = make_store(tmp_path)
+        old.put(FP, "program", PAYLOAD)
+        monkeypatch.setattr(
+            store_module,
+            "ARTIFACT_SCHEMA_VERSION",
+            ARTIFACT_SCHEMA_VERSION + 1,
+        )
+        bumped = make_store(tmp_path)
+        assert bumped.get(FP, "program") is None
+        assert bumped.corrupt == 0  # stale entries are unreachable, not torn
+        # The old entry still counts as on-disk bytes — and as stale.
+        stats = bumped.stats()
+        assert stats["entries"] == 1
+        assert stats["stale_entries"] == 1
+
+    def test_old_envelope_under_new_path_is_rejected(self, tmp_path):
+        """Belt and braces: even a file *moved* into the current
+        version directory fails the in-envelope version check."""
+        store = make_store(tmp_path)
+        store.put(FP, "program", PAYLOAD)
+        path = store.path_for(FP, "program")
+        envelope = json.loads(path.read_text())
+        envelope["artifact_schema"] = ARTIFACT_SCHEMA_VERSION + 7
+        path.write_text(json.dumps(envelope))
+        reader = make_store(tmp_path)
+        assert reader.get(FP, "program") is None
+        assert reader.corrupt == 1
+
+
+def _race_writer(root: str, index: int, queue) -> None:
+    store = ArtifactStore(root)
+    payload = dict(PAYLOAD, writer=index)
+    queue.put((index, store.put(FP, "program", payload)))
+
+
+class TestWriteRace:
+    def test_two_processes_publishing_the_same_key_both_succeed(
+        self, tmp_path
+    ):
+        root = str(tmp_path / "store")
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        writers = [
+            context.Process(target=_race_writer, args=(root, i, queue))
+            for i in range(2)
+        ]
+        for proc in writers:
+            proc.start()
+        results = [queue.get(timeout=30) for _ in writers]
+        for proc in writers:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+        assert all(ok for _, ok in results)
+        # Exactly one winner, its file fully intact, no tmp litter.
+        reader = ArtifactStore(root)
+        payload = reader.get(FP, "program")
+        assert payload is not None and reader.corrupt == 0
+        assert payload["writer"] in (0, 1)
+        leftovers = [
+            p for p in reader.path_for(FP, "program").parent.iterdir()
+            if p.name.startswith("tmp-")
+        ]
+        assert leftovers == []
+
+
+class TestMaintenance:
+    def fill(self, store: ArtifactStore, count: int) -> list:
+        fingerprints = [f"{i:02x}" + "e" * 62 for i in range(count)]
+        for i, fp in enumerate(fingerprints):
+            store.put(fp, "program", {"index": i, "pad": "x" * 64})
+        return fingerprints
+
+    def test_stats_counts_entries_bytes_and_kinds(self, tmp_path):
+        store = make_store(tmp_path)
+        self.fill(store, 3)
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["by_kind"] == {"program": 3}
+        assert stats["bytes"] > 0
+        assert stats["writes"] == 3
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = make_store(tmp_path)
+        fingerprints = self.fill(store, 3)
+        summary = store.clear()
+        assert summary["removed"] == 3
+        assert summary["bytes_freed"] > 0
+        assert store.stats()["entries"] == 0
+        # The LRU was dropped too: nothing resurrects a cleared key.
+        assert store.get(fingerprints[0], "program") is None
+
+    def test_gc_evicts_oldest_atime_first(self, tmp_path):
+        store = make_store(tmp_path)
+        fingerprints = self.fill(store, 4)
+        paths = [store.path_for(fp, "program") for fp in fingerprints]
+        # Stamp strictly increasing access times: index 0 is coldest.
+        for i, path in enumerate(paths):
+            os.utime(path, (1_000_000 + i * 1000, 1_000_000 + i * 1000))
+        sizes = [path.stat().st_size for path in paths]
+        budget = sum(sizes) - 1  # force at least one eviction
+        summary = store.gc(max_bytes=budget)
+        assert summary["removed"] == 1
+        assert not paths[0].exists()  # the coldest entry went first
+        assert all(path.exists() for path in paths[1:])
+        assert summary["bytes_remaining"] <= budget
+
+    def test_gc_is_a_noop_under_budget(self, tmp_path):
+        store = make_store(tmp_path)
+        self.fill(store, 2)
+        summary = store.gc(max_bytes=10**9)
+        assert summary == {
+            "removed": 0,
+            "bytes_freed": 0,
+            "bytes_remaining": store.stats()["bytes"],
+        }
+
+
+class TestConfiguration:
+    def test_disabled_by_default(self):
+        assert get_store() is None
+
+    def test_configure_store_activates_and_exports(self, tmp_path):
+        root = tmp_path / "store"
+        store = configure_store(str(root))
+        try:
+            assert get_store() is store
+            assert os.environ[ENV_VAR] == str(root)
+        finally:
+            configure_store(None)
+        assert get_store() is None
+        assert ENV_VAR not in os.environ
+
+    def test_environment_variable_alone_enables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "env-store"))
+        store = get_store()
+        assert store is not None
+        assert store.root == tmp_path / "env-store"
+        # Cached: the same store object answers again.
+        assert get_store() is store
+
+    def test_explicit_configuration_beats_the_environment(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "env-store"))
+        store = configure_store(str(tmp_path / "explicit"), export_env=False)
+        assert get_store() is store
+
+
+class TestFailureSwallowing:
+    def test_unwritable_root_fails_put_quietly(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the store root should be")
+        store = ArtifactStore(blocked)
+        assert store.put(FP, "program", PAYLOAD) is False
+        assert store.writes == 0
+
+    def test_unserializable_payload_raises_for_direct_put(self, tmp_path):
+        # ArtifactStore.put is strict; the swallow-everything contract
+        # lives one layer up in save_program_artifact.
+        store = make_store(tmp_path)
+        with pytest.raises(TypeError):
+            store.put(FP, "program", {"bad": object()})

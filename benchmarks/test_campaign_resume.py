@@ -1,0 +1,62 @@
+"""Benchmark: campaign resume payoff (cold run vs. journal replay).
+
+A campaign's crash-safety costs something on the hot path — one
+fsync'd journal append per computed point — and buys something on
+resume: a rerun replays the journal instead of recomputing the grid.
+This benchmark measures both sides on a real campaign: the cold run
+(every point computed and journaled) against the resumed run (every
+point skipped via replay), asserting the resume is strictly faster
+and recording the journaling overhead per point for EXPERIMENTS.md.
+"""
+
+import time
+
+from repro.campaign import parse_spec, run_campaign
+from repro.eval import clear_caches
+
+SPEC = {
+    "campaign": {"name": "bench-resume"},
+    "grid": {
+        "workloads": ["compress", "li", "eqntott"],
+        "presets": ["base", "improved"],
+        "configs": [[4, 2, 2, 2], [6, 4, 2, 2]],
+    },
+    "run": {"shard_size": 4},
+}
+
+
+def test_resume_replays_instead_of_recomputing(results_dir, tmp_path):
+    spec = parse_spec(SPEC)
+    out = tmp_path / "campaign"
+
+    clear_caches()
+    cold_start = time.perf_counter()
+    cold = run_campaign(spec, out)
+    cold_seconds = time.perf_counter() - cold_start
+    assert cold.complete and cold.counts() == {"computed": len(spec.points)}
+
+    clear_caches()  # the resume may not lean on in-process caches
+    warm_start = time.perf_counter()
+    warm = run_campaign(spec, out)
+    warm_seconds = time.perf_counter() - warm_start
+    assert warm.digest == cold.digest
+    assert warm.runs == 2
+
+    assert warm_seconds < cold_seconds, (
+        f"resume ({warm_seconds:.3f}s) should beat the cold run "
+        f"({cold_seconds:.3f}s): it only replays the journal"
+    )
+
+    journal_bytes = (out / "journal.jsonl").stat().st_size
+    report = "\n".join(
+        [
+            f"campaign resume, {len(spec.points)} points "
+            "(journal replay vs. recompute)",
+            f"cold run:  {cold_seconds:8.3f} s",
+            f"resume:    {warm_seconds:8.3f} s",
+            f"speedup:   {cold_seconds / warm_seconds:8.1f}x",
+            f"journal:   {journal_bytes:8d} bytes "
+            f"({journal_bytes // max(1, len(spec.points))} per point)",
+        ]
+    )
+    (results_dir / "campaign_resume.txt").write_text(report + "\n")

@@ -1,0 +1,64 @@
+"""Crash-safe, resumable experiment campaigns.
+
+A campaign is the whole paper's measurement grid declared once in a
+TOML file, compiled to a deterministic point list, executed in shards
+through the fault-tolerant sweep executor, and checkpointed to an
+append-only journal after every point.  Re-running the same spec
+against the same output directory resumes: completed points are
+skipped, interrupted points are retried, genuinely failed points get
+a bounded retry budget, and points that keep killing the process are
+quarantined as poison.  The report (JSON + self-contained HTML) is a
+pure fold over the journal, so it can be rebuilt offline from the
+campaign directory alone — including after ``kill -9``.
+
+Layering::
+
+    spec.py      TOML -> CampaignSpec (validated, deterministic points)
+    journal.py   append-only checksummed JSONL, tolerant replay
+    executor.py  shard / journal / checkpoint / resume / report
+    html.py      self-contained HTML from a CampaignReport
+"""
+
+from repro.campaign.executor import (
+    CampaignError,
+    CampaignReport,
+    PointOutcome,
+    build_report,
+    publish_report,
+    report_from_directory,
+    run_campaign,
+)
+from repro.campaign.html import render_campaign_html
+from repro.campaign.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    KILL_ENV_VAR,
+    CampaignJournal,
+    ReplayState,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    SpecError,
+    load_spec,
+    parse_spec,
+    point_id,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignJournal",
+    "CampaignReport",
+    "CampaignSpec",
+    "JOURNAL_SCHEMA_VERSION",
+    "KILL_ENV_VAR",
+    "PointOutcome",
+    "ReplayState",
+    "SpecError",
+    "build_report",
+    "load_spec",
+    "parse_spec",
+    "point_id",
+    "publish_report",
+    "render_campaign_html",
+    "report_from_directory",
+    "run_campaign",
+]

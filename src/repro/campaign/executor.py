@@ -1,0 +1,531 @@
+"""The campaign executor: shard, journal, checkpoint, resume, report.
+
+:func:`run_campaign` turns a :class:`~repro.campaign.spec.CampaignSpec`
+plus an output directory into a finished (or checkpointed)
+:class:`CampaignReport`.  The directory is the campaign's entire
+durable state — ``journal.jsonl`` plus the atomically-published
+``report.json`` / ``report.html`` — so "resume" is not a separate
+command: running the same spec against the same directory *is* the
+resume.  The executor replays the journal, decides per point whether
+it is done, owed a retry, quarantined, or pending, and runs only what
+is left.
+
+Lifecycle of one invocation ("run" below means one process lifetime):
+
+1. Replay the journal.  A header whose spec digest disagrees with the
+   current spec is a hard error — silently mixing two campaigns' points
+   in one journal would corrupt both reports.
+2. Classify every spec point: ``computed`` stays done; ``failed``
+   retries while journal-recorded failures are within the spec's
+   retry budget; ``interrupted`` always reruns (a death is not a
+   verdict); points struck by orphaned shard starts at or past
+   ``poison_threshold`` are quarantined, below it they rerun in
+   **singleton shards** so the next death convicts exactly one point.
+3. Write ``shard_start`` before touching a shard, journal every
+   computed point from ``run_grid``'s ``on_point`` hook the moment it
+   merges, journal failures when the shard resolves.
+4. SIGTERM and SIGINT both convert to ``KeyboardInterrupt``, which
+   ``run_grid`` already absorbs into an interrupted report: the
+   executor journals the cut-off points as ``interrupted``, writes
+   ``run_end`` and returns a checkpointed report.  ``kill -9`` skips
+   all of that by definition — then the *absence* of ``run_end`` is
+   itself the durable record (orphaned shard starts, see step 2).
+5. Rebuild the report purely from a fresh journal replay — never from
+   in-memory state — so ``repro campaign report`` produces the
+   identical artifact from the directory alone.
+
+The report digest covers only deterministic outcomes (point status,
+overhead components, cycles, error text) plus the spec digest: an
+uninterrupted run and any kill/resume sequence that converges to the
+same measurements produce byte-identical digests, which is exactly
+what the campaign chaos test asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.eval.runner import (
+    FailureRecord,
+    Measurement,
+    MeasureKey,
+    ResultCache,
+    describe_key,
+    key_as_dict,
+    run_grid,
+)
+
+from repro.campaign.journal import CampaignJournal, ReplayState
+from repro.campaign.spec import CampaignSpec, point_id
+
+
+class CampaignError(RuntimeError):
+    """A campaign that cannot run (digest mismatch, unwritable dir)."""
+
+
+@dataclass
+class PointOutcome:
+    """The report's view of one grid point."""
+
+    point_id: str
+    label: str
+    key: dict
+    #: computed | failed | interrupted | quarantined | pending
+    status: str
+    overhead: Optional[dict] = None
+    cycles: Optional[float] = None
+    #: Resilience rung that produced the numbers (resilient runs only).
+    rung: Optional[str] = None
+    error: Optional[str] = None
+    attempts: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def digest_view(self) -> dict:
+        """The deterministic slice that feeds the campaign digest.
+
+        Attempts, rungs and run attribution vary with scheduling and
+        kill timing; status and the measured numbers do not.
+        """
+        return {
+            "point_id": self.point_id,
+            "status": self.status,
+            "overhead": self.overhead,
+            "cycles": self.cycles,
+            "error": self.error,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Everything a finished (or checkpointed) campaign knows."""
+
+    name: str
+    spec_digest: str
+    outcomes: List[PointOutcome] = field(default_factory=list)
+    #: True when this invocation checkpointed on a signal instead of
+    #: finishing the point list.
+    interrupted: bool = False
+    runs: int = 0
+    #: Runs that died without a ``run_end`` (kill -9, OOM, power).
+    dead_runs: int = 0
+    corrupt_records: int = 0
+    replayed_records: int = 0
+    #: Points recomputed this invocation because an earlier run only
+    #: interrupted them.
+    resumed_points: int = 0
+    #: Chrome trace files written next to the journal, newest last.
+    traces: List[str] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return tally
+
+    @property
+    def complete(self) -> bool:
+        return all(
+            outcome.status in ("computed", "failed", "quarantined")
+            for outcome in self.outcomes
+        )
+
+    @property
+    def digest(self) -> str:
+        """Digest of the deterministic campaign outcome.
+
+        Covers the spec digest and every point's :meth:`digest_view`,
+        in spec order.  Resume accounting (runs, corrupt records,
+        attempts) is deliberately excluded: a campaign killed three
+        times must converge to the same digest as one that never was.
+        """
+        doc = {
+            "spec_digest": self.spec_digest,
+            "points": [outcome.digest_view() for outcome in self.outcomes],
+        }
+        canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def as_dict(self) -> dict:
+        return {
+            "campaign_schema": 1,
+            "name": self.name,
+            "spec_digest": self.spec_digest,
+            "digest": self.digest,
+            "complete": self.complete,
+            "interrupted": self.interrupted,
+            "counts": self.counts(),
+            "runs": self.runs,
+            "dead_runs": self.dead_runs,
+            "corrupt_records": self.corrupt_records,
+            "replayed_records": self.replayed_records,
+            "resumed_points": self.resumed_points,
+            "traces": list(self.traces),
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Publish ``path`` atomically: readers see old bytes or new bytes."""
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _measurement_payload(measurement: Measurement) -> dict:
+    rung = None
+    if measurement.resilience is not None:
+        rung = measurement.resilience.get("rung")
+    return {
+        "overhead": asdict(measurement.overhead),
+        "cycles": measurement.cycles,
+        "rung": rung,
+    }
+
+
+def build_report(
+    spec: CampaignSpec,
+    state: ReplayState,
+    interrupted: bool = False,
+    resumed_points: int = 0,
+    traces: Optional[List[str]] = None,
+) -> CampaignReport:
+    """Fold a journal replay into a :class:`CampaignReport`.
+
+    Pure function of (spec, replay): ``repro campaign report`` calls
+    it on a bare directory and gets the same artifact the executor
+    published, which is what makes the HTML rebuildable offline.
+    """
+    report = CampaignReport(
+        name=spec.name,
+        spec_digest=spec.digest,
+        interrupted=interrupted,
+        runs=len(state.runs),
+        dead_runs=len(state.dead_runs),
+        corrupt_records=state.corrupt_records,
+        replayed_records=state.replayed_records,
+        resumed_points=resumed_points,
+        traces=list(traces or ()),
+    )
+    for key in spec.points:
+        pid = point_id(key)
+        outcome = PointOutcome(
+            point_id=pid,
+            label=describe_key(key),
+            key=key_as_dict(key),
+            status="pending",
+        )
+        record = state.points.get(pid)
+        if pid in state.quarantined:
+            outcome.status = "quarantined"
+            outcome.error = state.quarantined[pid].get("reason", "poison point")
+            outcome.attempts = state.quarantined[pid].get("strikes", 0)
+        elif record is not None:
+            outcome.status = record.get("status", "pending")
+            outcome.overhead = record.get("overhead")
+            outcome.cycles = record.get("cycles")
+            outcome.rung = record.get("rung")
+            outcome.error = record.get("error")
+            outcome.attempts = record.get("attempts", 0)
+            if outcome.status == "failed":
+                outcome.attempts = state.failed_attempts.get(pid, 1)
+        report.outcomes.append(outcome)
+    return report
+
+
+def publish_report(report: CampaignReport, directory: Path) -> Path:
+    """Atomically write ``report.json`` and ``report.html``."""
+    from repro.campaign.html import render_campaign_html
+
+    directory = Path(directory)
+    payload = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    _atomic_write_text(directory / "report.json", payload)
+    _atomic_write_text(directory / "report.html", render_campaign_html(report))
+    return directory / "report.json"
+
+
+@dataclass
+class _PlannedPoint:
+    key: MeasureKey
+    pid: str
+    #: Points with orphan strikes run alone for precise attribution.
+    singleton: bool = False
+
+
+def _plan(
+    spec: CampaignSpec, state: ReplayState, journal: CampaignJournal
+) -> Tuple[List[_PlannedPoint], int]:
+    """Decide what this invocation must compute.
+
+    Returns the pending plan and how many of those points are resumes
+    of interrupted work (for the report's resume accounting).  Appends
+    ``quarantine`` records for points that just struck out.
+    """
+    pending: List[_PlannedPoint] = []
+    resumed = 0
+    for key in spec.points:
+        pid = point_id(key)
+        if pid in state.quarantined:
+            continue
+        strikes = state.strikes.get(pid, 0)
+        status = state.status_of(pid)
+        if status == "computed":
+            continue
+        if strikes >= spec.poison_threshold:
+            journal.append(
+                "quarantine",
+                {
+                    "point_id": pid,
+                    "label": describe_key(key),
+                    "strikes": strikes,
+                    "reason": (
+                        f"killed {strikes} run(s) without completing "
+                        f"(threshold {spec.poison_threshold})"
+                    ),
+                },
+            )
+            state.quarantined[pid] = {"strikes": strikes}
+            continue
+        if status == "failed":
+            if state.failed_attempts.get(pid, 0) > spec.retries:
+                continue  # budget exhausted: stays failed in the report
+            pending.append(_PlannedPoint(key, pid, singleton=strikes > 0))
+            continue
+        if status == "interrupted":
+            resumed += 1
+        pending.append(_PlannedPoint(key, pid, singleton=strikes > 0))
+    return pending, resumed
+
+
+def _shards(
+    plan: List[_PlannedPoint], shard_size: int
+) -> List[List[_PlannedPoint]]:
+    """Suspects first, each alone; then the innocent, ``shard_size`` at
+    a time in spec order (which is workload-major, matching run_grid's
+    chunking)."""
+    shards: List[List[_PlannedPoint]] = []
+    bulk: List[_PlannedPoint] = []
+    for planned in plan:
+        if planned.singleton:
+            shards.append([planned])
+        else:
+            bulk.append(planned)
+    for start in range(0, len(bulk), shard_size):
+        shards.append(bulk[start : start + shard_size])
+    return shards
+
+
+class _SignalCheckpoint:
+    """Route SIGTERM through the same checkpoint path as Ctrl-C.
+
+    ``run_grid`` already turns ``KeyboardInterrupt`` into a clean
+    interrupted report; re-raising it from the SIGTERM handler makes a
+    polite ``kill`` indistinguishable from Ctrl-C — journal the cut
+    points, write ``run_end``, publish the checkpointed report, exit.
+    """
+
+    def __init__(self) -> None:
+        self.signaled: Optional[int] = None
+        self._previous: Dict[int, object] = {}
+
+    def __enter__(self) -> "_SignalCheckpoint":
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+
+    def _handle(self, signum, frame) -> None:
+        self.signaled = signum
+        raise KeyboardInterrupt
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignReport:
+    """Run (or resume) ``spec`` against ``out_dir``; see module docs."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    journal = CampaignJournal(directory)
+    state = journal.replay()
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    if state.header is not None:
+        recorded = state.header.get("spec_digest")
+        if recorded != spec.digest:
+            raise CampaignError(
+                f"journal in {directory} belongs to a different campaign "
+                f"(spec digest {recorded}, current {spec.digest}); "
+                f"use a fresh --out directory"
+            )
+        say(
+            f"resuming {spec.name}: {state.replayed_records} record(s) "
+            f"replayed, {state.corrupt_records} corrupt, "
+            f"{len(state.dead_runs)} dead run(s)"
+        )
+    else:
+        journal.append(
+            "campaign",
+            {
+                "name": spec.name,
+                "spec_digest": spec.digest,
+                "points": len(spec.points),
+            },
+        )
+    # Replay-derived seq continues after what's on disk so a resumed
+    # journal keeps monotonically increasing sequence numbers.
+    journal._seq = max(journal._seq, state.replayed_records + state.corrupt_records)
+
+    plan, resumed_points = _plan(spec, state, journal)
+    say(
+        f"{spec.name}: {len(spec.points)} point(s), "
+        f"{len(plan)} to compute ({resumed_points} resumed)"
+    )
+
+    run_id = f"run-{len(state.runs) + 1:03d}-{os.getpid()}-{int(time.time())}"
+    traces = sorted(p.name for p in directory.glob("trace-*.json"))
+    interrupted = False
+    spans: list = []
+    # A private cache per invocation: cross-run reuse is the journal's
+    # job, and process-global cache state (a warm experiment driver in
+    # the same interpreter) must not leak into campaign accounting.
+    cache = ResultCache()
+
+    with _SignalCheckpoint() as checkpoint:
+        try:
+            for shard in _shards(plan, spec.shard_size):
+                keys = [planned.key for planned in shard]
+                ids = {planned.key: planned.pid for planned in shard}
+                journal.append(
+                    "shard_start",
+                    {"run_id": run_id, "points": [p.pid for p in shard]},
+                )
+
+                def on_point(key: MeasureKey, measurement: Measurement) -> None:
+                    payload = {
+                        "point_id": ids[key],
+                        "run_id": run_id,
+                        "key": key_as_dict(key),
+                        "status": "computed",
+                        "attempts": 1,
+                    }
+                    payload.update(_measurement_payload(measurement))
+                    journal.append("point", payload)
+                    if spec.trace:
+                        spans.extend(measurement.spans)
+
+                grid = run_grid(
+                    keys,
+                    jobs=spec.jobs,
+                    cache=cache,
+                    verify=spec.verify,
+                    timeout=spec.timeout,
+                    resilient=spec.resilient,
+                    trace=spec.trace,
+                    on_point=on_point,
+                )
+                # Spec points are deduplicated, so a cached resolution
+                # should be impossible with the private cache — but if
+                # one ever happens, journal it as computed anyway so
+                # the journal alone reconstructs the report.
+                for key in grid.cached:
+                    measurement = cache.peek(key)
+                    if measurement is None:  # pragma: no cover - defensive
+                        continue
+                    payload = {
+                        "point_id": ids[key],
+                        "run_id": run_id,
+                        "key": key_as_dict(key),
+                        "status": "computed",
+                        "attempts": 1,
+                    }
+                    payload.update(_measurement_payload(measurement))
+                    journal.append("point", payload)
+                for record in grid.failed:
+                    journal.append(
+                        "point",
+                        {
+                            "point_id": ids[record.key],
+                            "run_id": run_id,
+                            "key": key_as_dict(record.key),
+                            "status": (
+                                "interrupted"
+                                if record.interrupted
+                                else "failed"
+                            ),
+                            "error": record.error,
+                            "attempts": record.attempts,
+                        },
+                    )
+                if grid.interrupted:
+                    interrupted = True
+                    break
+        except KeyboardInterrupt:
+            # Signal landed outside run_grid (between shards, or while
+            # journaling): everything not yet journaled this shard is
+            # simply absent, which replay treats as pending.
+            interrupted = True
+
+    if checkpoint.signaled is not None:
+        interrupted = True
+        say(f"checkpointing on signal {checkpoint.signaled}")
+
+    if spec.trace and spans:
+        from repro.obs import write_chrome_trace
+
+        trace_name = f"trace-{run_id}.json"
+        write_chrome_trace(directory / trace_name, spans)
+        traces.append(trace_name)
+
+    journal.append("run_end", {"run_id": run_id, "interrupted": interrupted})
+    journal.close()
+
+    final_state = journal.replay()
+    report = build_report(
+        spec,
+        final_state,
+        interrupted=interrupted,
+        resumed_points=resumed_points,
+        traces=traces,
+    )
+    publish_report(report, directory)
+    say(
+        f"{spec.name}: {report.counts()} — "
+        + ("checkpointed" if interrupted else "complete")
+        + f", digest {report.digest[:16]}"
+    )
+    return report
+
+
+def report_from_directory(spec: CampaignSpec, out_dir) -> CampaignReport:
+    """Rebuild the report for ``out_dir`` from its journal alone."""
+    directory = Path(out_dir)
+    journal = CampaignJournal(directory)
+    state = journal.replay()
+    if state.header is not None:
+        recorded = state.header.get("spec_digest")
+        if recorded != spec.digest:
+            raise CampaignError(
+                f"journal in {directory} belongs to a different campaign "
+                f"(spec digest {recorded}, current {spec.digest})"
+            )
+    traces = sorted(p.name for p in directory.glob("trace-*.json"))
+    return build_report(spec, state, traces=traces)

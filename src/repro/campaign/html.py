@@ -1,0 +1,162 @@
+"""Self-contained HTML campaign reports, rendered from the journal.
+
+One file, no external assets, inline CSS: the report survives being
+mailed around or attached to CI runs.  Everything in it comes from
+:class:`~repro.campaign.executor.CampaignReport`, which is itself a
+pure fold over ``journal.jsonl`` — so ``repro campaign report`` can
+regenerate the page from a bare campaign directory at any time,
+including one whose process was ``kill -9``'d mid-run.
+
+Layout follows the paper's presentation: one table per workload with
+the overhead components (spill / caller-save / callee-save / shuffle)
+and cycle counts per allocator × register file, then the campaign's
+failure and resume accounting (retries, quarantined poison points,
+dead runs, corrupt journal records), then links to any Chrome trace
+files captured alongside the journal.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.campaign.executor import CampaignReport, PointOutcome
+
+_STYLE = """
+body { font-family: Georgia, 'Times New Roman', serif; margin: 2rem auto;
+       max-width: 72rem; color: #1a1a1a; }
+h1, h2 { font-weight: normal; border-bottom: 1px solid #888;
+         padding-bottom: .2rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: .9rem;
+        font-variant-numeric: tabular-nums; }
+th, td { border: 1px solid #bbb; padding: .25rem .6rem; text-align: right; }
+th { background: #f2f2ee; }
+td.label, th.label { text-align: left; font-family: ui-monospace, monospace; }
+.status-computed { color: #14600f; }
+.status-failed { color: #8c1515; font-weight: bold; }
+.status-interrupted, .status-pending { color: #8a6d00; }
+.status-quarantined { color: #8c1515; font-style: italic; }
+.summary { background: #f7f7f2; border: 1px solid #ccc; padding: .8rem 1rem; }
+.summary dt { font-weight: bold; float: left; clear: left; width: 16rem; }
+.summary dd { margin-left: 17rem; }
+code { background: #eee; padding: 0 .2rem; }
+"""
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value))
+
+
+def _fmt(value, digits: int = 0) -> str:
+    if value is None:
+        return "—"
+    return f"{value:,.{digits}f}"
+
+
+def _workload_table(workload: str, outcomes: List["PointOutcome"]) -> List[str]:
+    rows = [
+        f"<h2>{_esc(workload)}</h2>",
+        "<table>",
+        "<tr><th class=label>allocator</th><th class=label>config</th>"
+        "<th class=label>info</th><th>spill</th><th>caller</th>"
+        "<th>callee</th><th>shuffle</th><th>total</th><th>cycles</th>"
+        "<th class=label>status</th></tr>",
+    ]
+    for outcome in outcomes:
+        key = outcome.key
+        options_label = outcome.label.split(":", 2)[1] if ":" in outcome.label else "?"
+        overhead = outcome.overhead or {}
+        total = sum(overhead.values()) if overhead else None
+        status = _esc(outcome.status)
+        detail = ""
+        if outcome.error:
+            detail = f' title="{_esc(outcome.error)}"'
+        rows.append(
+            "<tr>"
+            f"<td class=label>{_esc(options_label)}</td>"
+            f"<td class=label>{_esc(tuple(key['config']))}</td>"
+            f"<td class=label>{_esc(key['info'])}</td>"
+            f"<td>{_fmt(overhead.get('spill'))}</td>"
+            f"<td>{_fmt(overhead.get('caller_save'))}</td>"
+            f"<td>{_fmt(overhead.get('callee_save'))}</td>"
+            f"<td>{_fmt(overhead.get('shuffle'))}</td>"
+            f"<td>{_fmt(total)}</td>"
+            f"<td>{_fmt(outcome.cycles)}</td>"
+            f"<td class='label status-{status}'{detail}>{status}</td>"
+            "</tr>"
+        )
+    rows.append("</table>")
+    return rows
+
+
+def render_campaign_html(report: "CampaignReport") -> str:
+    """The whole report as one self-contained HTML document."""
+    counts = report.counts()
+    state = "checkpointed (resumable)" if report.interrupted else (
+        "complete" if report.complete else "partial"
+    )
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>campaign: {_esc(report.name)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>Campaign report: {_esc(report.name)}</h1>",
+        "<dl class=summary>",
+        f"<dt>state</dt><dd>{_esc(state)}</dd>",
+        "<dt>points</dt><dd>"
+        + ", ".join(
+            f"{counts.get(s, 0)} {s}"
+            for s in ("computed", "failed", "interrupted", "quarantined", "pending")
+            if counts.get(s)
+        )
+        + f" (of {len(report.outcomes)})</dd>",
+        f"<dt>runs</dt><dd>{report.runs} total, "
+        f"{report.dead_runs} died without checkpointing</dd>",
+        f"<dt>resumed points</dt><dd>{report.resumed_points}</dd>",
+        f"<dt>journal</dt><dd>{report.replayed_records} record(s) replayed, "
+        f"{report.corrupt_records} corrupt (skipped and recomputed)</dd>",
+        f"<dt>spec digest</dt><dd><code>{_esc(report.spec_digest)}</code></dd>",
+        f"<dt>report digest</dt><dd><code>{_esc(report.digest)}</code></dd>",
+        "</dl>",
+    ]
+
+    by_workload: Dict[str, List["PointOutcome"]] = {}
+    for outcome in report.outcomes:
+        by_workload.setdefault(outcome.key["workload"], []).append(outcome)
+    for workload, outcomes in by_workload.items():
+        parts.extend(_workload_table(workload, outcomes))
+
+    troubled = [
+        outcome
+        for outcome in report.outcomes
+        if outcome.status in ("failed", "quarantined", "interrupted")
+    ]
+    if troubled:
+        parts.append("<h2>Failures and quarantine</h2><table>")
+        parts.append(
+            "<tr><th class=label>point</th><th class=label>status</th>"
+            "<th>attempts</th><th class=label>error</th></tr>"
+        )
+        for outcome in troubled:
+            parts.append(
+                "<tr>"
+                f"<td class=label>{_esc(outcome.label)}</td>"
+                f"<td class='label status-{_esc(outcome.status)}'>"
+                f"{_esc(outcome.status)}</td>"
+                f"<td>{outcome.attempts}</td>"
+                f"<td class=label>{_esc(outcome.error or '')}</td>"
+                "</tr>"
+            )
+        parts.append("</table>")
+
+    if report.traces:
+        parts.append("<h2>Chrome traces</h2><ul>")
+        for trace in report.traces:
+            parts.append(
+                f"<li><a href='{_esc(trace)}'>{_esc(trace)}</a> "
+                "(load in chrome://tracing or Perfetto)</li>"
+            )
+        parts.append("</ul>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -1,0 +1,239 @@
+"""The durable campaign journal: append-only, checksummed, replayable.
+
+One campaign directory holds one ``journal.jsonl``.  Every record is a
+versioned envelope in the :mod:`repro.store` style::
+
+    {"journal_schema": 1, "seq": N, "kind": "...",
+     "checksum": sha256(canonical payload), "payload": {...}}
+
+one per line.  Appends go through a single ``os.write`` on an
+``O_APPEND`` descriptor followed by ``fsync`` — on POSIX a one-shot
+append never interleaves with a concurrent writer, and once ``append``
+returns the record survives ``kill -9``.  The only damage a crash can
+leave is a *truncated final line* (the process died inside the write),
+and replay is built around exactly that: any line that fails to parse,
+carries the wrong schema, or fails its checksum is **counted and
+skipped** — the point it described is simply recomputed, mirroring the
+artifact store's degrade-to-miss discipline.  Derived artifacts that
+are whole files rather than appended lines (``report.json``,
+``report.html``, the resolved spec echo) are published atomically via
+tmp+rename, so readers never observe a torn report.
+
+Why not tmp+rename per record?  Rename replaces a whole file: turning
+each append into read-modify-rename would make the journal O(n²) in
+campaign size and — worse — a death mid-rewrite would lose the entire
+history instead of one trailing line.  Append-only keeps every
+already-acknowledged record immutable on disk.
+
+Record kinds (see :mod:`repro.campaign.executor` for the semantics):
+
+* ``campaign`` — header: spec name, digest, point count.  Always the
+  logical first record; resume refuses a digest mismatch.
+* ``shard_start`` — a run is about to compute these point ids.
+  Orphaned shard starts (a ``run_id`` that never wrote ``run_end``)
+  are how poison points are detected.
+* ``point`` — terminal state of one point: ``computed`` (with its
+  measurement payload), ``failed``, or ``interrupted``.
+* ``quarantine`` — a point struck out and will not be retried.
+* ``run_end`` — the run exited cleanly (finished or checkpointed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Bump when a journal record would replay incorrectly under current
+#: code; old journals then count as corrupt records and recompute.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Chaos hook: when set to an integer N, the journal SIGKILLs its own
+#: process immediately after the Nth successful append.  This is how
+#: the campaign chaos test murders a real campaign at seeded points —
+#: deterministically, after a record is durable, exactly the moment a
+#: hostile scheduler could.  Never set outside tests.
+KILL_ENV_VAR = "REPRO_CAMPAIGN_KILL_AFTER"
+
+
+def _checksum(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ReplayState:
+    """Everything a resume (or a report rebuild) needs from the journal.
+
+    ``points`` maps point id to its **latest** terminal record —
+    last-writer-wins, so a retried point's newest outcome shadows the
+    older ones while ``attempts_of`` still sees the full history.
+    """
+
+    header: Optional[dict] = None
+    #: point id -> latest terminal payload (status computed/failed/
+    #: interrupted), each carrying its serialized key.
+    points: Dict[str, dict] = field(default_factory=dict)
+    #: point id -> total *failed* attempts recorded across all runs.
+    failed_attempts: Dict[str, int] = field(default_factory=dict)
+    #: point id -> orphaned-shard strikes (possible poison).
+    strikes: Dict[str, int] = field(default_factory=dict)
+    #: point ids already quarantined by an earlier run.
+    quarantined: Dict[str, dict] = field(default_factory=dict)
+    #: run ids seen, in first-appearance order.
+    runs: List[str] = field(default_factory=list)
+    #: run ids that wrote a run_end record.
+    ended_runs: List[str] = field(default_factory=list)
+    #: records that failed to parse or verify, skipped at replay.
+    corrupt_records: int = 0
+    #: well-formed records replayed.
+    replayed_records: int = 0
+
+    @property
+    def dead_runs(self) -> List[str]:
+        """Runs that died without checkpointing (no ``run_end``)."""
+        ended = set(self.ended_runs)
+        return [run_id for run_id in self.runs if run_id not in ended]
+
+    def status_of(self, pid: str) -> Optional[str]:
+        record = self.points.get(pid)
+        return record["status"] if record is not None else None
+
+
+class CampaignJournal:
+    """Append/replay access to one campaign's ``journal.jsonl``."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "journal.jsonl"
+        self._fd: Optional[int] = None
+        self._seq = 0
+        self._appends = 0
+        kill_after = os.environ.get(KILL_ENV_VAR)
+        self._kill_after = int(kill_after) if kill_after else None
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+
+    def _ensure_open(self) -> int:
+        if self._fd is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        return self._fd
+
+    def append(self, kind: str, payload: dict) -> dict:
+        """Durably append one record; returns the envelope written.
+
+        The record is on disk (fsync'd) when this returns — a caller
+        that hears back may be SIGKILLed immediately after and the
+        record still replays.
+        """
+        self._seq += 1
+        envelope = {
+            "journal_schema": JOURNAL_SCHEMA_VERSION,
+            "seq": self._seq,
+            "kind": kind,
+            "checksum": _checksum(payload),
+            "payload": payload,
+        }
+        line = json.dumps(envelope, sort_keys=True) + "\n"
+        fd = self._ensure_open()
+        os.write(fd, line.encode("utf-8"))
+        os.fsync(fd)
+        self._appends += 1
+        if self._kill_after is not None and self._appends >= self._kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)  # chaos hook; see KILL_ENV_VAR
+        return envelope
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+
+    def replay(self) -> ReplayState:
+        """Fold the journal into a :class:`ReplayState`.
+
+        Tolerant by construction: a record that cannot be parsed or
+        verified increments ``corrupt_records`` and is skipped — its
+        point (if any) simply looks not-yet-done and gets recomputed.
+        Never raises on journal content.
+        """
+        state = ReplayState()
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return state
+        shard_points: Dict[str, List[str]] = {}  # run_id -> point ids started
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                envelope = json.loads(line.decode("utf-8"))
+                if envelope["journal_schema"] != JOURNAL_SCHEMA_VERSION:
+                    raise ValueError("journal schema mismatch")
+                kind = envelope["kind"]
+                payload = envelope["payload"]
+                if not isinstance(payload, dict):
+                    raise ValueError("payload is not an object")
+                if envelope["checksum"] != _checksum(payload):
+                    raise ValueError("checksum mismatch")
+            except Exception:  # noqa: BLE001 - corruption is a skip, never a crash
+                state.corrupt_records += 1
+                continue
+            state.replayed_records += 1
+            if kind == "campaign":
+                if state.header is None:
+                    state.header = payload
+            elif kind == "shard_start":
+                run_id = payload.get("run_id", "")
+                if run_id not in state.runs:
+                    state.runs.append(run_id)
+                shard_points.setdefault(run_id, []).extend(
+                    payload.get("points", [])
+                )
+            elif kind == "point":
+                pid = payload.get("point_id", "")
+                state.points[pid] = payload
+                if payload.get("status") == "failed":
+                    state.failed_attempts[pid] = (
+                        state.failed_attempts.get(pid, 0) + 1
+                    )
+            elif kind == "quarantine":
+                state.quarantined[payload.get("point_id", "")] = payload
+            elif kind == "run_end":
+                run_id = payload.get("run_id", "")
+                if run_id not in state.runs:
+                    state.runs.append(run_id)
+                state.ended_runs.append(run_id)
+            # Unknown kinds replay as no-ops: forward compatibility
+            # within one schema version costs nothing here.
+
+        # A dead run's started-but-unfinished points were in flight
+        # when the process died: each earns a poison strike.  Points
+        # that *did* reach a terminal record in some run are only
+        # struck for the runs where they did not (they may have been
+        # the chunk-mate of the killer, or the killer itself on a
+        # retry — the executor decides at what strike count to
+        # quarantine).
+        for run_id in state.dead_runs:
+            seen = set()
+            for pid in shard_points.get(run_id, []):
+                if pid in seen:
+                    continue
+                seen.add(pid)
+                record = state.points.get(pid)
+                if record is not None and record.get("run_id") == run_id:
+                    continue  # finished inside that run before it died
+                state.strikes[pid] = state.strikes.get(pid, 0) + 1
+        return state

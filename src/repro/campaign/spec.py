@@ -1,0 +1,317 @@
+"""TOML campaign specs and their compilation to a point list.
+
+A campaign spec declares the whole experiment once — workloads,
+presets, register-file sweeps, information sources, named experiment
+grids, retry budgets — and :func:`load_spec` compiles it into a
+**deterministic** list of grid points.  Determinism is the contract
+everything downstream leans on: the journal identifies points by a
+content digest of their full key, the executor shards the list in
+order, and a resumed run must enumerate exactly the same points in
+exactly the same order as the run that died.
+
+::
+
+    [campaign]
+    name = "paper-sweep"
+
+    [grid]
+    workloads = ["compress", "li"]
+    presets = ["base", "improved"]
+    infos = ["dynamic"]
+    configs = "mips"          # the canonical sweep; or [[6,4,2,2], ...]
+    experiments = ["table4"]  # union in named experiment grids
+
+    [run]
+    jobs = 2
+    shard_size = 8
+    retries = 1
+    poison_threshold = 2
+
+Unknown keys anywhere in the document are an error — a typo'd budget
+silently ignored would run the wrong campaign for hours.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.runner import MeasureKey, describe_key, key_as_dict
+from repro.machine.mips import mips_sweep
+from repro.machine.registers import RegisterConfig
+from repro.regalloc.options import PRESETS
+
+
+class SpecError(ValueError):
+    """A campaign spec that cannot be compiled into a point list."""
+
+
+def point_id(key: MeasureKey) -> str:
+    """Stable content address of one grid point.
+
+    The human label (:func:`describe_key`) elides option fields that
+    do not show up in the allocator label (``bs_key``, ``spill_metric``
+    — the ablation grids differ only there), so identity hashes the
+    *full* key dict instead.
+    """
+    canonical = json.dumps(
+        key_as_dict(key), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A validated campaign: metadata, budgets, and the point list."""
+
+    name: str
+    points: Tuple[MeasureKey, ...]
+    jobs: int = 1
+    shard_size: int = 8
+    #: Extra tries a *genuinely failed* point gets across resumes
+    #: (interrupted points are always retried and never consume this).
+    retries: int = 1
+    #: Orphaned-start strikes before a point is quarantined as poison.
+    poison_threshold: int = 2
+    timeout: Optional[float] = None
+    verify: bool = False
+    resilient: bool = False
+    #: Capture phase spans and write one Chrome trace file per run.
+    trace: bool = False
+    #: The raw (normalized) spec document, for the journal header.
+    raw: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the compiled campaign.
+
+        Hashes the *point list* plus the result-affecting flags — not
+        the raw TOML — so cosmetic spec edits (reordered tables,
+        comments, changed shard size or retry budgets) do not orphan
+        an existing journal, while anything that changes what gets
+        measured does.
+        """
+        doc = {
+            "name": self.name,
+            "points": [key_as_dict(key) for key in self.points],
+            "verify": self.verify,
+            "resilient": self.resilient,
+        }
+        canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def point_ids(self) -> Dict[str, MeasureKey]:
+        return {point_id(key): key for key in self.points}
+
+    def describe(self) -> List[str]:
+        return [describe_key(key) for key in self.points]
+
+
+def _require_table(doc: dict, name: str) -> dict:
+    value = doc.get(name)
+    if not isinstance(value, dict):
+        raise SpecError(f"spec needs a [{name}] table")
+    return value
+
+
+def _check_keys(table: dict, name: str, allowed: Sequence[str]) -> None:
+    unknown = sorted(set(table) - set(allowed))
+    if unknown:
+        raise SpecError(
+            f"unknown key(s) in [{name}]: {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(allowed))})"
+        )
+
+
+def _parse_configs(value) -> List[RegisterConfig]:
+    if value == "mips":
+        return list(mips_sweep())
+    if isinstance(value, dict):
+        _check_keys(value, "grid.configs", ("sweep", "limit"))
+        if value.get("sweep") != "mips":
+            raise SpecError("grid.configs table supports sweep = 'mips' only")
+        limit = value.get("limit")
+        configs = list(mips_sweep())
+        if limit is not None:
+            if not isinstance(limit, int) or limit < 1:
+                raise SpecError("grid.configs.limit must be a positive integer")
+            configs = configs[:limit]
+        return configs
+    if isinstance(value, list) and value:
+        configs = []
+        for item in value:
+            if (
+                not isinstance(item, list)
+                or len(item) != 4
+                or not all(isinstance(n, int) and n >= 0 for n in item)
+            ):
+                raise SpecError(
+                    f"each config must be four non-negative ints "
+                    f"[Ri, Rf, Ei, Ef], got {item!r}"
+                )
+            configs.append(RegisterConfig(*item))
+        return configs
+    raise SpecError(
+        "grid.configs must be 'mips', {sweep='mips', limit=N} or a "
+        "non-empty list of [Ri, Rf, Ei, Ef] quadruples"
+    )
+
+
+def _parse_names(table: dict, key: str, valid: Optional[Sequence[str]] = None):
+    value = table.get(key)
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise SpecError(f"grid.{key} must be a list of strings")
+    if valid is not None:
+        unknown = sorted(set(value) - set(valid))
+        if unknown:
+            raise SpecError(
+                f"unknown grid.{key}: {', '.join(unknown)} "
+                f"(choose from: {', '.join(sorted(valid))})"
+            )
+    return value
+
+
+def parse_spec(doc: dict, name_fallback: str = "campaign") -> CampaignSpec:
+    """Compile a parsed TOML document into a :class:`CampaignSpec`."""
+    if not isinstance(doc, dict):
+        raise SpecError("spec must be a TOML document")
+    _check_keys(doc, "spec", ("campaign", "grid", "run"))
+    meta = doc.get("campaign", {})
+    _check_keys(meta, "campaign", ("name", "description"))
+    name = meta.get("name", name_fallback)
+    if not isinstance(name, str) or not name:
+        raise SpecError("campaign.name must be a non-empty string")
+
+    grid = _require_table(doc, "grid")
+    _check_keys(
+        grid,
+        "grid",
+        ("workloads", "presets", "infos", "configs", "experiments"),
+    )
+
+    points: List[MeasureKey] = []
+    if any(key in grid for key in ("workloads", "presets", "configs")):
+        from repro.workloads import workload_names
+
+        workloads = _parse_names(grid, "workloads", workload_names())
+        presets = _parse_names(grid, "presets", sorted(PRESETS))
+        infos = grid.get("infos", ["dynamic"])
+        if not isinstance(infos, list) or not set(infos) <= {
+            "static",
+            "dynamic",
+        }:
+            raise SpecError("grid.infos must be a list drawn from static/dynamic")
+        configs = _parse_configs(grid.get("configs", "mips"))
+        # Workload-major order matches run_grid's chunk-by-workload
+        # strategy: a shard tends to hold one workload's points.
+        for workload in workloads:
+            for info in infos:
+                for preset in presets:
+                    options = PRESETS[preset]()
+                    for config in configs:
+                        points.append((workload, options, config, info))
+
+    experiments = grid.get("experiments", [])
+    if experiments:
+        from repro.eval.experiments import experiment_grid_by_name
+
+        if not isinstance(experiments, list):
+            raise SpecError("grid.experiments must be a list of names")
+        for experiment in experiments:
+            try:
+                points.extend(experiment_grid_by_name(experiment))
+            except ValueError as error:
+                raise SpecError(str(error)) from None
+
+    deduped: List[MeasureKey] = []
+    seen = set()
+    for key in points:
+        if key not in seen:
+            seen.add(key)
+            deduped.append(key)
+    if not deduped:
+        raise SpecError("spec compiles to zero grid points")
+
+    run = doc.get("run", {})
+    _check_keys(
+        run,
+        "run",
+        (
+            "jobs",
+            "shard_size",
+            "retries",
+            "poison_threshold",
+            "timeout",
+            "verify",
+            "resilient",
+            "trace",
+        ),
+    )
+
+    def _int(key: str, default: int, floor: int) -> int:
+        value = run.get(key, default)
+        if not isinstance(value, int) or value < floor:
+            raise SpecError(f"run.{key} must be an integer >= {floor}")
+        return value
+
+    timeout = run.get("timeout")
+    if timeout is not None and (
+        not isinstance(timeout, (int, float)) or timeout <= 0
+    ):
+        raise SpecError("run.timeout must be a positive number of seconds")
+    for flag in ("verify", "resilient", "trace"):
+        if not isinstance(run.get(flag, False), bool):
+            raise SpecError(f"run.{flag} must be a boolean")
+
+    return CampaignSpec(
+        name=name,
+        points=tuple(deduped),
+        jobs=_int("jobs", 1, 1),
+        shard_size=_int("shard_size", 8, 1),
+        retries=_int("retries", 1, 0),
+        poison_threshold=_int("poison_threshold", 2, 1),
+        timeout=float(timeout) if timeout is not None else None,
+        verify=bool(run.get("verify", False)),
+        resilient=bool(run.get("resilient", False)),
+        trace=bool(run.get("trace", False)),
+        raw=doc,
+    )
+
+
+def _toml_loads(text: str) -> dict:
+    """Parse TOML with whatever parser this interpreter has.
+
+    ``tomllib`` is stdlib from 3.11; on older interpreters the
+    ``tomli`` backport is accepted when present.  No parser at all is
+    a :class:`SpecError` (not an ImportError) so the CLI reports it
+    as a normal usage error instead of a traceback.
+    """
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ModuleNotFoundError:
+            raise SpecError(
+                "campaign specs need a TOML parser: Python >= 3.11 "
+                "(stdlib tomllib) or the tomli package"
+            ) from None
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as error:
+        raise SpecError(f"invalid TOML: {error}") from None
+
+
+def load_spec(path) -> CampaignSpec:
+    """Parse and compile a campaign spec from a TOML file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise SpecError(f"cannot read spec {path}: {error}") from None
+    return parse_spec(_toml_loads(text), name_fallback=path.stem)

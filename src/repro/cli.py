@@ -584,6 +584,65 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """Run, resume, or report on a declared experiment campaign."""
+    from repro.campaign import (
+        CampaignError,
+        SpecError,
+        load_spec,
+        publish_report,
+        report_from_directory,
+        run_campaign,
+    )
+
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as error:
+        print(f"bad campaign spec: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.campaign_command == "run":
+            progress = None if args.quiet else (
+                lambda message: print(message, file=sys.stderr)
+            )
+            report = run_campaign(spec, args.out, progress=progress)
+        else:
+            report = report_from_directory(spec, args.out)
+            if args.campaign_command == "report":
+                publish_report(report, Path(args.out))
+    except CampaignError as error:
+        print(f"campaign error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        counts = report.counts()
+        tally = ", ".join(f"{counts[s]} {s}" for s in sorted(counts))
+        state = "checkpointed" if report.interrupted else (
+            "complete" if report.complete else "partial"
+        )
+        print(
+            f"campaign {report.name}: {state} — {tally} "
+            f"(of {len(report.outcomes)}); {report.runs} run(s), "
+            f"{report.dead_runs} dead, {report.corrupt_records} corrupt "
+            f"journal record(s); digest {report.digest}"
+        )
+        for outcome in report.outcomes:
+            if outcome.status in ("failed", "quarantined"):
+                print(f"{outcome.status.upper()} {outcome.label}: {outcome.error}")
+    if args.campaign_command in ("run", "report"):
+        print(f"report: {Path(args.out) / 'report.html'}", file=sys.stderr)
+    if args.campaign_command == "run" and report.interrupted:
+        return 3  # checkpointed, not failed: rerun the same command to resume
+    failed = any(
+        outcome.status in ("failed", "quarantined")
+        for outcome in report.outcomes
+    )
+    return 1 if failed else 0
+
+
 def cmd_cache(args) -> int:
     """Inspect and maintain the persistent artifact store."""
     import os
@@ -1143,6 +1202,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the campaign report as JSON")
     p.set_defaults(func=cmd_chaos_serve)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run, resume or report a TOML-declared experiment campaign",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_common(cp):
+        cp.add_argument("spec", help="campaign spec (TOML)")
+        cp.add_argument("--out", required=True,
+                        help="campaign directory: journal, report.json, "
+                             "report.html (rerun with the same directory "
+                             "to resume)")
+        cp.add_argument("--json", action="store_true",
+                        help="emit the campaign report as JSON")
+
+    cp = campaign_sub.add_parser(
+        "run",
+        help="run the campaign, resuming from the journal when one exists",
+    )
+    _campaign_common(cp)
+    cp.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress progress lines on stderr")
+    cp.set_defaults(func=cmd_campaign, campaign_command="run")
+    cp = campaign_sub.add_parser(
+        "report",
+        help="rebuild report.json and report.html from the journal alone",
+    )
+    _campaign_common(cp)
+    cp.set_defaults(func=cmd_campaign, campaign_command="report")
+    cp = campaign_sub.add_parser(
+        "status",
+        help="summarize the journal without writing anything",
+    )
+    _campaign_common(cp)
+    cp.set_defaults(func=cmd_campaign, campaign_command="status")
 
     p = sub.add_parser(
         "cache",

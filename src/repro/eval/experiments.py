@@ -900,3 +900,33 @@ def experiment_grid(driver: Callable, *args, **kwargs) -> List[MeasureKey]:
     """The measurement grid a driver will sweep, given its arguments."""
     grid_fn = EXPERIMENT_GRIDS.get(getattr(driver, "__name__", ""), empty_grid)
     return grid_fn(*args, **kwargs)
+
+
+#: CLI spellings that differ from the driver function names (campaign
+#: specs accept either form; see :func:`experiment_grid_by_name`).
+_GRID_ALIASES = {
+    "ablation_remat": "ablation_rematerialization",
+}
+
+
+def experiment_grid_by_name(name: str) -> List[MeasureKey]:
+    """The default grid of a *named* experiment (campaign specs).
+
+    Accepts both the driver spelling (``ablation_bs_key``) and the CLI
+    spelling (``ablation-bs-key``).  Drivers that allocate directly
+    instead of via ``measure`` (``ablation_optimized_ir``,
+    ``ablation_ipra``) have no grid to pre-declare and are rejected —
+    a campaign point must be a grid point.
+    """
+    canonical = name.replace("-", "_")
+    canonical = _GRID_ALIASES.get(canonical, canonical)
+    grid_fn = EXPERIMENT_GRIDS.get(canonical)
+    if grid_fn is None or grid_fn is empty_grid:
+        gridded = sorted(
+            key for key, fn in EXPERIMENT_GRIDS.items() if fn is not empty_grid
+        )
+        raise ValueError(
+            f"unknown or grid-less experiment {name!r} "
+            f"(choose from: {', '.join(gridded)})"
+        )
+    return grid_fn()

@@ -63,6 +63,35 @@ INFO_SOURCES = ("static", "dynamic")
 MeasureKey = Tuple[str, AllocatorOptions, RegisterConfig, str]
 
 
+def key_as_dict(key: MeasureKey) -> dict:
+    """Lossless JSON form of one grid point.
+
+    ``describe_key`` is the human label; this is the machine one — the
+    campaign journal persists grid points across process deaths, so
+    every field of :class:`AllocatorOptions` must survive, including
+    the ones the label elides (``bs_key``, ``spill_metric``, ...).
+    """
+    from dataclasses import asdict
+
+    name, options, config, info = key
+    return {
+        "workload": name,
+        "options": asdict(options),
+        "config": list(config),
+        "info": info,
+    }
+
+
+def key_from_dict(data: dict) -> MeasureKey:
+    """Inverse of :func:`key_as_dict` (exact reconstruction)."""
+    return (
+        data["workload"],
+        AllocatorOptions(**data["options"]),
+        RegisterConfig(*data["config"]),
+        data["info"],
+    )
+
+
 @dataclass(frozen=True)
 class Measurement:
     """Everything one grid point yields, computed in a single run."""
@@ -293,6 +322,26 @@ class FailureRecord:
     def describe(self) -> str:
         return f"{describe_key(self.key)} after {self.attempts} attempt(s): {self.error}"
 
+    @property
+    def interrupted(self) -> bool:
+        """True when the point was cut off, not genuinely broken."""
+        return self.error == "interrupted"
+
+    def as_dict(self) -> dict:
+        return {
+            "key": key_as_dict(self.key),
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FailureRecord":
+        return FailureRecord(
+            key=key_from_dict(data["key"]),
+            error=data["error"],
+            attempts=data["attempts"],
+        )
+
 
 @dataclass
 class GridReport:
@@ -322,6 +371,25 @@ class GridReport:
         self.cached.extend(other.cached)
         self.failed.extend(other.failed)
         self.interrupted = self.interrupted or other.interrupted
+
+    def as_dict(self) -> dict:
+        """Lossless JSON form (the campaign journal depends on this
+        round-tripping exactly — see :func:`grid_report_from_dict`)."""
+        return {
+            "computed": [key_as_dict(key) for key in self.computed],
+            "cached": [key_as_dict(key) for key in self.cached],
+            "failed": [record.as_dict() for record in self.failed],
+            "interrupted": self.interrupted,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "GridReport":
+        return GridReport(
+            computed=[key_from_dict(item) for item in data["computed"]],
+            cached=[key_from_dict(item) for item in data["cached"]],
+            failed=[FailureRecord.from_dict(item) for item in data["failed"]],
+            interrupted=data["interrupted"],
+        )
 
 
 def describe_key(key: MeasureKey) -> str:
@@ -410,6 +478,7 @@ def _salvage_chunk(
     report: GridReport,
     trace: bool = False,
     resilient: bool = False,
+    on_point: Optional[Callable[[MeasureKey, Measurement], None]] = None,
 ) -> None:
     """In-process, per-key degradation of a repeatedly-failing chunk.
 
@@ -440,6 +509,8 @@ def _salvage_chunk(
             for got, measurement in pairs:
                 cache.put(got, measurement)
                 report.computed.append(got)
+                if on_point is not None:
+                    on_point(got, measurement)
 
 
 def _interrupt_records(
@@ -496,6 +567,9 @@ def run_grid(
     backoff: float = 0.5,
     trace: bool = False,
     resilient: bool = False,
+    skip_failures: Optional[Sequence[FailureRecord]] = None,
+    retry_interrupted: bool = False,
+    on_point: Optional[Callable[[MeasureKey, Measurement], None]] = None,
 ) -> GridReport:
     """Pre-compute a measurement grid, in parallel when ``jobs`` > 1.
 
@@ -528,9 +602,33 @@ def run_grid(
     allocator would fail land in the cache as a lower rung's numbers
     annotated with their ``resilience`` report, instead of becoming
     :class:`FailureRecord` entries.
+
+    ``skip_failures`` carries :class:`FailureRecord` entries from an
+    earlier run (a previous ``run_grid`` call, or a campaign journal):
+    matching keys are **not** recomputed — their records are copied
+    into the new report verbatim, attempts preserved.  The exception
+    is ``retry_interrupted``: with it set, records whose error is
+    ``interrupted`` (points cut off by Ctrl-C, SIGTERM or a dead
+    campaign process, not genuinely broken) re-enter the pending set
+    and get a fresh try.  This is the campaign resume path's switch —
+    a resumed campaign always retries what an earlier death merely
+    interrupted, while points that *failed* stay failed until the
+    caller's own retry budget says otherwise.
+
+    ``on_point`` is called in the parent, in merge order, once per
+    newly computed grid point ``(key, measurement)`` — the campaign
+    journal hook.  It runs between chunk resolutions on the hot path,
+    so it must be quick; an exception from it aborts the grid (a
+    journal that cannot be written means durability is gone, which a
+    checkpointing caller must hear about).
     """
     if cache is None:
         cache = RESULTS
+    skip: Dict[MeasureKey, FailureRecord] = {}
+    for record in skip_failures or ():
+        if retry_interrupted and record.interrupted:
+            continue
+        skip[record.key] = record
     report = GridReport()
     pending: List[MeasureKey] = []
     seen = set()
@@ -538,7 +636,9 @@ def run_grid(
         if key in seen:
             continue
         seen.add(key)
-        if key in cache:
+        if key in skip:
+            report.failed.append(skip[key])
+        elif key in cache:
             report.cached.append(key)
         else:
             pending.append(key)
@@ -577,7 +677,7 @@ def run_grid(
                 # key by key to salvage the healthy points.
                 _salvage_chunk(
                     chunk, 1, verify, cache, report, trace=trace,
-                    resilient=resilient,
+                    resilient=resilient, on_point=on_point,
                 )
                 if report.interrupted:
                     resolve(chunk)
@@ -589,6 +689,8 @@ def run_grid(
                 for key, measurement in pairs:
                     cache.put(key, measurement)
                     report.computed.append(key)
+                    if on_point is not None:
+                        on_point(key, measurement)
             resolve(chunk)
         return _absorb_report(report, cache)
 
@@ -676,6 +778,8 @@ def run_grid(
                                 ):
                                     cache.put(key, measurement)
                                     report.computed.append(key)
+                                    if on_point is not None:
+                                        on_point(key, measurement)
                                 harvested = True
                             except BaseException:  # noqa: BLE001
                                 harvested = False
@@ -709,6 +813,8 @@ def run_grid(
                     for key, measurement in pairs:
                         cache.put(key, measurement)
                         report.computed.append(key)
+                        if on_point is not None:
+                            on_point(key, measurement)
                     resolve(chunk)
         finally:
             if report.interrupted:
@@ -741,7 +847,7 @@ def run_grid(
         elif salvageable:
             _salvage_chunk(
                 chunk, attempts, verify, cache, report, trace=trace,
-                resilient=resilient,
+                resilient=resilient, on_point=on_point,
             )
         else:
             report.failed.extend(

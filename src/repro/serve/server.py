@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -1049,22 +1050,61 @@ class AllocationServer:
 
 
 def serve_forever(config: Optional[ServerConfig] = None) -> int:
-    """Run the server on the current thread until interrupted."""
+    """Run the server on the current thread until interrupted.
+
+    SIGINT and SIGTERM take the same exit: both route through
+    :meth:`AllocationServer.stop`'s drain (stop accepting, answer
+    queued work with 503, flush in-flight connections).  A service
+    manager's polite ``kill`` must not be the one signal that drops
+    accepted requests on the floor — ``systemd``, Docker and Kubernetes
+    all deliver SIGTERM, never Ctrl-C.
+    """
     server = AllocationServer(config)
+    caught: List[int] = []
 
     async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+
+        def _request_stop(signum: int) -> None:
+            caught.append(signum)
+            stop_requested.set()
+
+        installed: List[int] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, _request_stop, signum)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # No loop signal support (Windows, embedded loops):
+                # SIGINT still arrives as KeyboardInterrupt below.
+                pass
         host, port = await server.start()
         print(f"repro.serve listening on http://{host}:{port}", flush=True)
         assert server._server is not None
+        serving = asyncio.ensure_future(server._server.serve_forever())
+        waiter = asyncio.ensure_future(stop_requested.wait())
         try:
-            await server._server.serve_forever()
+            await asyncio.wait(
+                {serving, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
+            for task in (serving, waiter):
+                task.cancel()
+            for signum in installed:
+                loop.remove_signal_handler(signum)
             await server.stop()
 
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
-        print("repro.serve: shutting down", flush=True)
+        pass
+    names = ", ".join(signal.Signals(signum).name for signum in caught)
+    print(
+        f"repro.serve: shutting down ({names})" if names
+        else "repro.serve: shutting down",
+        flush=True,
+    )
     return 0
 
 

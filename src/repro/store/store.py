@@ -135,6 +135,14 @@ class ArtifactStore:
         self.hits += 1
         METRICS.inc("store.hit")
         self._lru.put(key, payload)
+        # Touch mtime on a disk hit so gc's recency ordering works on
+        # noatime/relatime mounts, where st_atime never (or rarely)
+        # advances on reads.  Best-effort: a read-only store is still
+        # a valid cache, just one whose recency signal stays frozen.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def put(self, fingerprint: str, kind: str, payload: dict) -> bool:
@@ -237,12 +245,17 @@ class ArtifactStore:
         return {"removed": removed, "bytes_freed": freed}
 
     def gc(self, max_bytes: int) -> Dict[str, int]:
-        """Evict oldest-atime-first until the store fits ``max_bytes``.
+        """Evict least-recently-used-first until the store fits
+        ``max_bytes``.
 
-        Access-time ordering means the artifacts a live workload keeps
+        Recency ordering means the artifacts a live workload keeps
         hitting survive; entries from retired programs (and any stale
-        schema-version directory, whose atimes stopped advancing when
-        the version bumped) go first.
+        schema-version directory) go first.  "Recently used" is
+        ``max(st_atime, st_mtime)``: most Linux mounts are ``noatime``
+        or ``relatime``, where atime never (or at most daily) advances
+        on reads, so ordering by atime alone would evict in creation
+        order regardless of use.  ``get`` touches mtime on every disk
+        hit precisely so this max reflects real traffic.
         """
         records: List[Tuple[float, int, Path]] = []
         total = 0
@@ -252,12 +265,13 @@ class ArtifactStore:
                     meta = path.stat()
                 except OSError:
                     continue
-                records.append((meta.st_atime, meta.st_size, path))
+                used = max(meta.st_atime, meta.st_mtime)
+                records.append((used, meta.st_size, path))
                 total += meta.st_size
             records.sort(key=lambda record: (record[0], str(record[2])))
             removed = 0
             freed = 0
-            for atime, size, path in records:
+            for used, size, path in records:
                 if total - freed <= max_bytes:
                     break
                 try:

@@ -1,0 +1,224 @@
+"""Campaign-level chaos: kill -9 a real campaign, resume, converge.
+
+These tests run ``repro campaign run`` as a genuine subprocess and
+murder it with SIGKILL at seeded journal-append counts — after the
+header, mid-shard, between shards — via the journal's
+``REPRO_CAMPAIGN_KILL_AFTER`` hook (the kill fires *after* the Nth
+record is durable, the exact moment an adversarial scheduler would
+strike).  Each killed campaign is then resumed with the hook unset and
+must converge to a :class:`CampaignReport` whose digest is identical
+to an uninterrupted run's: same points, same measurements, same
+failure verdicts, regardless of how many times the process died.
+
+SIGTERM gets the softer treatment it is owed: a polite kill must
+checkpoint (journal the cut points, write ``run_end``, publish the
+report, exit 3), and the resume must again converge to the baseline
+digest.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import KILL_ENV_VAR
+
+SPEC = """
+[campaign]
+name = "chaos"
+
+[grid]
+workloads = ["compress"]
+presets = ["base", "improved"]
+configs = [[4, 2, 2, 2], [6, 4, 2, 2], [8, 6, 2, 2]]
+
+[run]
+shard_size = 2
+"""
+# 6 points in 3 shards of 2: the journal writes 1 header + per shard
+# (1 shard_start + 2 points) + 1 run_end = 11 records on a clean run.
+TOTAL_POINTS = 6
+
+#: Seeded kill points: just after the header (nothing computed), mid
+#: shard 2 (one shard complete, one torn), and mid shard 3 (almost
+#: done).  Three distinct crash phases, as the acceptance criteria
+#: demand.
+KILL_AFTER = (1, 6, 9)
+
+
+def _env(extra=None):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(KILL_ENV_VAR, None)
+    if extra:
+        env.update(extra)
+    return env
+
+
+def _campaign(tmp_path, name, spec_path, extra_env=None, expect=0):
+    out = tmp_path / name
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", "run", str(spec_path),
+         "--out", str(out), "--quiet"],
+        env=_env(extra_env),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == expect, (
+        f"rc={proc.returncode}, wanted {expect}\n"
+        f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+    )
+    return out
+
+
+def _digest(out: Path) -> str:
+    report = json.loads((out / "report.json").read_text())
+    assert report["complete"], report["counts"]
+    return report["digest"]
+
+
+@pytest.fixture(scope="module")
+def spec_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("spec") / "chaos.toml"
+    path.write_text(SPEC)
+    return path
+
+
+@pytest.fixture(scope="module")
+def baseline_digest(tmp_path_factory, spec_path):
+    out = _campaign(
+        tmp_path_factory.mktemp("baseline"), "out", spec_path
+    )
+    return _digest(out)
+
+
+@pytest.mark.parametrize("kill_after", KILL_AFTER)
+def test_sigkill_then_resume_converges_to_baseline(
+    tmp_path, spec_path, baseline_digest, kill_after
+):
+    out = tmp_path / "out"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", "run", str(spec_path),
+         "--out", str(out), "--quiet"],
+        env=_env({KILL_ENV_VAR: str(kill_after)}),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    # SIGKILL means SIGKILL: the process must have died by signal 9,
+    # with no report published (only the journal survives).
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    assert (out / "journal.jsonl").exists()
+    assert not (out / "report.json").exists()
+    journal_lines = (out / "journal.jsonl").read_text().splitlines()
+    assert len(journal_lines) == kill_after
+
+    # Resume with the hook unset: must finish and match the baseline.
+    resumed = _campaign(tmp_path, "out", spec_path)
+    report = json.loads((resumed / "report.json").read_text())
+    assert report["digest"] == baseline_digest
+    assert report["counts"] == {"computed": TOTAL_POINTS}
+    # The death is on the books — one dead run — but not in the digest.
+    # (A run killed right after the header never wrote a shard_start,
+    # so it leaves no orphan to count: it did no work to lose.)
+    expected_dead = 1 if kill_after > 1 else 0
+    assert report["dead_runs"] == expected_dead
+    assert report["runs"] == expected_dead + 1
+
+
+def test_double_kill_still_converges_without_false_quarantine(
+    tmp_path, spec_path, baseline_digest
+):
+    # Kill twice at different depths: resumed singleton shards mean the
+    # second death convicts at most the one point that was in flight,
+    # and with poison_threshold=2 nothing reaches quarantine here
+    # because the second kill lands after the first's suspect finished.
+    out = tmp_path / "out"
+    for kill_after in (3, 8):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "campaign", "run", str(spec_path),
+             "--out", str(out), "--quiet"],
+            env=_env({KILL_ENV_VAR: str(kill_after)}),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+    resumed = _campaign(tmp_path, "out", spec_path)
+    report = json.loads((resumed / "report.json").read_text())
+    assert report["digest"] == baseline_digest
+    assert report["counts"] == {"computed": TOTAL_POINTS}
+    assert report["dead_runs"] == 2
+
+
+def test_sigterm_checkpoints_and_resume_converges(
+    tmp_path, spec_path, baseline_digest
+):
+    out = tmp_path / "out"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "run", str(spec_path),
+         "--out", str(out)],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # Wait for the campaign to actually start computing, then SIGTERM.
+    deadline = time.time() + 120
+    journal = out / "journal.jsonl"
+    while time.time() < deadline:
+        if journal.exists() and len(journal.read_text().splitlines()) >= 2:
+            break
+        time.sleep(0.05)
+    else:
+        proc.kill()
+        pytest.fail("campaign never started writing its journal")
+    proc.send_signal(signal.SIGTERM)
+    output, _ = proc.communicate(timeout=120)
+    # Exit 3 is the checkpoint code: resumable, not failed.
+    assert proc.returncode == 3, output
+
+    # The checkpoint is clean: run_end present, so no dead runs and no
+    # poison strikes from a polite shutdown.
+    lines = [json.loads(line) for line in journal.read_text().splitlines()]
+    assert any(record["kind"] == "run_end" for record in lines)
+    report = json.loads((out / "report.json").read_text())
+    assert report["interrupted"] is True
+    assert report["dead_runs"] == 0
+
+    resumed = _campaign(tmp_path, "out", spec_path)
+    final = json.loads((resumed / "report.json").read_text())
+    assert final["digest"] == baseline_digest
+    assert final["counts"] == {"computed": TOTAL_POINTS}
+
+
+def test_corrupted_survivor_journal_recomputes_to_baseline(
+    tmp_path, spec_path, baseline_digest
+):
+    # Complete a campaign, then vandalize the journal: truncate the
+    # final record mid-line and bit-flip an earlier point payload.
+    out = _campaign(tmp_path, "out", spec_path)
+    journal = out / "journal.jsonl"
+    lines = journal.read_text().splitlines()
+    flipped = 0
+    for index, line in enumerate(lines):
+        record = json.loads(line)
+        if record.get("kind") == "point" and not flipped:
+            record["payload"]["cycles"] = 0.0
+            lines[index] = json.dumps(record)
+            flipped = 1
+    mangled = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+    journal.write_text(mangled)
+
+    resumed = _campaign(tmp_path, "out", spec_path)
+    report = json.loads((resumed / "report.json").read_text())
+    assert report["corrupt_records"] == 2
+    assert report["digest"] == baseline_digest
+    assert report["counts"] == {"computed": TOTAL_POINTS}

@@ -1,0 +1,227 @@
+"""The campaign executor: run, resume, retry budgets, quarantine.
+
+In-process tests (the subprocess kill-9 chaos lives in
+``test_chaos_campaign.py``).  Fault injection reuses the
+``runner._measure_chunk`` swap from the grid-failure tests: workers
+fork after the monkeypatch, so injected faults reach them too.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignJournal,
+    load_spec,
+    parse_spec,
+    point_id,
+    render_campaign_html,
+    report_from_directory,
+    run_campaign,
+)
+from repro.eval import runner
+
+_real_measure_chunk = runner._measure_chunk
+
+
+def _failing_eqntott(chunk, verify=False, trace=False, resilient=False):
+    if chunk[0][0] == "eqntott":
+        raise RuntimeError("injected failure")
+    return _real_measure_chunk(chunk, verify, trace=trace, resilient=resilient)
+
+
+def _spec(workloads=("compress",), presets=("base",), configs=((4, 2, 2, 2),),
+          **run):
+    return parse_spec(
+        {
+            "campaign": {"name": "t"},
+            "grid": {
+                "workloads": list(workloads),
+                "presets": list(presets),
+                "configs": [list(config) for config in configs],
+            },
+            "run": run,
+        }
+    )
+
+
+def test_run_then_resume_computes_nothing_twice(tmp_path, monkeypatch):
+    spec = _spec(presets=("base", "improved"), configs=((4, 2, 2, 2), (6, 4, 2, 2)))
+    first = run_campaign(spec, tmp_path / "out")
+    assert first.complete and first.counts() == {"computed": 4}
+
+    def _explode(*args, **kwargs):
+        raise AssertionError("resume of a finished campaign must not compute")
+
+    monkeypatch.setattr(runner, "_measure_chunk", _explode)
+    second = run_campaign(spec, tmp_path / "out")
+    assert second.digest == first.digest
+    assert second.runs == 2 and second.dead_runs == 0
+
+
+def test_report_json_and_html_published(tmp_path):
+    spec = _spec()
+    report = run_campaign(spec, tmp_path / "out")
+    published = json.loads((tmp_path / "out" / "report.json").read_text())
+    assert published["digest"] == report.digest
+    assert published["complete"] is True
+    html = (tmp_path / "out" / "report.html").read_text()
+    assert "Campaign report" in html and "compress" in html
+    assert report.digest in html
+
+
+def test_report_rebuilds_from_journal_alone(tmp_path):
+    spec = _spec(presets=("base", "improved"))
+    report = run_campaign(spec, tmp_path / "out")
+    rebuilt = report_from_directory(spec, tmp_path / "out")
+    assert rebuilt.digest == report.digest
+    assert rebuilt.counts() == report.counts()
+
+
+def test_digest_mismatch_refuses_foreign_journal(tmp_path):
+    run_campaign(_spec(), tmp_path / "out")
+    other = _spec(presets=("improved",))
+    with pytest.raises(CampaignError, match="different campaign"):
+        run_campaign(other, tmp_path / "out")
+    with pytest.raises(CampaignError, match="different campaign"):
+        report_from_directory(other, tmp_path / "out")
+
+
+def test_failed_points_respect_the_retry_budget(tmp_path, monkeypatch):
+    monkeypatch.setattr(runner, "_measure_chunk", _failing_eqntott)
+    spec = _spec(workloads=("compress", "eqntott"), retries=1)
+    bad = [point_id(key) for key in spec.points if key[0] == "eqntott"]
+
+    first = run_campaign(spec, tmp_path / "out")
+    assert first.counts() == {"computed": 1, "failed": 1}
+
+    # Resume 1: one failure on the books, budget allows one retry.
+    second = run_campaign(spec, tmp_path / "out")
+    assert second.counts() == {"computed": 1, "failed": 1}
+    state = CampaignJournal(tmp_path / "out").replay()
+    assert state.failed_attempts[bad[0]] == 2
+
+    # Resume 2: budget exhausted — the point must not run again.
+    def _explode(*args, **kwargs):
+        raise AssertionError("retry budget exhausted; must not recompute")
+
+    monkeypatch.setattr(runner, "_measure_chunk", _explode)
+    third = run_campaign(spec, tmp_path / "out")
+    assert third.counts() == {"computed": 1, "failed": 1}
+    assert "injected failure" in third.outcomes[-1].error
+    # Failure outcomes carry their accumulated attempts for the report.
+    failed = [o for o in third.outcomes if o.status == "failed"]
+    assert failed[0].attempts == 2
+
+
+def test_striked_points_quarantine_at_threshold(tmp_path):
+    spec = _spec(presets=("base", "improved"), poison_threshold=2)
+    victim = point_id(spec.points[0])
+
+    # Forge the kill-9 history the executor would have left behind:
+    # two runs started the victim's shard and never checkpointed.
+    journal = CampaignJournal(tmp_path / "out")
+    journal.append(
+        "campaign",
+        {"name": spec.name, "spec_digest": spec.digest,
+         "points": len(spec.points)},
+    )
+    journal.append("shard_start", {"run_id": "dead-1", "points": [victim]})
+    journal.append("shard_start", {"run_id": "dead-2", "points": [victim]})
+    journal.close()
+
+    report = run_campaign(spec, tmp_path / "out")
+    outcomes = {o.point_id: o for o in report.outcomes}
+    assert outcomes[victim].status == "quarantined"
+    assert "killed 2 run(s)" in outcomes[victim].error
+    # The innocent point still computed.
+    assert report.counts() == {"computed": 1, "quarantined": 1}
+    # The verdict is durable: a further resume keeps it without rerun.
+    again = run_campaign(spec, tmp_path / "out")
+    assert again.counts() == {"computed": 1, "quarantined": 1}
+    assert again.digest == report.digest
+
+
+def test_single_strike_reruns_in_singleton_shard(tmp_path):
+    spec = _spec(presets=("base", "improved"), poison_threshold=2,
+                 shard_size=8)
+    suspect = point_id(spec.points[0])
+    journal = CampaignJournal(tmp_path / "out")
+    journal.append(
+        "campaign",
+        {"name": spec.name, "spec_digest": spec.digest,
+         "points": len(spec.points)},
+    )
+    journal.append("shard_start", {"run_id": "dead-1", "points": [suspect]})
+    journal.close()
+
+    report = run_campaign(spec, tmp_path / "out")
+    assert report.counts() == {"computed": 2}
+    # The resume isolated the suspect: its shard_start lists it alone.
+    starts = [
+        json.loads(line)["payload"]["points"]
+        for line in (tmp_path / "out" / "journal.jsonl").read_text().splitlines()
+        if json.loads(line).get("kind") == "shard_start"
+    ]
+    assert [suspect] in starts
+
+
+def test_corrupt_journal_records_recompute_not_crash(tmp_path):
+    spec = _spec(presets=("base", "improved"))
+    first = run_campaign(spec, tmp_path / "out")
+    assert first.complete
+
+    # Flip a byte inside the first computed-point record's payload.
+    journal_path = tmp_path / "out" / "journal.jsonl"
+    lines = journal_path.read_text().splitlines()
+    for index, line in enumerate(lines):
+        record = json.loads(line)
+        if record.get("kind") == "point":
+            record["payload"]["cycles"] = -1.0  # checksum now wrong
+            lines[index] = json.dumps(record)
+            break
+    journal_path.write_text("\n".join(lines) + "\n")
+
+    second = run_campaign(spec, tmp_path / "out")
+    assert second.complete
+    assert second.corrupt_records == 1
+    # The damaged point was recomputed to the same deterministic
+    # numbers, so the digest converges to the undamaged run's.
+    assert second.digest == first.digest
+
+
+def test_html_reports_failure_accounting(tmp_path, monkeypatch):
+    monkeypatch.setattr(runner, "_measure_chunk", _failing_eqntott)
+    spec = _spec(workloads=("compress", "eqntott"), retries=0)
+    run_campaign(spec, tmp_path / "out")
+    html = (tmp_path / "out" / "report.html").read_text()
+    assert "Failures and quarantine" in html
+    assert "injected failure" in html
+    assert "corrupt" in html
+
+
+def test_render_html_handles_pending_points(tmp_path):
+    # A checkpointed campaign renders with pending rows, no crash.
+    spec = _spec(presets=("base", "improved"))
+    journal = CampaignJournal(tmp_path / "out")
+    journal.append(
+        "campaign",
+        {"name": spec.name, "spec_digest": spec.digest,
+         "points": len(spec.points)},
+    )
+    journal.close()
+    report = report_from_directory(spec, tmp_path / "out")
+    assert report.counts() == {"pending": 2}
+    html = render_campaign_html(report)
+    assert "pending" in html
+
+
+def test_trace_flag_writes_chrome_trace(tmp_path):
+    spec = _spec(trace=True)
+    report = run_campaign(spec, tmp_path / "out")
+    assert report.traces, "trace=true must produce a trace file"
+    trace = json.loads((tmp_path / "out" / report.traces[0]).read_text())
+    assert trace["traceEvents"]
+    html = (tmp_path / "out" / "report.html").read_text()
+    assert report.traces[0] in html

@@ -1,0 +1,174 @@
+"""The campaign journal: durability discipline under damage.
+
+Every test here attacks the journal file the way a crash or a bad
+disk would — truncated tails, flipped bytes, garbage lines, stale
+schema versions — and asserts replay degrades to *counted, skipped
+records*, never an exception.  That invariant is what lets a resumed
+campaign trust whatever survives.
+"""
+
+import json
+
+from repro.campaign import JOURNAL_SCHEMA_VERSION, CampaignJournal
+
+
+def _journal(tmp_path):
+    return CampaignJournal(tmp_path / "camp")
+
+
+def test_append_replay_round_trip(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append("campaign", {"name": "t", "spec_digest": "d", "points": 2})
+    journal.append("shard_start", {"run_id": "r1", "points": ["p1", "p2"]})
+    journal.append(
+        "point",
+        {"point_id": "p1", "run_id": "r1", "status": "computed",
+         "overhead": {"spill": 1.0}, "cycles": 10.0},
+    )
+    journal.append("run_end", {"run_id": "r1", "interrupted": False})
+    journal.close()
+
+    state = CampaignJournal(journal.directory).replay()
+    assert state.corrupt_records == 0
+    assert state.replayed_records == 4
+    assert state.header["name"] == "t"
+    assert state.points["p1"]["cycles"] == 10.0
+    assert state.runs == ["r1"] and state.ended_runs == ["r1"]
+    assert not state.dead_runs
+    assert state.status_of("p1") == "computed"
+    assert state.status_of("p2") is None
+
+
+def test_missing_journal_replays_empty(tmp_path):
+    state = _journal(tmp_path).replay()
+    assert state.header is None
+    assert state.replayed_records == 0 and state.corrupt_records == 0
+
+
+def test_truncated_tail_is_counted_not_raised(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append("campaign", {"name": "t", "spec_digest": "d"})
+    journal.append("point", {"point_id": "p1", "status": "computed"})
+    journal.close()
+    # Chop the last line in half: the classic kill-9-mid-write wound.
+    raw = journal.path.read_bytes()
+    journal.path.write_bytes(raw[: len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
+
+    state = CampaignJournal(journal.directory).replay()
+    assert state.corrupt_records == 1
+    assert state.replayed_records == 1
+    assert state.header is not None
+    assert "p1" not in state.points  # recomputed, not trusted
+
+
+def test_checksum_mismatch_is_counted_not_raised(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append("point", {"point_id": "p1", "status": "computed"})
+    journal.append("point", {"point_id": "p2", "status": "computed"})
+    journal.close()
+    lines = journal.path.read_text().splitlines()
+    doctored = json.loads(lines[0])
+    doctored["payload"]["status"] = "failed"  # bit-flip the payload...
+    lines[0] = json.dumps(doctored)  # ...without updating the checksum
+    journal.path.write_text("\n".join(lines) + "\n")
+
+    state = CampaignJournal(journal.directory).replay()
+    assert state.corrupt_records == 1
+    assert state.status_of("p1") is None
+    assert state.status_of("p2") == "computed"
+
+
+def test_garbage_lines_and_wrong_schema_are_counted(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append("point", {"point_id": "p1", "status": "computed"})
+    journal.close()
+    with journal.path.open("a") as handle:
+        handle.write("not json at all\n")
+        handle.write(json.dumps({"journal_schema": JOURNAL_SCHEMA_VERSION + 1,
+                                 "kind": "point", "checksum": "x",
+                                 "payload": {}}) + "\n")
+        handle.write(json.dumps({"journal_schema": JOURNAL_SCHEMA_VERSION,
+                                 "kind": "point", "checksum": "x",
+                                 "payload": "not a dict"}) + "\n")
+
+    state = CampaignJournal(journal.directory).replay()
+    assert state.corrupt_records == 3
+    assert state.replayed_records == 1
+    assert state.status_of("p1") == "computed"
+
+
+def test_last_writer_wins_per_point(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append("point", {"point_id": "p1", "status": "interrupted"})
+    journal.append("point", {"point_id": "p1", "status": "computed",
+                             "cycles": 5.0})
+    journal.close()
+    state = CampaignJournal(journal.directory).replay()
+    assert state.status_of("p1") == "computed"
+    assert state.points["p1"]["cycles"] == 5.0
+
+
+def test_failed_attempts_accumulate_across_runs(tmp_path):
+    journal = _journal(tmp_path)
+    for _ in range(3):
+        journal.append("point", {"point_id": "p1", "status": "failed",
+                                 "error": "boom"})
+    journal.close()
+    state = CampaignJournal(journal.directory).replay()
+    assert state.failed_attempts["p1"] == 3
+
+
+def test_orphaned_shard_start_strikes_unfinished_points(tmp_path):
+    journal = _journal(tmp_path)
+    # Run r1 started p1+p2, finished only p1, never wrote run_end: the
+    # kill-9 signature.  p2 takes the strike; p1 is innocent.
+    journal.append("shard_start", {"run_id": "r1", "points": ["p1", "p2"]})
+    journal.append("point", {"point_id": "p1", "run_id": "r1",
+                             "status": "computed"})
+    journal.close()
+    state = CampaignJournal(journal.directory).replay()
+    assert state.dead_runs == ["r1"]
+    assert state.strikes == {"p2": 1}
+
+
+def test_strikes_accumulate_over_repeated_deaths(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append("shard_start", {"run_id": "r1", "points": ["p1", "p2"]})
+    journal.append("shard_start", {"run_id": "r2", "points": ["p2"]})
+    journal.close()
+    state = CampaignJournal(journal.directory).replay()
+    assert state.strikes == {"p1": 1, "p2": 2}
+
+
+def test_clean_run_strikes_nobody(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append("shard_start", {"run_id": "r1", "points": ["p1"]})
+    journal.append("point", {"point_id": "p1", "run_id": "r1",
+                             "status": "interrupted"})
+    journal.append("run_end", {"run_id": "r1", "interrupted": True})
+    journal.close()
+    state = CampaignJournal(journal.directory).replay()
+    # Checkpointed (SIGTERM) runs end cleanly: interruption is not
+    # evidence of poison.
+    assert not state.strikes and not state.dead_runs
+
+
+def test_quarantine_records_replay(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append("quarantine", {"point_id": "p1", "strikes": 2,
+                                  "reason": "killed 2 run(s)"})
+    journal.close()
+    state = CampaignJournal(journal.directory).replay()
+    assert "p1" in state.quarantined
+    assert state.quarantined["p1"]["strikes"] == 2
+
+
+def test_unknown_kinds_are_forward_compatible(tmp_path):
+    journal = _journal(tmp_path)
+    journal.append("point", {"point_id": "p1", "status": "computed"})
+    journal.append("annotation", {"note": "a future record kind"})
+    journal.close()
+    state = CampaignJournal(journal.directory).replay()
+    assert state.corrupt_records == 0
+    assert state.replayed_records == 2
+    assert state.status_of("p1") == "computed"

@@ -1,0 +1,155 @@
+"""Campaign spec compilation: validation, determinism, digests."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, SpecError, load_spec, parse_spec, point_id
+from repro.campaign.spec import _toml_loads
+
+BASIC = {
+    "campaign": {"name": "t"},
+    "grid": {
+        "workloads": ["compress", "li"],
+        "presets": ["base", "improved"],
+        "infos": ["dynamic"],
+        "configs": [[4, 2, 2, 2], [6, 4, 2, 2]],
+    },
+}
+
+
+def test_compiles_cartesian_grid_workload_major():
+    spec = parse_spec(BASIC)
+    assert spec.name == "t"
+    assert len(spec.points) == 2 * 2 * 2
+    # Workload-major: all compress points precede all li points, so
+    # shards line up with run_grid's chunk-by-workload strategy.
+    workloads = [key[0] for key in spec.points]
+    assert workloads == sorted(workloads, key=["compress", "li"].index)
+
+
+def test_point_list_is_deterministic_and_digest_stable():
+    first = parse_spec(BASIC)
+    second = parse_spec(BASIC)
+    assert first.points == second.points
+    assert first.digest == second.digest
+    assert [point_id(key) for key in first.points] == [
+        point_id(key) for key in second.points
+    ]
+
+
+def test_digest_ignores_budgets_but_not_grid():
+    with_budget = dict(BASIC, run={"retries": 5, "shard_size": 3})
+    assert parse_spec(with_budget).digest == parse_spec(BASIC).digest
+    smaller = dict(BASIC, grid=dict(BASIC["grid"], workloads=["compress"]))
+    assert parse_spec(smaller).digest != parse_spec(BASIC).digest
+
+
+def test_point_ids_distinguish_label_twin_options():
+    # bs_key / spill_metric do not appear in describe_key labels; the
+    # content id must still tell such points apart.
+    doc = {
+        "campaign": {"name": "twins"},
+        "grid": {"experiments": ["ablation_bs_key"]},
+    }
+    spec = parse_spec(doc)
+    ids = [point_id(key) for key in spec.points]
+    assert len(ids) == len(set(ids))
+
+
+def test_experiments_union_and_dedup():
+    doc = {
+        "campaign": {"name": "e"},
+        "grid": {"experiments": ["table2", "table2"]},
+    }
+    spec = parse_spec(doc)
+    assert len(spec.points) == len(set(spec.points))
+    assert spec.points
+
+
+@pytest.mark.parametrize(
+    "mutate, message",
+    [
+        (lambda d: d.__setitem__("tpyo", {}), "unknown key"),
+        (lambda d: d["grid"].__setitem__("presets", ["nope"]), "unknown grid.presets"),
+        (lambda d: d["grid"].__setitem__("workloads", ["nope"]), "unknown grid.workloads"),
+        (lambda d: d["grid"].__setitem__("infos", ["sideways"]), "grid.infos"),
+        (lambda d: d["grid"].__setitem__("configs", [[1, 2]]), "four non-negative ints"),
+        (lambda d: d.__setitem__("run", {"retries": -1}), "run.retries"),
+        (lambda d: d.__setitem__("run", {"jobs": "many"}), "run.jobs"),
+        (lambda d: d.__setitem__("run", {"poison_threshold": 0}), "run.poison_threshold"),
+        (lambda d: d.__setitem__("run", {"timeout": -2}), "run.timeout"),
+        (lambda d: d.__setitem__("run", {"verify": "yes"}), "run.verify"),
+        (lambda d: d.__setitem__("run", {"budget": 3}), "unknown key"),
+    ],
+)
+def test_bad_specs_are_spec_errors(mutate, message):
+    import copy
+
+    doc = copy.deepcopy(BASIC)
+    mutate(doc)
+    with pytest.raises(SpecError, match=message):
+        parse_spec(doc)
+
+
+def test_zero_points_is_an_error():
+    with pytest.raises(SpecError, match="zero grid points"):
+        parse_spec({"campaign": {"name": "x"}, "grid": {}})
+
+
+def test_mips_sweep_with_limit():
+    doc = {
+        "campaign": {"name": "s"},
+        "grid": {
+            "workloads": ["compress"],
+            "presets": ["base"],
+            "configs": {"sweep": "mips", "limit": 3},
+        },
+    }
+    spec = parse_spec(doc)
+    assert len(spec.points) == 3
+
+
+def test_load_spec_from_toml_file(tmp_path):
+    pytest.importorskip("tomllib")
+    path = tmp_path / "camp.toml"
+    path.write_text(
+        """
+[campaign]
+name = "file-spec"
+[grid]
+workloads = ["compress"]
+presets = ["base"]
+configs = [[4, 2, 2, 2]]
+[run]
+jobs = 2
+retries = 3
+"""
+    )
+    spec = load_spec(path)
+    assert spec.name == "file-spec"
+    assert spec.jobs == 2 and spec.retries == 3
+    assert len(spec.points) == 1
+
+
+def test_invalid_toml_is_a_spec_error(tmp_path):
+    pytest.importorskip("tomllib")
+    path = tmp_path / "broken.toml"
+    path.write_text("[campaign\nname=")
+    with pytest.raises(SpecError, match="invalid TOML"):
+        load_spec(path)
+
+
+def test_missing_spec_file_is_a_spec_error(tmp_path):
+    with pytest.raises(SpecError, match="cannot read spec"):
+        load_spec(tmp_path / "absent.toml")
+
+
+def test_toml_loads_smoke():
+    pytest.importorskip("tomllib")
+    assert _toml_loads('a = 1')["a"] == 1
+
+
+def test_spec_is_frozen():
+    spec = parse_spec(BASIC)
+    assert isinstance(spec, CampaignSpec)
+    with pytest.raises(AttributeError):
+        spec.name = "other"

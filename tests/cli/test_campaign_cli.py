@@ -1,0 +1,90 @@
+"""The ``repro campaign`` subcommand: run, resume, status, report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytest.importorskip("tomllib", reason="campaign specs need a TOML parser")
+
+SPEC = """
+[campaign]
+name = "cli-campaign"
+
+[grid]
+workloads = ["compress"]
+presets = ["base"]
+configs = [[4, 2, 2, 2]]
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.toml"
+    path.write_text(SPEC)
+    return path
+
+
+def test_run_produces_journal_and_reports(tmp_path, spec_file, capsys):
+    out = tmp_path / "out"
+    rc = main(["campaign", "run", str(spec_file), "--out", str(out), "-q"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "complete" in captured.out
+    assert (out / "journal.jsonl").exists()
+    assert (out / "report.json").exists()
+    assert (out / "report.html").exists()
+
+
+def test_run_twice_resumes_and_reports_json(tmp_path, spec_file, capsys):
+    out = tmp_path / "out"
+    assert main(["campaign", "run", str(spec_file), "--out", str(out), "-q"]) == 0
+    capsys.readouterr()
+    assert main(
+        ["campaign", "run", str(spec_file), "--out", str(out), "-q", "--json"]
+    ) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["complete"] is True
+    assert report["runs"] == 2
+    assert report["counts"] == {"computed": 1}
+
+
+def test_status_reads_without_writing(tmp_path, spec_file, capsys):
+    out = tmp_path / "out"
+    assert main(["campaign", "run", str(spec_file), "--out", str(out), "-q"]) == 0
+    report_json = (out / "report.json").read_text()
+    assert main(["campaign", "status", str(spec_file), "--out", str(out)]) == 0
+    assert "complete" in capsys.readouterr().out
+    # status regenerated nothing.
+    assert (out / "report.json").read_text() == report_json
+
+
+def test_report_rebuilds_from_journal(tmp_path, spec_file):
+    out = tmp_path / "out"
+    assert main(["campaign", "run", str(spec_file), "--out", str(out), "-q"]) == 0
+    (out / "report.json").unlink()
+    (out / "report.html").unlink()
+    assert main(["campaign", "report", str(spec_file), "--out", str(out)]) == 0
+    assert (out / "report.json").exists()
+    assert (out / "report.html").exists()
+
+
+def test_bad_spec_is_a_usage_error(tmp_path, capsys):
+    path = tmp_path / "bad.toml"
+    path.write_text("[grid]\nworkloads = [\"no-such-workload\"]\n")
+    rc = main(["campaign", "run", str(path), "--out", str(tmp_path / "out")])
+    assert rc == 2
+    assert "bad campaign spec" in capsys.readouterr().err
+
+
+def test_mismatched_journal_is_a_campaign_error(tmp_path, spec_file, capsys):
+    out = tmp_path / "out"
+    assert main(["campaign", "run", str(spec_file), "--out", str(out), "-q"]) == 0
+    other = tmp_path / "other.toml"
+    other.write_text(SPEC.replace('presets = ["base"]', 'presets = ["improved"]'))
+    rc = main(["campaign", "run", str(other), "--out", str(out), "-q"])
+    assert rc == 2
+    assert "different campaign" in capsys.readouterr().err

@@ -1,0 +1,131 @@
+"""GridReport JSON round-trips and the cross-call retry semantics.
+
+The campaign journal persists grid outcomes as JSON and rebuilds them
+in a later process, so ``as_dict``/``from_dict`` must be lossless for
+every point category — computed, cached, failed, interrupted — and
+``run_grid(skip_failures=..., retry_interrupted=...)`` must let a
+resume distinguish points an earlier death merely cut off from points
+that genuinely failed.
+"""
+
+import json
+
+from repro.eval import (
+    FailureRecord,
+    GridReport,
+    ResultCache,
+    key_as_dict,
+    key_from_dict,
+    run_grid,
+)
+from repro.eval import runner
+from repro.machine import RegisterConfig
+from repro.regalloc import AllocatorOptions
+
+CFG = RegisterConfig(6, 4, 2, 2)
+K1 = ("compress", AllocatorOptions.base_chaitin(), CFG, "dynamic")
+K2 = (
+    "li",
+    AllocatorOptions.improved_chaitin(),
+    RegisterConfig(4, 2, 2, 2),
+    "static",
+)
+K3 = ("eqntott", AllocatorOptions.priority_based(), CFG, "dynamic")
+
+
+def test_key_round_trip_preserves_every_field():
+    for key in (K1, K2, K3):
+        data = key_as_dict(key)
+        # Must survive a real JSON hop, not just the dict conversion.
+        assert key_from_dict(json.loads(json.dumps(data))) == key
+
+
+def test_grid_report_round_trip_all_categories():
+    report = GridReport(
+        computed=[K1],
+        cached=[K2],
+        failed=[
+            FailureRecord(key=K3, error="injected failure", attempts=3),
+            FailureRecord(key=K2, error="interrupted", attempts=1),
+        ],
+        interrupted=True,
+    )
+    hopped = GridReport.from_dict(json.loads(json.dumps(report.as_dict())))
+    assert hopped.computed == report.computed
+    assert hopped.cached == report.cached
+    assert hopped.failed == report.failed
+    assert hopped.interrupted is True
+    # Reconstructed records keep their semantics, not just their data.
+    assert not hopped.failed[0].interrupted
+    assert hopped.failed[1].interrupted
+    assert hopped.total == report.total
+    assert not hopped.ok
+
+
+def test_empty_report_round_trip():
+    hopped = GridReport.from_dict(
+        json.loads(json.dumps(GridReport().as_dict()))
+    )
+    assert hopped.ok and hopped.total == 0 and not hopped.interrupted
+
+
+def test_skip_failures_copied_without_recomputation(monkeypatch):
+    def _explode(*args, **kwargs):
+        raise AssertionError("skip_failures must not recompute")
+
+    monkeypatch.setattr(runner, "_measure_chunk", _explode)
+    cache = ResultCache()
+    prior = FailureRecord(key=K1, error="genuine failure", attempts=4)
+    report = run_grid([K1], jobs=1, cache=cache, skip_failures=[prior])
+    # The record rode through verbatim — attempts preserved, nothing run.
+    assert report.failed == [prior]
+    assert not report.computed and not report.cached
+
+
+def test_retry_interrupted_distinguishes_cut_off_from_broken():
+    cache = ResultCache()
+    prior = [
+        FailureRecord(key=K1, error="interrupted", attempts=1),
+        FailureRecord(key=K3, error="genuine failure", attempts=4),
+    ]
+    report = run_grid(
+        [K1, K3],
+        jobs=1,
+        cache=cache,
+        skip_failures=prior,
+        retry_interrupted=True,
+    )
+    # The interrupted point got a fresh try and computed fine...
+    assert report.computed == [K1]
+    assert K1 in cache
+    # ...while the genuinely failed one stayed failed, untouched.
+    assert report.failed == [prior[1]]
+
+
+def test_without_switch_interrupted_records_stay_skipped(monkeypatch):
+    def _explode(*args, **kwargs):
+        raise AssertionError("must not recompute without retry_interrupted")
+
+    monkeypatch.setattr(runner, "_measure_chunk", _explode)
+    cache = ResultCache()
+    prior = FailureRecord(key=K1, error="interrupted", attempts=1)
+    report = run_grid([K1], jobs=1, cache=cache, skip_failures=[prior])
+    assert report.failed == [prior]
+    assert not report.computed
+
+
+def test_on_point_sees_every_newly_computed_point():
+    cache = ResultCache()
+    seen = []
+    report = run_grid(
+        [K1, K2], jobs=1, cache=cache,
+        on_point=lambda key, measurement: seen.append(
+            (key, measurement.cycles)
+        ),
+    )
+    assert [key for key, _ in seen] == report.computed
+    assert all(cycles > 0 for _, cycles in seen)
+    # Cached points do not re-fire the hook.
+    seen.clear()
+    again = run_grid([K1, K2], jobs=1, cache=cache, on_point=lambda *a: seen.append(a))
+    assert again.cached and not seen

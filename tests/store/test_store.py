@@ -240,6 +240,50 @@ class TestMaintenance:
         assert all(path.exists() for path in paths[1:])
         assert summary["bytes_remaining"] <= budget
 
+    def test_gc_respects_mtime_on_noatime_mounts(self, tmp_path):
+        # On noatime/relatime mounts st_atime never advances on reads,
+        # so every artifact keeps its creation atime forever.  Recency
+        # must then come from mtime — which ``get`` advances on every
+        # disk hit — or gc would evict in creation order no matter
+        # what the workload actually uses.
+        store = make_store(tmp_path)
+        fingerprints = self.fill(store, 4)
+        paths = [store.path_for(fp, "program") for fp in fingerprints]
+        # Freeze every atime AND mtime in the stale past, as if the
+        # mount had never updated atime since creation.
+        for path in paths:
+            os.utime(path, (1_000_000, 1_000_000))
+        # A fresh store (cold LRU) reads entry 0 from disk: that hit
+        # must advance its mtime even though atime stays frozen.
+        reader = ArtifactStore(tmp_path / "store")
+        assert reader.get(fingerprints[0], "program") is not None
+        assert paths[0].stat().st_mtime > 1_000_000
+        sizes = [path.stat().st_size for path in paths]
+        budget = sum(sizes) - 1  # force one eviction
+        summary = store.gc(max_bytes=budget)
+        assert summary["removed"] == 1
+        # The just-read entry survived; a never-read one went instead.
+        assert paths[0].exists()
+        assert not paths[1].exists()
+        assert all(path.exists() for path in paths[2:])
+
+    def test_gc_orders_by_newest_of_atime_and_mtime(self, tmp_path):
+        # Mixed signals: entry 0 has a fresh atime (strictatime mount),
+        # entry 1 a fresh mtime (noatime mount + read-hit touch).  Both
+        # count as recently used; the untouched entry 2 must go first.
+        store = make_store(tmp_path)
+        fingerprints = self.fill(store, 3)
+        paths = [store.path_for(fp, "program") for fp in fingerprints]
+        for path in paths:
+            os.utime(path, (1_000_000, 1_000_000))
+        os.utime(paths[0], (2_000_000, 1_000_000))  # fresh atime only
+        os.utime(paths[1], (1_000_000, 2_000_000))  # fresh mtime only
+        sizes = [path.stat().st_size for path in paths]
+        summary = store.gc(max_bytes=sum(sizes) - 1)
+        assert summary["removed"] == 1
+        assert paths[0].exists() and paths[1].exists()
+        assert not paths[2].exists()
+
     def test_gc_is_a_noop_under_budget(self, tmp_path):
         store = make_store(tmp_path)
         self.fill(store, 2)
